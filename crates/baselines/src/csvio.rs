@@ -1,0 +1,138 @@
+//! File-based data exchange, as multi-tool PA stacks do it: the DBMS
+//! exports CSV, the external tool parses it, results come back through
+//! per-row INSERT statements. This is the "high I/O cost" the paper's
+//! §1 and Fig. 5 attribute to non-integrated stacks.
+
+use sqlengine::{execute_sql, Database, Table, Value};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Export a table to CSV (header + rows).
+pub fn export_csv(table: &Table, path: &Path) -> std::io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(f);
+    writeln!(w, "{}", table.schema.names().join(","))?;
+    for row in &table.rows {
+        let line: Vec<String> = row
+            .iter()
+            .map(|v| if v.is_null() { String::new() } else { v.to_string() })
+            .collect();
+        writeln!(w, "{}", line.join(","))?;
+    }
+    w.flush()
+}
+
+/// Parse a CSV of floats (empty cells become NaN). Returns
+/// (header, column-major data) — the shape an external numeric tool
+/// would build.
+pub fn import_csv_numeric(path: &Path) -> std::io::Result<(Vec<String>, Vec<Vec<f64>>)> {
+    let f = std::fs::File::open(path)?;
+    let mut lines = BufReader::new(f).lines();
+    let header: Vec<String> = match lines.next() {
+        Some(h) => h?.split(',').map(|s| s.to_string()).collect(),
+        None => return Ok((vec![], vec![])),
+    };
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); header.len()];
+    for line in lines {
+        let line = line?;
+        for (i, cell) in line.split(',').enumerate() {
+            if i < cols.len() {
+                cols[i].push(cell.trim().parse().unwrap_or(f64::NAN));
+            }
+        }
+    }
+    Ok((header, cols))
+}
+
+/// Write results back into the database the way glue scripts do: one
+/// INSERT statement per row, each going through the full parse/execute
+/// path.
+pub fn insert_rows_individually(
+    db: &mut Database,
+    table: &str,
+    rows: &[Vec<Value>],
+) -> sqlengine::Result<()> {
+    for row in rows {
+        let vals: Vec<String> = row
+            .iter()
+            .map(|v| match v {
+                Value::Null => "NULL".to_string(),
+                Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
+                Value::Timestamp(_) => format!("'{v}'"),
+                other => other.to_string(),
+            })
+            .collect();
+        execute_sql(db, &format!("INSERT INTO {table} VALUES ({})", vals.join(", ")))?;
+    }
+    Ok(())
+}
+
+/// A scratch directory for baseline file exchange, removed on drop.
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    pub fn new(label: &str) -> std::io::Result<TempDir> {
+        let path = std::env::temp_dir().join(format!(
+            "solvedbplus-baseline-{label}-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&path)?;
+        Ok(TempDir { path })
+    }
+
+    pub fn file(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlengine::execute_script;
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = TempDir::new("csvtest").unwrap();
+        let t = Table::from_rows(
+            &["a", "b"],
+            vec![
+                vec![Value::Float(1.5), Value::Float(2.0)],
+                vec![Value::Null, Value::Float(4.0)],
+            ],
+        );
+        let p = dir.file("t.csv");
+        export_csv(&t, &p).unwrap();
+        let (header, cols) = import_csv_numeric(&p).unwrap();
+        assert_eq!(header, vec!["a", "b"]);
+        assert_eq!(cols[0][0], 1.5);
+        assert!(cols[0][1].is_nan());
+        assert_eq!(cols[1], vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn per_row_inserts() {
+        let mut db = Database::new();
+        execute_script(&mut db, "CREATE TABLE r (x float8, s text)").unwrap();
+        insert_rows_individually(
+            &mut db,
+            "r",
+            &[
+                vec![Value::Float(1.0), Value::text("it's")],
+                vec![Value::Null, Value::text("b")],
+            ],
+        )
+        .unwrap();
+        let t = execute_sql(&mut db, "SELECT count(*) FROM r").unwrap().into_table().unwrap();
+        assert_eq!(t.scalar().unwrap(), Value::Int(2));
+        let t = execute_sql(&mut db, "SELECT s FROM r WHERE x = 1").unwrap().into_table().unwrap();
+        assert_eq!(t.scalar().unwrap(), Value::text("it's"));
+    }
+}

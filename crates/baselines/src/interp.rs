@@ -1,0 +1,114 @@
+//! A tiny expression interpreter — the stand-in for *interpreted* fitness
+//! functions (Matlab `sim_sse`, PL/Python loops). The paper's general
+//! stacks evaluate their P3 fitness in an interpreted language; simulating
+//! them with compiled Rust would understate their cost structure, so the
+//! interpreted baselines run their simulation through this walker: boxed
+//! expression trees, environment lookups by name, dynamic dispatch per
+//! node — the usual interpretation taxes.
+
+use std::collections::HashMap;
+
+/// An interpreted expression over a named environment.
+pub enum IExpr {
+    Const(f64),
+    Var(String),
+    Add(Box<IExpr>, Box<IExpr>),
+    Sub(Box<IExpr>, Box<IExpr>),
+    Mul(Box<IExpr>, Box<IExpr>),
+}
+
+impl IExpr {
+    pub fn var(n: &str) -> IExpr {
+        IExpr::Var(n.to_string())
+    }
+
+    pub fn eval(&self, env: &HashMap<String, f64>) -> f64 {
+        match self {
+            IExpr::Const(c) => *c,
+            IExpr::Var(n) => *env.get(n).unwrap_or(&f64::NAN),
+            IExpr::Add(a, b) => a.eval(env) + b.eval(env),
+            IExpr::Sub(a, b) => a.eval(env) - b.eval(env),
+            IExpr::Mul(a, b) => a.eval(env) * b.eval(env),
+        }
+    }
+}
+
+/// The HVAC simulation SSE evaluated interpretively:
+/// `x' = a1*x + b1*out + b2*h`, error accumulated per step. The
+/// expression tree is rebuilt per call, as a dynamically-typed runtime
+/// would effectively do.
+pub fn interpreted_hvac_sse(
+    a1: f64,
+    b1: f64,
+    b2: f64,
+    u: &[Vec<f64>],
+    measured: &[f64],
+) -> f64 {
+    // next_x = a1*x + b1*out + b2*h ; err = (x - m)^2
+    let next_x = IExpr::Add(
+        Box::new(IExpr::Add(
+            Box::new(IExpr::Mul(Box::new(IExpr::var("a1")), Box::new(IExpr::var("x")))),
+            Box::new(IExpr::Mul(Box::new(IExpr::var("b1")), Box::new(IExpr::var("out")))),
+        )),
+        Box::new(IExpr::Mul(Box::new(IExpr::var("b2")), Box::new(IExpr::var("h")))),
+    );
+    let err = IExpr::Mul(
+        Box::new(IExpr::Sub(Box::new(IExpr::var("x")), Box::new(IExpr::var("m")))),
+        Box::new(IExpr::Sub(Box::new(IExpr::var("x")), Box::new(IExpr::var("m")))),
+    );
+    let mut env: HashMap<String, f64> = HashMap::new();
+    env.insert("a1".into(), a1);
+    env.insert("b1".into(), b1);
+    env.insert("b2".into(), b2);
+    env.insert("x".into(), *measured.first().unwrap_or(&0.0));
+    let mut sse = 0.0;
+    for (k, step) in u.iter().enumerate() {
+        if k >= measured.len() {
+            break;
+        }
+        env.insert("out".into(), step[0]);
+        env.insert("h".into(), step[1]);
+        env.insert("m".into(), measured[k]);
+        sse += err.eval(&env);
+        let nx = next_x.eval(&env);
+        env.insert("x".into(), nx);
+    }
+    sse
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_native_simulation() {
+        let truth = ssmodel::Lti::hvac(0.9, 0.05, 0.0004);
+        let u: Vec<Vec<f64>> = (0..40).map(|i| vec![5.0 + (i % 7) as f64, 300.0]).collect();
+        let (states, _) = truth.simulate(&[21.0], &u);
+        let measured: Vec<f64> = states.iter().take(40).map(|s| s[0]).collect();
+        // Perfect parameters → zero SSE, interpreted or not.
+        let sse = interpreted_hvac_sse(0.9, 0.05, 0.0004, &u, &measured);
+        assert!(sse < 1e-18, "sse {sse}");
+        // Wrong parameters → equal to the native SSE.
+        let native = ssmodel::simulation_sse(
+            &ssmodel::Lti::hvac(0.8, 0.05, 0.0004),
+            &[measured[0]],
+            &u,
+            &measured,
+        );
+        let interp = interpreted_hvac_sse(0.8, 0.05, 0.0004, &u, &measured);
+        assert!((native - interp).abs() < 1e-9, "{native} vs {interp}");
+    }
+
+    #[test]
+    fn iexpr_evaluates() {
+        let mut env = HashMap::new();
+        env.insert("x".to_string(), 3.0);
+        let e = IExpr::Add(
+            Box::new(IExpr::Mul(Box::new(IExpr::Const(2.0)), Box::new(IExpr::var("x")))),
+            Box::new(IExpr::Const(1.0)),
+        );
+        assert_eq!(e.eval(&env), 7.0);
+        assert!(IExpr::var("missing").eval(&env).is_nan());
+    }
+}

@@ -1,0 +1,79 @@
+//! # baselines — structural simulations of the paper's competitor stacks
+//!
+//! The evaluation (paper §5) compares SolveDB+ against Matlab (native
+//! toolboxes and YALMIP/MPT), R + CPLEX, and MADlib + PL/Python. Those
+//! stacks cannot run here; instead this crate reproduces the *structural
+//! causes* of their measured behaviour, which the paper itself names:
+//!
+//! * out-of-DBMS stacks ship data through files and per-row inserts
+//!   ([`csvio`]);
+//! * YALMIP/MPT-style modelling builds constraint matrices from
+//!   per-coefficient symbolic objects ([`modelgen`] — the "model
+//!   generation time" of Fig. 5);
+//! * Matlab's `fminsearch` is a derivative-free local simplex search
+//!   ([`neldermead`]);
+//! * MADlib-style in-DBMS pipelines materialize intermediate tables per
+//!   step and re-interpret (re-parse) their fitness queries per
+//!   iteration ([`uc1::madlib_python`]).
+//!
+//! The absolute numbers differ from the paper's (different hardware and
+//! solvers); the *shape* — who wins, and why — is what the benchmark
+//! harness reproduces.
+
+pub mod csvio;
+pub mod interp;
+pub mod modelgen;
+pub mod neldermead;
+pub mod uc1;
+pub mod uc2;
+
+use std::time::Duration;
+
+/// Per-phase wall-clock times of a PA workflow run (P1–P4 of Fig. 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimes {
+    /// Data management / IO.
+    pub p1: Duration,
+    /// Prediction.
+    pub p2: Duration,
+    /// System-model fitting.
+    pub p3: Duration,
+    /// Optimization.
+    pub p4: Duration,
+}
+
+impl PhaseTimes {
+    pub fn total(&self) -> Duration {
+        self.p1 + self.p2 + self.p3 + self.p4
+    }
+}
+
+/// Sub-phase breakdown of an optimization step (Fig. 5's stacking).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OptBreakdown {
+    pub data_io: Duration,
+    pub model_generation: Duration,
+    pub solving: Duration,
+}
+
+impl OptBreakdown {
+    pub fn total(&self) -> Duration {
+        self.data_io + self.model_generation + self.solving
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_times_total() {
+        let t = PhaseTimes {
+            p1: Duration::from_millis(1),
+            p2: Duration::from_millis(2),
+            p3: Duration::from_millis(3),
+            p4: Duration::from_millis(4),
+        };
+        assert_eq!(t.total(), Duration::from_millis(10));
+    }
+}

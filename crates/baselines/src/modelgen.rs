@@ -1,0 +1,247 @@
+//! YALMIP/MPT-style symbolic model construction.
+//!
+//! High-level modelling toolboxes build optimization models out of
+//! per-coefficient symbolic objects: every `a*x + b*y <= c` allocates an
+//! expression tree, variables are looked up by name, and constraint
+//! aggregation walks those trees one node at a time. That translation —
+//! *model generation time* — dominates their optimization step in the
+//! paper's Fig. 5 (up to 3 orders of magnitude over SolveDB+'s direct
+//! compilation). This module reproduces that construction style and
+//! hands the result to the same `lp` solver, so the measured difference
+//! is purely the modelling layer.
+
+use lp::{Problem, Rel, Solution};
+use std::collections::{BTreeMap, HashMap};
+
+/// A symbolic scalar expression (boxed tree, like toolbox objects).
+pub enum SymExpr {
+    Const(f64),
+    Var(String),
+    Add(Box<SymExpr>, Box<SymExpr>),
+    Sub(Box<SymExpr>, Box<SymExpr>),
+    Mul(f64, Box<SymExpr>),
+}
+
+impl SymExpr {
+    pub fn var(name: impl Into<String>) -> SymExpr {
+        SymExpr::Var(name.into())
+    }
+
+    pub fn constant(v: f64) -> SymExpr {
+        SymExpr::Const(v)
+    }
+
+    pub fn add(self, other: SymExpr) -> SymExpr {
+        SymExpr::Add(Box::new(self), Box::new(other))
+    }
+
+    pub fn sub(self, other: SymExpr) -> SymExpr {
+        SymExpr::Sub(Box::new(self), Box::new(other))
+    }
+
+    pub fn scale(self, k: f64) -> SymExpr {
+        SymExpr::Mul(k, Box::new(self))
+    }
+
+    /// Sum of many expressions (builds a left-deep tree, as naive
+    /// `for`-loop aggregation does).
+    pub fn sum(items: Vec<SymExpr>) -> SymExpr {
+        let mut it = items.into_iter();
+        let first = it.next().unwrap_or(SymExpr::Const(0.0));
+        it.fold(first, |acc, x| acc.add(x))
+    }
+
+    /// Walk the tree collecting coefficients by *variable name* — the
+    /// string-keyed lookup is part of the simulated overhead.
+    fn collect(&self, scale: f64, coeffs: &mut BTreeMap<String, f64>, constant: &mut f64) {
+        match self {
+            SymExpr::Const(c) => *constant += scale * c,
+            SymExpr::Var(n) => {
+                *coeffs.entry(n.clone()).or_insert(0.0) += scale;
+            }
+            SymExpr::Add(a, b) => {
+                a.collect(scale, coeffs, constant);
+                b.collect(scale, coeffs, constant);
+            }
+            SymExpr::Sub(a, b) => {
+                a.collect(scale, coeffs, constant);
+                b.collect(-scale, coeffs, constant);
+            }
+            SymExpr::Mul(k, e) => e.collect(scale * k, coeffs, constant),
+        }
+    }
+}
+
+/// A symbolic constraint.
+pub struct SymConstraint {
+    pub lhs: SymExpr,
+    pub rel: Rel,
+    pub rhs: SymExpr,
+}
+
+/// The toolbox-style model builder.
+#[derive(Default)]
+pub struct SymbolicModel {
+    constraints: Vec<SymConstraint>,
+    objective: Option<(SymExpr, bool)>, // (expr, minimize)
+    bounds: HashMap<String, (f64, f64)>,
+    integers: Vec<String>,
+}
+
+impl SymbolicModel {
+    pub fn new() -> SymbolicModel {
+        SymbolicModel::default()
+    }
+
+    pub fn minimize(&mut self, e: SymExpr) {
+        self.objective = Some((e, true));
+    }
+
+    pub fn maximize(&mut self, e: SymExpr) {
+        self.objective = Some((e, false));
+    }
+
+    pub fn constrain(&mut self, lhs: SymExpr, rel: Rel, rhs: SymExpr) {
+        self.constraints.push(SymConstraint { lhs, rel, rhs });
+    }
+
+    pub fn bound(&mut self, var: impl Into<String>, lo: f64, hi: f64) {
+        self.bounds.insert(var.into(), (lo, hi));
+    }
+
+    pub fn integer(&mut self, var: impl Into<String>) {
+        self.integers.push(var.into());
+    }
+
+    /// Translate to the low-level solver representation — the step whose
+    /// cost Fig. 5 reports as "model generation".
+    pub fn generate(&self) -> (Problem, Vec<String>) {
+        // Discover variables by walking every expression (toolboxes do a
+        // pass like this to assign solver indexes).
+        let mut names: BTreeMap<String, usize> = BTreeMap::new();
+        let mut scratch_c = 0.0;
+        let discover = |e: &SymExpr, names: &mut BTreeMap<String, usize>| {
+            let mut coeffs = BTreeMap::new();
+            let mut c = 0.0;
+            e.collect(1.0, &mut coeffs, &mut c);
+            for name in coeffs.keys() {
+                let next = names.len();
+                names.entry(name.clone()).or_insert(next);
+            }
+        };
+        if let Some((obj, _)) = &self.objective {
+            discover(obj, &mut names);
+        }
+        for sc in &self.constraints {
+            discover(&sc.lhs, &mut names);
+            discover(&sc.rhs, &mut names);
+        }
+        let order: Vec<String> = names.keys().cloned().collect();
+        let index: HashMap<&str, usize> =
+            order.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+
+        let minimize = self.objective.as_ref().map(|(_, m)| *m).unwrap_or(true);
+        let mut p = if minimize {
+            Problem::minimize(order.len())
+        } else {
+            Problem::maximize(order.len())
+        };
+        if let Some((obj, _)) = &self.objective {
+            let mut coeffs = BTreeMap::new();
+            let mut c = 0.0;
+            obj.collect(1.0, &mut coeffs, &mut c);
+            p.objective_constant = c;
+            p.set_objective(coeffs.iter().map(|(n, &v)| (index[n.as_str()], v)).collect());
+            scratch_c += c;
+        }
+        let _ = scratch_c;
+        for sc in &self.constraints {
+            let mut lc = BTreeMap::new();
+            let mut lk = 0.0;
+            sc.lhs.collect(1.0, &mut lc, &mut lk);
+            let mut rc = BTreeMap::new();
+            let mut rk = 0.0;
+            sc.rhs.collect(1.0, &mut rc, &mut rk);
+            // lhs - rhs rel 0.
+            for (n, v) in rc {
+                *lc.entry(n).or_insert(0.0) -= v;
+            }
+            let rhs = rk - lk;
+            p.add_constraint(
+                lc.iter().map(|(n, &v)| (index[n.as_str()], v)).collect(),
+                sc.rel,
+                rhs,
+            );
+        }
+        for (n, &(lo, hi)) in &self.bounds {
+            if let Some(&i) = index.get(n.as_str()) {
+                p.set_bounds(i, lo, hi);
+            }
+        }
+        for n in &self.integers {
+            if let Some(&i) = index.get(n.as_str()) {
+                p.integer[i] = true;
+            }
+        }
+        (p, order)
+    }
+
+    /// Generate and solve; returns the solution plus the variable order.
+    pub fn solve(&self) -> (Solution, Vec<String>) {
+        let (p, order) = self.generate();
+        (lp::solve(&p), order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_solves_like_direct_lp() {
+        // max 3x + 5y, x <= 4, 2y <= 12, 3x + 2y <= 18.
+        let mut m = SymbolicModel::new();
+        m.maximize(SymExpr::var("x").scale(3.0).add(SymExpr::var("y").scale(5.0)));
+        m.constrain(SymExpr::var("x"), Rel::Le, SymExpr::constant(4.0));
+        m.constrain(SymExpr::var("y").scale(2.0), Rel::Le, SymExpr::constant(12.0));
+        m.constrain(
+            SymExpr::var("x").scale(3.0).add(SymExpr::var("y").scale(2.0)),
+            Rel::Le,
+            SymExpr::constant(18.0),
+        );
+        m.bound("x", 0.0, f64::INFINITY);
+        m.bound("y", 0.0, f64::INFINITY);
+        let (sol, order) = m.solve();
+        assert!(sol.is_optimal());
+        assert!((sol.objective - 36.0).abs() < 1e-6);
+        assert_eq!(order, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn sum_aggregation_and_subtraction() {
+        // min sum(e_i) with e_i >= i  →  objective = 0+1+2 = 3... e_i >= i.
+        let mut m = SymbolicModel::new();
+        let es: Vec<SymExpr> = (0..3).map(|i| SymExpr::var(format!("e{i}"))).collect();
+        m.minimize(SymExpr::sum(es));
+        for i in 0..3 {
+            m.constrain(
+                SymExpr::var(format!("e{i}")),
+                Rel::Ge,
+                SymExpr::constant(i as f64),
+            );
+        }
+        let (sol, _) = m.solve();
+        assert!((sol.objective - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn integer_variables() {
+        let mut m = SymbolicModel::new();
+        m.maximize(SymExpr::var("x"));
+        m.constrain(SymExpr::var("x"), Rel::Le, SymExpr::constant(2.5));
+        m.bound("x", 0.0, 10.0);
+        m.integer("x");
+        let (sol, _) = m.solve();
+        assert_eq!(sol.x[0], 2.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Nelder–Mead derivative-free simplex search — the stand-in for
+//! Matlab's `fminsearch`, which the paper's Matlab/YALMIP baseline uses
+//! for the P3 state-space fitting (§5.3, Fig. 4(b)).
+
+/// Options for the Nelder–Mead search.
+#[derive(Debug, Clone, Copy)]
+pub struct NmOptions {
+    pub max_iterations: usize,
+    pub tolerance: f64,
+    /// Initial simplex edge length relative to the start point scale.
+    pub initial_step: f64,
+}
+
+impl Default for NmOptions {
+    fn default() -> Self {
+        NmOptions { max_iterations: 2000, tolerance: 1e-10, initial_step: 0.1 }
+    }
+}
+
+/// Result of the search.
+#[derive(Debug, Clone)]
+pub struct NmResult {
+    pub x: Vec<f64>,
+    pub value: f64,
+    pub evaluations: usize,
+    pub iterations: usize,
+}
+
+/// Minimize `f` from `x0` (unconstrained, like `fminsearch`).
+pub fn nelder_mead(
+    mut f: impl FnMut(&[f64]) -> f64,
+    x0: &[f64],
+    opts: NmOptions,
+) -> NmResult {
+    let n = x0.len();
+    let mut evaluations = 0usize;
+    let mut eval = |x: &[f64], e: &mut usize| {
+        *e += 1;
+        let v = f(x);
+        if v.is_nan() {
+            f64::INFINITY
+        } else {
+            v
+        }
+    };
+
+    // Initial simplex: x0 plus a step along each axis.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    let v0 = eval(x0, &mut evaluations);
+    simplex.push((x0.to_vec(), v0));
+    for i in 0..n {
+        let mut x = x0.to_vec();
+        let step = if x[i].abs() > 1e-12 { opts.initial_step * x[i].abs() } else { opts.initial_step };
+        x[i] += step;
+        let v = eval(&x, &mut evaluations);
+        simplex.push((x, v));
+    }
+
+    let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+    let mut iterations = 0usize;
+    while iterations < opts.max_iterations {
+        iterations += 1;
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let best = simplex[0].1;
+        let worst = simplex[n].1;
+        if (worst - best).abs() <= opts.tolerance * (1.0 + best.abs()) {
+            break;
+        }
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; n];
+        for (x, _) in simplex.iter().take(n) {
+            for i in 0..n {
+                centroid[i] += x[i] / n as f64;
+            }
+        }
+        let worst_x = simplex[n].0.clone();
+        let reflect: Vec<f64> = (0..n)
+            .map(|i| centroid[i] + alpha * (centroid[i] - worst_x[i]))
+            .collect();
+        let fr = eval(&reflect, &mut evaluations);
+        if fr < simplex[0].1 {
+            // Expand.
+            let expand: Vec<f64> = (0..n)
+                .map(|i| centroid[i] + gamma * (reflect[i] - centroid[i]))
+                .collect();
+            let fe = eval(&expand, &mut evaluations);
+            simplex[n] = if fe < fr { (expand, fe) } else { (reflect, fr) };
+        } else if fr < simplex[n - 1].1 {
+            simplex[n] = (reflect, fr);
+        } else {
+            // Contract.
+            let contract: Vec<f64> = (0..n)
+                .map(|i| centroid[i] + rho * (worst_x[i] - centroid[i]))
+                .collect();
+            let fc = eval(&contract, &mut evaluations);
+            if fc < simplex[n].1 {
+                simplex[n] = (contract, fc);
+            } else {
+                // Shrink toward the best.
+                let best_x = simplex[0].0.clone();
+                for entry in simplex.iter_mut().skip(1) {
+                    let x: Vec<f64> = (0..n)
+                        .map(|i| best_x[i] + sigma * (entry.0[i] - best_x[i]))
+                        .collect();
+                    let v = eval(&x, &mut evaluations);
+                    *entry = (x, v);
+                }
+            }
+        }
+    }
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    NmResult {
+        x: simplex[0].0.clone(),
+        value: simplex[0].1,
+        evaluations,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        let r = nelder_mead(
+            |x| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2),
+            &[0.0, 0.0],
+            NmOptions::default(),
+        );
+        assert!((r.x[0] - 3.0).abs() < 1e-4, "{:?}", r.x);
+        assert!((r.x[1] + 1.0).abs() < 1e-4);
+        assert!(r.value < 1e-8);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_locally() {
+        let r = nelder_mead(
+            |x| 100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2),
+            &[-1.2, 1.0],
+            NmOptions { max_iterations: 5000, ..Default::default() },
+        );
+        assert!(r.value < 1e-6, "value {}", r.value);
+    }
+
+    #[test]
+    fn respects_iteration_budget() {
+        let r = nelder_mead(
+            |x| x.iter().map(|v| v * v).sum(),
+            &[5.0, 5.0, 5.0],
+            NmOptions { max_iterations: 10, ..Default::default() },
+        );
+        assert!(r.iterations <= 10);
+    }
+
+    #[test]
+    fn handles_nan_objective() {
+        let r = nelder_mead(
+            |x| if x[0] < 0.0 { f64::NAN } else { x[0] },
+            &[1.0],
+            NmOptions::default(),
+        );
+        assert!(r.value.is_finite());
+    }
+}

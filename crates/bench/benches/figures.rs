@@ -1,0 +1,181 @@
+//! Criterion benches for the evaluation's hot paths — one group per
+//! paper artifact, so `cargo bench` re-times every figure's core
+//! operation with statistical rigor. (The `reproduce` binary prints the
+//! full series; these benches focus on per-point timing.)
+
+use bench::setup::{uc1_session, uc2_session};
+use bench::uc1 as sdb_uc1;
+use bench::uc2::run_uc2;
+use baselines::uc1::{madlib_python, matlab_native, matlab_yalmip, p4_direct, p4_symbolic, p4_symbolic_mpt, Uc1Task};
+use baselines::uc2::{madlib_cplex, r_cplex};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn uc1_task(history: usize, horizon: usize) -> Uc1Task {
+    let rows = datagen::energy_series(history + horizon, 2026);
+    let mut t = Uc1Task::new(
+        rows[..history].to_vec(),
+        rows[history..].iter().map(|r| r.out_temp).collect(),
+    );
+    t.p3_evaluations = 60;
+    t
+}
+
+/// Fig 3(b): full UC1 stacks.
+fn bench_uc1_stacks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3b_uc1_stacks");
+    g.sample_size(10);
+    let task = uc1_task(96, 24);
+    g.bench_function("matlab_native", |b| b.iter(|| matlab_native(&task)));
+    g.bench_function("matlab_yalmip", |b| b.iter(|| matlab_yalmip(&task)));
+    g.bench_function("madlib_python", |b| b.iter(|| madlib_python(&task)));
+    g.bench_function("solvedbplus_s3ss", |b| {
+        b.iter(|| {
+            let (mut s, _) = uc1_session(96, 24, 2026);
+            sdb_uc1::run_s3ss(&mut s, Some(60)).unwrap()
+        })
+    });
+    g.bench_function("solvedbplus_ssolvers", |b| {
+        b.iter(|| {
+            let (mut s, _) = uc1_session(96, 24, 2026);
+            sdb_uc1::run_ssolvers(&mut s, 60).unwrap()
+        })
+    });
+    g.finish();
+}
+
+/// Fig 5: P4 model generation + solve per stack and horizon.
+fn bench_p4_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_p4_scaling");
+    g.sample_size(10);
+    for &horizon in &[24usize, 48, 96] {
+        let task = uc1_task(48, horizon);
+        let data = datagen::energy_series(48 + horizon, 55);
+        let pv: Vec<f64> = data[48..].iter().map(|r| r.pv_supply).collect();
+        let hvac = (datagen::TRUE_A1, datagen::TRUE_B1, datagen::TRUE_B2);
+        g.bench_with_input(BenchmarkId::new("solvedbplus_direct", horizon), &horizon, |b, _| {
+            b.iter(|| p4_direct(&task, hvac, &pv, 21.0))
+        });
+        g.bench_with_input(BenchmarkId::new("yalmip_symbolic", horizon), &horizon, |b, _| {
+            b.iter(|| p4_symbolic(&task, hvac, &pv, 21.0))
+        });
+        g.bench_with_input(BenchmarkId::new("mpt_double_translate", horizon), &horizon, |b, _| {
+            b.iter(|| p4_symbolic_mpt(&task, hvac, &pv, 21.0))
+        });
+    }
+    g.finish();
+}
+
+/// Fig 9/10: UC2 stacks.
+fn bench_uc2_stacks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_uc2_stacks");
+    g.sample_size(10);
+    let items = datagen::supply_chain(10, 30, 9);
+    g.bench_function("r_cplex", |b| b.iter(|| r_cplex(&items)));
+    g.bench_function("madlib_cplex", |b| b.iter(|| madlib_cplex(&items)));
+    g.bench_function("solvedbplus", |b| {
+        b.iter(|| {
+            let (mut s, items) = uc2_session(10, 30, 9);
+            let ids: Vec<i64> = items.iter().map(|i| i.item_id).collect();
+            run_uc2(&mut s, &ids).unwrap()
+        })
+    });
+    g.finish();
+}
+
+/// Ablation: hash join vs nested loop in the engine.
+fn bench_join_ablation(c: &mut Criterion) {
+    use sqlengine::{execute_script, execute_sql, Database};
+    let mut g = c.benchmark_group("ablation_joins");
+    g.sample_size(10);
+    let mut db = Database::new();
+    execute_script(&mut db, "CREATE TABLE a (id int, x float8); CREATE TABLE b (id int, y float8)").unwrap();
+    for i in 0..2000 {
+        execute_sql(&mut db, &format!("INSERT INTO a VALUES ({i}, {i})")).unwrap();
+        execute_sql(&mut db, &format!("INSERT INTO b VALUES ({i}, {i})")).unwrap();
+    }
+    g.bench_function("hash_join_equi", |b| {
+        b.iter(|| {
+            execute_sql(&mut db, "SELECT count(*) FROM a JOIN b ON a.id = b.id").unwrap()
+        })
+    });
+    g.bench_function("nested_loop_non_equi", |b| {
+        b.iter(|| {
+            execute_sql(
+                &mut db,
+                "SELECT count(*) FROM a JOIN b ON a.id = b.id AND a.x <= b.y + 0.5",
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+/// Ablation: native CDTE path vs the §4.3 c_mask rewrite.
+fn bench_cdte_rewrite_ablation(c: &mut Criterion) {
+    use solvedbplus_core::rewrite::solve_via_rewrite;
+    use solvedbplus_core::Session;
+    use sqlengine::ast::Statement;
+    let mut g = c.benchmark_group("ablation_cdte_rewrite");
+    g.sample_size(10);
+
+    let setup = "CREATE TABLE pars (a float8); INSERT INTO pars VALUES (NULL);
+         CREATE TABLE obs (x float8, y float8);";
+    let mut s = Session::new();
+    s.execute_script(setup).unwrap();
+    for i in 0..200 {
+        s.execute(&format!("INSERT INTO obs VALUES ({i}, {})", 2 * i)).unwrap();
+    }
+    let sql = "SOLVESELECT p(a) AS (SELECT * FROM pars) \
+         WITH e(err) AS (SELECT x, y, NULL::float8 AS err FROM obs) \
+         MINIMIZE (SELECT sum(err) FROM e) \
+         SUBJECTTO (SELECT -1*err <= a * x - y <= err FROM e, p) \
+         USING solverlp()";
+    g.bench_function("native_cdte", |b| {
+        b.iter(|| s.query(sql).unwrap());
+    });
+    let stmt = match sqlengine::parser::parse_statement(sql).unwrap() {
+        Statement::Solve(sv) => sv,
+        _ => unreachable!(),
+    };
+    g.bench_function("c_mask_rewrite", |b| {
+        b.iter(|| solve_via_rewrite(s.db(), &sqlengine::Ctes::new(), &stmt).unwrap());
+    });
+    g.finish();
+}
+
+/// Ablation: prepared (AST-bound) fitness vs re-parsed SQL fitness — the
+/// §5.3 "SwarmOPS vs pure Python" 1.7x.
+fn bench_fitness_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_fitness_eval");
+    g.sample_size(10);
+    let (mut s, _) = uc1_session(96, 8, 5);
+    s.execute_script(sdb_uc1::S_3SS_P1).unwrap();
+    // Prepared path: the whole annealing run re-evaluates the bound AST.
+    g.bench_function("prepared_sql_fitness_30_iters", |b| {
+        b.iter(|| {
+            let sql = sdb_uc1::S_3SS_P3.replace("iterations := 400", "iterations := 30");
+            s.execute_script(&sql).unwrap();
+        })
+    });
+    // Re-parsed path: each iteration re-parses the query from text.
+    g.bench_function("reparsed_sql_fitness_30_iters", |b| {
+        b.iter(|| {
+            let data = datagen::energy_series(96, 5);
+            let mut task = Uc1Task::new(data, vec![8.0; 8]);
+            task.p3_evaluations = 30;
+            madlib_python(&task)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_uc1_stacks,
+    bench_p4_scaling,
+    bench_uc2_stacks,
+    bench_join_ablation,
+    bench_cdte_rewrite_ablation,
+    bench_fitness_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+-- LR estimation WITH CDTEs (SolveDB+, paper Sec. 4.1): parameters and
+-- errors live in separate decision relations.
+SOLVESELECT p(b0, b1, b2) AS
+  (SELECT NULL::float8 AS b0, NULL::float8 AS b1, NULL::float8 AS b2)
+WITH e(err) AS
+  (SELECT outtemp, hr, pvsupply, NULL::float8 AS err FROM lrdata)
+MINIMIZE (SELECT sum(err) FROM e)
+SUBJECTTO (SELECT -1*err <= (b0 + b1*outtemp + b2*hr - pvsupply) <= err FROM e, p)
+USING solverlp.cbc();

@@ -1,0 +1,19 @@
+-- LR estimation WITHOUT CDTEs (SolveDB style): parameters and per-row
+-- errors must share the single input relation (the Table 5 layout), and
+-- every parameter reference needs a scalar subquery with a row filter.
+SOLVESELECT l(b0, b1, b2, err) AS (
+  SELECT 0 AS rid,
+         NULL::float8 AS b0, NULL::float8 AS b1, NULL::float8 AS b2,
+         NULL::float8 AS outtemp, NULL::float8 AS hr,
+         NULL::float8 AS pvsupply, NULL::float8 AS err
+  UNION ALL
+  SELECT rid, NULL::float8, NULL::float8, NULL::float8,
+         outtemp, hr, pvsupply, NULL::float8
+  FROM lrdata)
+MINIMIZE (SELECT sum(err) FROM l WHERE rid > 0)
+SUBJECTTO (SELECT -1*err <= ((SELECT b0 FROM l WHERE rid = 0)
+                             + (SELECT b1 FROM l WHERE rid = 0) * outtemp
+                             + (SELECT b2 FROM l WHERE rid = 0) * hr
+                             - pvsupply) <= err
+           FROM l WHERE rid > 0)
+USING solverlp.cbc();

@@ -1,0 +1,3 @@
+-- LR as a wrapped specialized solver (the Sci-kit-style integration of
+-- paper Sec. 5.5): one line, native least squares underneath.
+SOLVESELECT t(y) AS (SELECT * FROM lrseries) USING lr_solver(features := outtemp);

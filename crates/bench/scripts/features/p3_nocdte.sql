@@ -1,0 +1,19 @@
+-- HVAC model fitting WITHOUT CDTEs: the simulation is a recursive CTE
+-- inside the MINIMIZE SELECT (plain SQL there), since SolveDB's
+-- SOLVESELECT has no WITH clause.
+SOLVESELECT t(a1, b1, b2) AS
+  (SELECT 0.5::float8 AS a1, 0.05::float8 AS b1, 0.0005::float8 AS b2)
+MINIMIZE (WITH RECURSIVE s(time, x, intemp) AS (
+    SELECT (SELECT min(time) FROM hist) AS time,
+           (SELECT intemp FROM hist ORDER BY time LIMIT 1) AS x,
+           (SELECT intemp FROM hist ORDER BY time LIMIT 1) AS intemp
+    UNION ALL
+    SELECT s.time + interval '1 hour',
+           t.a1 * s.x
+           + t.b1 * n.outtemp
+           + t.b2 * n.hload,
+           n.intemp
+    FROM s JOIN hist n ON n.time = s.time, t)
+  SELECT sum((s.x - h.intemp)^2) FROM s, hist h WHERE s.time = h.time)
+SUBJECTTO (SELECT 0 <= a1 <= 1, 0 <= b1 <= 1, 0 <= b2 <= 0.001 FROM t)
+USING swarmops.sa(iterations := 400, seed := 5);

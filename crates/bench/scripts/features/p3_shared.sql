@@ -1,0 +1,12 @@
+-- HVAC model fitting against the SHARED model (paper Sec. 4.4): the LTI
+-- spec lives in the model table; this query only wires parameters.
+SOLVESELECT t(a1, b1, b2) AS
+  (SELECT 0.5::float8 AS a1, 0.05::float8 AS b1, 0.0005::float8 AS b2)
+INLINE m AS (SELECT m << (SOLVEMODEL
+    pars AS (SELECT a1, b1, b2 FROM t)
+    WITH data0 AS (SELECT intemp FROM hist ORDER BY time LIMIT 1))
+  FROM model)
+MINIMIZE (SELECT sum((m_simul.x - h.intemp)^2) FROM m_simul, hist h
+          WHERE m_simul.time = h.time)
+SUBJECTTO (SELECT 0 <= a1 <= 1, 0 <= b1 <= 1, 0 <= b2 <= 0.001 FROM t)
+USING swarmops.sa(iterations := 400, seed := 5);

@@ -1,0 +1,20 @@
+-- HVAC optimization WITH a simulation CDTE (SolveDB+): the dynamics are
+-- written once as a recursive simulation and bound to the decisions.
+SOLVESELECT t(hload, intemp) AS
+  (SELECT h.time, h.outtemp, h.intemp, h.hload, f.pvsupply
+   FROM horizon h JOIN pv_forecast f ON f.time = h.time)
+WITH sim AS (
+  WITH RECURSIVE s(time, x) AS (
+    SELECT (SELECT min(time) FROM t) AS time,
+           (SELECT intemp FROM hist ORDER BY time DESC LIMIT 1) AS x
+    UNION ALL
+    SELECT s.time + interval '1 hour',
+           hvac_pars.a1 * s.x
+           + hvac_pars.b1 * n.outtemp
+           + hvac_pars.b2 * n.hload
+    FROM s JOIN t n ON n.time = s.time, hvac_pars)
+  SELECT time, x FROM s)
+MINIMIZE (SELECT sum((hload - pvsupply) * 0.12) FROM t)
+SUBJECTTO (SELECT t.intemp = sim.x FROM sim, t WHERE t.time = sim.time),
+          (SELECT 20 <= intemp <= 25, 0 <= hload <= 17000 FROM t)
+USING solverlp.cbc();

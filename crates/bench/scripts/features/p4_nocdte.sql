@@ -1,0 +1,16 @@
+-- HVAC optimization WITHOUT CDTEs: simulated states are decision
+-- columns of the input relation and the dynamics become self-join
+-- constraints with scalar-subquery parameter lookups.
+SOLVESELECT t(hload, intemp) AS
+  (SELECT h.time, h.outtemp, h.intemp, h.hload, f.pvsupply
+   FROM horizon h JOIN pv_forecast f ON f.time = h.time)
+MINIMIZE (SELECT sum((hload - pvsupply) * 0.12) FROM t)
+SUBJECTTO
+  (SELECT intemp = (SELECT intemp FROM hist ORDER BY time DESC LIMIT 1)
+   FROM t WHERE time = (SELECT min(time) FROM t)),
+  (SELECT nxt.intemp = hvac_pars.a1 * cur.intemp
+                     + hvac_pars.b1 * cur.outtemp
+                     + hvac_pars.b2 * cur.hload
+   FROM t cur JOIN t nxt ON nxt.time = cur.time + interval '1 hour', hvac_pars),
+  (SELECT 20 <= intemp <= 25, 0 <= hload <= 17000 FROM t)
+USING solverlp.cbc();

@@ -1,0 +1,53 @@
+# UC1 with MADlib + PL/Python (paper Sec. 5.3, the in-DBMS analytics
+# stack of the usability study). Transcription counted for eLOC,
+# executed through its Rust structural simulation (baselines::uc1).
+# --- P2: MADlib linear regression -----------------------------------------
+plpy.execute("""
+  DROP TABLE IF EXISTS lr_model;
+  SELECT madlib.linregr_train('input_history', 'lr_model',
+         'pvsupply', 'ARRAY[1, outtemp, extract(hour from time)]')
+""")
+plpy.execute("""
+  DROP TABLE IF EXISTS pv_forecast;
+  CREATE TABLE pv_forecast AS
+  SELECT h.time, GREATEST(0, madlib.linregr_predict(m.coef,
+         ARRAY[1, h.outtemp, extract(hour from h.time)])) AS pvsupply
+  FROM input_horizon h, lr_model m
+""")
+# --- P3: HVAC fit with SwarmOps differential evolution --------------------
+rows = plpy.execute("SELECT outtemp, hload, intemp FROM input_history ORDER BY time")
+out = [r["outtemp"] for r in rows]
+load = [r["hload"] for r in rows]
+intemp = [r["intemp"] for r in rows]
+def sse(p):
+    a1, b1, b2 = p
+    x, v = intemp[0], 0.0
+    for k in range(len(intemp)):
+        v += (x - intemp[k]) ** 2
+        x = a1 * x + b1 * out[k] + b2 * load[k]
+    return v
+problem = swarmops.Problem(dim=3, lower=[0, 0, 0], upper=[1, 1, 0.01], fitness=sse)
+best = swarmops.DE(problem, max_evaluations=300).best
+a1, b1, b2 = best
+plpy.execute("DROP TABLE IF EXISTS hvac_pars; CREATE TABLE hvac_pars (a1 float, b1 float, b2 float)")
+plpy.execute(f"INSERT INTO hvac_pars VALUES ({a1}, {b1}, {b2})")
+# --- P4: cost LP with PyMathProg + GLPK ------------------------------------
+fc = plpy.execute("SELECT h.outtemp, f.pvsupply FROM input_horizon h JOIN pv_forecast f ON f.time = h.time ORDER BY h.time")
+fout = [r["outtemp"] for r in fc]
+pvf = [r["pvsupply"] for r in fc]
+H = len(fout)
+x0 = intemp[-1]
+begin("hvac")
+h = [var(f"h{k}", bounds=(0, 17000)) for k in range(H)]
+x = [var(f"x{k}", bounds=(20, 25) if k + 1 < H else (None, None)) for k in range(H)]
+minimize(sum((h[k] - pvf[k]) * 0.12 for k in range(H)))
+prev = x0
+for k in range(H):
+    st(x[k] == a1 * prev + b1 * fout[k] + b2 * h[k])
+    prev = x[k]
+solve()
+plan = [h[k].primal for k in range(H)]
+end()
+plpy.execute("DROP TABLE IF EXISTS plan; CREATE TABLE plan (h float)")
+for v in plan:
+    plpy.execute(f"INSERT INTO plan VALUES ({v})")

@@ -1,0 +1,32 @@
+% UC1 with specialized Matlab toolboxes (paper Sec. 5.3, "Matlab-native").
+% Transcription of the baseline implementation; counted for eLOC,
+% executed through its Rust structural simulation (baselines::uc1).
+% --- P1: init + data I/O -------------------------------------------------
+conn = database('nist', 'user', 'pass');
+hist = sqlread(conn, 'input_history');
+horizon = sqlread(conn, 'input_horizon');
+t = hist.time; out = hist.outtemp; load = hist.hload;
+pv = hist.pvsupply; intemp = hist.intemp;
+fout = horizon.outtemp; fhr = hour(horizon.time);
+% --- P2: PV forecast with fitlm ------------------------------------------
+X = [out, hour(t)];
+mdl = fitlm(X, pv);
+pvf = max(0, predict(mdl, [fout, fhr]));
+% --- P3: state-space fit with ssest --------------------------------------
+data = iddata(intemp, [out, load], 3600);
+sys = ssest(data, 1, 'Ts', 3600, 'Form', 'canonical');
+a1 = sys.A; b1 = sys.B(1); b2 = sys.B(2);
+% --- P4: MPC via Multi-Parametric Toolbox --------------------------------
+model = LTISystem('A', a1, 'B', [b1 b2]);
+model.x.min = 20; model.x.max = 25;
+model.u.min = [ -inf; 0 ]; model.u.max = [ inf; 17000 ];
+model.u.penalty = OneNormFunction(diag([0, 0.12]));
+ctrl = MPCController(model, numel(fout));
+x0 = intemp(end);
+[u, feasible] = ctrl.evaluate(x0, 'u.previous', [fout'; pvf']);
+plan = u(2, :)';
+% --- write results back ---------------------------------------------------
+for i = 1:numel(plan)
+  exec(conn, sprintf('INSERT INTO plan VALUES (%f)', plan(i)));
+end
+close(conn);

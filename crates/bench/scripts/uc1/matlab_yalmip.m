@@ -1,0 +1,44 @@
+% UC1 with general-purpose modelling (paper Sec. 5.3, "Matlab-YALMIP").
+% Transcription of the baseline implementation; counted for eLOC,
+% executed through its Rust structural simulation (baselines::uc1).
+% --- P1: init + data I/O -------------------------------------------------
+conn = database('nist', 'user', 'pass');
+hist = sqlread(conn, 'input_history');
+horizon = sqlread(conn, 'input_horizon');
+out = hist.outtemp; load = hist.hload; pv = hist.pvsupply;
+intemp = hist.intemp; hr = hour(hist.time);
+fout = horizon.outtemp; fhr = hour(horizon.time);
+n = numel(pv); H = numel(fout);
+% --- P2: LR fit as an explicit LP ----------------------------------------
+beta = sdpvar(3, 1); e = sdpvar(n, 1);
+resid = beta(1) + beta(2)*out + beta(3)*hr - pv;
+C2 = [ -e <= resid <= e ];
+optimize(C2, sum(e), sdpsettings('solver', 'cbc'));
+bhat = value(beta);
+pvf = max(0, bhat(1) + bhat(2)*fout + bhat(3)*fhr);
+% --- P3: LTI fit with fminsearch ------------------------------------------
+sse = @(p) sim_sse(p(1), p(2), p(3), intemp, out, load);
+phat = fminsearch(sse, [0.5, 0.05, 0.0005]);
+a1 = phat(1); b1 = phat(2); b2 = phat(3);
+% --- P4: cost LP over the dynamics ----------------------------------------
+h = sdpvar(H, 1); x = sdpvar(H+1, 1);
+C4 = [ x(1) == intemp(end) ];
+for k = 1:H
+  C4 = [ C4, x(k+1) == a1*x(k) + b1*fout(k) + b2*h(k) ];
+  C4 = [ C4, 0 <= h(k) <= 17000 ];
+  if k < H; C4 = [ C4, 20 <= x(k+1) <= 25 ]; end
+end
+optimize(C4, sum((h - pvf) * 0.12), sdpsettings('solver', 'cbc'));
+plan = value(h);
+% --- write results back ----------------------------------------------------
+for i = 1:H
+  exec(conn, sprintf('INSERT INTO plan VALUES (%f)', plan(i)));
+end
+close(conn);
+function v = sim_sse(a1, b1, b2, intemp, out, load)
+  x = intemp(1); v = 0;
+  for k = 1:numel(intemp)
+    v = v + (x - intemp(k))^2;
+    x = a1*x + b1*out(k) + b2*load(k);
+  end
+end

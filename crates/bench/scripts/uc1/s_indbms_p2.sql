@@ -1,0 +1,11 @@
+-- In-DBMS comparison / P2: PV forecast through the specialized
+-- lr_solver (same least-squares core as MADlib's linregr, but no
+-- intermediate model/summary tables — paper Sec. 5.3, Fig. 7/8).
+DROP TABLE IF EXISTS pred;
+CREATE TABLE pred AS
+SOLVESELECT t(pvsupply) AS (SELECT * FROM input)
+USING lr_solver(features := outtemp);
+DROP TABLE IF EXISTS pv_forecast;
+CREATE TABLE pv_forecast AS
+SELECT time, greatest(0.0, pvsupply) AS pvsupply FROM pred
+WHERE time > (SELECT max(time) FROM hist);

@@ -1,0 +1,18 @@
+-- S-shared / model: the LTI grey-box model stored once as a shared
+-- problem model (paper Sec. 4.4) and reused by P3 and P4.
+DROP TABLE IF EXISTS model;
+CREATE TABLE model (m model);
+INSERT INTO model SELECT (SOLVEMODEL
+  pars AS (SELECT 0.0::float8 AS a1, 0.0::float8 AS b1, 0.0::float8 AS b2)
+  WITH data0 AS (SELECT 21.0::float8 AS intemp),
+       data AS (SELECT time, outtemp, intemp, hload FROM hist),
+       simul AS (
+         WITH RECURSIVE s(time, x) AS (
+           SELECT (SELECT min(time) FROM data), (SELECT intemp FROM data0)
+           UNION ALL
+           SELECT s.time + interval '1 hour',
+                  pars.a1 * s.x
+                  + pars.b1 * n.outtemp
+                  + pars.b2 * n.hload
+           FROM s JOIN data n ON n.time = s.time, pars)
+         SELECT time, x FROM s));

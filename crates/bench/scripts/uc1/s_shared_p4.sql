@@ -1,0 +1,16 @@
+-- S-shared / P4: cost optimization over the same shared model,
+-- instantiated with the fitted parameters and the horizon data.
+DROP TABLE IF EXISTS plan;
+CREATE TABLE plan AS
+SOLVESELECT t(hload, intemp) AS
+  (SELECT h.time, h.outtemp, h.intemp, h.hload, f.pvsupply
+   FROM horizon h JOIN pv_forecast f ON f.time = h.time)
+INLINE m AS (SELECT m << (SOLVEMODEL
+    pars AS (SELECT a1, b1, b2 FROM hvac_pars)
+    WITH data0 AS (SELECT intemp FROM hist ORDER BY time DESC LIMIT 1),
+         data AS (SELECT time, outtemp, 0.0 AS intemp, hload FROM t))
+  FROM model)
+MINIMIZE (SELECT sum((hload - pvsupply) * 0.12) FROM t)
+SUBJECTTO (SELECT t.intemp = m_simul.x FROM m_simul, t WHERE t.time = m_simul.time),
+          (SELECT 20 <= intemp <= 25, 0 <= hload <= 17000 FROM t)
+USING solverlp.cbc();

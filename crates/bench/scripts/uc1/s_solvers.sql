@@ -1,0 +1,7 @@
+-- S-solvers: the whole P2-P4 workflow through composite solvers that
+-- hide the problem specifications (paper Sec. 5.3, "S-solvers").
+DROP TABLE IF EXISTS plan;
+CREATE TABLE plan AS
+SOLVESELECT t(intemp, hload, pvsupply) AS (SELECT * FROM input)
+USING hvac_scheduler(comfort_low := 20, comfort_high := 25,
+                     power_max := 17000, price := 0.12);

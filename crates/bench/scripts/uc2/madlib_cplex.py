@@ -1,0 +1,40 @@
+# UC2 with MADlib + CPLEX (paper Sec. 5.4). Transcription counted for
+# eLOC, executed through its Rust structural simulation (baselines::uc2).
+import cplex
+item_rows = plpy.execute("SELECT item_id, size, price, cost FROM items ORDER BY item_id")
+forecasts = []
+for item in item_rows:
+    plpy.execute("DROP TABLE IF EXISTS train")
+    plpy.execute(f"""
+      CREATE TABLE train AS SELECT row_number() OVER (ORDER BY month) AS rn,
+             quantity FROM orders WHERE item_id = {item['item_id']}""")
+    best, best_err = None, float("inf")
+    for p in range(5):
+        for d in range(2):
+            for q in range(5):
+                plpy.execute("DROP TABLE IF EXISTS cv_result")
+                plpy.execute(f"""
+                  CREATE TABLE cv_result AS
+                  SELECT madlib.arima_train('train', 'arima_model', 'rn',
+                         'quantity', NULL, TRUE, ARRAY[{p}, {d}, {q}])""")
+                err = plpy.execute("SELECT residual_variance FROM arima_model_summary")[0]["residual_variance"]
+                if err < best_err:
+                    best, best_err = (p, d, q), err
+    fc = plpy.execute(f"SELECT madlib.arima_forecast('arima_model', 1) AS f")[0]["f"]
+    forecasts.append(max(0.0, fc))
+profits, volumes = [], []
+for item, f in zip(item_rows, forecasts):
+    profits.append((item["price"] - item["cost"]) * f)
+    volumes.append(item["size"] * f)
+cap = 0.4 * sum(volumes)
+prob = cplex.Cplex()
+prob.objective.set_sense(prob.objective.sense.maximize)
+prob.variables.add(obj=profits, types="B" * len(profits))
+prob.linear_constraints.add(
+    lin_expr=[cplex.SparsePair(ind=range(len(volumes)), val=volumes)],
+    senses="L", rhs=[cap])
+prob.solve()
+picks = prob.solution.get_values()
+plpy.execute("DROP TABLE IF EXISTS production_plan; CREATE TABLE production_plan (item_id int, pick int)")
+for item, p in zip(item_rows, picks):
+    plpy.execute(f"INSERT INTO production_plan VALUES ({item['item_id']}, {round(p)})")

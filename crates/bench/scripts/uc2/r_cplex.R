@@ -1,0 +1,31 @@
+# UC2 with R + CPLEX (paper Sec. 5.4). Transcription counted for eLOC,
+# executed through its Rust structural simulation (baselines::uc2).
+library(DBI); library(forecast); library(Rcplex)
+con <- dbConnect(RPostgres::Postgres(), dbname = "tpch")
+items <- dbGetQuery(con, "SELECT item_id, size, price, cost FROM items")
+forecasts <- numeric(nrow(items))
+for (i in seq_len(nrow(items))) {
+  orders <- dbGetQuery(con, sprintf(
+    "SELECT quantity FROM orders WHERE item_id = %d ORDER BY month",
+    items$item_id[i]))
+  write.csv(orders, sprintf("/tmp/item%d.csv", i))
+  y <- read.csv(sprintf("/tmp/item%d.csv", i))$quantity
+  best <- NULL; best_err <- Inf
+  for (p in 0:4) for (d in 0:1) for (q in 0:4) {
+    fit <- tryCatch(arima(y, order = c(p, d, q)), error = function(e) NULL)
+    if (!is.null(fit) && AIC(fit) < best_err) { best <- fit; best_err <- AIC(fit) }
+  }
+  forecasts[i] <- max(0, predict(best, n.ahead = 1)$pred[1])
+}
+profit <- (items$price - items$cost) * forecasts
+volume <- items$size * forecasts
+cap <- 0.4 * sum(volume)
+res <- Rcplex(cvec = profit, Amat = matrix(volume, nrow = 1),
+              bvec = cap, ub = rep(1, nrow(items)),
+              objsense = "max", vtype = "B")
+picks <- round(res$xopt)
+for (i in seq_len(nrow(items))) {
+  dbExecute(con, sprintf("INSERT INTO production_plan VALUES (%d, %d)",
+                         items$item_id[i], picks[i]))
+}
+dbDisconnect(con)

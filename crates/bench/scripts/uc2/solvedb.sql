@@ -1,0 +1,31 @@
+-- UC2 (supply chain) in SolveDB+ (paper Sec. 5.4): per-item demand
+-- forecast with the ARIMA solver, expected-profit modelling in SQL, and
+-- the warehouse knapsack as a MIP SOLVESELECT.
+-- P2: forecast next-month demand per item. The harness iterates items
+-- and runs this SOLVESELECT per item (one ARIMA model per item):
+DROP TABLE IF EXISTS demand_forecast;
+CREATE TABLE demand_forecast (item_id int, qty float8);
+INSERT INTO demand_forecast
+SELECT item_id, qty FROM (
+  SOLVESELECT t(qty) AS (
+    SELECT item_id, month, quantity AS qty FROM orders WHERE item_id = $ITEM
+    UNION ALL
+    SELECT $ITEM, (SELECT max(month) FROM orders WHERE item_id = $ITEM)
+                  + interval '31 days', NULL::float8
+    ORDER BY month)
+  USING arima_solver(seed := 7)
+) f ORDER BY f.month DESC LIMIT 1;
+-- P3: expected profit = margin weighted by forecasted demand.
+DROP TABLE IF EXISTS profit;
+CREATE TABLE profit AS
+SELECT i.item_id, (i.price - i.cost) * greatest(0.0, f.qty) AS v,
+       i.size * greatest(0.0, f.qty) AS volume
+FROM items i JOIN demand_forecast f ON f.item_id = i.item_id;
+-- P4: knapsack under the warehouse volume capacity.
+DROP TABLE IF EXISTS production_plan;
+CREATE TABLE production_plan AS
+SOLVESELECT p(pick) AS (SELECT item_id, v, volume, NULL::int AS pick FROM profit)
+MAXIMIZE (SELECT sum(v * pick) FROM p)
+SUBJECTTO (SELECT sum(volume * pick) <= 0.4 * (SELECT sum(volume) FROM profit) FROM p),
+          (SELECT 0 <= pick <= 1 FROM p)
+USING solverlp.cbc();

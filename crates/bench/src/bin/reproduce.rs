@@ -1,0 +1,56 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! reproduce [--quick] [all|table1|fig3a|fig3b|fig4a|fig4b|fig5|fig6|fig7|fig8|fig9|fig10|fig11|summary]...
+//! ```
+//!
+//! With no selector, everything runs. `--quick` shrinks workloads to
+//! CI-friendly sizes.
+
+use bench::figures::{self, Config, Figure};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let cfg = if quick { Config::quick() } else { Config::full() };
+    let mut wanted: Vec<String> = args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = vec![
+            "table1", "fig3a", "fig3b", "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8",
+            "fig9", "fig10", "fig11", "summary",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+    }
+
+    println!(
+        "SolveDB+ reproduction — regenerating {} artifact(s){}",
+        wanted.len(),
+        if quick { " (quick sizes)" } else { "" }
+    );
+    println!();
+
+    for w in &wanted {
+        let fig: Figure = match w.as_str() {
+            "table1" => figures::table1(cfg),
+            "fig3a" => figures::fig3a(cfg),
+            "fig3b" => figures::fig3b(cfg),
+            "fig4a" => figures::fig4a(cfg),
+            "fig4b" => figures::fig4b(cfg),
+            "fig5" => figures::fig5(cfg),
+            "fig6" => figures::fig6(cfg),
+            "fig7" => figures::fig7(cfg),
+            "fig8" => figures::fig8(cfg),
+            "fig9" => figures::fig9(cfg),
+            "fig10" => figures::fig10(cfg),
+            "fig11" => figures::fig11(cfg),
+            "summary" => figures::summary(cfg),
+            other => {
+                eprintln!("unknown artifact '{other}' — skipping");
+                continue;
+            }
+        };
+        println!("{}", fig.render());
+    }
+}

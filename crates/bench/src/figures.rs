@@ -1,0 +1,909 @@
+//! Regeneration of every figure of the paper's evaluation (§5).
+//!
+//! Each function returns a [`Figure`] — headers + rows + notes — that
+//! the `reproduce` binary prints. Sizes are scaled to what the
+//! educational dense simplex handles (documented in EXPERIMENTS.md);
+//! `Config::quick` shrinks them further for CI.
+
+use crate::setup::{planning_table, uc1_session, uc2_session};
+use crate::uc1::{self, run_s3ss, run_sshared, run_ssolvers};
+use crate::uc2::run_uc2;
+use crate::eloc::eloc;
+use baselines::neldermead::{nelder_mead, NmOptions};
+use baselines::uc1::{madlib_python, matlab_native, matlab_yalmip, p4_direct, p4_symbolic, p4_symbolic_mpt, Uc1Task};
+use baselines::uc2::{madlib_cplex, r_cplex};
+use solvedbplus_core::Session;
+use std::time::{Duration, Instant};
+
+/// A reproduced table/figure: printable series.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    pub id: String,
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} — {} ==\n", self.id, self.title);
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(c.len());
+                }
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+}
+
+/// Experiment sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    pub quick: bool,
+}
+
+impl Config {
+    pub fn full() -> Config {
+        Config { quick: false }
+    }
+
+    pub fn quick() -> Config {
+        Config { quick: true }
+    }
+
+    /// UC1 history length (hours).
+    fn uc1_history(&self) -> usize {
+        if self.quick { 96 } else { 336 }
+    }
+
+    /// UC1 planning horizon (hours). The paper's is 288; the dense
+    /// simplex here is comfortable at 48–96.
+    fn uc1_horizon(&self) -> usize {
+        if self.quick { 12 } else { 48 }
+    }
+
+    fn p3_iterations(&self) -> usize {
+        if self.quick { 40 } else { 200 }
+    }
+}
+
+fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+// ---------------------------------------------------------------------------
+// Tables 1 & 4 — the running example
+// ---------------------------------------------------------------------------
+
+/// Reproduce Table 1 → Table 4: the §3.1 prediction query on the
+/// paper's exact 10-row dataset.
+pub fn table1(_cfg: Config) -> Figure {
+    let mut s = Session::new();
+    datagen::install_table1(s.db_mut());
+    let out = s
+        .query("SOLVESELECT t(pvsupply) AS (SELECT * FROM input) USING predictive_solver()")
+        .expect("prediction query");
+    let fmt = |v: &sqlengine::Value| -> String {
+        match v.as_f64() {
+            Ok(f) => format!("{f:.1}"),
+            Err(_) => v.to_string(),
+        }
+    };
+    let mut rows = Vec::new();
+    for r in &out.rows {
+        rows.push(vec![
+            r[0].to_string(),
+            fmt(&r[1]),
+            fmt(&r[2]),
+            fmt(&r[3]),
+            fmt(&r[4]),
+        ]);
+    }
+    Figure {
+        id: "Table 4".into(),
+        title: "Output of the prediction phase for the running example".into(),
+        headers: vec!["time".into(), "outTemp".into(), "inTemp".into(), "hLoad".into(), "pvSupply".into()],
+        rows,
+        notes: vec![
+            "pvSupply for 12:00-16:00 is filled by predictive_solver; inTemp/hLoad stay unknown".into(),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3 — UC1 implementation sizes and runtimes
+// ---------------------------------------------------------------------------
+
+/// Split a script into P1..P4 sections at `P1:`/`P2:`/... markers and
+/// count eLOC per phase (header text counts toward P1).
+pub fn phase_eloc(source: &str) -> [usize; 4] {
+    let mut sections: [String; 4] = Default::default();
+    let mut cur = 0usize;
+    for line in source.lines() {
+        for (k, marker) in ["P1:", "P2:", "P3:", "P4:"].iter().enumerate() {
+            if line.contains(marker) {
+                cur = k;
+            }
+        }
+        sections[cur].push_str(line);
+        sections[cur].push('\n');
+    }
+    [
+        eloc(&sections[0]),
+        eloc(&sections[1]),
+        eloc(&sections[2]),
+        eloc(&sections[3]),
+    ]
+}
+
+pub fn fig3a(_cfg: Config) -> Figure {
+    let s3ss = {
+        let p1 = eloc(uc1::S_3SS_P1);
+        let p2 = eloc(uc1::S_3SS_P2);
+        let p3 = eloc(uc1::S_3SS_P3);
+        let p4 = eloc(uc1::S_3SS_P4);
+        [p1, p2, p3, p4]
+    };
+    let shared_model = eloc(uc1::S_SHARED_MODEL);
+    let sshared = {
+        let p1 = eloc(uc1::S_3SS_P1);
+        let p2 = eloc(uc1::S_3SS_P2);
+        // The shared model's lines are split between its two users (the
+        // paper: "the size of the model is equally shared").
+        let p3 = eloc(uc1::S_SHARED_P3) + shared_model / 2;
+        let p4 = eloc(uc1::S_SHARED_P4) + shared_model - shared_model / 2;
+        [p1, p2, p3, p4]
+    };
+    let ssolvers = [eloc(uc1::S_SOLVERS), 0, 0, 0];
+    let native = phase_eloc(uc1::MATLAB_NATIVE_M);
+    let yalmip = phase_eloc(uc1::MATLAB_YALMIP_M);
+
+    let mut rows = Vec::new();
+    for (name, e) in [
+        ("Matlab-native", native),
+        ("S-solvers", ssolvers),
+        ("Matlab-YALMIP", yalmip),
+        ("S-3SS", s3ss),
+        ("S-shared", sshared),
+    ] {
+        rows.push(vec![
+            name.to_string(),
+            e[0].to_string(),
+            e[1].to_string(),
+            e[2].to_string(),
+            e[3].to_string(),
+            e.iter().sum::<usize>().to_string(),
+        ]);
+    }
+    Figure {
+        id: "Fig 3(a)".into(),
+        title: "UC1 implementation sizes (eLOC) per phase".into(),
+        headers: vec!["stack".into(), "P1".into(), "P2".into(), "P3".into(), "P4".into(), "total".into()],
+        rows,
+        notes: vec![
+            "SolveDB+ scripts are the executable files under crates/bench/scripts/uc1".into(),
+            "Matlab/Python files are transcriptions (not executable here), run via structural simulations".into(),
+        ],
+    }
+}
+
+pub fn fig3b(cfg: Config) -> Figure {
+    let history = cfg.uc1_history();
+    let horizon = cfg.uc1_horizon();
+    let rows_data = datagen::energy_series(history + horizon, 2026);
+    let mut task = Uc1Task::new(
+        rows_data[..history].to_vec(),
+        rows_data[history..].iter().map(|r| r.out_temp).collect(),
+    );
+    task.p3_evaluations = cfg.p3_iterations();
+
+    let native = matlab_native(&task).times;
+    let yalmip = matlab_yalmip(&task).times;
+
+    let (mut s1, _) = uc1_session(history, horizon, 2026);
+    let s3ss = run_s3ss(&mut s1, Some(cfg.p3_iterations())).expect("s3ss");
+    let (mut s2, _) = uc1_session(history, horizon, 2026);
+    let sshared = run_sshared(&mut s2, Some(cfg.p3_iterations())).expect("sshared");
+    let (mut s3, _) = uc1_session(history, horizon, 2026);
+    let ssolv = run_ssolvers(&mut s3, cfg.p3_iterations()).expect("ssolvers");
+
+    let mut rows = Vec::new();
+    for (name, t) in [
+        ("Matlab-native", native),
+        ("S-solvers", ssolv),
+        ("Matlab-YALMIP", yalmip),
+        ("S-3SS", s3ss),
+        ("S-shared", sshared),
+    ] {
+        rows.push(vec![
+            name.to_string(),
+            secs(t.p1),
+            secs(t.p2),
+            secs(t.p3),
+            secs(t.p4),
+            secs(t.total()),
+        ]);
+    }
+    Figure {
+        id: "Fig 3(b)".into(),
+        title: format!("UC1 runtimes (s) per phase — history {history} h, horizon {horizon} h"),
+        headers: vec!["stack".into(), "P1".into(), "P2".into(), "P3".into(), "P4".into(), "total".into()],
+        rows,
+        notes: vec![
+            "S-solvers reports the single composite SOLVESELECT under P4".into(),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4 — P2 / P3 scalability
+// ---------------------------------------------------------------------------
+
+pub fn fig4a(cfg: Config) -> Figure {
+    // Scale factor of training+prediction input; 1 model vs N models.
+    let base_hist = if cfg.quick { 60 } else { 150 };
+    let base_hor = if cfg.quick { 6 } else { 12 };
+    let scales: Vec<usize> = if cfg.quick { vec![1, 2] } else { vec![1, 2, 3, 4, 5] };
+
+    let mut rows = Vec::new();
+    for &k in &scales {
+        let hist = base_hist * k;
+        let hor = base_hor * k;
+        let data = datagen::energy_series(hist + hor, 7 + k as u64);
+
+        // YALMIP-style LP regression (general-purpose modelling).
+        let y: Vec<f64> = data[..hist].iter().map(|r| r.pv_supply).collect();
+        let feats = vec![data[..hist].iter().map(|r| r.out_temp).collect::<Vec<f64>>()];
+        let fut = vec![data[hist..].iter().map(|r| r.out_temp).collect::<Vec<f64>>()];
+        let t = Instant::now();
+        let _ = baselines::uc1::p2_symbolic_lr(&y, &feats, &fut);
+        let yalmip_1 = t.elapsed();
+
+        // SolveDB+ explicit LP (S-3SS P2 script).
+        let (mut s, _) = uc1_session(hist, hor, 7 + k as u64);
+        s.execute_script(uc1::S_3SS_P1).unwrap();
+        let t = Instant::now();
+        s.execute_script(uc1::S_3SS_P2).unwrap();
+        let sdb_1 = t.elapsed();
+
+        // Reference "fitlm": native least squares, N models (N = k) on
+        // base-sized data.
+        let t = Instant::now();
+        for m in 0..k {
+            let d = datagen::energy_series(base_hist + base_hor, 100 + m as u64);
+            let y: Vec<f64> = d[..base_hist].iter().map(|r| r.pv_supply).collect();
+            let f = vec![d[..base_hist].iter().map(|r| r.out_temp).collect::<Vec<f64>>()];
+            let mut lr = forecast::LinearRegression::new();
+            use forecast::Forecaster;
+            lr.fit(&y, &f).unwrap();
+            let futm = vec![d[base_hist..].iter().map(|r| r.out_temp).collect::<Vec<f64>>()];
+            let _ = lr.forecast(base_hor, &futm).unwrap();
+        }
+        let fitlm_n = t.elapsed();
+
+        // N independent base-size models for the general tools.
+        let t = Instant::now();
+        for m in 0..k {
+            let d = datagen::energy_series(base_hist + base_hor, 200 + m as u64);
+            let y: Vec<f64> = d[..base_hist].iter().map(|r| r.pv_supply).collect();
+            let f = vec![d[..base_hist].iter().map(|r| r.out_temp).collect::<Vec<f64>>()];
+            let fu = vec![d[base_hist..].iter().map(|r| r.out_temp).collect::<Vec<f64>>()];
+            let _ = baselines::uc1::p2_symbolic_lr(&y, &f, &fu);
+        }
+        let yalmip_n = t.elapsed();
+        let t = Instant::now();
+        for m in 0..k {
+            let (mut s, _) = uc1_session(base_hist, base_hor, 300 + m as u64);
+            s.execute_script(uc1::S_3SS_P1).unwrap();
+            s.execute_script(uc1::S_3SS_P2).unwrap();
+        }
+        let sdb_n = t.elapsed();
+
+        rows.push(vec![
+            format!("{k}x"),
+            secs(yalmip_1),
+            secs(yalmip_n),
+            secs(sdb_1),
+            secs(sdb_n),
+            secs(fitlm_n),
+        ]);
+    }
+    Figure {
+        id: "Fig 4(a)".into(),
+        title: format!(
+            "Forecasting (P2) scalability — base {base_hist}+{base_hor} rows (paper: 8737+288)"
+        ),
+        headers: vec![
+            "scale".into(),
+            "YALMIP 1 model".into(),
+            "YALMIP N models".into(),
+            "SolveDB+ 1 model".into(),
+            "SolveDB+ N models".into(),
+            "fitlm reference (N)".into(),
+        ],
+        rows,
+        notes: vec![
+            "LP-based LR scales superlinearly with input size; specialized least squares stays near-linear".into(),
+        ],
+    }
+}
+
+pub fn fig4b(cfg: Config) -> Figure {
+    let sizes: Vec<usize> = if cfg.quick { vec![50, 100] } else { vec![100, 200, 400, 600] };
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let data = datagen::energy_series(n, 31);
+        let u: Vec<Vec<f64>> = data.iter().map(|r| vec![r.out_temp, r.h_load]).collect();
+        let measured: Vec<f64> = data.iter().map(|r| r.in_temp).collect();
+
+        // fminsearch (Matlab/YALMIP): the fitness runs in Matlab's
+        // interpreter — modelled by the baselines' expression walker.
+        let t = Instant::now();
+        let r = nelder_mead(
+            |p| baselines::interp::interpreted_hvac_sse(p[0], p[1], p[2], &u, &measured),
+            &[0.5, 0.05, 0.0005],
+            NmOptions { max_iterations: 100, ..Default::default() },
+        );
+        let fminsearch_per_iter = t.elapsed().as_secs_f64() / r.evaluations.max(1) as f64;
+
+        // SolveDB+ (simulated annealing over the SQL-expressed fitness).
+        let (mut s, _) = uc1_session(n, 4, 31);
+        s.execute_script(uc1::S_3SS_P1).unwrap();
+        let iters = if cfg.quick { 20 } else { 50 };
+        let t = Instant::now();
+        let sql = uc1::S_3SS_P3.replace("iterations := 400", &format!("iterations := {iters}"));
+        s.execute_script(&sql).unwrap();
+        let sdb_per_iter = t.elapsed().as_secs_f64() / iters as f64;
+
+        // Reference ssest: native annealing fit.
+        let t = Instant::now();
+        let fit = ssmodel::fit_hvac(&u, &measured, ((0.0, 1.0), (0.0, 1.0), (0.0, 0.01)), 100, 3);
+        let ssest_per_iter = t.elapsed().as_secs_f64() / fit.evaluations.max(1) as f64;
+
+        rows.push(vec![
+            n.to_string(),
+            format!("{fminsearch_per_iter:.6}"),
+            format!("{sdb_per_iter:.6}"),
+            format!("{ssest_per_iter:.6}"),
+        ]);
+    }
+    Figure {
+        id: "Fig 4(b)".into(),
+        title: "P3 fitness-function evaluation time (s/iteration) vs training size".into(),
+        headers: vec![
+            "rows".into(),
+            "Matlab/YALMIP (fminsearch)".into(),
+            "SolveDB+ (simulated annealing)".into(),
+            "reference native impl (ssest)".into(),
+        ],
+        rows,
+        notes: vec![
+            "SolveDB+ evaluates the SQL-expressed simulation per iteration; the references use native code".into(),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 — P4 scalability with breakdown
+// ---------------------------------------------------------------------------
+
+pub fn fig5(cfg: Config) -> Figure {
+    let base = if cfg.quick { 24 } else { 288 };
+    let scales = [0.5, 1.0, 1.5, 2.0];
+    let mut rows = Vec::new();
+    for &sc in &scales {
+        let horizon = (base as f64 * sc) as usize;
+        let history = cfg.uc1_history();
+        let data = datagen::energy_series(history + horizon, 55);
+        let mut task = Uc1Task::new(
+            data[..history].to_vec(),
+            data[history..].iter().map(|r| r.out_temp).collect(),
+        );
+        task.p3_evaluations = 10;
+        let pv: Vec<f64> = data[history..].iter().map(|r| r.pv_supply).collect();
+        let hvac = (datagen::TRUE_A1, datagen::TRUE_B1, datagen::TRUE_B2);
+        let x0 = data[history - 1].in_temp;
+
+        // YALMIP + MPT breakdowns (with CSV data I/O).
+        let dir = baselines::csvio::TempDir::new("fig5").unwrap();
+        let io_t = Instant::now();
+        let tbl = datagen::energy_table(&data[history..]);
+        let p = dir.file("hor.csv");
+        baselines::csvio::export_csv(&tbl, &p).unwrap();
+        let _ = baselines::csvio::import_csv_numeric(&p).unwrap();
+        let io = io_t.elapsed();
+        let (_, mut yal) = p4_symbolic(&task, hvac, &pv, x0);
+        yal.data_io = io;
+        let (_, mut mpt) = p4_symbolic_mpt(&task, hvac, &pv, x0);
+        mpt.data_io = io;
+
+        // SolveDB+: model generation = symbolic compilation, measured
+        // through the direct path (the engine compiles rules straight to
+        // the LP; I/O is in-DBMS and counted as zero-ish).
+        let (_, sdb) = p4_direct(&task, hvac, &pv, x0);
+
+        for (name, b) in [("YALMIP", yal), ("SolveDB+", sdb), ("MPT", mpt)] {
+            rows.push(vec![
+                format!("{sc}x ({horizon} steps)"),
+                name.to_string(),
+                format!("{:.6}", b.data_io.as_secs_f64()),
+                format!("{:.6}", b.solving.as_secs_f64()),
+                format!("{:.6}", b.model_generation.as_secs_f64()),
+                format!("{:.6}", b.total().as_secs_f64()),
+            ]);
+        }
+    }
+    Figure {
+        id: "Fig 5".into(),
+        title: format!("HVAC optimization (P4) scalability — 1x = {base} steps (paper: 288)"),
+        headers: vec![
+            "scale".into(),
+            "stack".into(),
+            "data I/O".into(),
+            "optimization".into(),
+            "model generation".into(),
+            "total".into(),
+        ],
+        rows,
+        notes: vec!["MPT's double translation dominates its model generation (paper: 215 s at 2x)".into()],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6 — CDTE / shared model eLOC
+// ---------------------------------------------------------------------------
+
+pub const P2_NOCDTE: &str = include_str!("../scripts/features/p2_nocdte.sql");
+pub const P2_CDTE: &str = include_str!("../scripts/features/p2_cdte.sql");
+pub const P2_WRAPPED: &str = include_str!("../scripts/features/p2_wrapped.sql");
+pub const P3_NOCDTE: &str = include_str!("../scripts/features/p3_nocdte.sql");
+pub const P3_CDTE: &str = include_str!("../scripts/features/p3_cdte.sql");
+pub const P3_SHARED: &str = include_str!("../scripts/features/p3_shared.sql");
+pub const P4_NOCDTE: &str = include_str!("../scripts/features/p4_nocdte.sql");
+pub const P4_CDTE: &str = include_str!("../scripts/features/p4_cdte.sql");
+pub const P4_SHARED: &str = include_str!("../scripts/features/p4_shared.sql");
+
+pub fn fig6(_cfg: Config) -> Figure {
+    let shared_model = eloc(uc1::S_SHARED_MODEL);
+    let rows = vec![
+        vec![
+            "Forecasting (P2)".into(),
+            eloc(P2_NOCDTE).to_string(),
+            eloc(P2_CDTE).to_string(),
+            "no shared model".into(),
+        ],
+        vec![
+            "HVAC model fitting (P3)".into(),
+            eloc(P3_NOCDTE).to_string(),
+            eloc(P3_CDTE).to_string(),
+            (eloc(P3_SHARED) + shared_model / 2).to_string(),
+        ],
+        vec![
+            "HVAC optimization (P4)".into(),
+            eloc(P4_NOCDTE).to_string(),
+            eloc(P4_CDTE).to_string(),
+            (eloc(P4_SHARED) + shared_model - shared_model / 2).to_string(),
+        ],
+    ];
+    Figure {
+        id: "Fig 6".into(),
+        title: "SolveDB+ implementation sizes with and without CDTEs / shared models (eLOC)".into(),
+        headers: vec![
+            "sub-problem".into(),
+            "SolveDB (no CDTE)".into(),
+            "SolveDB+ CDTE".into(),
+            "SolveDB+ shared model".into(),
+        ],
+        rows,
+        notes: vec!["shared-model lines are split between P3 and P4, as in the paper".into()],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figures 7 & 8 — in-DBMS comparison
+// ---------------------------------------------------------------------------
+
+/// SolveDB+ side of the in-DBMS comparison: specialized lr_solver for
+/// P2, SQL-fitness annealing for P3, symbolic-LP SOLVESELECT for P4.
+pub fn run_sdb_indbms(s: &mut Session, p3_iters: usize) -> baselines::PhaseTimes {
+    use std::time::Instant;
+    s.execute_script(uc1::S_3SS_P1).unwrap();
+    let t2 = Instant::now();
+    s.execute_script(include_str!("../scripts/uc1/s_indbms_p2.sql")).unwrap();
+    let p2 = t2.elapsed();
+    let t3 = Instant::now();
+    let sql = uc1::S_3SS_P3.replace("iterations := 400", &format!("iterations := {p3_iters}"));
+    s.execute_script(&sql).unwrap();
+    let p3 = t3.elapsed();
+    let t4 = Instant::now();
+    s.execute_script(uc1::S_3SS_P4).unwrap();
+    let p4 = t4.elapsed();
+    baselines::PhaseTimes { p1: Duration::ZERO, p2, p3, p4 }
+}
+
+pub fn fig7(cfg: Config) -> Figure {
+    let history = cfg.uc1_history();
+    let horizon = cfg.uc1_horizon();
+    let (mut s, _) = uc1_session(history, horizon, 77);
+    let sdb = run_sdb_indbms(&mut s, cfg.p3_iterations());
+
+    let data = datagen::energy_series(history + horizon, 77);
+    let mut task = Uc1Task::new(
+        data[..history].to_vec(),
+        data[history..].iter().map(|r| r.out_temp).collect(),
+    );
+    task.p3_evaluations = cfg.p3_iterations();
+    let madlib = madlib_python(&task).times;
+
+    let sdb_eloc = eloc(include_str!("../scripts/uc1/s_indbms_p2.sql"))
+        + eloc(uc1::S_3SS_P1)
+        + eloc(uc1::S_3SS_P3)
+        + eloc(uc1::S_3SS_P4);
+    let madlib_eloc = eloc(uc1::MADLIB_PYTHON_PY);
+
+    Figure {
+        id: "Fig 7".into(),
+        title: "UC1 vs the in-DBMS analytics stack (single instance)".into(),
+        headers: vec![
+            "stack".into(),
+            "P2 (s)".into(),
+            "P3 (s)".into(),
+            "P4 (s)".into(),
+            "total (s)".into(),
+            "eLOC".into(),
+        ],
+        rows: vec![
+            vec![
+                "SolveDB+".into(),
+                secs(sdb.p2),
+                secs(sdb.p3),
+                secs(sdb.p4),
+                secs(sdb.total()),
+                sdb_eloc.to_string(),
+            ],
+            vec![
+                "MADlib+Python".into(),
+                secs(madlib.p2),
+                secs(madlib.p3),
+                secs(madlib.p4),
+                secs(madlib.total()),
+                madlib_eloc.to_string(),
+            ],
+        ],
+        notes: vec![],
+    }
+}
+
+pub fn fig8(cfg: Config) -> Figure {
+    let counts: Vec<usize> = if cfg.quick { vec![1, 3] } else { vec![1, 5, 10, 25] };
+    let history = if cfg.quick { 72 } else { 168 };
+    let horizon = 12;
+    let mut rows = Vec::new();
+    for &n in &counts {
+        // SolveDB+: n independent instances.
+        let t = Instant::now();
+        for i in 0..n {
+            let (mut s, _) = uc1_session(history, horizon, 1000 + i as u64);
+            run_sdb_indbms(&mut s, 30);
+        }
+        let sdb = t.elapsed();
+        // MADlib stack: n instances.
+        let t = Instant::now();
+        for i in 0..n {
+            let data = datagen::energy_series(history + horizon, 1000 + i as u64);
+            let mut task = Uc1Task::new(
+                data[..history].to_vec(),
+                data[history..].iter().map(|r| r.out_temp).collect(),
+            );
+            task.p3_evaluations = 30;
+            let _ = madlib_python(&task);
+        }
+        let madlib = t.elapsed();
+        rows.push(vec![n.to_string(), secs(sdb), secs(madlib)]);
+    }
+    Figure {
+        id: "Fig 8".into(),
+        title: "Multi-instance UC1 scalability (P2+P3+P4 per instance, seconds)".into(),
+        headers: vec!["instances".into(), "SolveDB+".into(), "MADlib+Python".into()],
+        rows,
+        notes: vec!["the paper reports per-phase panels (a)-(c); totals shown here include all phases".into()],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figures 9 & 10 — UC2
+// ---------------------------------------------------------------------------
+
+pub fn fig9(cfg: Config) -> Figure {
+    let scales: Vec<usize> = if cfg.quick { vec![5, 10] } else { vec![10, 25, 50, 100] };
+    let months = if cfg.quick { 30 } else { 80 };
+    let mut rows = Vec::new();
+    for &n in &scales {
+        let (mut s, items) = uc2_session(n, months, 9);
+        let ids: Vec<i64> = items.iter().map(|i| i.item_id).collect();
+        let t = Instant::now();
+        run_uc2(&mut s, &ids).unwrap();
+        let sdb = t.elapsed();
+
+        let t = Instant::now();
+        let _ = r_cplex(&items);
+        let r = t.elapsed();
+
+        let t = Instant::now();
+        let _ = madlib_cplex(&items);
+        let madlib = t.elapsed();
+
+        rows.push(vec![n.to_string(), secs(sdb), secs(r), secs(madlib)]);
+    }
+    Figure {
+        id: "Fig 9".into(),
+        title: format!("UC2 combined P1-P4 scalability — {months} months of orders per item"),
+        headers: vec![
+            "items".into(),
+            "SolveDB+ (ARIMA+MIP)".into(),
+            "R/CPLEX".into(),
+            "MADlib/CPLEX".into(),
+        ],
+        rows,
+        notes: vec![
+            "SolveDB+ searches orders with PSO (10x10) per item; R/MADlib grid-search 50 orders per item".into(),
+        ],
+    }
+}
+
+pub fn fig10(cfg: Config) -> Figure {
+    let n = if cfg.quick { 10 } else { 50 };
+    let months = if cfg.quick { 30 } else { 80 };
+    let (mut s, items) = uc2_session(n, months, 13);
+    let ids: Vec<i64> = items.iter().map(|i| i.item_id).collect();
+    let sdb = run_uc2(&mut s, &ids).unwrap();
+    let r = r_cplex(&items).times;
+    let m = madlib_cplex(&items).times;
+
+    let sdb_eloc = eloc(crate::uc2::UC2_SQL);
+    let r_eloc = eloc(crate::uc2::R_CPLEX_R);
+    let m_eloc = eloc(crate::uc2::MADLIB_CPLEX_PY);
+
+    let mk = |name: &str, t: baselines::PhaseTimes, e: usize| {
+        vec![
+            name.to_string(),
+            secs(t.p1),
+            secs(t.p2),
+            secs(t.p3),
+            secs(t.p4),
+            secs(t.total()),
+            e.to_string(),
+        ]
+    };
+    Figure {
+        id: "Fig 10".into(),
+        title: format!("UC2 per-phase runtimes and eLOC at {n} items"),
+        headers: vec![
+            "stack".into(),
+            "P1".into(),
+            "P2".into(),
+            "P3".into(),
+            "P4".into(),
+            "total (s)".into(),
+            "eLOC".into(),
+        ],
+        rows: vec![
+            mk("SolveDB+", sdb, sdb_eloc),
+            mk("R/cplex", r, r_eloc),
+            mk("MADlib/cplex", m, m_eloc),
+        ],
+        notes: vec![],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11 — LR implementations
+// ---------------------------------------------------------------------------
+
+pub fn fig11(cfg: Config) -> Figure {
+    let n = if cfg.quick { 40 } else { 120 };
+    let horizon = 10;
+
+    // Prepare the feature-script tables.
+    let mut s = Session::new();
+    let data = datagen::energy_series(n + horizon, 21);
+    let lrdata: Vec<Vec<sqlengine::Value>> = data[..n]
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            vec![
+                sqlengine::Value::Int(i as i64 + 1),
+                sqlengine::Value::Float(r.out_temp),
+                sqlengine::Value::Float(sqlengine::types::timeval::decompose(r.time).hour as f64),
+                sqlengine::Value::Float(r.pv_supply),
+            ]
+        })
+        .collect();
+    s.db_mut().put_table(
+        "lrdata",
+        sqlengine::Table::from_rows(&["rid", "outtemp", "hr", "pvsupply"], lrdata),
+    );
+    s.db_mut().put_table("lrseries", {
+        let mut t = planning_table(&data, n);
+        // lr_solver fills the single `y` decision column: rename pvsupply.
+        let idx = t.schema.index_of("pvsupply").unwrap();
+        t.schema.columns[idx].name = "y".into();
+        t
+    });
+
+    let mut time_script = |sql: &str| -> Duration {
+        let t = Instant::now();
+        s.execute_script(sql).expect("feature script");
+        t.elapsed()
+    };
+    let t_nocdte = time_script(P2_NOCDTE);
+    let t_cdte = time_script(P2_CDTE);
+    let t_wrapped = time_script(P2_WRAPPED);
+
+    Figure {
+        id: "Fig 11".into(),
+        title: format!("LR solver implementations at {n} training rows: eLOC and runtime"),
+        headers: vec!["variant".into(), "eLOC".into(), "runtime (s)".into()],
+        rows: vec![
+            vec![
+                "No CDTE".into(),
+                eloc(P2_NOCDTE).to_string(),
+                format!("{:.6}", t_nocdte.as_secs_f64()),
+            ],
+            vec![
+                "CDTE".into(),
+                eloc(P2_CDTE).to_string(),
+                format!("{:.6}", t_cdte.as_secs_f64()),
+            ],
+            vec![
+                "Sci-kit-style wrapped solver".into(),
+                eloc(P2_WRAPPED).to_string(),
+                format!("{:.6}", t_wrapped.as_secs_f64()),
+            ],
+        ],
+        notes: vec![
+            "the wrapped solver runs native least squares — the paper's ~8x speedup over the LP formulation".into(),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table 3 claim checks
+// ---------------------------------------------------------------------------
+
+pub fn summary(cfg: Config) -> Figure {
+    // Claim A: shared models ≈ 2x less P3-P4 code.
+    let shared_model = eloc(uc1::S_SHARED_MODEL);
+    let p34_plain = eloc(uc1::S_3SS_P3) + eloc(uc1::S_3SS_P4);
+    let p34_shared = eloc(uc1::S_SHARED_P3) + eloc(uc1::S_SHARED_P4) + shared_model;
+    // Claim B: CDTEs up to 3x less code for the LR spec.
+    let lr_ratio = eloc(P2_NOCDTE) as f64 / eloc(P2_CDTE) as f64;
+    // Claim C: composite solvers ≈ 5x less code for P2-P4.
+    let p24_explicit = eloc(uc1::S_3SS_P2) + eloc(uc1::S_3SS_P3) + eloc(uc1::S_3SS_P4);
+    let p24_solvers = eloc(uc1::S_SOLVERS);
+    // Claim D: specialized forecasting much faster than the LP route.
+    let fig = fig11(cfg);
+    let lp_time: f64 = fig.rows[1][2].parse().unwrap_or(0.0);
+    let wrapped_time: f64 = fig.rows[2][2].parse().unwrap_or(1.0);
+    // Floor the denominator at 50 µs so sub-resolution runs don't
+    // inflate the ratio.
+    let speedup = lp_time / wrapped_time.max(5e-5);
+
+    Figure {
+        id: "Table 3".into(),
+        title: "Feature-impact claims (paper Table 3) — measured".into(),
+        headers: vec!["claim".into(), "paper".into(), "measured".into()],
+        rows: vec![
+            vec![
+                "shared models: less P3-P4 code".into(),
+                "up to 2x".into(),
+                format!("{:.2}x ({p34_plain} vs {p34_shared} eLOC)", p34_plain as f64 / p34_shared as f64),
+            ],
+            vec![
+                "CDTEs: less SOLVESELECT code (LR)".into(),
+                "up to 3x".into(),
+                format!("{lr_ratio:.2}x"),
+            ],
+            vec![
+                "composite solvers: less P2-P4 code".into(),
+                "up to 5x".into(),
+                format!("{:.2}x ({p24_explicit} vs {p24_solvers} eLOC)", p24_explicit as f64 / p24_solvers as f64),
+            ],
+            vec![
+                "specialized forecasting speedup".into(),
+                "~6-8x".into(),
+                format!("{speedup:.1}x"),
+            ],
+        ],
+        notes: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_eloc_splits_on_markers() {
+        let src = "\
+header line
+% --- P2: forecast
+x = 1;
+y = 2;
+% --- P4: optimize
+z = 3;
+";
+        let e = phase_eloc(src);
+        assert_eq!(e, [1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn fig3a_shapes_hold() {
+        let f = fig3a(Config::quick());
+        assert_eq!(f.rows.len(), 5);
+        let total = |i: usize| -> usize { f.rows[i][5].parse().unwrap() };
+        // S-solvers is the most compact; S-shared is within a couple of
+        // lines of S-3SS (this engine's terse recursive-CTE syntax makes
+        // duplicating the model cheap — see EXPERIMENTS.md, Fig 3a).
+        let by_name: std::collections::HashMap<&str, usize> = (0..5)
+            .map(|i| (f.rows[i][0].as_str(), total(i)))
+            .collect();
+        assert!(by_name["S-solvers"] < by_name["S-3SS"]);
+        assert!(by_name["S-shared"] <= by_name["S-3SS"] + 2);
+        assert!(by_name["S-solvers"] < by_name["Matlab-native"]);
+    }
+
+    #[test]
+    fn fig6_shapes_hold() {
+        let f = fig6(Config::quick());
+        // No-CDTE P2 needs more code than CDTE.
+        let nocdte: usize = f.rows[0][1].parse().unwrap();
+        let cdte: usize = f.rows[0][2].parse().unwrap();
+        assert!(nocdte > cdte, "{nocdte} vs {cdte}");
+        // P3 doesn't benefit much from CDTEs (paper Fig. 6).
+        let p3_nocdte: usize = f.rows[1][1].parse().unwrap();
+        let p3_cdte: usize = f.rows[1][2].parse().unwrap();
+        assert!(p3_nocdte.abs_diff(p3_cdte) <= 3);
+    }
+
+    #[test]
+    fn table1_runs() {
+        let f = table1(Config::quick());
+        assert_eq!(f.rows.len(), 10);
+        // The last 5 pvSupply cells are filled.
+        for r in &f.rows[5..] {
+            assert_ne!(r[4], "NULL");
+        }
+    }
+
+    #[test]
+    fn fig11_runs_and_wrapped_is_fastest() {
+        let f = fig11(Config::quick());
+        let lp: f64 = f.rows[1][2].parse().unwrap();
+        let wrapped: f64 = f.rows[2][2].parse().unwrap();
+        assert!(wrapped < lp, "wrapped {wrapped} vs LP {lp}");
+    }
+}

@@ -1,0 +1,13 @@
+//! # bench — the reproduction harness for the paper's evaluation (§5)
+//!
+//! One module per concern: [`eloc`] implements the implementation-size
+//! metric, [`setup`] prepares sessions/datasets, [`uc1`]/[`uc2`] run the
+//! SolveDB+ pipelines from the checked-in SQL scripts, and [`figures`]
+//! regenerates every figure's data series. The `reproduce` binary prints
+//! them; the Criterion benches time the hot paths.
+
+pub mod eloc;
+pub mod figures;
+pub mod setup;
+pub mod uc1;
+pub mod uc2;

@@ -1,0 +1,96 @@
+//! SolveDB+ implementation of UC2 (paper §5.4), driven by the
+//! checked-in SQL script with per-item parameter substitution.
+
+use baselines::PhaseTimes;
+use solvedbplus_core::Session;
+use sqlengine::error::Result;
+use std::time::Instant;
+
+pub const UC2_SQL: &str = include_str!("../scripts/uc2/solvedb.sql");
+pub const R_CPLEX_R: &str = include_str!("../scripts/uc2/r_cplex.R");
+pub const MADLIB_CPLEX_PY: &str = include_str!("../scripts/uc2/madlib_cplex.py");
+
+/// Split the UC2 script into its three parts (P2 template, P3, P4) at
+/// the `-- P3`/`-- P4` markers.
+fn split_script() -> (String, String, String) {
+    let p3_pos = UC2_SQL.find("-- P3:").expect("script has P3 marker");
+    let p4_pos = UC2_SQL.find("-- P4:").expect("script has P4 marker");
+    (
+        UC2_SQL[..p3_pos].to_string(),
+        UC2_SQL[p3_pos..p4_pos].to_string(),
+        UC2_SQL[p4_pos..].to_string(),
+    )
+}
+
+/// Run the full UC2 workflow for the items already installed in the
+/// session. The P2 part of the script runs once per item (one ARIMA
+/// model per item, as the paper describes).
+pub fn run_uc2(s: &mut Session, item_ids: &[i64]) -> Result<PhaseTimes> {
+    let (p2_tpl, p3_sql, p4_sql) = split_script();
+
+    // The script's header (down to the first SOLVESELECT INSERT) sets up
+    // the forecast table; split it from the per-item INSERT.
+    let insert_pos = p2_tpl.find("INSERT INTO demand_forecast").expect("insert marker");
+    let (setup_sql, insert_tpl) = p2_tpl.split_at(insert_pos);
+
+    let t2 = Instant::now();
+    s.execute_script(setup_sql)?;
+    for &id in item_ids {
+        let sql = insert_tpl.replace("$ITEM", &id.to_string());
+        s.execute_script(&sql)?;
+    }
+    let p2 = t2.elapsed();
+
+    let t3 = Instant::now();
+    s.execute_script(&p3_sql)?;
+    let p3 = t3.elapsed();
+
+    let t4 = Instant::now();
+    s.execute_script(&p4_sql)?;
+    let p4 = t4.elapsed();
+
+    Ok(PhaseTimes { p1: std::time::Duration::ZERO, p2, p3, p4 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::uc2_session;
+    use sqlengine::Value;
+
+    #[test]
+    fn uc2_pipeline_runs() {
+        let (mut s, items) = uc2_session(6, 30, 3);
+        let ids: Vec<i64> = items.iter().map(|i| i.item_id).collect();
+        let times = run_uc2(&mut s, &ids).unwrap();
+        assert!(times.p2.as_nanos() > 0);
+        // One forecast per item.
+        assert_eq!(
+            s.query_scalar("SELECT count(*) FROM demand_forecast").unwrap(),
+            Value::Int(6)
+        );
+        // Forecasts are finite.
+        let t = s.query("SELECT qty FROM demand_forecast").unwrap();
+        assert!(t.rows.iter().all(|r| r[0].as_f64().map(f64::is_finite).unwrap_or(false)));
+        // Plan picks respect the capacity.
+        let used = s
+            .query_scalar(
+                "SELECT sum(p.volume * p.pick) FROM production_plan p",
+            )
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        let cap = s
+            .query_scalar("SELECT 0.4 * sum(volume) FROM profit")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(used <= cap + 1e-6, "{used} > {cap}");
+        let picks = s.query("SELECT pick FROM production_plan").unwrap();
+        assert!(picks.rows.iter().all(|r| {
+            let p = r[0].as_i64().unwrap();
+            p == 0 || p == 1
+        }));
+        assert!(picks.rows.iter().any(|r| r[0].as_i64().unwrap() == 1));
+    }
+}

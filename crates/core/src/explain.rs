@@ -1,0 +1,258 @@
+//! Problem explainability (paper §2's explainability discussion):
+//! inspect what a `SOLVESELECT` compiles to — decision variables,
+//! objective, constraints — without running a solver. This is the
+//! PA-pipeline analogue of `EXPLAIN`.
+
+use crate::problem::{build_problem, compile_linear, to_lp, ProblemInstance};
+use crate::symbolic::{LinExpr, Rel};
+use sqlengine::ast::{SolveStmt, Statement};
+use sqlengine::catalog::{Ctes, Database};
+use sqlengine::error::{Error, Result};
+use sqlengine::parser;
+use std::fmt::Write as _;
+
+/// A human-readable account of a compiled problem.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// One line per decision relation: alias, rows, decision columns.
+    pub relations: Vec<String>,
+    /// Total decision variables (before pruning).
+    pub variables: usize,
+    /// Variables actually referenced by rules (after §4.3 pruning).
+    pub used_variables: usize,
+    /// Rendered objective, when linear.
+    pub objective: Option<String>,
+    pub minimize: bool,
+    /// Rendered constraints (up to a cap) when linear.
+    pub constraints: Vec<String>,
+    pub constraint_count: usize,
+    /// Whether the rules compile to a linear program.
+    pub linear: bool,
+    /// The named solver and method.
+    pub solver: Option<String>,
+}
+
+impl Explanation {
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "decision relations:");
+        for r in &self.relations {
+            let _ = writeln!(s, "  {r}");
+        }
+        let _ = writeln!(
+            s,
+            "variables: {} ({} referenced by rules)",
+            self.variables, self.used_variables
+        );
+        if let Some(obj) = &self.objective {
+            let _ = writeln!(
+                s,
+                "objective: {} {}",
+                if self.minimize { "minimize" } else { "maximize" },
+                obj
+            );
+        }
+        let _ = writeln!(
+            s,
+            "constraints: {} ({})",
+            self.constraint_count,
+            if self.linear { "linear" } else { "not linear — black-box evaluation" }
+        );
+        for c in &self.constraints {
+            let _ = writeln!(s, "  {c}");
+        }
+        if let Some(sv) = &self.solver {
+            let _ = writeln!(s, "solver: {sv}");
+        }
+        s
+    }
+}
+
+fn var_name(prob: &ProblemInstance, v: u32) -> String {
+    let info = &prob.vars[v as usize];
+    let rel = &prob.relations[info.rel];
+    format!(
+        "{}[{}].{}",
+        rel.alias.as_deref().unwrap_or("input"),
+        info.row,
+        rel.table.schema.columns[info.col].name
+    )
+}
+
+fn render_linexpr(prob: &ProblemInstance, e: &LinExpr) -> String {
+    let mut parts = Vec::new();
+    for &(v, c) in &e.terms {
+        if c == 1.0 {
+            parts.push(var_name(prob, v));
+        } else if c == -1.0 {
+            parts.push(format!("-{}", var_name(prob, v)));
+        } else {
+            parts.push(format!("{c}*{}", var_name(prob, v)));
+        }
+    }
+    if e.constant != 0.0 || parts.is_empty() {
+        parts.push(format!("{}", e.constant));
+    }
+    parts.join(" + ")
+}
+
+/// Compile (but do not solve) a `SOLVESELECT`, reporting its structure.
+pub fn explain_stmt(db: &Database, ctes: &Ctes, stmt: &SolveStmt) -> Result<Explanation> {
+    let prob = build_problem(db, ctes, stmt)?;
+    let relations = prob
+        .relations
+        .iter()
+        .map(|r| {
+            let dec: Vec<&str> = r
+                .dec_cols
+                .iter()
+                .map(|&c| r.table.schema.columns[c].name.as_str())
+                .collect();
+            format!(
+                "{} — {} rows, decision columns: [{}]",
+                r.alias.as_deref().unwrap_or("<input>"),
+                r.table.num_rows(),
+                dec.join(", ")
+            )
+        })
+        .collect();
+    let solver = stmt.using.as_ref().map(|u| {
+        let mut s = u.solver.clone();
+        if let Some(m) = &u.method {
+            s.push('.');
+            s.push_str(m);
+        }
+        s
+    });
+
+    const MAX_RENDERED: usize = 20;
+    match compile_linear(db, ctes, &prob) {
+        Ok(rules) => {
+            let (_, used) = to_lp(&prob, &rules);
+            let mut constraints = Vec::new();
+            let mut count = 0usize;
+            for c in &rules.constraints {
+                for (l, rel, r) in c.atoms() {
+                    count += 1;
+                    if constraints.len() < MAX_RENDERED {
+                        let op = match rel {
+                            Rel::Le => "<=",
+                            Rel::Eq => "=",
+                            Rel::Ge => ">=",
+                        };
+                        constraints.push(format!(
+                            "{} {} {}",
+                            render_linexpr(&prob, l),
+                            op,
+                            render_linexpr(&prob, r)
+                        ));
+                    }
+                }
+            }
+            if count > MAX_RENDERED {
+                constraints.push(format!("... and {} more", count - MAX_RENDERED));
+            }
+            Ok(Explanation {
+                relations,
+                variables: prob.num_vars(),
+                used_variables: used.len(),
+                objective: Some(render_linexpr(&prob, &rules.objective)),
+                minimize: rules.minimize,
+                constraints,
+                constraint_count: count,
+                linear: true,
+                solver,
+            })
+        }
+        Err(_) => Ok(Explanation {
+            relations,
+            variables: prob.num_vars(),
+            used_variables: prob.num_vars(),
+            objective: None,
+            minimize: prob.minimize.is_some() || prob.maximize.is_none(),
+            constraints: vec![],
+            constraint_count: prob.subjectto.len(),
+            linear: false,
+            solver,
+        }),
+    }
+}
+
+/// Parse and explain a `SOLVESELECT` statement.
+pub fn explain_sql(db: &Database, sql: &str) -> Result<Explanation> {
+    match parser::parse_statement(sql)? {
+        Statement::Solve(stmt) => explain_stmt(db, &Ctes::new(), &stmt),
+        _ => Err(Error::solver("EXPLAIN is only defined for SOLVESELECT statements")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlengine::execute_script;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        execute_script(
+            &mut db,
+            "CREATE TABLE pars (a float8, b float8); INSERT INTO pars VALUES (NULL, NULL)",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn explains_linear_problem() {
+        let db = db();
+        let e = explain_sql(
+            &db,
+            "SOLVESELECT p(a, b) AS (SELECT * FROM pars) \
+             MINIMIZE (SELECT 2*a + b FROM p) \
+             SUBJECTTO (SELECT a + b >= 4, a >= 0, b >= 0 FROM p) \
+             USING solverlp.cbc()",
+        )
+        .unwrap();
+        assert!(e.linear);
+        assert_eq!(e.variables, 2);
+        assert_eq!(e.used_variables, 2);
+        assert_eq!(e.constraint_count, 3);
+        assert!(e.objective.as_deref().unwrap().contains("2*p[0].a"));
+        assert_eq!(e.solver.as_deref(), Some("solverlp.cbc"));
+        let text = e.render();
+        assert!(text.contains("minimize"));
+        assert!(text.contains("p — 1 rows"));
+    }
+
+    #[test]
+    fn reports_pruning() {
+        let db = db();
+        let e = explain_sql(
+            &db,
+            "SOLVESELECT p(a, b) AS (SELECT * FROM pars) \
+             MINIMIZE (SELECT a FROM p) SUBJECTTO (SELECT a >= 1 FROM p) USING solverlp()",
+        )
+        .unwrap();
+        assert_eq!(e.variables, 2);
+        assert_eq!(e.used_variables, 1); // b pruned
+    }
+
+    #[test]
+    fn nonlinear_problems_fall_back_to_blackbox_report() {
+        let db = db();
+        let e = explain_sql(
+            &db,
+            "SOLVESELECT p(a) AS (SELECT * FROM pars) \
+             MINIMIZE (SELECT a * a FROM p) \
+             SUBJECTTO (SELECT 0 <= a <= 1 FROM p) USING swarmops.pso()",
+        )
+        .unwrap();
+        assert!(!e.linear);
+        assert!(e.render().contains("black-box"));
+    }
+
+    #[test]
+    fn rejects_plain_select() {
+        let db = db();
+        assert!(explain_sql(&db, "SELECT 1").is_err());
+    }
+}

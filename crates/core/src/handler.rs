@@ -1,0 +1,60 @@
+//! The engine hook: routes `SOLVESELECT`, `SOLVEMODEL` expressions and
+//! `MODELEVAL` from query execution into the solver framework.
+
+use crate::model::{expect_model, ModelValue};
+use crate::problem::{build_problem, materialize_env, CellPatch};
+use crate::solver::{SolveContext, SolverRegistry};
+use sqlengine::ast::{Query, SolveKind, SolveStmt};
+use sqlengine::catalog::{Ctes, Database, SolveHandler};
+use sqlengine::error::{Error, Result};
+use sqlengine::exec::run_query;
+use sqlengine::table::Table;
+use sqlengine::types::{custom, Value};
+use std::sync::Arc;
+
+/// SolveDB+'s implementation of the engine's [`SolveHandler`] hook.
+pub struct Handler {
+    pub registry: Arc<SolverRegistry>,
+}
+
+impl Handler {
+    pub fn new(registry: Arc<SolverRegistry>) -> Handler {
+        Handler { registry }
+    }
+}
+
+impl SolveHandler for Handler {
+    fn solve_select(&self, db: &Database, stmt: &SolveStmt, ctes: &Ctes) -> Result<Table> {
+        let using = stmt.using.as_ref().ok_or_else(|| {
+            Error::solver("SOLVESELECT requires a USING clause naming a solver")
+        })?;
+        let solver = self.registry.get(&using.solver)?;
+        SolverRegistry::check_method(solver.as_ref(), &using.method)?;
+        let prob = build_problem(db, ctes, stmt)?;
+        let ctx = SolveContext { db, ctes };
+        solver.solve(&ctx, &prob)
+    }
+
+    fn solve_model(&self, _db: &Database, stmt: &SolveStmt, _ctes: &Ctes) -> Result<Value> {
+        // A SOLVEMODEL (or SOLVESELECT used as a model expression) is pure
+        // AST capture — nothing evaluates until instantiation/inlining.
+        let mut s = stmt.clone();
+        s.kind = SolveKind::Model;
+        Ok(custom(ModelValue::new(s)))
+    }
+
+    fn model_eval(
+        &self,
+        db: &Database,
+        select: &Query,
+        model: &Query,
+        ctes: &Ctes,
+    ) -> Result<Table> {
+        let mv = expect_model(&run_query(db, ctes, model, None)?.scalar()?)?;
+        // Turn the model's relations into CTEs (materialized with their
+        // initial values) and evaluate the SELECT in that context.
+        let prob = build_problem(db, ctes, &mv.stmt)?;
+        let env = materialize_env(db, ctes, &prob, &CellPatch::Initial)?;
+        run_query(db, &env, select, None)
+    }
+}

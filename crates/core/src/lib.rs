@@ -1,0 +1,26 @@
+//! # solvedbplus-core — the SolveDB+ layer
+//!
+//! Implements the paper's contributions on top of the `sqlengine`
+//! substrate: the solver framework and registry (§4.1), symbolic
+//! compilation of rules into linear programs, shared problem models with
+//! instantiation (`<<`, Algorithm 1) and inlining (`INLINE`,
+//! Algorithm 2), `MODELEVAL`, the CDTE machinery incl. the `c_mask`
+//! rewrite (§4.3), and the in-DBMS Predictive Framework (§3).
+//!
+//! Entry point: [`Session`].
+
+pub mod explain;
+pub mod handler;
+pub mod model;
+pub mod problem;
+pub mod rewrite;
+pub mod session;
+pub mod solver;
+pub mod solvers;
+pub mod symbolic;
+
+pub use explain::{explain_sql, Explanation};
+pub use model::ModelValue;
+pub use problem::{build_problem, ProblemInstance};
+pub use session::Session;
+pub use solver::{SolveContext, Solver, SolverRegistry};

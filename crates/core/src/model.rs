@@ -1,0 +1,258 @@
+//! Shared problem models (paper §4.4): the model UDT, the `<<`
+//! instantiation operator (Algorithm 1), and textual round-tripping so
+//! models can be stored in tables like any other value.
+
+use sqlengine::ast::{DecRel, SolveKind, SolveStmt};
+use sqlengine::error::{Error, Result};
+use sqlengine::parser;
+use sqlengine::types::{custom, downcast, BinOp, CustomValue, Value};
+use std::any::Any;
+use std::sync::Arc;
+
+/// A shared problem model: the 4-tuple (D, R, s, m) of §4.1, stored as
+/// the unevaluated `SOLVEMODEL` AST. First-class value — storable in
+/// tables, instantiable with `<<`, inlinable with `INLINE`, evaluable
+/// with `MODELEVAL`.
+#[derive(Debug, Clone)]
+pub struct ModelValue {
+    pub stmt: Arc<SolveStmt>,
+}
+
+impl ModelValue {
+    pub fn new(stmt: SolveStmt) -> ModelValue {
+        ModelValue { stmt: Arc::new(stmt) }
+    }
+
+    /// Parse a model back from its textual form (storage round-trip).
+    pub fn parse(text: &str) -> Result<ModelValue> {
+        let stmt = parser::parse_statement(text)?;
+        match stmt {
+            sqlengine::ast::Statement::Solve(s) => Ok(ModelValue::new(s)),
+            _ => Err(Error::eval("text is not a SOLVEMODEL specification")),
+        }
+    }
+
+    /// All relation aliases of D, input first.
+    pub fn aliases(&self) -> Vec<Option<&str>> {
+        let mut v = vec![self.stmt.input.alias.as_deref()];
+        v.extend(self.stmt.ctes.iter().map(|c| c.alias.as_deref()));
+        v
+    }
+
+    /// Algorithm 1: instantiate this (generic) model with another model's
+    /// relations and rules. Relations of `delta` replace same-alias
+    /// relations here; unmatched ones are appended. Same for rules;
+    /// `delta`'s MINIMIZE/MAXIMIZE replace this model's when present.
+    pub fn instantiate(&self, delta: &ModelValue) -> ModelValue {
+        let mut out: SolveStmt = (*self.stmt).clone();
+
+        // D := (m.D \ aliases(Δm.D)) ∪ Δm.D, preserving m's ordering for
+        // replaced members and appending new members.
+        let mut delta_rels: Vec<DecRel> = Vec::new();
+        delta_rels.push(delta.stmt.input.clone());
+        delta_rels.extend(delta.stmt.ctes.iter().cloned());
+
+        let mut unmatched: Vec<DecRel> = Vec::new();
+        for drel in delta_rels {
+            let Some(alias) = drel.alias.clone() else {
+                unmatched.push(drel);
+                continue;
+            };
+            if out.input.alias.as_deref() == Some(alias.as_str()) {
+                out.input = drel;
+            } else if let Some(slot) =
+                out.ctes.iter_mut().find(|c| c.alias.as_deref() == Some(alias.as_str()))
+            {
+                *slot = drel;
+            } else {
+                unmatched.push(drel);
+            }
+        }
+        out.ctes.extend(unmatched);
+
+        // R: named SUBJECTTO rules replace by alias, others append.
+        for rule in &delta.stmt.subjectto {
+            match &rule.alias {
+                Some(a) => {
+                    if let Some(slot) = out
+                        .subjectto
+                        .iter_mut()
+                        .find(|r| r.alias.as_deref() == Some(a.as_str()))
+                    {
+                        *slot = rule.clone();
+                    } else {
+                        out.subjectto.push(rule.clone());
+                    }
+                }
+                None => out.subjectto.push(rule.clone()),
+            }
+        }
+        if delta.stmt.minimize.is_some() {
+            out.minimize = delta.stmt.minimize.clone();
+        }
+        if delta.stmt.maximize.is_some() {
+            out.maximize = delta.stmt.maximize.clone();
+        }
+        if delta.stmt.using.is_some() {
+            out.using = delta.stmt.using.clone();
+        }
+        out.kind = SolveKind::Model;
+        ModelValue::new(out)
+    }
+}
+
+impl PartialEq for ModelValue {
+    fn eq(&self, other: &Self) -> bool {
+        self.stmt == other.stmt
+    }
+}
+
+impl CustomValue for ModelValue {
+    fn type_name(&self) -> &str {
+        "model"
+    }
+
+    fn to_text(&self) -> String {
+        self.stmt.to_string()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn eq_custom(&self, other: &dyn CustomValue) -> bool {
+        other.as_any().downcast_ref::<ModelValue>() == Some(self)
+    }
+
+    fn binop(&self, op: BinOp, other: &Value, self_is_lhs: bool) -> Option<Result<Value>> {
+        if op == BinOp::Instantiate {
+            if !self_is_lhs {
+                // `x << model` with a non-model lhs: not ours to handle.
+                return Some(Err(Error::eval(
+                    "left operand of << must be a model when the right operand is a model",
+                )));
+            }
+            let Some(delta) = downcast::<ModelValue>(other) else {
+                return Some(Err(Error::eval(
+                    "right operand of << must be a model",
+                )));
+            };
+            return Some(Ok(custom(self.instantiate(delta))));
+        }
+        None
+    }
+
+    fn cast(&self, type_name: &str) -> Option<Result<Value>> {
+        match type_name {
+            "model" => Some(Ok(custom(self.clone()))),
+            "text" => Some(Ok(Value::text(self.to_text()))),
+            _ => None,
+        }
+    }
+}
+
+/// Extract a model from a value, accepting text (re-parsed) for storage
+/// round-trips.
+pub fn expect_model(v: &Value) -> Result<ModelValue> {
+    if let Some(m) = downcast::<ModelValue>(v) {
+        return Ok(m.clone());
+    }
+    if let Value::Text(t) = v {
+        return ModelValue::parse(t);
+    }
+    Err(Error::eval(format!(
+        "expected a model value, got {}",
+        v.data_type().sql_name()
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(sql: &str) -> ModelValue {
+        ModelValue::parse(sql).unwrap()
+    }
+
+    const LTI: &str = "SOLVEMODEL pars AS (SELECT 0.0 AS a1, 0.0 AS b1, 0.0 AS b2) \
+        WITH data0 AS (SELECT 21.0 AS intemp), \
+             data AS (SELECT time, outtemp, intemp, hload FROM input)";
+
+    #[test]
+    fn parse_and_roundtrip() {
+        let m = model(LTI);
+        assert_eq!(m.aliases(), vec![Some("pars"), Some("data0"), Some("data")]);
+        let reparsed = ModelValue::parse(&m.to_text()).unwrap();
+        assert_eq!(m, reparsed);
+    }
+
+    #[test]
+    fn instantiate_replaces_matching_alias() {
+        // Paper §4.4: m << (SOLVEMODEL pars(b2) AS (...)).
+        let m = model(LTI);
+        let delta = model(
+            "SOLVEMODEL pars(b2) AS (SELECT 0.995 AS a1, 0.001 AS b1, 0.2::float8 AS b2)",
+        );
+        let inst = m.instantiate(&delta);
+        // pars is replaced (with decision column b2), other relations kept.
+        assert_eq!(inst.stmt.input.alias.as_deref(), Some("pars"));
+        assert_eq!(
+            inst.stmt.input.dec_cols,
+            sqlengine::ast::DecCols::List(vec!["b2".into()])
+        );
+        assert!(inst.to_text().contains("0.995"));
+        assert_eq!(inst.stmt.ctes.len(), 2);
+    }
+
+    #[test]
+    fn instantiate_appends_unknown_alias() {
+        let m = model(LTI);
+        let delta = model("SOLVEMODEL extra AS (SELECT 1 AS z)");
+        let inst = m.instantiate(&delta);
+        assert_eq!(inst.stmt.ctes.len(), 3);
+        assert_eq!(inst.stmt.ctes[2].alias.as_deref(), Some("extra"));
+    }
+
+    #[test]
+    fn instantiate_overrides_objective_and_rules() {
+        let m = model(
+            "SOLVEMODEL t(x) AS (SELECT 1 AS x) MINIMIZE (SELECT sum(x) FROM t) \
+             SUBJECTTO bounds AS (SELECT x >= 0 FROM t) USING solverlp()",
+        );
+        let delta = model(
+            "SOLVEMODEL t(x) AS (SELECT 2 AS x) MAXIMIZE (SELECT sum(x) FROM t) \
+             SUBJECTTO bounds AS (SELECT x <= 9 FROM t), (SELECT x >= 1 FROM t)",
+        );
+        let inst = m.instantiate(&delta);
+        assert!(inst.stmt.minimize.is_some()); // kept from m
+        assert!(inst.stmt.maximize.is_some()); // added by delta
+        assert_eq!(inst.stmt.subjectto.len(), 2); // bounds replaced + 1 anonymous
+        assert!(inst.stmt.subjectto[0].query.to_string().contains("<= 9"));
+    }
+
+    #[test]
+    fn shift_operator_dispatches_instantiation() {
+        let m = custom(model(LTI));
+        let delta = custom(model("SOLVEMODEL pars AS (SELECT 9.0 AS a1)"));
+        let inst = Value::binop(BinOp::Instantiate, &m, &delta).unwrap();
+        let mv = downcast::<ModelValue>(&inst).unwrap();
+        assert!(mv.to_text().contains("9.0"));
+        // Model on the right with a non-model left errors.
+        assert!(Value::binop(BinOp::Instantiate, &Value::Int(1), &delta).is_err());
+    }
+
+    #[test]
+    fn expect_model_accepts_text() {
+        let v = Value::text(LTI);
+        let m = expect_model(&v).unwrap();
+        assert_eq!(m.aliases().len(), 3);
+        assert!(expect_model(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn model_casts() {
+        let m = custom(model(LTI));
+        let t = m.cast(&sqlengine::DataType::Text).unwrap();
+        assert!(t.as_str().unwrap().starts_with("SOLVEMODEL"));
+    }
+}

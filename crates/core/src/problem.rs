@@ -1,0 +1,944 @@
+//! From `SOLVESELECT` AST to a solvable problem instance.
+//!
+//! Implements the semantics of paper §4.1–§4.4: INLINE expansion
+//! (Algorithm 2), ordered materialization of the decision relations with
+//! the scoping rules of §4.1, decision-variable creation with
+//! unused-variable pruning (§4.3), symbolic compilation of
+//! `MINIMIZE`/`SUBJECTTO` rules into a linear program, and the
+//! re-materializing fitness function used by black-box solvers.
+
+use crate::model::expect_model;
+use crate::symbolic::{
+    as_linexpr, sym_value, ConstraintVal, ConstraintValue, LinExpr, Rel, VarId,
+};
+use sqlengine::ast::{Cte, DecCols, DecRel, Expr, NamedRule, Query, Select, SelectItem,
+    SolveStmt, TableRef};
+use sqlengine::catalog::{Ctes, Database};
+use sqlengine::error::{Error, Result};
+use sqlengine::exec::run_query;
+use sqlengine::table::Table;
+use sqlengine::types::{downcast, DataType, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One decision variable's placement and metadata.
+#[derive(Debug, Clone)]
+pub struct VarInfo {
+    /// Index into [`ProblemInstance::relations`].
+    pub rel: usize,
+    pub row: usize,
+    /// Column index within the relation's table.
+    pub col: usize,
+    /// Initial value from the materialized cell (None when NULL).
+    pub initial: Option<f64>,
+    /// Integer-typed decision column.
+    pub integer: bool,
+}
+
+/// A materialized decision relation D_i.
+#[derive(Debug, Clone)]
+pub struct DecRelInst {
+    pub alias: Option<String>,
+    pub query: Query,
+    /// Decision column indexes within the table schema.
+    pub dec_cols: Vec<usize>,
+    /// Materialized table with initial values.
+    pub table: Table,
+    /// Variable ids, `vars[row][k]` for the k-th decision column.
+    pub vars: Vec<Vec<VarId>>,
+}
+
+/// A fully built problem instance: materialized relations, rules,
+/// variables and solver parameters.
+#[derive(Debug, Clone)]
+pub struct ProblemInstance {
+    pub relations: Vec<DecRelInst>,
+    pub minimize: Option<Query>,
+    pub maximize: Option<Query>,
+    pub subjectto: Vec<NamedRule>,
+    pub vars: Vec<VarInfo>,
+    pub params: HashMap<String, Value>,
+    pub method: Option<String>,
+}
+
+impl ProblemInstance {
+    /// Number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Fetch a solver parameter as f64.
+    pub fn param_f64(&self, name: &str) -> Option<Result<f64>> {
+        self.params.get(name).map(|v| v.as_f64())
+    }
+
+    pub fn param_usize(&self, name: &str) -> Option<Result<usize>> {
+        self.params.get(name).map(|v| Ok(v.as_i64()?.max(0) as usize))
+    }
+
+    pub fn param_text(&self, name: &str) -> Option<String> {
+        self.params.get(name).map(|v| v.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// INLINE expansion — Algorithm 2
+// ---------------------------------------------------------------------------
+
+/// Wrap a query with prologue CTEs `alias AS (SELECT * FROM prefixed)` so
+/// imported inner-model expressions keep working unmodified (the scope
+/// rewiring of Algorithm 2, lines 5 and 9).
+fn add_prologue(query: &Query, mapping: &[(String, String)]) -> Query {
+    let mut q = query.clone();
+    let mut prologue: Vec<Cte> = mapping
+        .iter()
+        .map(|(orig, prefixed)| Cte {
+            name: orig.clone(),
+            columns: vec![],
+            query: Query::simple(Select {
+                distinct: false,
+                projection: vec![SelectItem::Wildcard { qualifier: None }],
+                from: vec![TableRef::Named { name: prefixed.clone(), alias: None }],
+                where_: None,
+                group_by: vec![],
+                having: None,
+            }),
+        })
+        .collect();
+    prologue.extend(q.with.drain(..));
+    q.with = prologue;
+    q
+}
+
+/// Expand all `INLINE` clauses of a statement (Algorithm 2), producing a
+/// statement with the inner model's relations and rules imported under
+/// `alias_`-prefixed names.
+pub fn inline_models(db: &Database, ctes: &Ctes, stmt: &SolveStmt) -> Result<SolveStmt> {
+    let mut out = stmt.clone();
+    let mut imported_ctes: Vec<DecRel> = Vec::new();
+    for (k, inl) in stmt.inlines.iter().enumerate() {
+        let t = run_query(db, ctes, &inl.query, None)?;
+        let mv = expect_model(&t.scalar()?)?;
+        let malias = inl.alias.clone().unwrap_or_else(|| format!("m{k}"));
+        let prefix = format!("{malias}_");
+
+        // Relations of the inner model, input relation first.
+        let mut inner: Vec<DecRel> = vec![mv.stmt.input.clone()];
+        inner.extend(mv.stmt.ctes.iter().cloned());
+        let mut mapping: Vec<(String, String)> = Vec::new();
+        for (i, rel) in inner.iter().enumerate() {
+            let Some(a) = rel.alias.clone() else {
+                return Err(Error::solver(format!(
+                    "cannot inline model '{malias}': relation {i} has no alias"
+                )));
+            };
+            let prefixed = format!("{prefix}{a}");
+            if out.ctes.iter().any(|c| c.alias.as_deref() == Some(prefixed.as_str()))
+                || out.input.alias.as_deref() == Some(prefixed.as_str())
+            {
+                return Err(Error::solver(format!(
+                    "inlined relation name '{prefixed}' collides with an existing relation"
+                )));
+            }
+            let visible = mapping.clone(); // aliases a_j for j < i
+            imported_ctes.push(DecRel {
+                alias: Some(prefixed.clone()),
+                dec_cols: rel.dec_cols.clone(),
+                query: add_prologue(&rel.query, &visible),
+            });
+            mapping.push((a, prefixed));
+        }
+
+        // Rules: every inner alias is visible (scope rule of §4.1).
+        for rule in &mv.stmt.subjectto {
+            out.subjectto.push(NamedRule {
+                alias: rule.alias.as_ref().map(|a| format!("{prefix}{a}")),
+                query: add_prologue(&rule.query, &mapping),
+            });
+        }
+        if let Some(m) = &mv.stmt.minimize {
+            if out.minimize.is_some() {
+                return Err(Error::solver(
+                    "both the outer problem and an inlined model define MINIMIZE",
+                ));
+            }
+            out.minimize = Some(add_prologue(m, &mapping));
+        }
+        if let Some(m) = &mv.stmt.maximize {
+            if out.maximize.is_some() {
+                return Err(Error::solver(
+                    "both the outer problem and an inlined model define MAXIMIZE",
+                ));
+            }
+            out.maximize = Some(add_prologue(m, &mapping));
+        }
+    }
+    // Imported relations precede the outer CDTEs (they may be referenced
+    // by them) and follow the input relation.
+    imported_ctes.extend(out.ctes.drain(..));
+    out.ctes = imported_ctes;
+    out.inlines.clear();
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Problem construction
+// ---------------------------------------------------------------------------
+
+fn resolve_dec_cols(table: &Table, spec: &DecCols, alias: Option<&str>) -> Result<Vec<usize>> {
+    match spec {
+        DecCols::None => Ok(vec![]),
+        DecCols::Star => Ok((0..table.schema.len()).collect()),
+        DecCols::List(names) => names
+            .iter()
+            .map(|n| {
+                table.schema.index_of(n).ok_or_else(|| {
+                    Error::solver(format!(
+                        "decision column '{n}' not found in relation {}",
+                        alias.unwrap_or("<input>")
+                    ))
+                })
+            })
+            .collect(),
+    }
+}
+
+/// Build a problem instance from an (already inline-expanded or raw)
+/// `SOLVESELECT` statement. Evaluates solver parameters, materializes
+/// every decision relation in order, and assigns variable ids.
+pub fn build_problem(db: &Database, ctes: &Ctes, stmt: &SolveStmt) -> Result<ProblemInstance> {
+    let stmt = if stmt.inlines.is_empty() {
+        stmt.clone()
+    } else {
+        inline_models(db, ctes, stmt)?
+    };
+
+    // Solver parameters: bare column names act as identifiers
+    // (`features := outTemp`), everything else is evaluated as a
+    // constant expression.
+    let mut params = HashMap::new();
+    let mut method = None;
+    if let Some(u) = &stmt.using {
+        method = u.method.clone();
+        for (i, (name, expr)) in u.params.iter().enumerate() {
+            let key = name.clone().unwrap_or_else(|| format!("${i}"));
+            let value = match expr {
+                Expr::Column { qualifier: None, name } => Value::text(name.as_str()),
+                e => {
+                    let q = Query::simple(Select {
+                        distinct: false,
+                        projection: vec![SelectItem::Expr { expr: e.clone(), alias: None }],
+                        from: vec![],
+                        where_: None,
+                        group_by: vec![],
+                        having: None,
+                    });
+                    run_query(db, ctes, &q, None)?.scalar()?
+                }
+            };
+            params.insert(key, value);
+        }
+    }
+
+    // Materialize D₁..D_N in order; each sees the previously materialized
+    // relations (scope rule of §4.1).
+    let mut env = ctes.clone();
+    let mut relations: Vec<DecRelInst> = Vec::new();
+    let mut vars: Vec<VarInfo> = Vec::new();
+    let specs: Vec<DecRel> = std::iter::once(stmt.input.clone())
+        .chain(stmt.ctes.iter().cloned())
+        .collect();
+    for (ri, spec) in specs.iter().enumerate() {
+        let table = run_query(db, &env, &spec.query, None)?;
+        let dec_cols = resolve_dec_cols(&table, &spec.dec_cols, spec.alias.as_deref())?;
+        let mut rel_vars: Vec<Vec<VarId>> = Vec::with_capacity(table.num_rows());
+        for (row_idx, row) in table.rows.iter().enumerate() {
+            let mut ids = Vec::with_capacity(dec_cols.len());
+            for &c in &dec_cols {
+                let id = vars.len() as VarId;
+                let cell = &row[c];
+                let initial = match cell {
+                    Value::Null => None,
+                    v => v.as_f64().ok(),
+                };
+                let integer = table.schema.columns[c].ty == DataType::Int;
+                vars.push(VarInfo { rel: ri, row: row_idx, col: c, initial, integer });
+                ids.push(id);
+            }
+            rel_vars.push(ids);
+        }
+        if let Some(a) = &spec.alias {
+            env.insert(a, Arc::new(table.clone()));
+        }
+        relations.push(DecRelInst {
+            alias: spec.alias.clone(),
+            query: spec.query.clone(),
+            dec_cols,
+            table,
+            vars: rel_vars,
+        });
+    }
+
+    Ok(ProblemInstance {
+        relations,
+        minimize: stmt.minimize.clone(),
+        maximize: stmt.maximize.clone(),
+        subjectto: stmt.subjectto.clone(),
+        vars,
+        params,
+        method,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Environment materialization under a cell patch
+// ---------------------------------------------------------------------------
+
+/// How decision cells are filled during (re-)materialization.
+pub enum CellPatch<'a> {
+    /// Keep materialized (initial) values.
+    Initial,
+    /// Replace with symbolic variables.
+    Symbolic,
+    /// Replace with concrete candidate values.
+    Values(&'a [f64]),
+}
+
+/// Re-materialize all decision relations in order, applying the patch to
+/// decision cells, and return the CTE environment exposing them under
+/// their aliases. Relations are *re-executed*, so derived relations (e.g.
+/// a recursive simulation CDTE) see patched upstream values — this is
+/// the black-box fitness evaluation path of §5.3 and the symbolic
+/// compilation path of §4.1.
+pub fn materialize_env(
+    db: &Database,
+    base: &Ctes,
+    prob: &ProblemInstance,
+    patch: &CellPatch<'_>,
+) -> Result<Ctes> {
+    let mut env = base.clone();
+    for (ri, rel) in prob.relations.iter().enumerate() {
+        let mut table = match patch {
+            // The initial tables were already materialized at build time;
+            // avoid re-running their queries.
+            CellPatch::Initial => rel.table.clone(),
+            _ => {
+                if rel.dec_cols.is_empty() && rel.alias.is_none() {
+                    rel.table.clone()
+                } else {
+                    match run_query(db, &env, &rel.query, None) {
+                        Ok(t) => t,
+                        // Symbolic materialization is lenient: a derived
+                        // relation that is nonlinear in the decision
+                        // variables (e.g. a simulation CDTE under a
+                        // black-box formulation) simply stays unavailable;
+                        // rules that reference it will error, rules that
+                        // don't are unaffected.
+                        Err(_) if matches!(patch, CellPatch::Symbolic) => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        };
+        if table.num_rows() != rel.table.num_rows() {
+            return Err(Error::solver(format!(
+                "relation {} changed cardinality during solving ({} vs {} rows); \
+                 decision relations must be stable",
+                rel.alias.as_deref().unwrap_or("<input>"),
+                table.num_rows(),
+                rel.table.num_rows()
+            )));
+        }
+        for (row_idx, ids) in rel.vars.iter().enumerate() {
+            for (k, &id) in ids.iter().enumerate() {
+                let col = rel.dec_cols[k];
+                let info = &prob.vars[id as usize];
+                debug_assert_eq!((info.rel, info.row, info.col), (ri, row_idx, col));
+                let v = match patch {
+                    CellPatch::Initial => continue,
+                    CellPatch::Symbolic => sym_value(LinExpr::var(id)),
+                    CellPatch::Values(x) => {
+                        let raw = x[id as usize];
+                        if info.integer {
+                            Value::Int(raw.round() as i64)
+                        } else {
+                            Value::Float(raw)
+                        }
+                    }
+                };
+                table.rows[row_idx][col] = v;
+            }
+        }
+        if let Some(a) = &rel.alias {
+            env.insert(a, Arc::new(table));
+        }
+    }
+    Ok(env)
+}
+
+// ---------------------------------------------------------------------------
+// Linear compilation
+// ---------------------------------------------------------------------------
+
+/// Rules compiled to linear form.
+#[derive(Debug, Clone)]
+pub struct LinearRules {
+    pub objective: LinExpr,
+    pub minimize: bool,
+    pub constraints: Vec<ConstraintValue>,
+}
+
+/// Evaluate MINIMIZE/MAXIMIZE and SUBJECTTO symbolically.
+pub fn compile_linear(db: &Database, base: &Ctes, prob: &ProblemInstance) -> Result<LinearRules> {
+    let env = materialize_env(db, base, prob, &CellPatch::Symbolic)?;
+    let (obj_query, minimize) = match (&prob.minimize, &prob.maximize) {
+        (Some(q), None) => (Some(q), true),
+        (None, Some(q)) => (Some(q), false),
+        (None, None) => (None, true),
+        (Some(_), Some(_)) => {
+            return Err(Error::solver(
+                "linear solvers support a single objective (MINIMIZE or MAXIMIZE)",
+            ))
+        }
+    };
+    let objective = match obj_query {
+        None => LinExpr::constant(0.0),
+        Some(q) => {
+            let t = run_query(db, &env, q, None)?;
+            as_linexpr(&t.scalar()?)?
+        }
+    };
+    let mut constraints = Vec::new();
+    collect_constraints(db, &env, &prob.subjectto, &mut constraints)?;
+    Ok(LinearRules { objective, minimize, constraints })
+}
+
+/// Evaluate SUBJECTTO queries in an environment, collecting constraint
+/// cells. `TRUE`/`NULL` cells are ignored; a constant `FALSE` cell makes
+/// the problem infeasible at compile time.
+pub fn collect_constraints(
+    db: &Database,
+    env: &Ctes,
+    rules: &[NamedRule],
+    out: &mut Vec<ConstraintValue>,
+) -> Result<()> {
+    for rule in rules {
+        let t = run_query(db, env, &rule.query, None)?;
+        for row in &t.rows {
+            for cell in row {
+                if let Some(c) = downcast::<ConstraintVal>(cell) {
+                    out.push(c.0.clone());
+                    continue;
+                }
+                match cell {
+                    Value::Bool(true) | Value::Null => {}
+                    Value::Bool(false) => {
+                        return Err(Error::solver(format!(
+                            "constraint{} is trivially false — the problem is infeasible",
+                            rule.alias
+                                .as_deref()
+                                .map(|a| format!(" '{a}'"))
+                                .unwrap_or_default()
+                        )))
+                    }
+                    other => {
+                        return Err(Error::solver(format!(
+                            "SUBJECTTO cell evaluated to {} ({}), expected a constraint or boolean",
+                            other.data_type().sql_name(),
+                            other
+                        )))
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Convert compiled rules into an [`lp::Problem`]. Only variables that
+/// appear in the objective or constraints become LP variables (the
+/// unbound-variable pruning of §4.3); single-variable comparisons with
+/// constant sides become bounds rather than rows.
+pub fn to_lp(prob: &ProblemInstance, rules: &LinearRules) -> (lp::Problem, Vec<VarId>) {
+    let mut used: Vec<VarId> = Vec::new();
+    let mut seen = vec![false; prob.num_vars()];
+    let mark = |e: &LinExpr, used: &mut Vec<VarId>, seen: &mut Vec<bool>| {
+        for v in e.vars() {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                used.push(v);
+            }
+        }
+    };
+    mark(&rules.objective, &mut used, &mut seen);
+    for c in &rules.constraints {
+        for (l, _, r) in c.atoms() {
+            mark(l, &mut used, &mut seen);
+            mark(r, &mut used, &mut seen);
+        }
+    }
+    used.sort_unstable();
+    let index: HashMap<VarId, usize> = used.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+
+    let mut p = if rules.minimize {
+        lp::Problem::minimize(used.len())
+    } else {
+        lp::Problem::maximize(used.len())
+    };
+    for (i, &v) in used.iter().enumerate() {
+        p.integer[i] = prob.vars[v as usize].integer;
+    }
+    p.objective_constant = rules.objective.constant;
+    p.set_objective(
+        rules
+            .objective
+            .terms
+            .iter()
+            .map(|&(v, c)| (index[&v], c))
+            .collect(),
+    );
+    for c in &rules.constraints {
+        for (l, rel, r) in c.atoms() {
+            let diff = l.sub(r); // diff ⋈ 0  ⇔  terms ⋈ -const
+            let rhs = -diff.constant;
+            let lprel = match rel {
+                Rel::Le => lp::Rel::Le,
+                Rel::Ge => lp::Rel::Ge,
+                Rel::Eq => lp::Rel::Eq,
+            };
+            if diff.terms.len() == 1 && rel != Rel::Eq {
+                // Box bound: c·x ⋈ rhs.
+                let (v, coef) = diff.terms[0];
+                let bound = rhs / coef;
+                let j = index[&v];
+                let le = (rel == Rel::Le) == (coef > 0.0);
+                if le {
+                    p.tighten(j, f64::NEG_INFINITY, bound);
+                } else {
+                    p.tighten(j, bound, f64::INFINITY);
+                }
+            } else {
+                p.add_constraint(
+                    diff.terms.iter().map(|&(v, c)| (index[&v], c)).collect(),
+                    lprel,
+                    rhs,
+                );
+            }
+        }
+    }
+    (p, used)
+}
+
+// ---------------------------------------------------------------------------
+// Output assembly
+// ---------------------------------------------------------------------------
+
+/// Build the output relation: the input relation with solved decision
+/// cells filled in. Variables without an assigned value keep their
+/// original cell (NULL or the initial value) — pruned variables stay
+/// untouched, as §4.3 specifies.
+pub fn apply_solution(
+    prob: &ProblemInstance,
+    assignment: &dyn Fn(VarId) -> Option<f64>,
+) -> Table {
+    let rel = &prob.relations[0];
+    let mut out = rel.table.clone();
+    for (row_idx, ids) in rel.vars.iter().enumerate() {
+        for (k, &id) in ids.iter().enumerate() {
+            if let Some(v) = assignment(id) {
+                let col = rel.dec_cols[k];
+                let info = &prob.vars[id as usize];
+                out.rows[row_idx][col] = if info.integer {
+                    Value::Int(v.round() as i64)
+                } else {
+                    Value::Float(v)
+                };
+                // Column type may have been Unknown (all NULL); fix it up.
+                if out.schema.columns[col].ty == DataType::Unknown {
+                    out.schema.columns[col].ty =
+                        if info.integer { DataType::Int } else { DataType::Float };
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Black-box support
+// ---------------------------------------------------------------------------
+
+/// A black-box view of the problem: box bounds per variable (extracted
+/// from single-variable linear constraints), remaining constraints as
+/// penalties, and the objective query.
+pub struct BlackboxProblem {
+    pub space: globalopt::SearchSpace,
+    /// Linear constraints not representable as bounds (penalized).
+    pub penalties: Vec<ConstraintValue>,
+    pub objective: Query,
+    pub minimize: bool,
+    /// Starting point from initial values (midpoint of bounds when NULL).
+    pub start: Vec<f64>,
+}
+
+/// Build the black-box formulation: SUBJECTTO is evaluated symbolically
+/// to harvest bounds; the objective stays a query re-evaluated per
+/// candidate.
+pub fn build_blackbox(db: &Database, base: &Ctes, prob: &ProblemInstance) -> Result<BlackboxProblem> {
+    let n = prob.num_vars();
+    if n == 0 {
+        return Err(Error::solver("problem has no decision variables"));
+    }
+    let env = materialize_env(db, base, prob, &CellPatch::Symbolic)?;
+    let mut constraints = Vec::new();
+    collect_constraints(db, &env, &prob.subjectto, &mut constraints)?;
+
+    let mut lower = vec![f64::NEG_INFINITY; n];
+    let mut upper = vec![f64::INFINITY; n];
+    let mut penalties = Vec::new();
+    for c in constraints {
+        let mut as_bounds = Vec::new();
+        let mut boundable = true;
+        for (l, rel, r) in c.atoms() {
+            let diff = l.sub(r);
+            if diff.terms.len() == 1 && rel != Rel::Eq {
+                as_bounds.push((diff.terms[0], rel, -diff.constant));
+            } else {
+                boundable = false;
+            }
+        }
+        if boundable {
+            for ((v, coef), rel, rhs) in as_bounds {
+                let bound = rhs / coef;
+                let le = (rel == Rel::Le) == (coef > 0.0);
+                let j = v as usize;
+                if le {
+                    upper[j] = upper[j].min(bound);
+                } else {
+                    lower[j] = lower[j].max(bound);
+                }
+            }
+        } else {
+            penalties.push(c);
+        }
+    }
+    let integer: Vec<bool> = prob.vars.iter().map(|v| v.integer).collect();
+    let space = globalopt::SearchSpace { lower: lower.clone(), upper: upper.clone(), integer };
+
+    let start: Vec<f64> = prob
+        .vars
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            v.initial.unwrap_or_else(|| {
+                let (l, u) = (lower[i], upper[i]);
+                if l.is_finite() && u.is_finite() {
+                    (l + u) / 2.0
+                } else if l.is_finite() {
+                    l
+                } else if u.is_finite() {
+                    u
+                } else {
+                    0.0
+                }
+            })
+        })
+        .collect();
+
+    let (objective, minimize) = match (&prob.minimize, &prob.maximize) {
+        (Some(q), None) => (q.clone(), true),
+        (None, Some(q)) => (q.clone(), false),
+        _ => {
+            return Err(Error::solver(
+                "black-box solvers need exactly one objective (MINIMIZE or MAXIMIZE)",
+            ))
+        }
+    };
+    Ok(BlackboxProblem { space, penalties, objective, minimize, start })
+}
+
+/// Penalty weight applied per unit of constraint violation in black-box
+/// fitness.
+pub const PENALTY_WEIGHT: f64 = 1e9;
+
+/// Evaluate the black-box fitness (minimization sense) for a candidate.
+pub fn blackbox_fitness(
+    db: &Database,
+    base: &Ctes,
+    prob: &ProblemInstance,
+    bb: &BlackboxProblem,
+    x: &[f64],
+) -> f64 {
+    let env = match materialize_env(db, base, prob, &CellPatch::Values(x)) {
+        Ok(e) => e,
+        Err(_) => return f64::INFINITY,
+    };
+    let raw = match run_query(db, &env, &bb.objective, None) {
+        Ok(t) => match t.scalar().and_then(|v| v.as_f64()) {
+            Ok(v) => v,
+            Err(_) => return f64::INFINITY,
+        },
+        Err(_) => return f64::INFINITY,
+    };
+    let mut fitness = if bb.minimize { raw } else { -raw };
+    let getter = |v: VarId| x[v as usize];
+    for p in &bb.penalties {
+        fitness += PENALTY_WEIGHT * p.violation(&getter);
+    }
+    fitness
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlengine::ast::Statement;
+    use sqlengine::{execute_script, parser};
+
+    fn solve_stmt(sql: &str) -> SolveStmt {
+        match parser::parse_statement(sql).unwrap() {
+            Statement::Solve(s) => s,
+            _ => panic!("not a solve statement"),
+        }
+    }
+
+    fn test_db() -> Database {
+        let mut db = Database::new();
+        execute_script(
+            &mut db,
+            "CREATE TABLE pars (potemp float8, pmonth float8, peps float8);
+             INSERT INTO pars VALUES (NULL, NULL, NULL);
+             CREATE TABLE input (x float8, y float8);
+             INSERT INTO input VALUES (1, 10), (2, 19), (3, 31);",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn build_assigns_variables_in_order() {
+        let db = test_db();
+        let stmt = solve_stmt(
+            "SOLVESELECT p(*) AS (SELECT * FROM pars) \
+             WITH e(err) AS (SELECT x, NULL::float8 AS err FROM input) \
+             MINIMIZE (SELECT sum(err) FROM e) USING solverlp()",
+        );
+        let prob = build_problem(&db, &Ctes::new(), &stmt).unwrap();
+        assert_eq!(prob.relations.len(), 2);
+        assert_eq!(prob.num_vars(), 3 + 3); // 3 params + 3 errors
+        assert_eq!(prob.relations[0].dec_cols.len(), 3); // asterisk notation
+        assert_eq!(prob.relations[1].dec_cols.len(), 1);
+        assert!(prob.vars.iter().all(|v| v.initial.is_none()));
+    }
+
+    #[test]
+    fn initial_values_and_integrality() {
+        let mut db = Database::new();
+        execute_script(
+            &mut db,
+            "CREATE TABLE t (a int, b float8); INSERT INTO t VALUES (3, 2.5)",
+        )
+        .unwrap();
+        let stmt = solve_stmt("SOLVESELECT q(a, b) AS (SELECT * FROM t) USING s()");
+        let prob = build_problem(&db, &Ctes::new(), &stmt).unwrap();
+        assert_eq!(prob.vars[0].initial, Some(3.0));
+        assert!(prob.vars[0].integer);
+        assert_eq!(prob.vars[1].initial, Some(2.5));
+        assert!(!prob.vars[1].integer);
+    }
+
+    #[test]
+    fn scoping_later_relations_see_earlier() {
+        let db = test_db();
+        let stmt = solve_stmt(
+            "SOLVESELECT a(x) AS (SELECT 1.0 AS x) \
+             WITH b(y) AS (SELECT x + 1.0 AS y FROM a) USING s()",
+        );
+        let prob = build_problem(&db, &Ctes::new(), &stmt).unwrap();
+        assert_eq!(prob.relations[1].table.value(0, 0), &Value::Float(2.0));
+    }
+
+    #[test]
+    fn param_evaluation_modes() {
+        let db = test_db();
+        let stmt = solve_stmt(
+            "SOLVESELECT t(x) AS (SELECT * FROM input) \
+             USING arima.auto(predictions := 2 + 3, features := outtemp, \
+                              win := (SELECT count(*) FROM input))",
+        );
+        let prob = build_problem(&db, &Ctes::new(), &stmt).unwrap();
+        assert_eq!(prob.method.as_deref(), Some("auto"));
+        assert_eq!(prob.params["predictions"], Value::Int(5));
+        assert_eq!(prob.params["features"], Value::text("outtemp"));
+        assert_eq!(prob.params["win"], Value::Int(3));
+    }
+
+    #[test]
+    fn symbolic_compile_of_paper_lr_problem() {
+        let mut db = Database::new();
+        execute_script(
+            &mut db,
+            "CREATE TABLE pars (p1 float8); INSERT INTO pars VALUES (NULL);
+             CREATE TABLE input (x float8, y float8);
+             INSERT INTO input VALUES (1, 10), (2, 20);",
+        )
+        .unwrap();
+        // min sum(err) s.t. -err <= p1*x - y <= err (an L1 regression).
+        let stmt = solve_stmt(
+            "SOLVESELECT p(p1) AS (SELECT * FROM pars) \
+             WITH e(err) AS (SELECT x, y, NULL::float8 AS err FROM input) \
+             MINIMIZE (SELECT sum(err) FROM e) \
+             SUBJECTTO (SELECT -1*err <= (p1 * x - y) <= err FROM e, p) \
+             USING solverlp()",
+        );
+        let prob = build_problem(&db, &Ctes::new(), &stmt).unwrap();
+        let rules = compile_linear(&db, &Ctes::new(), &prob).unwrap();
+        assert!(rules.minimize);
+        // Objective = err0 + err1.
+        assert_eq!(rules.objective.terms.len(), 2);
+        // Two rows × one chain (two atoms each).
+        let atoms: usize = rules.constraints.iter().map(|c| c.atoms().len()).sum();
+        assert_eq!(atoms, 4);
+        let (lp_prob, used) = to_lp(&prob, &rules);
+        assert_eq!(used.len(), 3); // p1 + two errs (all referenced)
+        let sol = lp::solve(&lp_prob);
+        assert!(sol.is_optimal());
+        // Perfect fit: p1 = 10, errors 0.
+        let p1_idx = used.iter().position(|&v| prob.vars[v as usize].rel == 0).unwrap();
+        assert!((sol.x[p1_idx] - 10.0).abs() < 1e-6);
+        assert!(sol.objective.abs() < 1e-6);
+    }
+
+    #[test]
+    fn pruning_excludes_unreferenced_variables() {
+        let db = test_db();
+        let stmt = solve_stmt(
+            "SOLVESELECT p(potemp, pmonth, peps) AS (SELECT * FROM pars) \
+             MINIMIZE (SELECT sum(potemp) FROM p) \
+             SUBJECTTO (SELECT potemp >= 1 FROM p) USING solverlp()",
+        );
+        let prob = build_problem(&db, &Ctes::new(), &stmt).unwrap();
+        let rules = compile_linear(&db, &Ctes::new(), &prob).unwrap();
+        let (_, used) = to_lp(&prob, &rules);
+        assert_eq!(used.len(), 1); // pmonth and peps pruned
+    }
+
+    #[test]
+    fn trivially_false_constraint_is_infeasible() {
+        let db = test_db();
+        let stmt = solve_stmt(
+            "SOLVESELECT p(potemp) AS (SELECT * FROM pars) \
+             SUBJECTTO (SELECT 1 = 2) USING solverlp()",
+        );
+        let prob = build_problem(&db, &Ctes::new(), &stmt).unwrap();
+        let err = compile_linear(&db, &Ctes::new(), &prob).unwrap_err();
+        assert!(err.to_string().contains("infeasible"));
+    }
+
+    #[test]
+    fn inline_imports_with_prefixes() {
+        let mut db = test_db();
+        // Store a model in a table.
+        execute_script(&mut db, "CREATE TABLE model (m text)").unwrap();
+        let mtext = "SOLVEMODEL pars AS (SELECT 2.0 AS k) \
+                     WITH simul AS (SELECT k * 10.0 AS v FROM pars)";
+        // Escape embedded quotes not needed (no quotes in text).
+        execute_script(&mut db, &format!("INSERT INTO model VALUES ('{mtext}')")).unwrap();
+        let stmt = solve_stmt(
+            "SOLVESELECT t(x) AS (SELECT NULL::float8 AS x) \
+             INLINE m AS (SELECT m FROM model) \
+             MINIMIZE (SELECT sum(x) FROM t) \
+             SUBJECTTO (SELECT x >= v FROM m_simul, t) \
+             USING solverlp()",
+        );
+        let expanded = inline_models(&db, &Ctes::new(), &stmt).unwrap();
+        let aliases: Vec<_> = expanded.ctes.iter().map(|c| c.alias.clone()).collect();
+        assert_eq!(aliases, vec![Some("m_pars".into()), Some("m_simul".into())]);
+        // The imported simul query is rewired to read m_pars via a prologue CTE.
+        assert!(expanded.ctes[1].query.to_string().contains("m_pars"));
+
+        // And the whole thing solves: x >= 20 minimized → 20.
+        let prob = build_problem(&db, &Ctes::new(), &expanded).unwrap();
+        let rules = compile_linear(&db, &Ctes::new(), &prob).unwrap();
+        let (lp_prob, _) = to_lp(&prob, &rules);
+        let sol = lp::solve(&lp_prob);
+        assert!(sol.is_optimal());
+        assert!((sol.objective - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn blackbox_bounds_and_fitness() {
+        let mut db = Database::new();
+        execute_script(&mut db, "CREATE TABLE pars (a float8); INSERT INTO pars VALUES (NULL)")
+            .unwrap();
+        let stmt = solve_stmt(
+            "SOLVESELECT p(a) AS (SELECT * FROM pars) \
+             MINIMIZE (SELECT (a - 3.0) * (a - 3.0) FROM p) \
+             SUBJECTTO (SELECT 0 <= a <= 10 FROM p) USING swarmops.pso()",
+        );
+        let prob = build_problem(&db, &Ctes::new(), &stmt).unwrap();
+        let bb = build_blackbox(&db, &Ctes::new(), &prob).unwrap();
+        assert_eq!(bb.space.lower, vec![0.0]);
+        assert_eq!(bb.space.upper, vec![10.0]);
+        assert!(bb.penalties.is_empty());
+        // Quadratic objective evaluated concretely per candidate.
+        let f3 = blackbox_fitness(&db, &Ctes::new(), &prob, &bb, &[3.0]);
+        let f5 = blackbox_fitness(&db, &Ctes::new(), &prob, &bb, &[5.0]);
+        assert!(f3 < 1e-12);
+        assert!((f5 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blackbox_penalizes_multivar_constraints() {
+        let mut db = Database::new();
+        execute_script(
+            &mut db,
+            "CREATE TABLE pars (a float8, b float8); INSERT INTO pars VALUES (NULL, NULL)",
+        )
+        .unwrap();
+        let stmt = solve_stmt(
+            "SOLVESELECT p(a, b) AS (SELECT * FROM pars) \
+             MINIMIZE (SELECT a + b FROM p) \
+             SUBJECTTO (SELECT a + b >= 4 FROM p), (SELECT 0 <= a <= 10, 0 <= b <= 10 FROM p) \
+             USING swarmops.de()",
+        );
+        let prob = build_problem(&db, &Ctes::new(), &stmt).unwrap();
+        let bb = build_blackbox(&db, &Ctes::new(), &prob).unwrap();
+        assert_eq!(bb.penalties.len(), 1);
+        let bad = blackbox_fitness(&db, &Ctes::new(), &prob, &bb, &[1.0, 1.0]);
+        assert!(bad > PENALTY_WEIGHT); // violated by 2
+        let good = blackbox_fitness(&db, &Ctes::new(), &prob, &bb, &[2.0, 2.0]);
+        assert!((good - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn apply_solution_fills_only_assigned() {
+        let db = test_db();
+        let stmt = solve_stmt(
+            "SOLVESELECT p(potemp, pmonth) AS (SELECT * FROM pars) USING s()",
+        );
+        let prob = build_problem(&db, &Ctes::new(), &stmt).unwrap();
+        let out = apply_solution(&prob, &|v| if v == 0 { Some(7.5) } else { None });
+        assert_eq!(out.value(0, 0), &Value::Float(7.5));
+        assert!(out.value(0, 1).is_null()); // unassigned stays NULL
+    }
+
+    #[test]
+    fn cardinality_instability_is_detected() {
+        let mut db = Database::new();
+        execute_script(
+            &mut db,
+            "CREATE TABLE t (x float8); INSERT INTO t VALUES (1)",
+        )
+        .unwrap();
+        // A relation whose row count depends on its own decision value.
+        let stmt = solve_stmt(
+            "SOLVESELECT a(x) AS (SELECT * FROM t) \
+             WITH b AS (SELECT x FROM a WHERE x > 0) USING s()",
+        );
+        let prob = build_problem(&db, &Ctes::new(), &stmt).unwrap();
+        // With x = -1 the dependent relation b loses its row.
+        let err = materialize_env(&db, &Ctes::new(), &prob, &CellPatch::Values(&[-1.0]))
+            .unwrap_err();
+        assert!(err.to_string().contains("cardinality"));
+    }
+}

@@ -1,0 +1,352 @@
+//! The CDTE → single-input-relation rewrite of paper §4.3.
+//!
+//! SolveDB+ evaluates `SOLVESELECT` queries with decision-bearing CDTEs
+//! either natively (the default path in [`crate::problem`]) or by
+//! rewriting them to a *single* input relation: all decision-bearing
+//! relations are row-aligned into one table `__l` with a bit-string
+//! `c_mask` column marking which relation(s) each row belongs to
+//! (Table 5), and each original relation is reconstructed as a plain
+//! CDTE projecting `__l` filtered by its mask bit. The paper prefers
+//! this path because it is transparent to every registered solver; here
+//! it serves as a semantics cross-check and an ablation subject.
+
+use crate::problem::{build_problem, ProblemInstance};
+use sqlengine::ast::{
+    DecCols, DecRel, Expr, Literal, Query, Select, SelectItem, SolveStmt, TableRef,
+};
+use sqlengine::catalog::{Ctes, Database};
+use sqlengine::error::{Error, Result};
+use sqlengine::table::{Column, Schema, Table};
+use sqlengine::types::{BinOp, BitString, DataType, Value};
+use std::sync::Arc;
+
+/// Name of the synthetic combined relation.
+pub const COMBINED: &str = "__l";
+/// Name of the mask column (paper Table 5).
+pub const C_MASK: &str = "c_mask";
+
+/// Result of the rewrite: a transformed statement plus the materialized
+/// combined relation to expose as a CTE.
+pub struct CdteRewrite {
+    pub stmt: SolveStmt,
+    pub combined: Table,
+}
+
+/// Does the statement have more than one decision-bearing relation
+/// (i.e. would the rewrite change anything)?
+pub fn needs_rewrite(stmt: &SolveStmt) -> bool {
+    let mut n = usize::from(!stmt.input.dec_cols.is_none());
+    n += stmt.ctes.iter().filter(|c| !c.dec_cols.is_none()).count();
+    n > 1
+}
+
+/// Apply the §4.3 rewrite. The decision-bearing relations are
+/// materialized (via [`build_problem`]'s machinery), row-aligned into
+/// the combined table with prefixed column names and a `c_mask`, and the
+/// statement is rewritten so its only decision relation is
+/// `SELECT * FROM __l` while the original aliases become mask-filtered
+/// projections.
+pub fn rewrite_cdtes(db: &Database, ctes: &Ctes, stmt: &SolveStmt) -> Result<CdteRewrite> {
+    // Materialize everything once (also expands INLINE).
+    let prob: ProblemInstance = build_problem(db, ctes, stmt)?;
+    let stmt = if stmt.inlines.is_empty() {
+        stmt.clone()
+    } else {
+        crate::problem::inline_models(db, ctes, stmt)?
+    };
+
+    // Decision-bearing relations, in order.
+    let mut dec_rels: Vec<(usize, String)> = Vec::new(); // (relation idx, alias)
+    for (i, rel) in prob.relations.iter().enumerate() {
+        if !rel.dec_cols.is_empty() {
+            let alias = rel
+                .alias
+                .clone()
+                .ok_or_else(|| Error::solver("the CDTE rewrite requires aliased relations"))?;
+            dec_rels.push((i, alias));
+        }
+    }
+    if dec_rels.len() < 2 {
+        return Err(Error::solver(
+            "the CDTE rewrite applies only with two or more decision relations",
+        ));
+    }
+    if dec_rels.len() > 64 {
+        return Err(Error::solver("c_mask supports at most 64 decision relations"));
+    }
+    let width = dec_rels.len() as u8;
+
+    // Build the combined schema: alias__col for every column of every
+    // decision relation, plus c_mask.
+    let mut columns: Vec<Column> = Vec::new();
+    let mut col_offsets: Vec<usize> = Vec::new();
+    for &(ri, ref alias) in &dec_rels {
+        col_offsets.push(columns.len());
+        for c in &prob.relations[ri].table.schema.columns {
+            columns.push(Column::new(format!("{alias}__{}", c.name), c.ty.clone()));
+        }
+    }
+    let mask_col = columns.len();
+    columns.push(Column::new(C_MASK, DataType::Bits));
+
+    // Row-align: row r of the combined table carries row r of each
+    // relation that is long enough; the mask records membership.
+    let max_rows = dec_rels
+        .iter()
+        .map(|&(ri, _)| prob.relations[ri].table.num_rows())
+        .max()
+        .unwrap_or(0);
+    let mut rows = Vec::with_capacity(max_rows);
+    for r in 0..max_rows {
+        let mut row: Vec<Value> = vec![Value::Null; columns.len()];
+        let mut mask = 0u64;
+        for (k, &(ri, _)) in dec_rels.iter().enumerate() {
+            let t = &prob.relations[ri].table;
+            if r < t.num_rows() {
+                mask |= 1u64 << (width - 1 - k as u8);
+                for (ci, v) in t.rows[r].iter().enumerate() {
+                    row[col_offsets[k] + ci] = v.clone();
+                }
+            }
+        }
+        row[mask_col] = Value::Bits(BitString::new(width, mask)?);
+        rows.push(row);
+    }
+    let combined = Table::with_rows(Schema::new(columns), rows);
+
+    // Decision columns of the combined relation.
+    let mut dec_col_names = Vec::new();
+    for &(ri, ref alias) in &dec_rels {
+        let rel = &prob.relations[ri];
+        for &c in &rel.dec_cols {
+            dec_col_names.push(format!("{alias}__{}", rel.table.schema.columns[c].name));
+        }
+    }
+
+    // Rewritten statement: input = SELECT * FROM __l with the combined
+    // decision columns; each original alias becomes a mask-filtered
+    // projection CDTE; decision-free CDTEs keep their original queries.
+    let mut new_stmt = stmt.clone();
+    new_stmt.input = DecRel {
+        alias: Some("l".to_string()),
+        dec_cols: DecCols::List(dec_col_names),
+        query: Query::simple(Select {
+            distinct: false,
+            projection: vec![SelectItem::Wildcard { qualifier: None }],
+            from: vec![TableRef::Named { name: COMBINED.into(), alias: None }],
+            where_: None,
+            group_by: vec![],
+            having: None,
+        }),
+    };
+    let mut new_ctes: Vec<DecRel> = Vec::new();
+    for (k, &(ri, ref alias)) in dec_rels.iter().enumerate() {
+        let rel = &prob.relations[ri];
+        let mask = BitString::single(width, k as u8)?;
+        let zero = BitString::new(width, 0)?;
+        // SELECT l.<alias>__c AS c, ... FROM l WHERE (c_mask & b'mask') <> b'0..0'
+        let projection: Vec<SelectItem> = rel
+            .table
+            .schema
+            .columns
+            .iter()
+            .map(|c| SelectItem::Expr {
+                expr: Expr::Column { qualifier: None, name: format!("{alias}__{}", c.name) },
+                alias: Some(c.name.clone()),
+            })
+            .collect();
+        let filter = Expr::BinOp {
+            op: BinOp::Ne,
+            lhs: Box::new(Expr::BinOp {
+                op: BinOp::BitAnd,
+                lhs: Box::new(Expr::col(C_MASK)),
+                rhs: Box::new(Expr::Literal(Literal::BitStr(mask.to_string()))),
+            }),
+            rhs: Box::new(Expr::Literal(Literal::BitStr(zero.to_string()))),
+        };
+        new_ctes.push(DecRel {
+            alias: Some(alias.clone()),
+            dec_cols: DecCols::None,
+            query: Query::simple(Select {
+                distinct: false,
+                projection,
+                from: vec![TableRef::Named { name: "l".into(), alias: None }],
+                where_: Some(filter),
+                group_by: vec![],
+                having: None,
+            }),
+        });
+    }
+    // Keep decision-free CDTEs (they may derive from the reconstructed
+    // relations).
+    for cte in &stmt.ctes {
+        if cte.dec_cols.is_none() {
+            new_ctes.push(cte.clone());
+        }
+    }
+    new_stmt.ctes = new_ctes;
+    new_stmt.inlines.clear();
+
+    Ok(CdteRewrite { stmt: new_stmt, combined })
+}
+
+/// Execute a `SOLVESELECT` through the rewrite path and return the
+/// output in the original input relation's shape.
+pub fn solve_via_rewrite(db: &Database, ctes: &Ctes, stmt: &SolveStmt) -> Result<Table> {
+    let handler = db.solve_handler()?;
+    let rw = rewrite_cdtes(db, ctes, stmt)?;
+    let env = ctes.with(COMBINED, Arc::new(rw.combined));
+    let solved = handler.solve_select(db, &rw.stmt, &env)?;
+
+    // Project the combined output back to the original input relation.
+    let orig_alias = stmt
+        .input
+        .alias
+        .clone()
+        .ok_or_else(|| Error::solver("rewrite requires an aliased input relation"))?;
+    let prefix = format!("{orig_alias}__");
+    let mut keep: Vec<(usize, String)> = Vec::new();
+    for (i, c) in solved.schema.columns.iter().enumerate() {
+        if let Some(orig) = c.name.strip_prefix(&prefix) {
+            keep.push((i, orig.to_string()));
+        }
+    }
+    let mask_idx = solved
+        .schema
+        .index_of(C_MASK)
+        .ok_or_else(|| Error::solver("rewritten output lost its c_mask column"))?;
+    // Find the input relation's membership bit.
+    let prob = build_problem(db, ctes, stmt)?;
+    let mut bit = None;
+    let mut k = 0u8;
+    for rel in &prob.relations {
+        if !rel.dec_cols.is_empty() {
+            if rel.alias.as_deref() == Some(orig_alias.as_str()) {
+                bit = Some(k);
+            }
+            k += 1;
+        }
+    }
+    let bit = bit.ok_or_else(|| {
+        Error::solver("the input relation has no decision columns; rewrite not applicable")
+    })?;
+    let width = k;
+    let sel_mask = BitString::single(width, bit)?;
+
+    let mut schema_cols = Vec::new();
+    for (_, name) in &keep {
+        let orig_idx = prob.relations[0].table.schema.index_of(name).unwrap_or(0);
+        schema_cols.push(prob.relations[0].table.schema.columns[orig_idx].clone());
+    }
+    let mut rows = Vec::new();
+    for row in &solved.rows {
+        let Value::Bits(mask) = &row[mask_idx] else {
+            return Err(Error::solver("c_mask column is not a bit string"));
+        };
+        if mask.and(&sel_mask)?.is_zero() {
+            continue;
+        }
+        rows.push(keep.iter().map(|(i, _)| row[*i].clone()).collect());
+    }
+    Ok(Table::with_rows(Schema::new(schema_cols), rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlengine::ast::Statement;
+    use sqlengine::parser;
+
+    fn solve_stmt(sql: &str) -> SolveStmt {
+        match parser::parse_statement(sql).unwrap() {
+            Statement::Solve(s) => s,
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn needs_rewrite_detection() {
+        let single = solve_stmt("SOLVESELECT t(x) AS (SELECT 1 AS x) USING s()");
+        assert!(!needs_rewrite(&single));
+        let multi = solve_stmt(
+            "SOLVESELECT t(x) AS (SELECT 1 AS x) WITH e(y) AS (SELECT 2 AS y) USING s()",
+        );
+        assert!(needs_rewrite(&multi));
+        let no_dec_cte = solve_stmt(
+            "SOLVESELECT t(x) AS (SELECT 1 AS x) WITH e AS (SELECT 2 AS y) USING s()",
+        );
+        assert!(!needs_rewrite(&no_dec_cte));
+    }
+
+    #[test]
+    fn combined_table_shape_matches_table5() {
+        use sqlengine::execute_script;
+        let mut db = Database::new();
+        execute_script(
+            &mut db,
+            "CREATE TABLE pars (a float8); INSERT INTO pars VALUES (NULL);
+             CREATE TABLE obs (x float8, err float8);
+             INSERT INTO obs VALUES (1, NULL), (2, NULL), (3, NULL);",
+        )
+        .unwrap();
+        let stmt = solve_stmt(
+            "SOLVESELECT p(a) AS (SELECT * FROM pars) \
+             WITH e(err) AS (SELECT * FROM obs) \
+             MINIMIZE (SELECT sum(err) FROM e) \
+             SUBJECTTO (SELECT -1*err <= a * x - 2 * x <= err FROM e, p) \
+             USING solverlp()",
+        );
+        let rw = rewrite_cdtes(&db, &Ctes::new(), &stmt).unwrap();
+        let t = &rw.combined;
+        // max(1, 3) rows; columns p__a, e__x, e__err, c_mask.
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.schema.names(), vec!["p__a", "e__x", "e__err", C_MASK]);
+        // Row 0 belongs to both relations; rows 1-2 only to e (Table 5).
+        assert_eq!(t.value(0, 3).to_string(), "11");
+        assert_eq!(t.value(1, 3).to_string(), "01");
+        assert_eq!(t.value(2, 3).to_string(), "01");
+        // The rewritten statement has a single decision relation.
+        assert!(!needs_rewrite(&rw.stmt));
+        assert_eq!(
+            rw.stmt.input.dec_cols,
+            DecCols::List(vec!["p__a".into(), "e__err".into()])
+        );
+    }
+
+    #[test]
+    fn rewrite_path_matches_native_solution() {
+        use crate::Session;
+        // L1 regression: fit a so that a*x ≈ y, with y = 2x exactly.
+        let setup = "CREATE TABLE pars (a float8); INSERT INTO pars VALUES (NULL);
+             CREATE TABLE obs (x float8, y float8);
+             INSERT INTO obs VALUES (1, 2), (2, 4), (3, 6);";
+        let sql = "SOLVESELECT p(a) AS (SELECT * FROM pars) \
+             WITH e(err) AS (SELECT x, y, NULL::float8 AS err FROM obs) \
+             MINIMIZE (SELECT sum(err) FROM e) \
+             SUBJECTTO (SELECT -1*err <= a * x - y <= err FROM e, p) \
+             USING solverlp()";
+
+        // Native path.
+        let mut s = Session::new();
+        s.execute_script(setup).unwrap();
+        let native = s.query(sql).unwrap();
+
+        // Rewrite path.
+        let stmt = solve_stmt(sql);
+        let rewritten = solve_via_rewrite(s.db(), &Ctes::new(), &stmt).unwrap();
+
+        assert_eq!(native.schema.names(), rewritten.schema.names());
+        assert_eq!(native.num_rows(), rewritten.num_rows());
+        let a_native = native.value_by_name(0, "a").unwrap().as_f64().unwrap();
+        let a_rewritten = rewritten.value_by_name(0, "a").unwrap().as_f64().unwrap();
+        assert!((a_native - 2.0).abs() < 1e-6);
+        assert!((a_native - a_rewritten).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rewrite_rejects_single_relation() {
+        let db = Database::new();
+        let stmt = solve_stmt("SOLVESELECT t(x) AS (SELECT 1.0 AS x) USING s()");
+        assert!(rewrite_cdtes(&db, &Ctes::new(), &stmt).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! The SolveDB+ session: a database with the solver framework, built-in
+//! solvers and the PA-oriented UDFs installed — the equivalent of a
+//! PostgreSQL connection to a SolveDB+-patched server.
+
+use crate::handler::Handler;
+use crate::solver::{Solver, SolverRegistry};
+use crate::solvers::{ArimaSolver, LpSolver, PredictiveAdvisor, SwarmOps};
+use forecast::arima::arima_rmse;
+use parking_lot::RwLock;
+use sqlengine::catalog::ScalarUdf;
+use sqlengine::error::{Error, Result};
+use sqlengine::{execute_script, execute_sql, Database, ExecResult, Table, Value};
+use ssmodel::{simulation_sse, Lti};
+use std::sync::Arc;
+
+/// A SolveDB+ session.
+pub struct Session {
+    db: Database,
+    registry: Arc<SolverRegistry>,
+    advisor: Arc<PredictiveAdvisor>,
+    /// Training series backing the `arima_rmse(ar, i, ma)` UDF.
+    arima_training: Arc<RwLock<Vec<f64>>>,
+    /// Training data backing the `hvac_sse(a1, b1, b2)` UDF:
+    /// `(inputs (outtemp, hload), measured intemp)`.
+    hvac_training: Arc<RwLock<(Vec<Vec<f64>>, Vec<f64>)>>,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Session {
+    /// Create a session with the built-in solver suite installed:
+    /// `solverlp`, `swarmops`, `lr_solver`, `arima_solver`,
+    /// `predictive_solver`.
+    pub fn new() -> Session {
+        let registry = Arc::new(SolverRegistry::new());
+        registry.register(Arc::new(LpSolver));
+        registry.register(Arc::new(SwarmOps));
+        registry.register(Arc::new(crate::solvers::LrSolver));
+        registry.register(Arc::new(ArimaSolver));
+        let advisor = Arc::new(PredictiveAdvisor::new());
+        registry.register(advisor.clone() as Arc<dyn Solver>);
+
+        let mut db = Database::new();
+        db.set_solve_handler(Arc::new(Handler::new(registry.clone())));
+
+        let arima_training: Arc<RwLock<Vec<f64>>> = Arc::new(RwLock::new(Vec::new()));
+        let hvac_training: Arc<RwLock<(Vec<Vec<f64>>, Vec<f64>)>> =
+            Arc::new(RwLock::new((Vec::new(), Vec::new())));
+
+        // arima_rmse(ar, i, ma): the order-search fitness of §3.2,
+        // evaluated over the session's registered training series.
+        let series = arima_training.clone();
+        db.register_udf(ScalarUdf {
+            name: "arima_rmse".into(),
+            param_names: vec!["ar".into(), "i".into(), "ma".into()],
+            defaults: Default::default(),
+            func: Arc::new(move |args| {
+                let y = series.read();
+                if y.is_empty() {
+                    return Err(Error::solver(
+                        "arima_rmse: no training series registered \
+                         (use Session::set_arima_training)",
+                    ));
+                }
+                let p = args[0].as_i64()?.max(0) as usize;
+                let d = args[1].as_i64()?.max(0) as usize;
+                let q = args[2].as_i64()?.max(0) as usize;
+                let e = arima_rmse(&y, p, d, q);
+                Ok(Value::Float(if e.is_finite() { e } else { 1e18 }))
+            }),
+        });
+
+        // hvac_sse(a1, b1, b2): the P3 fitness (the paper implements this
+        // as a PL/pgSQL UDF, §5.3).
+        let hvac = hvac_training.clone();
+        db.register_udf(ScalarUdf {
+            name: "hvac_sse".into(),
+            param_names: vec!["a1".into(), "b1".into(), "b2".into()],
+            defaults: Default::default(),
+            func: Arc::new(move |args| {
+                let data = hvac.read();
+                let (u, measured) = (&data.0, &data.1);
+                if measured.is_empty() {
+                    return Err(Error::solver(
+                        "hvac_sse: no training data registered \
+                         (use Session::set_hvac_training)",
+                    ));
+                }
+                let m = Lti::hvac(args[0].as_f64()?, args[1].as_f64()?, args[2].as_f64()?);
+                Ok(Value::Float(simulation_sse(&m, &[measured[0]], u, measured)))
+            }),
+        });
+
+        Session { db, registry, advisor, arima_training, hvac_training }
+    }
+
+    /// Execute one SQL statement.
+    pub fn execute(&mut self, sql: &str) -> Result<ExecResult> {
+        execute_sql(&mut self.db, sql)
+    }
+
+    /// Execute a `;`-separated script, returning the last result.
+    pub fn execute_script(&mut self, sql: &str) -> Result<ExecResult> {
+        execute_script(&mut self.db, sql)
+    }
+
+    /// Execute and expect a result set.
+    pub fn query(&mut self, sql: &str) -> Result<Table> {
+        self.execute(sql)?.into_table()
+    }
+
+    /// Execute and expect a single scalar.
+    pub fn query_scalar(&mut self, sql: &str) -> Result<Value> {
+        self.query(sql)?.scalar()
+    }
+
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    pub fn db_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Install a custom solver (RC3 extensibility).
+    pub fn install_solver(&self, solver: Arc<dyn Solver>) {
+        self.registry.register(solver);
+    }
+
+    pub fn solver_names(&self) -> Vec<String> {
+        self.registry.names()
+    }
+
+    /// The Predictive Advisor instance (exposes its model cache stats).
+    pub fn advisor(&self) -> &PredictiveAdvisor {
+        &self.advisor
+    }
+
+    /// Register the training series used by the `arima_rmse` UDF.
+    pub fn set_arima_training(&self, y: Vec<f64>) {
+        *self.arima_training.write() = y;
+    }
+
+    /// Register training data for the `hvac_sse` UDF: inputs are
+    /// `(outtemp, hload)` rows; `measured[0]` is the initial state.
+    pub fn set_hvac_training(&self, u: Vec<Vec<f64>>, measured: Vec<f64>) {
+        *self.hvac_training.write() = (u, measured);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_has_builtin_solvers() {
+        let s = Session::new();
+        let names = s.solver_names();
+        for expected in ["solverlp", "swarmops", "lr_solver", "arima_solver", "predictive_solver"]
+        {
+            assert!(names.iter().any(|n| n == expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn basic_sql_roundtrip() {
+        let mut s = Session::new();
+        s.execute_script("CREATE TABLE t (x int); INSERT INTO t VALUES (1), (2)").unwrap();
+        assert_eq!(s.query_scalar("SELECT sum(x) FROM t").unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn arima_rmse_udf_requires_training_data() {
+        let mut s = Session::new();
+        assert!(s.query_scalar("SELECT arima_rmse(1, 0, 0)").is_err());
+        s.set_arima_training((0..100).map(|i| (i % 7) as f64).collect());
+        let v = s.query_scalar("SELECT arima_rmse(1, 0, 0)").unwrap();
+        assert!(v.as_f64().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn hvac_sse_udf() {
+        let mut s = Session::new();
+        assert!(s.query_scalar("SELECT hvac_sse(0.9, 0.1, 0.0)").is_err());
+        let truth = Lti::hvac(0.9, 0.05, 0.0004);
+        let u: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 100.0]).collect();
+        let (states, _) = truth.simulate(&[21.0], &u);
+        let measured: Vec<f64> = states.iter().map(|s| s[0]).collect();
+        s.set_hvac_training(u, measured);
+        let perfect = s
+            .query_scalar("SELECT hvac_sse(0.9, 0.05, 0.0004)")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(perfect < 1e-15);
+        let off = s
+            .query_scalar("SELECT hvac_sse(0.5, 0.05, 0.0004)")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(off > perfect);
+    }
+}

@@ -1,0 +1,120 @@
+//! The solver framework: the [`Solver`] trait and the registry through
+//! which `USING solver.method(...)` resolves (paper §4.1, RC3's
+//! extensibility).
+
+use crate::problem::ProblemInstance;
+use parking_lot::RwLock;
+use sqlengine::catalog::{Ctes, Database};
+use sqlengine::error::{Error, Result};
+use sqlengine::table::Table;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Execution context handed to solvers: catalog access plus the CTE
+/// environment the `SOLVESELECT` ran under.
+pub struct SolveContext<'a> {
+    pub db: &'a Database,
+    pub ctes: &'a Ctes,
+}
+
+/// A SolveDB+ solver. Solvers receive the built problem instance
+/// (materialized relations, rules, parameters) and return the output
+/// relation in the schema of the input relation.
+pub trait Solver: Send + Sync {
+    /// Registry name (`USING <name>`).
+    fn name(&self) -> &str;
+
+    /// Supported method names (`USING name.<method>`); empty = any.
+    fn methods(&self) -> Vec<&str> {
+        vec![]
+    }
+
+    /// Solve and produce the output relation.
+    fn solve(&self, ctx: &SolveContext<'_>, prob: &ProblemInstance) -> Result<Table>;
+}
+
+/// Thread-safe solver registry.
+#[derive(Default)]
+pub struct SolverRegistry {
+    solvers: RwLock<HashMap<String, Arc<dyn Solver>>>,
+}
+
+impl SolverRegistry {
+    pub fn new() -> SolverRegistry {
+        SolverRegistry::default()
+    }
+
+    /// Install (or replace) a solver — the `CREATE SOLVER` analogue.
+    pub fn register(&self, solver: Arc<dyn Solver>) {
+        self.solvers.write().insert(solver.name().to_string(), solver);
+    }
+
+    pub fn get(&self, name: &str) -> Result<Arc<dyn Solver>> {
+        self.solvers.read().get(name).cloned().ok_or_else(|| {
+            Error::solver(format!(
+                "no solver named '{name}' is installed (available: {})",
+                self.names().join(", ")
+            ))
+        })
+    }
+
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.solvers.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Validate a method name against the solver's declared methods.
+    pub fn check_method(solver: &dyn Solver, method: &Option<String>) -> Result<()> {
+        if let Some(m) = method {
+            let methods = solver.methods();
+            if !methods.is_empty() && !methods.iter().any(|x| x == m) {
+                return Err(Error::solver(format!(
+                    "solver '{}' has no method '{m}' (methods: {})",
+                    solver.name(),
+                    methods.join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+    impl Solver for Dummy {
+        fn name(&self) -> &str {
+            "dummy"
+        }
+        fn methods(&self) -> Vec<&str> {
+            vec!["fast", "slow"]
+        }
+        fn solve(&self, _ctx: &SolveContext<'_>, prob: &ProblemInstance) -> Result<Table> {
+            Ok(prob.relations[0].table.clone())
+        }
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let reg = SolverRegistry::new();
+        reg.register(Arc::new(Dummy));
+        assert!(reg.get("dummy").is_ok());
+        let err = match reg.get("nope") {
+            Err(e) => e,
+            Ok(_) => panic!("expected error"),
+        };
+        assert!(err.to_string().contains("dummy"));
+        assert_eq!(reg.names(), vec!["dummy"]);
+    }
+
+    #[test]
+    fn method_validation() {
+        let d = Dummy;
+        assert!(SolverRegistry::check_method(&d, &None).is_ok());
+        assert!(SolverRegistry::check_method(&d, &Some("fast".into())).is_ok());
+        assert!(SolverRegistry::check_method(&d, &Some("warp".into())).is_err());
+    }
+}

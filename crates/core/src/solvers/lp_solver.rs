@@ -1,0 +1,64 @@
+//! `solverlp` — the LP/MIP solver of SolveDB+ (paper §4.1, `USING
+//! solverlp.cbc()`), backed by this repository's simplex and
+//! branch-and-bound instead of CBC/GLPK.
+
+use crate::problem::{apply_solution, compile_linear, to_lp, ProblemInstance};
+use crate::solver::{SolveContext, Solver};
+use sqlengine::error::{Error, Result};
+use sqlengine::table::Table;
+use std::collections::HashMap;
+
+#[derive(Debug, Default)]
+pub struct LpSolver;
+
+impl Solver for LpSolver {
+    fn name(&self) -> &str {
+        "solverlp"
+    }
+
+    fn methods(&self) -> Vec<&str> {
+        // cbc/glpk are accepted for compatibility with the paper's
+        // listings; both route to the built-in simplex/branch-and-bound.
+        vec!["cbc", "glpk", "simplex", "bb", "auto"]
+    }
+
+    fn solve(&self, ctx: &SolveContext<'_>, prob: &ProblemInstance) -> Result<Table> {
+        let rules = compile_linear(ctx.db, ctx.ctes, prob)?;
+        let (mut lp_prob, used) = to_lp(prob, &rules);
+        // A node limit can be supplied for large MIPs.
+        if let Some(Ok(limit)) = prob.param_usize("node_limit") {
+            if lp_prob.has_integers() {
+                let sol = lp::mip::branch_and_bound(
+                    &lp_prob,
+                    lp::mip::MipOptions { node_limit: limit, ..Default::default() },
+                );
+                return finish(prob, sol, &used);
+            }
+        }
+        // Method `simplex` forces the LP relaxation even with integers.
+        if prob.method.as_deref() == Some("simplex") {
+            lp_prob.integer.iter_mut().for_each(|b| *b = false);
+        }
+        let sol = lp::solve(&lp_prob);
+        finish(prob, sol, &used)
+    }
+}
+
+fn finish(
+    prob: &ProblemInstance,
+    sol: lp::Solution,
+    used: &[crate::symbolic::VarId],
+) -> Result<Table> {
+    match sol.status {
+        lp::Status::Optimal | lp::Status::NodeLimit => {
+            let assignment: HashMap<u32, f64> = used
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, sol.x[i]))
+                .collect();
+            Ok(apply_solution(prob, &|v| assignment.get(&v).copied()))
+        }
+        lp::Status::Infeasible => Err(Error::solver("the problem is infeasible")),
+        lp::Status::Unbounded => Err(Error::solver("the problem is unbounded")),
+    }
+}

@@ -1,0 +1,68 @@
+//! `swarmops` — black-box global optimization solver (paper §3.2's
+//! `swarmops.pso()` and §4.4's `swarmops.sa()`), backed by the
+//! `globalopt` crate's PSO / SA / DE.
+//!
+//! The fitness function re-materializes the decision relations with the
+//! candidate values and re-evaluates the `MINIMIZE`/`MAXIMIZE` query —
+//! exactly the per-iteration cost the paper measures in Fig. 4(b).
+
+use crate::problem::{apply_solution, blackbox_fitness, build_blackbox, ProblemInstance};
+use crate::solver::{SolveContext, Solver};
+use globalopt::{pso, sa_from, differential_evolution, DeOptions, PsoOptions, SaOptions};
+use sqlengine::error::Result;
+use sqlengine::table::Table;
+
+#[derive(Debug, Default)]
+pub struct SwarmOps;
+
+impl Solver for SwarmOps {
+    fn name(&self) -> &str {
+        "swarmops"
+    }
+
+    fn methods(&self) -> Vec<&str> {
+        vec!["pso", "sa", "de"]
+    }
+
+    fn solve(&self, ctx: &SolveContext<'_>, prob: &ProblemInstance) -> Result<Table> {
+        let bb = build_blackbox(ctx.db, ctx.ctes, prob)?;
+        let fitness = |x: &[f64]| blackbox_fitness(ctx.db, ctx.ctes, prob, &bb, x);
+        let seed = prob
+            .param_usize("seed")
+            .transpose()?
+            .unwrap_or(0x5001_7EDB) as u64;
+        let method = prob.method.as_deref().unwrap_or("pso");
+        let result = match method {
+            "sa" => {
+                let iterations = prob.param_usize("iterations").transpose()?.unwrap_or(2000);
+                sa_from(
+                    fitness,
+                    &bb.space,
+                    SaOptions { iterations, seed, ..Default::default() },
+                    bb.start.clone(),
+                )
+            }
+            "de" => {
+                let iterations = prob.param_usize("iterations").transpose()?.unwrap_or(60);
+                let population = prob.param_usize("population").transpose()?.unwrap_or(20);
+                differential_evolution(
+                    fitness,
+                    &bb.space,
+                    DeOptions { iterations, population, seed, ..Default::default() },
+                )
+            }
+            _ => {
+                // The paper's UC2 setting: 10 particles × 10 iterations.
+                let iterations = prob.param_usize("iterations").transpose()?.unwrap_or(10);
+                let particles = prob.param_usize("particles").transpose()?.unwrap_or(10);
+                pso(
+                    fitness,
+                    &bb.space,
+                    PsoOptions { particles, iterations, seed, ..Default::default() },
+                )
+            }
+        };
+        let x = result.x;
+        Ok(apply_solution(prob, &|v| Some(x[v as usize])))
+    }
+}

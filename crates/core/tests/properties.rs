@@ -1,0 +1,167 @@
+//! Property-based checks of the SolveDB+ layer: symbolic evaluation
+//! agrees with numeric evaluation, model instantiation is lawful, and
+//! the CDTE rewrite preserves solutions.
+
+use proptest::prelude::*;
+use solvedbplus_core::model::ModelValue;
+use solvedbplus_core::symbolic::{as_linexpr, sym_value, LinExpr};
+use solvedbplus_core::Session;
+use sqlengine::types::{BinOp, Value};
+
+// ---------------------------------------------------------------------------
+// Symbolic algebra vs numeric oracle
+// ---------------------------------------------------------------------------
+
+/// A random linear computation applied both numerically and symbolically.
+#[derive(Debug, Clone)]
+enum LinOp {
+    AddVar(u32),
+    AddConst(f64),
+    Scale(f64),
+    SubVar(u32),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<LinOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u32..4).prop_map(LinOp::AddVar),
+            (-50i32..50).prop_map(|c| LinOp::AddConst(c as f64)),
+            (-3i32..4).prop_map(|k| LinOp::Scale(k as f64)),
+            (0u32..4).prop_map(LinOp::SubVar),
+        ],
+        1..12,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Building an expression symbolically and evaluating under an
+    /// assignment equals running the same computation numerically.
+    #[test]
+    fn symbolic_matches_numeric(ops in arb_ops(), assign in prop::collection::vec(-10i32..10, 4)) {
+        let a = |v: u32| assign[v as usize] as f64;
+        // Numeric.
+        let mut num = 0.0f64;
+        for op in &ops {
+            match op {
+                LinOp::AddVar(v) => num += a(*v),
+                LinOp::AddConst(c) => num += c,
+                LinOp::Scale(k) => num *= k,
+                LinOp::SubVar(v) => num -= a(*v),
+            }
+        }
+        // Symbolic through the Value operator hooks.
+        let mut sym = Value::Float(0.0);
+        for op in &ops {
+            sym = match op {
+                LinOp::AddVar(v) =>
+                    Value::binop(BinOp::Add, &sym, &sym_value(LinExpr::var(*v))).unwrap(),
+                LinOp::AddConst(c) =>
+                    Value::binop(BinOp::Add, &sym, &Value::Float(*c)).unwrap(),
+                LinOp::Scale(k) =>
+                    Value::binop(BinOp::Mul, &sym, &Value::Float(*k)).unwrap(),
+                LinOp::SubVar(v) =>
+                    Value::binop(BinOp::Sub, &sym, &sym_value(LinExpr::var(*v))).unwrap(),
+            };
+        }
+        let lin = as_linexpr(&sym).unwrap();
+        let got = lin.eval(&|v| a(v));
+        prop_assert!((got - num).abs() < 1e-6, "sym {} vs num {}", got, num);
+    }
+
+    /// LinExpr add/sub/scale satisfy basic vector-space laws.
+    #[test]
+    fn linexpr_laws(c1 in -10i32..10, c2 in -10i32..10, k in -5i32..5) {
+        let a = LinExpr { constant: c1 as f64, terms: vec![(0, 1.0), (2, -2.0)] };
+        let b = LinExpr { constant: c2 as f64, terms: vec![(1, 3.0), (2, 1.0)] };
+        // Commutativity of add.
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        // a - a = 0.
+        let zero = a.sub(&a);
+        prop_assert!(zero.is_constant() && zero.constant == 0.0);
+        // Distributivity of scale over add.
+        let lhs = a.add(&b).scale(k as f64);
+        let rhs = a.scale(k as f64).add(&b.scale(k as f64));
+        for v in 0..4u32 {
+            let x = |i: u32| (i as f64) + 0.5;
+            prop_assert!((lhs.eval(&x) - rhs.eval(&x)).abs() < 1e-9);
+            let _ = v;
+        }
+    }
+
+    /// Instantiation: `m << m` is idempotent on relation aliases, and
+    /// instantiating with an unrelated model only appends.
+    #[test]
+    fn instantiation_laws(k in 0.0f64..10.0) {
+        let m = ModelValue::parse(
+            "SOLVEMODEL pars AS (SELECT 1.0 AS a) WITH data AS (SELECT 2.0 AS b)",
+        ).unwrap();
+        let self_inst = m.instantiate(&m);
+        prop_assert_eq!(self_inst.aliases(), m.aliases());
+
+        let delta = ModelValue::parse(
+            &format!("SOLVEMODEL extra AS (SELECT {k} AS z)"),
+        ).unwrap();
+        let appended = m.instantiate(&delta);
+        prop_assert_eq!(appended.aliases().len(), m.aliases().len() + 1);
+        // The original members are untouched.
+        prop_assert_eq!(appended.stmt.input.query.clone(), m.stmt.input.query.clone());
+    }
+
+    /// The LP solved through SQL equals the closed form for the
+    /// one-dimensional bounded problem min c·x, lo ≤ x ≤ hi.
+    #[test]
+    fn one_dim_lp_closed_form(c in -5i32..5, lo in -10i32..0, span in 1i32..20) {
+        prop_assume!(c != 0);
+        let hi = lo + span;
+        let mut s = Session::new();
+        s.execute_script("CREATE TABLE v (x float8); INSERT INTO v VALUES (NULL)").unwrap();
+        let t = s.query(&format!(
+            "SOLVESELECT q(x) AS (SELECT * FROM v) \
+             MINIMIZE (SELECT {c} * x FROM q) \
+             SUBJECTTO (SELECT {lo} <= x <= {hi} FROM q) USING solverlp()"
+        )).unwrap();
+        let got = t.value(0, 0).as_f64().unwrap();
+        let expect = if c > 0 { lo as f64 } else { hi as f64 };
+        prop_assert!((got - expect).abs() < 1e-6, "got {} expect {}", got, expect);
+    }
+}
+
+/// The CDTE rewrite produces the same optimum as the native path over
+/// randomized L1-regression instances.
+#[test]
+fn cdte_rewrite_equivalence_randomized() {
+    use solvedbplus_core::rewrite::solve_via_rewrite;
+    use sqlengine::ast::Statement;
+
+    for seed in 0..8u64 {
+        let slope = 1.0 + seed as f64 * 0.5;
+        let mut s = Session::new();
+        s.execute_script(
+            "CREATE TABLE pars (a float8); INSERT INTO pars VALUES (NULL);
+             CREATE TABLE obs (x float8, y float8);",
+        )
+        .unwrap();
+        for i in 1..=6 {
+            let x = i as f64;
+            let y = slope * x + if i % 2 == 0 { 0.1 } else { -0.1 };
+            s.execute(&format!("INSERT INTO obs VALUES ({x}, {y})")).unwrap();
+        }
+        let sql = "SOLVESELECT p(a) AS (SELECT * FROM pars) \
+             WITH e(err) AS (SELECT x, y, NULL::float8 AS err FROM obs) \
+             MINIMIZE (SELECT sum(err) FROM e) \
+             SUBJECTTO (SELECT -1*err <= a * x - y <= err FROM e, p) \
+             USING solverlp()";
+        let native = s.query(sql).unwrap();
+        let stmt = match sqlengine::parser::parse_statement(sql).unwrap() {
+            Statement::Solve(sv) => sv,
+            _ => unreachable!(),
+        };
+        let rewritten = solve_via_rewrite(s.db(), &sqlengine::Ctes::new(), &stmt).unwrap();
+        let a1 = native.value_by_name(0, "a").unwrap().as_f64().unwrap();
+        let a2 = rewritten.value_by_name(0, "a").unwrap().as_f64().unwrap();
+        assert!((a1 - a2).abs() < 1e-6, "seed {seed}: {a1} vs {a2}");
+        assert!((a1 - slope).abs() < 0.2, "seed {seed}: slope {a1} vs {slope}");
+    }
+}

@@ -1,0 +1,330 @@
+//! # datagen — deterministic synthetic datasets
+//!
+//! Stand-ins for the two datasets of the paper's evaluation:
+//!
+//! * **NIST net-zero home** (UC1): 8737 hourly rows of PV supply, HVAC
+//!   load, and outdoor/indoor temperatures from an instrumented
+//!   lab-home. We generate a multivariate hourly series with the same
+//!   shape — daily/seasonal solar cycles driving PV, weather-driven
+//!   outdoor temperature, and an indoor temperature that follows a
+//!   ground-truth LTI thermal model (so P3's parameter estimation has a
+//!   recoverable target).
+//! * **TPC-H** (UC2): items/parts with monthly order histories. We keep
+//!   the columns the use case touches (items with size/price/supply
+//!   cost and an 80-month order series per item).
+//!
+//! Everything is seeded and deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqlengine::types::timeval;
+use sqlengine::{Database, Row, Table, Value};
+use ssmodel::Lti;
+
+/// Ground-truth HVAC thermal parameters used by the generator; P3
+/// experiments should recover values close to these.
+pub const TRUE_A1: f64 = 0.90;
+pub const TRUE_B1: f64 = 0.08;
+pub const TRUE_B2: f64 = 0.00045;
+
+/// One hourly record of the energy dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyRow {
+    /// Micros since epoch (hourly).
+    pub time: i64,
+    pub out_temp: f64,
+    pub in_temp: f64,
+    pub h_load: f64,
+    pub pv_supply: f64,
+}
+
+/// Generate `n` hourly rows of NIST-like energy data starting at
+/// 2017-01-01 00:00 (the paper uses 8737 rows ≈ one year).
+pub fn energy_series(n: usize, seed: u64) -> Vec<EnergyRow> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = timeval::parse_timestamp("2017-01-01 00:00").expect("static timestamp");
+    let model = Lti::hvac(TRUE_A1, TRUE_B1, TRUE_B2);
+    let mut rows = Vec::with_capacity(n);
+    let mut in_temp = 21.0;
+    for k in 0..n {
+        let t = start + (k as i64) * timeval::MICROS_PER_HOUR;
+        let hour = (k % 24) as f64;
+        let day = (k / 24) as f64;
+        // Outdoor temperature: seasonal + diurnal cycles + noise.
+        let seasonal = 10.0 - 12.0 * ((day + 10.0) * std::f64::consts::TAU / 365.0).cos();
+        let diurnal = 4.0 * ((hour - 14.0) * std::f64::consts::TAU / 24.0).cos();
+        let out_temp = seasonal + diurnal + rng.gen_range(-1.5..1.5);
+        // PV supply: clipped solar bell over daylight hours, scaled by season.
+        let sun = (-((hour - 12.5) / 3.5).powi(2)).exp();
+        let season_scale = 0.55 + 0.45 * ((day + 10.0) * std::f64::consts::TAU / 365.0).sin().abs();
+        let cloud = 0.6 + 0.4 * rng.gen::<f64>();
+        let pv_supply = (420.0 * sun * season_scale * cloud).max(0.0);
+        let pv_supply = if (6.0..20.0).contains(&hour) { pv_supply } else { 0.0 };
+        // HVAC load: thermostat control steering the LTI state toward the
+        // 21.5 °C setpoint (so indoor temperatures stay in the paper's
+        // 20–24 °C comfort range), plus actuation noise.
+        let setpoint = 21.5;
+        let steady = (setpoint * (1.0 - TRUE_A1) - TRUE_B1 * out_temp) / TRUE_B2;
+        let correction = (setpoint - in_temp) / TRUE_B2 * 0.05;
+        let h_load = (steady + correction + rng.gen_range(-40.0..40.0)).clamp(0.0, 17_000.0);
+        // Indoor temperature follows the ground-truth LTI model.
+        rows.push(EnergyRow { time: t, out_temp, in_temp, h_load, pv_supply });
+        in_temp = model.step(&[in_temp], &[out_temp, h_load])[0];
+    }
+    rows
+}
+
+/// Materialize energy rows as an engine table
+/// (`time, outtemp, intemp, hload, pvsupply`).
+pub fn energy_table(rows: &[EnergyRow]) -> Table {
+    let data: Vec<Row> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                Value::Timestamp(r.time),
+                Value::Float(r.out_temp),
+                Value::Float(r.in_temp),
+                Value::Float(r.h_load),
+                Value::Float(r.pv_supply),
+            ]
+        })
+        .collect();
+    Table::from_rows(&["time", "outtemp", "intemp", "hload", "pvsupply"], data)
+}
+
+/// The planning-horizon variant used throughout §5: historical rows plus
+/// `horizon` future rows where `intemp`, `hload`, `pvsupply` are NULL
+/// (decision cells) and `outtemp` carries the forecasted temperature —
+/// exactly Table 1's shape.
+pub fn energy_planning_table(history: usize, horizon: usize, seed: u64) -> Table {
+    let rows = energy_series(history + horizon, seed);
+    let data: Vec<Row> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            if i < history {
+                vec![
+                    Value::Timestamp(r.time),
+                    Value::Float(r.out_temp),
+                    Value::Float(r.in_temp),
+                    Value::Float(r.h_load),
+                    Value::Float(r.pv_supply),
+                ]
+            } else {
+                vec![
+                    Value::Timestamp(r.time),
+                    Value::Float(r.out_temp),
+                    Value::Null,
+                    Value::Null,
+                    Value::Null,
+                ]
+            }
+        })
+        .collect();
+    let mut t = Table::from_rows(&["time", "outtemp", "intemp", "hload", "pvsupply"], data);
+    // NULL-bearing columns must still be typed.
+    for c in t.schema.columns.iter_mut() {
+        if c.name != "time" {
+            c.ty = sqlengine::DataType::Float;
+        } else {
+            c.ty = sqlengine::DataType::Timestamp;
+        }
+    }
+    t
+}
+
+/// Install the paper's 10-row Table 1 example (5 measured hours, 5
+/// decision hours) as table `input` in a database.
+pub fn install_table1(db: &mut Database) {
+    let ts = |s: &str| Value::Timestamp(timeval::parse_timestamp(s).unwrap());
+    let f = Value::Float;
+    let rows: Vec<Row> = vec![
+        vec![ts("2017-07-02 07:00"), f(5.0), f(21.0), f(100.0), f(0.0)],
+        vec![ts("2017-07-02 08:00"), f(6.0), f(20.5), f(250.0), f(0.0)],
+        vec![ts("2017-07-02 09:00"), f(6.0), f(21.0), f(150.0), f(200.0)],
+        vec![ts("2017-07-02 10:00"), f(7.0), f(23.0), f(120.0), f(254.0)],
+        vec![ts("2017-07-02 11:00"), f(8.0), f(23.0), f(80.0), f(320.0)],
+        vec![ts("2017-07-02 12:00"), f(9.0), Value::Null, Value::Null, Value::Null],
+        vec![ts("2017-07-02 13:00"), f(11.0), Value::Null, Value::Null, Value::Null],
+        vec![ts("2017-07-02 14:00"), f(12.0), Value::Null, Value::Null, Value::Null],
+        vec![ts("2017-07-02 15:00"), f(11.0), Value::Null, Value::Null, Value::Null],
+        vec![ts("2017-07-02 16:00"), f(11.0), Value::Null, Value::Null, Value::Null],
+    ];
+    let mut t = Table::from_rows(&["time", "outtemp", "intemp", "hload", "pvsupply"], rows);
+    for c in t.schema.columns.iter_mut() {
+        c.ty = if c.name == "time" {
+            sqlengine::DataType::Timestamp
+        } else {
+            sqlengine::DataType::Float
+        };
+    }
+    db.put_table("input", t);
+}
+
+// ---------------------------------------------------------------------------
+// TPC-H-like supply chain data (UC2)
+// ---------------------------------------------------------------------------
+
+/// An item of the supply chain use case.
+#[derive(Debug, Clone)]
+pub struct ScItem {
+    pub item_id: i64,
+    /// Storage volume per unit.
+    pub size: f64,
+    /// Sale price per unit.
+    pub price: f64,
+    /// Production cost per unit.
+    pub cost: f64,
+    /// Monthly order quantities, oldest first.
+    pub orders: Vec<f64>,
+}
+
+/// Generate `n_items` items, each with `months` months of order history
+/// (the paper uses 80 rows of monthly orders per item).
+pub fn supply_chain(n_items: usize, months: usize, seed: u64) -> Vec<ScItem> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_items)
+        .map(|i| {
+            let base = rng.gen_range(50.0..400.0);
+            let trend = rng.gen_range(-0.6..1.2);
+            let season_amp = rng.gen_range(0.0..0.45) * base;
+            let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+            let noise_amp = rng.gen_range(0.02..0.12) * base;
+            let orders: Vec<f64> = (0..months)
+                .map(|m| {
+                    let v = base
+                        + trend * m as f64
+                        + season_amp * ((m as f64) * std::f64::consts::TAU / 12.0 + phase).sin()
+                        + rng.gen_range(-noise_amp..noise_amp);
+                    v.max(0.0)
+                })
+                .collect();
+            let price = rng.gen_range(10.0..120.0);
+            ScItem {
+                item_id: (i + 1) as i64,
+                size: rng.gen_range(0.5..8.0),
+                price,
+                cost: price * rng.gen_range(0.4..0.8),
+                orders,
+            }
+        })
+        .collect()
+}
+
+/// Install `items` and `orders` tables for UC2:
+/// `items(item_id, size, price, cost)`,
+/// `orders(item_id, month, quantity)` with `month` as a timestamp.
+pub fn install_supply_chain(db: &mut Database, items: &[ScItem]) {
+    let item_rows: Vec<Row> = items
+        .iter()
+        .map(|it| {
+            vec![
+                Value::Int(it.item_id),
+                Value::Float(it.size),
+                Value::Float(it.price),
+                Value::Float(it.cost),
+            ]
+        })
+        .collect();
+    db.put_table(
+        "items",
+        Table::from_rows(&["item_id", "size", "price", "cost"], item_rows),
+    );
+    let start = timeval::parse_timestamp("2010-01-01").expect("static timestamp");
+    let mut order_rows: Vec<Row> = Vec::new();
+    for it in items {
+        for (m, &qty) in it.orders.iter().enumerate() {
+            // Month arithmetic: advance by calendar month.
+            let mut c = timeval::decompose(start);
+            let total = c.month as usize - 1 + m;
+            c.year += (total / 12) as i64;
+            c.month = (total % 12) as u32 + 1;
+            order_rows.push(vec![
+                Value::Int(it.item_id),
+                Value::Timestamp(timeval::compose(c)),
+                Value::Float(qty),
+            ]);
+        }
+    }
+    db.put_table(
+        "orders",
+        Table::from_rows(&["item_id", "month", "quantity"], order_rows),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_series_is_deterministic_and_shaped() {
+        let a = energy_series(100, 7);
+        let b = energy_series(100, 7);
+        assert_eq!(a.len(), 100);
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.pv_supply == y.pv_supply && x.out_temp == y.out_temp));
+        let c = energy_series(100, 8);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.pv_supply != y.pv_supply));
+        // PV is zero at night.
+        assert!(a.iter().filter(|r| {
+            let hour = ((r.time / timeval::MICROS_PER_HOUR) % 24) as i64;
+            !(6..20).contains(&hour)
+        }).all(|r| r.pv_supply == 0.0));
+        // Load respects the HVAC power limit of the paper (0–17 kW).
+        assert!(a.iter().all(|r| (0.0..=17_000.0).contains(&r.h_load)));
+    }
+
+    #[test]
+    fn indoor_temperature_follows_ground_truth_model() {
+        let rows = energy_series(50, 3);
+        let m = Lti::hvac(TRUE_A1, TRUE_B1, TRUE_B2);
+        for w in rows.windows(2) {
+            let expect = m.step(&[w[0].in_temp], &[w[0].out_temp, w[0].h_load])[0];
+            assert!((w[1].in_temp - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn planning_table_has_null_decision_cells() {
+        let t = energy_planning_table(24, 5, 1);
+        assert_eq!(t.num_rows(), 29);
+        assert!(!t.value(23, 2).is_null());
+        assert!(t.value(24, 2).is_null()); // intemp
+        assert!(t.value(24, 3).is_null()); // hload
+        assert!(t.value(24, 4).is_null()); // pvsupply
+        assert!(!t.value(24, 1).is_null()); // forecasted outtemp present
+    }
+
+    #[test]
+    fn table1_matches_paper() {
+        let mut db = Database::new();
+        install_table1(&mut db);
+        let t = db.table("input").unwrap();
+        assert_eq!(t.num_rows(), 10);
+        assert_eq!(t.value(0, 2), &Value::Float(21.0));
+        assert_eq!(t.value(4, 4), &Value::Float(320.0));
+        assert!(t.value(5, 4).is_null());
+    }
+
+    #[test]
+    fn supply_chain_tables() {
+        let items = supply_chain(10, 80, 5);
+        assert_eq!(items.len(), 10);
+        assert!(items.iter().all(|i| i.orders.len() == 80));
+        assert!(items.iter().all(|i| i.price > i.cost));
+        let mut db = Database::new();
+        install_supply_chain(&mut db, &items);
+        assert_eq!(db.table("items").unwrap().num_rows(), 10);
+        assert_eq!(db.table("orders").unwrap().num_rows(), 800);
+    }
+
+    #[test]
+    fn orders_are_nonnegative_with_seasonality_available() {
+        let items = supply_chain(3, 36, 11);
+        for it in &items {
+            assert!(it.orders.iter().all(|&q| q >= 0.0));
+        }
+    }
+}

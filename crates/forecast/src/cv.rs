@@ -1,0 +1,189 @@
+//! Rolling-origin cross validation and model selection — the machinery
+//! behind the Predictive Advisor (`predictive_solver`, paper §3.1–3.2).
+
+use crate::Forecaster;
+
+/// Root-mean-square error between two aligned slices.
+pub fn rmse(pred: &[f64], actual: &[f64]) -> f64 {
+    if pred.is_empty() || pred.len() != actual.len() {
+        return f64::INFINITY;
+    }
+    let sse: f64 = pred.iter().zip(actual).map(|(p, a)| (p - a) * (p - a)).sum();
+    (sse / pred.len() as f64).sqrt()
+}
+
+/// Rolling-origin evaluation: for `folds` cut points, train on the prefix
+/// and score an `horizon`-step forecast against the held-out window.
+/// Returns the average RMSE across successful folds, or infinity when the
+/// model never fits.
+pub fn cross_validate(
+    make: &dyn Fn() -> Box<dyn Forecaster>,
+    y: &[f64],
+    features: &[Vec<f64>],
+    horizon: usize,
+    folds: usize,
+) -> f64 {
+    let n = y.len();
+    if n <= horizon + 2 || folds == 0 {
+        return f64::INFINITY;
+    }
+    let earliest = (n / 2).max(3);
+    let latest = n - horizon;
+    if latest <= earliest {
+        return f64::INFINITY;
+    }
+    let mut errors = Vec::new();
+    for f in 0..folds {
+        // Evenly spaced cut points between earliest and latest.
+        let cut = earliest + (latest - earliest) * (f + 1) / folds;
+        let train_y = &y[..cut];
+        let train_f: Vec<Vec<f64>> = features.iter().map(|c| c[..cut].to_vec()).collect();
+        let test_f: Vec<Vec<f64>> =
+            features.iter().map(|c| c[cut..cut + horizon].to_vec()).collect();
+        let mut model = make();
+        if model.fit(train_y, &train_f).is_err() {
+            continue;
+        }
+        if let Ok(pred) = model.forecast(horizon, &test_f) {
+            let e = rmse(&pred, &y[cut..cut + horizon]);
+            if e.is_finite() {
+                errors.push(e);
+            }
+        }
+    }
+    if errors.is_empty() {
+        f64::INFINITY
+    } else {
+        errors.iter().sum::<f64>() / errors.len() as f64
+    }
+}
+
+/// Pick the best model among candidates by rolling-origin CV, fit it on
+/// the full history, and return it with its CV score. This is the model
+/// selection step of the Predictive Advisor (§3.2, P2.3).
+pub fn select_best(
+    candidates: Vec<(String, Box<dyn Fn() -> Box<dyn Forecaster>>)>,
+    y: &[f64],
+    features: &[Vec<f64>],
+    horizon: usize,
+    folds: usize,
+) -> Option<(String, Box<dyn Forecaster>, f64)> {
+    let mut best: Option<(String, f64, &Box<dyn Fn() -> Box<dyn Forecaster>>)> = None;
+    for (name, make) in &candidates {
+        let score = cross_validate(make.as_ref(), y, features, horizon, folds);
+        if score.is_finite() {
+            match &best {
+                None => best = Some((name.clone(), score, make)),
+                Some((_, s, _)) if score < *s => best = Some((name.clone(), score, make)),
+                _ => {}
+            }
+        }
+    }
+    let (name, score, make) = best?;
+    let mut model = make();
+    model.fit(y, features).ok()?;
+    Some((name, model, score))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Arima, LinearRegression, MeanForecaster, SeasonalNaive};
+
+    #[test]
+    fn rmse_basics() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(rmse(&[0.0, 0.0], &[3.0, 4.0]), (12.5f64).sqrt());
+        assert!(rmse(&[], &[]).is_infinite());
+        assert!(rmse(&[1.0], &[1.0, 2.0]).is_infinite());
+    }
+
+    fn seasonal_series(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| 100.0 + 50.0 * ((i % 24) as f64 * std::f64::consts::TAU / 24.0).sin())
+            .collect()
+    }
+
+    #[test]
+    fn cv_scores_seasonal_naive_best_on_seasonal_data() {
+        let y = seasonal_series(240);
+        let sn = cross_validate(
+            &|| Box::new(SeasonalNaive::new(24)) as Box<dyn Forecaster>,
+            &y,
+            &[],
+            24,
+            3,
+        );
+        let mean = cross_validate(
+            &|| Box::new(MeanForecaster::default()) as Box<dyn Forecaster>,
+            &y,
+            &[],
+            24,
+            3,
+        );
+        assert!(sn < mean, "seasonal {sn} vs mean {mean}");
+        assert!(sn < 1e-9); // perfectly periodic
+    }
+
+    #[test]
+    fn select_best_picks_the_right_model_and_fits_it() {
+        let y = seasonal_series(240);
+        let candidates: Vec<(String, Box<dyn Fn() -> Box<dyn Forecaster>>)> = vec![
+            (
+                "mean".into(),
+                Box::new(|| Box::new(MeanForecaster::default()) as Box<dyn Forecaster>),
+            ),
+            (
+                "seasonal".into(),
+                Box::new(|| Box::new(SeasonalNaive::new(24)) as Box<dyn Forecaster>),
+            ),
+            (
+                "arima".into(),
+                Box::new(|| Box::new(Arima::new(1, 0, 0)) as Box<dyn Forecaster>),
+            ),
+        ];
+        let (name, model, score) = select_best(candidates, &y, &[], 24, 3).unwrap();
+        assert_eq!(name, "seasonal");
+        assert!(score < 1e-9);
+        let f = model.forecast(24, &[]).unwrap();
+        assert!((f[0] - y[216]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn select_best_handles_all_failures() {
+        // Series too short for any candidate.
+        let y = vec![1.0, 2.0];
+        let candidates: Vec<(String, Box<dyn Fn() -> Box<dyn Forecaster>>)> = vec![(
+            "arima".into(),
+            Box::new(|| Box::new(Arima::new(5, 2, 5)) as Box<dyn Forecaster>),
+        )];
+        assert!(select_best(candidates, &y, &[], 5, 3).is_none());
+    }
+
+    #[test]
+    fn cv_with_features_uses_future_columns() {
+        // y = 2 * feature; LR should be near-perfect.
+        let feat: Vec<f64> = (0..120).map(|i| ((i * 13) % 29) as f64).collect();
+        let y: Vec<f64> = feat.iter().map(|v| 2.0 * v).collect();
+        let score = cross_validate(
+            &|| Box::new(LinearRegression::new()) as Box<dyn Forecaster>,
+            &y,
+            &[feat.clone()],
+            10,
+            4,
+        );
+        assert!(score < 1e-6, "score {score}");
+    }
+
+    #[test]
+    fn cv_insufficient_data() {
+        assert!(cross_validate(
+            &|| Box::new(MeanForecaster::default()) as Box<dyn Forecaster>,
+            &[1.0, 2.0, 3.0],
+            &[],
+            5,
+            3
+        )
+        .is_infinite());
+    }
+}

@@ -1,0 +1,145 @@
+//! # forecast — time-series forecasting methods
+//!
+//! The algorithmic half of SolveDB+'s Predictive Framework (paper §3):
+//! ordinary-least-squares linear regression, ARIMA(p,d,q) with
+//! Hannan–Rissanen estimation, naive baselines, rolling-origin cross
+//! validation, and the model-selection routine behind the Predictive
+//! Advisor (`predictive_solver`). Engine integration (SQL exposure,
+//! decision-column handling) lives in `solvedbplus-core`.
+
+pub mod arima;
+pub mod cv;
+pub mod linreg;
+pub mod ols;
+
+pub use arima::Arima;
+pub use cv::{cross_validate, rmse, select_best};
+pub use linreg::LinearRegression;
+
+/// A trainable, exogenous-feature-aware forecaster.
+///
+/// `features` is column-major: each inner slice is one feature column
+/// aligned with `y`. `future_features` supplies the same columns for the
+/// forecast horizon.
+pub trait Forecaster {
+    fn name(&self) -> &str;
+
+    /// Fit on history. Returns a descriptive error when the data is
+    /// insufficient for the model's order.
+    fn fit(&mut self, y: &[f64], features: &[Vec<f64>]) -> Result<(), String>;
+
+    /// Forecast `h` steps ahead. `future_features` must hold the same
+    /// number of columns as `fit` saw, each of length `h`.
+    fn forecast(&self, h: usize, future_features: &[Vec<f64>]) -> Result<Vec<f64>, String>;
+
+    /// In-sample one-step-ahead fitted values (for error reporting).
+    fn fitted(&self) -> &[f64];
+}
+
+/// Forecast with the historical mean — the weakest sensible baseline.
+#[derive(Debug, Default, Clone)]
+pub struct MeanForecaster {
+    mean: f64,
+    fitted: Vec<f64>,
+}
+
+impl Forecaster for MeanForecaster {
+    fn name(&self) -> &str {
+        "mean"
+    }
+
+    fn fit(&mut self, y: &[f64], _features: &[Vec<f64>]) -> Result<(), String> {
+        if y.is_empty() {
+            return Err("mean forecaster needs at least one observation".into());
+        }
+        self.mean = y.iter().sum::<f64>() / y.len() as f64;
+        self.fitted = vec![self.mean; y.len()];
+        Ok(())
+    }
+
+    fn forecast(&self, h: usize, _f: &[Vec<f64>]) -> Result<Vec<f64>, String> {
+        Ok(vec![self.mean; h])
+    }
+
+    fn fitted(&self) -> &[f64] {
+        &self.fitted
+    }
+}
+
+/// Seasonal-naive: repeat the value observed one season earlier.
+#[derive(Debug, Clone)]
+pub struct SeasonalNaive {
+    pub period: usize,
+    history: Vec<f64>,
+    fitted: Vec<f64>,
+}
+
+impl SeasonalNaive {
+    pub fn new(period: usize) -> SeasonalNaive {
+        SeasonalNaive { period: period.max(1), history: vec![], fitted: vec![] }
+    }
+}
+
+impl Forecaster for SeasonalNaive {
+    fn name(&self) -> &str {
+        "seasonal_naive"
+    }
+
+    fn fit(&mut self, y: &[f64], _features: &[Vec<f64>]) -> Result<(), String> {
+        if y.len() < self.period {
+            return Err(format!(
+                "seasonal naive needs at least one full period ({} points)",
+                self.period
+            ));
+        }
+        self.history = y.to_vec();
+        self.fitted = y
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if i >= self.period { y[i - self.period] } else { v })
+            .collect();
+        Ok(())
+    }
+
+    fn forecast(&self, h: usize, _f: &[Vec<f64>]) -> Result<Vec<f64>, String> {
+        let n = self.history.len();
+        Ok((0..h)
+            .map(|k| {
+                // Index of the same phase in the last observed season.
+                let idx = n - self.period + (k % self.period);
+                self.history[idx]
+            })
+            .collect())
+    }
+
+    fn fitted(&self) -> &[f64] {
+        &self.fitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_forecaster() {
+        let mut m = MeanForecaster::default();
+        m.fit(&[1.0, 2.0, 3.0], &[]).unwrap();
+        assert_eq!(m.forecast(2, &[]).unwrap(), vec![2.0, 2.0]);
+        assert!(m.fit(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn seasonal_naive_repeats_last_season() {
+        let mut m = SeasonalNaive::new(3);
+        m.fit(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[]).unwrap();
+        // Last season = [4, 5, 6].
+        assert_eq!(m.forecast(4, &[]).unwrap(), vec![4.0, 5.0, 6.0, 4.0]);
+    }
+
+    #[test]
+    fn seasonal_naive_requires_full_period() {
+        let mut m = SeasonalNaive::new(10);
+        assert!(m.fit(&[1.0, 2.0], &[]).is_err());
+    }
+}

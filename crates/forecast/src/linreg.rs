@@ -1,0 +1,148 @@
+//! Linear regression forecaster (the paper's LR predictive solver, §4.1).
+//!
+//! Regresses the target on an intercept, the exogenous feature columns
+//! and optionally a linear time index (so a bare series still has a
+//! trend model when no features are given).
+
+use crate::ols::ols;
+use crate::Forecaster;
+
+#[derive(Debug, Clone, Default)]
+pub struct LinearRegression {
+    /// Include a linear time-index regressor.
+    pub with_trend: bool,
+    coef: Vec<f64>,
+    n_features: usize,
+    n_obs: usize,
+    fitted: Vec<f64>,
+}
+
+impl LinearRegression {
+    pub fn new() -> LinearRegression {
+        LinearRegression::default()
+    }
+
+    pub fn with_trend() -> LinearRegression {
+        LinearRegression { with_trend: true, ..Default::default() }
+    }
+
+    /// Fitted coefficients: `[intercept, features..., trend?]`.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coef
+    }
+
+    fn design_row(&self, features: &[Vec<f64>], t: usize, row: usize) -> Vec<f64> {
+        let mut r = Vec::with_capacity(1 + self.n_features + self.with_trend as usize);
+        r.push(1.0);
+        for col in features {
+            r.push(col[row]);
+        }
+        if self.with_trend {
+            r.push(t as f64);
+        }
+        r
+    }
+}
+
+impl Forecaster for LinearRegression {
+    fn name(&self) -> &str {
+        "linear_regression"
+    }
+
+    fn fit(&mut self, y: &[f64], features: &[Vec<f64>]) -> Result<(), String> {
+        self.n_features = features.len();
+        self.n_obs = y.len();
+        for col in features {
+            if col.len() != y.len() {
+                return Err("feature column length mismatch".into());
+            }
+        }
+        let k = 1 + self.n_features + self.with_trend as usize;
+        if y.len() < k {
+            return Err(format!(
+                "linear regression needs at least {k} observations, got {}",
+                y.len()
+            ));
+        }
+        let x: Vec<Vec<f64>> = (0..y.len()).map(|i| self.design_row(features, i, i)).collect();
+        self.coef = ols(&x, y)?;
+        self.fitted = x
+            .iter()
+            .map(|r| r.iter().zip(&self.coef).map(|(a, b)| a * b).sum())
+            .collect();
+        Ok(())
+    }
+
+    fn forecast(&self, h: usize, future_features: &[Vec<f64>]) -> Result<Vec<f64>, String> {
+        if future_features.len() != self.n_features {
+            return Err(format!(
+                "expected {} future feature columns, got {}",
+                self.n_features,
+                future_features.len()
+            ));
+        }
+        for col in future_features {
+            if col.len() < h {
+                return Err("future feature column shorter than horizon".into());
+            }
+        }
+        Ok((0..h)
+            .map(|k| {
+                let row = self.design_row(future_features, self.n_obs + k, k);
+                row.iter().zip(&self.coef).map(|(a, b)| a * b).sum()
+            })
+            .collect())
+    }
+
+    fn fitted(&self) -> &[f64] {
+        &self.fitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_linear_relation_on_feature() {
+        // y = 10 + 2 * temp.
+        let temp: Vec<f64> = (0..50).map(|i| (i % 7) as f64).collect();
+        let y: Vec<f64> = temp.iter().map(|t| 10.0 + 2.0 * t).collect();
+        let mut m = LinearRegression::new();
+        m.fit(&y, &[temp]).unwrap();
+        let fut = vec![vec![3.0, 4.0]];
+        let f = m.forecast(2, &fut).unwrap();
+        assert!((f[0] - 16.0).abs() < 1e-6);
+        assert!((f[1] - 18.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trend_extrapolates() {
+        let y: Vec<f64> = (0..30).map(|i| 5.0 + 0.5 * i as f64).collect();
+        let mut m = LinearRegression::with_trend();
+        m.fit(&y, &[]).unwrap();
+        let f = m.forecast(3, &[]).unwrap();
+        assert!((f[0] - 20.0).abs() < 1e-6); // 5 + 0.5*30
+        assert!((f[2] - 21.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mismatched_features_error() {
+        let mut m = LinearRegression::new();
+        assert!(m.fit(&[1.0, 2.0], &[vec![1.0]]).is_err());
+        m.fit(&[1.0, 2.0, 3.0], &[vec![1.0, 2.0, 3.0]]).unwrap();
+        assert!(m.forecast(2, &[]).is_err());
+        assert!(m.forecast(2, &[vec![1.0]]).is_err());
+    }
+
+    #[test]
+    fn fitted_values_match_history_for_exact_fit() {
+        let y = vec![2.0, 4.0, 6.0, 8.0];
+        let x = vec![vec![1.0, 2.0, 3.0, 4.0]];
+        let mut m = LinearRegression::new();
+        m.fit(&y, &x).unwrap();
+        for (f, t) in m.fitted().iter().zip(&y) {
+            assert!((f - t).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Ordinary least squares via the normal equations.
+//!
+//! Small dense solves only (regression designs here have a handful of
+//! columns), so Gaussian elimination with partial pivoting and a tiny
+//! ridge term for rank-deficient designs is the right tool.
+
+/// Solve `min ‖Xb − y‖²`, returning the coefficient vector.
+/// `x` is row-major: `n` rows of `k` features each.
+pub fn ols(x: &[Vec<f64>], y: &[f64]) -> Result<Vec<f64>, String> {
+    let n = x.len();
+    if n == 0 || n != y.len() {
+        return Err("OLS: empty design or length mismatch".into());
+    }
+    let k = x[0].len();
+    if k == 0 {
+        return Err("OLS: no regressors".into());
+    }
+    if x.iter().any(|r| r.len() != k) {
+        return Err("OLS: ragged design matrix".into());
+    }
+    // Normal equations: (X'X) b = X'y.
+    let mut xtx = vec![0.0; k * k];
+    let mut xty = vec![0.0; k];
+    for (row, &yi) in x.iter().zip(y) {
+        for i in 0..k {
+            xty[i] += row[i] * yi;
+            for j in i..k {
+                xtx[i * k + j] += row[i] * row[j];
+            }
+        }
+    }
+    for i in 0..k {
+        for j in 0..i {
+            xtx[i * k + j] = xtx[j * k + i];
+        }
+    }
+    // Tiny ridge proportional to the diagonal scale for robustness.
+    let scale = (0..k).map(|i| xtx[i * k + i]).fold(0.0f64, f64::max).max(1.0);
+    for i in 0..k {
+        xtx[i * k + i] += 1e-10 * scale;
+    }
+    solve_dense(&mut xtx, &mut xty, k)?;
+    Ok(xty)
+}
+
+/// In-place Gaussian elimination with partial pivoting: solves `A b = rhs`
+/// (`a` row-major k×k, destroyed; solution left in `rhs`).
+pub fn solve_dense(a: &mut [f64], rhs: &mut [f64], k: usize) -> Result<(), String> {
+    for col in 0..k {
+        let mut piv = col;
+        let mut best = a[col * k + col].abs();
+        for r in (col + 1)..k {
+            let v = a[r * k + col].abs();
+            if v > best {
+                best = v;
+                piv = r;
+            }
+        }
+        if best < 1e-14 {
+            return Err("singular system in OLS solve".into());
+        }
+        if piv != col {
+            for c in 0..k {
+                a.swap(col * k + c, piv * k + c);
+            }
+            rhs.swap(col, piv);
+        }
+        let d = a[col * k + col];
+        for r in (col + 1)..k {
+            let f = a[r * k + col] / d;
+            if f != 0.0 {
+                for c in col..k {
+                    a[r * k + c] -= f * a[col * k + c];
+                }
+                rhs[r] -= f * rhs[col];
+            }
+        }
+    }
+    for col in (0..k).rev() {
+        let mut s = rhs[col];
+        for c in (col + 1)..k {
+            s -= a[col * k + c] * rhs[c];
+        }
+        rhs[col] = s / a[col * k + col];
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fit() {
+        // y = 2 + 3x.
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![1.0, i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| 2.0 + 3.0 * i as f64).collect();
+        let b = ols(&x, &y).unwrap();
+        assert!((b[0] - 2.0).abs() < 1e-6);
+        assert!((b[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn least_squares_of_noisy_data() {
+        // y = 1 + 0.5x with symmetric residuals: coefficients unchanged.
+        let x = vec![
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![1.0, 2.0],
+            vec![1.0, 3.0],
+        ];
+        let y = vec![1.1, 1.4, 2.1, 2.4];
+        let b = ols(&x, &y).unwrap();
+        let pred: Vec<f64> = x.iter().map(|r| b[0] + b[1] * r[1]).collect();
+        let sse: f64 = pred.iter().zip(&y).map(|(p, t)| (p - t).powi(2)).sum();
+        assert!(sse < 0.04); // analytic optimum has sse = 0.032
+    }
+
+    #[test]
+    fn rank_deficient_design_is_regularized() {
+        // Two identical columns: ridge makes it solvable.
+        let x = vec![vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]];
+        let y = vec![2.0, 4.0, 6.0];
+        let b = ols(&x, &y).unwrap();
+        assert!((b[0] + b[1] - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(ols(&[], &[]).is_err());
+        assert!(ols(&[vec![1.0]], &[1.0, 2.0]).is_err());
+        assert!(ols(&[vec![1.0], vec![]], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn solve_dense_pivots() {
+        // Needs row swap: [[0,1],[1,0]] b = [2,3] → b = [3,2].
+        let mut a = vec![0.0, 1.0, 1.0, 0.0];
+        let mut r = vec![2.0, 3.0];
+        solve_dense(&mut a, &mut r, 2).unwrap();
+        assert_eq!(r, vec![3.0, 2.0]);
+    }
+}

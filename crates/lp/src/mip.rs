@@ -1,0 +1,295 @@
+//! Branch-and-bound mixed-integer programming on top of the simplex.
+//!
+//! Best-first search on the LP relaxation bound, most-fractional
+//! branching, with an optional node limit. This replaces the CBC/GLPK
+//! MIP solvers used by the paper's `solverlp`.
+
+use crate::simplex::solve_lp;
+use crate::{Problem, Solution, Status};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+const INT_TOL: f64 = 1e-6;
+
+/// Branch-and-bound options.
+#[derive(Debug, Clone, Copy)]
+pub struct MipOptions {
+    /// Maximum number of explored nodes before giving up with the best
+    /// incumbent found so far.
+    pub node_limit: usize,
+    /// Relative optimality gap at which search stops.
+    pub gap: f64,
+}
+
+impl Default for MipOptions {
+    fn default() -> Self {
+        MipOptions { node_limit: 100_000, gap: 1e-9 }
+    }
+}
+
+struct Node {
+    /// Bound changes relative to the root problem: (var, lower, upper).
+    changes: Vec<(usize, f64, f64)>,
+    /// LP relaxation bound of the parent (minimization sense).
+    bound: f64,
+    depth: usize,
+}
+
+/// Best-first: smaller bound (for minimization-sense values) explored
+/// first.
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse for best (smallest) first.
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .unwrap_or(Ordering::Equal)
+            .then(other.depth.cmp(&self.depth))
+    }
+}
+
+/// Pick the most fractional integer variable of a relaxation solution.
+fn pick_branch_var(p: &Problem, x: &[f64]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64, f64)> = None; // (var, value, frac-dist)
+    for j in 0..p.num_vars {
+        if p.integer[j] {
+            let f = x[j] - x[j].floor();
+            let dist = (f - 0.5).abs();
+            if f > INT_TOL && f < 1.0 - INT_TOL {
+                match best {
+                    None => best = Some((j, x[j], dist)),
+                    Some((_, _, d)) if dist < d => best = Some((j, x[j], dist)),
+                    _ => {}
+                }
+            }
+        }
+    }
+    best.map(|(j, v, _)| (j, v))
+}
+
+/// Solve a MIP by branch-and-bound.
+pub fn branch_and_bound(root: &Problem, opts: MipOptions) -> Solution {
+    // Work in minimization sense internally.
+    let sense = if root.minimize { 1.0 } else { -1.0 };
+
+    let root_lp = solve_lp(root);
+    match root_lp.status {
+        Status::Infeasible => return Solution::infeasible(),
+        Status::Unbounded => return Solution::unbounded(),
+        _ => {}
+    }
+    if pick_branch_var(root, &root_lp.x).is_none() {
+        // Relaxation is already integral.
+        let mut s = root_lp;
+        s.x.iter_mut()
+            .zip(&root.integer)
+            .for_each(|(v, &is_int)| {
+                if is_int {
+                    *v = v.round();
+                }
+            });
+        s.objective = root.objective_value(&s.x);
+        return s;
+    }
+
+    let mut heap = BinaryHeap::new();
+    heap.push(Node { changes: vec![], bound: sense * root_lp.objective, depth: 0 });
+
+    let mut incumbent: Option<(f64, Vec<f64>)> = None; // (sense-adjusted obj, x)
+    let mut nodes = 0usize;
+    let mut hit_limit = false;
+
+    while let Some(node) = heap.pop() {
+        // Bound pruning.
+        if let Some((inc, _)) = &incumbent {
+            if node.bound >= *inc - opts.gap * (1.0 + inc.abs()) {
+                continue;
+            }
+        }
+        nodes += 1;
+        if nodes > opts.node_limit {
+            hit_limit = true;
+            break;
+        }
+        // Materialize the subproblem.
+        let mut sub = root.clone();
+        for &(j, lo, hi) in &node.changes {
+            sub.tighten(j, lo, hi);
+        }
+        let lp = solve_lp(&sub);
+        if lp.status != Status::Optimal {
+            continue;
+        }
+        let bound = sense * lp.objective;
+        if let Some((inc, _)) = &incumbent {
+            if bound >= *inc - opts.gap * (1.0 + inc.abs()) {
+                continue;
+            }
+        }
+        match pick_branch_var(root, &lp.x) {
+            None => {
+                // Integral: candidate incumbent.
+                let mut x = lp.x.clone();
+                for j in 0..root.num_vars {
+                    if root.integer[j] {
+                        x[j] = x[j].round();
+                    }
+                }
+                if root.is_feasible(&x, 1e-5) {
+                    let obj = sense * root.objective_value(&x);
+                    if incumbent.as_ref().map_or(true, |(inc, _)| obj < *inc) {
+                        incumbent = Some((obj, x));
+                    }
+                }
+            }
+            Some((j, v)) => {
+                let mut down = node.changes.clone();
+                down.push((j, f64::NEG_INFINITY, v.floor()));
+                heap.push(Node { changes: down, bound, depth: node.depth + 1 });
+                let mut up = node.changes.clone();
+                up.push((j, v.ceil(), f64::INFINITY));
+                heap.push(Node { changes: up, bound, depth: node.depth + 1 });
+            }
+        }
+    }
+
+    match incumbent {
+        None => {
+            if hit_limit {
+                Solution { status: Status::NodeLimit, x: vec![], objective: f64::NAN, iterations: nodes }
+            } else {
+                Solution::infeasible()
+            }
+        }
+        Some((obj, x)) => Solution {
+            status: if hit_limit { Status::NodeLimit } else { Status::Optimal },
+            objective: sense * obj,
+            x,
+            iterations: nodes,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rel;
+
+    fn knapsack(values: &[f64], weights: &[f64], cap: f64) -> Solution {
+        let n = values.len();
+        let mut p = Problem::maximize(n);
+        for j in 0..n {
+            p.set_bounds(j, 0.0, 1.0);
+            p.integer[j] = true;
+        }
+        p.set_objective(values.iter().copied().enumerate().collect());
+        p.add_constraint(weights.iter().copied().enumerate().collect(), Rel::Le, cap);
+        branch_and_bound(&p, MipOptions::default())
+    }
+
+    #[test]
+    fn knapsack_small() {
+        // Items: (v, w): (60,10) (100,20) (120,30), cap 50 → 220.
+        let s = knapsack(&[60.0, 100.0, 120.0], &[10.0, 20.0, 30.0], 50.0);
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 220.0).abs() < 1e-6);
+        assert_eq!(s.x.iter().map(|v| v.round() as i64).collect::<Vec<_>>(), vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn knapsack_matches_dp_oracle() {
+        // Deterministic pseudo-random instance, checked against DP.
+        let n = 18;
+        let mut seed = 42u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) % 100) as f64 + 1.0
+        };
+        let values: Vec<f64> = (0..n).map(|_| next()).collect();
+        let weights: Vec<f64> = (0..n).map(|_| next()).collect();
+        let cap = weights.iter().sum::<f64>() * 0.4;
+
+        // DP over integer weights.
+        let wi: Vec<usize> = weights.iter().map(|&w| w as usize).collect();
+        let c = cap as usize;
+        let mut dp = vec![0.0f64; c + 1];
+        for i in 0..n {
+            for w in (wi[i]..=c).rev() {
+                dp[w] = dp[w].max(dp[w - wi[i]] + values[i]);
+            }
+        }
+        let best = dp[c];
+
+        let s = knapsack(&values, &weights, c as f64);
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - best).abs() < 1e-6, "bb={} dp={}", s.objective, best);
+    }
+
+    #[test]
+    fn integer_equality_rounding() {
+        // min x + y, x + y = 3, both integer ≥ 0 → objective 3.
+        let mut p = Problem::minimize(2);
+        p.set_bounds(0, 0.0, 10.0);
+        p.set_bounds(1, 0.0, 10.0);
+        p.integer = vec![true, true];
+        p.set_objective(vec![(0, 1.0), (1, 1.0)]);
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Rel::Eq, 3.0);
+        let s = branch_and_bound(&p, MipOptions::default());
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_mip() {
+        // x integer, 0.2 <= x <= 0.8.
+        let mut p = Problem::minimize(1);
+        p.set_bounds(0, 0.2, 0.8);
+        p.integer = vec![true];
+        p.add_constraint(vec![(0, 1.0)], Rel::Ge, 0.0);
+        let s = branch_and_bound(&p, MipOptions::default());
+        assert_eq!(s.status, Status::Infeasible);
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // max 2x + y; x integer in [0,5], y in [0, 2.5], x + y <= 6.2.
+        let mut p = Problem::maximize(2);
+        p.set_bounds(0, 0.0, 5.0);
+        p.set_bounds(1, 0.0, 2.5);
+        p.integer = vec![true, false];
+        p.set_objective(vec![(0, 2.0), (1, 1.0)]);
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Rel::Le, 6.2);
+        let s = branch_and_bound(&p, MipOptions::default());
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.x[0] - 5.0).abs() < 1e-6);
+        assert!((s.x[1] - 1.2).abs() < 1e-6);
+        assert!((s.objective - 11.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_limit_returns_incumbent_or_limit_status() {
+        let n = 12;
+        let values: Vec<f64> = (0..n).map(|i| (i * 7 % 13) as f64 + 1.0).collect();
+        let weights: Vec<f64> = (0..n).map(|i| (i * 5 % 11) as f64 + 1.0).collect();
+        let mut p = Problem::maximize(n);
+        for j in 0..n {
+            p.set_bounds(j, 0.0, 1.0);
+            p.integer[j] = true;
+        }
+        p.set_objective(values.into_iter().enumerate().collect());
+        p.add_constraint(weights.into_iter().enumerate().collect(), Rel::Le, 20.0);
+        let s = branch_and_bound(&p, MipOptions { node_limit: 3, gap: 1e-9 });
+        assert!(matches!(s.status, Status::NodeLimit | Status::Optimal));
+    }
+}

@@ -1,0 +1,704 @@
+//! Bounded-variable revised simplex with a two-phase (artificial
+//! variable) start, Dantzig pricing with a Bland anti-cycling fallback,
+//! explicit dense basis inverse with periodic refactorization.
+//!
+//! The bounded-variable formulation keeps the basis dimension equal to
+//! the number of *constraints* (not variables), which is what makes the
+//! knapsack-style problems of the paper's UC2 (thousands of variables,
+//! one capacity row) cheap.
+
+use crate::{Problem, Rel, Solution, Status};
+
+const TOL: f64 = 1e-9;
+const PIVOT_TOL: f64 = 1e-10;
+/// Refactorize the basis inverse after this many pivots.
+const REFACTOR_EVERY: usize = 128;
+/// Switch to Bland's rule after this many consecutive degenerate pivots.
+const DEGENERATE_LIMIT: usize = 64;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum VarStatus {
+    Basic(usize),
+    AtLower,
+    AtUpper,
+    /// Nonbasic free variable (value 0).
+    FreeZero,
+}
+
+struct Tableau {
+    m: usize,
+    /// Total variable count: structural + slacks + artificials.
+    n_total: usize,
+    n_structural: usize,
+    /// Sparse columns (row, coefficient).
+    cols: Vec<Vec<(usize, f64)>>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    cost: Vec<f64>,
+    b: Vec<f64>,
+    status: Vec<VarStatus>,
+    basis: Vec<usize>,
+    /// Dense row-major m×m basis inverse.
+    binv: Vec<f64>,
+    /// Basic variable values, aligned with `basis`.
+    xb: Vec<f64>,
+}
+
+impl Tableau {
+    fn nb_value(&self, j: usize) -> f64 {
+        match self.status[j] {
+            VarStatus::AtLower => self.lower[j],
+            VarStatus::AtUpper => self.upper[j],
+            VarStatus::FreeZero => 0.0,
+            VarStatus::Basic(r) => self.xb[r],
+        }
+    }
+
+    /// w = B⁻¹ · A_j for a sparse column.
+    fn ftran(&self, j: usize) -> Vec<f64> {
+        let mut w = vec![0.0; self.m];
+        for &(r, a) in &self.cols[j] {
+            for i in 0..self.m {
+                w[i] += self.binv[i * self.m + r] * a;
+            }
+        }
+        w
+    }
+
+    /// y' = c_B' · B⁻¹.
+    fn btran_costs(&self) -> Vec<f64> {
+        let mut y = vec![0.0; self.m];
+        for (k, &bv) in self.basis.iter().enumerate() {
+            let c = self.cost[bv];
+            if c != 0.0 {
+                for i in 0..self.m {
+                    y[i] += c * self.binv[k * self.m + i];
+                }
+            }
+        }
+        y
+    }
+
+    fn reduced_cost(&self, j: usize, y: &[f64]) -> f64 {
+        let mut d = self.cost[j];
+        for &(r, a) in &self.cols[j] {
+            d -= y[r] * a;
+        }
+        d
+    }
+
+    /// Recompute B⁻¹ by Gaussian elimination and x_B from scratch.
+    /// Returns false if the basis matrix is singular.
+    fn refactorize(&mut self) -> bool {
+        let m = self.m;
+        // Build the dense basis matrix augmented with identity.
+        let mut mat = vec![0.0; m * m];
+        for (k, &j) in self.basis.iter().enumerate() {
+            for &(r, a) in &self.cols[j] {
+                mat[r * m + k] = a;
+            }
+        }
+        let mut inv = vec![0.0; m * m];
+        for i in 0..m {
+            inv[i * m + i] = 1.0;
+        }
+        // Gauss-Jordan with partial pivoting.
+        for col in 0..m {
+            let mut piv = col;
+            let mut best = mat[col * m + col].abs();
+            for r in (col + 1)..m {
+                let v = mat[r * m + col].abs();
+                if v > best {
+                    best = v;
+                    piv = r;
+                }
+            }
+            if best < 1e-12 {
+                return false;
+            }
+            if piv != col {
+                for c in 0..m {
+                    mat.swap(col * m + c, piv * m + c);
+                    inv.swap(col * m + c, piv * m + c);
+                }
+            }
+            let d = mat[col * m + col];
+            for c in 0..m {
+                mat[col * m + c] /= d;
+                inv[col * m + c] /= d;
+            }
+            for r in 0..m {
+                if r != col {
+                    let f = mat[r * m + col];
+                    if f != 0.0 {
+                        for c in 0..m {
+                            mat[r * m + c] -= f * mat[col * m + c];
+                            inv[r * m + c] -= f * inv[col * m + c];
+                        }
+                    }
+                }
+            }
+        }
+        self.binv = inv;
+        self.recompute_xb();
+        true
+    }
+
+    /// x_B = B⁻¹ (b − A_N x_N).
+    fn recompute_xb(&mut self) {
+        let mut rhs = self.b.clone();
+        for j in 0..self.n_total {
+            if !matches!(self.status[j], VarStatus::Basic(_)) {
+                let v = self.nb_value(j);
+                if v != 0.0 {
+                    for &(r, a) in &self.cols[j] {
+                        rhs[r] -= a * v;
+                    }
+                }
+            }
+        }
+        let m = self.m;
+        let mut xb = vec![0.0; m];
+        for i in 0..m {
+            let mut s = 0.0;
+            for r in 0..m {
+                s += self.binv[i * m + r] * rhs[r];
+            }
+            xb[i] = s;
+        }
+        self.xb = xb;
+    }
+
+    /// One simplex phase (min c'x). Returns Optimal or Unbounded.
+    fn optimize(&mut self, max_iter: usize) -> (Status, usize) {
+        let mut iterations = 0usize;
+        let mut degenerate_run = 0usize;
+        let mut since_refactor = 0usize;
+        loop {
+            iterations += 1;
+            if iterations > max_iter {
+                // Treat as converged to avoid infinite loops; callers
+                // validate the solution anyway.
+                return (Status::Optimal, iterations);
+            }
+            let y = self.btran_costs();
+            let bland = degenerate_run > DEGENERATE_LIMIT;
+
+            // Pricing.
+            let mut entering: Option<(usize, bool)> = None; // (var, increasing)
+            let mut best = TOL;
+            for j in 0..self.n_total {
+                let (eligible, increasing, viol) = match self.status[j] {
+                    VarStatus::Basic(_) => (false, false, 0.0),
+                    VarStatus::AtLower => {
+                        let d = self.reduced_cost(j, &y);
+                        (d < -TOL, true, -d)
+                    }
+                    VarStatus::AtUpper => {
+                        let d = self.reduced_cost(j, &y);
+                        (d > TOL, false, d)
+                    }
+                    VarStatus::FreeZero => {
+                        let d = self.reduced_cost(j, &y);
+                        if d < -TOL {
+                            (true, true, -d)
+                        } else if d > TOL {
+                            (true, false, d)
+                        } else {
+                            (false, false, 0.0)
+                        }
+                    }
+                };
+                if eligible {
+                    if bland {
+                        entering = Some((j, increasing));
+                        break;
+                    }
+                    if viol > best {
+                        best = viol;
+                        entering = Some((j, increasing));
+                    }
+                }
+            }
+            let Some((j, increasing)) = entering else {
+                return (Status::Optimal, iterations);
+            };
+            let sigma = if increasing { 1.0 } else { -1.0 };
+            let w = self.ftran(j);
+
+            // Ratio test: how far can x_j move?
+            // x_B changes by -sigma * t * w.
+            let mut t_max = f64::INFINITY;
+            let mut leave: Option<(usize, bool)> = None; // (row, leaves-at-lower)
+            for i in 0..self.m {
+                let delta = -sigma * w[i];
+                if delta < -PIVOT_TOL {
+                    // Basic value decreases toward its lower bound.
+                    let lb = self.lower[self.basis[i]];
+                    if lb > f64::NEG_INFINITY {
+                        let t = (self.xb[i] - lb) / (-delta);
+                        if t < t_max - TOL || (t < t_max + TOL && leave.is_none()) {
+                            t_max = t.max(0.0);
+                            leave = Some((i, true));
+                        }
+                    }
+                } else if delta > PIVOT_TOL {
+                    // Basic value increases toward its upper bound.
+                    let ub = self.upper[self.basis[i]];
+                    if ub < f64::INFINITY {
+                        let t = (ub - self.xb[i]) / delta;
+                        if t < t_max - TOL || (t < t_max + TOL && leave.is_none()) {
+                            t_max = t.max(0.0);
+                            leave = Some((i, false));
+                        }
+                    }
+                }
+            }
+            // Bound flip of the entering variable itself.
+            let span = self.upper[j] - self.lower[j];
+            let flip_possible = span.is_finite();
+            if flip_possible && span < t_max {
+                t_max = span;
+                leave = None;
+            }
+
+            if t_max.is_infinite() {
+                return (Status::Unbounded, iterations);
+            }
+            if t_max < TOL {
+                degenerate_run += 1;
+            } else {
+                degenerate_run = 0;
+            }
+
+            match leave {
+                None => {
+                    // Bound flip.
+                    self.status[j] = match self.status[j] {
+                        VarStatus::AtLower => VarStatus::AtUpper,
+                        VarStatus::AtUpper => VarStatus::AtLower,
+                        other => other,
+                    };
+                    for i in 0..self.m {
+                        self.xb[i] -= sigma * t_max * w[i];
+                    }
+                }
+                Some((r, at_lower)) => {
+                    let leaving = self.basis[r];
+                    let pivot = w[r];
+                    if pivot.abs() < PIVOT_TOL {
+                        // Numerically unusable pivot: refactorize and retry.
+                        if !self.refactorize() {
+                            return (Status::Optimal, iterations);
+                        }
+                        continue;
+                    }
+                    // New value of the entering variable.
+                    let enter_val = self.nb_value(j) + sigma * t_max;
+                    // Update basic values.
+                    for i in 0..self.m {
+                        if i != r {
+                            self.xb[i] -= sigma * t_max * w[i];
+                        }
+                    }
+                    self.xb[r] = enter_val;
+                    // Update statuses.
+                    self.status[leaving] = if at_lower {
+                        VarStatus::AtLower
+                    } else {
+                        VarStatus::AtUpper
+                    };
+                    self.status[j] = VarStatus::Basic(r);
+                    self.basis[r] = j;
+                    // Elementary update of B⁻¹.
+                    let m = self.m;
+                    let wr = pivot;
+                    let pivot_row: Vec<f64> =
+                        (0..m).map(|c| self.binv[r * m + c] / wr).collect();
+                    for i in 0..m {
+                        if i != r {
+                            let f = w[i];
+                            if f != 0.0 {
+                                for c in 0..m {
+                                    self.binv[i * m + c] -= f * pivot_row[c];
+                                }
+                            }
+                        }
+                    }
+                    for c in 0..m {
+                        self.binv[r * m + c] = pivot_row[c];
+                    }
+                    since_refactor += 1;
+                    if since_refactor >= REFACTOR_EVERY {
+                        since_refactor = 0;
+                        if !self.refactorize() {
+                            return (Status::Optimal, iterations);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Solve an LP (integrality flags ignored).
+pub fn solve_lp(p: &Problem) -> Solution {
+    let m = p.constraints.len();
+    let n = p.num_vars;
+    // Crossed bounds are trivially infeasible (branch-and-bound produces
+    // these routinely).
+    for j in 0..n {
+        if p.lower[j] > p.upper[j] + TOL {
+            return Solution::infeasible();
+        }
+    }
+    let sign = if p.minimize { 1.0 } else { -1.0 };
+
+    // Build columns: structural, slack, artificial.
+    let n_total = n + m + m;
+    let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n_total];
+    let mut b = vec![0.0; m];
+    for (i, c) in p.constraints.iter().enumerate() {
+        b[i] = c.rhs;
+        for &(j, a) in &c.coeffs {
+            if j >= n {
+                // Malformed constraint; treat defensively.
+                continue;
+            }
+            cols[j].push((i, a));
+        }
+    }
+    // Merge duplicate entries per column.
+    for col in cols.iter_mut().take(n) {
+        col.sort_by_key(|&(r, _)| r);
+        let mut merged: Vec<(usize, f64)> = Vec::with_capacity(col.len());
+        for &(r, a) in col.iter() {
+            if let Some(last) = merged.last_mut() {
+                if last.0 == r {
+                    last.1 += a;
+                    continue;
+                }
+            }
+            merged.push((r, a));
+        }
+        *col = merged;
+    }
+
+    let mut lower = vec![0.0; n_total];
+    let mut upper = vec![0.0; n_total];
+    lower[..n].copy_from_slice(&p.lower);
+    upper[..n].copy_from_slice(&p.upper);
+    // Slack s_i: row coefficient +1; bounds encode the relation.
+    for i in 0..m {
+        let j = n + i;
+        cols[j].push((i, 1.0));
+        match p.constraints[i].rel {
+            Rel::Le => {
+                lower[j] = 0.0;
+                upper[j] = f64::INFINITY;
+            }
+            Rel::Ge => {
+                lower[j] = f64::NEG_INFINITY;
+                upper[j] = 0.0;
+            }
+            Rel::Eq => {
+                lower[j] = 0.0;
+                upper[j] = 0.0;
+            }
+        }
+    }
+
+    // Initial nonbasic status: nonbasic variables must sit at a bound
+    // (or at zero when free). Prefer the lower bound when finite.
+    let nb0 = |l: f64, u: f64| -> (f64, VarStatus) {
+        if l.is_finite() {
+            (l, VarStatus::AtLower)
+        } else if u.is_finite() {
+            (u, VarStatus::AtUpper)
+        } else {
+            (0.0, VarStatus::FreeZero)
+        }
+    };
+    let mut x0 = vec![0.0; n + m];
+    let mut status = Vec::with_capacity(n_total);
+    for j in 0..(n + m) {
+        let (v, st) = nb0(lower[j], upper[j]);
+        x0[j] = v;
+        status.push(st);
+    }
+    // Residual r = b - A x0 determines the artificial columns.
+    let mut resid = b.clone();
+    for j in 0..(n + m) {
+        if x0[j] != 0.0 {
+            for &(r, a) in &cols[j] {
+                resid[r] -= a * x0[j];
+            }
+        }
+    }
+    let mut cost = vec![0.0; n_total];
+    for i in 0..m {
+        let j = n + m + i;
+        let s = if resid[i] >= 0.0 { 1.0 } else { -1.0 };
+        cols[j].push((i, s));
+        lower[j] = 0.0;
+        upper[j] = f64::INFINITY;
+        cost[j] = 1.0; // phase-1 cost
+    }
+
+    let mut basis = Vec::with_capacity(m);
+    let mut xb = Vec::with_capacity(m);
+    for i in 0..m {
+        let j = n + m + i;
+        status.push(VarStatus::Basic(i));
+        basis.push(j);
+        xb.push(resid[i].abs());
+    }
+    let mut binv = vec![0.0; m * m];
+    for i in 0..m {
+        // Artificial column is ±e_i, so B⁻¹ starts as the matching signs.
+        let s = if resid[i] >= 0.0 { 1.0 } else { -1.0 };
+        binv[i * m + i] = s;
+    }
+
+    let mut t = Tableau {
+        m,
+        n_total,
+        n_structural: n,
+        cols,
+        lower,
+        upper,
+        cost,
+        b,
+        status,
+        basis,
+        binv,
+        xb,
+    };
+
+    let max_iter = 20_000 + 50 * (n + m);
+
+    // Phase 1.
+    let mut total_iters = 0usize;
+    let needs_phase1 = t.xb.iter().any(|&v| v > TOL);
+    if needs_phase1 {
+        let (st, it) = t.optimize(max_iter);
+        total_iters += it;
+        if st == Status::Unbounded {
+            // Phase-1 objective is bounded below by 0; this is numeric noise.
+            return Solution::infeasible();
+        }
+        let p1_obj: f64 = t
+            .basis
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| t.cost[j] * t.xb[i])
+            .sum();
+        if p1_obj > 1e-6 {
+            return Solution::infeasible();
+        }
+    }
+    // Fix artificials at zero and install the real objective.
+    for i in 0..m {
+        let j = n + m + i;
+        t.lower[j] = 0.0;
+        t.upper[j] = 0.0;
+        t.cost[j] = 0.0;
+        if !matches!(t.status[j], VarStatus::Basic(_)) {
+            t.status[j] = VarStatus::AtLower;
+        }
+    }
+    for c in t.cost.iter_mut().take(n + m) {
+        *c = 0.0;
+    }
+    for &(j, cj) in &p.objective {
+        if j < n {
+            t.cost[j] += sign * cj;
+        }
+    }
+    t.recompute_xb();
+
+    // Phase 2.
+    let (st, it) = t.optimize(max_iter);
+    total_iters += it;
+    if st == Status::Unbounded {
+        return Solution::unbounded();
+    }
+
+    // Extract the structural solution.
+    let mut x = vec![0.0; n];
+    for j in 0..n {
+        x[j] = t.nb_value(j);
+        if !x[j].is_finite() {
+            x[j] = 0.0;
+        }
+    }
+    let _ = t.n_structural;
+    let raw_obj = p.objective_value(&x);
+    Solution { status: Status::Optimal, x, objective: raw_obj, iterations: total_iters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Problem;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn simple_maximization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (classic)
+        let mut p = Problem::maximize(2);
+        p.set_bounds(0, 0.0, f64::INFINITY);
+        p.set_bounds(1, 0.0, f64::INFINITY);
+        p.set_objective(vec![(0, 3.0), (1, 5.0)]);
+        p.add_constraint(vec![(0, 1.0)], Rel::Le, 4.0);
+        p.add_constraint(vec![(1, 2.0)], Rel::Le, 12.0);
+        p.add_constraint(vec![(0, 3.0), (1, 2.0)], Rel::Le, 18.0);
+        let s = solve_lp(&p);
+        assert!(s.is_optimal());
+        assert_close(s.objective, 36.0);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 6.0);
+    }
+
+    #[test]
+    fn minimization_with_ge() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 0, y >= 0.
+        let mut p = Problem::minimize(2);
+        p.set_bounds(0, 0.0, f64::INFINITY);
+        p.set_bounds(1, 0.0, f64::INFINITY);
+        p.set_objective(vec![(0, 2.0), (1, 3.0)]);
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Rel::Ge, 10.0);
+        let s = solve_lp(&p);
+        assert!(s.is_optimal());
+        assert_close(s.objective, 20.0);
+        assert_close(s.x[0], 10.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 4, x - y = 1.
+        let mut p = Problem::minimize(2);
+        p.set_objective(vec![(0, 1.0), (1, 1.0)]);
+        p.add_constraint(vec![(0, 1.0), (1, 2.0)], Rel::Eq, 4.0);
+        p.add_constraint(vec![(0, 1.0), (1, -1.0)], Rel::Eq, 1.0);
+        let s = solve_lp(&p);
+        assert!(s.is_optimal());
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 1.0);
+    }
+
+    #[test]
+    fn free_variables() {
+        // min x s.t. x + y = 3, y <= 1, y >= 0; x free → x = 2.
+        let mut p = Problem::minimize(2);
+        p.set_bounds(1, 0.0, 1.0);
+        p.set_objective(vec![(0, 1.0)]);
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Rel::Eq, 3.0);
+        let s = solve_lp(&p);
+        assert!(s.is_optimal());
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 1.0);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut p = Problem::minimize(1);
+        p.set_bounds(0, 0.0, 1.0);
+        p.add_constraint(vec![(0, 1.0)], Rel::Ge, 2.0);
+        assert_eq!(solve_lp(&p).status, Status::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut p = Problem::minimize(1);
+        p.set_objective(vec![(0, 1.0)]); // min x, x free, no constraints... need m>=1
+        p.add_constraint(vec![(0, 0.0)], Rel::Le, 1.0);
+        assert_eq!(solve_lp(&p).status, Status::Unbounded);
+    }
+
+    #[test]
+    fn bound_flips() {
+        // max x + y with box bounds only (one trivial constraint).
+        let mut p = Problem::maximize(2);
+        p.set_bounds(0, -1.0, 2.0);
+        p.set_bounds(1, -1.0, 3.0);
+        p.set_objective(vec![(0, 1.0), (1, 1.0)]);
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Rel::Le, 100.0);
+        let s = solve_lp(&p);
+        assert!(s.is_optimal());
+        assert_close(s.objective, 5.0);
+    }
+
+    #[test]
+    fn negative_rhs_rows() {
+        // min x s.t. -x <= -5  (i.e. x >= 5).
+        let mut p = Problem::minimize(1);
+        p.set_bounds(0, 0.0, f64::INFINITY);
+        p.set_objective(vec![(0, 1.0)]);
+        p.add_constraint(vec![(0, -1.0)], Rel::Le, -5.0);
+        let s = solve_lp(&p);
+        assert!(s.is_optimal());
+        assert_close(s.x[0], 5.0);
+    }
+
+    #[test]
+    fn duplicate_coefficients_are_summed() {
+        // x + x <= 4 → x <= 2.
+        let mut p = Problem::maximize(1);
+        p.set_bounds(0, 0.0, f64::INFINITY);
+        p.set_objective(vec![(0, 1.0)]);
+        p.add_constraint(vec![(0, 1.0), (0, 1.0)], Rel::Le, 4.0);
+        let s = solve_lp(&p);
+        assert_close(s.x[0], 2.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Many redundant constraints through the same vertex.
+        let mut p = Problem::maximize(2);
+        p.set_bounds(0, 0.0, f64::INFINITY);
+        p.set_bounds(1, 0.0, f64::INFINITY);
+        p.set_objective(vec![(0, 1.0), (1, 1.0)]);
+        for k in 1..=10 {
+            p.add_constraint(vec![(0, k as f64), (1, k as f64)], Rel::Le, 2.0 * k as f64);
+        }
+        let s = solve_lp(&p);
+        assert!(s.is_optimal());
+        assert_close(s.objective, 2.0);
+    }
+
+    #[test]
+    fn larger_transportation_problem() {
+        // 3 plants, 4 markets; classic transportation LP.
+        let supply = [35.0, 50.0, 40.0];
+        let demand = [45.0, 20.0, 30.0, 30.0];
+        let cost = [
+            [8.0, 6.0, 10.0, 9.0],
+            [9.0, 12.0, 13.0, 7.0],
+            [14.0, 9.0, 16.0, 5.0],
+        ];
+        let mut p = Problem::minimize(12);
+        for j in 0..12 {
+            p.set_bounds(j, 0.0, f64::INFINITY);
+        }
+        let idx = |i: usize, j: usize| i * 4 + j;
+        p.set_objective(
+            (0..3)
+                .flat_map(|i| (0..4).map(move |j| (idx(i, j), cost[i][j])))
+                .collect(),
+        );
+        for i in 0..3 {
+            p.add_constraint((0..4).map(|j| (idx(i, j), 1.0)).collect(), Rel::Le, supply[i]);
+        }
+        for j in 0..4 {
+            p.add_constraint((0..3).map(|i| (idx(i, j), 1.0)).collect(), Rel::Ge, demand[j]);
+        }
+        let s = solve_lp(&p);
+        assert!(s.is_optimal());
+        assert_close(s.objective, 1020.0); // verified by independent min-cost-flow
+        assert!(p.is_feasible(&s.x, 1e-6));
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based checks of the simplex and branch-and-bound against
+//! sampling and exhaustive oracles.
+
+use lp::{simplex::solve_lp, mip, Problem, Rel, Status};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Build a random bounded LP: n vars in [0, 10], m constraints
+/// `a'x <= b` with coefficients in [-3, 3] and rhs chosen so the origin
+/// region stays feasible reasonably often.
+fn random_lp(seed: u64, n: usize, m: usize) -> Problem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = Problem::minimize(n);
+    for j in 0..n {
+        p.set_bounds(j, 0.0, 10.0);
+    }
+    p.set_objective((0..n).map(|j| (j, rng.gen_range(-5.0..5.0))).collect());
+    for _ in 0..m {
+        let coeffs: Vec<(usize, f64)> = (0..n)
+            .map(|j| (j, (rng.gen_range(-3i32..=3)) as f64))
+            .collect();
+        let rhs = rng.gen_range(0.0..30.0);
+        let rel = if rng.gen_bool(0.7) { Rel::Le } else { Rel::Ge };
+        p.add_constraint(coeffs, rel, if rel == Rel::Ge { -rhs } else { rhs });
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Simplex optimal solutions are feasible and no sampled feasible
+    /// point beats them.
+    #[test]
+    fn simplex_not_beaten_by_sampling(seed in 0u64..5000, n in 1usize..5, m in 1usize..5) {
+        let p = random_lp(seed, n, m);
+        let sol = solve_lp(&p);
+        match sol.status {
+            Status::Optimal => {
+                prop_assert!(p.is_feasible(&sol.x, 1e-5), "optimal point infeasible");
+                // Sample candidates; none may be better than optimal.
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xFEED);
+                for _ in 0..300 {
+                    let x: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0)).collect();
+                    if p.is_feasible(&x, 1e-9) {
+                        let v = p.objective_value(&x);
+                        prop_assert!(
+                            v >= sol.objective - 1e-5,
+                            "sampled point beats simplex: {} < {}", v, sol.objective
+                        );
+                    }
+                }
+            }
+            Status::Infeasible => {
+                // No sampled point may be feasible.
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+                for _ in 0..300 {
+                    let x: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0)).collect();
+                    prop_assert!(!p.is_feasible(&x, 1e-9), "feasible point exists: {:?}", x);
+                }
+            }
+            Status::Unbounded => {
+                // Bounded box + bounded objective means this can't happen.
+                prop_assert!(false, "bounded LP reported unbounded");
+            }
+            Status::NodeLimit => prop_assert!(false, "LP reported node limit"),
+        }
+    }
+
+    /// Branch-and-bound equals exhaustive enumeration on small integer
+    /// boxes.
+    #[test]
+    fn mip_matches_exhaustive(seed in 0u64..2000, n in 1usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut p = Problem::maximize(n);
+        for j in 0..n {
+            p.set_bounds(j, 0.0, 4.0);
+            p.integer[j] = true;
+        }
+        p.set_objective((0..n).map(|j| (j, rng.gen_range(-5.0..5.0))).collect());
+        let coeffs: Vec<(usize, f64)> = (0..n).map(|j| (j, rng.gen_range(0.5..3.0))).collect();
+        let cap = rng.gen_range(2.0..10.0);
+        p.add_constraint(coeffs.clone(), Rel::Le, cap);
+
+        // Exhaustive oracle over the 5^n lattice.
+        let mut best: Option<f64> = None;
+        let mut idx = vec![0usize; n];
+        loop {
+            let x: Vec<f64> = idx.iter().map(|&v| v as f64).collect();
+            if p.is_feasible(&x, 1e-9) {
+                let v = p.objective_value(&x);
+                best = Some(best.map_or(v, |b: f64| b.max(v)));
+            }
+            // Increment the mixed-radix counter.
+            let mut k = 0;
+            loop {
+                if k == n {
+                    break;
+                }
+                idx[k] += 1;
+                if idx[k] <= 4 {
+                    break;
+                }
+                idx[k] = 0;
+                k += 1;
+            }
+            if k == n {
+                break;
+            }
+        }
+
+        let sol = mip::branch_and_bound(&p, mip::MipOptions::default());
+        match best {
+            None => prop_assert_eq!(sol.status, Status::Infeasible),
+            Some(b) => {
+                prop_assert_eq!(sol.status, Status::Optimal);
+                prop_assert!((sol.objective - b).abs() < 1e-6,
+                    "bb {} vs exhaustive {}", sol.objective, b);
+            }
+        }
+    }
+
+    /// Equality-constrained systems: simplex solutions satisfy Ax = b.
+    #[test]
+    fn equality_constraints_hold(seed in 0u64..2000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 3;
+        let mut p = Problem::minimize(n);
+        for j in 0..n {
+            p.set_bounds(j, -5.0, 5.0);
+        }
+        p.set_objective(vec![(0, 1.0), (1, 1.0), (2, 1.0)]);
+        let coeffs: Vec<(usize, f64)> = (0..n).map(|j| (j, rng.gen_range(1.0..3.0))).collect();
+        let rhs = rng.gen_range(-5.0..5.0);
+        p.add_constraint(coeffs.clone(), Rel::Eq, rhs);
+        let sol = solve_lp(&p);
+        if sol.status == Status::Optimal {
+            let lhs: f64 = coeffs.iter().map(|&(j, a)| a * sol.x[j]).sum();
+            prop_assert!((lhs - rhs).abs() < 1e-6, "Ax = {} vs b = {}", lhs, rhs);
+        }
+    }
+}

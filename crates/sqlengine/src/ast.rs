@@ -1,0 +1,980 @@
+//! Abstract syntax tree for the SolveDB+ SQL dialect, plus a
+//! pretty-printer whose output re-parses to the same tree (used by the
+//! model UDT's textual form and by property tests).
+
+use crate::types::{BinOp, DataType, UnOp};
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+/// Literal values as written in SQL source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// `b'0101'`
+    BitStr(String),
+    /// `interval '1 hour'`
+    Interval(String),
+    /// `timestamp '2017-07-02 07:00'`
+    Timestamp(String),
+}
+
+/// Argument to a function call; SolveDB+ supports named notation
+/// (`arima_rmse(ar := 2, ...)`) used throughout the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncArg {
+    pub name: Option<String>,
+    pub value: Expr,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Literal(Literal),
+    /// `t.col` or `col`.
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    /// `*` or `t.*` — only valid in projections and `count(*)`.
+    Wildcard { qualifier: Option<String> },
+    BinOp {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    UnOp {
+        op: UnOp,
+        expr: Box<Expr>,
+    },
+    /// Comparison chain `a <= b <= c` (SolveDB+ constraint syntax §4.1).
+    Chain {
+        first: Box<Expr>,
+        rest: Vec<(BinOp, Expr)>,
+    },
+    Func {
+        name: String,
+        args: Vec<FuncArg>,
+        distinct: bool,
+    },
+    Cast {
+        expr: Box<Expr>,
+        ty: DataType,
+    },
+    Case {
+        operand: Option<Box<Expr>>,
+        branches: Vec<(Expr, Expr)>,
+        else_: Option<Box<Expr>>,
+    },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    InSubquery {
+        expr: Box<Expr>,
+        query: Box<Query>,
+        negated: bool,
+    },
+    Exists {
+        query: Box<Query>,
+        negated: bool,
+    },
+    ScalarSubquery(Box<Query>),
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<Expr>,
+        pattern: Box<Expr>,
+        negated: bool,
+        case_insensitive: bool,
+    },
+    /// `SOLVEMODEL ...` used as a value expression (produces a model UDT).
+    SolveModel(Box<SolveStmt>),
+}
+
+impl Expr {
+    pub fn col(name: &str) -> Expr {
+        Expr::Column { qualifier: None, name: name.to_string() }
+    }
+
+    pub fn int(v: i64) -> Expr {
+        Expr::Literal(Literal::Int(v))
+    }
+
+    /// Walk the expression tree, visiting every node (pre-order).
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::BinOp { lhs, rhs, .. } => {
+                lhs.walk(f);
+                rhs.walk(f);
+            }
+            Expr::UnOp { expr, .. } => expr.walk(f),
+            Expr::Chain { first, rest } => {
+                first.walk(f);
+                for (_, e) in rest {
+                    e.walk(f);
+                }
+            }
+            Expr::Func { args, .. } => {
+                for a in args {
+                    a.value.walk(f);
+                }
+            }
+            Expr::Cast { expr, .. } => expr.walk(f),
+            Expr::Case { operand, branches, else_ } => {
+                if let Some(o) = operand {
+                    o.walk(f);
+                }
+                for (c, r) in branches {
+                    c.walk(f);
+                    r.walk(f);
+                }
+                if let Some(e) = else_ {
+                    e.walk(f);
+                }
+            }
+            Expr::IsNull { expr, .. } => expr.walk(f),
+            Expr::InList { expr, list, .. } => {
+                expr.walk(f);
+                for e in list {
+                    e.walk(f);
+                }
+            }
+            Expr::InSubquery { expr, .. } => expr.walk(f),
+            Expr::Between { expr, low, high, .. } => {
+                expr.walk(f);
+                low.walk(f);
+                high.walk(f);
+            }
+            Expr::Like { expr, pattern, .. } => {
+                expr.walk(f);
+                pattern.walk(f);
+            }
+            Expr::Literal(_)
+            | Expr::Column { .. }
+            | Expr::Wildcard { .. }
+            | Expr::Exists { .. }
+            | Expr::ScalarSubquery(_)
+            | Expr::SolveModel(_) => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub with: Vec<Cte>,
+    pub recursive: bool,
+    pub body: SetExpr,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<Expr>,
+    pub offset: Option<Expr>,
+}
+
+impl Query {
+    /// A bare SELECT wrapped into a full query.
+    pub fn simple(select: Select) -> Query {
+        Query {
+            with: vec![],
+            recursive: false,
+            body: SetExpr::Select(Box::new(select)),
+            order_by: vec![],
+            limit: None,
+            offset: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cte {
+    pub name: String,
+    pub columns: Vec<String>,
+    pub query: Query,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    Union,
+    Intersect,
+    Except,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetExpr {
+    Select(Box<Select>),
+    /// A `SOLVESELECT` used as a query body — the output relation is a
+    /// relation like any other, so solving composes with INSERT/CTAS/
+    /// FROM subqueries.
+    Solve(Box<SolveStmt>),
+    /// A parenthesised query (needed so ORDER BY/LIMIT bind correctly).
+    Query(Box<Query>),
+    SetOp {
+        op: SetOp,
+        all: bool,
+        left: Box<SetExpr>,
+        right: Box<SetExpr>,
+    },
+    Values(Vec<Vec<Expr>>),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    Expr { expr: Expr, alias: Option<String> },
+    Wildcard { qualifier: Option<String> },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    pub distinct: bool,
+    pub projection: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub where_: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+}
+
+impl Select {
+    pub fn empty() -> Select {
+        Select {
+            distinct: false,
+            projection: vec![],
+            from: vec![],
+            where_: None,
+            group_by: vec![],
+            having: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableAlias {
+    pub name: String,
+    pub columns: Vec<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    Left,
+    Right,
+    Full,
+    Cross,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinConstraint {
+    On(Expr),
+    Using(Vec<String>),
+    None,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    Named {
+        name: String,
+        alias: Option<TableAlias>,
+    },
+    Subquery {
+        query: Box<Query>,
+        lateral: bool,
+        alias: Option<TableAlias>,
+    },
+    Join {
+        left: Box<TableRef>,
+        right: Box<TableRef>,
+        kind: JoinKind,
+        constraint: JoinConstraint,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub expr: Expr,
+    pub desc: bool,
+    /// `NULLS FIRST`/`NULLS LAST`; `None` = dialect default (last for ASC).
+    pub nulls_first: Option<bool>,
+}
+
+// ---------------------------------------------------------------------------
+// SOLVESELECT / SOLVEMODEL (paper §4.1)
+// ---------------------------------------------------------------------------
+
+/// Decision-column specification attached to a relation alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecCols {
+    /// No decision columns (plain CTE semantics).
+    None,
+    /// `alias(*)` — all columns are decision columns (§4.2).
+    Star,
+    /// `alias(c1, c2, ...)`.
+    List(Vec<String>),
+}
+
+impl DecCols {
+    pub fn is_none(&self) -> bool {
+        matches!(self, DecCols::None)
+    }
+}
+
+/// A relation D_i of the problem model: alias, decision columns and the
+/// defining query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecRel {
+    pub alias: Option<String>,
+    pub dec_cols: DecCols,
+    pub query: Query,
+}
+
+/// `INLINE alias AS (select)` — embeds a shared model (Algorithm 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InlineSpec {
+    pub alias: Option<String>,
+    pub query: Query,
+}
+
+/// A rule relation R_i (`SUBJECTTO` member).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedRule {
+    pub alias: Option<String>,
+    pub query: Query,
+}
+
+/// `USING solver[.method](name := expr, ...)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverCall {
+    pub solver: String,
+    pub method: Option<String>,
+    pub params: Vec<(Option<String>, Expr)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveKind {
+    /// `SOLVESELECT` — solve and return the output relation.
+    Select,
+    /// `SOLVEMODEL` — package the problem spec as a model value.
+    Model,
+}
+
+/// The full `SOLVESELECT`/`SOLVEMODEL` problem specification: the 4-tuple
+/// (D, R, s, m) of §4.1 in AST form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveStmt {
+    pub kind: SolveKind,
+    /// D₁, the input relation.
+    pub input: DecRel,
+    pub inlines: Vec<InlineSpec>,
+    /// D₂..D_N — the CDTEs (§4.3).
+    pub ctes: Vec<DecRel>,
+    pub minimize: Option<Query>,
+    pub maximize: Option<Query>,
+    pub subjectto: Vec<NamedRule>,
+    pub using: Option<SolverCall>,
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub ty: DataType,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Query(Query),
+    Solve(SolveStmt),
+    /// `MODELEVAL (select) IN (select)` (§4.4).
+    ModelEval { select: Query, model: Query },
+    Insert {
+        table: String,
+        columns: Vec<String>,
+        source: Query,
+    },
+    Update {
+        table: String,
+        assignments: Vec<(String, Expr)>,
+        where_: Option<Expr>,
+    },
+    Delete {
+        table: String,
+        where_: Option<Expr>,
+    },
+    CreateTable {
+        name: String,
+        if_not_exists: bool,
+        columns: Vec<ColumnDef>,
+        as_query: Option<Query>,
+    },
+    CreateView {
+        name: String,
+        or_replace: bool,
+        query: Query,
+    },
+    DropTable {
+        name: String,
+        if_exists: bool,
+    },
+    DropView {
+        name: String,
+        if_exists: bool,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Pretty printer
+// ---------------------------------------------------------------------------
+
+fn quote_str(s: &str) -> String {
+    format!("'{}'", s.replace('\'', "''"))
+}
+
+/// Identifiers are emitted bare when they are plain lower-case names,
+/// quoted otherwise.
+fn ident(s: &str) -> String {
+    let plain = !s.is_empty()
+        && s.chars().next().map(|c| c.is_ascii_lowercase() || c == '_').unwrap_or(false)
+        && s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
+    if plain {
+        s.to_string()
+    } else {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Null => f.write_str("NULL"),
+            Literal::Bool(b) => f.write_str(if *b { "TRUE" } else { "FALSE" }),
+            Literal::Int(i) => write!(f, "{i}"),
+            Literal::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Literal::Str(s) => f.write_str(&quote_str(s)),
+            Literal::BitStr(s) => write!(f, "b'{s}'"),
+            Literal::Interval(s) => write!(f, "interval {}", quote_str(s)),
+            Literal::Timestamp(s) => write!(f, "timestamp {}", quote_str(s)),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_inner(f)
+    }
+}
+
+impl Expr {
+    fn fmt_inner(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(l) => write!(f, "{l}"),
+            Expr::Column { qualifier, name } => match qualifier {
+                Some(q) => write!(f, "{}.{}", ident(q), ident(name)),
+                None => f.write_str(&ident(name)),
+            },
+            Expr::Wildcard { qualifier } => match qualifier {
+                Some(q) => write!(f, "{}.*", ident(q)),
+                None => f.write_str("*"),
+            },
+            Expr::BinOp { op, lhs, rhs } => {
+                write!(f, "({lhs} {} {rhs})", op.symbol())
+            }
+            Expr::UnOp { op, expr } => match op {
+                UnOp::Not => write!(f, "(NOT {expr})"),
+                _ => write!(f, "({}{expr})", op.symbol()),
+            },
+            Expr::Chain { first, rest } => {
+                write!(f, "({first}")?;
+                for (op, e) in rest {
+                    write!(f, " {} {e}", op.symbol())?;
+                }
+                f.write_str(")")
+            }
+            Expr::Func { name, args, distinct } => {
+                write!(f, "{}(", ident(name))?;
+                if *distinct {
+                    f.write_str("DISTINCT ")?;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    if let Some(n) = &a.name {
+                        write!(f, "{} := ", ident(n))?;
+                    }
+                    write!(f, "{}", a.value)?;
+                }
+                f.write_str(")")
+            }
+            Expr::Cast { expr, ty } => write!(f, "({expr})::{}", ty.sql_name()),
+            Expr::Case { operand, branches, else_ } => {
+                f.write_str("CASE")?;
+                if let Some(o) = operand {
+                    write!(f, " {o}")?;
+                }
+                for (c, r) in branches {
+                    write!(f, " WHEN {c} THEN {r}")?;
+                }
+                if let Some(e) = else_ {
+                    write!(f, " ELSE {e}")?;
+                }
+                f.write_str(" END")
+            }
+            Expr::IsNull { expr, negated } => {
+                write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
+            Expr::InList { expr, list, negated } => {
+                write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_str("))")
+            }
+            Expr::InSubquery { expr, query, negated } => {
+                write!(
+                    f,
+                    "({expr} {}IN ({query}))",
+                    if *negated { "NOT " } else { "" }
+                )
+            }
+            Expr::Exists { query, negated } => {
+                write!(f, "({}EXISTS ({query}))", if *negated { "NOT " } else { "" })
+            }
+            Expr::ScalarSubquery(q) => write!(f, "({q})"),
+            Expr::Between { expr, low, high, negated } => write!(
+                f,
+                "({expr} {}BETWEEN {low} AND {high})",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::Like { expr, pattern, negated, case_insensitive } => write!(
+                f,
+                "({expr} {}{} {pattern})",
+                if *negated { "NOT " } else { "" },
+                if *case_insensitive { "ILIKE" } else { "LIKE" }
+            ),
+            Expr::SolveModel(s) => write!(f, "({s})"),
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.with.is_empty() {
+            f.write_str("WITH ")?;
+            if self.recursive {
+                f.write_str("RECURSIVE ")?;
+            }
+            for (i, cte) in self.with.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                f.write_str(&ident(&cte.name))?;
+                if !cte.columns.is_empty() {
+                    write!(
+                        f,
+                        "({})",
+                        cte.columns.iter().map(|c| ident(c)).collect::<Vec<_>>().join(", ")
+                    )?;
+                }
+                write!(f, " AS ({})", cte.query)?;
+            }
+            f.write_str(" ")?;
+        }
+        write!(f, "{}", self.body)?;
+        if !self.order_by.is_empty() {
+            f.write_str(" ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{}", o.expr)?;
+                if o.desc {
+                    f.write_str(" DESC")?;
+                }
+                match o.nulls_first {
+                    Some(true) => f.write_str(" NULLS FIRST")?,
+                    Some(false) => f.write_str(" NULLS LAST")?,
+                    None => {}
+                }
+            }
+        }
+        if let Some(l) = &self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        if let Some(o) = &self.offset {
+            write!(f, " OFFSET {o}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SetExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetExpr::Select(s) => write!(f, "{s}"),
+            SetExpr::Solve(s) => write!(f, "{s}"),
+            SetExpr::Query(q) => write!(f, "({q})"),
+            SetExpr::SetOp { op, all, left, right } => {
+                let opname = match op {
+                    SetOp::Union => "UNION",
+                    SetOp::Intersect => "INTERSECT",
+                    SetOp::Except => "EXCEPT",
+                };
+                write!(
+                    f,
+                    "{left} {opname}{} {right}",
+                    if *all { " ALL" } else { "" }
+                )
+            }
+            SetExpr::Values(rows) => {
+                f.write_str("VALUES ")?;
+                for (i, row) in rows.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(
+                        f,
+                        "({})",
+                        row.iter().map(|e| e.to_string()).collect::<Vec<_>>().join(", ")
+                    )?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        if self.distinct {
+            f.write_str("DISTINCT ")?;
+        }
+        for (i, item) in self.projection.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            match item {
+                SelectItem::Expr { expr, alias } => {
+                    write!(f, "{expr}")?;
+                    if let Some(a) = alias {
+                        write!(f, " AS {}", ident(a))?;
+                    }
+                }
+                SelectItem::Wildcard { qualifier } => match qualifier {
+                    Some(q) => write!(f, "{}.*", ident(q))?,
+                    None => f.write_str("*")?,
+                },
+            }
+        }
+        if !self.from.is_empty() {
+            f.write_str(" FROM ")?;
+            for (i, t) in self.from.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+        }
+        if let Some(w) = &self.where_ {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(
+                f,
+                " GROUP BY {}",
+                self.group_by.iter().map(|e| e.to_string()).collect::<Vec<_>>().join(", ")
+            )?;
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let alias_fmt = |alias: &Option<TableAlias>| -> String {
+            match alias {
+                None => String::new(),
+                Some(a) => {
+                    let mut s = format!(" AS {}", ident(&a.name));
+                    if !a.columns.is_empty() {
+                        s.push_str(&format!(
+                            "({})",
+                            a.columns.iter().map(|c| ident(c)).collect::<Vec<_>>().join(", ")
+                        ));
+                    }
+                    s
+                }
+            }
+        };
+        match self {
+            TableRef::Named { name, alias } => {
+                write!(f, "{}{}", ident(name), alias_fmt(alias))
+            }
+            TableRef::Subquery { query, lateral, alias } => write!(
+                f,
+                "{}({query}){}",
+                if *lateral { "LATERAL " } else { "" },
+                alias_fmt(alias)
+            ),
+            TableRef::Join { left, right, kind, constraint } => {
+                let kw = match kind {
+                    JoinKind::Inner => "JOIN",
+                    JoinKind::Left => "LEFT JOIN",
+                    JoinKind::Right => "RIGHT JOIN",
+                    JoinKind::Full => "FULL JOIN",
+                    JoinKind::Cross => "CROSS JOIN",
+                };
+                write!(f, "{left} {kw} {right}")?;
+                match constraint {
+                    JoinConstraint::On(e) => write!(f, " ON {e}"),
+                    JoinConstraint::Using(cols) => write!(
+                        f,
+                        " USING ({})",
+                        cols.iter().map(|c| ident(c)).collect::<Vec<_>>().join(", ")
+                    ),
+                    JoinConstraint::None => Ok(()),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for SolveStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self.kind {
+            SolveKind::Select => "SOLVESELECT ",
+            SolveKind::Model => "SOLVEMODEL ",
+        })?;
+        fmt_dec_rel(f, &self.input)?;
+        for inl in &self.inlines {
+            f.write_str(" INLINE ")?;
+            if let Some(a) = &inl.alias {
+                write!(f, "{} AS ", ident(a))?;
+            }
+            write!(f, "({})", inl.query)?;
+        }
+        if !self.ctes.is_empty() {
+            f.write_str(" WITH ")?;
+            for (i, c) in self.ctes.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                fmt_dec_rel(f, c)?;
+            }
+        }
+        if let Some(m) = &self.minimize {
+            write!(f, " MINIMIZE ({m})")?;
+        }
+        if let Some(m) = &self.maximize {
+            write!(f, " MAXIMIZE ({m})")?;
+        }
+        if !self.subjectto.is_empty() {
+            f.write_str(" SUBJECTTO ")?;
+            for (i, r) in self.subjectto.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                if let Some(a) = &r.alias {
+                    write!(f, "{} AS ", ident(a))?;
+                }
+                write!(f, "({})", r.query)?;
+            }
+        }
+        if let Some(u) = &self.using {
+            write!(f, " USING {}", ident(&u.solver))?;
+            if let Some(m) = &u.method {
+                write!(f, ".{}", ident(m))?;
+            }
+            f.write_str("(")?;
+            for (i, (name, expr)) in u.params.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                if let Some(n) = name {
+                    write!(f, "{} := ", ident(n))?;
+                }
+                write!(f, "{expr}")?;
+            }
+            f.write_str(")")?;
+        }
+        Ok(())
+    }
+}
+
+fn fmt_dec_rel(f: &mut fmt::Formatter<'_>, d: &DecRel) -> fmt::Result {
+    if let Some(a) = &d.alias {
+        f.write_str(&ident(a))?;
+        match &d.dec_cols {
+            DecCols::None => {}
+            DecCols::Star => f.write_str("(*)")?,
+            DecCols::List(cols) => write!(
+                f,
+                "({})",
+                cols.iter().map(|c| ident(c)).collect::<Vec<_>>().join(", ")
+            )?,
+        }
+        f.write_str(" AS ")?;
+    }
+    write!(f, "({})", d.query)
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Query(q) => write!(f, "{q}"),
+            Statement::Solve(s) => write!(f, "{s}"),
+            Statement::ModelEval { select, model } => {
+                write!(f, "MODELEVAL ({select}) IN ({model})")
+            }
+            Statement::Insert { table, columns, source } => {
+                write!(f, "INSERT INTO {}", ident(table))?;
+                if !columns.is_empty() {
+                    write!(
+                        f,
+                        " ({})",
+                        columns.iter().map(|c| ident(c)).collect::<Vec<_>>().join(", ")
+                    )?;
+                }
+                write!(f, " {source}")
+            }
+            Statement::Update { table, assignments, where_ } => {
+                write!(f, "UPDATE {} SET ", ident(table))?;
+                for (i, (c, e)) in assignments.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{} = {e}", ident(c))?;
+                }
+                if let Some(w) = where_ {
+                    write!(f, " WHERE {w}")?;
+                }
+                Ok(())
+            }
+            Statement::Delete { table, where_ } => {
+                write!(f, "DELETE FROM {}", ident(table))?;
+                if let Some(w) = where_ {
+                    write!(f, " WHERE {w}")?;
+                }
+                Ok(())
+            }
+            Statement::CreateTable { name, if_not_exists, columns, as_query } => {
+                write!(f, "CREATE TABLE ")?;
+                if *if_not_exists {
+                    f.write_str("IF NOT EXISTS ")?;
+                }
+                f.write_str(&ident(name))?;
+                if let Some(q) = as_query {
+                    write!(f, " AS {q}")
+                } else {
+                    write!(
+                        f,
+                        " ({})",
+                        columns
+                            .iter()
+                            .map(|c| format!("{} {}", ident(&c.name), c.ty.sql_name()))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                }
+            }
+            Statement::CreateView { name, or_replace, query } => {
+                write!(
+                    f,
+                    "CREATE {}VIEW {} AS {query}",
+                    if *or_replace { "OR REPLACE " } else { "" },
+                    ident(name)
+                )
+            }
+            Statement::DropTable { name, if_exists } => write!(
+                f,
+                "DROP TABLE {}{}",
+                if *if_exists { "IF EXISTS " } else { "" },
+                ident(name)
+            ),
+            Statement::DropView { name, if_exists } => write!(
+                f,
+                "DROP VIEW {}{}",
+                if *if_exists { "IF EXISTS " } else { "" },
+                ident(name)
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_display() {
+        let e = Expr::BinOp {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::col("a")),
+            rhs: Box::new(Expr::int(1)),
+        };
+        assert_eq!(e.to_string(), "(a + 1)");
+    }
+
+    #[test]
+    fn chain_display() {
+        let e = Expr::Chain {
+            first: Box::new(Expr::int(0)),
+            rest: vec![(BinOp::Le, Expr::col("ar")), (BinOp::Le, Expr::int(5))],
+        };
+        assert_eq!(e.to_string(), "(0 <= ar <= 5)");
+    }
+
+    #[test]
+    fn walk_visits_all_nodes() {
+        let e = Expr::BinOp {
+            op: BinOp::Mul,
+            lhs: Box::new(Expr::col("x")),
+            rhs: Box::new(Expr::BinOp {
+                op: BinOp::Add,
+                lhs: Box::new(Expr::col("y")),
+                rhs: Box::new(Expr::int(2)),
+            }),
+        };
+        let mut count = 0;
+        e.walk(&mut |_| count += 1);
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn ident_quoting() {
+        assert_eq!(ident("foo"), "foo");
+        assert_eq!(ident("Foo"), "\"Foo\"");
+        assert_eq!(ident("group by"), "\"group by\"");
+    }
+}

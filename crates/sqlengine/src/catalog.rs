@@ -1,0 +1,244 @@
+//! The database catalog: tables, views, user-defined functions, and the
+//! hook through which the SolveDB+ layer plugs into query execution.
+
+use crate::ast::{Query, SolveStmt};
+use crate::error::{Error, Result};
+use crate::table::{Table, TableRef};
+use crate::types::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A scalar user-defined function. `param_names` enables named-argument
+/// notation (`f(a := 1)`); positional arguments map in declaration order.
+#[derive(Clone)]
+pub struct ScalarUdf {
+    pub name: String,
+    pub param_names: Vec<String>,
+    /// Default values for trailing parameters (by name).
+    pub defaults: HashMap<String, Value>,
+    pub func: Arc<dyn Fn(&[Value]) -> Result<Value> + Send + Sync>,
+}
+
+impl std::fmt::Debug for ScalarUdf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScalarUdf")
+            .field("name", &self.name)
+            .field("param_names", &self.param_names)
+            .finish()
+    }
+}
+
+/// CTE environment threaded through execution: names visible as
+/// relations beyond the catalog (WITH members, SOLVESELECT decision
+/// relations, inlined model relations).
+#[derive(Debug, Clone, Default)]
+pub struct Ctes {
+    map: HashMap<String, TableRef>,
+}
+
+impl Ctes {
+    pub fn new() -> Ctes {
+        Ctes::default()
+    }
+
+    pub fn get(&self, name: &str) -> Option<&TableRef> {
+        self.map.get(name)
+    }
+
+    pub fn with(&self, name: &str, table: TableRef) -> Ctes {
+        let mut next = self.clone();
+        next.map.insert(name.to_string(), table);
+        next
+    }
+
+    pub fn insert(&mut self, name: &str, table: TableRef) {
+        self.map.insert(name.to_string(), table);
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.map.keys().map(|s| s.as_str())
+    }
+}
+
+/// Hook implemented by the SolveDB+ layer (crate `solvedbplus-core`).
+/// The engine routes `SOLVESELECT`, `SOLVEMODEL` expressions and
+/// `MODELEVAL` through it; without a handler these constructs error,
+/// mirroring a PostgreSQL install without the SolveDB+ extension.
+pub trait SolveHandler: Send + Sync {
+    /// Execute a `SOLVESELECT`, returning the output relation.
+    fn solve_select(&self, db: &Database, stmt: &SolveStmt, ctes: &Ctes) -> Result<Table>;
+
+    /// Evaluate a `SOLVEMODEL`, returning a model value.
+    fn solve_model(&self, db: &Database, stmt: &SolveStmt, ctes: &Ctes) -> Result<Value>;
+
+    /// Execute `MODELEVAL (select) IN (model-select)`.
+    fn model_eval(&self, db: &Database, select: &Query, model: &Query, ctes: &Ctes)
+        -> Result<Table>;
+}
+
+/// The database: named tables, views, UDFs and the solve hook.
+#[derive(Default)]
+pub struct Database {
+    tables: HashMap<String, TableRef>,
+    views: HashMap<String, Arc<Query>>,
+    udfs: HashMap<String, ScalarUdf>,
+    solve_handler: Option<Arc<dyn SolveHandler>>,
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("tables", &self.tables.keys().collect::<Vec<_>>())
+            .field("views", &self.views.keys().collect::<Vec<_>>())
+            .field("udfs", &self.udfs.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Database {
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    // -- tables ------------------------------------------------------------
+
+    pub fn create_table(&mut self, name: &str, table: Table, if_not_exists: bool) -> Result<()> {
+        if self.tables.contains_key(name) || self.views.contains_key(name) {
+            if if_not_exists {
+                return Ok(());
+            }
+            return Err(Error::catalog(format!("relation '{name}' already exists")));
+        }
+        self.tables.insert(name.to_string(), Arc::new(table));
+        Ok(())
+    }
+
+    pub fn drop_table(&mut self, name: &str, if_exists: bool) -> Result<()> {
+        if self.tables.remove(name).is_none() && !if_exists {
+            return Err(Error::catalog(format!("table '{name}' does not exist")));
+        }
+        Ok(())
+    }
+
+    pub fn table(&self, name: &str) -> Result<&TableRef> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| Error::catalog(format!("relation '{name}' does not exist")))
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Mutable access for DML; clones on shared access (copy-on-write).
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        let arc = self
+            .tables
+            .get_mut(name)
+            .ok_or_else(|| Error::catalog(format!("table '{name}' does not exist")))?;
+        Ok(Arc::make_mut(arc))
+    }
+
+    /// Replace a table's contents wholesale.
+    pub fn put_table(&mut self, name: &str, table: Table) {
+        self.tables.insert(name.to_string(), Arc::new(table));
+    }
+
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.tables.keys().map(|s| s.as_str()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    // -- views -------------------------------------------------------------
+
+    pub fn create_view(&mut self, name: &str, query: Query, or_replace: bool) -> Result<()> {
+        if !or_replace && (self.views.contains_key(name) || self.tables.contains_key(name)) {
+            return Err(Error::catalog(format!("relation '{name}' already exists")));
+        }
+        self.views.insert(name.to_string(), Arc::new(query));
+        Ok(())
+    }
+
+    pub fn drop_view(&mut self, name: &str, if_exists: bool) -> Result<()> {
+        if self.views.remove(name).is_none() && !if_exists {
+            return Err(Error::catalog(format!("view '{name}' does not exist")));
+        }
+        Ok(())
+    }
+
+    pub fn view(&self, name: &str) -> Option<&Arc<Query>> {
+        self.views.get(name)
+    }
+
+    // -- functions -----------------------------------------------------------
+
+    pub fn register_udf(&mut self, udf: ScalarUdf) {
+        self.udfs.insert(udf.name.clone(), udf);
+    }
+
+    pub fn udf(&self, name: &str) -> Option<&ScalarUdf> {
+        self.udfs.get(name)
+    }
+
+    // -- solve hook ----------------------------------------------------------
+
+    pub fn set_solve_handler(&mut self, handler: Arc<dyn SolveHandler>) {
+        self.solve_handler = Some(handler);
+    }
+
+    pub fn solve_handler(&self) -> Result<Arc<dyn SolveHandler>> {
+        self.solve_handler
+            .clone()
+            .ok_or_else(|| Error::unsupported(
+                "no solver infrastructure registered (SOLVESELECT requires the SolveDB+ layer)",
+            ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Schema;
+
+    #[test]
+    fn create_and_drop_tables() {
+        let mut db = Database::new();
+        db.create_table("t", Table::new(Schema::from_names(&["a"])), false).unwrap();
+        assert!(db.has_table("t"));
+        assert!(db.create_table("t", Table::default(), false).is_err());
+        db.create_table("t", Table::default(), true).unwrap(); // no-op
+        db.drop_table("t", false).unwrap();
+        assert!(db.drop_table("t", false).is_err());
+        db.drop_table("t", true).unwrap();
+    }
+
+    #[test]
+    fn table_mut_is_copy_on_write() {
+        let mut db = Database::new();
+        db.create_table(
+            "t",
+            Table::from_rows(&["a"], vec![vec![Value::Int(1)]]),
+            false,
+        )
+        .unwrap();
+        let snapshot = db.table("t").unwrap().clone();
+        db.table_mut("t").unwrap().rows.push(vec![Value::Int(2)]);
+        assert_eq!(snapshot.num_rows(), 1);
+        assert_eq!(db.table("t").unwrap().num_rows(), 2);
+    }
+
+    #[test]
+    fn cte_env_shadows_immutably() {
+        let ctes = Ctes::new();
+        let with_x = ctes.with("x", Arc::new(Table::default()));
+        assert!(ctes.get("x").is_none());
+        assert!(with_x.get("x").is_some());
+    }
+
+    #[test]
+    fn missing_solve_handler_errors() {
+        let db = Database::new();
+        assert!(db.solve_handler().is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type shared by all layers of the engine.
+
+use std::fmt;
+
+/// Engine-wide error. Variants are coarse-grained on purpose: the engine
+/// reports errors to users as text (like a DBMS), so the message carries
+/// the detail and the variant carries the category.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Lexical error (bad character, unterminated string, ...).
+    Lex(String),
+    /// Syntax error from the parser.
+    Parse(String),
+    /// Binder/analyzer error (unknown column, ambiguous name, ...).
+    Bind(String),
+    /// Catalog error (unknown/duplicate table, schema mismatch, ...).
+    Catalog(String),
+    /// Runtime evaluation error (type mismatch, division by zero, ...).
+    Eval(String),
+    /// Error raised by a solver or the solver framework.
+    Solver(String),
+    /// Feature recognised but not supported.
+    Unsupported(String),
+}
+
+impl Error {
+    pub fn lex(msg: impl Into<String>) -> Self {
+        Error::Lex(msg.into())
+    }
+    pub fn parse(msg: impl Into<String>) -> Self {
+        Error::Parse(msg.into())
+    }
+    pub fn bind(msg: impl Into<String>) -> Self {
+        Error::Bind(msg.into())
+    }
+    pub fn catalog(msg: impl Into<String>) -> Self {
+        Error::Catalog(msg.into())
+    }
+    pub fn eval(msg: impl Into<String>) -> Self {
+        Error::Eval(msg.into())
+    }
+    pub fn solver(msg: impl Into<String>) -> Self {
+        Error::Solver(msg.into())
+    }
+    pub fn unsupported(msg: impl Into<String>) -> Self {
+        Error::Unsupported(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex(m) => write!(f, "lexical error: {m}"),
+            Error::Parse(m) => write!(f, "syntax error: {m}"),
+            Error::Bind(m) => write!(f, "binder error: {m}"),
+            Error::Catalog(m) => write!(f, "catalog error: {m}"),
+            Error::Eval(m) => write!(f, "evaluation error: {m}"),
+            Error::Solver(m) => write!(f, "solver error: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = Error::parse("unexpected token");
+        assert_eq!(e.to_string(), "syntax error: unexpected token");
+        let e = Error::eval("division by zero");
+        assert_eq!(e.to_string(), "evaluation error: division by zero");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::bind("x"), Error::bind("x"));
+        assert_ne!(Error::bind("x"), Error::catalog("x"));
+    }
+}

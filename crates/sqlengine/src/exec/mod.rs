@@ -1,0 +1,213 @@
+//! Statement execution: queries, DML, DDL and solve-statement dispatch.
+
+pub mod eval;
+pub mod funcs;
+pub mod select;
+
+use crate::ast::{Query, SetExpr, Statement};
+use crate::catalog::{Ctes, Database};
+use crate::error::{Error, Result};
+use crate::exec::eval::{Binder, Env, EvalCtx, Scope};
+use crate::parser;
+use crate::table::{coerce, Column, Schema, Table};
+use crate::types::Value;
+
+pub use eval::{BoundExpr, ScopeCol};
+pub use select::run_query;
+
+/// Result of executing one statement.
+#[derive(Debug)]
+pub enum ExecResult {
+    /// A query (or SOLVESELECT / MODELEVAL) result set.
+    Table(Table),
+    /// Rows affected by DML.
+    Count(usize),
+    /// DDL succeeded.
+    Done,
+}
+
+impl ExecResult {
+    /// Expect a result set.
+    pub fn into_table(self) -> Result<Table> {
+        match self {
+            ExecResult::Table(t) => Ok(t),
+            other => Err(Error::eval(format!("statement returned {other:?}, expected rows"))),
+        }
+    }
+
+    pub fn count(&self) -> Option<usize> {
+        match self {
+            ExecResult::Count(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parse and execute a single SQL statement.
+pub fn execute_sql(db: &mut Database, sql: &str) -> Result<ExecResult> {
+    let stmt = parser::parse_statement(sql)?;
+    execute_statement(db, &stmt)
+}
+
+/// Parse and execute a `;`-separated script, returning the last result.
+pub fn execute_script(db: &mut Database, sql: &str) -> Result<ExecResult> {
+    let stmts = parser::parse_statements(sql)?;
+    let mut last = ExecResult::Done;
+    for s in &stmts {
+        last = execute_statement(db, s)?;
+    }
+    Ok(last)
+}
+
+/// Execute a parsed statement.
+pub fn execute_statement(db: &mut Database, stmt: &Statement) -> Result<ExecResult> {
+    let ctes = Ctes::new();
+    match stmt {
+        Statement::Query(q) => Ok(ExecResult::Table(run_query(db, &ctes, q, None)?)),
+        Statement::Solve(s) => {
+            let handler = db.solve_handler()?;
+            Ok(ExecResult::Table(handler.solve_select(db, s, &ctes)?))
+        }
+        Statement::ModelEval { select, model } => {
+            let handler = db.solve_handler()?;
+            Ok(ExecResult::Table(handler.model_eval(db, select, model, &ctes)?))
+        }
+        Statement::Insert { table, columns, source } => {
+            let src = run_query(db, &ctes, source, None)?;
+            let target_schema = db.table(table)?.schema.clone();
+            // Map source columns to target positions.
+            let positions: Vec<usize> = if columns.is_empty() {
+                if src.num_columns() > target_schema.len() {
+                    return Err(Error::eval(format!(
+                        "INSERT has more expressions ({}) than target columns ({})",
+                        src.num_columns(),
+                        target_schema.len()
+                    )));
+                }
+                (0..src.num_columns()).collect()
+            } else {
+                if columns.len() != src.num_columns() {
+                    return Err(Error::eval(
+                        "INSERT column list does not match source arity",
+                    ));
+                }
+                columns
+                    .iter()
+                    .map(|c| {
+                        target_schema
+                            .index_of(c)
+                            .ok_or_else(|| Error::bind(format!("no column '{c}' in '{table}'")))
+                    })
+                    .collect::<Result<_>>()?
+            };
+            let t = db.table_mut(table)?;
+            let n = src.rows.len();
+            for row in src.rows {
+                let mut full: Vec<Value> = vec![Value::Null; target_schema.len()];
+                for (i, v) in row.into_iter().enumerate() {
+                    full[positions[i]] = v;
+                }
+                t.push_coerced(full)?;
+            }
+            Ok(ExecResult::Count(n))
+        }
+        Statement::Update { table, assignments, where_ } => {
+            let snapshot: Table = db.table(table)?.as_ref().clone();
+            let scope = Scope::from_schema(Some(table), &snapshot.schema);
+            let binder = Binder::new(db, &scope);
+            let bound_where = where_.as_ref().map(|w| binder.bind(w)).transpose()?;
+            let bound_assign: Vec<(usize, BoundExpr)> = assignments
+                .iter()
+                .map(|(c, e)| {
+                    let idx = snapshot
+                        .schema
+                        .index_of(c)
+                        .ok_or_else(|| Error::bind(format!("no column '{c}' in '{table}'")))?;
+                    Ok((idx, binder.bind(e)?))
+                })
+                .collect::<Result<_>>()?;
+            let ctx = EvalCtx { db, ctes: &ctes };
+            let mut new_rows = snapshot.rows.clone();
+            let mut n = 0usize;
+            for row in new_rows.iter_mut() {
+                let hit = match &bound_where {
+                    None => true,
+                    Some(w) => {
+                        let env = Env { scope: &scope, row, parent: None };
+                        w.eval(&ctx, &env)?.as_bool()? == Some(true)
+                    }
+                };
+                if hit {
+                    // Evaluate all assignments against the *old* row.
+                    let env_row = row.clone();
+                    let env = Env { scope: &scope, row: &env_row, parent: None };
+                    for (idx, e) in &bound_assign {
+                        let v = e.eval(&ctx, &env)?;
+                        row[*idx] = coerce(v, &snapshot.schema.columns[*idx].ty)?;
+                    }
+                    n += 1;
+                }
+            }
+            db.put_table(table, Table::with_rows(snapshot.schema, new_rows));
+            Ok(ExecResult::Count(n))
+        }
+        Statement::Delete { table, where_ } => {
+            let snapshot: Table = db.table(table)?.as_ref().clone();
+            let scope = Scope::from_schema(Some(table), &snapshot.schema);
+            let binder = Binder::new(db, &scope);
+            let bound_where = where_.as_ref().map(|w| binder.bind(w)).transpose()?;
+            let ctx = EvalCtx { db, ctes: &ctes };
+            let mut kept = Vec::with_capacity(snapshot.rows.len());
+            let mut n = 0usize;
+            for row in snapshot.rows {
+                let hit = match &bound_where {
+                    None => true,
+                    Some(w) => {
+                        let env = Env { scope: &scope, row: &row, parent: None };
+                        w.eval(&ctx, &env)?.as_bool()? == Some(true)
+                    }
+                };
+                if hit {
+                    n += 1;
+                } else {
+                    kept.push(row);
+                }
+            }
+            db.put_table(table, Table::with_rows(snapshot.schema, kept));
+            Ok(ExecResult::Count(n))
+        }
+        Statement::CreateTable { name, if_not_exists, columns, as_query } => {
+            let table = match as_query {
+                Some(q) => run_query(db, &ctes, q, None)?,
+                None => Table::new(Schema::new(
+                    columns.iter().map(|c| Column::new(c.name.clone(), c.ty.clone())).collect(),
+                )),
+            };
+            db.create_table(name, table, *if_not_exists)?;
+            Ok(ExecResult::Done)
+        }
+        Statement::CreateView { name, or_replace, query } => {
+            db.create_view(name, query.clone(), *or_replace)?;
+            Ok(ExecResult::Done)
+        }
+        Statement::DropTable { name, if_exists } => {
+            db.drop_table(name, *if_exists)?;
+            Ok(ExecResult::Done)
+        }
+        Statement::DropView { name, if_exists } => {
+            db.drop_view(name, *if_exists)?;
+            Ok(ExecResult::Done)
+        }
+    }
+}
+
+/// Convenience for read-only queries with extra CTE bindings (used by the
+/// SolveDB+ layer to expose decision relations to rule queries).
+pub fn query_with_ctes(db: &Database, ctes: &Ctes, q: &Query) -> Result<Table> {
+    run_query(db, ctes, q, None)
+}
+
+/// True when the query is a single plain `SELECT` (no set ops).
+pub fn is_plain_select(q: &Query) -> bool {
+    matches!(q.body, SetExpr::Select(_))
+}

@@ -1,0 +1,1615 @@
+//! Query execution: FROM/joins (nested-loop + hash fast path), WHERE,
+//! GROUP BY/HAVING with aggregates, DISTINCT, set operations, ORDER
+//! BY/LIMIT, CTEs including `WITH RECURSIVE`, LATERAL subqueries.
+
+use crate::ast::*;
+use crate::catalog::{Ctes, Database};
+use crate::error::{Error, Result};
+use crate::exec::eval::{Binder, BoundExpr, Env, EvalCtx, Scope, ScopeCol};
+use crate::exec::funcs;
+use crate::table::{Column as TColumn, Row, Schema, Table};
+use crate::types::{BinOp, DataType, GroupKey, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Iteration guard for `WITH RECURSIVE`.
+const MAX_RECURSION: usize = 1_000_000;
+
+/// Execute a query and materialize the result.
+pub fn run_query(
+    db: &Database,
+    ctes: &Ctes,
+    q: &Query,
+    outer: Option<&Env<'_>>,
+) -> Result<Table> {
+    let mut env_ctes = ctes.clone();
+    for cte in &q.with {
+        let table = if q.recursive && query_references(&cte.query, &cte.name) {
+            run_recursive_cte(db, &env_ctes, cte, outer)?
+        } else {
+            let mut t = run_query(db, &env_ctes, &cte.query, outer)?;
+            rename_columns(&mut t, &cte.columns)?;
+            t
+        };
+        env_ctes.insert(&cte.name, Arc::new(table));
+    }
+
+    match &q.body {
+        SetExpr::Select(sel) => run_select(db, &env_ctes, sel, outer, &q.order_by, &q.limit, &q.offset),
+        body => {
+            let mut t = run_set_expr(db, &env_ctes, body, outer)?;
+            // ORDER BY over set-op output binds against output columns.
+            if !q.order_by.is_empty() {
+                let scope = Scope::from_schema(None, &t.schema);
+                let ctx = EvalCtx { db, ctes: &env_ctes };
+                let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(t.rows.len());
+                let bound: Vec<(BoundExpr, &OrderItem)> = q
+                    .order_by
+                    .iter()
+                    .map(|o| {
+                        let b = bind_order_expr(db, &o.expr, &scope, &t.schema, outer)?;
+                        Ok((b, o))
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                for row in std::mem::take(&mut t.rows) {
+                    let env = Env { scope: &scope, row: &row, parent: outer };
+                    let keys = bound
+                        .iter()
+                        .map(|(b, _)| b.eval(&ctx, &env))
+                        .collect::<Result<Vec<_>>>()?;
+                    keyed.push((keys, row));
+                }
+                sort_keyed(&mut keyed, &q.order_by);
+                t.rows = keyed.into_iter().map(|(_, r)| r).collect();
+            }
+            apply_limit_offset(db, &env_ctes, &mut t, &q.limit, &q.offset, outer)?;
+            Ok(t)
+        }
+    }
+}
+
+fn bind_order_expr(
+    db: &Database,
+    expr: &Expr,
+    scope: &Scope,
+    schema: &Schema,
+    _outer: Option<&Env<'_>>,
+) -> Result<BoundExpr> {
+    // Positional reference: ORDER BY 2.
+    if let Expr::Literal(Literal::Int(i)) = expr {
+        let idx = *i - 1;
+        if idx < 0 || idx as usize >= schema.len() {
+            return Err(Error::bind(format!("ORDER BY position {i} is out of range")));
+        }
+        return Ok(BoundExpr::Column { depth: 0, index: idx as usize });
+    }
+    let binder = Binder::new(db, scope);
+    binder.bind(expr)
+}
+
+fn sort_keyed(rows: &mut [(Vec<Value>, Row)], order: &[OrderItem]) {
+    rows.sort_by(|(ka, _), (kb, _)| {
+        for (i, item) in order.iter().enumerate() {
+            let (a, b) = (&ka[i], &kb[i]);
+            // NULLS FIRST/LAST overrides; default: last for ASC, first for DESC.
+            let nulls_first = item.nulls_first.unwrap_or(item.desc);
+            let ord = match (a.is_null(), b.is_null()) {
+                (true, true) => std::cmp::Ordering::Equal,
+                (true, false) => {
+                    if nulls_first {
+                        std::cmp::Ordering::Less
+                    } else {
+                        std::cmp::Ordering::Greater
+                    }
+                }
+                (false, true) => {
+                    if nulls_first {
+                        std::cmp::Ordering::Greater
+                    } else {
+                        std::cmp::Ordering::Less
+                    }
+                }
+                (false, false) => {
+                    let o = a.cmp_total(b);
+                    if item.desc {
+                        o.reverse()
+                    } else {
+                        o
+                    }
+                }
+            };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+}
+
+fn apply_limit_offset(
+    db: &Database,
+    ctes: &Ctes,
+    t: &mut Table,
+    limit: &Option<Expr>,
+    offset: &Option<Expr>,
+    outer: Option<&Env<'_>>,
+) -> Result<()> {
+    let eval_const = |e: &Expr| -> Result<Value> {
+        let scope = Scope::default();
+        let binder = Binder::new(db, &scope);
+        let b = binder.bind(e)?;
+        let ctx = EvalCtx { db, ctes };
+        let env = Env::empty();
+        let _ = outer; // limits are constant expressions
+        b.eval(&ctx, &env)
+    };
+    if let Some(off) = offset {
+        let v = eval_const(off)?;
+        if !v.is_null() {
+            let n = v.as_i64()?.max(0) as usize;
+            if n >= t.rows.len() {
+                t.rows.clear();
+            } else {
+                t.rows.drain(..n);
+            }
+        }
+    }
+    if let Some(lim) = limit {
+        let v = eval_const(lim)?;
+        if !v.is_null() {
+            let n = v.as_i64()?.max(0) as usize;
+            t.rows.truncate(n);
+        }
+    }
+    Ok(())
+}
+
+fn rename_columns(t: &mut Table, names: &[String]) -> Result<()> {
+    if names.is_empty() {
+        return Ok(());
+    }
+    if names.len() > t.schema.len() {
+        return Err(Error::bind(format!(
+            "column alias list has {} entries but result has {} columns",
+            names.len(),
+            t.schema.len()
+        )));
+    }
+    for (i, n) in names.iter().enumerate() {
+        t.schema.columns[i].name = n.clone();
+    }
+    Ok(())
+}
+
+/// Does a query reference a relation named `name` (for recursive-CTE
+/// detection)? Conservative: scans FROM clauses and nested queries.
+pub fn query_references(q: &Query, name: &str) -> bool {
+    fn set_refs(s: &SetExpr, name: &str) -> bool {
+        match s {
+            SetExpr::Select(sel) => {
+                sel.from.iter().any(|t| table_refs(t, name))
+                    || sel.where_.as_ref().map_or(false, |e| expr_refs(e, name))
+                    || sel.projection.iter().any(|p| match p {
+                        SelectItem::Expr { expr, .. } => expr_refs(expr, name),
+                        _ => false,
+                    })
+            }
+            SetExpr::Query(q) => query_references(q, name),
+            SetExpr::SetOp { left, right, .. } => set_refs(left, name) || set_refs(right, name),
+            SetExpr::Values(_) => false,
+            // SOLVESELECT bodies are opaque here (conservatively false:
+            // recursive CTEs over solve bodies are unsupported anyway).
+            SetExpr::Solve(_) => false,
+        }
+    }
+    fn table_refs(t: &TableRef, name: &str) -> bool {
+        match t {
+            TableRef::Named { name: n, .. } => n == name,
+            TableRef::Subquery { query, .. } => query_references(query, name),
+            TableRef::Join { left, right, .. } => table_refs(left, name) || table_refs(right, name),
+        }
+    }
+    fn expr_refs(e: &Expr, name: &str) -> bool {
+        let mut found = false;
+        e.walk(&mut |node| match node {
+            Expr::ScalarSubquery(q) => found |= query_references(q, name),
+            Expr::InSubquery { query, .. } => found |= query_references(query, name),
+            Expr::Exists { query, .. } => found |= query_references(query, name),
+            _ => {}
+        });
+        found
+    }
+    // CTEs of q may shadow `name`; ignore that nicety (conservative).
+    set_refs(&q.body, name)
+}
+
+/// Execute a recursive CTE per the SQL standard's iterate-to-fixpoint
+/// semantics.
+fn run_recursive_cte(
+    db: &Database,
+    ctes: &Ctes,
+    cte: &Cte,
+    outer: Option<&Env<'_>>,
+) -> Result<Table> {
+    let SetExpr::SetOp { op: SetOp::Union, all, left, right } = &cte.query.body else {
+        return Err(Error::unsupported(
+            "recursive CTE must have the form <anchor> UNION [ALL] <recursive term>",
+        ));
+    };
+    // Anchor.
+    let anchor_q = Query {
+        with: vec![],
+        recursive: false,
+        body: (**left).clone(),
+        order_by: vec![],
+        limit: None,
+        offset: None,
+    };
+    let mut result = run_query(db, ctes, &anchor_q, outer)?;
+    rename_columns(&mut result, &cte.columns)?;
+    let schema = result.schema.clone();
+
+    let mut seen: HashMap<Vec<GroupKey>, ()> = HashMap::new();
+    if !all {
+        let mut deduped = Vec::new();
+        for row in std::mem::take(&mut result.rows) {
+            let key: Vec<GroupKey> = row.iter().map(|v| v.group_key()).collect();
+            if seen.insert(key, ()).is_none() {
+                deduped.push(row);
+            }
+        }
+        result.rows = deduped;
+    }
+
+    let mut working = result.rows.clone();
+    let rec_q = Query {
+        with: vec![],
+        recursive: false,
+        body: (**right).clone(),
+        order_by: vec![],
+        limit: None,
+        offset: None,
+    };
+    let mut iterations = 0usize;
+    while !working.is_empty() {
+        iterations += 1;
+        if iterations > MAX_RECURSION || result.rows.len() > MAX_RECURSION {
+            return Err(Error::eval(format!(
+                "recursive CTE '{}' exceeded the iteration limit",
+                cte.name
+            )));
+        }
+        let working_table = Table::with_rows(schema.clone(), working);
+        let step_ctes = ctes.with(&cte.name, Arc::new(working_table));
+        let step = run_query(db, &step_ctes, &rec_q, outer)?;
+        if step.num_columns() != schema.len() {
+            return Err(Error::eval(format!(
+                "recursive term of '{}' returns {} columns, expected {}",
+                cte.name,
+                step.num_columns(),
+                schema.len()
+            )));
+        }
+        let mut new_rows = Vec::new();
+        for row in step.rows {
+            if *all {
+                new_rows.push(row);
+            } else {
+                let key: Vec<GroupKey> = row.iter().map(|v| v.group_key()).collect();
+                if seen.insert(key, ()).is_none() {
+                    new_rows.push(row);
+                }
+            }
+        }
+        result.rows.extend(new_rows.iter().cloned());
+        working = new_rows;
+    }
+    Ok(result)
+}
+
+fn run_set_expr(
+    db: &Database,
+    ctes: &Ctes,
+    body: &SetExpr,
+    outer: Option<&Env<'_>>,
+) -> Result<Table> {
+    match body {
+        SetExpr::Select(sel) => run_select(db, ctes, sel, outer, &[], &None, &None),
+        SetExpr::Solve(stmt) => {
+            let handler = db.solve_handler()?;
+            handler.solve_select(db, stmt, ctes)
+        }
+        SetExpr::Query(q) => run_query(db, ctes, q, outer),
+        SetExpr::Values(rows) => run_values(db, ctes, rows, outer),
+        SetExpr::SetOp { op, all, left, right } => {
+            let l = run_set_expr(db, ctes, left, outer)?;
+            let r = run_set_expr(db, ctes, right, outer)?;
+            if l.num_columns() != r.num_columns() {
+                return Err(Error::eval(format!(
+                    "set operation column mismatch: {} vs {}",
+                    l.num_columns(),
+                    r.num_columns()
+                )));
+            }
+            let schema = unify_schemas(&l.schema, &r.schema)?;
+            let key_of = |row: &Row| -> Vec<GroupKey> { row.iter().map(|v| v.group_key()).collect() };
+            let rows = match (op, all) {
+                (SetOp::Union, true) => {
+                    let mut rows = l.rows;
+                    rows.extend(r.rows);
+                    rows
+                }
+                (SetOp::Union, false) => {
+                    let mut seen = HashMap::new();
+                    let mut rows = Vec::new();
+                    for row in l.rows.into_iter().chain(r.rows) {
+                        if seen.insert(key_of(&row), ()).is_none() {
+                            rows.push(row);
+                        }
+                    }
+                    rows
+                }
+                (SetOp::Intersect, all) => {
+                    let mut counts: HashMap<Vec<GroupKey>, usize> = HashMap::new();
+                    for row in &r.rows {
+                        *counts.entry(key_of(row)).or_insert(0) += 1;
+                    }
+                    let mut rows = Vec::new();
+                    let mut emitted: HashMap<Vec<GroupKey>, usize> = HashMap::new();
+                    for row in l.rows {
+                        let k = key_of(&row);
+                        let avail = counts.get(&k).copied().unwrap_or(0);
+                        let used = emitted.entry(k).or_insert(0);
+                        let cap = if *all { avail } else { avail.min(1) };
+                        if *used < cap {
+                            *used += 1;
+                            rows.push(row);
+                        }
+                    }
+                    rows
+                }
+                (SetOp::Except, all) => {
+                    let mut counts: HashMap<Vec<GroupKey>, usize> = HashMap::new();
+                    for row in &r.rows {
+                        *counts.entry(key_of(row)).or_insert(0) += 1;
+                    }
+                    let mut rows = Vec::new();
+                    let mut emitted: HashMap<Vec<GroupKey>, usize> = HashMap::new();
+                    for row in l.rows {
+                        let k = key_of(&row);
+                        let removed = counts.get(&k).copied().unwrap_or(0);
+                        let e = emitted.entry(k).or_insert(0);
+                        if *all {
+                            // multiset difference
+                            if *e < removed {
+                                *e += 1;
+                            } else {
+                                rows.push(row);
+                            }
+                        } else if removed == 0 && *e == 0 {
+                            *e += 1;
+                            rows.push(row);
+                        }
+                    }
+                    rows
+                }
+            };
+            Ok(Table::with_rows(schema, rows))
+        }
+    }
+}
+
+fn unify_schemas(l: &Schema, r: &Schema) -> Result<Schema> {
+    let mut cols = Vec::with_capacity(l.len());
+    for (a, b) in l.columns.iter().zip(&r.columns) {
+        cols.push(TColumn::new(a.name.clone(), a.ty.unify(&b.ty)?));
+    }
+    Ok(Schema::new(cols))
+}
+
+fn run_values(
+    db: &Database,
+    ctes: &Ctes,
+    rows: &[Vec<Expr>],
+    outer: Option<&Env<'_>>,
+) -> Result<Table> {
+    let ncols = rows.first().map(|r| r.len()).unwrap_or(0);
+    let scope = Scope::default();
+    let ctx = EvalCtx { db, ctes };
+    let mut out_rows = Vec::with_capacity(rows.len());
+    for row in rows {
+        if row.len() != ncols {
+            return Err(Error::eval("VALUES rows must all have the same arity"));
+        }
+        let binder = match outer {
+            Some(o) => Binder::with_outer(db, &scope, Some(o)),
+            None => Binder::new(db, &scope),
+        };
+        let mut vals = Vec::with_capacity(row.len());
+        for e in row {
+            let b = binder.bind(e)?;
+            let env = match outer {
+                Some(o) => Env { scope: &scope, row: &[], parent: Some(o) },
+                None => Env::empty(),
+            };
+            vals.push(b.eval(&ctx, &env)?);
+        }
+        out_rows.push(vals);
+    }
+    let names: Vec<String> = (1..=ncols).map(|i| format!("column{i}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+    Ok(Table::from_rows(&name_refs, out_rows))
+}
+
+// ---------------------------------------------------------------------------
+// FROM clause
+// ---------------------------------------------------------------------------
+
+/// Materialized relation with its scope.
+pub struct Rel {
+    pub scope: Scope,
+    pub rows: Vec<Row>,
+}
+
+/// Resolve a named relation: CTEs shadow views shadow tables.
+fn scan_named(
+    db: &Database,
+    ctes: &Ctes,
+    name: &str,
+    alias: Option<&TableAlias>,
+    outer: Option<&Env<'_>>,
+) -> Result<Rel> {
+    let qualifier = alias.map(|a| a.name.as_str()).unwrap_or(name);
+    if let Some(t) = ctes.get(name) {
+        let mut scope = Scope::from_schema(Some(qualifier), &t.schema);
+        apply_alias_columns(&mut scope, alias)?;
+        return Ok(Rel { scope, rows: t.rows.clone() });
+    }
+    if let Some(vq) = db.view(name) {
+        let t = run_query(db, ctes, vq, outer)?;
+        let mut scope = Scope::from_schema(Some(qualifier), &t.schema);
+        apply_alias_columns(&mut scope, alias)?;
+        return Ok(Rel { scope, rows: t.rows });
+    }
+    let t = db.table(name)?;
+    let mut scope = Scope::from_schema(Some(qualifier), &t.schema);
+    apply_alias_columns(&mut scope, alias)?;
+    Ok(Rel { scope, rows: t.rows.clone() })
+}
+
+fn apply_alias_columns(scope: &mut Scope, alias: Option<&TableAlias>) -> Result<()> {
+    if let Some(a) = alias {
+        if !a.columns.is_empty() {
+            if a.columns.len() > scope.cols.len() {
+                return Err(Error::bind(format!(
+                    "alias '{}' has {} columns but relation has {}",
+                    a.name,
+                    a.columns.len(),
+                    scope.cols.len()
+                )));
+            }
+            for (i, n) in a.columns.iter().enumerate() {
+                scope.cols[i].name = n.clone();
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Evaluate one table primary. For LATERAL subqueries `left` provides the
+/// rows already in scope; the result is produced per left row by the
+/// caller instead.
+fn eval_table_primary(
+    db: &Database,
+    ctes: &Ctes,
+    tref: &TableRef,
+    outer: Option<&Env<'_>>,
+) -> Result<Rel> {
+    match tref {
+        TableRef::Named { name, alias } => scan_named(db, ctes, name, alias.as_ref(), outer),
+        TableRef::Subquery { query, lateral: _, alias } => {
+            let t = run_query(db, ctes, query, outer)?;
+            let qualifier = alias.as_ref().map(|a| a.name.as_str());
+            let mut scope = Scope::from_schema(qualifier, &t.schema);
+            apply_alias_columns(&mut scope, alias.as_ref())?;
+            Ok(Rel { scope, rows: t.rows })
+        }
+        TableRef::Join { .. } => eval_join(db, ctes, tref, outer),
+    }
+}
+
+fn is_lateral(t: &TableRef) -> bool {
+    matches!(t, TableRef::Subquery { lateral: true, .. })
+}
+
+/// Evaluate a join tree.
+fn eval_join(
+    db: &Database,
+    ctes: &Ctes,
+    tref: &TableRef,
+    outer: Option<&Env<'_>>,
+) -> Result<Rel> {
+    let TableRef::Join { left, right, kind, constraint } = tref else {
+        return eval_table_primary(db, ctes, tref, outer);
+    };
+    let l = eval_join(db, ctes, left, outer)?;
+
+    // LATERAL right side: evaluate per left row.
+    if is_lateral(right) {
+        let TableRef::Subquery { query, alias, .. } = right.as_ref() else { unreachable!() };
+        let qualifier = alias.as_ref().map(|a| a.name.as_str());
+        let mut right_scope: Option<Scope> = None;
+        let mut out_rows: Vec<Row> = Vec::new();
+        let mut pending: Vec<(Row, Vec<Row>)> = Vec::new();
+        for lrow in &l.rows {
+            let env = Env { scope: &l.scope, row: lrow, parent: outer };
+            let t = run_query(db, ctes, query, Some(&env))?;
+            if right_scope.is_none() {
+                let mut s = Scope::from_schema(qualifier, &t.schema);
+                apply_alias_columns(&mut s, alias.as_ref())?;
+                right_scope = Some(s);
+            }
+            pending.push((lrow.clone(), t.rows));
+        }
+        let right_scope = match right_scope {
+            Some(s) => s,
+            None => {
+                // No left rows: derive the scope by running the subquery
+                // against an all-NULL left row so the schema is known.
+                let null_row: Row = vec![Value::Null; l.scope.cols.len()];
+                let env = Env { scope: &l.scope, row: &null_row, parent: outer };
+                let t = run_query(db, ctes, query, Some(&env))?;
+                let mut s = Scope::from_schema(qualifier, &t.schema);
+                apply_alias_columns(&mut s, alias.as_ref())?;
+                s
+            }
+        };
+        let combined = l.scope.join(&right_scope);
+        let cond = bind_join_condition(db, constraint, &l.scope, &right_scope, &combined, outer)?;
+        let ctx = EvalCtx { db, ctes };
+        for (lrow, rrows) in pending {
+            let mut matched = false;
+            for rrow in &rrows {
+                let mut row = lrow.clone();
+                row.extend(rrow.iter().cloned());
+                if eval_condition(&cond, &ctx, &combined, &row, outer)? {
+                    matched = true;
+                    out_rows.push(row);
+                }
+            }
+            if !matched && matches!(kind, JoinKind::Left) {
+                let mut row = lrow.clone();
+                row.extend(vec![Value::Null; right_scope.cols.len()]);
+                out_rows.push(row);
+            }
+        }
+        if matches!(kind, JoinKind::Right | JoinKind::Full) {
+            return Err(Error::unsupported("RIGHT/FULL JOIN LATERAL"));
+        }
+        return Ok(Rel { scope: combined, rows: out_rows });
+    }
+
+    let r = eval_join(db, ctes, right, outer)?;
+    join_rels(db, ctes, l, r, *kind, constraint, outer)
+}
+
+enum JoinCond {
+    None,
+    Expr(BoundExpr),
+}
+
+fn bind_join_condition(
+    db: &Database,
+    constraint: &JoinConstraint,
+    _left: &Scope,
+    _right: &Scope,
+    combined: &Scope,
+    outer: Option<&Env<'_>>,
+) -> Result<JoinCond> {
+    match constraint {
+        JoinConstraint::None => Ok(JoinCond::None),
+        JoinConstraint::On(e) => {
+            let binder = Binder::with_outer(db, combined, outer);
+            Ok(JoinCond::Expr(binder.bind(e)?))
+        }
+        // USING joins take the hash-join path before a condition is
+        // ever bound, so a bound USING condition is unreachable here.
+        JoinConstraint::Using(_) => Ok(JoinCond::None),
+    }
+}
+
+fn eval_condition(
+    cond: &JoinCond,
+    ctx: &EvalCtx<'_>,
+    scope: &Scope,
+    row: &Row,
+    outer: Option<&Env<'_>>,
+) -> Result<bool> {
+    match cond {
+        JoinCond::None => Ok(true),
+        JoinCond::Expr(b) => {
+            let env = Env { scope, row, parent: outer };
+            Ok(b.eval(ctx, &env)?.as_bool()? == Some(true))
+        }
+    }
+}
+
+/// Try to extract equi-join keys from an ON conjunction:
+/// every conjunct must be `l = r` with one side fully in the left scope
+/// and the other fully in the right scope.
+fn try_equi_keys(
+    db: &Database,
+    e: &Expr,
+    left: &Scope,
+    right: &Scope,
+) -> Option<(Vec<BoundExpr>, Vec<BoundExpr>)> {
+    fn collect<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+        if let Expr::BinOp { op: BinOp::And, lhs, rhs } = e {
+            collect(lhs, out);
+            collect(rhs, out);
+        } else {
+            out.push(e);
+        }
+    }
+    let mut conjuncts = Vec::new();
+    collect(e, &mut conjuncts);
+    let mut lkeys = Vec::new();
+    let mut rkeys = Vec::new();
+    for c in conjuncts {
+        let Expr::BinOp { op: BinOp::Eq, lhs, rhs } = c else { return None };
+        let lb = Binder::new(db, left);
+        let rb = Binder::new(db, right);
+        // lhs∈left, rhs∈right — or swapped.
+        if let (Ok(a), Ok(b)) = (lb.bind(lhs), rb.bind(rhs)) {
+            if !bound_uses_outer(&a) && !bound_uses_outer(&b) {
+                lkeys.push(a);
+                rkeys.push(b);
+                continue;
+            }
+        }
+        if let (Ok(a), Ok(b)) = (lb.bind(rhs), rb.bind(lhs)) {
+            if !bound_uses_outer(&a) && !bound_uses_outer(&b) {
+                lkeys.push(a);
+                rkeys.push(b);
+                continue;
+            }
+        }
+        return None;
+    }
+    Some((lkeys, rkeys))
+}
+
+fn bound_uses_outer(b: &BoundExpr) -> bool {
+    // Subqueries may correlate arbitrarily; treat them as outer-using.
+    match b {
+        BoundExpr::Column { depth, .. } => *depth > 0,
+        BoundExpr::Const(_) => false,
+        BoundExpr::BinOp { lhs, rhs, .. } => bound_uses_outer(lhs) || bound_uses_outer(rhs),
+        BoundExpr::UnOp { expr, .. } => bound_uses_outer(expr),
+        BoundExpr::Chain { first, rest } => {
+            bound_uses_outer(first) || rest.iter().any(|(_, e)| bound_uses_outer(e))
+        }
+        BoundExpr::Builtin { args, .. } | BoundExpr::Udf { args, .. } => {
+            args.iter().any(bound_uses_outer)
+        }
+        BoundExpr::Cast { expr, .. } => bound_uses_outer(expr),
+        BoundExpr::Case { operand, branches, else_ } => {
+            operand.as_deref().map_or(false, bound_uses_outer)
+                || branches
+                    .iter()
+                    .any(|(c, r)| bound_uses_outer(c) || bound_uses_outer(r))
+                || else_.as_deref().map_or(false, bound_uses_outer)
+        }
+        BoundExpr::IsNull { expr, .. } => bound_uses_outer(expr),
+        BoundExpr::InList { expr, list, .. } => {
+            bound_uses_outer(expr) || list.iter().any(bound_uses_outer)
+        }
+        BoundExpr::Between { expr, low, high, .. } => {
+            bound_uses_outer(expr) || bound_uses_outer(low) || bound_uses_outer(high)
+        }
+        BoundExpr::Like { expr, pattern, .. } => {
+            bound_uses_outer(expr) || bound_uses_outer(pattern)
+        }
+        BoundExpr::ScalarSubquery(_)
+        | BoundExpr::InSubquery { .. }
+        | BoundExpr::Exists { .. }
+        | BoundExpr::SolveModel(_) => true,
+    }
+}
+
+/// Join two materialized relations. Equi-joins (ON conjunction of
+/// equalities, or USING) take a hash-join path; everything else falls
+/// back to a nested loop.
+pub fn join_rels(
+    db: &Database,
+    ctes: &Ctes,
+    l: Rel,
+    r: Rel,
+    kind: JoinKind,
+    constraint: &JoinConstraint,
+    outer: Option<&Env<'_>>,
+) -> Result<Rel> {
+    let combined = l.scope.join(&r.scope);
+    let ctx = EvalCtx { db, ctes };
+
+    // Hash-join path.
+    let keys = match constraint {
+        JoinConstraint::Using(cols) => {
+            let mut lk = Vec::new();
+            let mut rk = Vec::new();
+            for c in cols {
+                let li = l
+                    .scope
+                    .resolve(None, c)?
+                    .ok_or_else(|| Error::bind(format!("USING column '{c}' not in left side")))?;
+                let ri = r
+                    .scope
+                    .resolve(None, c)?
+                    .ok_or_else(|| Error::bind(format!("USING column '{c}' not in right side")))?;
+                lk.push(BoundExpr::Column { depth: 0, index: li });
+                rk.push(BoundExpr::Column { depth: 0, index: ri });
+            }
+            Some((lk, rk))
+        }
+        JoinConstraint::On(e) if !matches!(kind, JoinKind::Cross) => {
+            try_equi_keys(db, e, &l.scope, &r.scope)
+        }
+        _ => None,
+    };
+
+    if let Some((lkeys, rkeys)) = keys {
+        return hash_join(&ctx, l, r, combined, kind, &lkeys, &rkeys, outer);
+    }
+
+    // Nested loop.
+    let cond = bind_join_condition(db, constraint, &l.scope, &r.scope, &combined, outer)?;
+    let mut rows = Vec::new();
+    let mut right_matched = vec![false; r.rows.len()];
+    for lrow in &l.rows {
+        let mut matched = false;
+        for (ri, rrow) in r.rows.iter().enumerate() {
+            let mut row = lrow.clone();
+            row.extend(rrow.iter().cloned());
+            if eval_condition(&cond, &ctx, &combined, &row, outer)? {
+                matched = true;
+                right_matched[ri] = true;
+                rows.push(row);
+            }
+        }
+        if !matched && matches!(kind, JoinKind::Left | JoinKind::Full) {
+            let mut row = lrow.clone();
+            row.extend(vec![Value::Null; r.scope.cols.len()]);
+            rows.push(row);
+        }
+    }
+    if matches!(kind, JoinKind::Right | JoinKind::Full) {
+        for (ri, rrow) in r.rows.iter().enumerate() {
+            if !right_matched[ri] {
+                let mut row = vec![Value::Null; l.scope.cols.len()];
+                row.extend(rrow.iter().cloned());
+                rows.push(row);
+            }
+        }
+    }
+    Ok(Rel { scope: combined, rows })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn hash_join(
+    ctx: &EvalCtx<'_>,
+    l: Rel,
+    r: Rel,
+    combined: Scope,
+    kind: JoinKind,
+    lkeys: &[BoundExpr],
+    rkeys: &[BoundExpr],
+    outer: Option<&Env<'_>>,
+) -> Result<Rel> {
+    // Build on the right side.
+    let mut table: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
+    let mut right_key_null = vec![false; r.rows.len()];
+    for (ri, rrow) in r.rows.iter().enumerate() {
+        let env = Env { scope: &r.scope, row: rrow, parent: outer };
+        let mut key = Vec::with_capacity(rkeys.len());
+        let mut has_null = false;
+        for k in rkeys {
+            let v = k.eval(ctx, &env)?;
+            if v.is_null() {
+                has_null = true;
+                break;
+            }
+            key.push(v.group_key());
+        }
+        if has_null {
+            right_key_null[ri] = true;
+            continue; // NULL keys never match.
+        }
+        table.entry(key).or_default().push(ri);
+    }
+    let mut rows = Vec::new();
+    let mut right_matched = vec![false; r.rows.len()];
+    for lrow in &l.rows {
+        let env = Env { scope: &l.scope, row: lrow, parent: outer };
+        let mut key = Vec::with_capacity(lkeys.len());
+        let mut has_null = false;
+        for k in lkeys {
+            let v = k.eval(ctx, &env)?;
+            if v.is_null() {
+                has_null = true;
+                break;
+            }
+            key.push(v.group_key());
+        }
+        let matches = if has_null { None } else { table.get(&key) };
+        match matches {
+            Some(ris) if !ris.is_empty() => {
+                for &ri in ris {
+                    right_matched[ri] = true;
+                    let mut row = lrow.clone();
+                    row.extend(r.rows[ri].iter().cloned());
+                    rows.push(row);
+                }
+            }
+            _ => {
+                if matches!(kind, JoinKind::Left | JoinKind::Full) {
+                    let mut row = lrow.clone();
+                    row.extend(vec![Value::Null; r.scope.cols.len()]);
+                    rows.push(row);
+                }
+            }
+        }
+    }
+    if matches!(kind, JoinKind::Right | JoinKind::Full) {
+        for (ri, rrow) in r.rows.iter().enumerate() {
+            if !right_matched[ri] {
+                let mut row = vec![Value::Null; l.scope.cols.len()];
+                row.extend(rrow.iter().cloned());
+                rows.push(row);
+            }
+        }
+    }
+    Ok(Rel { scope: combined, rows })
+}
+
+/// Evaluate the whole FROM clause (comma list = cross joins; LATERAL
+/// entries see previously joined columns).
+fn eval_from(
+    db: &Database,
+    ctes: &Ctes,
+    from: &[TableRef],
+    outer: Option<&Env<'_>>,
+) -> Result<Rel> {
+    if from.is_empty() {
+        // A single empty row: SELECT with no FROM produces one row.
+        return Ok(Rel { scope: Scope::default(), rows: vec![vec![]] });
+    }
+    let mut acc: Option<Rel> = None;
+    for tref in from {
+        let next = match (&acc, is_lateral(tref)) {
+            (Some(a), true) => {
+                // Comma-list LATERAL: cross apply against accumulated rows.
+                let TableRef::Subquery { query, alias, .. } = tref else { unreachable!() };
+                let qualifier = alias.as_ref().map(|x| x.name.as_str());
+                let mut right_scope: Option<Scope> = None;
+                let mut rows = Vec::new();
+                for lrow in &a.rows {
+                    let env = Env { scope: &a.scope, row: lrow, parent: outer };
+                    let t = run_query(db, ctes, query, Some(&env))?;
+                    if right_scope.is_none() {
+                        let mut s = Scope::from_schema(qualifier, &t.schema);
+                        apply_alias_columns(&mut s, alias.as_ref())?;
+                        right_scope = Some(s);
+                    }
+                    for rrow in t.rows {
+                        let mut row = lrow.clone();
+                        row.extend(rrow);
+                        rows.push(row);
+                    }
+                }
+                let rs = right_scope.unwrap_or_default();
+                Rel { scope: a.scope.join(&rs), rows }
+            }
+            _ => {
+                let rel = eval_join(db, ctes, tref, outer)?;
+                match acc {
+                    None => rel,
+                    Some(a) => {
+                        // Cross product with the accumulator.
+                        let scope = a.scope.join(&rel.scope);
+                        let mut rows =
+                            Vec::with_capacity(a.rows.len().saturating_mul(rel.rows.len()));
+                        for lrow in &a.rows {
+                            for rrow in &rel.rows {
+                                let mut row = lrow.clone();
+                                row.extend(rrow.iter().cloned());
+                                rows.push(row);
+                            }
+                        }
+                        Rel { scope, rows }
+                    }
+                }
+            }
+        };
+        acc = Some(next);
+    }
+    Ok(acc.expect("from list is non-empty"))
+}
+
+// ---------------------------------------------------------------------------
+// SELECT core
+// ---------------------------------------------------------------------------
+
+/// Aggregate call found in an expression.
+#[derive(Debug, Clone, PartialEq)]
+struct AggCall {
+    name: String,
+    distinct: bool,
+    /// `None` = count(*).
+    arg: Option<Expr>,
+    /// Second argument (string_agg separator).
+    arg2: Option<Expr>,
+}
+
+fn find_aggregates(e: &Expr, out: &mut Vec<AggCall>) {
+    e.walk(&mut |node| {
+        if let Expr::Func { name, args, distinct } = node {
+            if funcs::is_aggregate(name) {
+                let arg = args.first().and_then(|a| match &a.value {
+                    Expr::Wildcard { .. } => None,
+                    v => Some(v.clone()),
+                });
+                let call = AggCall {
+                    name: name.clone(),
+                    distinct: *distinct,
+                    arg,
+                    arg2: args.get(1).map(|a| a.value.clone()),
+                };
+                if !out.contains(&call) {
+                    out.push(call);
+                }
+            }
+        }
+    });
+}
+
+/// Rewrite an expression for the post-aggregation scope: aggregate calls
+/// become references to `#a{i}`, expressions equal to a GROUP BY item
+/// become `#g{i}`.
+fn rewrite_agg(e: &Expr, group_by: &[Expr], aggs: &[AggCall]) -> Expr {
+    // Group-expression match first (so `a` in GROUP BY a stays valid).
+    for (i, g) in group_by.iter().enumerate() {
+        if e == g {
+            return Expr::Column { qualifier: None, name: format!("#g{i}") };
+        }
+    }
+    if let Expr::Func { name, args, distinct } = e {
+        if funcs::is_aggregate(name) {
+            let arg = args.first().and_then(|a| match &a.value {
+                Expr::Wildcard { .. } => None,
+                v => Some(v.clone()),
+            });
+            let call = AggCall {
+                name: name.clone(),
+                distinct: *distinct,
+                arg,
+                arg2: args.get(1).map(|a| a.value.clone()),
+            };
+            if let Some(i) = aggs.iter().position(|a| *a == call) {
+                return Expr::Column { qualifier: None, name: format!("#a{i}") };
+            }
+        }
+    }
+    // Recurse structurally.
+    match e {
+        Expr::BinOp { op, lhs, rhs } => Expr::BinOp {
+            op: *op,
+            lhs: Box::new(rewrite_agg(lhs, group_by, aggs)),
+            rhs: Box::new(rewrite_agg(rhs, group_by, aggs)),
+        },
+        Expr::UnOp { op, expr } => Expr::UnOp {
+            op: *op,
+            expr: Box::new(rewrite_agg(expr, group_by, aggs)),
+        },
+        Expr::Chain { first, rest } => Expr::Chain {
+            first: Box::new(rewrite_agg(first, group_by, aggs)),
+            rest: rest
+                .iter()
+                .map(|(op, x)| (*op, rewrite_agg(x, group_by, aggs)))
+                .collect(),
+        },
+        Expr::Func { name, args, distinct } => Expr::Func {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| FuncArg {
+                    name: a.name.clone(),
+                    value: rewrite_agg(&a.value, group_by, aggs),
+                })
+                .collect(),
+            distinct: *distinct,
+        },
+        Expr::Cast { expr, ty } => Expr::Cast {
+            expr: Box::new(rewrite_agg(expr, group_by, aggs)),
+            ty: ty.clone(),
+        },
+        Expr::Case { operand, branches, else_ } => Expr::Case {
+            operand: operand.as_ref().map(|o| Box::new(rewrite_agg(o, group_by, aggs))),
+            branches: branches
+                .iter()
+                .map(|(c, r)| (rewrite_agg(c, group_by, aggs), rewrite_agg(r, group_by, aggs)))
+                .collect(),
+            else_: else_.as_ref().map(|x| Box::new(rewrite_agg(x, group_by, aggs))),
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(rewrite_agg(expr, group_by, aggs)),
+            negated: *negated,
+        },
+        Expr::InList { expr, list, negated } => Expr::InList {
+            expr: Box::new(rewrite_agg(expr, group_by, aggs)),
+            list: list.iter().map(|x| rewrite_agg(x, group_by, aggs)).collect(),
+            negated: *negated,
+        },
+        Expr::Between { expr, low, high, negated } => Expr::Between {
+            expr: Box::new(rewrite_agg(expr, group_by, aggs)),
+            low: Box::new(rewrite_agg(low, group_by, aggs)),
+            high: Box::new(rewrite_agg(high, group_by, aggs)),
+            negated: *negated,
+        },
+        Expr::Like { expr, pattern, negated, case_insensitive } => Expr::Like {
+            expr: Box::new(rewrite_agg(expr, group_by, aggs)),
+            pattern: Box::new(rewrite_agg(pattern, group_by, aggs)),
+            negated: *negated,
+            case_insensitive: *case_insensitive,
+        },
+        other => other.clone(),
+    }
+}
+
+/// Aggregate accumulator.
+struct AggState {
+    kind: String,
+    distinct: bool,
+    seen: std::collections::HashSet<GroupKey>,
+    count: i64,
+    sum: Option<Value>,
+    min: Option<Value>,
+    max: Option<Value>,
+    // Welford for variance.
+    n: f64,
+    mean: f64,
+    m2: f64,
+    bools: Option<bool>,
+    strings: Vec<String>,
+}
+
+impl AggState {
+    fn new(kind: &str, distinct: bool) -> AggState {
+        AggState {
+            kind: kind.to_string(),
+            distinct,
+            seen: Default::default(),
+            count: 0,
+            sum: None,
+            min: None,
+            max: None,
+            n: 0.0,
+            mean: 0.0,
+            m2: 0.0,
+            bools: None,
+            strings: Vec::new(),
+        }
+    }
+
+    fn update(&mut self, v: Option<Value>, sep: Option<&Value>) -> Result<()> {
+        match (&self.kind[..], v) {
+            ("count", None) => self.count += 1, // count(*)
+            (_, None) => {}
+            (_, Some(v)) if v.is_null() => {}
+            (kind, Some(v)) => {
+                if self.distinct && !self.seen.insert(v.group_key()) {
+                    return Ok(());
+                }
+                match kind {
+                    "count" => self.count += 1,
+                    "sum" | "avg" => {
+                        self.count += 1;
+                        self.sum = Some(match self.sum.take() {
+                            None => v,
+                            Some(s) => Value::binop(BinOp::Add, &s, &v)?,
+                        });
+                    }
+                    "min" => {
+                        self.min = Some(match self.min.take() {
+                            None => v,
+                            Some(m) => {
+                                if v.sql_cmp(&m)? == Some(std::cmp::Ordering::Less) {
+                                    v
+                                } else {
+                                    m
+                                }
+                            }
+                        });
+                    }
+                    "max" => {
+                        self.max = Some(match self.max.take() {
+                            None => v,
+                            Some(m) => {
+                                if v.sql_cmp(&m)? == Some(std::cmp::Ordering::Greater) {
+                                    v
+                                } else {
+                                    m
+                                }
+                            }
+                        });
+                    }
+                    "stddev" | "stddev_samp" | "stddev_pop" | "variance" | "var_samp"
+                    | "var_pop" => {
+                        let x = v.as_f64()?;
+                        self.n += 1.0;
+                        let d = x - self.mean;
+                        self.mean += d / self.n;
+                        self.m2 += d * (x - self.mean);
+                    }
+                    "bool_and" => {
+                        let b = v.as_bool()?.unwrap_or(false);
+                        self.bools = Some(self.bools.map_or(b, |p| p && b));
+                    }
+                    "bool_or" => {
+                        let b = v.as_bool()?.unwrap_or(false);
+                        self.bools = Some(self.bools.map_or(b, |p| p || b));
+                    }
+                    "string_agg" => {
+                        let _ = sep;
+                        self.strings.push(v.to_string());
+                    }
+                    other => return Err(Error::eval(format!("unknown aggregate {other}()"))),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self, sep: Option<&Value>) -> Result<Value> {
+        Ok(match &self.kind[..] {
+            "count" => Value::Int(self.count),
+            "sum" => self.sum.unwrap_or(Value::Null),
+            "avg" => match self.sum {
+                None => Value::Null,
+                Some(s) => {
+                    let total = match s {
+                        Value::Int(i) => Value::Float(i as f64),
+                        other => other,
+                    };
+                    Value::binop(BinOp::Div, &total, &Value::Int(self.count))?
+                }
+            },
+            "min" => self.min.unwrap_or(Value::Null),
+            "max" => self.max.unwrap_or(Value::Null),
+            "variance" | "var_samp" => {
+                if self.n < 2.0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.m2 / (self.n - 1.0))
+                }
+            }
+            "var_pop" => {
+                if self.n < 1.0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.m2 / self.n)
+                }
+            }
+            "stddev" | "stddev_samp" => {
+                if self.n < 2.0 {
+                    Value::Null
+                } else {
+                    Value::Float((self.m2 / (self.n - 1.0)).sqrt())
+                }
+            }
+            "stddev_pop" => {
+                if self.n < 1.0 {
+                    Value::Null
+                } else {
+                    Value::Float((self.m2 / self.n).sqrt())
+                }
+            }
+            "bool_and" | "bool_or" => self.bools.map(Value::Bool).unwrap_or(Value::Null),
+            "string_agg" => {
+                if self.strings.is_empty() {
+                    Value::Null
+                } else {
+                    let s = match sep {
+                        Some(Value::Text(t)) => t.to_string(),
+                        _ => String::new(),
+                    };
+                    Value::text(self.strings.join(&s))
+                }
+            }
+            other => return Err(Error::eval(format!("unknown aggregate {other}()"))),
+        })
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_select(
+    db: &Database,
+    ctes: &Ctes,
+    sel: &Select,
+    outer: Option<&Env<'_>>,
+    order_by: &[OrderItem],
+    limit: &Option<Expr>,
+    offset: &Option<Expr>,
+) -> Result<Table> {
+    let ctx = EvalCtx { db, ctes };
+    let input = eval_from(db, ctes, &sel.from, outer)?;
+
+    // WHERE.
+    let mut rows = input.rows;
+    if let Some(w) = &sel.where_ {
+        let binder = Binder::with_outer(db, &input.scope, outer);
+        let bound = binder.bind(w)?;
+        let mut kept = Vec::with_capacity(rows.len());
+        for row in rows {
+            let env = Env { scope: &input.scope, row: &row, parent: outer };
+            if bound.eval(&ctx, &env)?.as_bool()? == Some(true) {
+                kept.push(row);
+            }
+        }
+        rows = kept;
+    }
+
+    // Expand wildcards into column references (pre-binding).
+    let mut proj: Vec<(Option<String>, Expr)> = Vec::new();
+    for item in &sel.projection {
+        match item {
+            SelectItem::Wildcard { qualifier } => {
+                for (i, c) in input.scope.cols.iter().enumerate() {
+                    let keep = match qualifier {
+                        None => true,
+                        Some(q) => c.qualifier.as_deref() == Some(q.as_str()),
+                    };
+                    if keep && !c.name.starts_with('#') {
+                        // Reference by position via a marker resolved below.
+                        proj.push((
+                            Some(c.name.clone()),
+                            Expr::Column {
+                                qualifier: Some(format!("#idx{i}")),
+                                name: c.name.clone(),
+                            },
+                        ));
+                    }
+                }
+                if proj.is_empty() && input.scope.cols.is_empty() {
+                    return Err(Error::bind("SELECT * with no FROM clause"));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                // Inner wildcard check (count(*) is rewritten later).
+                let name = alias.clone().or_else(|| default_name(expr));
+                proj.push((name, expr.clone()));
+            }
+        }
+    }
+
+    // Resolve GROUP BY items given projections (position / alias refs).
+    let mut group_by: Vec<Expr> = Vec::new();
+    for g in &sel.group_by {
+        let resolved = match g {
+            Expr::Literal(Literal::Int(i)) => {
+                let idx = *i - 1;
+                if idx < 0 || idx as usize >= proj.len() {
+                    return Err(Error::bind(format!("GROUP BY position {i} out of range")));
+                }
+                proj[idx as usize].1.clone()
+            }
+            Expr::Column { qualifier: None, name } => {
+                // Prefer an input column; otherwise a projection alias.
+                if input.scope.resolve(None, name)?.is_some() {
+                    g.clone()
+                } else if let Some((_, e)) =
+                    proj.iter().find(|(n, _)| n.as_deref() == Some(name.as_str()))
+                {
+                    e.clone()
+                } else {
+                    g.clone()
+                }
+            }
+            other => other.clone(),
+        };
+        group_by.push(resolved);
+    }
+
+    // Detect aggregation.
+    let mut aggs: Vec<AggCall> = Vec::new();
+    for (_, e) in &proj {
+        find_aggregates(e, &mut aggs);
+    }
+    if let Some(h) = &sel.having {
+        find_aggregates(h, &mut aggs);
+    }
+    for o in order_by {
+        find_aggregates(&o.expr, &mut aggs);
+    }
+    let aggregated = !group_by.is_empty() || !aggs.is_empty() || sel.having.is_some();
+
+    let (out_scope, out_rows, proj_bound, having_bound, order_bound);
+    if aggregated {
+        // Bind group and aggregate argument expressions against the input.
+        let in_binder = Binder::with_outer(db, &input.scope, outer);
+        let group_bound: Vec<BoundExpr> =
+            group_by.iter().map(|g| in_binder.bind(g)).collect::<Result<_>>()?;
+        struct BoundAgg {
+            call: AggCall,
+            arg: Option<BoundExpr>,
+            arg2: Option<BoundExpr>,
+        }
+        let aggs_bound: Vec<BoundAgg> = aggs
+            .iter()
+            .map(|a| {
+                Ok(BoundAgg {
+                    call: a.clone(),
+                    arg: a.arg.as_ref().map(|e| in_binder.bind(e)).transpose()?,
+                    arg2: a.arg2.as_ref().map(|e| in_binder.bind(e)).transpose()?,
+                })
+            })
+            .collect::<Result<_>>()?;
+
+        // Group rows.
+        let mut groups: Vec<(Vec<Value>, Vec<AggState>, Option<Value>)> = Vec::new();
+        let mut index: HashMap<Vec<GroupKey>, usize> = HashMap::new();
+        let make_states =
+            || -> Vec<AggState> { aggs.iter().map(|a| AggState::new(&a.name, a.distinct)).collect() };
+        if group_by.is_empty() {
+            groups.push((vec![], make_states(), None));
+        }
+        for row in &rows {
+            let env = Env { scope: &input.scope, row, parent: outer };
+            let gvals: Vec<Value> = group_bound
+                .iter()
+                .map(|b| b.eval(&ctx, &env))
+                .collect::<Result<_>>()?;
+            let gidx = if group_by.is_empty() {
+                0
+            } else {
+                let key: Vec<GroupKey> = gvals.iter().map(|v| v.group_key()).collect();
+                *index.entry(key).or_insert_with(|| {
+                    groups.push((gvals.clone(), make_states(), None));
+                    groups.len() - 1
+                })
+            };
+            let (_, states, sep_slot) = &mut groups[gidx];
+            for (si, ba) in aggs_bound.iter().enumerate() {
+                let v = match &ba.arg {
+                    None => None,
+                    Some(b) => Some(b.eval(&ctx, &env)?),
+                };
+                let sep = match &ba.arg2 {
+                    None => None,
+                    Some(b) => {
+                        let s = b.eval(&ctx, &env)?;
+                        *sep_slot = Some(s.clone());
+                        Some(s)
+                    }
+                };
+                states[si].update(v, sep.as_ref())?;
+                let _ = &ba.call;
+            }
+        }
+
+        // Post-aggregation scope: #g0.. then #a0..
+        let mut cols = Vec::new();
+        for i in 0..group_by.len() {
+            cols.push(ScopeCol { qualifier: None, name: format!("#g{i}"), ty: DataType::Unknown });
+        }
+        for i in 0..aggs.len() {
+            cols.push(ScopeCol { qualifier: None, name: format!("#a{i}"), ty: DataType::Unknown });
+        }
+        let agg_scope = Scope::new(cols);
+
+        let mut agg_rows: Vec<Row> = Vec::with_capacity(groups.len());
+        for (gvals, states, sep) in groups {
+            let mut row = gvals;
+            for st in states {
+                row.push(st.finish(sep.as_ref())?);
+            }
+            agg_rows.push(row);
+        }
+
+        // Rewrite & bind projection / HAVING / ORDER BY against agg scope.
+        let rewritten_proj: Vec<(Option<String>, Expr)> = proj
+            .iter()
+            .map(|(n, e)| (n.clone(), rewrite_agg(&resolve_idx_markers(e, &input.scope), &group_by, &aggs)))
+            .collect();
+        let agg_binder = Binder::with_outer(db, &agg_scope, outer);
+        let pb: Vec<BoundExpr> = rewritten_proj
+            .iter()
+            .map(|(_, e)| {
+                agg_binder.bind(e).map_err(|err| match err {
+                    Error::Bind(m) => Error::bind(format!(
+                        "{m} (column must appear in GROUP BY or be used in an aggregate)"
+                    )),
+                    other => other,
+                })
+            })
+            .collect::<Result<_>>()?;
+        let hb = sel
+            .having
+            .as_ref()
+            .map(|h| agg_binder.bind(&rewrite_agg(h, &group_by, &aggs)))
+            .transpose()?;
+        let ob: Vec<BoundExpr> = order_by
+            .iter()
+            .map(|o| {
+                if let Expr::Literal(Literal::Int(i)) = &o.expr {
+                    let idx = *i - 1;
+                    if idx < 0 || idx as usize >= pb.len() {
+                        return Err(Error::bind(format!("ORDER BY position {i} out of range")));
+                    }
+                    // Positional: re-use projection's bound expr.
+                    return Ok(pb[idx as usize].clone());
+                }
+                // Alias reference?
+                if let Expr::Column { qualifier: None, name } = &o.expr {
+                    if let Some(i) =
+                        rewritten_proj.iter().position(|(n, _)| n.as_deref() == Some(name.as_str()))
+                    {
+                        return Ok(pb[i].clone());
+                    }
+                }
+                agg_binder.bind(&rewrite_agg(&o.expr, &group_by, &aggs))
+            })
+            .collect::<Result<_>>()?;
+
+        out_scope = agg_scope;
+        out_rows = agg_rows;
+        proj_bound = pb;
+        having_bound = hb;
+        order_bound = ob;
+    } else {
+        // Non-aggregated path: bind directly against the input scope.
+        let binder = Binder::with_outer(db, &input.scope, outer);
+        let pb: Vec<BoundExpr> = proj
+            .iter()
+            .map(|(_, e)| bind_with_idx_markers(&binder, e, &input.scope))
+            .collect::<Result<_>>()?;
+        let ob: Vec<BoundExpr> = order_by
+            .iter()
+            .map(|o| {
+                if let Expr::Literal(Literal::Int(i)) = &o.expr {
+                    let idx = *i - 1;
+                    if idx < 0 || idx as usize >= pb.len() {
+                        return Err(Error::bind(format!("ORDER BY position {i} out of range")));
+                    }
+                    return Ok(pb[idx as usize].clone());
+                }
+                if let Expr::Column { qualifier: None, name } = &o.expr {
+                    if let Some(i) =
+                        proj.iter().position(|(n, _)| n.as_deref() == Some(name.as_str()))
+                    {
+                        return Ok(pb[i].clone());
+                    }
+                }
+                binder.bind(&o.expr)
+            })
+            .collect::<Result<_>>()?;
+        out_scope = input.scope;
+        out_rows = rows;
+        proj_bound = pb;
+        having_bound = None;
+        order_bound = ob;
+    }
+
+    // Evaluate projection (+ order keys) per row; apply HAVING.
+    let mut produced: Vec<(Vec<Value>, Row)> = Vec::with_capacity(out_rows.len());
+    for row in &out_rows {
+        let env = Env { scope: &out_scope, row, parent: outer };
+        if let Some(h) = &having_bound {
+            if h.eval(&ctx, &env)?.as_bool()? != Some(true) {
+                continue;
+            }
+        }
+        let out: Row = proj_bound
+            .iter()
+            .map(|b| b.eval(&ctx, &env))
+            .collect::<Result<_>>()?;
+        let keys: Vec<Value> = order_bound
+            .iter()
+            .map(|b| b.eval(&ctx, &env))
+            .collect::<Result<_>>()?;
+        produced.push((keys, out));
+    }
+
+    // DISTINCT.
+    if sel.distinct {
+        let mut seen = HashMap::new();
+        produced.retain(|(_, row)| {
+            let key: Vec<GroupKey> = row.iter().map(|v| v.group_key()).collect();
+            seen.insert(key, ()).is_none()
+        });
+    }
+
+    // ORDER BY.
+    if !order_by.is_empty() {
+        sort_keyed(&mut produced, order_by);
+    }
+
+    // Build the output schema.
+    let names: Vec<String> = proj
+        .iter()
+        .enumerate()
+        .map(|(i, (n, _))| n.clone().unwrap_or_else(|| format!("column{}", i + 1)))
+        .collect();
+    let mut schema = Schema::new(names.into_iter().map(|n| TColumn::new(n, DataType::Unknown)).collect());
+    // Infer types from values.
+    for (i, col) in schema.columns.iter_mut().enumerate() {
+        for (_, row) in &produced {
+            if !row[i].is_null() {
+                col.ty = row[i].data_type();
+                break;
+            }
+        }
+        // All-NULL columns keep their statically known type (a direct
+        // column reference or an explicit cast) so decision columns stay
+        // typed — integrality of solver variables depends on this.
+        if col.ty == DataType::Unknown {
+            col.ty = static_type(&proj_bound[i], &out_scope);
+        }
+    }
+    let mut table = Table::with_rows(schema, produced.into_iter().map(|(_, r)| r).collect());
+    apply_limit_offset(db, ctes, &mut table, limit, offset, outer)?;
+    Ok(table)
+}
+
+/// Wildcard-expanded items carry a `#idx{i}` qualifier so they bind by
+/// position, immune to duplicate column names.
+fn bind_with_idx_markers(binder: &Binder<'_>, e: &Expr, _scope: &Scope) -> Result<BoundExpr> {
+    if let Expr::Column { qualifier: Some(q), .. } = e {
+        if let Some(idx) = q.strip_prefix("#idx") {
+            let index: usize = idx.parse().expect("internal marker");
+            return Ok(BoundExpr::Column { depth: 0, index });
+        }
+    }
+    binder.bind(e)
+}
+
+/// In the aggregate path markers must be turned back into plain column
+/// expressions so they can match GROUP BY items.
+fn resolve_idx_markers(e: &Expr, scope: &Scope) -> Expr {
+    if let Expr::Column { qualifier: Some(q), .. } = e {
+        if let Some(idx) = q.strip_prefix("#idx") {
+            let index: usize = idx.parse().expect("internal marker");
+            let col = &scope.cols[index];
+            return Expr::Column { qualifier: col.qualifier.clone(), name: col.name.clone() };
+        }
+    }
+    e.clone()
+}
+
+/// Statically known output type of a bound expression (used when value
+/// inference sees only NULLs).
+fn static_type(b: &BoundExpr, scope: &Scope) -> DataType {
+    match b {
+        BoundExpr::Column { depth: 0, index } => scope.cols[*index].ty.clone(),
+        BoundExpr::Cast { ty, .. } => ty.clone(),
+        BoundExpr::Const(v) if !v.is_null() => v.data_type(),
+        _ => DataType::Unknown,
+    }
+}
+
+fn default_name(e: &Expr) -> Option<String> {
+    match e {
+        Expr::Column { name, .. } => Some(name.clone()),
+        Expr::Func { name, .. } => Some(name.clone()),
+        Expr::Cast { expr, .. } => default_name(expr),
+        Expr::ScalarSubquery(q) => {
+            // Use the subquery's single output column name when obvious.
+            if let SetExpr::Select(s) = &q.body {
+                if let Some(SelectItem::Expr { expr, alias }) = s.projection.first() {
+                    return alias.clone().or_else(|| default_name(expr));
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}

@@ -1,0 +1,26 @@
+//! # sqlengine — the relational substrate of the SolveDB+ reproduction
+//!
+//! An in-memory SQL engine (PostgreSQL-flavoured subset) with the
+//! SolveDB+ language extensions parsed natively: `SOLVESELECT`,
+//! `SOLVEMODEL`, common decision table expressions, `INLINE`,
+//! `MODELEVAL`, named solver parameters and comparison chains.
+//!
+//! The engine is deliberately self-contained: lexer → parser → binder →
+//! executor over row-oriented in-memory tables. The SolveDB+ semantics
+//! (solver framework, symbolic evaluation, model management) live in the
+//! `solvedbplus-core` crate and plug in through [`catalog::SolveHandler`].
+
+pub mod ast;
+pub mod catalog;
+pub mod error;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod table;
+pub mod types;
+
+pub use catalog::{Ctes, Database, ScalarUdf, SolveHandler};
+pub use error::{Error, Result};
+pub use exec::{execute_script, execute_sql, execute_statement, run_query, ExecResult};
+pub use table::{Column, Row, Schema, Table};
+pub use types::{DataType, Value};

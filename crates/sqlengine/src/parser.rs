@@ -1,0 +1,1631 @@
+//! Recursive-descent parser for the SolveDB+ SQL dialect.
+//!
+//! Covers a practical PostgreSQL subset (queries with CTEs incl.
+//! `WITH RECURSIVE`, joins, LATERAL, subqueries, set operations, DML and
+//! DDL) plus the SolveDB+ extensions of the paper: `SOLVESELECT`,
+//! `SOLVEMODEL`, CDTEs with decision columns, `INLINE`, `MODELEVAL`,
+//! named solver parameters (`p := expr`), comparison chains
+//! (`0 <= x <= 5`) and the `<<` model-instantiation operator.
+
+use crate::ast::*;
+use crate::error::{Error, Result};
+use crate::lexer::{tokenize, Token};
+use crate::types::{BinOp, DataType, UnOp};
+
+/// Parse a single statement (trailing `;` allowed).
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let mut p = Parser::new(sql)?;
+    let stmt = p.parse_statement()?;
+    p.eat(&Token::Semi);
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a `;`-separated script.
+pub fn parse_statements(sql: &str) -> Result<Vec<Statement>> {
+    let mut p = Parser::new(sql)?;
+    let mut out = Vec::new();
+    loop {
+        while p.eat(&Token::Semi) {}
+        if p.peek() == &Token::Eof {
+            break;
+        }
+        out.push(p.parse_statement()?);
+        if !p.eat(&Token::Semi) {
+            break;
+        }
+    }
+    p.expect_eof()?;
+    Ok(out)
+}
+
+/// Parse a complete query (SELECT / VALUES / WITH ...).
+pub fn parse_query(sql: &str) -> Result<Query> {
+    let mut p = Parser::new(sql)?;
+    let q = p.parse_query()?;
+    p.eat(&Token::Semi);
+    p.expect_eof()?;
+    Ok(q)
+}
+
+/// Parse a standalone scalar expression (used in tests and by solvers).
+pub fn parse_expr(sql: &str) -> Result<Expr> {
+    let mut p = Parser::new(sql)?;
+    let e = p.parse_expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+/// Keywords that terminate an implicit (AS-less) alias position.
+const RESERVED_AFTER_TABLE: &[&str] = &[
+    "where", "group", "having", "order", "limit", "offset", "union", "intersect", "except",
+    "on", "using", "join", "inner", "left", "right", "full", "cross", "natural", "when",
+    "then", "else", "end", "from", "as", "and", "or", "not", "minimize", "maximize",
+    "subjectto", "inline", "with", "in", "is", "between", "like", "ilike", "returning",
+    "set", "values", "lateral",
+];
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(sql: &str) -> Result<Parser> {
+        Ok(Parser { toks: tokenize(sql)?, pos: 0 })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos]
+    }
+
+    fn peek_at(&self, off: usize) -> &Token {
+        self.toks.get(self.pos + off).unwrap_or(&Token::Eof)
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == t {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        self.peek().is_kw(kw)
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(Error::parse(format!("expected '{t}', found '{}'", self.peek())))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(Error::parse(format!(
+                "expected keyword {}, found '{}'",
+                kw.to_uppercase(),
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if self.peek() == &Token::Eof {
+            Ok(())
+        } else {
+            Err(Error::parse(format!("unexpected trailing input: '{}'", self.peek())))
+        }
+    }
+
+    /// Any identifier (unquoted is already lower-cased by the lexer).
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Token::Ident(s) => Ok(s),
+            Token::QuotedIdent(s) => Ok(s),
+            other => Err(Error::parse(format!("expected identifier, found '{other}'"))),
+        }
+    }
+
+    /// Identifier usable as an implicit alias (not a reserved clause word).
+    fn alias_ident(&mut self) -> Option<String> {
+        match self.peek() {
+            Token::Ident(s) if !RESERVED_AFTER_TABLE.contains(&s.as_str()) => {
+                let s = s.clone();
+                self.next();
+                Some(s)
+            }
+            Token::QuotedIdent(s) => {
+                let s = s.clone();
+                self.next();
+                Some(s)
+            }
+            _ => None,
+        }
+    }
+
+    // -- statements ---------------------------------------------------------
+
+    fn parse_statement(&mut self) -> Result<Statement> {
+        if self.peek_kw("select")
+            || self.peek_kw("values")
+            || self.peek_kw("with")
+            || self.peek_kw("table")
+            || self.peek() == &Token::LParen
+        {
+            return Ok(Statement::Query(self.parse_query()?));
+        }
+        if self.peek_kw("solveselect") || self.peek_kw("solvemodel") {
+            return Ok(Statement::Solve(self.parse_solve()?));
+        }
+        if self.eat_kw("modeleval") {
+            self.expect(&Token::LParen)?;
+            let select = self.parse_query()?;
+            self.expect(&Token::RParen)?;
+            self.expect_kw("in")?;
+            self.expect(&Token::LParen)?;
+            let model = self.parse_query()?;
+            self.expect(&Token::RParen)?;
+            return Ok(Statement::ModelEval { select, model });
+        }
+        if self.eat_kw("insert") {
+            self.expect_kw("into")?;
+            let table = self.ident()?;
+            let mut columns = Vec::new();
+            // Disambiguate `(cols)` from `(SELECT ...)`.
+            if self.peek() == &Token::LParen && !self.starts_query_at(1) {
+                self.expect(&Token::LParen)?;
+                loop {
+                    columns.push(self.ident()?);
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RParen)?;
+            }
+            let source = self.parse_query()?;
+            return Ok(Statement::Insert { table, columns, source });
+        }
+        if self.eat_kw("update") {
+            let table = self.ident()?;
+            self.expect_kw("set")?;
+            let mut assignments = Vec::new();
+            loop {
+                let col = self.ident()?;
+                self.expect(&Token::Eq)?;
+                let e = self.parse_expr()?;
+                assignments.push((col, e));
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            let where_ = if self.eat_kw("where") { Some(self.parse_expr()?) } else { None };
+            return Ok(Statement::Update { table, assignments, where_ });
+        }
+        if self.eat_kw("delete") {
+            self.expect_kw("from")?;
+            let table = self.ident()?;
+            let where_ = if self.eat_kw("where") { Some(self.parse_expr()?) } else { None };
+            return Ok(Statement::Delete { table, where_ });
+        }
+        if self.eat_kw("create") {
+            let or_replace = if self.eat_kw("or") {
+                self.expect_kw("replace")?;
+                true
+            } else {
+                false
+            };
+            if self.eat_kw("view") {
+                let name = self.ident()?;
+                self.expect_kw("as")?;
+                let query = self.parse_query()?;
+                return Ok(Statement::CreateView { name, or_replace, query });
+            }
+            // Accept and ignore TEMP/TEMPORARY.
+            let _ = self.eat_kw("temp") || self.eat_kw("temporary");
+            self.expect_kw("table")?;
+            let if_not_exists = if self.eat_kw("if") {
+                self.expect_kw("not")?;
+                self.expect_kw("exists")?;
+                true
+            } else {
+                false
+            };
+            let name = self.ident()?;
+            if self.eat_kw("as") {
+                let q = self.parse_query()?;
+                return Ok(Statement::CreateTable {
+                    name,
+                    if_not_exists,
+                    columns: vec![],
+                    as_query: Some(q),
+                });
+            }
+            self.expect(&Token::LParen)?;
+            let mut columns = Vec::new();
+            loop {
+                let cname = self.ident()?;
+                let ty = self.parse_type_name()?;
+                // Ignore simple column constraints.
+                loop {
+                    if self.eat_kw("primary") {
+                        self.expect_kw("key")?;
+                    } else if self.eat_kw("not") {
+                        self.expect_kw("null")?;
+                    } else if self.eat_kw("unique") || self.eat_kw("null") {
+                    } else {
+                        break;
+                    }
+                }
+                columns.push(ColumnDef { name: cname, ty });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Statement::CreateTable { name, if_not_exists, columns, as_query: None });
+        }
+        if self.eat_kw("drop") {
+            let is_view = if self.eat_kw("view") {
+                true
+            } else {
+                self.expect_kw("table")?;
+                false
+            };
+            let if_exists = if self.eat_kw("if") {
+                self.expect_kw("exists")?;
+                true
+            } else {
+                false
+            };
+            let name = self.ident()?;
+            return Ok(if is_view {
+                Statement::DropView { name, if_exists }
+            } else {
+                Statement::DropTable { name, if_exists }
+            });
+        }
+        Err(Error::parse(format!("unexpected token '{}' at start of statement", self.peek())))
+    }
+
+    fn parse_type_name(&mut self) -> Result<DataType> {
+        let first = self.ident()?;
+        // Two-word types: double precision, character varying, bit varying.
+        let name = match first.as_str() {
+            "double" if self.peek_kw("precision") => {
+                self.next();
+                "double precision".to_string()
+            }
+            "character" if self.peek_kw("varying") => {
+                self.next();
+                "character varying".to_string()
+            }
+            "bit" if self.peek_kw("varying") => {
+                self.next();
+                "bit varying".to_string()
+            }
+            _ => first,
+        };
+        // Ignore type parameters like varchar(10) / numeric(10,2).
+        if self.eat(&Token::LParen) {
+            while self.peek() != &Token::RParen && self.peek() != &Token::Eof {
+                self.next();
+            }
+            self.expect(&Token::RParen)?;
+        }
+        DataType::from_sql_name(&name)
+    }
+
+    // -- queries ------------------------------------------------------------
+
+    /// Does a query start at lookahead offset `off`?
+    fn starts_query_at(&self, off: usize) -> bool {
+        let mut i = off;
+        // Skip nested parens.
+        while self.peek_at(i) == &Token::LParen {
+            i += 1;
+        }
+        let t = self.peek_at(i);
+        t.is_kw("select")
+            || t.is_kw("values")
+            || t.is_kw("with")
+            || t.is_kw("table")
+            || t.is_kw("solveselect")
+            || t.is_kw("solvemodel")
+    }
+
+    fn parse_query(&mut self) -> Result<Query> {
+        let mut with = Vec::new();
+        let mut recursive = false;
+        if self.eat_kw("with") {
+            recursive = self.eat_kw("recursive");
+            loop {
+                let name = self.ident()?;
+                let mut columns = Vec::new();
+                if self.eat(&Token::LParen) {
+                    loop {
+                        columns.push(self.ident()?);
+                        if !self.eat(&Token::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                }
+                self.expect_kw("as")?;
+                self.expect(&Token::LParen)?;
+                let query = self.parse_query()?;
+                self.expect(&Token::RParen)?;
+                with.push(Cte { name, columns, query });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let body = self.parse_set_expr()?;
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let expr = self.parse_expr()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                let nulls_first = if self.eat_kw("nulls") {
+                    if self.eat_kw("first") {
+                        Some(true)
+                    } else {
+                        self.expect_kw("last")?;
+                        Some(false)
+                    }
+                } else {
+                    None
+                };
+                order_by.push(OrderItem { expr, desc, nulls_first });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut limit = None;
+        let mut offset = None;
+        loop {
+            if self.eat_kw("limit") {
+                limit = Some(if self.eat_kw("all") {
+                    Expr::Literal(Literal::Null)
+                } else {
+                    self.parse_expr()?
+                });
+            } else if self.eat_kw("offset") {
+                offset = Some(self.parse_expr()?);
+                let _ = self.eat_kw("rows") || self.eat_kw("row");
+            } else {
+                break;
+            }
+        }
+        Ok(Query { with, recursive, body, order_by, limit, offset })
+    }
+
+    fn parse_set_expr(&mut self) -> Result<SetExpr> {
+        let mut left = self.parse_set_term()?;
+        loop {
+            let op = if self.peek_kw("union") {
+                SetOp::Union
+            } else if self.peek_kw("except") {
+                SetOp::Except
+            } else {
+                break;
+            };
+            self.next();
+            let all = self.parse_set_quantifier()?;
+            let right = self.parse_set_term()?;
+            left = SetExpr::SetOp { op, all, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_set_term(&mut self) -> Result<SetExpr> {
+        let mut left = self.parse_set_primary()?;
+        while self.peek_kw("intersect") {
+            self.next();
+            let all = self.parse_set_quantifier()?;
+            let right = self.parse_set_primary()?;
+            left = SetExpr::SetOp {
+                op: SetOp::Intersect,
+                all,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_set_quantifier(&mut self) -> Result<bool> {
+        if self.eat_kw("all") {
+            Ok(true)
+        } else {
+            self.eat_kw("distinct");
+            Ok(false)
+        }
+    }
+
+    fn parse_set_primary(&mut self) -> Result<SetExpr> {
+        if self.peek_kw("solveselect") {
+            let sv = self.parse_solve()?;
+            return Ok(SetExpr::Solve(Box::new(sv)));
+        }
+        if self.eat(&Token::LParen) {
+            let q = self.parse_query()?;
+            self.expect(&Token::RParen)?;
+            return Ok(SetExpr::Query(Box::new(q)));
+        }
+        if self.eat_kw("values") {
+            let mut rows = Vec::new();
+            loop {
+                self.expect(&Token::LParen)?;
+                let mut row = Vec::new();
+                loop {
+                    row.push(self.parse_expr()?);
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RParen)?;
+                rows.push(row);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            return Ok(SetExpr::Values(rows));
+        }
+        if self.eat_kw("table") {
+            // `TABLE t` = `SELECT * FROM t`.
+            let name = self.ident()?;
+            let mut sel = Select::empty();
+            sel.projection.push(SelectItem::Wildcard { qualifier: None });
+            sel.from.push(TableRef::Named { name, alias: None });
+            return Ok(SetExpr::Select(Box::new(sel)));
+        }
+        self.expect_kw("select")?;
+        let distinct = self.eat_kw("distinct");
+        let _ = self.eat_kw("all");
+        let mut projection = Vec::new();
+        loop {
+            if self.peek() == &Token::Star {
+                self.next();
+                projection.push(SelectItem::Wildcard { qualifier: None });
+            } else if matches!(self.peek(), Token::Ident(_) | Token::QuotedIdent(_))
+                && self.peek_at(1) == &Token::Dot
+                && self.peek_at(2) == &Token::Star
+            {
+                let q = self.ident()?;
+                self.next(); // .
+                self.next(); // *
+                projection.push(SelectItem::Wildcard { qualifier: Some(q) });
+            } else {
+                let expr = self.parse_expr()?;
+                let alias = if self.eat_kw("as") {
+                    Some(self.ident()?)
+                } else {
+                    self.alias_ident()
+                };
+                projection.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        let mut from = Vec::new();
+        if self.eat_kw("from") {
+            loop {
+                from.push(self.parse_table_ref()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let where_ = if self.eat_kw("where") { Some(self.parse_expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("having") { Some(self.parse_expr()?) } else { None };
+        Ok(SetExpr::Select(Box::new(Select {
+            distinct,
+            projection,
+            from,
+            where_,
+            group_by,
+            having,
+        })))
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef> {
+        let mut left = self.parse_table_primary()?;
+        loop {
+            let kind = if self.eat_kw("cross") {
+                self.expect_kw("join")?;
+                JoinKind::Cross
+            } else if self.eat_kw("inner") {
+                self.expect_kw("join")?;
+                JoinKind::Inner
+            } else if self.eat_kw("left") {
+                let _ = self.eat_kw("outer");
+                self.expect_kw("join")?;
+                JoinKind::Left
+            } else if self.eat_kw("right") {
+                let _ = self.eat_kw("outer");
+                self.expect_kw("join")?;
+                JoinKind::Right
+            } else if self.eat_kw("full") {
+                let _ = self.eat_kw("outer");
+                self.expect_kw("join")?;
+                JoinKind::Full
+            } else if self.eat_kw("join") {
+                JoinKind::Inner
+            } else {
+                break;
+            };
+            let right = self.parse_table_primary()?;
+            let constraint = if kind == JoinKind::Cross {
+                JoinConstraint::None
+            } else if self.eat_kw("on") {
+                JoinConstraint::On(self.parse_expr()?)
+            } else if self.eat_kw("using") {
+                self.expect(&Token::LParen)?;
+                let mut cols = Vec::new();
+                loop {
+                    cols.push(self.ident()?);
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RParen)?;
+                JoinConstraint::Using(cols)
+            } else {
+                JoinConstraint::None
+            };
+            left = TableRef::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                constraint,
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_table_primary(&mut self) -> Result<TableRef> {
+        let lateral = self.eat_kw("lateral");
+        if self.peek() == &Token::LParen {
+            self.expect(&Token::LParen)?;
+            // Either a derived table or a parenthesised join.
+            if self.starts_query_at(0) {
+                let q = self.parse_query()?;
+                self.expect(&Token::RParen)?;
+                let alias = self.parse_table_alias()?;
+                return Ok(TableRef::Subquery { query: Box::new(q), lateral, alias });
+            }
+            let inner = self.parse_table_ref()?;
+            self.expect(&Token::RParen)?;
+            return Ok(inner);
+        }
+        if lateral {
+            return Err(Error::parse("LATERAL must be followed by a subquery"));
+        }
+        let name = self.ident()?;
+        let alias = self.parse_table_alias()?;
+        Ok(TableRef::Named { name, alias })
+    }
+
+    fn parse_table_alias(&mut self) -> Result<Option<TableAlias>> {
+        let name = if self.eat_kw("as") {
+            Some(self.ident()?)
+        } else {
+            self.alias_ident()
+        };
+        let Some(name) = name else { return Ok(None) };
+        let mut columns = Vec::new();
+        if self.peek() == &Token::LParen && !self.starts_query_at(1) {
+            self.expect(&Token::LParen)?;
+            loop {
+                columns.push(self.ident()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+        }
+        Ok(Some(TableAlias { name, columns }))
+    }
+
+    // -- SOLVESELECT / SOLVEMODEL --------------------------------------------
+
+    fn parse_solve(&mut self) -> Result<SolveStmt> {
+        let kind = if self.eat_kw("solveselect") {
+            SolveKind::Select
+        } else {
+            self.expect_kw("solvemodel")?;
+            SolveKind::Model
+        };
+        let input = self.parse_dec_rel()?;
+        let mut inlines = Vec::new();
+        while self.eat_kw("inline") {
+            loop {
+                let alias = if matches!(self.peek(), Token::Ident(_) | Token::QuotedIdent(_))
+                    && self.peek_at(1).is_kw("as")
+                {
+                    let a = self.ident()?;
+                    self.expect_kw("as")?;
+                    Some(a)
+                } else {
+                    None
+                };
+                self.expect(&Token::LParen)?;
+                let query = self.parse_query()?;
+                self.expect(&Token::RParen)?;
+                inlines.push(InlineSpec { alias, query });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut ctes = Vec::new();
+        if self.eat_kw("with") {
+            loop {
+                ctes.push(self.parse_dec_rel()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut minimize = None;
+        let mut maximize = None;
+        loop {
+            if self.eat_kw("minimize") {
+                if minimize.is_some() {
+                    return Err(Error::parse("duplicate MINIMIZE clause"));
+                }
+                self.expect(&Token::LParen)?;
+                minimize = Some(self.parse_query()?);
+                self.expect(&Token::RParen)?;
+            } else if self.eat_kw("maximize") {
+                if maximize.is_some() {
+                    return Err(Error::parse("duplicate MAXIMIZE clause"));
+                }
+                self.expect(&Token::LParen)?;
+                maximize = Some(self.parse_query()?);
+                self.expect(&Token::RParen)?;
+            } else {
+                break;
+            }
+        }
+        let mut subjectto = Vec::new();
+        if self.eat_kw("subjectto") {
+            loop {
+                let alias = if matches!(self.peek(), Token::Ident(_) | Token::QuotedIdent(_))
+                    && self.peek_at(1).is_kw("as")
+                {
+                    let a = self.ident()?;
+                    self.expect_kw("as")?;
+                    Some(a)
+                } else {
+                    None
+                };
+                self.expect(&Token::LParen)?;
+                let query = self.parse_query()?;
+                self.expect(&Token::RParen)?;
+                subjectto.push(NamedRule { alias, query });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let using = if self.eat_kw("using") {
+            let solver = self.ident()?;
+            let method = if self.eat(&Token::Dot) { Some(self.ident()?) } else { None };
+            let mut params = Vec::new();
+            if self.eat(&Token::LParen) {
+                if self.peek() != &Token::RParen {
+                    loop {
+                        let name = if matches!(self.peek(), Token::Ident(_) | Token::QuotedIdent(_))
+                            && self.peek_at(1) == &Token::Assign
+                        {
+                            let n = self.ident()?;
+                            self.expect(&Token::Assign)?;
+                            Some(n)
+                        } else {
+                            None
+                        };
+                        let value = self.parse_arg_value()?;
+                        params.push((name, value));
+                        if !self.eat(&Token::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Token::RParen)?;
+            }
+            Some(SolverCall { solver, method, params })
+        } else {
+            None
+        };
+        Ok(SolveStmt {
+            kind,
+            input,
+            inlines,
+            ctes,
+            minimize,
+            maximize,
+            subjectto,
+            using,
+        })
+    }
+
+    /// `[alias[(cols|*)] AS] (query)` — a decision relation.
+    fn parse_dec_rel(&mut self) -> Result<DecRel> {
+        // Lookahead: does an alias come first?
+        let has_alias = matches!(self.peek(), Token::Ident(_) | Token::QuotedIdent(_));
+        if !has_alias {
+            self.expect(&Token::LParen)?;
+            let query = self.parse_query()?;
+            self.expect(&Token::RParen)?;
+            return Ok(DecRel { alias: None, dec_cols: DecCols::None, query });
+        }
+        let alias = self.ident()?;
+        let mut dec_cols = DecCols::None;
+        if self.eat(&Token::LParen) {
+            if self.eat(&Token::Star) {
+                dec_cols = DecCols::Star;
+            } else if self.peek() != &Token::RParen {
+                let mut cols = Vec::new();
+                loop {
+                    cols.push(self.ident()?);
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+                dec_cols = DecCols::List(cols);
+            }
+            self.expect(&Token::RParen)?;
+        }
+        self.expect_kw("as")?;
+        self.expect(&Token::LParen)?;
+        let query = self.parse_query()?;
+        self.expect(&Token::RParen)?;
+        Ok(DecRel { alias: Some(alias), dec_cols, query })
+    }
+
+    /// Argument value in function calls / solver params: an expression, or
+    /// a bare `SELECT ...` treated as a scalar subquery (paper §3.2 style:
+    /// `ar := SELECT ar FROM p`). The bare query's extent runs to the next
+    /// comma or `)` at the current paren depth, so `f(a := SELECT x FROM t,
+    /// b := 2)` splits correctly.
+    fn parse_arg_value(&mut self) -> Result<Expr> {
+        if self.peek_kw("select") || self.peek_kw("with") {
+            let mut depth = 0usize;
+            let mut end = self.pos;
+            loop {
+                match &self.toks[end] {
+                    Token::Eof => break,
+                    Token::LParen => depth += 1,
+                    Token::RParen => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    Token::Comma if depth == 0 => break,
+                    _ => {}
+                }
+                end += 1;
+            }
+            let mut slice: Vec<Token> = self.toks[self.pos..end].to_vec();
+            slice.push(Token::Eof);
+            let mut sub = Parser { toks: slice, pos: 0 };
+            let q = sub.parse_query()?;
+            sub.expect_eof()?;
+            self.pos = end;
+            return Ok(Expr::ScalarSubquery(Box::new(q)));
+        }
+        self.parse_expr()
+    }
+
+    // -- expressions ----------------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_and()?;
+        while self.eat_kw("or") {
+            let rhs = self.parse_and()?;
+            lhs = Expr::BinOp { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_not()?;
+        while self.eat_kw("and") {
+            let rhs = self.parse_not()?;
+            lhs = Expr::BinOp { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.eat_kw("not") {
+            let inner = self.parse_not()?;
+            return Ok(Expr::UnOp { op: UnOp::Not, expr: Box::new(inner) });
+        }
+        self.parse_comparison()
+    }
+
+    /// Comparisons, including SolveDB+ chains: `a <= b <= c` becomes a
+    /// single `Chain` node (standard SQL would reject it).
+    fn parse_comparison(&mut self) -> Result<Expr> {
+        let first = self.parse_postfix_predicates()?;
+        let mut rest: Vec<(BinOp, Expr)> = Vec::new();
+        loop {
+            let op = match self.peek() {
+                Token::Eq => BinOp::Eq,
+                Token::NotEq => BinOp::Ne,
+                Token::Lt => BinOp::Lt,
+                Token::LtEq => BinOp::Le,
+                Token::Gt => BinOp::Gt,
+                Token::GtEq => BinOp::Ge,
+                _ => break,
+            };
+            self.next();
+            let operand = self.parse_postfix_predicates()?;
+            rest.push((op, operand));
+        }
+        Ok(match rest.len() {
+            0 => first,
+            1 => {
+                let (op, rhs) = rest.into_iter().next().unwrap();
+                Expr::BinOp { op, lhs: Box::new(first), rhs: Box::new(rhs) }
+            }
+            _ => Expr::Chain { first: Box::new(first), rest },
+        })
+    }
+
+    /// IS [NOT] NULL, [NOT] IN, [NOT] BETWEEN, [NOT] LIKE — tighter than
+    /// comparisons, looser than arithmetic.
+    fn parse_postfix_predicates(&mut self) -> Result<Expr> {
+        let mut e = self.parse_misc_ops()?;
+        loop {
+            if self.eat_kw("is") {
+                let negated = self.eat_kw("not");
+                if self.eat_kw("null") {
+                    e = Expr::IsNull { expr: Box::new(e), negated };
+                } else if self.eat_kw("true") {
+                    let cmp = Expr::BinOp {
+                        op: BinOp::Eq,
+                        lhs: Box::new(e),
+                        rhs: Box::new(Expr::Literal(Literal::Bool(true))),
+                    };
+                    e = if negated {
+                        Expr::UnOp { op: UnOp::Not, expr: Box::new(cmp) }
+                    } else {
+                        cmp
+                    };
+                } else if self.eat_kw("false") {
+                    let cmp = Expr::BinOp {
+                        op: BinOp::Eq,
+                        lhs: Box::new(e),
+                        rhs: Box::new(Expr::Literal(Literal::Bool(false))),
+                    };
+                    e = if negated {
+                        Expr::UnOp { op: UnOp::Not, expr: Box::new(cmp) }
+                    } else {
+                        cmp
+                    };
+                } else if self.eat_kw("distinct") {
+                    self.expect_kw("from")?;
+                    let rhs = self.parse_misc_ops()?;
+                    // a IS DISTINCT FROM b  ==  NOT (a IS NOT DISTINCT FROM b)
+                    let eq = Expr::Func {
+                        name: "not_distinct".into(),
+                        args: vec![
+                            FuncArg { name: None, value: e },
+                            FuncArg { name: None, value: rhs },
+                        ],
+                        distinct: false,
+                    };
+                    e = if negated {
+                        eq
+                    } else {
+                        Expr::UnOp { op: UnOp::Not, expr: Box::new(eq) }
+                    };
+                } else {
+                    return Err(Error::parse(format!(
+                        "expected NULL/TRUE/FALSE/DISTINCT after IS, found '{}'",
+                        self.peek()
+                    )));
+                }
+                continue;
+            }
+            let negated = if self.peek_kw("not")
+                && (self.peek_at(1).is_kw("in")
+                    || self.peek_at(1).is_kw("between")
+                    || self.peek_at(1).is_kw("like")
+                    || self.peek_at(1).is_kw("ilike"))
+            {
+                self.next();
+                true
+            } else {
+                false
+            };
+            if self.eat_kw("in") {
+                self.expect(&Token::LParen)?;
+                if self.starts_query_at(0) {
+                    let q = self.parse_query()?;
+                    self.expect(&Token::RParen)?;
+                    e = Expr::InSubquery { expr: Box::new(e), query: Box::new(q), negated };
+                } else {
+                    let mut list = Vec::new();
+                    loop {
+                        list.push(self.parse_expr()?);
+                        if !self.eat(&Token::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                    e = Expr::InList { expr: Box::new(e), list, negated };
+                }
+                continue;
+            }
+            if self.eat_kw("between") {
+                let low = self.parse_misc_ops()?;
+                self.expect_kw("and")?;
+                let high = self.parse_misc_ops()?;
+                e = Expr::Between {
+                    expr: Box::new(e),
+                    low: Box::new(low),
+                    high: Box::new(high),
+                    negated,
+                };
+                continue;
+            }
+            let ci = self.peek_kw("ilike");
+            if self.eat_kw("like") || self.eat_kw("ilike") {
+                let pattern = self.parse_misc_ops()?;
+                e = Expr::Like {
+                    expr: Box::new(e),
+                    pattern: Box::new(pattern),
+                    negated,
+                    case_insensitive: ci,
+                };
+                continue;
+            }
+            if negated {
+                return Err(Error::parse("dangling NOT"));
+            }
+            break;
+        }
+        Ok(e)
+    }
+
+    /// `||`, `&`, `|`, `#`, `<<` — one precedence level between
+    /// comparison and additive (PostgreSQL's "any other operator" slot).
+    fn parse_misc_ops(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_additive()?;
+        loop {
+            let op = match self.peek() {
+                Token::Concat => BinOp::Concat,
+                Token::Amp => BinOp::BitAnd,
+                Token::Pipe => BinOp::BitOr,
+                Token::Hash => BinOp::BitXor,
+                Token::Shl => BinOp::Instantiate,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.parse_additive()?;
+            lhs = Expr::BinOp { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => BinOp::Add,
+                Token::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.parse_multiplicative()?;
+            lhs = Expr::BinOp { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => BinOp::Mul,
+                Token::Slash => BinOp::Div,
+                Token::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.parse_unary()?;
+            lhs = Expr::BinOp { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    /// PostgreSQL precedence: `^` binds tighter than unary minus, so
+    /// `-2 ^ 2` is `-(2 ^ 2)`.
+    fn parse_unary(&mut self) -> Result<Expr> {
+        match self.peek() {
+            Token::Minus => {
+                self.next();
+                let inner = self.parse_unary()?;
+                // Fold negative numeric literals.
+                Ok(match inner {
+                    Expr::Literal(Literal::Int(i)) => Expr::Literal(Literal::Int(-i)),
+                    Expr::Literal(Literal::Float(x)) => Expr::Literal(Literal::Float(-x)),
+                    other => Expr::UnOp { op: UnOp::Neg, expr: Box::new(other) },
+                })
+            }
+            Token::Plus => {
+                self.next();
+                self.parse_unary()
+            }
+            Token::Tilde => {
+                self.next();
+                let inner = self.parse_unary()?;
+                Ok(Expr::UnOp { op: UnOp::BitNot, expr: Box::new(inner) })
+            }
+            _ => self.parse_power(),
+        }
+    }
+
+    fn parse_power(&mut self) -> Result<Expr> {
+        let lhs = self.parse_postfix_cast()?;
+        if self.eat(&Token::Caret) {
+            // Right-associative; the exponent may itself be signed.
+            let rhs = self.parse_unary()?;
+            return Ok(Expr::BinOp { op: BinOp::Pow, lhs: Box::new(lhs), rhs: Box::new(rhs) });
+        }
+        Ok(lhs)
+    }
+
+    fn parse_postfix_cast(&mut self) -> Result<Expr> {
+        let mut e = self.parse_atom()?;
+        while self.eat(&Token::DoubleColon) {
+            let ty = self.parse_type_name()?;
+            e = Expr::Cast { expr: Box::new(e), ty };
+        }
+        Ok(e)
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr> {
+        // Literals and keyword-led forms.
+        match self.peek().clone() {
+            Token::Int(i) => {
+                self.next();
+                return Ok(Expr::Literal(Literal::Int(i)));
+            }
+            Token::Float(x) => {
+                self.next();
+                return Ok(Expr::Literal(Literal::Float(x)));
+            }
+            Token::Str(s) => {
+                self.next();
+                return Ok(Expr::Literal(Literal::Str(s)));
+            }
+            Token::BitStr(s) => {
+                self.next();
+                return Ok(Expr::Literal(Literal::BitStr(s)));
+            }
+            Token::LParen => {
+                self.next();
+                if self.starts_query_at(0) {
+                    if self.peek_kw("solvemodel") {
+                        let s = self.parse_solve()?;
+                        self.expect(&Token::RParen)?;
+                        return Ok(Expr::SolveModel(Box::new(s)));
+                    }
+                    // Ambiguity: `((SELECT a) + 1)` — the inner parens
+                    // may open an expression whose first atom is a
+                    // subquery rather than a bare subquery. Try the
+                    // query parse and backtrack if it doesn't close.
+                    let mark = self.pos;
+                    if let Ok(q) = self.parse_query() {
+                        if self.eat(&Token::RParen) {
+                            return Ok(Expr::ScalarSubquery(Box::new(q)));
+                        }
+                    }
+                    self.pos = mark;
+                }
+                let e = self.parse_expr()?;
+                self.expect(&Token::RParen)?;
+                return Ok(e);
+            }
+            Token::Star => {
+                // `count(*)`-style wildcard; validity is checked by the binder.
+                self.next();
+                return Ok(Expr::Wildcard { qualifier: None });
+            }
+            _ => {}
+        }
+        if self.eat_kw("null") {
+            return Ok(Expr::Literal(Literal::Null));
+        }
+        if self.eat_kw("true") {
+            return Ok(Expr::Literal(Literal::Bool(true)));
+        }
+        if self.eat_kw("false") {
+            return Ok(Expr::Literal(Literal::Bool(false)));
+        }
+        if self.peek_kw("interval") {
+            if let Token::Str(s) = self.peek_at(1).clone() {
+                self.next();
+                self.next();
+                return Ok(Expr::Literal(Literal::Interval(s)));
+            }
+        }
+        if self.peek_kw("timestamp") {
+            if let Token::Str(s) = self.peek_at(1).clone() {
+                self.next();
+                self.next();
+                return Ok(Expr::Literal(Literal::Timestamp(s)));
+            }
+        }
+        if self.eat_kw("case") {
+            let operand = if !self.peek_kw("when") {
+                Some(Box::new(self.parse_expr()?))
+            } else {
+                None
+            };
+            let mut branches = Vec::new();
+            while self.eat_kw("when") {
+                let c = self.parse_expr()?;
+                self.expect_kw("then")?;
+                let r = self.parse_expr()?;
+                branches.push((c, r));
+            }
+            let else_ = if self.eat_kw("else") {
+                Some(Box::new(self.parse_expr()?))
+            } else {
+                None
+            };
+            self.expect_kw("end")?;
+            return Ok(Expr::Case { operand, branches, else_ });
+        }
+        if self.eat_kw("cast") {
+            self.expect(&Token::LParen)?;
+            let e = self.parse_expr()?;
+            self.expect_kw("as")?;
+            let ty = self.parse_type_name()?;
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::Cast { expr: Box::new(e), ty });
+        }
+        if self.eat_kw("exists") {
+            self.expect(&Token::LParen)?;
+            let q = self.parse_query()?;
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::Exists { query: Box::new(q), negated: false });
+        }
+        if self.peek_kw("solvemodel") {
+            let s = self.parse_solve()?;
+            return Ok(Expr::SolveModel(Box::new(s)));
+        }
+
+        // Identifier: column ref, qualified wildcard, or function call.
+        // Reserved clause keywords cannot start an expression unquoted.
+        if let Token::Ident(s) = self.peek() {
+            if RESERVED_AFTER_TABLE.contains(&s.as_str()) {
+                return Err(Error::parse(format!("unexpected keyword '{s}' in expression")));
+            }
+        }
+        let name = self.ident()?;
+        if self.peek() == &Token::LParen {
+            self.next();
+            let distinct = self.eat_kw("distinct");
+            let mut args = Vec::new();
+            if self.peek() != &Token::RParen {
+                loop {
+                    if self.peek() == &Token::Star {
+                        self.next();
+                        args.push(FuncArg {
+                            name: None,
+                            value: Expr::Wildcard { qualifier: None },
+                        });
+                    } else {
+                        let arg_name = if matches!(
+                            self.peek(),
+                            Token::Ident(_) | Token::QuotedIdent(_)
+                        ) && self.peek_at(1) == &Token::Assign
+                        {
+                            let n = self.ident()?;
+                            self.expect(&Token::Assign)?;
+                            Some(n)
+                        } else {
+                            None
+                        };
+                        let value = self.parse_arg_value()?;
+                        args.push(FuncArg { name: arg_name, value });
+                    }
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::Func { name, args, distinct });
+        }
+        if self.peek() == &Token::Dot {
+            if self.peek_at(1) == &Token::Star {
+                self.next();
+                self.next();
+                return Ok(Expr::Wildcard { qualifier: Some(name) });
+            }
+            self.next();
+            let col = self.ident()?;
+            return Ok(Expr::Column { qualifier: Some(name), name: col });
+        }
+        Ok(Expr::Column { qualifier: None, name })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_expr(sql: &str) -> String {
+        parse_expr(sql).unwrap().to_string()
+    }
+
+    #[test]
+    fn precedence() {
+        assert_eq!(roundtrip_expr("1 + 2 * 3"), "(1 + (2 * 3))");
+        assert_eq!(roundtrip_expr("(1 + 2) * 3"), "((1 + 2) * 3)");
+        assert_eq!(roundtrip_expr("2 ^ 3 ^ 2"), "(2 ^ (3 ^ 2))");
+        // PostgreSQL: ^ binds tighter than unary minus.
+        assert_eq!(roundtrip_expr("-2 ^ 2"), "(-(2 ^ 2))");
+        assert_eq!(roundtrip_expr("a or b and c"), "(a OR (b AND c))");
+        assert_eq!(roundtrip_expr("not a = b"), "(NOT (a = b))");
+    }
+
+    #[test]
+    fn chained_comparison() {
+        let e = parse_expr("0 <= ar <= 5").unwrap();
+        assert!(matches!(e, Expr::Chain { ref rest, .. } if rest.len() == 2));
+        assert_eq!(e.to_string(), "(0 <= ar <= 5)");
+        // Two ops = plain BinOp, not a chain.
+        assert!(matches!(parse_expr("a <= b").unwrap(), Expr::BinOp { .. }));
+    }
+
+    #[test]
+    fn casts_and_literals() {
+        assert_eq!(roundtrip_expr("NULL::int"), "(NULL)::int8");
+        assert_eq!(roundtrip_expr("21.0::float8"), "(21.0)::float8");
+        assert_eq!(
+            roundtrip_expr("interval '1 hour'"),
+            "interval '1 hour'"
+        );
+        assert_eq!(roundtrip_expr("cast(x as text)"), "(x)::text");
+        assert!(parse_expr("x::double precision").is_ok());
+    }
+
+    #[test]
+    fn function_calls() {
+        assert_eq!(roundtrip_expr("sum(error)"), "sum(error)");
+        assert_eq!(roundtrip_expr("count(*)"), "count(*)");
+        assert_eq!(roundtrip_expr("count(distinct x)"), "count(DISTINCT x)");
+        let e = parse_expr("arima_rmse(ar := 1, i := 2)").unwrap();
+        let Expr::Func { args, .. } = &e else { panic!() };
+        assert_eq!(args[0].name.as_deref(), Some("ar"));
+    }
+
+    #[test]
+    fn bare_select_as_named_arg() {
+        // Paper §3.2: arima_rmse(ar := SELECT ar FROM p, ...)
+        let e = parse_expr("arima_rmse(ar := SELECT ar FROM p, i := SELECT i FROM p)").unwrap();
+        let Expr::Func { args, .. } = &e else { panic!() };
+        assert!(matches!(args[0].value, Expr::ScalarSubquery(_)));
+        assert!(matches!(args[1].value, Expr::ScalarSubquery(_)));
+    }
+
+    #[test]
+    fn simple_select() {
+        let q = parse_query("SELECT a, b AS bee FROM t WHERE a > 1 ORDER BY b DESC LIMIT 3")
+            .unwrap();
+        let SetExpr::Select(s) = &q.body else { panic!() };
+        assert_eq!(s.projection.len(), 2);
+        assert!(s.where_.is_some());
+        assert_eq!(q.order_by.len(), 1);
+        assert!(q.order_by[0].desc);
+        assert!(q.limit.is_some());
+    }
+
+    #[test]
+    fn joins() {
+        let q = parse_query(
+            "SELECT * FROM a LEFT JOIN b ON a.id = b.id JOIN c USING (id) CROSS JOIN d",
+        )
+        .unwrap();
+        let SetExpr::Select(s) = &q.body else { panic!() };
+        assert_eq!(s.from.len(), 1);
+        let mut joins = 0;
+        fn count(t: &TableRef, joins: &mut usize) {
+            if let TableRef::Join { left, right, .. } = t {
+                *joins += 1;
+                count(left, joins);
+                count(right, joins);
+            }
+        }
+        count(&s.from[0], &mut joins);
+        assert_eq!(joins, 3);
+    }
+
+    #[test]
+    fn lateral_join_from_paper() {
+        // §4.4 LTI model listing uses LEFT JOIN LATERAL.
+        let q = parse_query(
+            "SELECT t.time FROM t LEFT JOIN LATERAL (SELECT time FROM data) AS n \
+             ON t.time = n.time - interval '1 hour'",
+        )
+        .unwrap();
+        let SetExpr::Select(s) = &q.body else { panic!() };
+        let TableRef::Join { right, .. } = &s.from[0] else { panic!() };
+        let TableRef::Subquery { lateral, .. } = right.as_ref() else { panic!() };
+        assert!(lateral);
+    }
+
+    #[test]
+    fn recursive_cte() {
+        let q = parse_query(
+            "WITH RECURSIVE t(n) AS (SELECT 1 UNION ALL SELECT n + 1 FROM t WHERE n < 5) \
+             SELECT * FROM t",
+        )
+        .unwrap();
+        assert!(q.recursive);
+        assert_eq!(q.with[0].columns, vec!["n"]);
+    }
+
+    #[test]
+    fn set_operations_precedence() {
+        let q = parse_query("SELECT 1 UNION SELECT 2 INTERSECT SELECT 2").unwrap();
+        // INTERSECT binds tighter: UNION(1, INTERSECT(2, 2)).
+        let SetExpr::SetOp { op: SetOp::Union, right, .. } = &q.body else { panic!() };
+        assert!(matches!(**right, SetExpr::SetOp { op: SetOp::Intersect, .. }));
+    }
+
+    #[test]
+    fn values_rows() {
+        let q = parse_query("VALUES (1, 'a'), (2, 'b')").unwrap();
+        let SetExpr::Values(rows) = &q.body else { panic!() };
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn dml_and_ddl() {
+        assert!(matches!(
+            parse_statement("INSERT INTO t (a, b) VALUES (1, 2)").unwrap(),
+            Statement::Insert { .. }
+        ));
+        assert!(matches!(
+            parse_statement("INSERT INTO t SELECT * FROM s").unwrap(),
+            Statement::Insert { .. }
+        ));
+        assert!(matches!(
+            parse_statement("UPDATE t SET a = 1 WHERE b = 2").unwrap(),
+            Statement::Update { .. }
+        ));
+        assert!(matches!(
+            parse_statement("DELETE FROM t WHERE a IS NULL").unwrap(),
+            Statement::Delete { .. }
+        ));
+        assert!(matches!(
+            parse_statement("CREATE TABLE t (a int, b float8, ts timestamp)").unwrap(),
+            Statement::CreateTable { .. }
+        ));
+        assert!(matches!(
+            parse_statement("CREATE TABLE t AS SELECT 1 AS x").unwrap(),
+            Statement::CreateTable { as_query: Some(_), .. }
+        ));
+        assert!(matches!(
+            parse_statement("DROP TABLE IF EXISTS t").unwrap(),
+            Statement::DropTable { if_exists: true, .. }
+        ));
+    }
+
+    #[test]
+    fn solveselect_paper_prediction_query() {
+        // Paper §3.1.
+        let s = parse_statement(
+            "SOLVESELECT t(pvSupply) AS (SELECT * FROM input) \
+             USING arima_solver(predictions := 5, time_window := 5, features := outTemp)",
+        )
+        .unwrap();
+        let Statement::Solve(sv) = s else { panic!() };
+        assert_eq!(sv.kind, SolveKind::Select);
+        assert_eq!(sv.input.alias.as_deref(), Some("t"));
+        assert_eq!(sv.input.dec_cols, DecCols::List(vec!["pvsupply".into()]));
+        let u = sv.using.unwrap();
+        assert_eq!(u.solver, "arima_solver");
+        assert_eq!(u.params.len(), 3);
+        assert_eq!(u.params[0].0.as_deref(), Some("predictions"));
+    }
+
+    #[test]
+    fn solveselect_lr_fitting_query() {
+        // Paper §4.1 LR parameter estimation.
+        let s = parse_statement(
+            "SOLVESELECT p(pOTemp, pMonth, pEps) AS (SELECT * FROM pars) \
+             WITH e(error) AS (SELECT *, NULL::float8 AS error FROM input) \
+             MINIMIZE (SELECT sum(error) FROM e) \
+             SUBJECTTO (SELECT -1*error <= (pOTemp*outTemp + pMonth*month(time) + pEps - pvSupply) <= error FROM e, p) \
+             USING solverlp.cbc()",
+        )
+        .unwrap();
+        let Statement::Solve(sv) = s else { panic!() };
+        assert_eq!(sv.ctes.len(), 1);
+        assert_eq!(sv.ctes[0].alias.as_deref(), Some("e"));
+        assert_eq!(sv.ctes[0].dec_cols, DecCols::List(vec!["error".into()]));
+        assert!(sv.minimize.is_some());
+        assert_eq!(sv.subjectto.len(), 1);
+        let u = sv.using.unwrap();
+        assert_eq!((u.solver.as_str(), u.method.as_deref()), ("solverlp", Some("cbc")));
+    }
+
+    #[test]
+    fn solveselect_asterisk_notation() {
+        let s = parse_statement("SOLVESELECT p(*) AS (SELECT * FROM pars) USING s()").unwrap();
+        let Statement::Solve(sv) = s else { panic!() };
+        assert_eq!(sv.input.dec_cols, DecCols::Star);
+    }
+
+    #[test]
+    fn solvemodel_as_expression_with_instantiation() {
+        // Paper §4.4 model instantiation.
+        let s = parse_statement(
+            "SELECT m << (SOLVEMODEL pars(b2) AS \
+             (SELECT 0.995 AS a1, 0.001 AS b1, 0.2::float8 AS b2)) FROM model",
+        )
+        .unwrap();
+        let Statement::Query(q) = s else { panic!() };
+        let SetExpr::Select(sel) = &q.body else { panic!() };
+        let SelectItem::Expr { expr, .. } = &sel.projection[0] else { panic!() };
+        let Expr::BinOp { op: BinOp::Instantiate, rhs, .. } = expr else { panic!() };
+        assert!(matches!(**rhs, Expr::SolveModel(_)));
+    }
+
+    #[test]
+    fn modeleval_statement() {
+        let s = parse_statement(
+            "MODELEVAL (SELECT a1, b1, b2 FROM pars) IN (SELECT m FROM model)",
+        )
+        .unwrap();
+        assert!(matches!(s, Statement::ModelEval { .. }));
+    }
+
+    #[test]
+    fn solveselect_with_inline() {
+        // Paper §4.4 cost optimization with INLINE.
+        let s = parse_statement(
+            "SOLVESELECT t(hload, itemp) AS (SELECT * FROM input WHERE hload IS NULL) \
+             INLINE m AS (SELECT m << (SOLVEMODEL data AS (SELECT time FROM t)) FROM model) \
+             MINIMIZE (SELECT sum((hload - pvsupply)*0.12) FROM t) \
+             SUBJECTTO (SELECT t.intemp = m_simul.x FROM m_simul, t), \
+                       (SELECT 20 <= intemp <= 25 FROM t) \
+             USING solverlp.cbc()",
+        )
+        .unwrap();
+        let Statement::Solve(sv) = s else { panic!() };
+        assert_eq!(sv.inlines.len(), 1);
+        assert_eq!(sv.inlines[0].alias.as_deref(), Some("m"));
+        assert_eq!(sv.subjectto.len(), 2);
+    }
+
+    #[test]
+    fn minimize_and_maximize_both_orders() {
+        for sql in [
+            "SOLVESELECT t(x) AS (SELECT 1 AS x) MINIMIZE (SELECT 1) MAXIMIZE (SELECT 2) USING s()",
+            "SOLVESELECT t(x) AS (SELECT 1 AS x) MAXIMIZE (SELECT 2) MINIMIZE (SELECT 1) USING s()",
+        ] {
+            let Statement::Solve(sv) = parse_statement(sql).unwrap() else { panic!() };
+            assert!(sv.minimize.is_some() && sv.maximize.is_some());
+        }
+    }
+
+    #[test]
+    fn pretty_printed_statements_reparse() {
+        let sqls = [
+            "SELECT a, b FROM t WHERE a > 1 GROUP BY a, b HAVING count(*) > 2 ORDER BY a LIMIT 5",
+            "WITH x AS (SELECT 1 AS a) SELECT * FROM x",
+            "SELECT * FROM a JOIN b ON a.id = b.id LEFT JOIN c ON b.id = c.id",
+            "SOLVESELECT t(pvsupply) AS (SELECT * FROM input) USING predictive_solver()",
+            "MODELEVAL (SELECT a FROM p) IN (SELECT m FROM model)",
+            "INSERT INTO t (a) SELECT 1",
+            "VALUES (1, 2), (3, 4)",
+        ];
+        for sql in sqls {
+            let s1 = parse_statement(sql).unwrap();
+            let printed = s1.to_string();
+            let s2 = parse_statement(&printed)
+                .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+            assert_eq!(s1, s2, "roundtrip mismatch for `{sql}`");
+        }
+    }
+
+    #[test]
+    fn between_and_in() {
+        assert_eq!(
+            roundtrip_expr("x between 1 and 5"),
+            "(x BETWEEN 1 AND 5)"
+        );
+        assert_eq!(roundtrip_expr("x not in (1, 2)"), "(x NOT IN (1, 2))");
+        let e = parse_expr("x in (select y from t)").unwrap();
+        assert!(matches!(e, Expr::InSubquery { .. }));
+    }
+
+    #[test]
+    fn implicit_alias_stops_at_keywords() {
+        let q = parse_query("SELECT a FROM t WHERE a = 1").unwrap();
+        let SetExpr::Select(s) = &q.body else { panic!() };
+        let TableRef::Named { alias, .. } = &s.from[0] else { panic!() };
+        assert!(alias.is_none());
+        let q = parse_query("SELECT x.a FROM t x").unwrap();
+        let SetExpr::Select(s) = &q.body else { panic!() };
+        let TableRef::Named { alias, .. } = &s.from[0] else { panic!() };
+        assert_eq!(alias.as_ref().unwrap().name, "x");
+    }
+
+    #[test]
+    fn multi_statement_script() {
+        let stmts = parse_statements(
+            "CREATE TABLE t (a int); INSERT INTO t VALUES (1); SELECT * FROM t;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_statement("SELEC 1").is_err());
+        assert!(parse_statement("SELECT FROM").is_err());
+        assert!(parse_statement("SOLVESELECT t(x) AS SELECT 1").is_err());
+        assert!(parse_expr("1 +").is_err());
+    }
+}

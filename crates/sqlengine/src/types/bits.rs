@@ -1,0 +1,162 @@
+//! Fixed-length bit strings (PostgreSQL `bit(n)` style, `b'01'` literals).
+//!
+//! SolveDB+ uses bit strings for the `c_mask` column introduced by the
+//! CDTE rewrite (paper §4.3, Table 5). Masks there are as wide as the
+//! number of CDTEs with decision columns, so a 64-bit payload is ample;
+//! the width is still tracked exactly so comparisons and display match
+//! PostgreSQL semantics.
+
+use crate::error::{Error, Result};
+use std::fmt;
+
+/// A bit string of up to 64 bits. Bit 0 of `bits` is the *rightmost*
+/// character of the literal, so `b'10'` has `len = 2` and `bits = 0b10`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BitString {
+    len: u8,
+    bits: u64,
+}
+
+impl BitString {
+    pub fn new(len: u8, bits: u64) -> Result<Self> {
+        if len > 64 {
+            return Err(Error::eval("bit string longer than 64 bits"));
+        }
+        let mask = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+        Ok(BitString { len, bits: bits & mask })
+    }
+
+    /// Parse the body of a `b'...'` literal.
+    pub fn parse(body: &str) -> Result<Self> {
+        if body.len() > 64 {
+            return Err(Error::eval("bit string longer than 64 bits"));
+        }
+        let mut bits = 0u64;
+        for ch in body.chars() {
+            bits <<= 1;
+            match ch {
+                '0' => {}
+                '1' => bits |= 1,
+                _ => return Err(Error::eval(format!("invalid bit string literal b'{body}'"))),
+            }
+        }
+        Ok(BitString { len: body.len() as u8, bits })
+    }
+
+    /// A mask with exactly one bit set, `index` counted from the left of
+    /// a string of width `len` (index 0 = leftmost = most significant).
+    pub fn single(len: u8, index: u8) -> Result<Self> {
+        if index >= len {
+            return Err(Error::eval("bit index out of range"));
+        }
+        BitString::new(len, 1u64 << (len - 1 - index))
+    }
+
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn raw(&self) -> u64 {
+        self.bits
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.bits == 0
+    }
+
+    fn check_len(&self, other: &Self, op: &str) -> Result<()> {
+        if self.len != other.len {
+            return Err(Error::eval(format!(
+                "cannot {op} bit strings of different sizes ({} vs {})",
+                self.len, other.len
+            )));
+        }
+        Ok(())
+    }
+
+    pub fn and(&self, other: &Self) -> Result<Self> {
+        self.check_len(other, "AND")?;
+        Ok(BitString { len: self.len, bits: self.bits & other.bits })
+    }
+
+    pub fn or(&self, other: &Self) -> Result<Self> {
+        self.check_len(other, "OR")?;
+        Ok(BitString { len: self.len, bits: self.bits | other.bits })
+    }
+
+    pub fn xor(&self, other: &Self) -> Result<Self> {
+        self.check_len(other, "XOR")?;
+        Ok(BitString { len: self.len, bits: self.bits ^ other.bits })
+    }
+
+    pub fn not(&self) -> Self {
+        let mask = if self.len == 64 { u64::MAX } else { (1u64 << self.len) - 1 };
+        BitString { len: self.len, bits: !self.bits & mask }
+    }
+}
+
+impl fmt::Display for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.len).rev() {
+            write!(f, "{}", (self.bits >> i) & 1)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["0", "1", "01", "10", "1101", "0000"] {
+            assert_eq!(BitString::parse(s).unwrap().to_string(), s);
+        }
+    }
+
+    #[test]
+    fn paper_c_mask_semantics() {
+        // (c_mask & b'10') <> b'00'  — row belongs to CDTE `p`.
+        let row_p = BitString::parse("11").unwrap();
+        let row_e = BitString::parse("01").unwrap();
+        let sel_p = BitString::parse("10").unwrap();
+        assert!(!row_p.and(&sel_p).unwrap().is_zero());
+        assert!(row_e.and(&sel_p).unwrap().is_zero());
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let a = BitString::parse("1100").unwrap();
+        let b = BitString::parse("1010").unwrap();
+        assert_eq!(a.and(&b).unwrap().to_string(), "1000");
+        assert_eq!(a.or(&b).unwrap().to_string(), "1110");
+        assert_eq!(a.xor(&b).unwrap().to_string(), "0110");
+        assert_eq!(a.not().to_string(), "0011");
+    }
+
+    #[test]
+    fn length_mismatch_is_error() {
+        let a = BitString::parse("11").unwrap();
+        let b = BitString::parse("111").unwrap();
+        assert!(a.and(&b).is_err());
+    }
+
+    #[test]
+    fn single_bit_masks() {
+        assert_eq!(BitString::single(2, 0).unwrap().to_string(), "10");
+        assert_eq!(BitString::single(2, 1).unwrap().to_string(), "01");
+        assert_eq!(BitString::single(4, 2).unwrap().to_string(), "0010");
+        assert!(BitString::single(2, 2).is_err());
+    }
+
+    #[test]
+    fn reject_invalid_literals() {
+        assert!(BitString::parse("012").is_err());
+        assert!(BitString::parse(&"1".repeat(65)).is_err());
+    }
+}

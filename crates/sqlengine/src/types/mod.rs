@@ -1,0 +1,15 @@
+//! Type system: logical types, runtime values, operators, time and bit
+//! string support, and the user-defined-type extension trait.
+
+pub mod bits;
+pub mod custom;
+pub mod datatype;
+pub mod ops;
+pub mod timeval;
+pub mod value;
+
+pub use bits::BitString;
+pub use custom::{custom, downcast, CustomValue};
+pub use datatype::DataType;
+pub use ops::{BinOp, UnOp};
+pub use value::{GroupKey, Value};

@@ -1,0 +1,133 @@
+//! Operator enums shared between the AST and the value layer.
+
+use std::fmt;
+
+/// Binary operators. Comparison, arithmetic, logic, string and bit
+/// operators share one enum so that custom value types (models, symbolic
+/// linear expressions) can overload any of them through a single hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    /// `^` — exponentiation (PostgreSQL semantics: float power).
+    Pow,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    /// `||` — string concatenation.
+    Concat,
+    /// `&` — bitwise AND on bit strings / integers.
+    BitAnd,
+    /// `|` — bitwise OR.
+    BitOr,
+    /// `#` — bitwise XOR.
+    BitXor,
+    /// `<<` — SolveDB+ model instantiation (paper §4.4, Algorithm 1).
+    /// On integers this is the usual left shift.
+    Instantiate,
+}
+
+impl BinOp {
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+
+    /// SQL text of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Pow => "^",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+            BinOp::Concat => "||",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "#",
+            BinOp::Instantiate => "<<",
+        }
+    }
+
+    /// Mirror of a comparison when operands are swapped (a < b ⇔ b > a).
+    pub fn flip(self) -> BinOp {
+        match self {
+            BinOp::Lt => BinOp::Gt,
+            BinOp::Le => BinOp::Ge,
+            BinOp::Gt => BinOp::Lt,
+            BinOp::Ge => BinOp::Le,
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Neg,
+    Not,
+    /// `~` bitwise NOT.
+    BitNot,
+}
+
+impl UnOp {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "NOT",
+            UnOp::BitNot => "~",
+        }
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_classification() {
+        assert!(BinOp::Le.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+    }
+
+    #[test]
+    fn flip_is_involutive_on_comparisons() {
+        for op in [BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge, BinOp::Eq, BinOp::Ne] {
+            assert_eq!(op.flip().flip(), op);
+        }
+    }
+
+    #[test]
+    fn symbols() {
+        assert_eq!(BinOp::Instantiate.symbol(), "<<");
+        assert_eq!(UnOp::Not.symbol(), "NOT");
+    }
+}

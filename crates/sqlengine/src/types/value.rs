@@ -1,0 +1,698 @@
+//! Runtime values and their SQL semantics (arithmetic, comparison,
+//! casting, three-valued logic helpers).
+
+use crate::error::{Error, Result};
+use crate::types::bits::BitString;
+use crate::types::custom::CustomValue;
+use crate::types::datatype::DataType;
+use crate::types::ops::{BinOp, UnOp};
+use crate::types::timeval;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A runtime value. `Text` uses `Arc<str>` so rows clone cheaply.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Text(Arc<str>),
+    /// Microseconds since the Unix epoch.
+    Timestamp(i64),
+    /// Microseconds.
+    Interval(i64),
+    Bits(BitString),
+    Custom(Arc<dyn CustomValue>),
+}
+
+impl Value {
+    pub fn text(s: impl AsRef<str>) -> Value {
+        Value::Text(Arc::from(s.as_ref()))
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Null => DataType::Unknown,
+            Value::Bool(_) => DataType::Bool,
+            Value::Int(_) => DataType::Int,
+            Value::Float(_) => DataType::Float,
+            Value::Text(_) => DataType::Text,
+            Value::Timestamp(_) => DataType::Timestamp,
+            Value::Interval(_) => DataType::Interval,
+            Value::Bits(_) => DataType::Bits,
+            Value::Custom(c) => DataType::Named(c.type_name().to_string()),
+        }
+    }
+
+    /// Numeric accessor with Int→Float promotion.
+    pub fn as_f64(&self) -> Result<f64> {
+        match self {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Float(f) => Ok(*f),
+            Value::Bool(b) => Ok(if *b { 1.0 } else { 0.0 }),
+            other => Err(Error::eval(format!(
+                "expected a numeric value, got {}",
+                other.type_desc()
+            ))),
+        }
+    }
+
+    pub fn as_i64(&self) -> Result<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            Value::Float(f) if f.fract() == 0.0 => Ok(*f as i64),
+            other => Err(Error::eval(format!(
+                "expected an integer value, got {}",
+                other.type_desc()
+            ))),
+        }
+    }
+
+    pub fn as_bool(&self) -> Result<Option<bool>> {
+        match self {
+            Value::Null => Ok(None),
+            Value::Bool(b) => Ok(Some(*b)),
+            other => Err(Error::eval(format!(
+                "expected a boolean value, got {}",
+                other.type_desc()
+            ))),
+        }
+    }
+
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Text(s) => Ok(s),
+            other => Err(Error::eval(format!(
+                "expected a text value, got {}",
+                other.type_desc()
+            ))),
+        }
+    }
+
+    fn type_desc(&self) -> String {
+        format!("{} ({})", self.data_type().sql_name(), self)
+    }
+
+    /// SQL equality (`=`): NULL-safe callers must check for NULL first.
+    /// Numeric values compare across Int/Float.
+    pub fn sql_eq(&self, other: &Value) -> Result<bool> {
+        Ok(self
+            .sql_cmp(other)?
+            .map(|o| o == Ordering::Equal)
+            .unwrap_or(false))
+    }
+
+    /// SQL comparison. Returns `None` if either side is NULL.
+    pub fn sql_cmp(&self, other: &Value) -> Result<Option<Ordering>> {
+        use Value::*;
+        Ok(Some(match (self, other) {
+            (Null, _) | (_, Null) => return Ok(None),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Int(a), Float(b)) => cmp_f64(*a as f64, *b),
+            (Float(a), Int(b)) => cmp_f64(*a, *b as f64),
+            (Float(a), Float(b)) => cmp_f64(*a, *b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Text(a), Text(b)) => a.as_ref().cmp(b.as_ref()),
+            (Timestamp(a), Timestamp(b)) => a.cmp(b),
+            (Interval(a), Interval(b)) => a.cmp(b),
+            (Bits(a), Bits(b)) => a.cmp(b),
+            (Custom(a), Custom(b)) => {
+                if a.eq_custom(b.as_ref()) {
+                    Ordering::Equal
+                } else {
+                    return Err(Error::eval(format!(
+                        "values of type {} are not ordered",
+                        a.type_name()
+                    )));
+                }
+            }
+            (a, b) => {
+                return Err(Error::eval(format!(
+                    "cannot compare {} with {}",
+                    a.type_desc(),
+                    b.type_desc()
+                )))
+            }
+        }))
+    }
+
+    /// Total order used by ORDER BY and sort-based operators:
+    /// NULLs sort last; cross-type comparisons fall back to a type rank so
+    /// sorting never fails.
+    pub fn cmp_total(&self, other: &Value) -> Ordering {
+        match (self.is_null(), other.is_null()) {
+            (true, true) => return Ordering::Equal,
+            (true, false) => return Ordering::Greater,
+            (false, true) => return Ordering::Less,
+            _ => {}
+        }
+        match self.sql_cmp(other) {
+            Ok(Some(o)) => o,
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 255,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 2,
+            Value::Text(_) => 3,
+            Value::Timestamp(_) => 4,
+            Value::Interval(_) => 5,
+            Value::Bits(_) => 6,
+            Value::Custom(_) => 7,
+        }
+    }
+
+    /// Apply a binary operator with SQL semantics. Logic operators (AND /
+    /// OR) are handled by the evaluator (they need three-valued laziness),
+    /// everything else lands here. NULL propagates through all operators.
+    pub fn binop(op: BinOp, lhs: &Value, rhs: &Value) -> Result<Value> {
+        use Value::*;
+
+        // Custom types get the first chance to interpret the operator —
+        // this is how symbolic linear expressions and models overload
+        // arithmetic, comparisons and `<<`.
+        if let Custom(c) = lhs {
+            if let Some(r) = c.binop(op, rhs, true) {
+                return r;
+            }
+        }
+        if let Custom(c) = rhs {
+            if let Some(r) = c.binop(op, lhs, false) {
+                return r;
+            }
+        }
+
+        if op.is_comparison() {
+            if lhs.is_null() || rhs.is_null() {
+                return Ok(Null);
+            }
+            let ord = lhs.sql_cmp(rhs)?;
+            let b = match (op, ord) {
+                (_, None) => return Ok(Null),
+                (BinOp::Eq, Some(o)) => o == Ordering::Equal,
+                (BinOp::Ne, Some(o)) => o != Ordering::Equal,
+                (BinOp::Lt, Some(o)) => o == Ordering::Less,
+                (BinOp::Le, Some(o)) => o != Ordering::Greater,
+                (BinOp::Gt, Some(o)) => o == Ordering::Greater,
+                (BinOp::Ge, Some(o)) => o != Ordering::Less,
+                _ => unreachable!(),
+            };
+            return Ok(Bool(b));
+        }
+
+        if let BinOp::And | BinOp::Or = op {
+            // Three-valued logic: NULL does not blindly propagate.
+            let a = lhs.as_bool()?;
+            let b = rhs.as_bool()?;
+            return Ok(match (op, a, b) {
+                (BinOp::And, Some(false), _) | (BinOp::And, _, Some(false)) => Bool(false),
+                (BinOp::And, Some(true), Some(true)) => Bool(true),
+                (BinOp::Or, Some(true), _) | (BinOp::Or, _, Some(true)) => Bool(true),
+                (BinOp::Or, Some(false), Some(false)) => Bool(false),
+                _ => Null,
+            });
+        }
+
+        if lhs.is_null() || rhs.is_null() {
+            return Ok(Null);
+        }
+
+        match op {
+            BinOp::Add => match (lhs, rhs) {
+                (Int(a), Int(b)) => Ok(Int(a.checked_add(*b).ok_or_else(overflow)?)),
+                (Timestamp(t), Interval(i)) | (Interval(i), Timestamp(t)) => Ok(Timestamp(t + i)),
+                (Interval(a), Interval(b)) => Ok(Interval(a + b)),
+                _ => Ok(Float(lhs.as_f64()? + rhs.as_f64()?)),
+            },
+            BinOp::Sub => match (lhs, rhs) {
+                (Int(a), Int(b)) => Ok(Int(a.checked_sub(*b).ok_or_else(overflow)?)),
+                (Timestamp(t), Interval(i)) => Ok(Timestamp(t - i)),
+                (Timestamp(a), Timestamp(b)) => Ok(Interval(a - b)),
+                (Interval(a), Interval(b)) => Ok(Interval(a - b)),
+                _ => Ok(Float(lhs.as_f64()? - rhs.as_f64()?)),
+            },
+            BinOp::Mul => match (lhs, rhs) {
+                (Int(a), Int(b)) => Ok(Int(a.checked_mul(*b).ok_or_else(overflow)?)),
+                (Interval(a), b @ (Int(_) | Float(_))) => {
+                    Ok(Interval((*a as f64 * b.as_f64()?) as i64))
+                }
+                (a @ (Int(_) | Float(_)), Interval(b)) => {
+                    Ok(Interval((a.as_f64()? * *b as f64) as i64))
+                }
+                _ => Ok(Float(lhs.as_f64()? * rhs.as_f64()?)),
+            },
+            BinOp::Div => match (lhs, rhs) {
+                (Int(a), Int(b)) => {
+                    if *b == 0 {
+                        Err(Error::eval("division by zero"))
+                    } else {
+                        Ok(Int(a / b))
+                    }
+                }
+                (Interval(a), b @ (Int(_) | Float(_))) => {
+                    let d = b.as_f64()?;
+                    if d == 0.0 {
+                        Err(Error::eval("division by zero"))
+                    } else {
+                        Ok(Interval((*a as f64 / d) as i64))
+                    }
+                }
+                _ => {
+                    let d = rhs.as_f64()?;
+                    if d == 0.0 {
+                        Err(Error::eval("division by zero"))
+                    } else {
+                        Ok(Float(lhs.as_f64()? / d))
+                    }
+                }
+            },
+            BinOp::Mod => match (lhs, rhs) {
+                (Int(a), Int(b)) => {
+                    if *b == 0 {
+                        Err(Error::eval("division by zero"))
+                    } else {
+                        Ok(Int(a % b))
+                    }
+                }
+                _ => {
+                    let d = rhs.as_f64()?;
+                    if d == 0.0 {
+                        Err(Error::eval("division by zero"))
+                    } else {
+                        Ok(Float(lhs.as_f64()? % d))
+                    }
+                }
+            },
+            BinOp::Pow => Ok(Float(lhs.as_f64()?.powf(rhs.as_f64()?))),
+            BinOp::Concat => {
+                let mut s = lhs.to_string();
+                s.push_str(&rhs.to_string());
+                Ok(Value::text(s))
+            }
+            BinOp::BitAnd => match (lhs, rhs) {
+                (Bits(a), Bits(b)) => Ok(Bits(a.and(b)?)),
+                (Int(a), Int(b)) => Ok(Int(a & b)),
+                _ => Err(type_err(op, lhs, rhs)),
+            },
+            BinOp::BitOr => match (lhs, rhs) {
+                (Bits(a), Bits(b)) => Ok(Bits(a.or(b)?)),
+                (Int(a), Int(b)) => Ok(Int(a | b)),
+                _ => Err(type_err(op, lhs, rhs)),
+            },
+            BinOp::BitXor => match (lhs, rhs) {
+                (Bits(a), Bits(b)) => Ok(Bits(a.xor(b)?)),
+                (Int(a), Int(b)) => Ok(Int(a ^ b)),
+                _ => Err(type_err(op, lhs, rhs)),
+            },
+            BinOp::Instantiate => match (lhs, rhs) {
+                (Int(a), Int(b)) if (0..64).contains(b) => Ok(Int(a << b)),
+                _ => Err(type_err(op, lhs, rhs)),
+            },
+            _ => Err(type_err(op, lhs, rhs)),
+        }
+    }
+
+    /// Apply a unary operator.
+    pub fn unop(op: UnOp, v: &Value) -> Result<Value> {
+        use Value::*;
+        if let Custom(c) = v {
+            if let Some(r) = c.unop(op) {
+                return r;
+            }
+        }
+        if v.is_null() {
+            return Ok(Null);
+        }
+        match (op, v) {
+            (UnOp::Neg, Int(i)) => Ok(Int(-i)),
+            (UnOp::Neg, Float(f)) => Ok(Float(-f)),
+            (UnOp::Neg, Interval(i)) => Ok(Interval(-i)),
+            (UnOp::Not, Bool(b)) => Ok(Bool(!b)),
+            (UnOp::BitNot, Bits(b)) => Ok(Bits(b.not())),
+            (UnOp::BitNot, Int(i)) => Ok(Int(!i)),
+            (op, v) => Err(Error::eval(format!(
+                "operator {} not defined for {}",
+                op.symbol(),
+                v.type_desc()
+            ))),
+        }
+    }
+
+    /// Cast to a target type (SQL `CAST` / `::` semantics).
+    pub fn cast(&self, ty: &DataType) -> Result<Value> {
+        use Value::*;
+        if self.is_null() {
+            return Ok(Null);
+        }
+        if let DataType::Named(n) = ty {
+            if let Custom(c) = self {
+                if c.type_name() == n.as_str() {
+                    return Ok(self.clone());
+                }
+                if let Some(r) = c.cast(n) {
+                    return r;
+                }
+            }
+            return Err(Error::eval(format!(
+                "cannot cast {} to {}",
+                self.type_desc(),
+                n
+            )));
+        }
+        let fail = || Error::eval(format!("cannot cast {} to {}", self.type_desc(), ty));
+        // Custom values may define their own casts to primitive types
+        // (e.g. a symbolic expression casting to float8 is a no-op).
+        if let Custom(c) = self {
+            if let Some(r) = c.cast(&ty.sql_name()) {
+                return r;
+            }
+            return Err(fail());
+        }
+        Ok(match (self, ty) {
+            (v, t) if v.data_type() == *t => v.clone(),
+            (Int(i), DataType::Float) => Float(*i as f64),
+            (Float(f), DataType::Int) => {
+                if f.is_finite() {
+                    Int(f.round() as i64)
+                } else {
+                    return Err(fail());
+                }
+            }
+            (Bool(b), DataType::Int) => Int(*b as i64),
+            (Int(i), DataType::Bool) => Bool(*i != 0),
+            (Text(s), DataType::Int) => {
+                Int(s.trim().parse().map_err(|_| fail())?)
+            }
+            (Text(s), DataType::Float) => Float(s.trim().parse().map_err(|_| fail())?),
+            (Text(s), DataType::Bool) => match s.trim().to_ascii_lowercase().as_str() {
+                "t" | "true" | "yes" | "on" | "1" => Bool(true),
+                "f" | "false" | "no" | "off" | "0" => Bool(false),
+                _ => return Err(fail()),
+            },
+            (Text(s), DataType::Timestamp) => Timestamp(timeval::parse_timestamp(s)?),
+            (Text(s), DataType::Interval) => Interval(timeval::parse_interval(s)?),
+            (Text(s), DataType::Bits) => Bits(BitString::parse(s.trim())?),
+            (v, DataType::Text) => Value::text(v.to_string()),
+            _ => return Err(fail()),
+        })
+    }
+
+    /// A hashable key for grouping / hash joins / DISTINCT.
+    /// Numeric values that compare equal hash equal (1 = 1.0).
+    pub fn group_key(&self) -> GroupKey {
+        match self {
+            Value::Null => GroupKey::Null,
+            Value::Bool(b) => GroupKey::Bool(*b),
+            Value::Int(i) => GroupKey::Num((*i as f64).to_bits()),
+            Value::Float(f) => {
+                // Normalize -0.0 and NaN so equal-comparing floats hash equal.
+                let f = if *f == 0.0 { 0.0 } else { *f };
+                let f = if f.is_nan() { f64::NAN } else { f };
+                GroupKey::Num(f.to_bits())
+            }
+            Value::Text(s) => GroupKey::Text(s.clone()),
+            Value::Timestamp(t) => GroupKey::Ts(*t),
+            Value::Interval(i) => GroupKey::Iv(*i),
+            Value::Bits(b) => GroupKey::Bits(*b),
+            Value::Custom(c) => GroupKey::Text(Arc::from(format!(
+                "{}::{}",
+                c.to_text(),
+                c.type_name()
+            ))),
+        }
+    }
+}
+
+fn overflow() -> Error {
+    Error::eval("integer overflow")
+}
+
+fn type_err(op: BinOp, lhs: &Value, rhs: &Value) -> Error {
+    Error::eval(format!(
+        "operator {} not defined for {} and {}",
+        op.symbol(),
+        lhs.data_type().sql_name(),
+        rhs.data_type().sql_name()
+    ))
+}
+
+fn cmp_f64(a: f64, b: f64) -> Ordering {
+    a.partial_cmp(&b).unwrap_or_else(|| {
+        // NaN sorts after everything (PostgreSQL convention).
+        match (a.is_nan(), b.is_nan()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            _ => unreachable!(),
+        }
+    })
+}
+
+/// Hashable key form of a value. See [`Value::group_key`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum GroupKey {
+    Null,
+    Bool(bool),
+    Num(u64),
+    Text(Arc<str>),
+    Ts(i64),
+    Iv(i64),
+    Bits(BitString),
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.group_key().hash(state)
+    }
+}
+
+impl PartialEq for Value {
+    /// Structural equality used by tests and collections: NULL == NULL
+    /// here (unlike SQL `=`, which returns NULL).
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Custom(a), Value::Custom(b)) => a.eq_custom(b.as_ref()),
+            (a, b) => a.sql_cmp(b).ok().flatten() == Some(Ordering::Equal),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Bool(b) => f.write_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Value::Text(s) => f.write_str(s),
+            Value::Timestamp(t) => f.write_str(&timeval::format_timestamp(*t)),
+            Value::Interval(i) => f.write_str(&timeval::format_interval(*i)),
+            Value::Bits(b) => write!(f, "{b}"),
+            Value::Custom(c) => f.write_str(&c.to_text()),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::text(s)
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::text(s)
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(o: Option<T>) -> Self {
+        match o {
+            Some(v) => v.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(op: BinOp, l: impl Into<Value>, r: impl Into<Value>) -> Result<Value> {
+        Value::binop(op, &l.into(), &r.into())
+    }
+
+    #[test]
+    fn integer_arithmetic_is_integral() {
+        assert_eq!(b(BinOp::Add, 2i64, 3i64).unwrap(), Value::Int(5));
+        assert_eq!(b(BinOp::Div, 7i64, 2i64).unwrap(), Value::Int(3));
+        assert_eq!(b(BinOp::Mod, 7i64, 2i64).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn mixed_arithmetic_promotes_to_float() {
+        assert_eq!(b(BinOp::Add, 2i64, 0.5).unwrap(), Value::Float(2.5));
+        assert_eq!(b(BinOp::Div, 1i64, 2.0).unwrap(), Value::Float(0.5));
+    }
+
+    #[test]
+    fn null_propagates() {
+        assert!(b(BinOp::Add, Value::Null, 1i64).unwrap().is_null());
+        assert!(b(BinOp::Eq, Value::Null, 1i64).unwrap().is_null());
+        assert!(Value::unop(UnOp::Neg, &Value::Null).unwrap().is_null());
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        assert!(b(BinOp::Div, 1i64, 0i64).is_err());
+        assert!(b(BinOp::Div, 1.0, 0.0).is_err());
+        assert!(b(BinOp::Mod, 1i64, 0i64).is_err());
+    }
+
+    #[test]
+    fn power_is_float() {
+        assert_eq!(b(BinOp::Pow, 2i64, 10i64).unwrap(), Value::Float(1024.0));
+    }
+
+    #[test]
+    fn comparisons_cross_numeric_types() {
+        assert_eq!(b(BinOp::Eq, 1i64, 1.0).unwrap(), Value::Bool(true));
+        assert_eq!(b(BinOp::Lt, 1i64, 1.5).unwrap(), Value::Bool(true));
+        assert_eq!(b(BinOp::Ge, 2.0, 3i64).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn timestamp_interval_algebra() {
+        let t0 = Value::Timestamp(0);
+        let hour = Value::Interval(timeval::MICROS_PER_HOUR);
+        let t1 = Value::binop(BinOp::Add, &t0, &hour).unwrap();
+        assert_eq!(t1, Value::Timestamp(timeval::MICROS_PER_HOUR));
+        let d = Value::binop(BinOp::Sub, &t1, &t0).unwrap();
+        assert_eq!(d, hour);
+        let twice = Value::binop(BinOp::Mul, &hour, &Value::Int(2)).unwrap();
+        assert_eq!(twice, Value::Interval(2 * timeval::MICROS_PER_HOUR));
+    }
+
+    #[test]
+    fn concat_stringifies() {
+        assert_eq!(
+            b(BinOp::Concat, "x=", 3i64).unwrap(),
+            Value::text("x=3")
+        );
+    }
+
+    #[test]
+    fn bit_ops_on_bitstrings() {
+        let a = Value::Bits(BitString::parse("11").unwrap());
+        let m = Value::Bits(BitString::parse("10").unwrap());
+        let z = Value::Bits(BitString::parse("00").unwrap());
+        let and = Value::binop(BinOp::BitAnd, &a, &m).unwrap();
+        let ne = Value::binop(BinOp::Ne, &and, &z).unwrap();
+        assert_eq!(ne, Value::Bool(true));
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(
+            Value::text("42").cast(&DataType::Int).unwrap(),
+            Value::Int(42)
+        );
+        assert_eq!(
+            Value::Float(2.6).cast(&DataType::Int).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            Value::Int(1).cast(&DataType::Bool).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            Value::text("2017/07/02 07:00")
+                .cast(&DataType::Timestamp)
+                .unwrap(),
+            Value::Timestamp(timeval::parse_timestamp("2017-07-02 07:00").unwrap())
+        );
+        assert!(Value::text("nope").cast(&DataType::Int).is_err());
+        assert!(Value::Null.cast(&DataType::Int).unwrap().is_null());
+    }
+
+    #[test]
+    fn total_order_puts_nulls_last() {
+        let mut vals = vec![Value::Null, Value::Int(2), Value::Int(1)];
+        vals.sort_by(|a, b| a.cmp_total(b));
+        assert_eq!(vals[0], Value::Int(1));
+        assert!(vals[2].is_null());
+    }
+
+    #[test]
+    fn group_keys_unify_numerics() {
+        assert_eq!(Value::Int(1).group_key(), Value::Float(1.0).group_key());
+        assert_ne!(Value::Int(1).group_key(), Value::Float(1.5).group_key());
+        assert_eq!(
+            Value::Float(0.0).group_key(),
+            Value::Float(-0.0).group_key()
+        );
+    }
+
+    #[test]
+    fn eager_three_valued_logic() {
+        use Value::{Bool as B, Null as N};
+        assert_eq!(Value::binop(BinOp::And, &B(false), &N).unwrap(), B(false));
+        assert_eq!(Value::binop(BinOp::Or, &B(true), &N).unwrap(), B(true));
+        assert!(Value::binop(BinOp::And, &B(true), &N).unwrap().is_null());
+        assert!(Value::binop(BinOp::Or, &B(false), &N).unwrap().is_null());
+    }
+
+    #[test]
+    fn int_shift_when_not_a_model() {
+        assert_eq!(b(BinOp::Instantiate, 1i64, 4i64).unwrap(), Value::Int(16));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Float(2.5).to_string(), "2.5");
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn overflow_detected() {
+        assert!(b(BinOp::Add, i64::MAX, 1i64).is_err());
+        assert!(b(BinOp::Mul, i64::MAX, 2i64).is_err());
+    }
+}

@@ -1,0 +1,193 @@
+//! Property-based tests for the engine: pretty-printer round-trips,
+//! evaluator algebra, LIKE matching, and set-operation laws.
+
+use proptest::prelude::*;
+use sqlengine::ast::{Expr, Literal};
+use sqlengine::exec::eval::like_match;
+use sqlengine::parser::{parse_expr, parse_query};
+use sqlengine::types::BinOp;
+use sqlengine::{execute_script, execute_sql, Database, Value};
+
+// ---------------------------------------------------------------------------
+// Expression generation
+// ---------------------------------------------------------------------------
+
+/// A strategy for small scalar expressions built from integer literals,
+/// arithmetic, comparisons and CASE — the printable/parsable core.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-100i64..100).prop_map(|i| Expr::Literal(Literal::Int(i))),
+        Just(Expr::Literal(Literal::Null)),
+        Just(Expr::Literal(Literal::Bool(true))),
+        Just(Expr::Literal(Literal::Bool(false))),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Sub),
+                Just(BinOp::Mul),
+            ])
+                .prop_map(|(a, b, op)| Expr::BinOp {
+                    op,
+                    lhs: Box::new(a),
+                    rhs: Box::new(b)
+                }),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::BinOp {
+                op: BinOp::Le,
+                lhs: Box::new(a),
+                rhs: Box::new(b)
+            }),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| Expr::Case {
+                operand: None,
+                branches: vec![(
+                    Expr::BinOp {
+                        op: BinOp::Gt,
+                        lhs: Box::new(c),
+                        rhs: Box::new(Expr::int(0))
+                    },
+                    t
+                )],
+                else_: Some(Box::new(e)),
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Printing an expression and re-parsing it yields the same AST.
+    #[test]
+    fn expr_display_roundtrip(e in arb_expr()) {
+        let printed = e.to_string();
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("reparse of `{printed}` failed: {err}"));
+        prop_assert_eq!(e, reparsed);
+    }
+
+    /// Integer arithmetic in SQL matches a checked i128 oracle (when no
+    /// NULL or overflow is involved).
+    #[test]
+    fn integer_arithmetic_matches_oracle(a in -1000i64..1000, b in -1000i64..1000) {
+        let mut db = Database::new();
+        let sum = execute_sql(&mut db, &format!("SELECT {a} + {b}"))
+            .unwrap().into_table().unwrap().scalar().unwrap();
+        prop_assert_eq!(sum, Value::Int(a + b));
+        let prod = execute_sql(&mut db, &format!("SELECT {a} * {b}"))
+            .unwrap().into_table().unwrap().scalar().unwrap();
+        prop_assert_eq!(prod, Value::Int(a * b));
+    }
+
+    /// Chain semantics equal pairwise AND.
+    #[test]
+    fn chain_equals_pairwise(a in -10i64..10, b in -10i64..10, c in -10i64..10) {
+        let mut db = Database::new();
+        let chained = execute_sql(&mut db, &format!("SELECT {a} <= {b} <= {c}"))
+            .unwrap().into_table().unwrap().scalar().unwrap();
+        let pairwise = execute_sql(&mut db, &format!("SELECT {a} <= {b} AND {b} <= {c}"))
+            .unwrap().into_table().unwrap().scalar().unwrap();
+        prop_assert_eq!(chained, pairwise);
+    }
+
+    /// LIKE agrees with a straightforward recursive reference matcher.
+    #[test]
+    fn like_matches_reference(
+        s in "[ab]{0,8}",
+        p in "[ab%_]{0,6}",
+    ) {
+        fn reference(s: &[u8], p: &[u8]) -> bool {
+            match (p.first(), s.first()) {
+                (None, None) => true,
+                (None, Some(_)) => false,
+                (Some(b'%'), _) => {
+                    reference(s, &p[1..]) || (!s.is_empty() && reference(&s[1..], p))
+                }
+                (Some(b'_'), Some(_)) => reference(&s[1..], &p[1..]),
+                (Some(pc), Some(sc)) if pc == sc => reference(&s[1..], &p[1..]),
+                _ => false,
+            }
+        }
+        prop_assert_eq!(
+            like_match(&s, &p),
+            reference(s.as_bytes(), p.as_bytes()),
+            "s={:?} p={:?}", s, p
+        );
+    }
+
+    /// ORDER BY is a permutation: sorting never gains or loses rows, and
+    /// the result is ordered.
+    #[test]
+    fn order_by_is_sorted_permutation(mut xs in prop::collection::vec(-50i64..50, 1..20)) {
+        let mut db = Database::new();
+        execute_script(&mut db, "CREATE TABLE t (x int)").unwrap();
+        for x in &xs {
+            execute_sql(&mut db, &format!("INSERT INTO t VALUES ({x})")).unwrap();
+        }
+        let t = execute_sql(&mut db, "SELECT x FROM t ORDER BY x")
+            .unwrap().into_table().unwrap();
+        let got: Vec<i64> = t.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        xs.sort_unstable();
+        prop_assert_eq!(got, xs);
+    }
+
+    /// UNION is idempotent and UNION ALL counts duplicates.
+    #[test]
+    fn union_laws(xs in prop::collection::vec(0i64..10, 1..12)) {
+        let mut db = Database::new();
+        execute_script(&mut db, "CREATE TABLE t (x int)").unwrap();
+        for x in &xs {
+            execute_sql(&mut db, &format!("INSERT INTO t VALUES ({x})")).unwrap();
+        }
+        let distinct = execute_sql(&mut db,
+            "SELECT count(*) FROM (SELECT x FROM t UNION SELECT x FROM t) u")
+            .unwrap().into_table().unwrap().scalar().unwrap().as_i64().unwrap();
+        let mut uniq = xs.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(distinct as usize, uniq.len());
+        let all = execute_sql(&mut db,
+            "SELECT count(*) FROM (SELECT x FROM t UNION ALL SELECT x FROM t) u")
+            .unwrap().into_table().unwrap().scalar().unwrap().as_i64().unwrap();
+        prop_assert_eq!(all as usize, xs.len() * 2);
+    }
+
+    /// sum() over a group equals the oracle sum of its members.
+    #[test]
+    fn group_by_sums(pairs in prop::collection::vec((0i64..4, -20i64..20), 1..24)) {
+        let mut db = Database::new();
+        execute_script(&mut db, "CREATE TABLE t (g int, x int)").unwrap();
+        for (g, x) in &pairs {
+            execute_sql(&mut db, &format!("INSERT INTO t VALUES ({g}, {x})")).unwrap();
+        }
+        let t = execute_sql(&mut db, "SELECT g, sum(x) FROM t GROUP BY g ORDER BY g")
+            .unwrap().into_table().unwrap();
+        use std::collections::BTreeMap;
+        let mut oracle: BTreeMap<i64, i64> = BTreeMap::new();
+        for (g, x) in &pairs {
+            *oracle.entry(*g).or_insert(0) += x;
+        }
+        prop_assert_eq!(t.num_rows(), oracle.len());
+        for (row, (g, total)) in t.rows.iter().zip(oracle) {
+            prop_assert_eq!(row[0].as_i64().unwrap(), g);
+            prop_assert_eq!(row[1].as_i64().unwrap(), total);
+        }
+    }
+
+    /// Queries printed by the pretty-printer re-parse to the same AST.
+    #[test]
+    fn query_display_roundtrip(
+        cols in prop::collection::vec("[a-d]", 1..3),
+        n in 1i64..5,
+        desc in any::<bool>(),
+    ) {
+        let proj = cols.join(", ");
+        let sql = format!(
+            "SELECT {proj} FROM t WHERE a < {n} ORDER BY a {} LIMIT {n}",
+            if desc { "DESC" } else { "ASC" }
+        );
+        let q1 = parse_query(&sql).unwrap();
+        let q2 = parse_query(&q1.to_string()).unwrap();
+        prop_assert_eq!(q1, q2);
+    }
+}

@@ -1,0 +1,501 @@
+//! End-to-end SQL execution tests for the engine.
+
+use sqlengine::{execute_script, execute_sql, Database, Table, Value};
+
+fn db_with(setup: &str) -> Database {
+    let mut db = Database::new();
+    execute_script(&mut db, setup).unwrap();
+    db
+}
+
+fn q(db: &mut Database, sql: &str) -> Table {
+    execute_sql(db, sql).unwrap().into_table().unwrap()
+}
+
+fn cell(t: &Table, r: usize, c: usize) -> &Value {
+    t.value(r, c)
+}
+
+fn ints(t: &Table, col: usize) -> Vec<i64> {
+    t.rows.iter().map(|r| r[col].as_i64().unwrap()).collect()
+}
+
+#[test]
+fn select_constant() {
+    let mut db = Database::new();
+    let t = q(&mut db, "SELECT 1 + 1 AS two, 'x' AS s");
+    assert_eq!(cell(&t, 0, 0), &Value::Int(2));
+    assert_eq!(cell(&t, 0, 1), &Value::text("x"));
+    assert_eq!(t.schema.names(), vec!["two", "s"]);
+}
+
+#[test]
+fn create_insert_select() {
+    let mut db = db_with(
+        "CREATE TABLE t (a int, b float8, c text);
+         INSERT INTO t VALUES (1, 1.5, 'one'), (2, 2.5, 'two'), (3, NULL, 'three');",
+    );
+    let t = q(&mut db, "SELECT a, b FROM t WHERE a >= 2 ORDER BY a DESC");
+    assert_eq!(ints(&t, 0), vec![3, 2]);
+    assert!(cell(&t, 0, 1).is_null());
+}
+
+#[test]
+fn insert_coerces_types() {
+    let mut db = db_with("CREATE TABLE t (a float8, ts timestamp)");
+    execute_sql(&mut db, "INSERT INTO t VALUES (1, '2017-07-02 07:00')").unwrap();
+    let t = q(&mut db, "SELECT a, hour(ts) FROM t");
+    assert_eq!(cell(&t, 0, 0), &Value::Float(1.0));
+    assert_eq!(cell(&t, 0, 1), &Value::Int(7));
+}
+
+#[test]
+fn update_and_delete() {
+    let mut db = db_with("CREATE TABLE t (a int, b int); INSERT INTO t VALUES (1,10),(2,20),(3,30)");
+    let r = execute_sql(&mut db, "UPDATE t SET b = b + a WHERE a > 1").unwrap();
+    assert_eq!(r.count(), Some(2));
+    let t = q(&mut db, "SELECT b FROM t ORDER BY a");
+    assert_eq!(ints(&t, 0), vec![10, 22, 33]);
+    let r = execute_sql(&mut db, "DELETE FROM t WHERE b = 22").unwrap();
+    assert_eq!(r.count(), Some(1));
+    assert_eq!(q(&mut db, "SELECT count(*) FROM t").scalar().unwrap(), Value::Int(2));
+}
+
+#[test]
+fn update_swap_uses_old_row() {
+    let mut db = db_with("CREATE TABLE t (a int, b int); INSERT INTO t VALUES (1, 2)");
+    execute_sql(&mut db, "UPDATE t SET a = b, b = a").unwrap();
+    let t = q(&mut db, "SELECT a, b FROM t");
+    assert_eq!((ints(&t, 0)[0], ints(&t, 1)[0]), (2, 1));
+}
+
+#[test]
+fn aggregates_global_and_grouped() {
+    let mut db = db_with(
+        "CREATE TABLE s (g text, x float8);
+         INSERT INTO s VALUES ('a', 1), ('a', 2), ('b', 3), ('b', NULL), ('b', 5)",
+    );
+    let t = q(&mut db, "SELECT count(*), count(x), sum(x), avg(x), min(x), max(x) FROM s");
+    assert_eq!(cell(&t, 0, 0), &Value::Int(5));
+    assert_eq!(cell(&t, 0, 1), &Value::Int(4));
+    assert_eq!(cell(&t, 0, 2), &Value::Float(11.0));
+    assert_eq!(cell(&t, 0, 3), &Value::Float(2.75));
+    assert_eq!(cell(&t, 0, 4), &Value::Float(1.0));
+    assert_eq!(cell(&t, 0, 5), &Value::Float(5.0));
+
+    let t = q(
+        &mut db,
+        "SELECT g, sum(x) AS total FROM s GROUP BY g HAVING count(x) >= 2 ORDER BY g",
+    );
+    assert_eq!(t.num_rows(), 2);
+    assert_eq!(cell(&t, 0, 1), &Value::Float(3.0));
+    assert_eq!(cell(&t, 1, 1), &Value::Float(8.0));
+}
+
+#[test]
+fn aggregate_arithmetic_and_aliases() {
+    let mut db = db_with("CREATE TABLE s (x int); INSERT INTO s VALUES (1),(2),(3)");
+    let t = q(&mut db, "SELECT sum(x) * 2 + count(*) AS y FROM s");
+    assert_eq!(cell(&t, 0, 0), &Value::Int(15));
+    // ORDER BY an aggregate.
+    let mut db = db_with(
+        "CREATE TABLE s (g int, x int); INSERT INTO s VALUES (1,5),(1,5),(2,1),(2,1),(2,1)",
+    );
+    let t = q(&mut db, "SELECT g FROM s GROUP BY g ORDER BY count(*) DESC");
+    assert_eq!(ints(&t, 0), vec![2, 1]);
+}
+
+#[test]
+fn distinct_and_count_distinct() {
+    let mut db = db_with("CREATE TABLE s (x int); INSERT INTO s VALUES (1),(1),(2),(2),(3)");
+    let t = q(&mut db, "SELECT DISTINCT x FROM s ORDER BY x");
+    assert_eq!(ints(&t, 0), vec![1, 2, 3]);
+    let t = q(&mut db, "SELECT count(DISTINCT x) FROM s");
+    assert_eq!(cell(&t, 0, 0), &Value::Int(3));
+}
+
+#[test]
+fn stddev_and_variance() {
+    let mut db = db_with("CREATE TABLE s (x float8); INSERT INTO s VALUES (2),(4),(4),(4),(5),(5),(7),(9)");
+    let t = q(&mut db, "SELECT var_pop(x), stddev_pop(x), variance(x) FROM s");
+    assert_eq!(cell(&t, 0, 0), &Value::Float(4.0));
+    assert_eq!(cell(&t, 0, 1), &Value::Float(2.0));
+    let sample_var = cell(&t, 0, 2).as_f64().unwrap();
+    assert!((sample_var - 32.0 / 7.0).abs() < 1e-12);
+}
+
+#[test]
+fn joins_inner_left_right_full() {
+    let mut db = db_with(
+        "CREATE TABLE a (id int, x text); INSERT INTO a VALUES (1,'a1'),(2,'a2'),(3,'a3');
+         CREATE TABLE b (id int, y text); INSERT INTO b VALUES (2,'b2'),(3,'b3'),(4,'b4')",
+    );
+    let t = q(&mut db, "SELECT a.id, b.y FROM a JOIN b ON a.id = b.id ORDER BY a.id");
+    assert_eq!(ints(&t, 0), vec![2, 3]);
+    let t = q(&mut db, "SELECT a.id, b.y FROM a LEFT JOIN b ON a.id = b.id ORDER BY a.id");
+    assert_eq!(t.num_rows(), 3);
+    assert!(cell(&t, 0, 1).is_null());
+    let t = q(&mut db, "SELECT b.id FROM a RIGHT JOIN b ON a.id = b.id ORDER BY b.id");
+    assert_eq!(ints(&t, 0), vec![2, 3, 4]);
+    let t = q(&mut db, "SELECT count(*) FROM a FULL JOIN b ON a.id = b.id");
+    assert_eq!(cell(&t, 0, 0), &Value::Int(4));
+    let t = q(&mut db, "SELECT count(*) FROM a CROSS JOIN b");
+    assert_eq!(cell(&t, 0, 0), &Value::Int(9));
+    let t = q(&mut db, "SELECT count(*) FROM a, b WHERE a.id = b.id");
+    assert_eq!(cell(&t, 0, 0), &Value::Int(2));
+}
+
+#[test]
+fn join_using() {
+    let mut db = db_with(
+        "CREATE TABLE a (id int, x int); INSERT INTO a VALUES (1, 10);
+         CREATE TABLE b (id int, y int); INSERT INTO b VALUES (1, 20)",
+    );
+    let t = q(&mut db, "SELECT a.x + b.y FROM a JOIN b USING (id)");
+    assert_eq!(cell(&t, 0, 0), &Value::Int(30));
+}
+
+#[test]
+fn join_on_non_equi_falls_back_to_nested_loop() {
+    let mut db = db_with(
+        "CREATE TABLE a (x int); INSERT INTO a VALUES (1),(2),(3);
+         CREATE TABLE b (y int); INSERT INTO b VALUES (2),(3)",
+    );
+    let t = q(&mut db, "SELECT count(*) FROM a JOIN b ON a.x < b.y");
+    assert_eq!(cell(&t, 0, 0), &Value::Int(3)); // (1,2),(1,3),(2,3)
+}
+
+#[test]
+fn null_keys_never_join() {
+    let mut db = db_with(
+        "CREATE TABLE a (id int); INSERT INTO a VALUES (1), (NULL);
+         CREATE TABLE b (id int); INSERT INTO b VALUES (1), (NULL)",
+    );
+    let t = q(&mut db, "SELECT count(*) FROM a JOIN b ON a.id = b.id");
+    assert_eq!(cell(&t, 0, 0), &Value::Int(1));
+}
+
+#[test]
+fn subqueries_scalar_in_exists() {
+    let mut db = db_with(
+        "CREATE TABLE t (x int); INSERT INTO t VALUES (1),(2),(3);
+         CREATE TABLE u (x int); INSERT INTO u VALUES (2),(3),(4)",
+    );
+    let t = q(&mut db, "SELECT (SELECT max(x) FROM t) + 1");
+    assert_eq!(cell(&t, 0, 0), &Value::Int(4));
+    let t = q(&mut db, "SELECT x FROM t WHERE x IN (SELECT x FROM u) ORDER BY x");
+    assert_eq!(ints(&t, 0), vec![2, 3]);
+    let t = q(&mut db, "SELECT x FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.x = t.x)");
+    assert_eq!(t.num_rows(), 2);
+    // Correlated scalar subquery.
+    let t = q(
+        &mut db,
+        "SELECT x, (SELECT count(*) FROM u WHERE u.x <= t.x) AS c FROM t ORDER BY x",
+    );
+    assert_eq!(ints(&t, 1), vec![0, 1, 2]);
+}
+
+#[test]
+fn lateral_subquery() {
+    let mut db = db_with(
+        "CREATE TABLE t (x int); INSERT INTO t VALUES (1),(2)",
+    );
+    let t = q(
+        &mut db,
+        "SELECT t.x, d.y FROM t, LATERAL (SELECT t.x * 10 AS y) AS d ORDER BY t.x",
+    );
+    assert_eq!(ints(&t, 1), vec![10, 20]);
+}
+
+#[test]
+fn left_join_lateral_paper_shape() {
+    // The shape used by the paper's LTI simulation listing.
+    let mut db = db_with(
+        "CREATE TABLE data (ts int, v int); INSERT INTO data VALUES (1, 100), (2, 200)",
+    );
+    let t = q(
+        &mut db,
+        "SELECT d.ts, n.v FROM data d LEFT JOIN LATERAL \
+         (SELECT v FROM data WHERE data.ts = d.ts + 1) AS n ON true ORDER BY d.ts",
+    );
+    assert_eq!(cell(&t, 0, 1), &Value::Int(200));
+    assert!(cell(&t, 1, 1).is_null());
+}
+
+#[test]
+fn set_operations() {
+    let mut db = Database::new();
+    let t = q(&mut db, "SELECT 1 UNION SELECT 2 UNION SELECT 1 ORDER BY 1");
+    assert_eq!(ints(&t, 0), vec![1, 2]);
+    let t = q(&mut db, "SELECT 1 UNION ALL SELECT 1");
+    assert_eq!(t.num_rows(), 2);
+    let t = q(
+        &mut db,
+        "(VALUES (1),(2),(3)) INTERSECT (VALUES (2),(3),(4)) ORDER BY 1",
+    );
+    assert_eq!(ints(&t, 0), vec![2, 3]);
+    let t = q(&mut db, "(VALUES (1),(2),(2)) EXCEPT (VALUES (2)) ORDER BY 1");
+    assert_eq!(ints(&t, 0), vec![1]);
+    let t = q(&mut db, "(VALUES (2),(2),(1)) EXCEPT ALL (VALUES (2)) ORDER BY 1");
+    assert_eq!(ints(&t, 0), vec![1, 2]);
+}
+
+#[test]
+fn ctes_and_nesting() {
+    let mut db = Database::new();
+    let t = q(
+        &mut db,
+        "WITH a AS (SELECT 1 AS x), b AS (SELECT x + 1 AS y FROM a) SELECT y FROM b",
+    );
+    assert_eq!(cell(&t, 0, 0), &Value::Int(2));
+}
+
+#[test]
+fn recursive_cte_counts() {
+    let mut db = Database::new();
+    let t = q(
+        &mut db,
+        "WITH RECURSIVE t(n) AS (SELECT 1 UNION ALL SELECT n + 1 FROM t WHERE n < 10) \
+         SELECT sum(n) FROM t",
+    );
+    assert_eq!(cell(&t, 0, 0), &Value::Int(55));
+}
+
+#[test]
+fn recursive_cte_union_distinct_terminates_on_cycle() {
+    let mut db = db_with(
+        "CREATE TABLE edges (src int, dst int);
+         INSERT INTO edges VALUES (1,2),(2,3),(3,1)",
+    );
+    let t = q(
+        &mut db,
+        "WITH RECURSIVE reach(n) AS (SELECT 1 UNION SELECT e.dst FROM edges e \
+         JOIN reach r ON e.src = r.n) SELECT count(*) FROM reach",
+    );
+    assert_eq!(cell(&t, 0, 0), &Value::Int(3));
+}
+
+#[test]
+fn recursive_cte_simulation_like_paper() {
+    // x[n+1] = 0.5*x[n] + u[n] over a data table — the §4.4 pattern.
+    let mut db = db_with(
+        "CREATE TABLE u (step int, v float8);
+         INSERT INTO u VALUES (0, 1.0), (1, 1.0), (2, 1.0)",
+    );
+    let t = q(
+        &mut db,
+        "WITH RECURSIVE sim(step, x) AS (
+            SELECT 0, 10.0
+            UNION ALL
+            SELECT s.step + 1, 0.5 * s.x + n.v
+            FROM sim s JOIN u n ON n.step = s.step
+            WHERE s.step < 3)
+         SELECT x FROM sim ORDER BY step",
+    );
+    let xs: Vec<f64> = t.rows.iter().map(|r| r[0].as_f64().unwrap()).collect();
+    assert_eq!(xs, vec![10.0, 6.0, 4.0, 3.0]);
+}
+
+#[test]
+fn views() {
+    let mut db = db_with(
+        "CREATE TABLE t (x int); INSERT INTO t VALUES (1),(2),(3);
+         CREATE VIEW big AS SELECT x FROM t WHERE x > 1",
+    );
+    let t = q(&mut db, "SELECT count(*) FROM big");
+    assert_eq!(cell(&t, 0, 0), &Value::Int(2));
+    // Views see current table contents.
+    execute_sql(&mut db, "INSERT INTO t VALUES (5)").unwrap();
+    let t = q(&mut db, "SELECT count(*) FROM big");
+    assert_eq!(cell(&t, 0, 0), &Value::Int(3));
+}
+
+#[test]
+fn order_by_variants() {
+    let mut db = db_with("CREATE TABLE t (x int, y int); INSERT INTO t VALUES (1, 3),(2, NULL),(3, 1)");
+    let t = q(&mut db, "SELECT x, y FROM t ORDER BY y");
+    assert_eq!(ints(&t, 0), vec![3, 1, 2]); // NULL last by default
+    let t = q(&mut db, "SELECT x, y FROM t ORDER BY y DESC");
+    assert_eq!(ints(&t, 0), vec![2, 1, 3]); // NULL first on DESC
+    let t = q(&mut db, "SELECT x, y FROM t ORDER BY y NULLS FIRST");
+    assert_eq!(ints(&t, 0)[0], 2);
+    let t = q(&mut db, "SELECT x, y AS z FROM t ORDER BY z DESC NULLS LAST");
+    assert_eq!(ints(&t, 0), vec![1, 3, 2]);
+    let t = q(&mut db, "SELECT x FROM t ORDER BY 1 DESC LIMIT 2 OFFSET 1");
+    assert_eq!(ints(&t, 0), vec![2, 1]);
+}
+
+#[test]
+fn order_by_input_column_not_in_projection() {
+    let mut db = db_with("CREATE TABLE t (x int, y int); INSERT INTO t VALUES (1, 3),(2, 2),(3, 1)");
+    let t = q(&mut db, "SELECT x FROM t ORDER BY y");
+    assert_eq!(ints(&t, 0), vec![3, 2, 1]);
+}
+
+#[test]
+fn wildcard_expansion() {
+    let mut db = db_with(
+        "CREATE TABLE a (x int); INSERT INTO a VALUES (1);
+         CREATE TABLE b (y int); INSERT INTO b VALUES (2)",
+    );
+    let t = q(&mut db, "SELECT * FROM a, b");
+    assert_eq!(t.schema.names(), vec!["x", "y"]);
+    let t = q(&mut db, "SELECT b.* FROM a, b");
+    assert_eq!(t.schema.names(), vec!["y"]);
+    let t = q(&mut db, "SELECT *, x + 1 AS nxt FROM a");
+    assert_eq!(t.schema.names(), vec!["x", "nxt"]);
+}
+
+#[test]
+fn table_alias_column_rename() {
+    let mut db = db_with("CREATE TABLE t (a int, b int); INSERT INTO t VALUES (1, 2)");
+    let t = q(&mut db, "SELECT p.u + p.v FROM t AS p(u, v)");
+    assert_eq!(cell(&t, 0, 0), &Value::Int(3));
+}
+
+#[test]
+fn case_and_functions_in_queries() {
+    let mut db = db_with("CREATE TABLE t (x int); INSERT INTO t VALUES (1),(2),(3)");
+    let t = q(
+        &mut db,
+        "SELECT CASE WHEN x % 2 = 0 THEN 'even' ELSE 'odd' END AS parity FROM t ORDER BY x",
+    );
+    assert_eq!(cell(&t, 0, 0), &Value::text("odd"));
+    assert_eq!(cell(&t, 1, 0), &Value::text("even"));
+}
+
+#[test]
+fn timestamp_arithmetic_in_sql() {
+    let mut db = db_with(
+        "CREATE TABLE t (ts timestamp);
+         INSERT INTO t VALUES ('2017-07-02 07:00'), ('2017-07-02 08:00')",
+    );
+    let t = q(
+        &mut db,
+        "SELECT ts + interval '1 hour' AS nxt FROM t ORDER BY ts LIMIT 1",
+    );
+    assert_eq!(
+        cell(&t, 0, 0).to_string(),
+        "2017-07-02 08:00:00"
+    );
+    let t = q(&mut db, "SELECT max(ts) - min(ts) FROM t");
+    assert_eq!(cell(&t, 0, 0).to_string(), "1 hours");
+}
+
+#[test]
+fn bit_strings_and_c_mask_filtering() {
+    // The CDTE rewrite pattern from paper §4.3.
+    let mut db = db_with(
+        "CREATE TABLE l (v int, c_mask bit);
+         INSERT INTO l VALUES (1, b'11'), (2, b'01'), (3, b'01')",
+    );
+    let t = q(
+        &mut db,
+        "SELECT v FROM l WHERE (c_mask & b'10') <> b'00' ORDER BY v",
+    );
+    assert_eq!(ints(&t, 0), vec![1]);
+    let t = q(
+        &mut db,
+        "SELECT v FROM l WHERE (c_mask & b'01') <> b'00' ORDER BY v",
+    );
+    assert_eq!(ints(&t, 0), vec![1, 2, 3]);
+}
+
+#[test]
+fn values_and_table_statements() {
+    let mut db = db_with("CREATE TABLE t (x int); INSERT INTO t VALUES (1),(2)");
+    let t = q(&mut db, "VALUES (1, 'a'), (2, 'b')");
+    assert_eq!(t.num_rows(), 2);
+    assert_eq!(t.schema.names(), vec!["column1", "column2"]);
+    let t = q(&mut db, "TABLE t");
+    assert_eq!(t.num_rows(), 2);
+}
+
+#[test]
+fn create_table_as() {
+    let mut db = db_with("CREATE TABLE t (x int); INSERT INTO t VALUES (1),(2),(3)");
+    execute_sql(&mut db, "CREATE TABLE t2 AS SELECT x * 2 AS y FROM t WHERE x > 1").unwrap();
+    let t = q(&mut db, "SELECT sum(y) FROM t2");
+    assert_eq!(cell(&t, 0, 0), &Value::Int(10));
+}
+
+#[test]
+fn error_messages_are_helpful() {
+    let mut db = db_with("CREATE TABLE t (x int)");
+    let err = execute_sql(&mut db, "SELECT nope FROM t").unwrap_err();
+    assert!(err.to_string().contains("nope"));
+    let err = execute_sql(&mut db, "SELECT * FROM missing").unwrap_err();
+    assert!(err.to_string().contains("missing"));
+    let err = execute_sql(&mut db, "SELECT x, sum(x) FROM t GROUP BY ()").unwrap_err();
+    let _ = err;
+    let err = execute_sql(&mut db, "SOLVESELECT t(x) AS (SELECT 1 AS x) USING lp()").unwrap_err();
+    assert!(err.to_string().contains("SolveDB+"));
+}
+
+#[test]
+fn group_by_validation() {
+    let mut db = db_with("CREATE TABLE t (a int, b int); INSERT INTO t VALUES (1, 2)");
+    let err = execute_sql(&mut db, "SELECT a, b FROM t GROUP BY a").unwrap_err();
+    assert!(err.to_string().contains("GROUP BY"));
+    // Grouping by expression works when projected identically.
+    let t = q(&mut db, "SELECT a + 1 FROM t GROUP BY a + 1");
+    assert_eq!(t.num_rows(), 1);
+}
+
+#[test]
+fn group_by_position_and_alias() {
+    let mut db = db_with("CREATE TABLE t (a int, b int); INSERT INTO t VALUES (1,1),(1,2),(2,3)");
+    let t = q(&mut db, "SELECT a AS k, sum(b) FROM t GROUP BY 1 ORDER BY 1");
+    assert_eq!(t.num_rows(), 2);
+    let t = q(&mut db, "SELECT a * 10 AS k, count(*) FROM t GROUP BY k ORDER BY k");
+    assert_eq!(ints(&t, 0), vec![10, 20]);
+}
+
+#[test]
+fn having_without_group_by() {
+    let mut db = db_with("CREATE TABLE t (x int); INSERT INTO t VALUES (1),(2)");
+    let t = q(&mut db, "SELECT sum(x) FROM t HAVING sum(x) > 10");
+    assert_eq!(t.num_rows(), 0);
+    let t = q(&mut db, "SELECT sum(x) FROM t HAVING sum(x) > 1");
+    assert_eq!(t.num_rows(), 1);
+}
+
+#[test]
+fn string_agg_and_bool_aggs() {
+    let mut db = db_with(
+        "CREATE TABLE t (s text, b bool); INSERT INTO t VALUES ('a', true), ('b', false)",
+    );
+    let t = q(&mut db, "SELECT string_agg(s, ','), bool_and(b), bool_or(b) FROM t");
+    assert_eq!(cell(&t, 0, 0), &Value::text("a,b"));
+    assert_eq!(cell(&t, 0, 1), &Value::Bool(false));
+    assert_eq!(cell(&t, 0, 2), &Value::Bool(true));
+}
+
+#[test]
+fn nested_cte_shadowing() {
+    let mut db = db_with("CREATE TABLE t (x int); INSERT INTO t VALUES (100)");
+    // The CTE shadows the base table.
+    let t = q(&mut db, "WITH t AS (SELECT 1 AS x) SELECT x FROM t");
+    assert_eq!(cell(&t, 0, 0), &Value::Int(1));
+}
+
+#[test]
+fn union_type_unification() {
+    let mut db = Database::new();
+    let t = q(&mut db, "SELECT 1 AS v UNION ALL SELECT 2.5");
+    assert_eq!(t.schema.columns[0].ty, sqlengine::DataType::Float);
+}
+
+#[test]
+fn deep_expression_nesting() {
+    let mut db = Database::new();
+    let expr = "1".to_string() + &" + 1".repeat(100);
+    let t = q(&mut db, &format!("SELECT {expr}"));
+    assert_eq!(cell(&t, 0, 0), &Value::Int(101));
+}
+
+#[test]
+fn scalar_subquery_multiple_rows_errors() {
+    let mut db = db_with("CREATE TABLE t (x int); INSERT INTO t VALUES (1),(2)");
+    assert!(execute_sql(&mut db, "SELECT (SELECT x FROM t)").is_err());
+}

@@ -1,0 +1,254 @@
+//! Focused SQL-semantics tests: three-valued logic, NULL handling in
+//! clauses, coercion, and edge cases that production engines get right.
+
+use sqlengine::{execute_script, execute_sql, Database, Table, Value};
+
+fn db_with(setup: &str) -> Database {
+    let mut db = Database::new();
+    execute_script(&mut db, setup).unwrap();
+    db
+}
+
+fn q(db: &mut Database, sql: &str) -> Table {
+    execute_sql(db, sql).unwrap().into_table().unwrap()
+}
+
+fn scalar(db: &mut Database, sql: &str) -> Value {
+    q(db, sql).scalar().unwrap()
+}
+
+#[test]
+fn where_treats_null_as_false() {
+    let mut db = db_with("CREATE TABLE t (x int); INSERT INTO t VALUES (1), (NULL), (3)");
+    assert_eq!(scalar(&mut db, "SELECT count(*) FROM t WHERE x > 0"), Value::Int(2));
+    assert_eq!(scalar(&mut db, "SELECT count(*) FROM t WHERE NOT (x > 0)"), Value::Int(0));
+    assert_eq!(
+        scalar(&mut db, "SELECT count(*) FROM t WHERE x > 0 OR x IS NULL"),
+        Value::Int(3)
+    );
+}
+
+#[test]
+fn comparisons_with_null_are_null() {
+    let mut db = Database::new();
+    assert!(scalar(&mut db, "SELECT NULL = NULL").is_null());
+    assert!(scalar(&mut db, "SELECT 1 < NULL").is_null());
+    assert_eq!(scalar(&mut db, "SELECT not_distinct(NULL, NULL)"), Value::Bool(true));
+}
+
+#[test]
+fn aggregates_ignore_nulls_but_count_star_does_not() {
+    let mut db = db_with("CREATE TABLE t (x int); INSERT INTO t VALUES (NULL), (NULL)");
+    assert_eq!(scalar(&mut db, "SELECT count(*) FROM t"), Value::Int(2));
+    assert_eq!(scalar(&mut db, "SELECT count(x) FROM t"), Value::Int(0));
+    assert!(scalar(&mut db, "SELECT sum(x) FROM t").is_null());
+    assert!(scalar(&mut db, "SELECT avg(x) FROM t").is_null());
+    assert!(scalar(&mut db, "SELECT min(x) FROM t").is_null());
+}
+
+#[test]
+fn empty_table_aggregates() {
+    let mut db = db_with("CREATE TABLE t (x int)");
+    assert_eq!(scalar(&mut db, "SELECT count(*) FROM t"), Value::Int(0));
+    assert!(scalar(&mut db, "SELECT sum(x) FROM t").is_null());
+    // Grouped aggregation over an empty table yields no rows.
+    assert_eq!(q(&mut db, "SELECT x, count(*) FROM t GROUP BY x").num_rows(), 0);
+}
+
+#[test]
+fn division_and_modulo_semantics() {
+    let mut db = Database::new();
+    assert_eq!(scalar(&mut db, "SELECT 7 / 2"), Value::Int(3)); // int division
+    assert_eq!(scalar(&mut db, "SELECT 7.0 / 2"), Value::Float(3.5));
+    assert_eq!(scalar(&mut db, "SELECT -7 % 3"), Value::Int(-1)); // truncated, like PG
+    assert!(execute_sql(&mut db, "SELECT 1 / 0").is_err());
+}
+
+#[test]
+fn distinct_on_nulls() {
+    let mut db = db_with("CREATE TABLE t (x int); INSERT INTO t VALUES (NULL), (NULL), (1)");
+    assert_eq!(q(&mut db, "SELECT DISTINCT x FROM t").num_rows(), 2);
+}
+
+#[test]
+fn group_by_null_forms_one_group() {
+    let mut db = db_with(
+        "CREATE TABLE t (g int, x int); INSERT INTO t VALUES (NULL, 1), (NULL, 2), (1, 3)",
+    );
+    let t = q(&mut db, "SELECT g, sum(x) FROM t GROUP BY g ORDER BY g");
+    assert_eq!(t.num_rows(), 2);
+    // NULL group sorts last and sums to 3.
+    assert!(t.value(1, 0).is_null());
+    assert_eq!(t.value(1, 1), &Value::Int(3));
+}
+
+#[test]
+fn insert_column_subset_fills_nulls() {
+    let mut db = db_with("CREATE TABLE t (a int, b text, c float8)");
+    execute_sql(&mut db, "INSERT INTO t (c, a) VALUES (1.5, 7)").unwrap();
+    let t = q(&mut db, "SELECT a, b, c FROM t");
+    assert_eq!(t.value(0, 0), &Value::Int(7));
+    assert!(t.value(0, 1).is_null());
+    assert_eq!(t.value(0, 2), &Value::Float(1.5));
+}
+
+#[test]
+fn coercion_on_insert_and_errors() {
+    let mut db = db_with("CREATE TABLE t (a int)");
+    execute_sql(&mut db, "INSERT INTO t VALUES ('42')").unwrap();
+    assert_eq!(scalar(&mut db, "SELECT a FROM t"), Value::Int(42));
+    assert!(execute_sql(&mut db, "INSERT INTO t VALUES ('nope')").is_err());
+    assert!(execute_sql(&mut db, "INSERT INTO t VALUES (1, 2)").is_err());
+}
+
+#[test]
+fn case_returns_null_without_else() {
+    let mut db = Database::new();
+    assert!(scalar(&mut db, "SELECT CASE WHEN 1 = 2 THEN 'x' END").is_null());
+}
+
+#[test]
+fn limit_offset_edge_cases() {
+    let mut db = db_with("CREATE TABLE t (x int); INSERT INTO t VALUES (1), (2), (3)");
+    assert_eq!(q(&mut db, "SELECT x FROM t LIMIT 0").num_rows(), 0);
+    assert_eq!(q(&mut db, "SELECT x FROM t OFFSET 5").num_rows(), 0);
+    assert_eq!(q(&mut db, "SELECT x FROM t ORDER BY x LIMIT 10 OFFSET 2").num_rows(), 1);
+    assert_eq!(q(&mut db, "SELECT x FROM t LIMIT ALL").num_rows(), 3);
+}
+
+#[test]
+fn cross_type_numeric_grouping() {
+    let mut db = db_with(
+        "CREATE TABLE a (x int); INSERT INTO a VALUES (1);
+         CREATE TABLE b (x float8); INSERT INTO b VALUES (1.0)",
+    );
+    // 1 and 1.0 group together after a union.
+    let t = q(
+        &mut db,
+        "SELECT x, count(*) FROM (SELECT x FROM a UNION ALL SELECT x FROM b) u GROUP BY x",
+    );
+    assert_eq!(t.num_rows(), 1);
+    assert_eq!(t.value(0, 1), &Value::Int(2));
+}
+
+#[test]
+fn self_join_aliases() {
+    let mut db = db_with("CREATE TABLE t (x int); INSERT INTO t VALUES (1), (2), (3)");
+    let t = q(
+        &mut db,
+        "SELECT a.x, b.x FROM t a JOIN t b ON b.x = a.x + 1 ORDER BY a.x",
+    );
+    assert_eq!(t.num_rows(), 2);
+    assert_eq!(t.value(0, 1), &Value::Int(2));
+}
+
+#[test]
+fn subquery_in_from_with_aggregates() {
+    let mut db = db_with(
+        "CREATE TABLE t (g int, x int);
+         INSERT INTO t VALUES (1, 10), (1, 20), (2, 30)",
+    );
+    let v = scalar(
+        &mut db,
+        "SELECT max(total) FROM (SELECT g, sum(x) AS total FROM t GROUP BY g) s",
+    );
+    assert_eq!(v, Value::Int(30));
+}
+
+#[test]
+fn update_with_subquery_assignment() {
+    let mut db = db_with(
+        "CREATE TABLE t (x int); INSERT INTO t VALUES (1), (2);
+         CREATE TABLE m (v int); INSERT INTO m VALUES (100)",
+    );
+    execute_sql(&mut db, "UPDATE t SET x = x + (SELECT v FROM m)").unwrap();
+    assert_eq!(scalar(&mut db, "SELECT sum(x) FROM t"), Value::Int(203));
+}
+
+#[test]
+fn delete_everything_and_reinsert() {
+    let mut db = db_with("CREATE TABLE t (x int); INSERT INTO t VALUES (1), (2)");
+    let n = execute_sql(&mut db, "DELETE FROM t").unwrap().count();
+    assert_eq!(n, Some(2));
+    execute_sql(&mut db, "INSERT INTO t VALUES (9)").unwrap();
+    assert_eq!(scalar(&mut db, "SELECT sum(x) FROM t"), Value::Int(9));
+}
+
+#[test]
+fn chained_comparison_in_where() {
+    let mut db = db_with("CREATE TABLE t (x int); INSERT INTO t VALUES (1), (5), (9)");
+    assert_eq!(
+        scalar(&mut db, "SELECT count(*) FROM t WHERE 2 <= x <= 8"),
+        Value::Int(1)
+    );
+}
+
+#[test]
+fn between_is_inclusive_and_symmetric_in_types() {
+    let mut db = Database::new();
+    assert_eq!(scalar(&mut db, "SELECT 5 BETWEEN 5 AND 5"), Value::Bool(true));
+    assert_eq!(scalar(&mut db, "SELECT 5.0 BETWEEN 4 AND 6"), Value::Bool(true));
+    assert_eq!(
+        scalar(
+            &mut db,
+            "SELECT '2020-06-15'::timestamp BETWEEN '2020-01-01'::timestamp \
+             AND '2020-12-31'::timestamp"
+        ),
+        Value::Bool(true)
+    );
+}
+
+#[test]
+fn exists_with_empty_subquery() {
+    let mut db = db_with("CREATE TABLE t (x int)");
+    assert_eq!(scalar(&mut db, "SELECT EXISTS (SELECT 1 FROM t)"), Value::Bool(false));
+    assert_eq!(
+        scalar(&mut db, "SELECT NOT EXISTS (SELECT 1 FROM t)"),
+        Value::Bool(true)
+    );
+}
+
+#[test]
+fn in_subquery_with_all_nulls() {
+    let mut db = db_with("CREATE TABLE t (x int); INSERT INTO t VALUES (NULL)");
+    assert!(scalar(&mut db, "SELECT 1 IN (SELECT x FROM t)").is_null());
+    assert!(scalar(&mut db, "SELECT 1 NOT IN (SELECT x FROM t)").is_null());
+}
+
+#[test]
+fn recursive_cte_iteration_cap_errors_cleanly() {
+    let mut db = Database::new();
+    let err = execute_sql(
+        &mut db,
+        "WITH RECURSIVE t(n) AS (SELECT 1 UNION ALL SELECT n + 1 FROM t) \
+         SELECT count(*) FROM t",
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("limit"));
+}
+
+#[test]
+fn view_over_view() {
+    let mut db = db_with(
+        "CREATE TABLE t (x int); INSERT INTO t VALUES (1), (2), (3), (4);
+         CREATE VIEW evens AS SELECT x FROM t WHERE x % 2 = 0;
+         CREATE VIEW big_evens AS SELECT x FROM evens WHERE x > 2",
+    );
+    assert_eq!(scalar(&mut db, "SELECT sum(x) FROM big_evens"), Value::Int(4));
+}
+
+#[test]
+fn create_view_or_replace() {
+    let mut db = db_with("CREATE TABLE t (x int); INSERT INTO t VALUES (1)");
+    execute_sql(&mut db, "CREATE VIEW v AS SELECT x FROM t").unwrap();
+    assert!(execute_sql(&mut db, "CREATE VIEW v AS SELECT 2 AS x").is_err());
+    execute_sql(&mut db, "CREATE OR REPLACE VIEW v AS SELECT 2 AS x").unwrap();
+    assert_eq!(scalar(&mut db, "SELECT x FROM v"), Value::Int(2));
+}
+
+#[test]
+fn text_escaping_round_trips() {
+    let mut db = db_with("CREATE TABLE t (s text)");
+    execute_sql(&mut db, "INSERT INTO t VALUES ('it''s ''quoted''')").unwrap();
+    assert_eq!(scalar(&mut db, "SELECT s FROM t"), Value::text("it's 'quoted'"));
+}

@@ -1,0 +1,42 @@
+//! Curve fitting as a SOLVESELECT — another usability-study problem
+//! (§5.1): fit a polynomial y = a + b·x + c·x² to noisy points by
+//! minimizing the L1 error, as a linear program over CDTEs.
+//!
+//! Run with: `cargo run --example curve_fitting`
+
+use solvedbplus::Session;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut s = Session::new();
+
+    // Points sampled from y = 2 + 0.5x - 0.1x² with small deterministic
+    // perturbations.
+    s.execute("CREATE TABLE points (x float8, y float8)")?;
+    for i in 0..25 {
+        let x = i as f64 * 0.4;
+        let noise = ((i * 7919) % 13) as f64 / 130.0 - 0.05;
+        let y = 2.0 + 0.5 * x - 0.1 * x * x + noise;
+        s.execute(&format!("INSERT INTO points VALUES ({x}, {y})"))?;
+    }
+
+    let fit = s.query(
+        "SOLVESELECT p(a, b, c) AS \
+           (SELECT NULL::float8 AS a, NULL::float8 AS b, NULL::float8 AS c) \
+         WITH e(err) AS (SELECT x, y, NULL::float8 AS err FROM points) \
+         MINIMIZE (SELECT sum(err) FROM e) \
+         SUBJECTTO (SELECT -1*err <= (a + b*x + c*x*x - y) <= err FROM e, p) \
+         USING solverlp()",
+    )?;
+    let a = fit.value_by_name(0, "a")?.as_f64()?;
+    let b = fit.value_by_name(0, "b")?.as_f64()?;
+    let c = fit.value_by_name(0, "c")?.as_f64()?;
+    println!("Fitted y = {a:.3} + {b:.3}x + {c:.3}x²  (truth: 2 + 0.5x - 0.1x²)");
+
+    // Evaluate the fit in SQL.
+    s.execute(&format!(
+        "CREATE TABLE fitted AS SELECT x, y, {a} + {b}*x + {c}*x*x AS yhat FROM points"
+    ))?;
+    let mae = s.query_scalar("SELECT avg(abs(y - yhat)) FROM fitted")?;
+    println!("Mean absolute error: {mae}");
+    Ok(())
+}

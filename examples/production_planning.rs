@@ -1,0 +1,46 @@
+//! Multi-period production planning — a usability-study problem (§5.1):
+//! decide per-month production under capacity and inventory balance,
+//! maximizing profit. Inventory coupling across months makes this a
+//! *time-linked* LP, expressed with a self-join constraint.
+//!
+//! Run with: `cargo run --example production_planning`
+
+use solvedbplus::Session;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut s = Session::new();
+
+    // Demand and unit economics per month.
+    s.execute(
+        "CREATE TABLE months (m int, demand float8, capacity float8,
+                              unit_profit float8, hold_cost float8,
+                              produce float8, stock float8)",
+    )?;
+    for (m, (d, cap)) in [(120.0, 150.0), (160.0, 180.0), (220.0, 200.0), (140.0, 150.0)]
+        .iter()
+        .enumerate()
+    {
+        s.execute(&format!(
+            "INSERT INTO months VALUES ({}, {d}, {cap}, 9.0, 1.5, NULL, NULL)",
+            m + 1
+        ))?;
+    }
+
+    let plan = s.query(
+        "SOLVESELECT t(produce, stock) AS (SELECT * FROM months) \
+         MAXIMIZE (SELECT sum(demand * unit_profit - hold_cost * stock) FROM t) \
+         SUBJECTTO \
+           -- inventory balance: stock_m = stock_{m-1} + produce_m - demand_m
+           (SELECT cur.stock = prv.stock + cur.produce - cur.demand \
+            FROM t cur JOIN t prv ON cur.m = prv.m + 1), \
+           (SELECT stock = produce - demand FROM t WHERE m = 1), \
+           (SELECT 0 <= produce <= capacity, stock >= 0 FROM t) \
+         USING solverlp()",
+    )?;
+    println!("Production plan:\n{plan}");
+
+    // All demand must have been met from production + stock.
+    let total_prod = s.query_scalar("SELECT sum(demand) FROM months")?;
+    println!("Total demand covered: {total_prod}");
+    Ok(())
+}

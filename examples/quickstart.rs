@@ -1,0 +1,77 @@
+//! Quickstart: create tables, solve a production-planning LP, a
+//! knapsack MIP and a prediction task — all through SQL.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use solvedbplus::Session;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut s = Session::new();
+
+    // ── 1. Plain SQL works as usual ────────────────────────────────────
+    s.execute_script(
+        "CREATE TABLE products (name text, profit float8, hours float8, qty float8);
+         INSERT INTO products VALUES
+           ('chair', 45, 2.0, NULL),
+           ('table', 80, 4.0, NULL),
+           ('shelf', 25, 1.0, NULL);",
+    )?;
+
+    // ── 2. An optimization problem is just a query ─────────────────────
+    // Decide production quantities under a 120-hour capacity.
+    let plan = s.query(
+        "SOLVESELECT p(qty) AS (SELECT * FROM products) \
+         MAXIMIZE (SELECT sum(profit * qty) FROM p) \
+         SUBJECTTO (SELECT sum(hours * qty) <= 120 FROM p), \
+                   (SELECT 0 <= qty <= 40 FROM p) \
+         USING solverlp()",
+    )?;
+    println!("Production plan (LP):\n{plan}");
+
+    // ── 3. Integer decisions: a knapsack ───────────────────────────────
+    s.execute_script(
+        "CREATE TABLE cargo (item text, value float8, weight float8, take int);
+         INSERT INTO cargo VALUES
+           ('laptop', 60, 10, NULL), ('camera', 100, 20, NULL),
+           ('drone', 120, 30, NULL), ('books', 40, 25, NULL);",
+    )?;
+    let picked = s.query(
+        "SOLVESELECT c(take) AS (SELECT * FROM cargo) \
+         MAXIMIZE (SELECT sum(value * take) FROM c) \
+         SUBJECTTO (SELECT sum(weight * take) <= 50 FROM c), \
+                   (SELECT 0 <= take <= 1 FROM c) \
+         USING solverlp.cbc()",
+    )?;
+    println!("Knapsack (MIP):\n{picked}");
+
+    // ── 4. Prediction fills unknown cells ──────────────────────────────
+    s.execute("CREATE TABLE sales (day timestamp, units float8)")?;
+    for i in 0..30 {
+        let v: String = if i < 25 {
+            format!("{}", 100.0 + 3.0 * i as f64)
+        } else {
+            "NULL".into() // the 5 days to forecast
+        };
+        s.execute(&format!(
+            "INSERT INTO sales VALUES ('2026-06-01'::timestamp + interval '{i} days', {v})"
+        ))?;
+    }
+    let forecast = s.query(
+        "SOLVESELECT f(units) AS (SELECT * FROM sales) USING predictive_solver()",
+    )?;
+    println!("Sales forecast (last rows filled by the Predictive Advisor):");
+    for row in forecast.rows.iter().rev().take(6).rev() {
+        println!("  {}  {:>8.1}", row[0], row[1].as_f64()?);
+    }
+
+    // ── 5. Solving composes with SQL ───────────────────────────────────
+    let revenue = s.query_scalar(
+        "SELECT sum(value * take) FROM (SOLVESELECT c(take) AS (SELECT * FROM cargo) \
+           MAXIMIZE (SELECT sum(value * take) FROM c) \
+           SUBJECTTO (SELECT sum(weight * take) <= 50 FROM c), \
+                     (SELECT 0 <= take <= 1 FROM c) \
+           USING solverlp.cbc()) AS solved",
+    )?;
+    println!("\nBest cargo value (via subquery composition): {revenue}");
+    Ok(())
+}

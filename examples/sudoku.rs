@@ -1,0 +1,61 @@
+//! Sudoku as a SOLVESELECT — one of the usability-study problems the
+//! paper's participants solved (§5.1). A 4×4 sudoku (2×2 boxes) keeps
+//! the MIP small; the encoding is the standard one-hot `pick[r,c,v]`
+//! with grouped constraints expressed as SQL aggregates.
+//!
+//! Run with: `cargo run --release --example sudoku`
+
+use solvedbplus::Session;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut s = Session::new();
+
+    // All (row, column, value) combinations; `pick` is the decision.
+    s.execute("CREATE TABLE cells (r int, c int, v int, box int, pick int)")?;
+    for r in 1..=4 {
+        for c in 1..=4 {
+            let b = ((r - 1) / 2) * 2 + (c - 1) / 2 + 1;
+            for v in 1..=4 {
+                s.execute(&format!("INSERT INTO cells VALUES ({r}, {c}, {v}, {b}, NULL)"))?;
+            }
+        }
+    }
+    // Clues (from the solution 1234 / 3412 / 2143 / 4321):
+    //   1 2 . .
+    //   3 . 1 .
+    //   . 1 . .
+    //   . . . 1
+    s.execute_script(
+        "CREATE TABLE clues (r int, c int, v int);
+         INSERT INTO clues VALUES (1,1,1), (1,2,2), (2,1,3), (2,3,1), (3,2,1), (4,4,1)",
+    )?;
+
+    let solved = s.query(
+        "SOLVESELECT g(pick) AS (SELECT * FROM cells) \
+         MAXIMIZE (SELECT sum(pick) FROM g) \
+         SUBJECTTO \
+           (SELECT sum(pick) = 1 FROM g GROUP BY r, c), \
+           (SELECT sum(pick) = 1 FROM g GROUP BY r, v), \
+           (SELECT sum(pick) = 1 FROM g GROUP BY c, v), \
+           (SELECT sum(pick) = 1 FROM g GROUP BY box, v), \
+           (SELECT pick = 1 FROM g JOIN clues ON g.r = clues.r \
+              AND g.c = clues.c AND g.v = clues.v), \
+           (SELECT 0 <= pick <= 1 FROM g) \
+         USING solverlp.cbc()",
+    )?;
+
+    // Render the grid.
+    let mut grid = [[0i64; 4]; 4];
+    for row in &solved.rows {
+        if row[4].as_i64()? == 1 {
+            let (r, c, v) = (row[0].as_i64()?, row[1].as_i64()?, row[2].as_i64()?);
+            grid[(r - 1) as usize][(c - 1) as usize] = v;
+        }
+    }
+    println!("Solved sudoku:");
+    for r in grid {
+        println!("  {} {} {} {}", r[0], r[1], r[2], r[3]);
+    }
+
+    Ok(())
+}

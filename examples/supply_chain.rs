@@ -1,0 +1,72 @@
+//! UC2 — supply chain management (paper §5.4): forecast next-month
+//! demand per item with ARIMA, model expected profit, and choose what to
+//! produce ahead under a warehouse volume cap (knapsack MIP).
+//!
+//! Run with: `cargo run --release --example supply_chain`
+
+use solvedbplus::{datagen, Session};
+
+const ITEMS: usize = 12;
+const MONTHS: usize = 48;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut s = Session::new();
+
+    // P1: install the TPC-H-like items and their monthly order history.
+    let items = datagen::supply_chain(ITEMS, MONTHS, 7);
+    datagen::install_supply_chain(s.db_mut(), &items);
+    println!("Loaded {ITEMS} items x {MONTHS} months of orders.");
+
+    // P2: per-item demand forecast — one ARIMA model per item, the order
+    // hyper-parameters searched by PSO inside the solver.
+    s.execute("CREATE TABLE demand_forecast (item_id int, qty float8)")?;
+    for it in &items {
+        let id = it.item_id;
+        s.execute(&format!(
+            "INSERT INTO demand_forecast \
+             SELECT item_id, qty FROM ( \
+               SOLVESELECT t(qty) AS ( \
+                 SELECT item_id, month, quantity AS qty FROM orders WHERE item_id = {id} \
+                 UNION ALL \
+                 SELECT {id}, (SELECT max(month) FROM orders WHERE item_id = {id}) \
+                              + interval '31 days', NULL::float8 \
+                 ORDER BY month) \
+               USING arima_solver(seed := 7) \
+             ) f WHERE NOT EXISTS (SELECT 1 FROM orders o \
+                                   WHERE o.item_id = f.item_id AND o.month = f.month)"
+        ))?;
+    }
+    println!("P2: {ITEMS} ARIMA forecasts done.");
+
+    // P3: expected profit per item, weighted by forecast demand.
+    s.execute(
+        "CREATE TABLE profit AS \
+         SELECT i.item_id, (i.price - i.cost) * greatest(0.0, f.qty) AS v, \
+                i.size * greatest(0.0, f.qty) AS volume \
+         FROM items i JOIN demand_forecast f ON f.item_id = i.item_id",
+    )?;
+
+    // P4: the warehouse knapsack.
+    s.execute(
+        "CREATE TABLE production_plan AS \
+         SOLVESELECT p(pick) AS (SELECT item_id, v, volume, NULL::int AS pick FROM profit) \
+         MAXIMIZE (SELECT sum(v * pick) FROM p) \
+         SUBJECTTO (SELECT sum(volume * pick) <= 0.4 * (SELECT sum(volume) FROM profit) FROM p), \
+                   (SELECT 0 <= pick <= 1 FROM p) \
+         USING solverlp.cbc()",
+    )?;
+
+    // P5: report.
+    let out = s.query(
+        "SELECT p.item_id, round(f.qty) AS forecast_qty, round(p.v) AS exp_profit, \
+                round(p.volume) AS volume, p.pick \
+         FROM production_plan p JOIN demand_forecast f ON f.item_id = p.item_id \
+         ORDER BY p.v DESC",
+    )?;
+    println!("\nProduction plan (pick = produce ahead):\n{out}");
+    let total = s.query_scalar("SELECT sum(v * pick) FROM production_plan")?;
+    let used = s.query_scalar("SELECT sum(volume * pick) FROM production_plan")?;
+    let cap = s.query_scalar("SELECT 0.4 * sum(volume) FROM profit")?;
+    println!("Expected profit: {total}   warehouse used: {used} / {cap}");
+    Ok(())
+}

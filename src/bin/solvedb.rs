@@ -1,0 +1,116 @@
+//! `solvedb` — an interactive SQL shell for the SolveDB+ engine.
+//!
+//! ```text
+//! cargo run --bin solvedb              # interactive REPL
+//! cargo run --bin solvedb -- file.sql  # run a script
+//! ```
+//!
+//! Statements end with `;` and may span lines. Meta commands:
+//! `\d` (list tables), `\solvers`, `\explain SOLVESELECT ...;`,
+//! `\demo` (load the paper's Table 1), `\q`.
+
+use solvedbplus::{datagen, ExecResult, Session};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut session = Session::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(path) = args.first() {
+        let sql = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match session.execute_script(&sql) {
+            Ok(ExecResult::Table(t)) => print!("{t}"),
+            Ok(ExecResult::Count(n)) => println!("{n} row(s) affected"),
+            Ok(ExecResult::Done) => println!("ok"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    println!("SolveDB+ shell — SQL with SOLVESELECT / SOLVEMODEL. \\q quits, \\demo loads Table 1.");
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        print!("{}", if buffer.is_empty() { "solvedb> " } else { "     ... " });
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break; // EOF
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('\\') {
+            match run_meta(&mut session, trimmed) {
+                MetaOutcome::Quit => break,
+                MetaOutcome::Handled => continue,
+            }
+        }
+        buffer.push_str(&line);
+        if !buffer.trim_end().ends_with(';') {
+            continue;
+        }
+        let sql = std::mem::take(&mut buffer);
+        let start = std::time::Instant::now();
+        match session.execute_script(&sql) {
+            Ok(ExecResult::Table(t)) => {
+                print!("{t}");
+                println!("({} row(s), {:.1} ms)", t.num_rows(), start.elapsed().as_secs_f64() * 1e3);
+            }
+            Ok(ExecResult::Count(n)) => println!("{n} row(s) affected"),
+            Ok(ExecResult::Done) => println!("ok"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
+enum MetaOutcome {
+    Quit,
+    Handled,
+}
+
+fn run_meta(session: &mut Session, cmd: &str) -> MetaOutcome {
+    match cmd {
+        "\\q" | "\\quit" => return MetaOutcome::Quit,
+        "\\d" => {
+            for name in session.db().table_names() {
+                let t = session.db().table(name).expect("listed table");
+                println!(
+                    "  {name} ({} rows): {}",
+                    t.num_rows(),
+                    t.schema
+                        .columns
+                        .iter()
+                        .map(|c| format!("{} {}", c.name, c.ty.sql_name()))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+            }
+        }
+        "\\solvers" => {
+            for s in session.solver_names() {
+                println!("  {s}");
+            }
+        }
+        "\\demo" => {
+            datagen::install_table1(session.db_mut());
+            println!("loaded the paper's Table 1 as table `input`; try:");
+            println!("  SOLVESELECT t(pvsupply) AS (SELECT * FROM input) USING predictive_solver();");
+        }
+        other if other.starts_with("\\explain ") => {
+            let sql = other.trim_start_matches("\\explain ").trim_end_matches(';');
+            match solvedbplus::core::explain_sql(session.db(), sql) {
+                Ok(e) => print!("{}", e.render()),
+                Err(e) => println!("error: {e}"),
+            }
+        }
+        other => println!("unknown meta command: {other} (try \\d, \\solvers, \\demo, \\explain, \\q)"),
+    }
+    MetaOutcome::Handled
+}

@@ -1,0 +1,44 @@
+//! # SolveDB+ — SQL-based prescriptive analytics
+//!
+//! A from-scratch Rust reproduction of *"SolveDB+: SQL-Based
+//! Prescriptive Analytics"* (EDBT 2021): an in-memory RDBMS whose SQL
+//! dialect embeds optimization problem solving (`SOLVESELECT`), shared
+//! optimization models (`SOLVEMODEL`, `<<`, `INLINE`, `MODELEVAL`) and
+//! an in-DBMS predictive framework.
+//!
+//! ```
+//! use solvedbplus::Session;
+//!
+//! let mut s = Session::new();
+//! s.execute_script(
+//!     "CREATE TABLE v (x float8); INSERT INTO v VALUES (NULL)",
+//! ).unwrap();
+//! let t = s.query(
+//!     "SOLVESELECT q(x) AS (SELECT * FROM v) \
+//!      MINIMIZE (SELECT x FROM q) SUBJECTTO (SELECT x >= 3 FROM q) \
+//!      USING solverlp()",
+//! ).unwrap();
+//! assert_eq!(t.value(0, 0).as_f64().unwrap(), 3.0);
+//! ```
+
+pub use solvedbplus_core::{
+    build_problem, ModelValue, ProblemInstance, Session, SolveContext, Solver, SolverRegistry,
+};
+pub use sqlengine::{Column, Ctes, Database, DataType, ExecResult, Row, Schema, Table, Value};
+
+/// The relational engine substrate.
+pub use sqlengine;
+/// The SolveDB+ semantics layer.
+pub use solvedbplus_core as core;
+/// LP / MIP solvers.
+pub use lp;
+/// Black-box global optimization (PSO / SA / DE).
+pub use globalopt;
+/// Time-series forecasting methods.
+pub use forecast;
+/// LTI state-space system models.
+pub use ssmodel;
+/// Synthetic datasets (NIST-like energy, TPC-H-like supply chain).
+pub use datagen;
+/// Structural simulations of the paper's baseline stacks.
+pub use baselines;

@@ -1,0 +1,202 @@
+//! The usability-study problem set (paper §5.1): Knapsack, production
+//! planning, Sudoku, curve fitting, hypothetical deletes/inserts, and
+//! demand-and-supply balancing — each solved through SQL, with the
+//! solution checked against an independent oracle.
+
+use solvedbplus::Session;
+
+#[test]
+fn knapsack() {
+    let mut s = Session::new();
+    s.execute_script(
+        "CREATE TABLE items (v float8, w float8, pick int);
+         INSERT INTO items VALUES (10, 5, NULL), (40, 4, NULL), (30, 6, NULL), (50, 3, NULL)",
+    )
+    .unwrap();
+    let obj = s
+        .query_scalar(
+            "SELECT sum(v * pick) FROM (SOLVESELECT i(pick) AS (SELECT * FROM items) \
+             MAXIMIZE (SELECT sum(v * pick) FROM i) \
+             SUBJECTTO (SELECT sum(w * pick) <= 10 FROM i), (SELECT 0 <= pick <= 1 FROM i) \
+             USING solverlp.cbc()) z",
+        )
+        .unwrap();
+    // Classic instance: optimum 90 (items 2 and 4).
+    assert_eq!(obj.as_f64().unwrap(), 90.0);
+}
+
+#[test]
+fn production_planning_with_inventory() {
+    let mut s = Session::new();
+    s.execute_script(
+        "CREATE TABLE months (m int, demand float8, capacity float8, produce float8, stock float8);
+         INSERT INTO months VALUES
+           (1, 100, 120, NULL, NULL), (2, 140, 120, NULL, NULL), (3, 90, 120, NULL, NULL)",
+    )
+    .unwrap();
+    let t = s
+        .query(
+            "SOLVESELECT t(produce, stock) AS (SELECT * FROM months) \
+             MINIMIZE (SELECT sum(stock) FROM t) \
+             SUBJECTTO \
+               (SELECT cur.stock = prv.stock + cur.produce - cur.demand \
+                FROM t cur JOIN t prv ON cur.m = prv.m + 1), \
+               (SELECT stock = produce - demand FROM t WHERE m = 1), \
+               (SELECT 0 <= produce <= capacity, stock >= 0 FROM t) \
+             USING solverlp()",
+        )
+        .unwrap();
+    // Month 2 demand (140) exceeds capacity (120): month 1 must
+    // pre-produce 20, so months 1-2 both run at full capacity.
+    let produce: Vec<f64> = t
+        .column_values("produce")
+        .unwrap()
+        .iter()
+        .map(|v| v.as_f64().unwrap())
+        .collect();
+    assert!((produce[0] - 120.0).abs() < 1e-6, "{produce:?}");
+    assert!((produce[1] - 120.0).abs() < 1e-6);
+    let stocks: Vec<f64> = t
+        .column_values("stock")
+        .unwrap()
+        .iter()
+        .map(|v| v.as_f64().unwrap())
+        .collect();
+    assert!((stocks[0] - 20.0).abs() < 1e-6, "{stocks:?}");
+}
+
+#[test]
+fn curve_fitting_l1() {
+    let mut s = Session::new();
+    s.execute("CREATE TABLE pts (x float8, y float8)").unwrap();
+    for i in 0..10 {
+        let x = i as f64;
+        s.execute(&format!("INSERT INTO pts VALUES ({x}, {})", 3.0 * x + 1.0)).unwrap();
+    }
+    let t = s
+        .query(
+            "SOLVESELECT p(a, b) AS (SELECT NULL::float8 AS a, NULL::float8 AS b) \
+             WITH e(err) AS (SELECT x, y, NULL::float8 AS err FROM pts) \
+             MINIMIZE (SELECT sum(err) FROM e) \
+             SUBJECTTO (SELECT -1*err <= (a + b*x - y) <= err FROM e, p) \
+             USING solverlp()",
+        )
+        .unwrap();
+    assert!((t.value_by_name(0, "a").unwrap().as_f64().unwrap() - 1.0).abs() < 1e-6);
+    assert!((t.value_by_name(0, "b").unwrap().as_f64().unwrap() - 3.0).abs() < 1e-6);
+}
+
+#[test]
+fn hypothetical_deletes() {
+    // "Hypothetical DB deletes/inserts": choose the fewest rows to drop so
+    // the remaining total fits a budget — a MIP whose decisions are
+    // keep/drop flags; the hypothetical state is then materialized with
+    // ordinary SQL, leaving the base table untouched.
+    let mut s = Session::new();
+    s.execute_script(
+        "CREATE TABLE expenses (id int, amount float8, keep int);
+         INSERT INTO expenses VALUES
+           (1, 500, NULL), (2, 300, NULL), (3, 200, NULL), (4, 900, NULL)",
+    )
+    .unwrap();
+    s.execute(
+        "CREATE TABLE hypothetical AS \
+         SELECT id, amount FROM ( \
+           SOLVESELECT e(keep) AS (SELECT * FROM expenses) \
+           MAXIMIZE (SELECT sum(keep) FROM e) \
+           SUBJECTTO (SELECT sum(amount * keep) <= 1000 FROM e), \
+                     (SELECT 0 <= keep <= 1 FROM e) \
+           USING solverlp.cbc()) z WHERE keep = 1",
+    )
+    .unwrap();
+    // Keep the most rows under budget: {2, 3, 1} sums 1000 → 3 rows.
+    assert_eq!(
+        s.query_scalar("SELECT count(*) FROM hypothetical").unwrap().as_i64().unwrap(),
+        3
+    );
+    let total = s.query_scalar("SELECT sum(amount) FROM hypothetical").unwrap();
+    assert!(total.as_f64().unwrap() <= 1000.0);
+    // Base table unchanged.
+    assert_eq!(
+        s.query_scalar("SELECT count(*) FROM expenses").unwrap().as_i64().unwrap(),
+        4
+    );
+}
+
+#[test]
+fn demand_and_supply_balancing() {
+    // Producers with capacity and marginal cost; consumers with demand.
+    // Minimize production cost while meeting total demand — and verify
+    // against the greedy merit-order oracle.
+    let mut s = Session::new();
+    s.execute_script(
+        "CREATE TABLE producers (name text, capacity float8, cost float8, output float8);
+         INSERT INTO producers VALUES
+           ('solar', 120, 1.0, NULL), ('wind', 80, 2.0, NULL),
+           ('gas', 300, 5.0, NULL), ('coal', 400, 7.0, NULL);
+         CREATE TABLE consumers (name text, demand float8);
+         INSERT INTO consumers VALUES ('north', 150), ('south', 180);",
+    )
+    .unwrap();
+    let t = s
+        .query(
+            "SOLVESELECT p(output) AS (SELECT * FROM producers) \
+             MINIMIZE (SELECT sum(cost * output) FROM p) \
+             SUBJECTTO \
+               (SELECT sum(output) = (SELECT sum(demand) FROM consumers) FROM p), \
+               (SELECT 0 <= output <= capacity FROM p) \
+             USING solverlp()",
+        )
+        .unwrap();
+    // Merit order: 120 solar + 80 wind + 130 gas = 330 at cost 930.
+    let cost: f64 = t
+        .rows
+        .iter()
+        .map(|r| r[2].as_f64().unwrap() * r[3].as_f64().unwrap())
+        .sum();
+    assert!((cost - 930.0).abs() < 1e-6, "cost {cost}");
+}
+
+#[test]
+fn sudoku_4x4() {
+    let mut s = Session::new();
+    s.execute("CREATE TABLE cells (r int, c int, v int, box int, pick int)").unwrap();
+    for r in 1..=4i64 {
+        for c in 1..=4i64 {
+            let b = ((r - 1) / 2) * 2 + (c - 1) / 2 + 1;
+            for v in 1..=4i64 {
+                s.execute(&format!("INSERT INTO cells VALUES ({r}, {c}, {v}, {b}, NULL)"))
+                    .unwrap();
+            }
+        }
+    }
+    s.execute_script(
+        "CREATE TABLE clues (r int, c int, v int);
+         INSERT INTO clues VALUES (1,1,1), (1,2,2), (2,1,3), (2,3,1), (3,2,1), (4,4,1)",
+    )
+    .unwrap();
+    let solved = s
+        .query(
+            "SOLVESELECT g(pick) AS (SELECT * FROM cells) \
+             MAXIMIZE (SELECT sum(pick) FROM g) \
+             SUBJECTTO \
+               (SELECT sum(pick) = 1 FROM g GROUP BY r, c), \
+               (SELECT sum(pick) = 1 FROM g GROUP BY r, v), \
+               (SELECT sum(pick) = 1 FROM g GROUP BY c, v), \
+               (SELECT sum(pick) = 1 FROM g GROUP BY box, v), \
+               (SELECT pick = 1 FROM g JOIN clues ON g.r = clues.r \
+                  AND g.c = clues.c AND g.v = clues.v), \
+               (SELECT 0 <= pick <= 1 FROM g) \
+             USING solverlp.cbc()",
+        )
+        .unwrap();
+    let mut grid = [[0i64; 4]; 4];
+    for row in &solved.rows {
+        if row[4].as_i64().unwrap() == 1 {
+            grid[(row[0].as_i64().unwrap() - 1) as usize]
+                [(row[1].as_i64().unwrap() - 1) as usize] = row[2].as_i64().unwrap();
+        }
+    }
+    let expect = [[1, 2, 3, 4], [3, 4, 1, 2], [2, 1, 4, 3], [4, 3, 2, 1]];
+    assert_eq!(grid, expect);
+}
