@@ -13,10 +13,8 @@ pub fn export_csv(table: &Table, path: &Path) -> std::io::Result<()> {
     let mut w = BufWriter::new(f);
     writeln!(w, "{}", table.schema.names().join(","))?;
     for row in &table.rows {
-        let line: Vec<String> = row
-            .iter()
-            .map(|v| if v.is_null() { String::new() } else { v.to_string() })
-            .collect();
+        let line: Vec<String> =
+            row.iter().map(|v| if v.is_null() { String::new() } else { v.to_string() }).collect();
         writeln!(w, "{}", line.join(","))?;
     }
     w.flush()
@@ -74,10 +72,8 @@ pub struct TempDir {
 
 impl TempDir {
     pub fn new(label: &str) -> std::io::Result<TempDir> {
-        let path = std::env::temp_dir().join(format!(
-            "solvedbplus-baseline-{label}-{}",
-            std::process::id()
-        ));
+        let path = std::env::temp_dir()
+            .join(format!("solvedbplus-baseline-{label}-{}", std::process::id()));
         std::fs::create_dir_all(&path)?;
         Ok(TempDir { path })
     }
@@ -103,10 +99,7 @@ mod tests {
         let dir = TempDir::new("csvtest").unwrap();
         let t = Table::from_rows(
             &["a", "b"],
-            vec![
-                vec![Value::Float(1.5), Value::Float(2.0)],
-                vec![Value::Null, Value::Float(4.0)],
-            ],
+            vec![vec![Value::Float(1.5), Value::Float(2.0)], vec![Value::Null, Value::Float(4.0)]],
         );
         let p = dir.file("t.csv");
         export_csv(&t, &p).unwrap();
@@ -124,10 +117,7 @@ mod tests {
         insert_rows_individually(
             &mut db,
             "r",
-            &[
-                vec![Value::Float(1.0), Value::text("it's")],
-                vec![Value::Null, Value::text("b")],
-            ],
+            &[vec![Value::Float(1.0), Value::text("it's")], vec![Value::Null, Value::text("b")]],
         )
         .unwrap();
         let t = execute_sql(&mut db, "SELECT count(*) FROM r").unwrap().into_table().unwrap();

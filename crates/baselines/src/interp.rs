@@ -37,13 +37,7 @@ impl IExpr {
 /// `x' = a1*x + b1*out + b2*h`, error accumulated per step. The
 /// expression tree is rebuilt per call, as a dynamically-typed runtime
 /// would effectively do.
-pub fn interpreted_hvac_sse(
-    a1: f64,
-    b1: f64,
-    b2: f64,
-    u: &[Vec<f64>],
-    measured: &[f64],
-) -> f64 {
+pub fn interpreted_hvac_sse(a1: f64, b1: f64, b2: f64, u: &[Vec<f64>], measured: &[f64]) -> f64 {
     // next_x = a1*x + b1*out + b2*h ; err = (x - m)^2
     let next_x = IExpr::Add(
         Box::new(IExpr::Add(

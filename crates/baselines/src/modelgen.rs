@@ -141,11 +141,8 @@ impl SymbolicModel {
             order.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
 
         let minimize = self.objective.as_ref().map(|(_, m)| *m).unwrap_or(true);
-        let mut p = if minimize {
-            Problem::minimize(order.len())
-        } else {
-            Problem::maximize(order.len())
-        };
+        let mut p =
+            if minimize { Problem::minimize(order.len()) } else { Problem::maximize(order.len()) };
         if let Some((obj, _)) = &self.objective {
             let mut coeffs = BTreeMap::new();
             let mut c = 0.0;
@@ -224,11 +221,7 @@ mod tests {
         let es: Vec<SymExpr> = (0..3).map(|i| SymExpr::var(format!("e{i}"))).collect();
         m.minimize(SymExpr::sum(es));
         for i in 0..3 {
-            m.constrain(
-                SymExpr::var(format!("e{i}")),
-                Rel::Ge,
-                SymExpr::constant(i as f64),
-            );
+            m.constrain(SymExpr::var(format!("e{i}")), Rel::Ge, SymExpr::constant(i as f64));
         }
         let (sol, _) = m.solve();
         assert!((sol.objective - 3.0).abs() < 1e-6);

@@ -27,11 +27,7 @@ pub struct NmResult {
 }
 
 /// Minimize `f` from `x0` (unconstrained, like `fminsearch`).
-pub fn nelder_mead(
-    mut f: impl FnMut(&[f64]) -> f64,
-    x0: &[f64],
-    opts: NmOptions,
-) -> NmResult {
+pub fn nelder_mead(mut f: impl FnMut(&[f64]) -> f64, x0: &[f64], opts: NmOptions) -> NmResult {
     let n = x0.len();
     let mut evaluations = 0usize;
     let mut eval = |x: &[f64], e: &mut usize| {
@@ -50,7 +46,8 @@ pub fn nelder_mead(
     simplex.push((x0.to_vec(), v0));
     for i in 0..n {
         let mut x = x0.to_vec();
-        let step = if x[i].abs() > 1e-12 { opts.initial_step * x[i].abs() } else { opts.initial_step };
+        let step =
+            if x[i].abs() > 1e-12 { opts.initial_step * x[i].abs() } else { opts.initial_step };
         x[i] += step;
         let v = eval(&x, &mut evaluations);
         simplex.push((x, v));
@@ -74,24 +71,21 @@ pub fn nelder_mead(
             }
         }
         let worst_x = simplex[n].0.clone();
-        let reflect: Vec<f64> = (0..n)
-            .map(|i| centroid[i] + alpha * (centroid[i] - worst_x[i]))
-            .collect();
+        let reflect: Vec<f64> =
+            (0..n).map(|i| centroid[i] + alpha * (centroid[i] - worst_x[i])).collect();
         let fr = eval(&reflect, &mut evaluations);
         if fr < simplex[0].1 {
             // Expand.
-            let expand: Vec<f64> = (0..n)
-                .map(|i| centroid[i] + gamma * (reflect[i] - centroid[i]))
-                .collect();
+            let expand: Vec<f64> =
+                (0..n).map(|i| centroid[i] + gamma * (reflect[i] - centroid[i])).collect();
             let fe = eval(&expand, &mut evaluations);
             simplex[n] = if fe < fr { (expand, fe) } else { (reflect, fr) };
         } else if fr < simplex[n - 1].1 {
             simplex[n] = (reflect, fr);
         } else {
             // Contract.
-            let contract: Vec<f64> = (0..n)
-                .map(|i| centroid[i] + rho * (worst_x[i] - centroid[i]))
-                .collect();
+            let contract: Vec<f64> =
+                (0..n).map(|i| centroid[i] + rho * (worst_x[i] - centroid[i])).collect();
             let fc = eval(&contract, &mut evaluations);
             if fc < simplex[n].1 {
                 simplex[n] = (contract, fc);
@@ -99,9 +93,8 @@ pub fn nelder_mead(
                 // Shrink toward the best.
                 let best_x = simplex[0].0.clone();
                 for entry in simplex.iter_mut().skip(1) {
-                    let x: Vec<f64> = (0..n)
-                        .map(|i| best_x[i] + sigma * (entry.0[i] - best_x[i]))
-                        .collect();
+                    let x: Vec<f64> =
+                        (0..n).map(|i| best_x[i] + sigma * (entry.0[i] - best_x[i])).collect();
                     let v = eval(&x, &mut evaluations);
                     *entry = (x, v);
                 }
@@ -109,12 +102,7 @@ pub fn nelder_mead(
         }
     }
     simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-    NmResult {
-        x: simplex[0].0.clone(),
-        value: simplex[0].1,
-        evaluations,
-        iterations,
-    }
+    NmResult { x: simplex[0].0.clone(), value: simplex[0].1, evaluations, iterations }
 }
 
 #[cfg(test)]
@@ -155,11 +143,8 @@ mod tests {
 
     #[test]
     fn handles_nan_objective() {
-        let r = nelder_mead(
-            |x| if x[0] < 0.0 { f64::NAN } else { x[0] },
-            &[1.0],
-            NmOptions::default(),
-        );
+        let r =
+            nelder_mead(|x| if x[0] < 0.0 { f64::NAN } else { x[0] }, &[1.0], NmOptions::default());
         assert!(r.value.is_finite());
     }
 }

@@ -61,22 +61,15 @@ pub struct Uc1Result {
 fn p2_features(rows: &[EnergyRow]) -> (Vec<f64>, Vec<Vec<f64>>) {
     let y: Vec<f64> = rows.iter().map(|r| r.pv_supply).collect();
     let out: Vec<f64> = rows.iter().map(|r| r.out_temp).collect();
-    let hour: Vec<f64> = rows
-        .iter()
-        .map(|r| timeval::decompose(r.time).hour as f64)
-        .collect();
+    let hour: Vec<f64> = rows.iter().map(|r| timeval::decompose(r.time).hour as f64).collect();
     (y, vec![out, hour])
 }
 
 fn horizon_features(task: &Uc1Task) -> Vec<Vec<f64>> {
-    let start_hour = task
-        .history
-        .last()
-        .map(|r| timeval::decompose(r.time).hour as f64 + 1.0)
-        .unwrap_or(0.0);
-    let hours: Vec<f64> = (0..task.horizon_outtemp.len())
-        .map(|k| (start_hour + k as f64) % 24.0)
-        .collect();
+    let start_hour =
+        task.history.last().map(|r| timeval::decompose(r.time).hour as f64 + 1.0).unwrap_or(0.0);
+    let hours: Vec<f64> =
+        (0..task.horizon_outtemp.len()).map(|k| (start_hour + k as f64) % 24.0).collect();
     vec![task.horizon_outtemp.clone(), hours]
 }
 
@@ -97,11 +90,7 @@ pub fn p4_direct(
         p.set_bounds(t, task.power.0, task.power.1);
         // The state after the final input is unconstrained (beyond horizon)
         // except the comfort band for in-horizon states.
-        let (lo, hi) = if t + 1 < h {
-            task.comfort
-        } else {
-            (f64::NEG_INFINITY, f64::INFINITY)
-        };
+        let (lo, hi) = if t + 1 < h { task.comfort } else { (f64::NEG_INFINITY, f64::INFINITY) };
         p.set_bounds(h + t, lo, hi);
     }
     p.set_objective((0..h).map(|t| (t, task.price)).collect());
@@ -137,19 +126,11 @@ pub fn p4_symbolic(
     let (a1, b1, b2) = hvac;
     let mut m = SymbolicModel::new();
     let cost_terms: Vec<SymExpr> = (0..h)
-        .map(|t| {
-            SymExpr::var(format!("h{t}"))
-                .sub(SymExpr::constant(pv[t]))
-                .scale(task.price)
-        })
+        .map(|t| SymExpr::var(format!("h{t}")).sub(SymExpr::constant(pv[t])).scale(task.price))
         .collect();
     m.minimize(SymExpr::sum(cost_terms));
     for t in 0..h {
-        let prev_x = if t == 0 {
-            SymExpr::constant(x0)
-        } else {
-            SymExpr::var(format!("x{t}"))
-        };
+        let prev_x = if t == 0 { SymExpr::constant(x0) } else { SymExpr::var(format!("x{t}")) };
         m.constrain(
             SymExpr::var(format!("x{}", t + 1)),
             Rel::Eq,
@@ -197,11 +178,7 @@ pub fn p4_symbolic_mpt(
     // to build the second-layer model.
     let mut inner = SymbolicModel::new();
     for t in 0..h {
-        let prev_x = if t == 0 {
-            SymExpr::constant(x0)
-        } else {
-            SymExpr::var(format!("x{t}"))
-        };
+        let prev_x = if t == 0 { SymExpr::constant(x0) } else { SymExpr::var(format!("x{t}")) };
         // MPT builds A·x + B·u elementwise with one object per term.
         let rhs = SymExpr::sum(vec![
             prev_x.scale(a1),
@@ -215,29 +192,19 @@ pub fn p4_symbolic_mpt(
         }
     }
     let cost: Vec<SymExpr> = (0..h)
-        .map(|t| {
-            SymExpr::var(format!("h{t}"))
-                .sub(SymExpr::constant(pv[t]))
-                .scale(task.price)
-        })
+        .map(|t| SymExpr::var(format!("h{t}")).sub(SymExpr::constant(pv[t])).scale(task.price))
         .collect();
     inner.minimize(SymExpr::sum(cost));
     // Translate: generate the inner model, then *rebuild* it as a fresh
     // symbolic model from the generated matrix (the MPT→YALMIP handoff).
     let (p1, order1) = inner.generate();
     let mut outer = SymbolicModel::new();
-    let obj: Vec<SymExpr> = p1
-        .objective
-        .iter()
-        .map(|&(j, c)| SymExpr::var(order1[j].clone()).scale(c))
-        .collect();
+    let obj: Vec<SymExpr> =
+        p1.objective.iter().map(|&(j, c)| SymExpr::var(order1[j].clone()).scale(c)).collect();
     outer.minimize(SymExpr::sum(obj).add(SymExpr::constant(p1.objective_constant)));
     for c in &p1.constraints {
         let lhs = SymExpr::sum(
-            c.coeffs
-                .iter()
-                .map(|&(j, v)| SymExpr::var(order1[j].clone()).scale(v))
-                .collect(),
+            c.coeffs.iter().map(|&(j, v)| SymExpr::var(order1[j].clone()).scale(v)).collect(),
         );
         outer.constrain(lhs, c.rel, SymExpr::constant(c.rhs));
     }
@@ -276,11 +243,7 @@ pub fn p2_symbolic_lr(y: &[f64], features: &[Vec<f64>], fut: &[Vec<f64>]) -> Vec
             pred = pred.add(SymExpr::var(format!("b{}", j + 1)).scale(col[i]));
         }
         // -e_i <= pred - y_i <= e_i
-        m.constrain(
-            pred.sub(SymExpr::constant(yi)),
-            Rel::Le,
-            SymExpr::var(format!("e{i}")),
-        );
+        m.constrain(pred.sub(SymExpr::constant(yi)), Rel::Le, SymExpr::var(format!("e{i}")));
         let mut pred2 = SymExpr::var("b0");
         for (j, col) in features.iter().enumerate() {
             pred2 = pred2.add(SymExpr::var(format!("b{}", j + 1)).scale(col[i]));
@@ -339,13 +302,8 @@ pub fn matlab_native(task: &Uc1Task) -> Uc1Result {
     let t3 = Instant::now();
     let u: Vec<Vec<f64>> = task.history.iter().map(|r| vec![r.out_temp, r.h_load]).collect();
     let measured: Vec<f64> = task.history.iter().map(|r| r.in_temp).collect();
-    let fit = fit_hvac(
-        &u,
-        &measured,
-        ((0.0, 1.0), (0.0, 1.0), (0.0, 0.01)),
-        task.p3_evaluations,
-        7,
-    );
+    let fit =
+        fit_hvac(&u, &measured, ((0.0, 1.0), (0.0, 1.0), (0.0, 0.01)), task.p3_evaluations, 7);
     let p3 = t3.elapsed();
 
     // P4: MPT analogue.
@@ -416,11 +374,7 @@ pub fn matlab_yalmip(task: &Uc1Task) -> Uc1Result {
         &[0.5, 0.05, 0.0005],
         NmOptions { max_iterations: evals_budget, ..Default::default() },
     );
-    let hvac = (
-        fit.x[0].clamp(0.0, 1.0),
-        fit.x[1].clamp(0.0, 1.0),
-        fit.x[2].clamp(0.0, 0.01),
-    );
+    let hvac = (fit.x[0].clamp(0.0, 1.0), fit.x[1].clamp(0.0, 1.0), fit.x[2].clamp(0.0, 0.01));
     let p3 = t3.elapsed();
 
     // P4 through the symbolic builder.
@@ -469,11 +423,7 @@ pub fn madlib_python(task: &Uc1Task) -> Uc1Result {
     .into_table()
     .unwrap();
     let g = |i: usize| sums.value(0, i).as_f64().unwrap();
-    let mut xtx = vec![
-        g(0), g(1), g(2),
-        g(1), g(3), g(4),
-        g(2), g(4), g(5),
-    ];
+    let mut xtx = vec![g(0), g(1), g(2), g(1), g(3), g(4), g(2), g(4), g(5)];
     let mut xty = vec![g(6), g(7), g(8)];
     forecast::ols::solve_dense(&mut xtx, &mut xty, 3).expect("normal equations");
     let beta = xty;

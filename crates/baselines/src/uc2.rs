@@ -42,11 +42,7 @@ fn order_grid() -> Vec<(usize, usize, usize)> {
 /// call a CPLEX-class MIP solver with prebuilt matrices).
 pub fn p4_knapsack(items: &[ScItem], forecasts: &[f64], profits: &[f64]) -> Vec<f64> {
     let n = items.len();
-    let total_volume: f64 = items
-        .iter()
-        .zip(forecasts)
-        .map(|(it, &f)| it.size * f.max(0.0))
-        .sum();
+    let total_volume: f64 = items.iter().zip(forecasts).map(|(it, &f)| it.size * f.max(0.0)).sum();
     let cap = total_volume * CAPACITY_FRACTION;
     let mut p = lp::Problem::maximize(n);
     for j in 0..n {
@@ -55,12 +51,7 @@ pub fn p4_knapsack(items: &[ScItem], forecasts: &[f64], profits: &[f64]) -> Vec<
     }
     p.set_objective(profits.iter().copied().enumerate().collect());
     p.add_constraint(
-        items
-            .iter()
-            .zip(forecasts)
-            .map(|(it, &f)| it.size * f.max(0.0))
-            .enumerate()
-            .collect(),
+        items.iter().zip(forecasts).map(|(it, &f)| it.size * f.max(0.0)).enumerate().collect(),
         Rel::Le,
         cap,
     );
@@ -120,11 +111,8 @@ pub fn r_cplex(items: &[ScItem]) -> Uc2Result {
 
     // P3: expected profit per item.
     let t3 = Instant::now();
-    let expected_profit: Vec<f64> = items
-        .iter()
-        .zip(&forecasts)
-        .map(|(it, &f)| (it.price - it.cost) * f.max(0.0))
-        .collect();
+    let expected_profit: Vec<f64> =
+        items.iter().zip(&forecasts).map(|(it, &f)| (it.price - it.cost) * f.max(0.0)).collect();
     let p3 = t3.elapsed();
 
     // P4: knapsack MIP.
@@ -132,12 +120,7 @@ pub fn r_cplex(items: &[ScItem]) -> Uc2Result {
     let picks = p4_knapsack(items, &forecasts, &expected_profit);
     let p4 = t4.elapsed();
 
-    Uc2Result {
-        forecasts,
-        expected_profit,
-        picks,
-        times: PhaseTimes { p1, p2, p3, p4 },
-    }
+    Uc2Result { forecasts, expected_profit, picks, times: PhaseTimes { p1, p2, p3, p4 } }
 }
 
 /// "MADlib + CPLEX" stack: in-DBMS forecasting, but each candidate
@@ -173,8 +156,7 @@ pub fn madlib_cplex(items: &[ScItem]) -> Uc2Result {
                 .unwrap()
                 .into_table()
                 .unwrap();
-            let series: Vec<f64> =
-                tt.rows.iter().map(|r| r[0].as_f64().unwrap_or(0.0)).collect();
+            let series: Vec<f64> = tt.rows.iter().map(|r| r[0].as_f64().unwrap_or(0.0)).collect();
             let e = arima_rmse(&series, p, d, q);
             // ...and write the candidate's score to a results table.
             execute_script(
@@ -221,8 +203,7 @@ pub fn madlib_cplex(items: &[ScItem]) -> Uc2Result {
     let mut expected_profit = Vec::with_capacity(items.len());
     for (it, &f) in items.iter().zip(&forecasts) {
         let v = (it.price - it.cost) * f.max(0.0);
-        execute_sql(&mut db, &format!("INSERT INTO profit VALUES ({}, {v})", it.item_id))
-            .unwrap();
+        execute_sql(&mut db, &format!("INSERT INTO profit VALUES ({}, {v})", it.item_id)).unwrap();
         expected_profit.push(v);
     }
     let p3 = t3.elapsed();
@@ -232,12 +213,7 @@ pub fn madlib_cplex(items: &[ScItem]) -> Uc2Result {
     let picks = p4_knapsack(items, &forecasts, &expected_profit);
     let p4 = t4.elapsed();
 
-    Uc2Result {
-        forecasts,
-        expected_profit,
-        picks,
-        times: PhaseTimes { p1, p2, p3, p4 },
-    }
+    Uc2Result { forecasts, expected_profit, picks, times: PhaseTimes { p1, p2, p3, p4 } }
 }
 
 #[cfg(test)]
@@ -248,23 +224,12 @@ mod tests {
     fn knapsack_respects_capacity() {
         let items = datagen::supply_chain(8, 24, 3);
         let forecasts: Vec<f64> = items.iter().map(|i| i.orders.last().copied().unwrap()).collect();
-        let profits: Vec<f64> = items
-            .iter()
-            .zip(&forecasts)
-            .map(|(it, &f)| (it.price - it.cost) * f)
-            .collect();
+        let profits: Vec<f64> =
+            items.iter().zip(&forecasts).map(|(it, &f)| (it.price - it.cost) * f).collect();
         let picks = p4_knapsack(&items, &forecasts, &profits);
-        let used: f64 = items
-            .iter()
-            .zip(&forecasts)
-            .zip(&picks)
-            .map(|((it, &f), &p)| it.size * f * p)
-            .sum();
-        let cap: f64 = items
-            .iter()
-            .zip(&forecasts)
-            .map(|(it, &f)| it.size * f)
-            .sum::<f64>()
+        let used: f64 =
+            items.iter().zip(&forecasts).zip(&picks).map(|((it, &f), &p)| it.size * f * p).sum();
+        let cap: f64 = items.iter().zip(&forecasts).map(|(it, &f)| it.size * f).sum::<f64>()
             * CAPACITY_FRACTION;
         assert!(used <= cap + 1e-6);
         assert!(picks.iter().any(|&p| p > 0.5)); // something gets picked

@@ -3,11 +3,13 @@
 //! operation with statistical rigor. (The `reproduce` binary prints the
 //! full series; these benches focus on per-point timing.)
 
+use baselines::uc1::{
+    madlib_python, matlab_native, matlab_yalmip, p4_direct, p4_symbolic, p4_symbolic_mpt, Uc1Task,
+};
+use baselines::uc2::{madlib_cplex, r_cplex};
 use bench::setup::{uc1_session, uc2_session};
 use bench::uc1 as sdb_uc1;
 use bench::uc2::run_uc2;
-use baselines::uc1::{madlib_python, matlab_native, matlab_yalmip, p4_direct, p4_symbolic, p4_symbolic_mpt, Uc1Task};
-use baselines::uc2::{madlib_cplex, r_cplex};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn uc1_task(history: usize, horizon: usize) -> Uc1Task {
@@ -88,15 +90,14 @@ fn bench_join_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_joins");
     g.sample_size(10);
     let mut db = Database::new();
-    execute_script(&mut db, "CREATE TABLE a (id int, x float8); CREATE TABLE b (id int, y float8)").unwrap();
+    execute_script(&mut db, "CREATE TABLE a (id int, x float8); CREATE TABLE b (id int, y float8)")
+        .unwrap();
     for i in 0..2000 {
         execute_sql(&mut db, &format!("INSERT INTO a VALUES ({i}, {i})")).unwrap();
         execute_sql(&mut db, &format!("INSERT INTO b VALUES ({i}, {i})")).unwrap();
     }
     g.bench_function("hash_join_equi", |b| {
-        b.iter(|| {
-            execute_sql(&mut db, "SELECT count(*) FROM a JOIN b ON a.id = b.id").unwrap()
-        })
+        b.iter(|| execute_sql(&mut db, "SELECT count(*) FROM a JOIN b ON a.id = b.id").unwrap())
     });
     g.bench_function("nested_loop_non_equi", |b| {
         b.iter(|| {

@@ -16,8 +16,8 @@ fn main() {
     let mut wanted: Vec<String> = args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = vec![
-            "table1", "fig3a", "fig3b", "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8",
-            "fig9", "fig10", "fig11", "summary",
+            "table1", "fig3a", "fig3b", "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "summary",
         ]
         .into_iter()
         .map(String::from)

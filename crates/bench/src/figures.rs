@@ -5,12 +5,14 @@
 //! educational dense simplex handles (documented in EXPERIMENTS.md);
 //! `Config::quick` shrinks them further for CI.
 
+use crate::eloc::eloc;
 use crate::setup::{planning_table, uc1_session, uc2_session};
 use crate::uc1::{self, run_s3ss, run_sshared, run_ssolvers};
 use crate::uc2::run_uc2;
-use crate::eloc::eloc;
 use baselines::neldermead::{nelder_mead, NmOptions};
-use baselines::uc1::{madlib_python, matlab_native, matlab_yalmip, p4_direct, p4_symbolic, p4_symbolic_mpt, Uc1Task};
+use baselines::uc1::{
+    madlib_python, matlab_native, matlab_yalmip, p4_direct, p4_symbolic, p4_symbolic_mpt, Uc1Task,
+};
 use baselines::uc2::{madlib_cplex, r_cplex};
 use solvedbplus_core::Session;
 use std::time::{Duration, Instant};
@@ -76,17 +78,29 @@ impl Config {
 
     /// UC1 history length (hours).
     fn uc1_history(&self) -> usize {
-        if self.quick { 96 } else { 336 }
+        if self.quick {
+            96
+        } else {
+            336
+        }
     }
 
     /// UC1 planning horizon (hours). The paper's is 288; the dense
     /// simplex here is comfortable at 48–96.
     fn uc1_horizon(&self) -> usize {
-        if self.quick { 12 } else { 48 }
+        if self.quick {
+            12
+        } else {
+            48
+        }
     }
 
     fn p3_iterations(&self) -> usize {
-        if self.quick { 40 } else { 200 }
+        if self.quick {
+            40
+        } else {
+            200
+        }
     }
 }
 
@@ -114,21 +128,22 @@ pub fn table1(_cfg: Config) -> Figure {
     };
     let mut rows = Vec::new();
     for r in &out.rows {
-        rows.push(vec![
-            r[0].to_string(),
-            fmt(&r[1]),
-            fmt(&r[2]),
-            fmt(&r[3]),
-            fmt(&r[4]),
-        ]);
+        rows.push(vec![r[0].to_string(), fmt(&r[1]), fmt(&r[2]), fmt(&r[3]), fmt(&r[4])]);
     }
     Figure {
         id: "Table 4".into(),
         title: "Output of the prediction phase for the running example".into(),
-        headers: vec!["time".into(), "outTemp".into(), "inTemp".into(), "hLoad".into(), "pvSupply".into()],
+        headers: vec![
+            "time".into(),
+            "outTemp".into(),
+            "inTemp".into(),
+            "hLoad".into(),
+            "pvSupply".into(),
+        ],
         rows,
         notes: vec![
-            "pvSupply for 12:00-16:00 is filled by predictive_solver; inTemp/hLoad stay unknown".into(),
+            "pvSupply for 12:00-16:00 is filled by predictive_solver; inTemp/hLoad stay unknown"
+                .into(),
         ],
     }
 }
@@ -151,12 +166,7 @@ pub fn phase_eloc(source: &str) -> [usize; 4] {
         sections[cur].push_str(line);
         sections[cur].push('\n');
     }
-    [
-        eloc(&sections[0]),
-        eloc(&sections[1]),
-        eloc(&sections[2]),
-        eloc(&sections[3]),
-    ]
+    [eloc(&sections[0]), eloc(&sections[1]), eloc(&sections[2]), eloc(&sections[3])]
 }
 
 pub fn fig3a(_cfg: Config) -> Figure {
@@ -250,11 +260,16 @@ pub fn fig3b(cfg: Config) -> Figure {
     Figure {
         id: "Fig 3(b)".into(),
         title: format!("UC1 runtimes (s) per phase — history {history} h, horizon {horizon} h"),
-        headers: vec!["stack".into(), "P1".into(), "P2".into(), "P3".into(), "P4".into(), "total".into()],
-        rows,
-        notes: vec![
-            "S-solvers reports the single composite SOLVESELECT under P4".into(),
+        headers: vec![
+            "stack".into(),
+            "P1".into(),
+            "P2".into(),
+            "P3".into(),
+            "P4".into(),
+            "total".into(),
         ],
+        rows,
+        notes: vec!["S-solvers reports the single composite SOLVESELECT under P4".into()],
     }
 }
 
@@ -468,7 +483,9 @@ pub fn fig5(cfg: Config) -> Figure {
             "total".into(),
         ],
         rows,
-        notes: vec!["MPT's double translation dominates its model generation (paper: 215 s at 2x)".into()],
+        notes: vec![
+            "MPT's double translation dominates its model generation (paper: 215 s at 2x)".into()
+        ],
     }
 }
 
@@ -629,7 +646,10 @@ pub fn fig8(cfg: Config) -> Figure {
         title: "Multi-instance UC1 scalability (P2+P3+P4 per instance, seconds)".into(),
         headers: vec!["instances".into(), "SolveDB+".into(), "MADlib+Python".into()],
         rows,
-        notes: vec!["the paper reports per-phase panels (a)-(c); totals shown here include all phases".into()],
+        notes: vec![
+            "the paper reports per-phase panels (a)-(c); totals shown here include all phases"
+                .into(),
+        ],
     }
 }
 
@@ -820,7 +840,10 @@ pub fn summary(cfg: Config) -> Figure {
             vec![
                 "shared models: less P3-P4 code".into(),
                 "up to 2x".into(),
-                format!("{:.2}x ({p34_plain} vs {p34_shared} eLOC)", p34_plain as f64 / p34_shared as f64),
+                format!(
+                    "{:.2}x ({p34_plain} vs {p34_shared} eLOC)",
+                    p34_plain as f64 / p34_shared as f64
+                ),
             ],
             vec![
                 "CDTEs: less SOLVESELECT code (LR)".into(),
@@ -830,7 +853,10 @@ pub fn summary(cfg: Config) -> Figure {
             vec![
                 "composite solvers: less P2-P4 code".into(),
                 "up to 5x".into(),
-                format!("{:.2}x ({p24_explicit} vs {p24_solvers} eLOC)", p24_explicit as f64 / p24_solvers as f64),
+                format!(
+                    "{:.2}x ({p24_explicit} vs {p24_solvers} eLOC)",
+                    p24_explicit as f64 / p24_solvers as f64
+                ),
             ],
             vec![
                 "specialized forecasting speedup".into(),
@@ -868,9 +894,8 @@ z = 3;
         // S-solvers is the most compact; S-shared is within a couple of
         // lines of S-3SS (this engine's terse recursive-CTE syntax makes
         // duplicating the model cheap — see EXPERIMENTS.md, Fig 3a).
-        let by_name: std::collections::HashMap<&str, usize> = (0..5)
-            .map(|i| (f.rows[i][0].as_str(), total(i)))
-            .collect();
+        let by_name: std::collections::HashMap<&str, usize> =
+            (0..5).map(|i| (f.rows[i][0].as_str(), total(i))).collect();
         assert!(by_name["S-solvers"] < by_name["S-3SS"]);
         assert!(by_name["S-shared"] <= by_name["S-3SS"] + 2);
         assert!(by_name["S-solvers"] < by_name["Matlab-native"]);

@@ -5,7 +5,7 @@ use baselines::uc1::{p4_direct, Uc1Task};
 use datagen::EnergyRow;
 use forecast::{Forecaster, LinearRegression};
 use solvedbplus_core::problem::ProblemInstance;
-use solvedbplus_core::{SolveContext, Solver, Session};
+use solvedbplus_core::{Session, SolveContext, Solver};
 use sqlengine::error::{Error, Result};
 use sqlengine::types::timeval;
 use sqlengine::{Table, Value};
@@ -84,13 +84,8 @@ impl Solver for HvacScheduler {
                 .index_of(n)
                 .ok_or_else(|| Error::solver(format!("hvac_scheduler: missing column '{n}'")))
         };
-        let (c_time, c_out, c_in, c_load, c_pv) = (
-            col("time")?,
-            col("outtemp")?,
-            col("intemp")?,
-            col("hload")?,
-            col("pvsupply")?,
-        );
+        let (c_time, c_out, c_in, c_load, c_pv) =
+            (col("time")?, col("outtemp")?, col("intemp")?, col("hload")?, col("pvsupply")?);
         let comfort = (
             prob.param_f64("comfort_low").transpose()?.unwrap_or(20.0),
             prob.param_f64("comfort_high").transpose()?.unwrap_or(25.0),
@@ -142,10 +137,8 @@ impl Solver for HvacScheduler {
             .collect();
 
         // P3: LTI fit on the history.
-        let u: Vec<Vec<f64>> = hist
-            .iter()
-            .map(|&r| Ok(vec![f(r, c_out)?, f(r, c_load)?]))
-            .collect::<Result<_>>()?;
+        let u: Vec<Vec<f64>> =
+            hist.iter().map(|&r| Ok(vec![f(r, c_out)?, f(r, c_load)?])).collect::<Result<_>>()?;
         let measured: Vec<f64> = hist.iter().map(|&r| f(r, c_in)).collect::<Result<_>>()?;
         let iterations = prob.param_usize("fit_iterations").transpose()?.unwrap_or(400);
         let fit = fit_hvac(&u, &measured, ((0.0, 1.0), (0.0, 1.0), (0.0, 0.01)), iterations, 5);
@@ -218,9 +211,6 @@ mod tests {
     fn uc2_session_has_tables() {
         let (mut s, items) = uc2_session(5, 24, 1);
         assert_eq!(items.len(), 5);
-        assert_eq!(
-            s.query_scalar("SELECT count(*) FROM orders").unwrap(),
-            Value::Int(5 * 24)
-        );
+        assert_eq!(s.query_scalar("SELECT count(*) FROM orders").unwrap(), Value::Int(5 * 24));
     }
 }

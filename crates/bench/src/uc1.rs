@@ -76,13 +76,16 @@ pub fn run_sshared(s: &mut Session, p3_iterations: Option<usize>) -> Result<Phas
 /// single statement's time as p4 and the (trivial) setup as p1.
 pub fn run_ssolvers(s: &mut Session, fit_iterations: usize) -> Result<PhaseTimes> {
     let t = Instant::now();
-    let sql = S_SOLVERS.replace(
-        "price := 0.12)",
-        &format!("price := 0.12, fit_iterations := {fit_iterations})"),
-    );
+    let sql = S_SOLVERS
+        .replace("price := 0.12)", &format!("price := 0.12, fit_iterations := {fit_iterations})"));
     s.execute_script(&sql)?;
     let total = t.elapsed();
-    Ok(PhaseTimes { p1: std::time::Duration::ZERO, p2: std::time::Duration::ZERO, p3: std::time::Duration::ZERO, p4: total })
+    Ok(PhaseTimes {
+        p1: std::time::Duration::ZERO,
+        p2: std::time::Duration::ZERO,
+        p3: std::time::Duration::ZERO,
+        p4: total,
+    })
 }
 
 /// Validate a produced plan: all horizon loads within limits.

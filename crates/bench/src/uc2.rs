@@ -65,26 +65,17 @@ mod tests {
         let times = run_uc2(&mut s, &ids).unwrap();
         assert!(times.p2.as_nanos() > 0);
         // One forecast per item.
-        assert_eq!(
-            s.query_scalar("SELECT count(*) FROM demand_forecast").unwrap(),
-            Value::Int(6)
-        );
+        assert_eq!(s.query_scalar("SELECT count(*) FROM demand_forecast").unwrap(), Value::Int(6));
         // Forecasts are finite.
         let t = s.query("SELECT qty FROM demand_forecast").unwrap();
         assert!(t.rows.iter().all(|r| r[0].as_f64().map(f64::is_finite).unwrap_or(false)));
         // Plan picks respect the capacity.
         let used = s
-            .query_scalar(
-                "SELECT sum(p.volume * p.pick) FROM production_plan p",
-            )
+            .query_scalar("SELECT sum(p.volume * p.pick) FROM production_plan p")
             .unwrap()
             .as_f64()
             .unwrap();
-        let cap = s
-            .query_scalar("SELECT 0.4 * sum(volume) FROM profit")
-            .unwrap()
-            .as_f64()
-            .unwrap();
+        let cap = s.query_scalar("SELECT 0.4 * sum(volume) FROM profit").unwrap().as_f64().unwrap();
         assert!(used <= cap + 1e-6, "{used} > {cap}");
         let picks = s.query("SELECT pick FROM production_plan").unwrap();
         assert!(picks.rows.iter().all(|r| {

@@ -1,8 +1,9 @@
 //! Every feature script under scripts/features is executable and the
 //! variants produce consistent solutions.
 
-use bench::figures::{P2_CDTE, P2_NOCDTE, P2_WRAPPED, P3_CDTE, P3_NOCDTE, P3_SHARED, P4_CDTE,
-    P4_NOCDTE, P4_SHARED};
+use bench::figures::{
+    P2_CDTE, P2_NOCDTE, P2_WRAPPED, P3_CDTE, P3_NOCDTE, P3_SHARED, P4_CDTE, P4_NOCDTE, P4_SHARED,
+};
 use bench::setup::uc1_session;
 use bench::uc1::{S_3SS_P1, S_3SS_P2, S_3SS_P3, S_SHARED_MODEL};
 use solvedbplus_core::Session;
@@ -15,7 +16,7 @@ fn prepared() -> Session {
     s.execute_script(S_3SS_P2).unwrap(); // lr_pars + pv_forecast
     s.execute_script(&S_3SS_P3.replace("iterations := 400", "iterations := 40")).unwrap(); // hvac_pars
     s.execute_script(S_SHARED_MODEL).unwrap(); // model
-    // lrdata / lrseries for the P2 feature scripts.
+                                               // lrdata / lrseries for the P2 feature scripts.
     let lrdata: Vec<Vec<sqlengine::Value>> = data[..40]
         .iter()
         .enumerate()
@@ -28,10 +29,7 @@ fn prepared() -> Session {
             ]
         })
         .collect();
-    s.db_mut().put_table(
-        "lrdata",
-        Table::from_rows(&["rid", "outtemp", "hr", "pvsupply"], lrdata),
-    );
+    s.db_mut().put_table("lrdata", Table::from_rows(&["rid", "outtemp", "hr", "pvsupply"], lrdata));
     let mut series = bench::setup::planning_table(&data[..52], 40);
     let idx = series.schema.index_of("pvsupply").unwrap();
     series.schema.columns[idx].name = "y".into();
@@ -57,10 +55,7 @@ fn p2_variants_agree_on_coefficients() {
         .find(|r| r[0].as_i64() == Ok(0))
         .map(|r| r[2].as_f64().unwrap())
         .expect("parameter row");
-    assert!(
-        (b1_cdte - b1_nocdte).abs() < 1e-4,
-        "b1: {b1_cdte} vs {b1_nocdte}"
-    );
+    assert!((b1_cdte - b1_nocdte).abs() < 1e-4, "b1: {b1_cdte} vs {b1_nocdte}");
     // The wrapped solver runs too and fills the series.
     let wrapped = s.execute_script(P2_WRAPPED).unwrap().into_table().unwrap();
     assert!(wrapped.column_values("y").unwrap().iter().all(|v| !v.is_null()));

@@ -103,11 +103,8 @@ pub fn explain_stmt(db: &Database, ctes: &Ctes, stmt: &SolveStmt) -> Result<Expl
         .relations
         .iter()
         .map(|r| {
-            let dec: Vec<&str> = r
-                .dec_cols
-                .iter()
-                .map(|&c| r.table.schema.columns[c].name.as_str())
-                .collect();
+            let dec: Vec<&str> =
+                r.dec_cols.iter().map(|&c| r.table.schema.columns[c].name.as_str()).collect();
             format!(
                 "{} — {} rows, decision columns: [{}]",
                 r.alias.as_deref().unwrap_or("<input>"),

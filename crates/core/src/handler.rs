@@ -25,9 +25,10 @@ impl Handler {
 
 impl SolveHandler for Handler {
     fn solve_select(&self, db: &Database, stmt: &SolveStmt, ctes: &Ctes) -> Result<Table> {
-        let using = stmt.using.as_ref().ok_or_else(|| {
-            Error::solver("SOLVESELECT requires a USING clause naming a solver")
-        })?;
+        let using = stmt
+            .using
+            .as_ref()
+            .ok_or_else(|| Error::solver("SOLVESELECT requires a USING clause naming a solver"))?;
         let solver = self.registry.get(&using.solver)?;
         SolverRegistry::check_method(solver.as_ref(), &using.method)?;
         let prob = build_problem(db, ctes, stmt)?;

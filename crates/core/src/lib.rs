@@ -22,5 +22,5 @@ pub mod symbolic;
 pub use explain::{explain_sql, Explanation};
 pub use model::ModelValue;
 pub use problem::{build_problem, ProblemInstance};
-pub use session::Session;
+pub use session::{Session, SharedSolvers};
 pub use solver::{SolveContext, Solver, SolverRegistry};

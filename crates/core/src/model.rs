@@ -74,10 +74,8 @@ impl ModelValue {
         for rule in &delta.stmt.subjectto {
             match &rule.alias {
                 Some(a) => {
-                    if let Some(slot) = out
-                        .subjectto
-                        .iter_mut()
-                        .find(|r| r.alias.as_deref() == Some(a.as_str()))
+                    if let Some(slot) =
+                        out.subjectto.iter_mut().find(|r| r.alias.as_deref() == Some(a.as_str()))
                     {
                         *slot = rule.clone();
                     } else {
@@ -133,9 +131,7 @@ impl CustomValue for ModelValue {
                 )));
             }
             let Some(delta) = downcast::<ModelValue>(other) else {
-                return Some(Err(Error::eval(
-                    "right operand of << must be a model",
-                )));
+                return Some(Err(Error::eval("right operand of << must be a model")));
             };
             return Some(Ok(custom(self.instantiate(delta))));
         }
@@ -160,10 +156,7 @@ pub fn expect_model(v: &Value) -> Result<ModelValue> {
     if let Value::Text(t) = v {
         return ModelValue::parse(t);
     }
-    Err(Error::eval(format!(
-        "expected a model value, got {}",
-        v.data_type().sql_name()
-    )))
+    Err(Error::eval(format!("expected a model value, got {}", v.data_type().sql_name())))
 }
 
 #[cfg(test)]
@@ -190,16 +183,12 @@ mod tests {
     fn instantiate_replaces_matching_alias() {
         // Paper §4.4: m << (SOLVEMODEL pars(b2) AS (...)).
         let m = model(LTI);
-        let delta = model(
-            "SOLVEMODEL pars(b2) AS (SELECT 0.995 AS a1, 0.001 AS b1, 0.2::float8 AS b2)",
-        );
+        let delta =
+            model("SOLVEMODEL pars(b2) AS (SELECT 0.995 AS a1, 0.001 AS b1, 0.2::float8 AS b2)");
         let inst = m.instantiate(&delta);
         // pars is replaced (with decision column b2), other relations kept.
         assert_eq!(inst.stmt.input.alias.as_deref(), Some("pars"));
-        assert_eq!(
-            inst.stmt.input.dec_cols,
-            sqlengine::ast::DecCols::List(vec!["b2".into()])
-        );
+        assert_eq!(inst.stmt.input.dec_cols, sqlengine::ast::DecCols::List(vec!["b2".into()]));
         assert!(inst.to_text().contains("0.995"));
         assert_eq!(inst.stmt.ctes.len(), 2);
     }

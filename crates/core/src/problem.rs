@@ -8,11 +8,10 @@
 //! re-materializing fitness function used by black-box solvers.
 
 use crate::model::expect_model;
-use crate::symbolic::{
-    as_linexpr, sym_value, ConstraintVal, ConstraintValue, LinExpr, Rel, VarId,
+use crate::symbolic::{as_linexpr, sym_value, ConstraintVal, ConstraintValue, LinExpr, Rel, VarId};
+use sqlengine::ast::{
+    Cte, DecCols, DecRel, Expr, NamedRule, Query, Select, SelectItem, SolveStmt, TableRef,
 };
-use sqlengine::ast::{Cte, DecCols, DecRel, Expr, NamedRule, Query, Select, SelectItem,
-    SolveStmt, TableRef};
 use sqlengine::catalog::{Ctes, Database};
 use sqlengine::error::{Error, Result};
 use sqlengine::exec::run_query;
@@ -207,11 +206,7 @@ fn resolve_dec_cols(table: &Table, spec: &DecCols, alias: Option<&str>) -> Resul
 /// `SOLVESELECT` statement. Evaluates solver parameters, materializes
 /// every decision relation in order, and assigns variable ids.
 pub fn build_problem(db: &Database, ctes: &Ctes, stmt: &SolveStmt) -> Result<ProblemInstance> {
-    let stmt = if stmt.inlines.is_empty() {
-        stmt.clone()
-    } else {
-        inline_models(db, ctes, stmt)?
-    };
+    let stmt = if stmt.inlines.is_empty() { stmt.clone() } else { inline_models(db, ctes, stmt)? };
 
     // Solver parameters: bare column names act as identifiers
     // (`features := outTemp`), everything else is evaluated as a
@@ -245,9 +240,8 @@ pub fn build_problem(db: &Database, ctes: &Ctes, stmt: &SolveStmt) -> Result<Pro
     let mut env = ctes.clone();
     let mut relations: Vec<DecRelInst> = Vec::new();
     let mut vars: Vec<VarInfo> = Vec::new();
-    let specs: Vec<DecRel> = std::iter::once(stmt.input.clone())
-        .chain(stmt.ctes.iter().cloned())
-        .collect();
+    let specs: Vec<DecRel> =
+        std::iter::once(stmt.input.clone()).chain(stmt.ctes.iter().cloned()).collect();
     for (ri, spec) in specs.iter().enumerate() {
         let table = run_query(db, &env, &spec.query, None)?;
         let dec_cols = resolve_dec_cols(&table, &spec.dec_cols, spec.alias.as_deref())?;
@@ -435,10 +429,7 @@ pub fn collect_constraints(
                     Value::Bool(false) => {
                         return Err(Error::solver(format!(
                             "constraint{} is trivially false — the problem is infeasible",
-                            rule.alias
-                                .as_deref()
-                                .map(|a| format!(" '{a}'"))
-                                .unwrap_or_default()
+                            rule.alias.as_deref().map(|a| format!(" '{a}'")).unwrap_or_default()
                         )))
                     }
                     other => {
@@ -489,14 +480,7 @@ pub fn to_lp(prob: &ProblemInstance, rules: &LinearRules) -> (lp::Problem, Vec<V
         p.integer[i] = prob.vars[v as usize].integer;
     }
     p.objective_constant = rules.objective.constant;
-    p.set_objective(
-        rules
-            .objective
-            .terms
-            .iter()
-            .map(|&(v, c)| (index[&v], c))
-            .collect(),
-    );
+    p.set_objective(rules.objective.terms.iter().map(|&(v, c)| (index[&v], c)).collect());
     for c in &rules.constraints {
         for (l, rel, r) in c.atoms() {
             let diff = l.sub(r); // diff ⋈ 0  ⇔  terms ⋈ -const
@@ -537,10 +521,7 @@ pub fn to_lp(prob: &ProblemInstance, rules: &LinearRules) -> (lp::Problem, Vec<V
 /// cells filled in. Variables without an assigned value keep their
 /// original cell (NULL or the initial value) — pruned variables stay
 /// untouched, as §4.3 specifies.
-pub fn apply_solution(
-    prob: &ProblemInstance,
-    assignment: &dyn Fn(VarId) -> Option<f64>,
-) -> Table {
+pub fn apply_solution(prob: &ProblemInstance, assignment: &dyn Fn(VarId) -> Option<f64>) -> Table {
     let rel = &prob.relations[0];
     let mut out = rel.table.clone();
     for (row_idx, ids) in rel.vars.iter().enumerate() {
@@ -548,11 +529,8 @@ pub fn apply_solution(
             if let Some(v) = assignment(id) {
                 let col = rel.dec_cols[k];
                 let info = &prob.vars[id as usize];
-                out.rows[row_idx][col] = if info.integer {
-                    Value::Int(v.round() as i64)
-                } else {
-                    Value::Float(v)
-                };
+                out.rows[row_idx][col] =
+                    if info.integer { Value::Int(v.round() as i64) } else { Value::Float(v) };
                 // Column type may have been Unknown (all NULL); fix it up.
                 if out.schema.columns[col].ty == DataType::Unknown {
                     out.schema.columns[col].ty =
@@ -584,7 +562,11 @@ pub struct BlackboxProblem {
 /// Build the black-box formulation: SUBJECTTO is evaluated symbolically
 /// to harvest bounds; the objective stays a query re-evaluated per
 /// candidate.
-pub fn build_blackbox(db: &Database, base: &Ctes, prob: &ProblemInstance) -> Result<BlackboxProblem> {
+pub fn build_blackbox(
+    db: &Database,
+    base: &Ctes,
+    prob: &ProblemInstance,
+) -> Result<BlackboxProblem> {
     let n = prob.num_vars();
     if n == 0 {
         return Err(Error::solver("problem has no decision variables"));
@@ -733,11 +715,8 @@ mod tests {
     #[test]
     fn initial_values_and_integrality() {
         let mut db = Database::new();
-        execute_script(
-            &mut db,
-            "CREATE TABLE t (a int, b float8); INSERT INTO t VALUES (3, 2.5)",
-        )
-        .unwrap();
+        execute_script(&mut db, "CREATE TABLE t (a int, b float8); INSERT INTO t VALUES (3, 2.5)")
+            .unwrap();
         let stmt = solve_stmt("SOLVESELECT q(a, b) AS (SELECT * FROM t) USING s()");
         let prob = build_problem(&db, &Ctes::new(), &stmt).unwrap();
         assert_eq!(prob.vars[0].initial, Some(3.0));
@@ -913,9 +892,7 @@ mod tests {
     #[test]
     fn apply_solution_fills_only_assigned() {
         let db = test_db();
-        let stmt = solve_stmt(
-            "SOLVESELECT p(potemp, pmonth) AS (SELECT * FROM pars) USING s()",
-        );
+        let stmt = solve_stmt("SOLVESELECT p(potemp, pmonth) AS (SELECT * FROM pars) USING s()");
         let prob = build_problem(&db, &Ctes::new(), &stmt).unwrap();
         let out = apply_solution(&prob, &|v| if v == 0 { Some(7.5) } else { None });
         assert_eq!(out.value(0, 0), &Value::Float(7.5));
@@ -925,11 +902,7 @@ mod tests {
     #[test]
     fn cardinality_instability_is_detected() {
         let mut db = Database::new();
-        execute_script(
-            &mut db,
-            "CREATE TABLE t (x float8); INSERT INTO t VALUES (1)",
-        )
-        .unwrap();
+        execute_script(&mut db, "CREATE TABLE t (x float8); INSERT INTO t VALUES (1)").unwrap();
         // A relation whose row count depends on its own decision value.
         let stmt = solve_stmt(
             "SOLVESELECT a(x) AS (SELECT * FROM t) \
@@ -937,8 +910,8 @@ mod tests {
         );
         let prob = build_problem(&db, &Ctes::new(), &stmt).unwrap();
         // With x = -1 the dependent relation b loses its row.
-        let err = materialize_env(&db, &Ctes::new(), &prob, &CellPatch::Values(&[-1.0]))
-            .unwrap_err();
+        let err =
+            materialize_env(&db, &Ctes::new(), &prob, &CellPatch::Values(&[-1.0])).unwrap_err();
         assert!(err.to_string().contains("cardinality"));
     }
 }

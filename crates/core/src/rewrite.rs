@@ -91,11 +91,8 @@ pub fn rewrite_cdtes(db: &Database, ctes: &Ctes, stmt: &SolveStmt) -> Result<Cdt
 
     // Row-align: row r of the combined table carries row r of each
     // relation that is long enough; the mask records membership.
-    let max_rows = dec_rels
-        .iter()
-        .map(|&(ri, _)| prob.relations[ri].table.num_rows())
-        .max()
-        .unwrap_or(0);
+    let max_rows =
+        dec_rels.iter().map(|&(ri, _)| prob.relations[ri].table.num_rows()).max().unwrap_or(0);
     let mut rows = Vec::with_capacity(max_rows);
     for r in 0..max_rows {
         let mut row: Vec<Value> = vec![Value::Null; columns.len()];
@@ -272,9 +269,8 @@ mod tests {
             "SOLVESELECT t(x) AS (SELECT 1 AS x) WITH e(y) AS (SELECT 2 AS y) USING s()",
         );
         assert!(needs_rewrite(&multi));
-        let no_dec_cte = solve_stmt(
-            "SOLVESELECT t(x) AS (SELECT 1 AS x) WITH e AS (SELECT 2 AS y) USING s()",
-        );
+        let no_dec_cte =
+            solve_stmt("SOLVESELECT t(x) AS (SELECT 1 AS x) WITH e AS (SELECT 2 AS y) USING s()");
         assert!(!needs_rewrite(&no_dec_cte));
     }
 
@@ -307,10 +303,7 @@ mod tests {
         assert_eq!(t.value(2, 3).to_string(), "01");
         // The rewritten statement has a single decision relation.
         assert!(!needs_rewrite(&rw.stmt));
-        assert_eq!(
-            rw.stmt.input.dec_cols,
-            DecCols::List(vec!["p__a".into(), "e__err".into()])
-        );
+        assert_eq!(rw.stmt.input.dec_cols, DecCols::List(vec!["p__a".into(), "e__err".into()]));
     }
 
     #[test]

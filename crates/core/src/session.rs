@@ -7,11 +7,57 @@ use crate::solver::{Solver, SolverRegistry};
 use crate::solvers::{ArimaSolver, LpSolver, PredictiveAdvisor, SwarmOps};
 use forecast::arima::arima_rmse;
 use parking_lot::RwLock;
+use sqlengine::ast::Statement;
 use sqlengine::catalog::ScalarUdf;
 use sqlengine::error::{Error, Result};
-use sqlengine::{execute_script, execute_sql, Database, ExecResult, Table, Value};
+use sqlengine::{
+    execute_script, execute_sql, execute_statement, Database, ExecResult, Table, Value,
+};
 use ssmodel::{simulation_sse, Lti};
 use std::sync::Arc;
+
+/// The process-wide solver infrastructure shared by every session a
+/// server creates: the solver registry (RC3 extensibility) and the
+/// Predictive Advisor with its model cache. In the paper's terms this
+/// is the state a PostgreSQL backend shares across connections, while
+/// each [`Session`] keeps its own catalog namespace.
+///
+/// Cloning is cheap (two `Arc`s); a solver installed through any clone
+/// is visible to all sessions built from it.
+#[derive(Clone)]
+pub struct SharedSolvers {
+    registry: Arc<SolverRegistry>,
+    advisor: Arc<PredictiveAdvisor>,
+}
+
+impl SharedSolvers {
+    /// Build the built-in solver suite: `solverlp`, `swarmops`,
+    /// `lr_solver`, `arima_solver`, `predictive_solver`.
+    pub fn new() -> SharedSolvers {
+        let registry = Arc::new(SolverRegistry::new());
+        registry.register(Arc::new(LpSolver));
+        registry.register(Arc::new(SwarmOps));
+        registry.register(Arc::new(crate::solvers::LrSolver));
+        registry.register(Arc::new(ArimaSolver));
+        let advisor = Arc::new(PredictiveAdvisor::new());
+        registry.register(advisor.clone() as Arc<dyn Solver>);
+        SharedSolvers { registry, advisor }
+    }
+
+    pub fn registry(&self) -> &Arc<SolverRegistry> {
+        &self.registry
+    }
+
+    pub fn advisor(&self) -> &Arc<PredictiveAdvisor> {
+        &self.advisor
+    }
+}
+
+impl Default for SharedSolvers {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// A SolveDB+ session.
 pub struct Session {
@@ -32,17 +78,19 @@ impl Default for Session {
 }
 
 impl Session {
-    /// Create a session with the built-in solver suite installed:
-    /// `solverlp`, `swarmops`, `lr_solver`, `arima_solver`,
-    /// `predictive_solver`.
+    /// Create a stand-alone session with its own copy of the built-in
+    /// solver suite (see [`SharedSolvers::new`]).
     pub fn new() -> Session {
-        let registry = Arc::new(SolverRegistry::new());
-        registry.register(Arc::new(LpSolver));
-        registry.register(Arc::new(SwarmOps));
-        registry.register(Arc::new(crate::solvers::LrSolver));
-        registry.register(Arc::new(ArimaSolver));
-        let advisor = Arc::new(PredictiveAdvisor::new());
-        registry.register(advisor.clone() as Arc<dyn Solver>);
+        Session::with_solvers(&SharedSolvers::new())
+    }
+
+    /// Create a session on top of shared solver infrastructure — the
+    /// cheap per-connection constructor used by `solvedbd`: the catalog
+    /// (tables, views, UDF training state) is private to this session,
+    /// while the solver registry and predictive model cache are shared.
+    pub fn with_solvers(shared: &SharedSolvers) -> Session {
+        let registry = shared.registry.clone();
+        let advisor = shared.advisor.clone();
 
         let mut db = Database::new();
         db.set_solve_handler(Arc::new(Handler::new(registry.clone())));
@@ -108,6 +156,13 @@ impl Session {
         execute_script(&mut self.db, sql)
     }
 
+    /// Execute one already-parsed statement — the statement-by-statement
+    /// path shared by the CLI's script/remote modes and the server,
+    /// which need a result per statement rather than the last one.
+    pub fn execute_statement(&mut self, stmt: &Statement) -> Result<ExecResult> {
+        execute_statement(&mut self.db, stmt)
+    }
+
     /// Execute and expect a result set.
     pub fn query(&mut self, sql: &str) -> Result<Table> {
         self.execute(sql)?.into_table()
@@ -157,11 +212,64 @@ mod tests {
     use super::*;
 
     #[test]
+    fn session_is_send() {
+        // solvedbd moves each connection's Session into a worker thread.
+        fn assert_send<T: Send>() {}
+        assert_send::<Session>();
+        assert_send::<SharedSolvers>();
+    }
+
+    #[test]
+    fn sessions_share_installed_solvers() {
+        let shared = SharedSolvers::new();
+        let a = Session::with_solvers(&shared);
+        let b = Session::with_solvers(&shared);
+        struct Nop;
+        impl Solver for Nop {
+            fn name(&self) -> &str {
+                "nop_shared"
+            }
+            fn solve(
+                &self,
+                _ctx: &crate::solver::SolveContext<'_>,
+                _prob: &crate::problem::ProblemInstance,
+            ) -> Result<Table> {
+                Err(Error::solver("nop"))
+            }
+        }
+        a.install_solver(Arc::new(Nop));
+        assert!(b.solver_names().iter().any(|n| n == "nop_shared"));
+    }
+
+    #[test]
+    fn sessions_have_private_catalogs() {
+        let shared = SharedSolvers::new();
+        let mut a = Session::with_solvers(&shared);
+        let mut b = Session::with_solvers(&shared);
+        a.execute("CREATE TABLE only_in_a (x int)").unwrap();
+        assert!(b.execute("SELECT * FROM only_in_a").is_err());
+    }
+
+    #[test]
+    fn execute_statement_runs_parsed_statements() {
+        let mut s = Session::new();
+        let stmts = sqlengine::parser::parse_statements(
+            "CREATE TABLE t (x int); INSERT INTO t VALUES (4); SELECT x FROM t",
+        )
+        .unwrap();
+        let mut last = None;
+        for st in &stmts {
+            last = Some(s.execute_statement(st).unwrap());
+        }
+        let table = last.unwrap().into_table().unwrap();
+        assert_eq!(table.rows, vec![vec![Value::Int(4)]]);
+    }
+
+    #[test]
     fn session_has_builtin_solvers() {
         let s = Session::new();
         let names = s.solver_names();
-        for expected in ["solverlp", "swarmops", "lr_solver", "arima_solver", "predictive_solver"]
-        {
+        for expected in ["solverlp", "swarmops", "lr_solver", "arima_solver", "predictive_solver"] {
             assert!(names.iter().any(|n| n == expected), "missing {expected}");
         }
     }
@@ -191,17 +299,10 @@ mod tests {
         let (states, _) = truth.simulate(&[21.0], &u);
         let measured: Vec<f64> = states.iter().map(|s| s[0]).collect();
         s.set_hvac_training(u, measured);
-        let perfect = s
-            .query_scalar("SELECT hvac_sse(0.9, 0.05, 0.0004)")
-            .unwrap()
-            .as_f64()
-            .unwrap();
+        let perfect =
+            s.query_scalar("SELECT hvac_sse(0.9, 0.05, 0.0004)").unwrap().as_f64().unwrap();
         assert!(perfect < 1e-15);
-        let off = s
-            .query_scalar("SELECT hvac_sse(0.5, 0.05, 0.0004)")
-            .unwrap()
-            .as_f64()
-            .unwrap();
+        let off = s.query_scalar("SELECT hvac_sse(0.5, 0.05, 0.0004)").unwrap().as_f64().unwrap();
         assert!(off > perfect);
     }
 }

@@ -51,11 +51,8 @@ fn finish(
 ) -> Result<Table> {
     match sol.status {
         lp::Status::Optimal | lp::Status::NodeLimit => {
-            let assignment: HashMap<u32, f64> = used
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| (v, sol.x[i]))
-                .collect();
+            let assignment: HashMap<u32, f64> =
+                used.iter().enumerate().map(|(i, &v)| (v, sol.x[i])).collect();
             Ok(apply_solution(prob, &|v| assignment.get(&v).copied()))
         }
         lp::Status::Infeasible => Err(Error::solver("the problem is infeasible")),

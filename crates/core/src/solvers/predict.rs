@@ -49,16 +49,10 @@ pub fn prepare(prob: &ProblemInstance) -> Result<PredictTask> {
     let rel = &prob.relations[0];
     let table = &rel.table;
     if rel.dec_cols.is_empty() {
-        return Err(Error::solver(
-            "predictive solvers need at least one decision column",
-        ));
+        return Err(Error::solver("predictive solvers need at least one decision column"));
     }
     // Time ordering: use the first timestamp column if present.
-    let time_col = table
-        .schema
-        .columns
-        .iter()
-        .position(|c| c.ty == DataType::Timestamp);
+    let time_col = table.schema.columns.iter().position(|c| c.ty == DataType::Timestamp);
     let mut order: Vec<usize> = (0..table.num_rows()).collect();
     if let Some(tc) = time_col {
         order.sort_by(|&a, &b| table.rows[a][tc].cmp_total(&table.rows[b][tc]));
@@ -84,9 +78,7 @@ pub fn prepare(prob: &ProblemInstance) -> Result<PredictTask> {
     let mut targets = Vec::new();
     for &col in &rel.dec_cols {
         if feat_cols.contains(&col) {
-            return Err(Error::solver(
-                "a column cannot be both a feature and a decision column",
-            ));
+            return Err(Error::solver("a column cannot be both a feature and a decision column"));
         }
         let mut y = Vec::new();
         let mut features: Vec<Vec<f64>> = vec![Vec::new(); feat_cols.len()];
@@ -136,11 +128,7 @@ pub fn prepare(prob: &ProblemInstance) -> Result<PredictTask> {
 
 /// P2.4 Predicting: fill horizon cells with forecasts and return the
 /// output relation (a view over the input — no user tables change).
-fn fill_output(
-    prob: &ProblemInstance,
-    task: &PredictTask,
-    forecasts: &[Vec<f64>],
-) -> Table {
+fn fill_output(prob: &ProblemInstance, task: &PredictTask, forecasts: &[Vec<f64>]) -> Table {
     let mut out = prob.relations[0].table.clone();
     for (t, f) in task.targets.iter().zip(forecasts) {
         for (k, &row) in t.fill_rows.iter().enumerate() {
@@ -163,9 +151,9 @@ fn forecast_each(
     let mut all = Vec::new();
     for t in &task.targets {
         let mut model = make(t)?;
-        model
-            .fit(&t.y, &t.features)
-            .map_err(|e| Error::solver(format!("fitting {} for '{}': {e}", model.name(), t.name)))?;
+        model.fit(&t.y, &t.features).map_err(|e| {
+            Error::solver(format!("fitting {} for '{}': {e}", model.name(), t.name))
+        })?;
         let f = model
             .forecast(t.fill_rows.len(), &t.future_features)
             .map_err(|e| Error::solver(format!("forecasting '{}': {e}", t.name)))?;
@@ -212,8 +200,8 @@ pub struct ArimaSolver;
 /// PSO order search matching the paper's setting (10 particles × 10
 /// iterations over integer orders in [0,5]).
 pub fn search_arima_order(y: &[f64], seed: u64) -> (usize, usize, usize) {
-    let space = SearchSpace::continuous(vec![0.0; 3], vec![5.0, 2.0, 5.0])
-        .with_integrality(vec![true; 3]);
+    let space =
+        SearchSpace::continuous(vec![0.0; 3], vec![5.0, 2.0, 5.0]).with_integrality(vec![true; 3]);
     let r = pso(
         |x| arima_rmse(y, x[0] as usize, x[1] as usize, x[2] as usize),
         &space,
@@ -392,15 +380,13 @@ impl Solver for PredictiveAdvisor {
                     best = Some((name.clone(), score));
                 }
             }
-            let chosen = best
-                .map(|(n, _)| n)
-                .ok_or_else(|| {
-                    Error::solver(format!(
-                        "no candidate model fits series '{}' (candidates: {})",
-                        t.name,
-                        names.join(", ")
-                    ))
-                })?;
+            let chosen = best.map(|(n, _)| n).ok_or_else(|| {
+                Error::solver(format!(
+                    "no candidate model fits series '{}' (candidates: {})",
+                    t.name,
+                    names.join(", ")
+                ))
+            })?;
             self.cache.write().insert(key, chosen.clone());
             Ok(Self::make_named(&chosen, has_features))
         })

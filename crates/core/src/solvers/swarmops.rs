@@ -8,7 +8,7 @@
 
 use crate::problem::{apply_solution, blackbox_fitness, build_blackbox, ProblemInstance};
 use crate::solver::{SolveContext, Solver};
-use globalopt::{pso, sa_from, differential_evolution, DeOptions, PsoOptions, SaOptions};
+use globalopt::{differential_evolution, pso, sa_from, DeOptions, PsoOptions, SaOptions};
 use sqlengine::error::Result;
 use sqlengine::table::Table;
 
@@ -27,10 +27,7 @@ impl Solver for SwarmOps {
     fn solve(&self, ctx: &SolveContext<'_>, prob: &ProblemInstance) -> Result<Table> {
         let bb = build_blackbox(ctx.db, ctx.ctes, prob)?;
         let fitness = |x: &[f64]| blackbox_fitness(ctx.db, ctx.ctes, prob, &bb, x);
-        let seed = prob
-            .param_usize("seed")
-            .transpose()?
-            .unwrap_or(0x5001_7EDB) as u64;
+        let seed = prob.param_usize("seed").transpose()?.unwrap_or(0x5001_7EDB) as u64;
         let method = prob.method.as_deref().unwrap_or("pso");
         let result = match method {
             "sa" => {

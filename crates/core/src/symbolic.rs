@@ -87,9 +87,9 @@ pub fn as_linexpr(v: &Value) -> Result<LinExpr> {
     match v {
         Value::Int(i) => Ok(LinExpr::constant(*i as f64)),
         Value::Float(f) => Ok(LinExpr::constant(*f)),
-        Value::Null => Err(Error::solver(
-            "NULL encountered where a linear expression was expected",
-        )),
+        Value::Null => {
+            Err(Error::solver("NULL encountered where a linear expression was expected"))
+        }
         other => Err(Error::solver(format!(
             "cannot interpret {} as a linear expression",
             other.data_type().sql_name()
@@ -157,7 +157,8 @@ impl CustomValue for SymValue {
                 ))))
             }
         };
-        let (lhs, rhs) = if self_is_lhs { (me.clone(), other_lin) } else { (other_lin, me.clone()) };
+        let (lhs, rhs) =
+            if self_is_lhs { (me.clone(), other_lin) } else { (other_lin, me.clone()) };
         let result: Result<Value> = match op {
             BinOp::Add => Ok(sym_value(lhs.add(&rhs))),
             BinOp::Sub => Ok(sym_value(lhs.sub(&rhs))),
@@ -180,9 +181,7 @@ impl CustomValue for SymValue {
                         Ok(sym_value(lhs.scale(1.0 / rhs.constant)))
                     }
                 } else {
-                    Err(Error::solver(
-                        "division by a decision expression is not linear",
-                    ))
+                    Err(Error::solver("division by a decision expression is not linear"))
                 }
             }
             BinOp::Pow => {
@@ -337,9 +336,9 @@ impl CustomValue for ConstraintVal {
         match (op, other) {
             (BinOp::And, Value::Bool(true)) => Some(Ok(custom(self.clone()))),
             (BinOp::And, Value::Bool(false)) => Some(Ok(Value::Bool(false))),
-            (BinOp::And, Value::Null) => Some(Err(Error::solver(
-                "cannot AND a constraint with NULL",
-            ))),
+            (BinOp::And, Value::Null) => {
+                Some(Err(Error::solver("cannot AND a constraint with NULL")))
+            }
             (BinOp::And, v) => {
                 if let Some(o) = downcast::<ConstraintVal>(v) {
                     Some(Ok(constraint_value(ConstraintValue::And(vec![
@@ -364,10 +363,7 @@ impl CustomValue for ConstraintVal {
     }
 
     fn unop(&self, op: UnOp) -> Option<Result<Value>> {
-        Some(Err(Error::solver(format!(
-            "operator {} is not defined for constraints",
-            op.symbol()
-        ))))
+        Some(Err(Error::solver(format!("operator {} is not defined for constraints", op.symbol()))))
     }
 }
 

@@ -18,9 +18,7 @@ fn models_survive_text_storage_roundtrip() {
     let text = s.query_scalar("SELECT mt FROM m2").unwrap();
     assert!(text.as_str().unwrap().starts_with("SOLVEMODEL"));
     // A text-stored model still works in MODELEVAL (expect_model reparses).
-    let v = s
-        .query_scalar("MODELEVAL (SELECT v FROM out) IN (SELECT mt FROM m2)")
-        .unwrap();
+    let v = s.query_scalar("MODELEVAL (SELECT v FROM out) IN (SELECT mt FROM m2)").unwrap();
     assert_eq!(v.as_f64().unwrap(), 3.0);
 }
 
@@ -50,9 +48,7 @@ fn modeleval_sees_relations_in_scope_order() {
               c AS (SELECT y * 2.0 AS z FROM b))",
     )
     .unwrap();
-    let v = s
-        .query_scalar("MODELEVAL (SELECT z FROM c) IN (SELECT m FROM model)")
-        .unwrap();
+    let v = s.query_scalar("MODELEVAL (SELECT z FROM c) IN (SELECT m FROM model)").unwrap();
     assert_eq!(v.as_f64().unwrap(), 22.0);
 }
 
@@ -60,9 +56,7 @@ fn modeleval_sees_relations_in_scope_order() {
 fn modeleval_rejects_non_models() {
     let mut s = Session::new();
     s.execute_script("CREATE TABLE t (x int); INSERT INTO t VALUES (1)").unwrap();
-    let err = s
-        .query("MODELEVAL (SELECT 1) IN (SELECT x FROM t)")
-        .unwrap_err();
+    let err = s.query("MODELEVAL (SELECT 1) IN (SELECT x FROM t)").unwrap_err();
     assert!(err.to_string().contains("model"));
 }
 
@@ -79,9 +73,8 @@ fn instantiate_requires_model_operands() {
 fn method_validation_through_sql() {
     let mut s = Session::new();
     s.execute_script("CREATE TABLE v (x float8); INSERT INTO v VALUES (NULL)").unwrap();
-    let err = s
-        .query("SOLVESELECT q(x) AS (SELECT * FROM v) USING solverlp.warp_drive()")
-        .unwrap_err();
+    let err =
+        s.query("SOLVESELECT q(x) AS (SELECT * FROM v) USING solverlp.warp_drive()").unwrap_err();
     assert!(err.to_string().contains("warp_drive"));
     assert!(err.to_string().contains("cbc"));
 }
@@ -133,10 +126,8 @@ fn nonlinear_rules_reject_lp_but_accept_blackbox() {
 #[test]
 fn explain_through_public_api() {
     let mut s = Session::new();
-    s.execute_script(
-        "CREATE TABLE v (x float8, y float8); INSERT INTO v VALUES (NULL, NULL)",
-    )
-    .unwrap();
+    s.execute_script("CREATE TABLE v (x float8, y float8); INSERT INTO v VALUES (NULL, NULL)")
+        .unwrap();
     let e = solvedbplus_core::explain_sql(
         s.db(),
         "SOLVESELECT q(x, y) AS (SELECT * FROM v) \

@@ -6,11 +6,7 @@ use solvedbplus_core::Session;
 use sqlengine::{Table, Value};
 
 fn floats(t: &Table, col: &str) -> Vec<f64> {
-    t.column_values(col)
-        .unwrap()
-        .iter()
-        .map(|v| v.as_f64().unwrap())
-        .collect()
+    t.column_values(col).unwrap().iter().map(|v| v.as_f64().unwrap()).collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -54,12 +50,8 @@ fn mip_knapsack_via_solveselect() {
              USING solverlp.cbc()",
         )
         .unwrap();
-    let picks: Vec<i64> = t
-        .column_values("pick")
-        .unwrap()
-        .iter()
-        .map(|v| v.as_i64().unwrap())
-        .collect();
+    let picks: Vec<i64> =
+        t.column_values("pick").unwrap().iter().map(|v| v.as_i64().unwrap()).collect();
     assert_eq!(picks, vec![0, 1, 1]);
 }
 
@@ -96,9 +88,7 @@ fn infeasible_problem_reports_error() {
 fn unknown_solver_lists_available() {
     let mut s = Session::new();
     s.execute_script("CREATE TABLE v (x float8); INSERT INTO v VALUES (NULL)").unwrap();
-    let err = s
-        .query("SOLVESELECT q(x) AS (SELECT * FROM v) USING made_up()")
-        .unwrap_err();
+    let err = s.query("SOLVESELECT q(x) AS (SELECT * FROM v) USING made_up()").unwrap_err();
     assert!(err.to_string().contains("solverlp"));
 }
 
@@ -116,16 +106,13 @@ fn paper_lr_fitting_with_cdte() {
          INSERT INTO pars VALUES (NULL, NULL, NULL);",
     )
     .unwrap();
-    for (i, (mo, da)) in [(1, 5), (2, 9), (3, 13), (5, 2), (7, 8), (9, 11), (11, 3), (12, 21)]
-        .iter()
-        .enumerate()
+    for (i, (mo, da)) in
+        [(1, 5), (2, 9), (3, 13), (5, 2), (7, 8), (9, 11), (11, 3), (12, 21)].iter().enumerate()
     {
         let out = 5.0 + 3.0 * i as f64;
         let pv = 3.0 * out + 2.0 * *mo as f64 + 5.0;
-        s.execute(&format!(
-            "INSERT INTO input VALUES ('2017-{mo:02}-{da:02} 12:00', {out}, {pv})"
-        ))
-        .unwrap();
+        s.execute(&format!("INSERT INTO input VALUES ('2017-{mo:02}-{da:02} 12:00', {out}, {pv})"))
+            .unwrap();
     }
     let t = s
         .query(
@@ -147,8 +134,10 @@ fn paper_lr_fitting_with_cdte() {
 #[test]
 fn asterisk_notation_matches_explicit_list() {
     let mut s = Session::new();
-    s.execute_script("CREATE TABLE pars (a float8, b float8); INSERT INTO pars VALUES (NULL, NULL)")
-        .unwrap();
+    s.execute_script(
+        "CREATE TABLE pars (a float8, b float8); INSERT INTO pars VALUES (NULL, NULL)",
+    )
+    .unwrap();
     for sql in [
         "SOLVESELECT p(*) AS (SELECT * FROM pars) \
          MINIMIZE (SELECT a + b FROM p) SUBJECTTO (SELECT a >= 1, b >= 2 FROM p) \
@@ -267,9 +256,7 @@ fn paper_table1_predictive_solver() {
     let mut s = Session::new();
     install_table1(&mut s);
     let t = s
-        .query(
-            "SOLVESELECT t(pvsupply) AS (SELECT * FROM input) USING predictive_solver()",
-        )
+        .query("SOLVESELECT t(pvsupply) AS (SELECT * FROM input) USING predictive_solver()")
         .unwrap();
     assert_eq!(t.num_rows(), 10);
     // All pvSupply cells are now filled (Table 4 shape)...
@@ -312,9 +299,7 @@ fn lr_solver_learns_feature_relation() {
         .unwrap();
     }
     let t = s
-        .query(
-            "SOLVESELECT t(y) AS (SELECT * FROM series) USING lr_solver(features := feat)",
-        )
+        .query("SOLVESELECT t(y) AS (SELECT * FROM series) USING lr_solver(features := feat)")
         .unwrap();
     let feats = floats(&t, "feat");
     let ys = floats(&t, "y");
@@ -372,9 +357,7 @@ fn solvemodel_stored_and_evaluated() {
     assert!(text.contains("0.995"));
 
     // §4.4 MODELEVAL: inspect model data.
-    let t = s
-        .query("MODELEVAL (SELECT a1, b1, b2 FROM pars) IN (SELECT m FROM model)")
-        .unwrap();
+    let t = s.query("MODELEVAL (SELECT a1, b1, b2 FROM pars) IN (SELECT m FROM model)").unwrap();
     assert_eq!(t.value(0, 0), &Value::Float(0.0));
 
     // MODELEVAL over the simulated relation (recursive CTE inside model).
@@ -398,10 +381,8 @@ fn paper_p3_model_fitting_with_inline() {
 
     // Build training data from the ground-truth model so the fit target
     // is exact: x' = 0.9x + 0.08*out + 0.00045*h.
-    s.execute(
-        "CREATE TABLE input (time timestamp, outtemp float8, intemp float8, hload float8)",
-    )
-    .unwrap();
+    s.execute("CREATE TABLE input (time timestamp, outtemp float8, intemp float8, hload float8)")
+        .unwrap();
     let (mut x, a1, b1, b2) = (21.0, 0.9, 0.08, 0.00045);
     for i in 0..30 {
         let out = 8.0 + (i % 7) as f64;
@@ -444,9 +425,8 @@ fn paper_p4_cost_optimization_with_inline() {
     )
     .unwrap();
     // 5 future hours: outtemp known, pvsupply forecasted, hload/intemp free.
-    for (i, (out, pv)) in [(9.0, 200.0), (11.0, 220.0), (12.0, 260.0), (11.0, 140.0), (11.0, 0.0)]
-        .iter()
-        .enumerate()
+    for (i, (out, pv)) in
+        [(9.0, 200.0), (11.0, 220.0), (12.0, 260.0), (11.0, 140.0), (11.0, 0.0)].iter().enumerate()
     {
         s.execute(&format!(
             "INSERT INTO input VALUES ('2017-07-02 12:00'::timestamp + interval '{i} hours', \
@@ -525,9 +505,7 @@ fn user_installed_solver_is_callable() {
     let mut s = Session::new();
     s.install_solver(Arc::new(FillWithAnswer));
     s.execute_script("CREATE TABLE t (x float8); INSERT INTO t VALUES (NULL), (NULL)").unwrap();
-    let t = s
-        .query("SOLVESELECT q(x) AS (SELECT * FROM t) USING answer42()")
-        .unwrap();
+    let t = s.query("SOLVESELECT q(x) AS (SELECT * FROM t) USING answer42()").unwrap();
     assert_eq!(floats(&t, "x"), vec![42.0, 42.0]);
 }
 
@@ -550,10 +528,7 @@ fn solveselect_composes_with_outer_sql() {
     s.execute("CREATE TABLE result (x float8)").unwrap();
     let x = t.value(0, 0).as_f64().unwrap();
     s.execute(&format!("INSERT INTO result VALUES ({x})")).unwrap();
-    assert_eq!(
-        s.query_scalar("SELECT x FROM result").unwrap(),
-        Value::Float(7.0)
-    );
+    assert_eq!(s.query_scalar("SELECT x FROM result").unwrap(), Value::Float(7.0));
 }
 
 #[test]

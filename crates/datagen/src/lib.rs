@@ -226,10 +226,7 @@ pub fn install_supply_chain(db: &mut Database, items: &[ScItem]) {
             ]
         })
         .collect();
-    db.put_table(
-        "items",
-        Table::from_rows(&["item_id", "size", "price", "cost"], item_rows),
-    );
+    db.put_table("items", Table::from_rows(&["item_id", "size", "price", "cost"], item_rows));
     let start = timeval::parse_timestamp("2010-01-01").expect("static timestamp");
     let mut order_rows: Vec<Row> = Vec::new();
     for it in items {
@@ -246,10 +243,7 @@ pub fn install_supply_chain(db: &mut Database, items: &[ScItem]) {
             ]);
         }
     }
-    db.put_table(
-        "orders",
-        Table::from_rows(&["item_id", "month", "quantity"], order_rows),
-    );
+    db.put_table("orders", Table::from_rows(&["item_id", "month", "quantity"], order_rows));
 }
 
 #[cfg(test)]
@@ -268,10 +262,13 @@ mod tests {
         let c = energy_series(100, 8);
         assert!(a.iter().zip(&c).any(|(x, y)| x.pv_supply != y.pv_supply));
         // PV is zero at night.
-        assert!(a.iter().filter(|r| {
-            let hour = ((r.time / timeval::MICROS_PER_HOUR) % 24) as i64;
-            !(6..20).contains(&hour)
-        }).all(|r| r.pv_supply == 0.0));
+        assert!(a
+            .iter()
+            .filter(|r| {
+                let hour = ((r.time / timeval::MICROS_PER_HOUR) % 24) as i64;
+                !(6..20).contains(&hour)
+            })
+            .all(|r| r.pv_supply == 0.0));
         // Load respects the HVAC power limit of the paper (0–17 kW).
         assert!(a.iter().all(|r| (0.0..=17_000.0).contains(&r.h_load)));
     }

@@ -56,12 +56,7 @@ impl Arima {
         if self.fitted.is_empty() || y.len() != self.fitted.len() {
             return f64::INFINITY;
         }
-        let sse: f64 = self
-            .fitted
-            .iter()
-            .zip(y)
-            .map(|(f, t)| (f - t) * (f - t))
-            .sum();
+        let sse: f64 = self.fitted.iter().zip(y).map(|(f, t)| (f - t) * (f - t)).sum();
         (sse / y.len() as f64).sqrt()
     }
 }
@@ -129,8 +124,7 @@ impl Forecaster for Arima {
             let targets: Vec<f64> = (long..n).map(|t| z[t]).collect();
             let b = ols(&rows, &targets)?;
             for t in long..n {
-                let pred: f64 =
-                    b[0] + (1..=long).map(|k| b[k] * z[t - k]).sum::<f64>();
+                let pred: f64 = b[0] + (1..=long).map(|k| b[k] * z[t - k]).sum::<f64>();
                 eps[t] = z[t] - pred;
             }
         }
@@ -275,7 +269,7 @@ mod tests {
         let y = vec![1.0, 3.0, 6.0, 10.0, 15.0];
         let (z, tails) = difference(&y, 2);
         assert_eq!(z, vec![1.0, 1.0, 1.0]); // second differences of triangular numbers
-        // Forecast two more second-differences of 1.0 → levels 21, 28.
+                                            // Forecast two more second-differences of 1.0 → levels 21, 28.
         let f = integrate(&[1.0, 1.0], &tails);
         assert_eq!(f, vec![21.0, 28.0]);
     }

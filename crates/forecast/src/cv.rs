@@ -137,10 +137,7 @@ mod tests {
                 "seasonal".into(),
                 Box::new(|| Box::new(SeasonalNaive::new(24)) as Box<dyn Forecaster>),
             ),
-            (
-                "arima".into(),
-                Box::new(|| Box::new(Arima::new(1, 0, 0)) as Box<dyn Forecaster>),
-            ),
+            ("arima".into(), Box::new(|| Box::new(Arima::new(1, 0, 0)) as Box<dyn Forecaster>)),
         ];
         let (name, model, score) = select_best(candidates, &y, &[], 24, 3).unwrap();
         assert_eq!(name, "seasonal");

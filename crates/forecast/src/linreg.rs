@@ -66,10 +66,8 @@ impl Forecaster for LinearRegression {
         }
         let x: Vec<Vec<f64>> = (0..y.len()).map(|i| self.design_row(features, i, i)).collect();
         self.coef = ols(&x, y)?;
-        self.fitted = x
-            .iter()
-            .map(|r| r.iter().zip(&self.coef).map(|(a, b)| a * b).sum())
-            .collect();
+        self.fitted =
+            x.iter().map(|r| r.iter().zip(&self.coef).map(|(a, b)| a * b).sum()).collect();
         Ok(())
     }
 

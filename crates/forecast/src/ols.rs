@@ -103,12 +103,7 @@ mod tests {
     #[test]
     fn least_squares_of_noisy_data() {
         // y = 1 + 0.5x with symmetric residuals: coefficients unchanged.
-        let x = vec![
-            vec![1.0, 0.0],
-            vec![1.0, 1.0],
-            vec![1.0, 2.0],
-            vec![1.0, 3.0],
-        ];
+        let x = vec![vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 2.0], vec![1.0, 3.0]];
         let y = vec![1.1, 1.4, 2.1, 2.4];
         let b = ols(&x, &y).unwrap();
         let pred: Vec<f64> = x.iter().map(|r| b[0] + b[1] * r[1]).collect();

@@ -134,11 +134,8 @@ pub fn pso(mut f: impl FnMut(&[f64]) -> f64, space: &SearchSpace, opts: PsoOptio
         .collect();
     let mut pbest = pos.clone();
     let mut pbest_val: Vec<f64> = pos.iter().map(|x| eval(x, &mut evaluations)).collect();
-    let (gbest_idx, _) = pbest_val
-        .iter()
-        .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-        .unwrap();
+    let (gbest_idx, _) =
+        pbest_val.iter().enumerate().min_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap();
     let mut gbest = pbest[gbest_idx].clone();
     let mut gbest_val = pbest_val[gbest_idx];
 
@@ -242,11 +239,8 @@ pub fn sa_from(
             let i = rng.gen_range(0..n);
             let sigma = opts.step * space.span(i).max(1e-9);
             let delta = (rng.gen::<f64>() * 2.0 - 1.0) * sigma;
-            cand[i] += if space.integer[i] {
-                delta.signum() * delta.abs().ceil().max(1.0)
-            } else {
-                delta
-            };
+            cand[i] +=
+                if space.integer[i] { delta.signum() * delta.abs().ceil().max(1.0) } else { delta };
         }
         space.repair(&mut cand);
         let cand_val = eval(&cand, &mut evaluations);
@@ -336,11 +330,7 @@ pub fn differential_evolution(
             }
         }
     }
-    let (bi, _) = vals
-        .iter()
-        .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-        .unwrap();
+    let (bi, _) = vals.iter().enumerate().min_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap();
     OptResult { x: pop[bi].clone(), value: vals[bi], evaluations }
 }
 
@@ -434,11 +424,7 @@ mod tests {
         let space = SearchSpace::continuous(vec![-1.0], vec![1.0]);
         // NaN off the negative half; the optimizer should settle in [0,1].
         let f = |x: &[f64]| if x[0] < 0.0 { f64::NAN } else { x[0] };
-        let r = pso(
-            f,
-            &space,
-            PsoOptions { particles: 20, iterations: 100, ..Default::default() },
-        );
+        let r = pso(f, &space, PsoOptions { particles: 20, iterations: 100, ..Default::default() });
         assert!(r.value.is_finite());
         assert!(r.x[0] >= 0.0);
     }

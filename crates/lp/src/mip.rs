@@ -92,13 +92,11 @@ pub fn branch_and_bound(root: &Problem, opts: MipOptions) -> Solution {
     if pick_branch_var(root, &root_lp.x).is_none() {
         // Relaxation is already integral.
         let mut s = root_lp;
-        s.x.iter_mut()
-            .zip(&root.integer)
-            .for_each(|(v, &is_int)| {
-                if is_int {
-                    *v = v.round();
-                }
-            });
+        s.x.iter_mut().zip(&root.integer).for_each(|(v, &is_int)| {
+            if is_int {
+                *v = v.round();
+            }
+        });
         s.objective = root.objective_value(&s.x);
         return s;
     }
@@ -167,7 +165,12 @@ pub fn branch_and_bound(root: &Problem, opts: MipOptions) -> Solution {
     match incumbent {
         None => {
             if hit_limit {
-                Solution { status: Status::NodeLimit, x: vec![], objective: f64::NAN, iterations: nodes }
+                Solution {
+                    status: Status::NodeLimit,
+                    x: vec![],
+                    objective: f64::NAN,
+                    iterations: nodes,
+                }
             } else {
                 Solution::infeasible()
             }

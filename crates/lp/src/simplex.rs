@@ -303,18 +303,14 @@ impl Tableau {
                     }
                     self.xb[r] = enter_val;
                     // Update statuses.
-                    self.status[leaving] = if at_lower {
-                        VarStatus::AtLower
-                    } else {
-                        VarStatus::AtUpper
-                    };
+                    self.status[leaving] =
+                        if at_lower { VarStatus::AtLower } else { VarStatus::AtUpper };
                     self.status[j] = VarStatus::Basic(r);
                     self.basis[r] = j;
                     // Elementary update of B⁻¹.
                     let m = self.m;
                     let wr = pivot;
-                    let pivot_row: Vec<f64> =
-                        (0..m).map(|c| self.binv[r * m + c] / wr).collect();
+                    let pivot_row: Vec<f64> = (0..m).map(|c| self.binv[r * m + c] / wr).collect();
                     for i in 0..m {
                         if i != r {
                             let f = w[i];
@@ -487,12 +483,7 @@ pub fn solve_lp(p: &Problem) -> Solution {
             // Phase-1 objective is bounded below by 0; this is numeric noise.
             return Solution::infeasible();
         }
-        let p1_obj: f64 = t
-            .basis
-            .iter()
-            .enumerate()
-            .map(|(i, &j)| t.cost[j] * t.xb[i])
-            .sum();
+        let p1_obj: f64 = t.basis.iter().enumerate().map(|(i, &j)| t.cost[j] * t.xb[i]).sum();
         if p1_obj > 1e-6 {
             return Solution::infeasible();
         }
@@ -675,20 +666,14 @@ mod tests {
         // 3 plants, 4 markets; classic transportation LP.
         let supply = [35.0, 50.0, 40.0];
         let demand = [45.0, 20.0, 30.0, 30.0];
-        let cost = [
-            [8.0, 6.0, 10.0, 9.0],
-            [9.0, 12.0, 13.0, 7.0],
-            [14.0, 9.0, 16.0, 5.0],
-        ];
+        let cost = [[8.0, 6.0, 10.0, 9.0], [9.0, 12.0, 13.0, 7.0], [14.0, 9.0, 16.0, 5.0]];
         let mut p = Problem::minimize(12);
         for j in 0..12 {
             p.set_bounds(j, 0.0, f64::INFINITY);
         }
         let idx = |i: usize, j: usize| i * 4 + j;
         p.set_objective(
-            (0..3)
-                .flat_map(|i| (0..4).map(move |j| (idx(i, j), cost[i][j])))
-                .collect(),
+            (0..3).flat_map(|i| (0..4).map(move |j| (idx(i, j), cost[i][j]))).collect(),
         );
         for i in 0..3 {
             p.add_constraint((0..4).map(|j| (idx(i, j), 1.0)).collect(), Rel::Le, supply[i]);

@@ -1,7 +1,7 @@
 //! Property-based checks of the simplex and branch-and-bound against
 //! sampling and exhaustive oracles.
 
-use lp::{simplex::solve_lp, mip, Problem, Rel, Status};
+use lp::{mip, simplex::solve_lp, Problem, Rel, Status};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -17,9 +17,8 @@ fn random_lp(seed: u64, n: usize, m: usize) -> Problem {
     }
     p.set_objective((0..n).map(|j| (j, rng.gen_range(-5.0..5.0))).collect());
     for _ in 0..m {
-        let coeffs: Vec<(usize, f64)> = (0..n)
-            .map(|j| (j, (rng.gen_range(-3i32..=3)) as f64))
-            .collect();
+        let coeffs: Vec<(usize, f64)> =
+            (0..n).map(|j| (j, (rng.gen_range(-3i32..=3)) as f64)).collect();
         let rhs = rng.gen_range(0.0..30.0);
         let rel = if rng.gen_bool(0.7) { Rel::Le } else { Rel::Ge };
         p.add_constraint(coeffs, rel, if rel == Rel::Ge { -rhs } else { rhs });

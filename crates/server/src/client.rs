@@ -1,0 +1,166 @@
+//! Blocking client library for solvedbd.
+//!
+//! A [`Client`] owns one TCP connection and therefore one server-side
+//! session: tables created through it stay visible across calls and
+//! invisible to other clients. Engine errors reported by the server are
+//! reconstructed as [`sqlengine::Error`] values with their original
+//! category, so remote execution is a drop-in for a local
+//! `solvedbplus_core::Session` in most code.
+
+use crate::protocol::{
+    frame_to_error, read_frame, write_frame, Frame, ProtoError, PROTOCOL_VERSION,
+};
+use sqlengine::error::Error as EngineError;
+use sqlengine::{ExecResult, Table, Value};
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure: transport, protocol, or a server-reported
+/// engine error.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed (refused, reset, EOF mid-response, ...).
+    Io(io::Error),
+    /// The peer violated the protocol (bad frame, wrong sequence, or a
+    /// version mismatch reported during the handshake).
+    Protocol(String),
+    /// The server executed the request and reported an engine error.
+    Engine(EngineError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        match e {
+            ProtoError::Io(e) => ClientError::Io(e),
+            ProtoError::Malformed(m) => ClientError::Protocol(m),
+        }
+    }
+}
+
+impl From<EngineError> for ClientError {
+    fn from(e: EngineError) -> Self {
+        ClientError::Engine(e)
+    }
+}
+
+/// The per-statement outcome of a batch: an engine result or the
+/// engine error that stopped the batch.
+pub type StatementResult = Result<ExecResult, EngineError>;
+
+/// A blocking connection to a solvedbd server.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect and perform the protocol handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        write_frame(&mut stream, &Frame::Hello { version: PROTOCOL_VERSION })?;
+        match Self::read(&mut stream)? {
+            Frame::Hello { version } if version == PROTOCOL_VERSION => Ok(Client { stream }),
+            Frame::Hello { version } => Err(ClientError::Protocol(format!(
+                "server speaks protocol version {version}, client speaks {PROTOCOL_VERSION}"
+            ))),
+            Frame::Error { message, .. } => Err(ClientError::Protocol(message)),
+            other => {
+                Err(ClientError::Protocol(format!("expected HELLO from server, got {other:?}")))
+            }
+        }
+    }
+
+    fn read(stream: &mut TcpStream) -> Result<Frame, ClientError> {
+        match read_frame(stream)? {
+            Some(f) => Ok(f),
+            None => Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))),
+        }
+    }
+
+    /// Execute a SQL batch (one or more `;`-separated statements) and
+    /// return one result per executed statement, in order. If a
+    /// statement fails, its reconstructed engine error is the last
+    /// element (the server skips the rest of the batch).
+    pub fn execute(&mut self, sql: &str) -> Result<Vec<StatementResult>, ClientError> {
+        write_frame(&mut self.stream, &Frame::Query(sql.to_string()))?;
+        let mut results = Vec::new();
+        loop {
+            match Self::read(&mut self.stream)? {
+                Frame::ResultTable(t) => results.push(Ok(ExecResult::Table(t))),
+                Frame::RowCount(n) => results.push(Ok(ExecResult::Count(n as usize))),
+                Frame::Done => results.push(Ok(ExecResult::Done)),
+                Frame::Error { kind, message } => results.push(Err(frame_to_error(kind, &message))),
+                Frame::End => return Ok(results),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected frame in query response: {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Execute a batch and return the last statement's result,
+    /// propagating any failure — the remote analogue of
+    /// `Session::execute_script`.
+    pub fn execute_script(&mut self, sql: &str) -> Result<ExecResult, ClientError> {
+        let mut results = self.execute(sql)?;
+        match results.pop() {
+            Some(Ok(r)) => Ok(r),
+            Some(Err(e)) => Err(ClientError::Engine(e)),
+            None => Ok(ExecResult::Done), // empty batch
+        }
+    }
+
+    /// Execute a single statement and expect a result set.
+    pub fn query(&mut self, sql: &str) -> Result<Table, ClientError> {
+        match self.execute_script(sql)? {
+            ExecResult::Table(t) => Ok(t),
+            other => Err(ClientError::Engine(EngineError::eval(format!(
+                "statement did not return a result set ({other:?})"
+            )))),
+        }
+    }
+
+    /// Execute a single statement and expect a single scalar.
+    pub fn query_scalar(&mut self, sql: &str) -> Result<Value, ClientError> {
+        Ok(self.query(sql)?.scalar()?)
+    }
+
+    /// Round-trip a PING frame; useful as a liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, &Frame::Ping)?;
+        match Self::read(&mut self.stream)? {
+            Frame::Pong => Ok(()),
+            other => Err(ClientError::Protocol(format!("expected PONG, got {other:?}"))),
+        }
+    }
+
+    /// Politely close the connection (sends BYE).
+    pub fn close(mut self) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, &Frame::Bye)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,26 @@
+//! # server — the solvedbd network subsystem
+//!
+//! SolveDB+ is deployed as a database *server*: analysts connect with a
+//! client, issue `SOLVESELECT` queries and read back result tables.
+//! This crate reproduces that deployment shape for the Rust engine:
+//!
+//! * [`protocol`] — a small length-prefixed frame protocol over TCP
+//!   (documented in `PROTOCOL.md`), with result tables carried in the
+//!   [`sqlengine::wire`] binary encoding;
+//! * [`manager`] — per-connection sessions over a process-wide shared
+//!   solver registry, mirroring PostgreSQL's backend-per-connection
+//!   model;
+//! * [`server`] — a multi-threaded TCP server with a bounded worker
+//!   pool and graceful shutdown;
+//! * [`client`] — a blocking client library used by the
+//!   `solvedb --connect` CLI mode and the integration tests.
+
+pub mod client;
+pub mod manager;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError, StatementResult};
+pub use manager::{SessionHandle, SessionManager};
+pub use protocol::{Frame, ProtoError, PROTOCOL_VERSION};
+pub use server::{Server, ServerConfig, ShutdownHandle};

@@ -1,0 +1,121 @@
+//! Per-connection session management.
+//!
+//! Mirrors the paper's deployment model: one PostgreSQL backend per
+//! connection, all backends sharing the installed solver set. Here each
+//! connection gets its own [`Session`] (private catalog, private UDF
+//! training state) built over one process-wide [`SharedSolvers`]
+//! (solver registry + Predictive Advisor model cache).
+
+use solvedbplus_core::{Session, SharedSolvers};
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Creates sessions for incoming connections and tracks how many are
+/// live. Cheap to share: hand an `Arc<SessionManager>` to every worker.
+pub struct SessionManager {
+    shared: SharedSolvers,
+    active: AtomicUsize,
+    opened: AtomicUsize,
+}
+
+impl SessionManager {
+    pub fn new() -> SessionManager {
+        SessionManager::with_solvers(SharedSolvers::new())
+    }
+
+    /// Build a manager over pre-configured solver infrastructure (e.g.
+    /// with extra solvers installed before the server starts).
+    pub fn with_solvers(shared: SharedSolvers) -> SessionManager {
+        SessionManager { shared, active: AtomicUsize::new(0), opened: AtomicUsize::new(0) }
+    }
+
+    /// The solver infrastructure shared by all sessions.
+    pub fn solvers(&self) -> &SharedSolvers {
+        &self.shared
+    }
+
+    /// Open a session for a new connection. The returned handle derefs
+    /// to [`Session`] and decrements the live count when dropped.
+    pub fn open(self: &Arc<Self>) -> SessionHandle {
+        let session = Session::with_solvers(&self.shared);
+        self.active.fetch_add(1, Ordering::SeqCst);
+        self.opened.fetch_add(1, Ordering::SeqCst);
+        SessionHandle { session, manager: Arc::clone(self) }
+    }
+
+    /// Number of currently live sessions.
+    pub fn active(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Total sessions opened over the manager's lifetime.
+    pub fn total_opened(&self) -> usize {
+        self.opened.load(Ordering::SeqCst)
+    }
+}
+
+impl Default for SessionManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A live session tied back to its manager for liveness accounting.
+pub struct SessionHandle {
+    session: Session,
+    manager: Arc<SessionManager>,
+}
+
+impl Deref for SessionHandle {
+    type Target = Session;
+    fn deref(&self) -> &Session {
+        &self.session
+    }
+}
+
+impl DerefMut for SessionHandle {
+    fn deref_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+}
+
+impl Drop for SessionHandle {
+    fn drop(&mut self) {
+        self.manager.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlengine::Value;
+
+    #[test]
+    fn handles_track_liveness() {
+        let m = Arc::new(SessionManager::new());
+        assert_eq!(m.active(), 0);
+        let a = m.open();
+        let b = m.open();
+        assert_eq!(m.active(), 2);
+        assert_eq!(m.total_opened(), 2);
+        drop(a);
+        assert_eq!(m.active(), 1);
+        drop(b);
+        assert_eq!(m.active(), 0);
+        assert_eq!(m.total_opened(), 2);
+    }
+
+    #[test]
+    fn sessions_are_namespaced_but_share_solvers() {
+        let m = Arc::new(SessionManager::new());
+        let mut a = m.open();
+        let mut b = m.open();
+        a.execute("CREATE TABLE t (x int)").unwrap();
+        assert!(b.execute("SELECT * FROM t").is_err());
+        b.execute_script("CREATE TABLE t (x int); INSERT INTO t VALUES (9)").unwrap();
+        assert_eq!(b.query_scalar("SELECT x FROM t").unwrap(), Value::Int(9));
+        // Both sessions see the same registry instance.
+        assert_eq!(a.solver_names(), b.solver_names());
+    }
+}

@@ -1,0 +1,291 @@
+//! The solvedbd server: TCP accept loop, bounded worker pool, graceful
+//! shutdown.
+//!
+//! Concurrency model: one accept thread feeds accepted connections into
+//! a bounded crossbeam channel drained by a fixed pool of worker
+//! threads; each worker serves one connection at a time, start to
+//! finish, with its own [`crate::manager::SessionHandle`]. When all
+//! workers are busy and the backlog is full, `accept` back-pressure is
+//! applied at the channel (the accept thread blocks), bounding the
+//! server's memory use under connection floods.
+//!
+//! Shutdown: any [`ShutdownHandle`] sets an atomic flag and then
+//! self-connects to the listener to unblock `accept`. Workers poll the
+//! flag on every read-timeout tick (250 ms), so live connections wind
+//! down promptly and the listener socket is released when [`Server::run`]
+//! returns.
+
+use crate::manager::SessionManager;
+use crate::protocol::{
+    error_kind, error_to_frame, read_frame_interruptible, write_frame, Frame, ProtoError,
+    PROTOCOL_VERSION,
+};
+use crossbeam::channel;
+use sqlengine::parser::{parse_statement, split_statements};
+use sqlengine::ExecResult;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Poll granularity for shutdown checks on blocked reads.
+const READ_TICK: Duration = Duration::from_millis(250);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads (= maximum concurrent connections being served).
+    pub workers: usize,
+    /// Accepted-but-unserved connections to queue before `accept`
+    /// blocks.
+    pub backlog: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { workers: 8, backlog: 16 }
+    }
+}
+
+/// A bound, not-yet-running server. Call [`Server::run`] to serve.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    manager: Arc<SessionManager>,
+    shutdown: Arc<AtomicBool>,
+    config: ServerConfig,
+}
+
+/// Cheap cloneable handle that can stop a running [`Server`] from any
+/// thread (including a signal context via a pre-created clone).
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Request shutdown: sets the flag and pokes the listener so the
+    /// accept loop observes it immediately. Idempotent.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        // Unblock a blocking accept() with a throwaway connection; if
+        // the listener is already gone this simply fails, which is fine.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(500));
+    }
+
+    pub fn is_shutdown(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+impl Server {
+    /// Bind with the default configuration.
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<Server> {
+        Server::bind_with(addr, ServerConfig::default())
+    }
+
+    /// Bind a listener (use port 0 for an ephemeral port) without
+    /// accepting yet.
+    pub fn bind_with(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
+        if config.workers == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "workers must be >= 1"));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            addr,
+            manager: Arc::new(SessionManager::new()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            config,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The session manager (inspect counters, pre-install solvers).
+    pub fn manager(&self) -> &Arc<SessionManager> {
+        &self.manager
+    }
+
+    /// A handle that can stop [`Server::run`] from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle { flag: self.shutdown.clone(), addr: self.addr }
+    }
+
+    /// Serve until a [`ShutdownHandle`] fires. Consumes the server; on
+    /// return all workers have exited and the port is released.
+    pub fn run(self) -> io::Result<()> {
+        let (tx, rx) = channel::bounded::<TcpStream>(self.config.backlog.max(1));
+        let mut workers = Vec::with_capacity(self.config.workers);
+        for i in 0..self.config.workers {
+            let rx = rx.clone();
+            let manager = self.manager.clone();
+            let flag = self.shutdown.clone();
+            workers.push(std::thread::Builder::new().name(format!("solvedbd-worker-{i}")).spawn(
+                move || {
+                    while let Ok(stream) = rx.recv() {
+                        serve_connection(stream, &manager, &flag);
+                        if flag.load(Ordering::SeqCst) {
+                            break;
+                        }
+                    }
+                },
+            )?);
+        }
+        drop(rx);
+
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        // The shutdown self-connect (or a raced client);
+                        // either way we are done accepting.
+                        break;
+                    }
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    // Listener failure: stop serving rather than spin.
+                    self.shutdown.store(true, Ordering::SeqCst);
+                    drop(tx);
+                    for w in workers {
+                        let _ = w.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+
+        drop(tx);
+        for w in workers {
+            let _ = w.join();
+        }
+        // `self.listener` drops here, releasing the port.
+        Ok(())
+    }
+}
+
+/// Serve one connection to completion: handshake, then a
+/// query/response loop. All errors terminate just this connection.
+fn serve_connection(mut stream: TcpStream, manager: &Arc<SessionManager>, stop: &AtomicBool) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(READ_TICK)).is_err() {
+        return;
+    }
+    let stopped = || stop.load(Ordering::SeqCst);
+
+    // Handshake: the client speaks first.
+    match read_frame_interruptible(&mut stream, stopped) {
+        Ok(Some(Frame::Hello { version })) if version == PROTOCOL_VERSION => {
+            if write_frame(&mut stream, &Frame::Hello { version: PROTOCOL_VERSION }).is_err() {
+                return;
+            }
+        }
+        Ok(Some(Frame::Hello { version })) => {
+            let _ = write_frame(
+                &mut stream,
+                &Frame::Error {
+                    kind: error_kind::PROTOCOL,
+                    message: format!(
+                        "unsupported protocol version {version} (server speaks {PROTOCOL_VERSION})"
+                    ),
+                },
+            );
+            return;
+        }
+        Ok(Some(_)) => {
+            let _ = write_frame(
+                &mut stream,
+                &Frame::Error {
+                    kind: error_kind::PROTOCOL,
+                    message: "expected HELLO as the first frame".into(),
+                },
+            );
+            return;
+        }
+        Ok(None) => return,
+        Err(_) => {
+            let _ = write_frame(
+                &mut stream,
+                &Frame::Error { kind: error_kind::PROTOCOL, message: "malformed handshake".into() },
+            );
+            return;
+        }
+    }
+
+    let mut session = manager.open();
+
+    loop {
+        let frame = match read_frame_interruptible(&mut stream, stopped) {
+            Ok(Some(f)) => f,
+            Ok(None) => return, // EOF or shutdown
+            Err(ProtoError::Io(_)) => return,
+            Err(ProtoError::Malformed(m)) => {
+                let _ = write_frame(
+                    &mut stream,
+                    &Frame::Error { kind: error_kind::PROTOCOL, message: m },
+                );
+                return;
+            }
+        };
+        match frame {
+            Frame::Query(sql) => {
+                if run_batch(&mut stream, &mut session, &sql).is_err() {
+                    return;
+                }
+            }
+            Frame::Ping => {
+                if write_frame(&mut stream, &Frame::Pong).is_err() {
+                    return;
+                }
+            }
+            Frame::Bye => return,
+            other => {
+                let _ = write_frame(
+                    &mut stream,
+                    &Frame::Error {
+                        kind: error_kind::PROTOCOL,
+                        message: format!("unexpected client frame: {other:?}"),
+                    },
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// Execute one Query batch statement by statement, streaming one
+/// response frame per statement and an END terminator. The batch stops
+/// at the first failing statement (its error frame is the last response
+/// before END), matching script-mode semantics in the CLI.
+fn run_batch(
+    stream: &mut TcpStream,
+    session: &mut crate::manager::SessionHandle,
+    sql: &str,
+) -> io::Result<()> {
+    for piece in split_statements(sql) {
+        let outcome = parse_statement(&piece).and_then(|stmt| session.execute_statement(&stmt));
+        match outcome {
+            Ok(ExecResult::Table(t)) => write_frame(stream, &Frame::ResultTable(t))?,
+            Ok(ExecResult::Count(n)) => write_frame(stream, &Frame::RowCount(n as u64))?,
+            Ok(ExecResult::Done) => write_frame(stream, &Frame::Done)?,
+            Err(e) => {
+                write_frame(stream, &error_to_frame(&e))?;
+                break;
+            }
+        }
+    }
+    write_frame(stream, &Frame::End)
+}

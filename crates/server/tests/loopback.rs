@@ -1,0 +1,256 @@
+//! Loopback integration tests: a real server on an ephemeral port, real
+//! TCP clients, covering the handshake, remote SOLVESELECT parity with
+//! a local session, batch error semantics, concurrent isolated
+//! sessions, and graceful shutdown with port release.
+
+use server::protocol::{read_frame, write_frame, Frame, PROTOCOL_VERSION};
+use server::{Client, ClientError, Server, ServerConfig};
+use solvedbplus_core::Session;
+use sqlengine::{ExecResult, Value};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+/// Overall deadline for anything that could deadlock.
+const TEST_TIMEOUT: Duration = Duration::from_secs(60);
+
+struct TestServer {
+    addr: SocketAddr,
+    shutdown: server::ShutdownHandle,
+    join: Option<thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl TestServer {
+    fn start(workers: usize) -> TestServer {
+        let srv = Server::bind_with("127.0.0.1:0", ServerConfig { workers, backlog: 16 })
+            .expect("bind ephemeral port");
+        let addr = srv.local_addr();
+        let shutdown = srv.shutdown_handle();
+        let join = thread::spawn(move || srv.run());
+        TestServer { addr, shutdown, join: Some(join) }
+    }
+
+    fn stop(mut self) {
+        self.shutdown.shutdown();
+        let join = self.join.take().unwrap();
+        join.join().expect("server thread").expect("server run");
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        if let Some(join) = self.join.take() {
+            self.shutdown.shutdown();
+            let _ = join.join();
+        }
+    }
+}
+
+const LP_SETUP: &str = "CREATE TABLE v (x float8, y float8); INSERT INTO v VALUES (NULL, NULL)";
+const LP_SOLVE: &str = "SOLVESELECT q(x, y) AS (SELECT * FROM v) \
+     MAXIMIZE (SELECT x + y FROM q) \
+     SUBJECTTO (SELECT x <= 4, y <= 2.5, x >= 0, y >= 0 FROM q) \
+     USING solverlp()";
+
+#[test]
+fn remote_solveselect_matches_local_session() {
+    let local_rows = {
+        let mut s = Session::new();
+        s.execute_script(LP_SETUP).unwrap();
+        s.query(LP_SOLVE).unwrap().rows
+    };
+
+    let ts = TestServer::start(2);
+    let mut client = Client::connect(ts.addr).expect("connect");
+    client.execute(LP_SETUP).expect("setup");
+    let remote = client.query(LP_SOLVE).expect("remote solve");
+    assert_eq!(remote.rows, local_rows);
+    assert_eq!(remote.rows, vec![vec![Value::Float(4.0), Value::Float(2.5)]]);
+    client.close().unwrap();
+    ts.stop();
+}
+
+#[test]
+fn batch_reports_every_statement_and_stops_at_first_error() {
+    let ts = TestServer::start(2);
+    let mut client = Client::connect(ts.addr).unwrap();
+    let results = client
+        .execute(
+            "CREATE TABLE t (x int); \
+             INSERT INTO t VALUES (1), (2), (3); \
+             SELECT sum(x) FROM t; \
+             SELECT * FROM missing_table; \
+             SELECT 'never runs'",
+        )
+        .unwrap();
+    assert_eq!(results.len(), 4, "three successes then the failing statement");
+    assert!(matches!(results[0], Ok(ExecResult::Done)));
+    assert!(matches!(results[1], Ok(ExecResult::Count(3))));
+    match &results[2] {
+        Ok(ExecResult::Table(t)) => assert_eq!(t.scalar().unwrap(), Value::Int(6)),
+        other => panic!("expected table, got {other:?}"),
+    }
+    // The engine error arrives with its category reconstructed.
+    assert!(matches!(&results[3], Err(sqlengine::Error::Catalog(_))));
+    ts.stop();
+}
+
+#[test]
+fn ping_and_session_state_persist_across_calls() {
+    let ts = TestServer::start(2);
+    let mut client = Client::connect(ts.addr).unwrap();
+    client.ping().unwrap();
+    client.execute_script("CREATE TABLE acc (x int); INSERT INTO acc VALUES (41)").unwrap();
+    client.execute("INSERT INTO acc VALUES (1)").unwrap();
+    assert_eq!(
+        client.query_scalar("SELECT sum(x) FROM acc").unwrap(),
+        Value::Int(42),
+        "tables created earlier on this connection stay visible"
+    );
+    client.ping().unwrap();
+    ts.stop();
+}
+
+#[test]
+fn sessions_of_different_clients_are_isolated() {
+    let ts = TestServer::start(4);
+    let mut a = Client::connect(ts.addr).unwrap();
+    let mut b = Client::connect(ts.addr).unwrap();
+    a.execute("CREATE TABLE private_a (x int)").unwrap();
+    let res = b.execute("SELECT * FROM private_a").unwrap();
+    assert!(
+        matches!(res.last(), Some(Err(sqlengine::Error::Catalog(_)))),
+        "client B must not see client A's tables, got {res:?}"
+    );
+    ts.stop();
+}
+
+#[test]
+fn unknown_protocol_version_is_rejected() {
+    let ts = TestServer::start(1);
+    let mut raw = TcpStream::connect(ts.addr).unwrap();
+    write_frame(&mut raw, &Frame::Hello { version: PROTOCOL_VERSION + 41 }).unwrap();
+    match read_frame(&mut raw).unwrap() {
+        Some(Frame::Error { message, .. }) => {
+            assert!(
+                message.contains("version"),
+                "error should mention the version mismatch: {message}"
+            );
+        }
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+    // The server must hang up after rejecting the handshake.
+    assert!(read_frame(&mut raw).unwrap().is_none(), "connection should be closed");
+
+    // And the Client constructor surfaces the same failure cleanly.
+    let mut bad = TcpStream::connect(ts.addr).unwrap();
+    write_frame(&mut bad, &Frame::Query("sneaking past the handshake".into())).unwrap();
+    match read_frame(&mut bad).unwrap() {
+        Some(Frame::Error { .. }) => {}
+        other => panic!("expected an error frame for a missing HELLO, got {other:?}"),
+    }
+    ts.stop();
+}
+
+#[test]
+fn malformed_frames_get_an_error_not_a_hang() {
+    let ts = TestServer::start(1);
+    let mut raw = TcpStream::connect(ts.addr).unwrap();
+    write_frame(&mut raw, &Frame::Hello { version: PROTOCOL_VERSION }).unwrap();
+    assert!(matches!(read_frame(&mut raw).unwrap(), Some(Frame::Hello { .. })));
+    // A frame with an unknown type byte.
+    use std::io::Write;
+    raw.write_all(&2u32.to_le_bytes()).unwrap();
+    raw.write_all(&[0x7E, 0x00]).unwrap();
+    raw.flush().unwrap();
+    raw.set_read_timeout(Some(TEST_TIMEOUT)).unwrap();
+    match read_frame(&mut raw).unwrap() {
+        Some(Frame::Error { .. }) => {}
+        other => panic!("expected a protocol error frame, got {other:?}"),
+    }
+    ts.stop();
+}
+
+#[test]
+fn eight_concurrent_clients_run_isolated_lp_problems() {
+    let ts = TestServer::start(8);
+    let addr = ts.addr;
+    let (tx, rx) = mpsc::channel::<(usize, Result<Value, String>)>();
+
+    for i in 0..8usize {
+        let tx = tx.clone();
+        thread::spawn(move || {
+            let run = || -> Result<Value, ClientError> {
+                let mut c = Client::connect(addr)?;
+                // Every client gets its own namespace: same table name,
+                // different bound, so cross-talk would be visible.
+                let bound = (i + 1) as f64;
+                c.execute_script("CREATE TABLE work (x float8); INSERT INTO work VALUES (NULL)")?;
+                let v = c.query_scalar(&format!(
+                    "SOLVESELECT q(x) AS (SELECT * FROM work) \
+                     MAXIMIZE (SELECT x FROM q) \
+                     SUBJECTTO (SELECT x <= {bound}, x >= 0 FROM q) \
+                     USING solverlp()"
+                ))?;
+                c.close()?;
+                Ok(v)
+            };
+            let _ = tx.send((i, run().map_err(|e| e.to_string())));
+        });
+    }
+    drop(tx);
+
+    let mut seen = [false; 8];
+    for _ in 0..8 {
+        let (i, outcome) = rx.recv_timeout(TEST_TIMEOUT).expect("a client deadlocked or timed out");
+        let v = outcome.unwrap_or_else(|e| panic!("client {i} failed: {e}"));
+        assert_eq!(v.as_f64().unwrap(), (i + 1) as f64, "client {i} read someone else's optimum");
+        seen[i] = true;
+    }
+    assert!(seen.iter().all(|&s| s), "every client must report back");
+    ts.stop();
+}
+
+#[test]
+fn graceful_shutdown_releases_the_port() {
+    let ts = TestServer::start(2);
+    let addr = ts.addr;
+    // Leave a live connection open to prove shutdown doesn't hang on it.
+    let mut lingering = Client::connect(addr).unwrap();
+    lingering.ping().unwrap();
+    ts.stop();
+
+    // The port must be immediately rebindable after run() returns.
+    let again = Server::bind_with(addr, ServerConfig { workers: 1, backlog: 4 })
+        .expect("rebinding the released port");
+    drop(again);
+
+    // And new connections to the stopped server must fail.
+    assert!(Client::connect(addr).is_err());
+}
+
+#[test]
+fn accept_backlog_does_not_lose_connections() {
+    // More clients than workers: the bounded pool must serve them all
+    // eventually rather than dropping or deadlocking.
+    let ts = TestServer::start(2);
+    let addr = ts.addr;
+    let (tx, rx) = mpsc::channel();
+    for i in 0..6 {
+        let tx = tx.clone();
+        thread::spawn(move || {
+            let ok = (|| -> Result<bool, ClientError> {
+                let mut c = Client::connect(addr)?;
+                let v = c.query_scalar(&format!("SELECT {i} * 2"))?;
+                Ok(v == Value::Int(i * 2))
+            })();
+            let _ = tx.send(ok.unwrap_or(false));
+        });
+    }
+    drop(tx);
+    for _ in 0..6 {
+        assert!(rx.recv_timeout(TEST_TIMEOUT).expect("client timed out"));
+    }
+    ts.stop();
+}

@@ -42,7 +42,9 @@ pub enum Expr {
         name: String,
     },
     /// `*` or `t.*` — only valid in projections and `count(*)`.
-    Wildcard { qualifier: Option<String> },
+    Wildcard {
+        qualifier: Option<String>,
+    },
     BinOp {
         op: BinOp,
         lhs: Box<Expr>,
@@ -288,21 +290,9 @@ pub enum JoinConstraint {
 
 #[derive(Debug, Clone, PartialEq)]
 pub enum TableRef {
-    Named {
-        name: String,
-        alias: Option<TableAlias>,
-    },
-    Subquery {
-        query: Box<Query>,
-        lateral: bool,
-        alias: Option<TableAlias>,
-    },
-    Join {
-        left: Box<TableRef>,
-        right: Box<TableRef>,
-        kind: JoinKind,
-        constraint: JoinConstraint,
-    },
+    Named { name: String, alias: Option<TableAlias> },
+    Subquery { query: Box<Query>, lateral: bool, alias: Option<TableAlias> },
+    Join { left: Box<TableRef>, right: Box<TableRef>, kind: JoinKind, constraint: JoinConstraint },
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -404,7 +394,10 @@ pub enum Statement {
     Query(Query),
     Solve(SolveStmt),
     /// `MODELEVAL (select) IN (select)` (§4.4).
-    ModelEval { select: Query, model: Query },
+    ModelEval {
+        select: Query,
+        model: Query,
+    },
     Insert {
         table: String,
         columns: Vec<String>,
@@ -558,21 +551,15 @@ impl Expr {
                 f.write_str("))")
             }
             Expr::InSubquery { expr, query, negated } => {
-                write!(
-                    f,
-                    "({expr} {}IN ({query}))",
-                    if *negated { "NOT " } else { "" }
-                )
+                write!(f, "({expr} {}IN ({query}))", if *negated { "NOT " } else { "" })
             }
             Expr::Exists { query, negated } => {
                 write!(f, "({}EXISTS ({query}))", if *negated { "NOT " } else { "" })
             }
             Expr::ScalarSubquery(q) => write!(f, "({q})"),
-            Expr::Between { expr, low, high, negated } => write!(
-                f,
-                "({expr} {}BETWEEN {low} AND {high})",
-                if *negated { "NOT " } else { "" }
-            ),
+            Expr::Between { expr, low, high, negated } => {
+                write!(f, "({expr} {}BETWEEN {low} AND {high})", if *negated { "NOT " } else { "" })
+            }
             Expr::Like { expr, pattern, negated, case_insensitive } => write!(
                 f,
                 "({expr} {}{} {pattern})",
@@ -647,11 +634,7 @@ impl fmt::Display for SetExpr {
                     SetOp::Intersect => "INTERSECT",
                     SetOp::Except => "EXCEPT",
                 };
-                write!(
-                    f,
-                    "{left} {opname}{} {right}",
-                    if *all { " ALL" } else { "" }
-                )
+                write!(f, "{left} {opname}{} {right}", if *all { " ALL" } else { "" })
             }
             SetExpr::Values(rows) => {
                 f.write_str("VALUES ")?;
@@ -741,12 +724,9 @@ impl fmt::Display for TableRef {
             TableRef::Named { name, alias } => {
                 write!(f, "{}{}", ident(name), alias_fmt(alias))
             }
-            TableRef::Subquery { query, lateral, alias } => write!(
-                f,
-                "{}({query}){}",
-                if *lateral { "LATERAL " } else { "" },
-                alias_fmt(alias)
-            ),
+            TableRef::Subquery { query, lateral, alias } => {
+                write!(f, "{}({query}){}", if *lateral { "LATERAL " } else { "" }, alias_fmt(alias))
+            }
             TableRef::Join { left, right, kind, constraint } => {
                 let kw = match kind {
                     JoinKind::Inner => "JOIN",
@@ -838,11 +818,9 @@ fn fmt_dec_rel(f: &mut fmt::Formatter<'_>, d: &DecRel) -> fmt::Result {
         match &d.dec_cols {
             DecCols::None => {}
             DecCols::Star => f.write_str("(*)")?,
-            DecCols::List(cols) => write!(
-                f,
-                "({})",
-                cols.iter().map(|c| ident(c)).collect::<Vec<_>>().join(", ")
-            )?,
+            DecCols::List(cols) => {
+                write!(f, "({})", cols.iter().map(|c| ident(c)).collect::<Vec<_>>().join(", "))?
+            }
         }
         f.write_str(" AS ")?;
     }
@@ -922,12 +900,9 @@ impl fmt::Display for Statement {
                 if *if_exists { "IF EXISTS " } else { "" },
                 ident(name)
             ),
-            Statement::DropView { name, if_exists } => write!(
-                f,
-                "DROP VIEW {}{}",
-                if *if_exists { "IF EXISTS " } else { "" },
-                ident(name)
-            ),
+            Statement::DropView { name, if_exists } => {
+                write!(f, "DROP VIEW {}{}", if *if_exists { "IF EXISTS " } else { "" }, ident(name))
+            }
         }
     }
 }

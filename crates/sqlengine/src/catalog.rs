@@ -72,8 +72,13 @@ pub trait SolveHandler: Send + Sync {
     fn solve_model(&self, db: &Database, stmt: &SolveStmt, ctes: &Ctes) -> Result<Value>;
 
     /// Execute `MODELEVAL (select) IN (model-select)`.
-    fn model_eval(&self, db: &Database, select: &Query, model: &Query, ctes: &Ctes)
-        -> Result<Table>;
+    fn model_eval(
+        &self,
+        db: &Database,
+        select: &Query,
+        model: &Query,
+        ctes: &Ctes,
+    ) -> Result<Table>;
 }
 
 /// The database: named tables, views, UDFs and the solve hook.
@@ -188,11 +193,11 @@ impl Database {
     }
 
     pub fn solve_handler(&self) -> Result<Arc<dyn SolveHandler>> {
-        self.solve_handler
-            .clone()
-            .ok_or_else(|| Error::unsupported(
+        self.solve_handler.clone().ok_or_else(|| {
+            Error::unsupported(
                 "no solver infrastructure registered (SOLVESELECT requires the SolveDB+ layer)",
-            ))
+            )
+        })
     }
 }
 
@@ -216,12 +221,7 @@ mod tests {
     #[test]
     fn table_mut_is_copy_on_write() {
         let mut db = Database::new();
-        db.create_table(
-            "t",
-            Table::from_rows(&["a"], vec![vec![Value::Int(1)]]),
-            false,
-        )
-        .unwrap();
+        db.create_table("t", Table::from_rows(&["a"], vec![vec![Value::Int(1)]]), false).unwrap();
         let snapshot = db.table("t").unwrap().clone();
         db.table_mut("t").unwrap().rows.push(vec![Value::Int(2)]);
         assert_eq!(snapshot.num_rows(), 1);

@@ -117,20 +117,49 @@ pub struct EvalCtx<'a> {
 #[derive(Debug, Clone)]
 pub enum BoundExpr {
     Const(Value),
-    Column { depth: usize, index: usize },
-    BinOp { op: BinOp, lhs: Box<BoundExpr>, rhs: Box<BoundExpr> },
-    UnOp { op: UnOp, expr: Box<BoundExpr> },
-    Chain { first: Box<BoundExpr>, rest: Vec<(BinOp, BoundExpr)> },
-    Builtin { f: &'static BuiltinFn, args: Vec<BoundExpr> },
-    Udf { udf: ScalarUdf, args: Vec<BoundExpr> },
-    Cast { expr: Box<BoundExpr>, ty: DataType },
+    Column {
+        depth: usize,
+        index: usize,
+    },
+    BinOp {
+        op: BinOp,
+        lhs: Box<BoundExpr>,
+        rhs: Box<BoundExpr>,
+    },
+    UnOp {
+        op: UnOp,
+        expr: Box<BoundExpr>,
+    },
+    Chain {
+        first: Box<BoundExpr>,
+        rest: Vec<(BinOp, BoundExpr)>,
+    },
+    Builtin {
+        f: &'static BuiltinFn,
+        args: Vec<BoundExpr>,
+    },
+    Udf {
+        udf: ScalarUdf,
+        args: Vec<BoundExpr>,
+    },
+    Cast {
+        expr: Box<BoundExpr>,
+        ty: DataType,
+    },
     Case {
         operand: Option<Box<BoundExpr>>,
         branches: Vec<(BoundExpr, BoundExpr)>,
         else_: Option<Box<BoundExpr>>,
     },
-    IsNull { expr: Box<BoundExpr>, negated: bool },
-    InList { expr: Box<BoundExpr>, list: Vec<BoundExpr>, negated: bool },
+    IsNull {
+        expr: Box<BoundExpr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<BoundExpr>,
+        list: Vec<BoundExpr>,
+        negated: bool,
+    },
     Between {
         expr: Box<BoundExpr>,
         low: Box<BoundExpr>,
@@ -144,8 +173,15 @@ pub enum BoundExpr {
         case_insensitive: bool,
     },
     ScalarSubquery(Arc<Query>),
-    InSubquery { expr: Box<BoundExpr>, query: Arc<Query>, negated: bool },
-    Exists { query: Arc<Query>, negated: bool },
+    InSubquery {
+        expr: Box<BoundExpr>,
+        query: Arc<Query>,
+        negated: bool,
+    },
+    Exists {
+        query: Arc<Query>,
+        negated: bool,
+    },
     SolveModel(Arc<SolveStmt>),
 }
 
@@ -167,7 +203,11 @@ impl<'a> Binder<'a> {
     }
 
     /// Binder whose outer scopes mirror an environment chain.
-    pub fn with_outer(db: &'a Database, scope: &'a Scope, outer: Option<&'a Env<'a>>) -> Binder<'a> {
+    pub fn with_outer(
+        db: &'a Database,
+        scope: &'a Scope,
+        outer: Option<&'a Env<'a>>,
+    ) -> Binder<'a> {
         let mut scopes = vec![scope];
         let mut cur = outer;
         while let Some(e) = cur {
@@ -193,21 +233,16 @@ impl<'a> Binder<'a> {
     pub fn bind(&self, expr: &Expr) -> Result<BoundExpr> {
         Ok(match expr {
             Expr::Literal(l) => BoundExpr::Const(literal_value(l)?),
-            Expr::Column { qualifier, name } => {
-                self.resolve_column(qualifier.as_deref(), name)?
-            }
-            Expr::Wildcard { .. } => {
-                return Err(Error::bind("'*' is not valid in this context"))
-            }
+            Expr::Column { qualifier, name } => self.resolve_column(qualifier.as_deref(), name)?,
+            Expr::Wildcard { .. } => return Err(Error::bind("'*' is not valid in this context")),
             Expr::BinOp { op, lhs, rhs } => BoundExpr::BinOp {
                 op: *op,
                 lhs: Box::new(self.bind(lhs)?),
                 rhs: Box::new(self.bind(rhs)?),
             },
-            Expr::UnOp { op, expr } => BoundExpr::UnOp {
-                op: *op,
-                expr: Box::new(self.bind(expr)?),
-            },
+            Expr::UnOp { op, expr } => {
+                BoundExpr::UnOp { op: *op, expr: Box::new(self.bind(expr)?) }
+            }
             Expr::Chain { first, rest } => BoundExpr::Chain {
                 first: Box::new(self.bind(first)?),
                 rest: rest
@@ -235,10 +270,8 @@ impl<'a> Binder<'a> {
                             "built-in function {name}() does not accept named arguments"
                         )));
                     }
-                    let bound = args
-                        .iter()
-                        .map(|a| self.bind(&a.value))
-                        .collect::<Result<Vec<_>>>()?;
+                    let bound =
+                        args.iter().map(|a| self.bind(&a.value)).collect::<Result<Vec<_>>>()?;
                     if bound.len() < b.min_args || bound.len() > b.max_args {
                         return Err(Error::bind(format!(
                             "function {name}() called with {} arguments",
@@ -250,10 +283,9 @@ impl<'a> Binder<'a> {
                     return Err(Error::bind(format!("unknown function {name}()")));
                 }
             }
-            Expr::Cast { expr, ty } => BoundExpr::Cast {
-                expr: Box::new(self.bind(expr)?),
-                ty: ty.clone(),
-            },
+            Expr::Cast { expr, ty } => {
+                BoundExpr::Cast { expr: Box::new(self.bind(expr)?), ty: ty.clone() }
+            }
             Expr::Case { operand, branches, else_ } => BoundExpr::Case {
                 operand: operand.as_ref().map(|o| self.bind(o).map(Box::new)).transpose()?,
                 branches: branches
@@ -262,10 +294,9 @@ impl<'a> Binder<'a> {
                     .collect::<Result<Vec<_>>>()?,
                 else_: else_.as_ref().map(|e| self.bind(e).map(Box::new)).transpose()?,
             },
-            Expr::IsNull { expr, negated } => BoundExpr::IsNull {
-                expr: Box::new(self.bind(expr)?),
-                negated: *negated,
-            },
+            Expr::IsNull { expr, negated } => {
+                BoundExpr::IsNull { expr: Box::new(self.bind(expr)?), negated: *negated }
+            }
             Expr::InList { expr, list, negated } => BoundExpr::InList {
                 expr: Box::new(self.bind(expr)?),
                 list: list.iter().map(|e| self.bind(e)).collect::<Result<Vec<_>>>()?,
@@ -276,10 +307,9 @@ impl<'a> Binder<'a> {
                 query: Arc::new((**query).clone()),
                 negated: *negated,
             },
-            Expr::Exists { query, negated } => BoundExpr::Exists {
-                query: Arc::new((**query).clone()),
-                negated: *negated,
-            },
+            Expr::Exists { query, negated } => {
+                BoundExpr::Exists { query: Arc::new((**query).clone()), negated: *negated }
+            }
             Expr::ScalarSubquery(q) => BoundExpr::ScalarSubquery(Arc::new((**q).clone())),
             Expr::Between { expr, low, high, negated } => BoundExpr::Between {
                 expr: Box::new(self.bind(expr)?),
@@ -305,25 +335,15 @@ impl<'a> Binder<'a> {
             match &a.name {
                 None => {
                     if positional >= n {
-                        return Err(Error::bind(format!(
-                            "too many arguments for {}()",
-                            udf.name
-                        )));
+                        return Err(Error::bind(format!("too many arguments for {}()", udf.name)));
                     }
                     slots[positional] = Some(self.bind(&a.value)?);
                     positional += 1;
                 }
                 Some(name) => {
-                    let idx = udf
-                        .param_names
-                        .iter()
-                        .position(|p| p == name)
-                        .ok_or_else(|| {
-                            Error::bind(format!(
-                                "{}() has no parameter named '{name}'",
-                                udf.name
-                            ))
-                        })?;
+                    let idx = udf.param_names.iter().position(|p| p == name).ok_or_else(|| {
+                        Error::bind(format!("{}() has no parameter named '{name}'", udf.name))
+                    })?;
                     if slots[idx].is_some() {
                         return Err(Error::bind(format!(
                             "parameter '{name}' given more than once"
@@ -377,9 +397,7 @@ impl BoundExpr {
     pub fn eval(&self, ctx: &EvalCtx<'_>, env: &Env<'_>) -> Result<Value> {
         match self {
             BoundExpr::Const(v) => Ok(v.clone()),
-            BoundExpr::Column { depth, index } => {
-                Ok(env.at_depth(*depth).row[*index].clone())
-            }
+            BoundExpr::Column { depth, index } => Ok(env.at_depth(*depth).row[*index].clone()),
             BoundExpr::BinOp { op, lhs, rhs } => {
                 if matches!(op, BinOp::And | BinOp::Or) {
                     let l = lhs.eval(ctx, env)?;
@@ -419,17 +437,11 @@ impl BoundExpr {
                 Ok(acc.expect("chain has at least one comparison"))
             }
             BoundExpr::Builtin { f, args } => {
-                let vals = args
-                    .iter()
-                    .map(|a| a.eval(ctx, env))
-                    .collect::<Result<Vec<_>>>()?;
+                let vals = args.iter().map(|a| a.eval(ctx, env)).collect::<Result<Vec<_>>>()?;
                 funcs::call(f, &vals)
             }
             BoundExpr::Udf { udf, args } => {
-                let vals = args
-                    .iter()
-                    .map(|a| a.eval(ctx, env))
-                    .collect::<Result<Vec<_>>>()?;
+                let vals = args.iter().map(|a| a.eval(ctx, env)).collect::<Result<Vec<_>>>()?;
                 (udf.func)(&vals)
             }
             BoundExpr::Cast { expr, ty } => expr.eval(ctx, env)?.cast(ty),
@@ -665,16 +677,10 @@ mod tests {
     #[test]
     fn outer_scope_resolution() {
         let db = Database::new();
-        let inner = Scope::new(vec![ScopeCol {
-            qualifier: None,
-            name: "a".into(),
-            ty: DataType::Int,
-        }]);
-        let outer_scope = Scope::new(vec![ScopeCol {
-            qualifier: None,
-            name: "b".into(),
-            ty: DataType::Int,
-        }]);
+        let inner =
+            Scope::new(vec![ScopeCol { qualifier: None, name: "a".into(), ty: DataType::Int }]);
+        let outer_scope =
+            Scope::new(vec![ScopeCol { qualifier: None, name: "b".into(), ty: DataType::Int }]);
         let outer_row = vec![Value::Int(42)];
         let outer_env = Env { scope: &outer_scope, row: &outer_row, parent: None };
         let binder = Binder::with_outer(&db, &inner, Some(&outer_env));
@@ -703,9 +709,7 @@ mod tests {
         let ctes = Ctes::new();
         let ctx = EvalCtx { db: &db, ctes: &ctes };
         let binder = Binder::new(&db, &scope);
-        let bound = binder
-            .bind(&parse_expr("f(b := 2, a := 1)").unwrap())
-            .unwrap();
+        let bound = binder.bind(&parse_expr("f(b := 2, a := 1)").unwrap()).unwrap();
         assert_eq!(bound.eval(&ctx, &Env::empty()).unwrap(), Value::Int(121));
         assert!(binder.bind(&parse_expr("f(zz := 1)").unwrap()).is_err());
         assert!(binder.bind(&parse_expr("f(1)").unwrap()).is_err()); // b missing

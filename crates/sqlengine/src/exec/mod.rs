@@ -87,9 +87,7 @@ pub fn execute_statement(db: &mut Database, stmt: &Statement) -> Result<ExecResu
                 (0..src.num_columns()).collect()
             } else {
                 if columns.len() != src.num_columns() {
-                    return Err(Error::eval(
-                        "INSERT column list does not match source arity",
-                    ));
+                    return Err(Error::eval("INSERT column list does not match source arity"));
                 }
                 columns
                     .iter()

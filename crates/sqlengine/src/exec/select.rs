@@ -16,12 +16,7 @@ use std::sync::Arc;
 const MAX_RECURSION: usize = 1_000_000;
 
 /// Execute a query and materialize the result.
-pub fn run_query(
-    db: &Database,
-    ctes: &Ctes,
-    q: &Query,
-    outer: Option<&Env<'_>>,
-) -> Result<Table> {
+pub fn run_query(db: &Database, ctes: &Ctes, q: &Query, outer: Option<&Env<'_>>) -> Result<Table> {
     let mut env_ctes = ctes.clone();
     for cte in &q.with {
         let table = if q.recursive && query_references(&cte.query, &cte.name) {
@@ -35,7 +30,9 @@ pub fn run_query(
     }
 
     match &q.body {
-        SetExpr::Select(sel) => run_select(db, &env_ctes, sel, outer, &q.order_by, &q.limit, &q.offset),
+        SetExpr::Select(sel) => {
+            run_select(db, &env_ctes, sel, outer, &q.order_by, &q.limit, &q.offset)
+        }
         body => {
             let mut t = run_set_expr(db, &env_ctes, body, outer)?;
             // ORDER BY over set-op output binds against output columns.
@@ -332,7 +329,8 @@ fn run_set_expr(
                 )));
             }
             let schema = unify_schemas(&l.schema, &r.schema)?;
-            let key_of = |row: &Row| -> Vec<GroupKey> { row.iter().map(|v| v.group_key()).collect() };
+            let key_of =
+                |row: &Row| -> Vec<GroupKey> { row.iter().map(|v| v.group_key()).collect() };
             let rows = match (op, all) {
                 (SetOp::Union, true) => {
                     let mut rows = l.rows;
@@ -523,12 +521,7 @@ fn is_lateral(t: &TableRef) -> bool {
 }
 
 /// Evaluate a join tree.
-fn eval_join(
-    db: &Database,
-    ctes: &Ctes,
-    tref: &TableRef,
-    outer: Option<&Env<'_>>,
-) -> Result<Rel> {
+fn eval_join(db: &Database, ctes: &Ctes, tref: &TableRef, outer: Option<&Env<'_>>) -> Result<Rel> {
     let TableRef::Join { left, right, kind, constraint } = tref else {
         return eval_table_primary(db, ctes, tref, outer);
     };
@@ -695,9 +688,7 @@ fn bound_uses_outer(b: &BoundExpr) -> bool {
         BoundExpr::Cast { expr, .. } => bound_uses_outer(expr),
         BoundExpr::Case { operand, branches, else_ } => {
             operand.as_deref().map_or(false, bound_uses_outer)
-                || branches
-                    .iter()
-                    .any(|(c, r)| bound_uses_outer(c) || bound_uses_outer(r))
+                || branches.iter().any(|(c, r)| bound_uses_outer(c) || bound_uses_outer(r))
                 || else_.as_deref().map_or(false, bound_uses_outer)
         }
         BoundExpr::IsNull { expr, .. } => bound_uses_outer(expr),
@@ -733,29 +724,28 @@ pub fn join_rels(
     let ctx = EvalCtx { db, ctes };
 
     // Hash-join path.
-    let keys = match constraint {
-        JoinConstraint::Using(cols) => {
-            let mut lk = Vec::new();
-            let mut rk = Vec::new();
-            for c in cols {
-                let li = l
-                    .scope
-                    .resolve(None, c)?
-                    .ok_or_else(|| Error::bind(format!("USING column '{c}' not in left side")))?;
-                let ri = r
-                    .scope
-                    .resolve(None, c)?
-                    .ok_or_else(|| Error::bind(format!("USING column '{c}' not in right side")))?;
-                lk.push(BoundExpr::Column { depth: 0, index: li });
-                rk.push(BoundExpr::Column { depth: 0, index: ri });
+    let keys =
+        match constraint {
+            JoinConstraint::Using(cols) => {
+                let mut lk = Vec::new();
+                let mut rk = Vec::new();
+                for c in cols {
+                    let li = l.scope.resolve(None, c)?.ok_or_else(|| {
+                        Error::bind(format!("USING column '{c}' not in left side"))
+                    })?;
+                    let ri = r.scope.resolve(None, c)?.ok_or_else(|| {
+                        Error::bind(format!("USING column '{c}' not in right side"))
+                    })?;
+                    lk.push(BoundExpr::Column { depth: 0, index: li });
+                    rk.push(BoundExpr::Column { depth: 0, index: ri });
+                }
+                Some((lk, rk))
             }
-            Some((lk, rk))
-        }
-        JoinConstraint::On(e) if !matches!(kind, JoinKind::Cross) => {
-            try_equi_keys(db, e, &l.scope, &r.scope)
-        }
-        _ => None,
-    };
+            JoinConstraint::On(e) if !matches!(kind, JoinKind::Cross) => {
+                try_equi_keys(db, e, &l.scope, &r.scope)
+            }
+            _ => None,
+        };
 
     if let Some((lkeys, rkeys)) = keys {
         return hash_join(&ctx, l, r, combined, kind, &lkeys, &rkeys, outer);
@@ -1006,16 +996,12 @@ fn rewrite_agg(e: &Expr, group_by: &[Expr], aggs: &[AggCall]) -> Expr {
             lhs: Box::new(rewrite_agg(lhs, group_by, aggs)),
             rhs: Box::new(rewrite_agg(rhs, group_by, aggs)),
         },
-        Expr::UnOp { op, expr } => Expr::UnOp {
-            op: *op,
-            expr: Box::new(rewrite_agg(expr, group_by, aggs)),
-        },
+        Expr::UnOp { op, expr } => {
+            Expr::UnOp { op: *op, expr: Box::new(rewrite_agg(expr, group_by, aggs)) }
+        }
         Expr::Chain { first, rest } => Expr::Chain {
             first: Box::new(rewrite_agg(first, group_by, aggs)),
-            rest: rest
-                .iter()
-                .map(|(op, x)| (*op, rewrite_agg(x, group_by, aggs)))
-                .collect(),
+            rest: rest.iter().map(|(op, x)| (*op, rewrite_agg(x, group_by, aggs))).collect(),
         },
         Expr::Func { name, args, distinct } => Expr::Func {
             name: name.clone(),
@@ -1028,10 +1014,9 @@ fn rewrite_agg(e: &Expr, group_by: &[Expr], aggs: &[AggCall]) -> Expr {
                 .collect(),
             distinct: *distinct,
         },
-        Expr::Cast { expr, ty } => Expr::Cast {
-            expr: Box::new(rewrite_agg(expr, group_by, aggs)),
-            ty: ty.clone(),
-        },
+        Expr::Cast { expr, ty } => {
+            Expr::Cast { expr: Box::new(rewrite_agg(expr, group_by, aggs)), ty: ty.clone() }
+        }
         Expr::Case { operand, branches, else_ } => Expr::Case {
             operand: operand.as_ref().map(|o| Box::new(rewrite_agg(o, group_by, aggs))),
             branches: branches
@@ -1040,10 +1025,9 @@ fn rewrite_agg(e: &Expr, group_by: &[Expr], aggs: &[AggCall]) -> Expr {
                 .collect(),
             else_: else_.as_ref().map(|x| Box::new(rewrite_agg(x, group_by, aggs))),
         },
-        Expr::IsNull { expr, negated } => Expr::IsNull {
-            expr: Box::new(rewrite_agg(expr, group_by, aggs)),
-            negated: *negated,
-        },
+        Expr::IsNull { expr, negated } => {
+            Expr::IsNull { expr: Box::new(rewrite_agg(expr, group_by, aggs)), negated: *negated }
+        }
         Expr::InList { expr, list, negated } => Expr::InList {
             expr: Box::new(rewrite_agg(expr, group_by, aggs)),
             list: list.iter().map(|x| rewrite_agg(x, group_by, aggs)).collect(),
@@ -1357,17 +1341,16 @@ fn run_select(
         // Group rows.
         let mut groups: Vec<(Vec<Value>, Vec<AggState>, Option<Value>)> = Vec::new();
         let mut index: HashMap<Vec<GroupKey>, usize> = HashMap::new();
-        let make_states =
-            || -> Vec<AggState> { aggs.iter().map(|a| AggState::new(&a.name, a.distinct)).collect() };
+        let make_states = || -> Vec<AggState> {
+            aggs.iter().map(|a| AggState::new(&a.name, a.distinct)).collect()
+        };
         if group_by.is_empty() {
             groups.push((vec![], make_states(), None));
         }
         for row in &rows {
             let env = Env { scope: &input.scope, row, parent: outer };
-            let gvals: Vec<Value> = group_bound
-                .iter()
-                .map(|b| b.eval(&ctx, &env))
-                .collect::<Result<_>>()?;
+            let gvals: Vec<Value> =
+                group_bound.iter().map(|b| b.eval(&ctx, &env)).collect::<Result<_>>()?;
             let gidx = if group_by.is_empty() {
                 0
             } else {
@@ -1418,7 +1401,9 @@ fn run_select(
         // Rewrite & bind projection / HAVING / ORDER BY against agg scope.
         let rewritten_proj: Vec<(Option<String>, Expr)> = proj
             .iter()
-            .map(|(n, e)| (n.clone(), rewrite_agg(&resolve_idx_markers(e, &input.scope), &group_by, &aggs)))
+            .map(|(n, e)| {
+                (n.clone(), rewrite_agg(&resolve_idx_markers(e, &input.scope), &group_by, &aggs))
+            })
             .collect();
         let agg_binder = Binder::with_outer(db, &agg_scope, outer);
         let pb: Vec<BoundExpr> = rewritten_proj
@@ -1508,14 +1493,9 @@ fn run_select(
                 continue;
             }
         }
-        let out: Row = proj_bound
-            .iter()
-            .map(|b| b.eval(&ctx, &env))
-            .collect::<Result<_>>()?;
-        let keys: Vec<Value> = order_bound
-            .iter()
-            .map(|b| b.eval(&ctx, &env))
-            .collect::<Result<_>>()?;
+        let out: Row = proj_bound.iter().map(|b| b.eval(&ctx, &env)).collect::<Result<_>>()?;
+        let keys: Vec<Value> =
+            order_bound.iter().map(|b| b.eval(&ctx, &env)).collect::<Result<_>>()?;
         produced.push((keys, out));
     }
 
@@ -1539,7 +1519,8 @@ fn run_select(
         .enumerate()
         .map(|(i, (n, _))| n.clone().unwrap_or_else(|| format!("column{}", i + 1)))
         .collect();
-    let mut schema = Schema::new(names.into_iter().map(|n| TColumn::new(n, DataType::Unknown)).collect());
+    let mut schema =
+        Schema::new(names.into_iter().map(|n| TColumn::new(n, DataType::Unknown)).collect());
     // Infer types from values.
     for (i, col) in schema.columns.iter_mut().enumerate() {
         for (_, row) in &produced {

@@ -299,11 +299,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     return Err(Error::lex("stray ':'"));
                 }
             }
-            other => {
-                return Err(Error::lex(format!(
-                    "unexpected character '{other}' at byte {i}"
-                )))
-            }
+            other => return Err(Error::lex(format!("unexpected character '{other}' at byte {i}"))),
         }
     }
     out.push(Token::Eof);
@@ -382,9 +378,8 @@ fn lex_number(input: &str, start: usize) -> Result<(Token, usize)> {
     }
     let text = &input[start..i];
     if is_float {
-        let v: f64 = text
-            .parse()
-            .map_err(|_| Error::lex(format!("bad numeric literal '{text}'")))?;
+        let v: f64 =
+            text.parse().map_err(|_| Error::lex(format!("bad numeric literal '{text}'")))?;
         Ok((Token::Float(v), i))
     } else {
         match text.parse::<i64>() {
@@ -412,19 +407,16 @@ mod tests {
 
     #[test]
     fn idents_fold_to_lowercase() {
-        assert_eq!(toks("SELECT Foo"), vec![
-            Token::Ident("select".into()),
-            Token::Ident("foo".into())
-        ]);
+        assert_eq!(
+            toks("SELECT Foo"),
+            vec![Token::Ident("select".into()), Token::Ident("foo".into())]
+        );
     }
 
     #[test]
     fn quoted_idents_preserve_case() {
         assert_eq!(toks(r#""MiXeD""#), vec![Token::QuotedIdent("MiXeD".into())]);
-        assert_eq!(
-            toks(r#""a""b""#),
-            vec![Token::QuotedIdent("a\"b".into())]
-        );
+        assert_eq!(toks(r#""a""b""#), vec![Token::QuotedIdent("a\"b".into())]);
     }
 
     #[test]
@@ -487,13 +479,7 @@ mod tests {
     fn chained_comparison_lexes_as_separate_ops() {
         assert_eq!(
             toks("0 <= ar <= 5"),
-            vec![
-                Token::Int(0),
-                Token::LtEq,
-                Token::Ident("ar".into()),
-                Token::LtEq,
-                Token::Int(5)
-            ]
+            vec![Token::Int(0), Token::LtEq, Token::Ident("ar".into()), Token::LtEq, Token::Int(5)]
         );
     }
 

@@ -18,6 +18,7 @@ pub mod lexer;
 pub mod parser;
 pub mod table;
 pub mod types;
+pub mod wire;
 
 pub use catalog::{Ctes, Database, ScalarUdf, SolveHandler};
 pub use error::{Error, Result};

@@ -39,6 +39,88 @@ pub fn parse_statements(sql: &str) -> Result<Vec<Statement>> {
     Ok(out)
 }
 
+/// Split a script into the SQL text of its individual statements
+/// without parsing them: `;` separators are recognized lexically,
+/// honouring single-quoted strings (with `''` escapes), double-quoted
+/// identifiers, `--` line comments and `/* ... */` block comments
+/// (nested, as the lexer accepts them). Used by clients that forward
+/// statements one at a time — e.g. the `solvedb` shell talking to a
+/// remote `solvedbd` — so the server sees the REPL's `;` semantics.
+///
+/// Pieces that are empty or all-whitespace/comments are dropped. An
+/// unterminated string or comment yields the remainder as one piece
+/// (the parser will report the real error).
+pub fn split_statements(sql: &str) -> Vec<String> {
+    let bytes = sql.as_bytes();
+    let mut pieces = Vec::new();
+    let mut start = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\'' => {
+                i += 1;
+                while i < bytes.len() {
+                    if bytes[i] == b'\'' {
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            i += 2; // '' escape
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                i += 1;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    i += 1;
+                }
+                i = (i + 1).min(bytes.len());
+            }
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b';' => {
+                pieces.push(&sql[start..i]);
+                i += 1;
+                start = i;
+            }
+            _ => i += 1,
+        }
+    }
+    pieces.push(&sql[start..]);
+    pieces
+        .into_iter()
+        .map(str::trim)
+        .filter(|p| !p.is_empty() && !is_all_comments(p))
+        .map(str::to_string)
+        .collect()
+}
+
+/// True when the piece tokenizes to nothing (whitespace/comments only).
+fn is_all_comments(piece: &str) -> bool {
+    matches!(tokenize(piece).as_deref(), Ok([Token::Eof]) | Ok([]))
+}
+
 /// Parse a complete query (SELECT / VALUES / WITH ...).
 pub fn parse_query(sql: &str) -> Result<Query> {
     let mut p = Parser::new(sql)?;
@@ -58,11 +140,47 @@ pub fn parse_expr(sql: &str) -> Result<Expr> {
 
 /// Keywords that terminate an implicit (AS-less) alias position.
 const RESERVED_AFTER_TABLE: &[&str] = &[
-    "where", "group", "having", "order", "limit", "offset", "union", "intersect", "except",
-    "on", "using", "join", "inner", "left", "right", "full", "cross", "natural", "when",
-    "then", "else", "end", "from", "as", "and", "or", "not", "minimize", "maximize",
-    "subjectto", "inline", "with", "in", "is", "between", "like", "ilike", "returning",
-    "set", "values", "lateral",
+    "where",
+    "group",
+    "having",
+    "order",
+    "limit",
+    "offset",
+    "union",
+    "intersect",
+    "except",
+    "on",
+    "using",
+    "join",
+    "inner",
+    "left",
+    "right",
+    "full",
+    "cross",
+    "natural",
+    "when",
+    "then",
+    "else",
+    "end",
+    "from",
+    "as",
+    "and",
+    "or",
+    "not",
+    "minimize",
+    "maximize",
+    "subjectto",
+    "inline",
+    "with",
+    "in",
+    "is",
+    "between",
+    "like",
+    "ilike",
+    "returning",
+    "set",
+    "values",
+    "lateral",
 ];
 
 struct Parser {
@@ -529,11 +647,8 @@ impl Parser {
                 projection.push(SelectItem::Wildcard { qualifier: Some(q) });
             } else {
                 let expr = self.parse_expr()?;
-                let alias = if self.eat_kw("as") {
-                    Some(self.ident()?)
-                } else {
-                    self.alias_ident()
-                };
+                let alias =
+                    if self.eat_kw("as") { Some(self.ident()?) } else { self.alias_ident() };
                 projection.push(SelectItem::Expr { expr, alias });
             }
             if !self.eat(&Token::Comma) {
@@ -616,12 +731,8 @@ impl Parser {
             } else {
                 JoinConstraint::None
             };
-            left = TableRef::Join {
-                left: Box::new(left),
-                right: Box::new(right),
-                kind,
-                constraint,
-            };
+            left =
+                TableRef::Join { left: Box::new(left), right: Box::new(right), kind, constraint };
         }
         Ok(left)
     }
@@ -650,11 +761,7 @@ impl Parser {
     }
 
     fn parse_table_alias(&mut self) -> Result<Option<TableAlias>> {
-        let name = if self.eat_kw("as") {
-            Some(self.ident()?)
-        } else {
-            self.alias_ident()
-        };
+        let name = if self.eat_kw("as") { Some(self.ident()?) } else { self.alias_ident() };
         let Some(name) = name else { return Ok(None) };
         let mut columns = Vec::new();
         if self.peek() == &Token::LParen && !self.starts_query_at(1) {
@@ -781,16 +888,7 @@ impl Parser {
         } else {
             None
         };
-        Ok(SolveStmt {
-            kind,
-            input,
-            inlines,
-            ctes,
-            minimize,
-            maximize,
-            subjectto,
-            using,
-        })
+        Ok(SolveStmt { kind, input, inlines, ctes, minimize, maximize, subjectto, using })
     }
 
     /// `[alias[(cols|*)] AS] (query)` — a decision relation.
@@ -966,11 +1064,7 @@ impl Parser {
                         ],
                         distinct: false,
                     };
-                    e = if negated {
-                        eq
-                    } else {
-                        Expr::UnOp { op: UnOp::Not, expr: Box::new(eq) }
-                    };
+                    e = if negated { eq } else { Expr::UnOp { op: UnOp::Not, expr: Box::new(eq) } };
                 } else {
                     return Err(Error::parse(format!(
                         "expected NULL/TRUE/FALSE/DISTINCT after IS, found '{}'",
@@ -1211,11 +1305,8 @@ impl Parser {
             }
         }
         if self.eat_kw("case") {
-            let operand = if !self.peek_kw("when") {
-                Some(Box::new(self.parse_expr()?))
-            } else {
-                None
-            };
+            let operand =
+                if !self.peek_kw("when") { Some(Box::new(self.parse_expr()?)) } else { None };
             let mut branches = Vec::new();
             while self.eat_kw("when") {
                 let c = self.parse_expr()?;
@@ -1223,11 +1314,7 @@ impl Parser {
                 let r = self.parse_expr()?;
                 branches.push((c, r));
             }
-            let else_ = if self.eat_kw("else") {
-                Some(Box::new(self.parse_expr()?))
-            } else {
-                None
-            };
+            let else_ = if self.eat_kw("else") { Some(Box::new(self.parse_expr()?)) } else { None };
             self.expect_kw("end")?;
             return Ok(Expr::Case { operand, branches, else_ });
         }
@@ -1271,17 +1358,16 @@ impl Parser {
                             value: Expr::Wildcard { qualifier: None },
                         });
                     } else {
-                        let arg_name = if matches!(
-                            self.peek(),
-                            Token::Ident(_) | Token::QuotedIdent(_)
-                        ) && self.peek_at(1) == &Token::Assign
-                        {
-                            let n = self.ident()?;
-                            self.expect(&Token::Assign)?;
-                            Some(n)
-                        } else {
-                            None
-                        };
+                        let arg_name =
+                            if matches!(self.peek(), Token::Ident(_) | Token::QuotedIdent(_))
+                                && self.peek_at(1) == &Token::Assign
+                            {
+                                let n = self.ident()?;
+                                self.expect(&Token::Assign)?;
+                                Some(n)
+                            } else {
+                                None
+                            };
                         let value = self.parse_arg_value()?;
                         args.push(FuncArg { name: arg_name, value });
                     }
@@ -1339,10 +1425,7 @@ mod tests {
     fn casts_and_literals() {
         assert_eq!(roundtrip_expr("NULL::int"), "(NULL)::int8");
         assert_eq!(roundtrip_expr("21.0::float8"), "(21.0)::float8");
-        assert_eq!(
-            roundtrip_expr("interval '1 hour'"),
-            "interval '1 hour'"
-        );
+        assert_eq!(roundtrip_expr("interval '1 hour'"), "interval '1 hour'");
         assert_eq!(roundtrip_expr("cast(x as text)"), "(x)::text");
         assert!(parse_expr("x::double precision").is_ok());
     }
@@ -1368,8 +1451,8 @@ mod tests {
 
     #[test]
     fn simple_select() {
-        let q = parse_query("SELECT a, b AS bee FROM t WHERE a > 1 ORDER BY b DESC LIMIT 3")
-            .unwrap();
+        let q =
+            parse_query("SELECT a, b AS bee FROM t WHERE a > 1 ORDER BY b DESC LIMIT 3").unwrap();
         let SetExpr::Select(s) = &q.body else { panic!() };
         assert_eq!(s.projection.len(), 2);
         assert!(s.where_.is_some());
@@ -1533,10 +1616,8 @@ mod tests {
 
     #[test]
     fn modeleval_statement() {
-        let s = parse_statement(
-            "MODELEVAL (SELECT a1, b1, b2 FROM pars) IN (SELECT m FROM model)",
-        )
-        .unwrap();
+        let s = parse_statement("MODELEVAL (SELECT a1, b1, b2 FROM pars) IN (SELECT m FROM model)")
+            .unwrap();
         assert!(matches!(s, Statement::ModelEval { .. }));
     }
 
@@ -1591,10 +1672,7 @@ mod tests {
 
     #[test]
     fn between_and_in() {
-        assert_eq!(
-            roundtrip_expr("x between 1 and 5"),
-            "(x BETWEEN 1 AND 5)"
-        );
+        assert_eq!(roundtrip_expr("x between 1 and 5"), "(x BETWEEN 1 AND 5)");
         assert_eq!(roundtrip_expr("x not in (1, 2)"), "(x NOT IN (1, 2))");
         let e = parse_expr("x in (select y from t)").unwrap();
         assert!(matches!(e, Expr::InSubquery { .. }));
@@ -1614,10 +1692,9 @@ mod tests {
 
     #[test]
     fn multi_statement_script() {
-        let stmts = parse_statements(
-            "CREATE TABLE t (a int); INSERT INTO t VALUES (1); SELECT * FROM t;",
-        )
-        .unwrap();
+        let stmts =
+            parse_statements("CREATE TABLE t (a int); INSERT INTO t VALUES (1); SELECT * FROM t;")
+                .unwrap();
         assert_eq!(stmts.len(), 3);
     }
 
@@ -1627,5 +1704,40 @@ mod tests {
         assert!(parse_statement("SELECT FROM").is_err());
         assert!(parse_statement("SOLVESELECT t(x) AS SELECT 1").is_err());
         assert!(parse_expr("1 +").is_err());
+    }
+
+    #[test]
+    fn split_statements_on_semicolons() {
+        let pieces =
+            split_statements("CREATE TABLE t (a int); INSERT INTO t VALUES (1);\nSELECT * FROM t");
+        assert_eq!(
+            pieces,
+            vec!["CREATE TABLE t (a int)", "INSERT INTO t VALUES (1)", "SELECT * FROM t"]
+        );
+    }
+
+    #[test]
+    fn split_statements_ignores_quoted_and_commented_semicolons() {
+        let pieces = split_statements(
+            "SELECT 'a;''b' -- trailing; comment\n, \"odd;name\" /* c; */; SELECT 2;;",
+        );
+        assert_eq!(pieces.len(), 2, "{pieces:?}");
+        assert!(pieces[0].contains("'a;''b'"));
+        assert_eq!(pieces[1], "SELECT 2");
+    }
+
+    #[test]
+    fn split_statements_drops_comment_only_pieces() {
+        let pieces = split_statements("-- nothing here\n; /* still nothing */;SELECT 1");
+        assert_eq!(pieces, vec!["SELECT 1"]);
+        assert!(split_statements("  \n\t ").is_empty());
+    }
+
+    #[test]
+    fn split_pieces_parse_individually() {
+        let script = "CREATE TABLE t (a int); INSERT INTO t VALUES (1); SELECT * FROM t;";
+        for piece in split_statements(script) {
+            parse_statement(&piece).unwrap();
+        }
     }
 }

@@ -31,9 +31,7 @@ impl Schema {
     }
 
     pub fn from_names(names: &[&str]) -> Schema {
-        Schema {
-            columns: names.iter().map(|n| Column::new(*n, DataType::Unknown)).collect(),
-        }
+        Schema { columns: names.iter().map(|n| Column::new(*n, DataType::Unknown)).collect() }
     }
 
     pub fn len(&self) -> usize {
@@ -57,7 +55,9 @@ impl Schema {
 pub type Row = Vec<Value>;
 
 /// An in-memory table (also used for intermediate results).
-#[derive(Debug, Clone, Default)]
+/// Equality is structural over schema and rows (with [`Value`]'s
+/// numeric cross-type semantics), used by tests and the wire codec.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Table {
     pub schema: Schema,
     pub rows: Vec<Row>,
@@ -123,10 +123,8 @@ impl Table {
 
     /// Fetch by column name; test convenience.
     pub fn value_by_name(&self, row: usize, name: &str) -> Result<&Value> {
-        let idx = self
-            .schema
-            .index_of(name)
-            .ok_or_else(|| Error::bind(format!("no column '{name}'")))?;
+        let idx =
+            self.schema.index_of(name).ok_or_else(|| Error::bind(format!("no column '{name}'")))?;
         Ok(&self.rows[row][idx])
     }
 
@@ -147,10 +145,8 @@ impl Table {
 
     /// Extract one column as a vector.
     pub fn column_values(&self, name: &str) -> Result<Vec<Value>> {
-        let idx = self
-            .schema
-            .index_of(name)
-            .ok_or_else(|| Error::bind(format!("no column '{name}'")))?;
+        let idx =
+            self.schema.index_of(name).ok_or_else(|| Error::bind(format!("no column '{name}'")))?;
         Ok(self.rows.iter().map(|r| r[idx].clone()).collect())
     }
 }
@@ -169,11 +165,8 @@ impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let headers: Vec<String> = self.schema.columns.iter().map(|c| c.name.clone()).collect();
         let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
-        let rendered: Vec<Vec<String>> = self
-            .rows
-            .iter()
-            .map(|r| r.iter().map(|v| v.to_string()).collect())
-            .collect();
+        let rendered: Vec<Vec<String>> =
+            self.rows.iter().map(|r| r.iter().map(|v| v.to_string()).collect()).collect();
         for row in &rendered {
             for (i, cell) in row.iter().enumerate() {
                 widths[i] = widths[i].max(cell.len());
@@ -210,10 +203,7 @@ mod tests {
     fn from_rows_infers_types() {
         let t = Table::from_rows(
             &["a", "b"],
-            vec![
-                vec![Value::Null, Value::text("x")],
-                vec![Value::Int(2), Value::text("y")],
-            ],
+            vec![vec![Value::Null, Value::text("x")], vec![Value::Int(2), Value::text("y")]],
         );
         assert_eq!(t.schema.columns[0].ty, DataType::Int);
         assert_eq!(t.schema.columns[1].ty, DataType::Text);

@@ -91,10 +91,7 @@ mod tests {
         assert_eq!(DataType::from_sql_name("float8").unwrap(), DataType::Float);
         assert_eq!(DataType::from_sql_name("INT4").unwrap(), DataType::Int);
         assert_eq!(DataType::from_sql_name("Boolean").unwrap(), DataType::Bool);
-        assert_eq!(
-            DataType::from_sql_name("model").unwrap(),
-            DataType::Named("model".into())
-        );
+        assert_eq!(DataType::from_sql_name("model").unwrap(), DataType::Named("model".into()));
     }
 
     #[test]

@@ -284,10 +284,7 @@ mod tests {
     fn interval_formatting() {
         assert_eq!(format_interval(MICROS_PER_HOUR), "1 hours");
         assert_eq!(format_interval(0), "0 seconds");
-        assert_eq!(
-            format_interval(MICROS_PER_DAY + 2 * MICROS_PER_HOUR),
-            "1 days 2 hours"
-        );
+        assert_eq!(format_interval(MICROS_PER_DAY + 2 * MICROS_PER_HOUR), "1 days 2 hours");
     }
 
     #[test]

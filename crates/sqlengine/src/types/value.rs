@@ -57,10 +57,9 @@ impl Value {
             Value::Int(i) => Ok(*i as f64),
             Value::Float(f) => Ok(*f),
             Value::Bool(b) => Ok(if *b { 1.0 } else { 0.0 }),
-            other => Err(Error::eval(format!(
-                "expected a numeric value, got {}",
-                other.type_desc()
-            ))),
+            other => {
+                Err(Error::eval(format!("expected a numeric value, got {}", other.type_desc())))
+            }
         }
     }
 
@@ -68,10 +67,9 @@ impl Value {
         match self {
             Value::Int(i) => Ok(*i),
             Value::Float(f) if f.fract() == 0.0 => Ok(*f as i64),
-            other => Err(Error::eval(format!(
-                "expected an integer value, got {}",
-                other.type_desc()
-            ))),
+            other => {
+                Err(Error::eval(format!("expected an integer value, got {}", other.type_desc())))
+            }
         }
     }
 
@@ -79,20 +77,16 @@ impl Value {
         match self {
             Value::Null => Ok(None),
             Value::Bool(b) => Ok(Some(*b)),
-            other => Err(Error::eval(format!(
-                "expected a boolean value, got {}",
-                other.type_desc()
-            ))),
+            other => {
+                Err(Error::eval(format!("expected a boolean value, got {}", other.type_desc())))
+            }
         }
     }
 
     pub fn as_str(&self) -> Result<&str> {
         match self {
             Value::Text(s) => Ok(s),
-            other => Err(Error::eval(format!(
-                "expected a text value, got {}",
-                other.type_desc()
-            ))),
+            other => Err(Error::eval(format!("expected a text value, got {}", other.type_desc()))),
         }
     }
 
@@ -103,10 +97,7 @@ impl Value {
     /// SQL equality (`=`): NULL-safe callers must check for NULL first.
     /// Numeric values compare across Int/Float.
     pub fn sql_eq(&self, other: &Value) -> Result<bool> {
-        Ok(self
-            .sql_cmp(other)?
-            .map(|o| o == Ordering::Equal)
-            .unwrap_or(false))
+        Ok(self.sql_cmp(other)?.map(|o| o == Ordering::Equal).unwrap_or(false))
     }
 
     /// SQL comparison. Returns `None` if either side is NULL.
@@ -363,11 +354,7 @@ impl Value {
                     return r;
                 }
             }
-            return Err(Error::eval(format!(
-                "cannot cast {} to {}",
-                self.type_desc(),
-                n
-            )));
+            return Err(Error::eval(format!("cannot cast {} to {}", self.type_desc(), n)));
         }
         let fail = || Error::eval(format!("cannot cast {} to {}", self.type_desc(), ty));
         // Custom values may define their own casts to primitive types
@@ -390,9 +377,7 @@ impl Value {
             }
             (Bool(b), DataType::Int) => Int(*b as i64),
             (Int(i), DataType::Bool) => Bool(*i != 0),
-            (Text(s), DataType::Int) => {
-                Int(s.trim().parse().map_err(|_| fail())?)
-            }
+            (Text(s), DataType::Int) => Int(s.trim().parse().map_err(|_| fail())?),
             (Text(s), DataType::Float) => Float(s.trim().parse().map_err(|_| fail())?),
             (Text(s), DataType::Bool) => match s.trim().to_ascii_lowercase().as_str() {
                 "t" | "true" | "yes" | "on" | "1" => Bool(true),
@@ -424,11 +409,9 @@ impl Value {
             Value::Timestamp(t) => GroupKey::Ts(*t),
             Value::Interval(i) => GroupKey::Iv(*i),
             Value::Bits(b) => GroupKey::Bits(*b),
-            Value::Custom(c) => GroupKey::Text(Arc::from(format!(
-                "{}::{}",
-                c.to_text(),
-                c.type_name()
-            ))),
+            Value::Custom(c) => {
+                GroupKey::Text(Arc::from(format!("{}::{}", c.to_text(), c.type_name())))
+            }
         }
     }
 }
@@ -610,10 +593,7 @@ mod tests {
 
     #[test]
     fn concat_stringifies() {
-        assert_eq!(
-            b(BinOp::Concat, "x=", 3i64).unwrap(),
-            Value::text("x=3")
-        );
+        assert_eq!(b(BinOp::Concat, "x=", 3i64).unwrap(), Value::text("x=3"));
     }
 
     #[test]
@@ -628,22 +608,11 @@ mod tests {
 
     #[test]
     fn casts() {
+        assert_eq!(Value::text("42").cast(&DataType::Int).unwrap(), Value::Int(42));
+        assert_eq!(Value::Float(2.6).cast(&DataType::Int).unwrap(), Value::Int(3));
+        assert_eq!(Value::Int(1).cast(&DataType::Bool).unwrap(), Value::Bool(true));
         assert_eq!(
-            Value::text("42").cast(&DataType::Int).unwrap(),
-            Value::Int(42)
-        );
-        assert_eq!(
-            Value::Float(2.6).cast(&DataType::Int).unwrap(),
-            Value::Int(3)
-        );
-        assert_eq!(
-            Value::Int(1).cast(&DataType::Bool).unwrap(),
-            Value::Bool(true)
-        );
-        assert_eq!(
-            Value::text("2017/07/02 07:00")
-                .cast(&DataType::Timestamp)
-                .unwrap(),
+            Value::text("2017/07/02 07:00").cast(&DataType::Timestamp).unwrap(),
             Value::Timestamp(timeval::parse_timestamp("2017-07-02 07:00").unwrap())
         );
         assert!(Value::text("nope").cast(&DataType::Int).is_err());
@@ -662,10 +631,7 @@ mod tests {
     fn group_keys_unify_numerics() {
         assert_eq!(Value::Int(1).group_key(), Value::Float(1.0).group_key());
         assert_ne!(Value::Int(1).group_key(), Value::Float(1.5).group_key());
-        assert_eq!(
-            Value::Float(0.0).group_key(),
-            Value::Float(-0.0).group_key()
-        );
+        assert_eq!(Value::Float(0.0).group_key(), Value::Float(-0.0).group_key());
     }
 
     #[test]

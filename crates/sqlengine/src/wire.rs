@@ -1,0 +1,485 @@
+//! Compact binary serialization for [`Value`], [`Schema`] and [`Table`].
+//!
+//! This is the payload format of the `solvedbd` network protocol (see
+//! `crates/server/PROTOCOL.md`): result tables produced by the engine
+//! must cross a process boundary, so every value variant — including
+//! NULLs, timestamps, intervals and bit strings — has a stable,
+//! versionless byte encoding. All multi-byte integers are little-endian.
+//!
+//! Layout summary:
+//!
+//! ```text
+//! value   := tag:u8 payload
+//!   0x00 NULL
+//!   0x01 BOOL       b:u8 (0|1)
+//!   0x02 INT        i64
+//!   0x03 FLOAT      f64 bits
+//!   0x04 TEXT       len:u32 utf8[len]
+//!   0x05 TIMESTAMP  micros:i64
+//!   0x06 INTERVAL   micros:i64
+//!   0x07 BITS       width:u8 raw:u64
+//!   0x08 CUSTOM     type:(len:u32 utf8) rendering:(len:u32 utf8)
+//! type    := tag:u8 [len:u32 utf8[len]]      (0x08 = named type)
+//! column  := name:(len:u32 utf8) type
+//! schema  := ncols:u16 column*
+//! table   := schema nrows:u32 (value*ncols)*nrows
+//! ```
+//!
+//! Custom values (symbolic expressions, models) serialize as their type
+//! name plus textual rendering and deliberately decode to
+//! [`Value::Text`]: solver-internal objects do not round-trip across
+//! the wire, only their printable form does.
+//!
+//! Decoding is defensive: unknown tags, truncated buffers, invalid
+//! UTF-8 and absurd length prefixes all return `Err` rather than
+//! panicking, so a malicious or corrupt peer cannot crash the server.
+
+use crate::error::{Error, Result};
+use crate::table::{Column, Schema, Table};
+use crate::types::{BitString, DataType, Value};
+
+/// Upper bound for a single length-prefixed string (64 MiB).
+const MAX_STR_LEN: u32 = 64 << 20;
+/// Upper bound for row count in one table (16M rows).
+const MAX_ROWS: u32 = 16 << 20;
+/// Upper bound for column count.
+const MAX_COLS: u16 = 4096;
+
+mod tag {
+    pub const NULL: u8 = 0x00;
+    pub const BOOL: u8 = 0x01;
+    pub const INT: u8 = 0x02;
+    pub const FLOAT: u8 = 0x03;
+    pub const TEXT: u8 = 0x04;
+    pub const TIMESTAMP: u8 = 0x05;
+    pub const INTERVAL: u8 = 0x06;
+    pub const BITS: u8 = 0x07;
+    pub const CUSTOM: u8 = 0x08;
+}
+
+mod type_tag {
+    pub const UNKNOWN: u8 = 0x00;
+    pub const BOOL: u8 = 0x01;
+    pub const INT: u8 = 0x02;
+    pub const FLOAT: u8 = 0x03;
+    pub const TEXT: u8 = 0x04;
+    pub const TIMESTAMP: u8 = 0x05;
+    pub const INTERVAL: u8 = 0x06;
+    pub const BITS: u8 = 0x07;
+    pub const NAMED: u8 = 0x08;
+}
+
+fn err(msg: impl Into<String>) -> Error {
+    Error::eval(format!("wire: {}", msg.into()))
+}
+
+// ---------------------------------------------------------------------------
+// Reader over a byte slice
+// ---------------------------------------------------------------------------
+
+/// Cursor over an input buffer; every read is bounds-checked.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(err(format!(
+                "truncated input: need {n} byte(s) at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64> {
+        Ok(self.u64()? as i64)
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let len = self.u32()?;
+        if len > MAX_STR_LEN {
+            return Err(err(format!("string length {len} exceeds limit {MAX_STR_LEN}")));
+        }
+        let bytes = self.take(len as usize)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| err("invalid UTF-8 in string"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Append the encoding of one value.
+pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(tag::NULL),
+        Value::Bool(b) => {
+            out.push(tag::BOOL);
+            out.push(*b as u8);
+        }
+        Value::Int(i) => {
+            out.push(tag::INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            out.push(tag::FLOAT);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Text(s) => {
+            out.push(tag::TEXT);
+            put_str(out, s);
+        }
+        Value::Timestamp(t) => {
+            out.push(tag::TIMESTAMP);
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+        Value::Interval(i) => {
+            out.push(tag::INTERVAL);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Bits(b) => {
+            out.push(tag::BITS);
+            out.push(b.len());
+            out.extend_from_slice(&b.raw().to_le_bytes());
+        }
+        Value::Custom(c) => {
+            out.push(tag::CUSTOM);
+            put_str(out, c.type_name());
+            put_str(out, &c.to_text());
+        }
+    }
+}
+
+/// Decode one value.
+pub fn decode_value(r: &mut Reader<'_>) -> Result<Value> {
+    Ok(match r.u8()? {
+        tag::NULL => Value::Null,
+        tag::BOOL => match r.u8()? {
+            0 => Value::Bool(false),
+            1 => Value::Bool(true),
+            other => return Err(err(format!("invalid bool byte 0x{other:02x}"))),
+        },
+        tag::INT => Value::Int(r.i64()?),
+        tag::FLOAT => Value::Float(r.f64()?),
+        tag::TEXT => Value::text(r.string()?),
+        tag::TIMESTAMP => Value::Timestamp(r.i64()?),
+        tag::INTERVAL => Value::Interval(r.i64()?),
+        tag::BITS => {
+            let width = r.u8()?;
+            let raw = r.u64()?;
+            Value::Bits(BitString::new(width, raw)?)
+        }
+        tag::CUSTOM => {
+            // Solver-internal objects don't round-trip; keep the
+            // printable form (documented lossy decode).
+            let _type_name = r.string()?;
+            Value::text(r.string()?)
+        }
+        other => return Err(err(format!("unknown value tag 0x{other:02x}"))),
+    })
+}
+
+fn encode_datatype(ty: &DataType, out: &mut Vec<u8>) {
+    match ty {
+        DataType::Unknown => out.push(type_tag::UNKNOWN),
+        DataType::Bool => out.push(type_tag::BOOL),
+        DataType::Int => out.push(type_tag::INT),
+        DataType::Float => out.push(type_tag::FLOAT),
+        DataType::Text => out.push(type_tag::TEXT),
+        DataType::Timestamp => out.push(type_tag::TIMESTAMP),
+        DataType::Interval => out.push(type_tag::INTERVAL),
+        DataType::Bits => out.push(type_tag::BITS),
+        DataType::Named(n) => {
+            out.push(type_tag::NAMED);
+            put_str(out, n);
+        }
+    }
+}
+
+fn decode_datatype(r: &mut Reader<'_>) -> Result<DataType> {
+    Ok(match r.u8()? {
+        type_tag::UNKNOWN => DataType::Unknown,
+        type_tag::BOOL => DataType::Bool,
+        type_tag::INT => DataType::Int,
+        type_tag::FLOAT => DataType::Float,
+        type_tag::TEXT => DataType::Text,
+        type_tag::TIMESTAMP => DataType::Timestamp,
+        type_tag::INTERVAL => DataType::Interval,
+        type_tag::BITS => DataType::Bits,
+        type_tag::NAMED => DataType::Named(r.string()?),
+        other => return Err(err(format!("unknown type tag 0x{other:02x}"))),
+    })
+}
+
+/// Append the encoding of a schema.
+pub fn encode_schema(schema: &Schema, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(schema.len() as u16).to_le_bytes());
+    for col in &schema.columns {
+        put_str(out, &col.name);
+        encode_datatype(&col.ty, out);
+    }
+}
+
+/// Decode a schema.
+pub fn decode_schema(r: &mut Reader<'_>) -> Result<Schema> {
+    let ncols = r.u16()?;
+    if ncols > MAX_COLS {
+        return Err(err(format!("column count {ncols} exceeds limit {MAX_COLS}")));
+    }
+    let mut columns = Vec::with_capacity(ncols as usize);
+    for _ in 0..ncols {
+        let name = r.string()?;
+        let ty = decode_datatype(r)?;
+        columns.push(Column::new(name, ty));
+    }
+    Ok(Schema::new(columns))
+}
+
+/// Encode a whole table (schema + rows) into a fresh buffer.
+pub fn encode_table(table: &Table) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + table.num_rows() * table.num_columns() * 9);
+    encode_schema(&table.schema, &mut out);
+    out.extend_from_slice(&(table.num_rows() as u32).to_le_bytes());
+    for row in &table.rows {
+        for v in row {
+            encode_value(v, &mut out);
+        }
+    }
+    out
+}
+
+/// Decode a table from a buffer, requiring that the buffer is fully
+/// consumed (trailing garbage is an error).
+pub fn decode_table(buf: &[u8]) -> Result<Table> {
+    let mut r = Reader::new(buf);
+    let t = decode_table_from(&mut r)?;
+    if !r.is_empty() {
+        return Err(err(format!("{} trailing byte(s) after table", r.remaining())));
+    }
+    Ok(t)
+}
+
+/// Decode a table from a reader positioned at its start.
+pub fn decode_table_from(r: &mut Reader<'_>) -> Result<Table> {
+    let schema = decode_schema(r)?;
+    let nrows = r.u32()?;
+    if nrows > MAX_ROWS {
+        return Err(err(format!("row count {nrows} exceeds limit {MAX_ROWS}")));
+    }
+    let ncols = schema.len();
+    // Sanity bound: each value is at least one byte, so a well-formed
+    // buffer must hold at least nrows * ncols more bytes.
+    if (nrows as usize).saturating_mul(ncols) > r.remaining() {
+        return Err(err("row count inconsistent with remaining input"));
+    }
+    let mut rows = Vec::with_capacity(nrows as usize);
+    for _ in 0..nrows {
+        let mut row = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            row.push(decode_value(r)?);
+        }
+        rows.push(row);
+    }
+    Ok(Table::with_rows(schema, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::timeval;
+
+    fn roundtrip_value(v: Value) -> Value {
+        let mut buf = Vec::new();
+        encode_value(&v, &mut buf);
+        let mut r = Reader::new(&buf);
+        let got = decode_value(&mut r).expect("decode");
+        assert!(r.is_empty(), "decoder left {} byte(s)", r.remaining());
+        got
+    }
+
+    #[test]
+    fn value_roundtrips() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(0),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::Float(3.5),
+            Value::Float(-0.0),
+            Value::Float(f64::INFINITY),
+            Value::text(""),
+            Value::text("héllo — ünïcode"),
+            Value::Timestamp(timeval::parse_timestamp("2021-03-23 12:34:56").unwrap()),
+            Value::Interval(timeval::MICROS_PER_HOUR * 36),
+            Value::Bits(BitString::parse("10110").unwrap()),
+        ] {
+            assert_eq!(roundtrip_value(v.clone()), v, "round-trip of {v:?}");
+        }
+    }
+
+    #[test]
+    fn nan_float_roundtrips_bitwise() {
+        let mut buf = Vec::new();
+        encode_value(&Value::Float(f64::NAN), &mut buf);
+        match decode_value(&mut Reader::new(&buf)).unwrap() {
+            Value::Float(f) => assert!(f.is_nan()),
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn table_roundtrips_with_all_types() {
+        let t = Table::from_rows(
+            &["i", "f", "s", "ts", "iv", "b"],
+            vec![
+                vec![
+                    Value::Int(1),
+                    Value::Float(0.5),
+                    Value::text("one"),
+                    Value::Timestamp(1_000_000),
+                    Value::Interval(timeval::MICROS_PER_HOUR),
+                    Value::Bits(BitString::parse("01").unwrap()),
+                ],
+                vec![Value::Null, Value::Null, Value::Null, Value::Null, Value::Null, Value::Null],
+            ],
+        );
+        let got = decode_table(&encode_table(&t)).unwrap();
+        assert_eq!(got, t);
+    }
+
+    #[test]
+    fn empty_table_roundtrips() {
+        let t = Table::from_rows(&["a"], vec![]);
+        assert_eq!(decode_table(&encode_table(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_is_rejected() {
+        let t = Table::from_rows(&["x", "y"], vec![vec![Value::Int(7), Value::text("abc")]]);
+        let full = encode_table(&t);
+        for cut in 0..full.len() {
+            assert!(
+                decode_table(&full[..cut]).is_err(),
+                "prefix of {cut} bytes unexpectedly decoded"
+            );
+        }
+        assert!(decode_table(&full).is_ok());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let t = Table::from_rows(&["x"], vec![vec![Value::Int(1)]]);
+        let mut buf = encode_table(&t);
+        buf.push(0xFF);
+        assert!(decode_table(&buf).is_err());
+    }
+
+    #[test]
+    fn bad_tags_are_rejected() {
+        assert!(decode_value(&mut Reader::new(&[0xEE])).is_err());
+        assert!(decode_value(&mut Reader::new(&[super::tag::BOOL, 7])).is_err());
+        // Bits wider than 64.
+        let mut buf = vec![super::tag::BITS, 80];
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        assert!(decode_value(&mut Reader::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn absurd_lengths_are_rejected_without_allocation() {
+        // TEXT claiming u32::MAX bytes.
+        let mut buf = vec![super::tag::TEXT];
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_value(&mut Reader::new(&buf)).is_err());
+
+        // Table claiming 2^31 rows with a 3-byte body.
+        let t = Table::from_rows(&["x"], vec![]);
+        let mut enc = encode_table(&t);
+        let n = enc.len();
+        enc[n - 4..].copy_from_slice(&(1u32 << 31).to_le_bytes());
+        enc.extend_from_slice(&[0, 0, 0]);
+        assert!(decode_table(&enc).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected() {
+        let mut buf = vec![super::tag::TEXT];
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(decode_value(&mut Reader::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn multi_kilobyte_table_roundtrips() {
+        let rows: Vec<Vec<Value>> = (0..500)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Float(i as f64 * 0.25),
+                    Value::text(format!("row-{i}-{}", "x".repeat(i as usize % 40))),
+                ]
+            })
+            .collect();
+        let t = Table::from_rows(&["id", "v", "s"], rows);
+        let enc = encode_table(&t);
+        assert!(enc.len() > 4096, "expected a multi-KB payload, got {}", enc.len());
+        assert_eq!(decode_table(&enc).unwrap(), t);
+    }
+
+    #[test]
+    fn named_type_schema_roundtrips() {
+        let schema = Schema::new(vec![
+            Column::new("m", DataType::Named("model".into())),
+            Column::new("x", DataType::Float),
+        ]);
+        let mut buf = Vec::new();
+        encode_schema(&schema, &mut buf);
+        let got = decode_schema(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(got, schema);
+    }
+}

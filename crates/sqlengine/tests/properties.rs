@@ -23,11 +23,11 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(BinOp::Add),
-                Just(BinOp::Sub),
-                Just(BinOp::Mul),
-            ])
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul),]
+            )
                 .prop_map(|(a, b, op)| Expr::BinOp {
                     op,
                     lhs: Box::new(a),
@@ -41,11 +41,7 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
             (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| Expr::Case {
                 operand: None,
                 branches: vec![(
-                    Expr::BinOp {
-                        op: BinOp::Gt,
-                        lhs: Box::new(c),
-                        rhs: Box::new(Expr::int(0))
-                    },
+                    Expr::BinOp { op: BinOp::Gt, lhs: Box::new(c), rhs: Box::new(Expr::int(0)) },
                     t
                 )],
                 else_: Some(Box::new(e)),

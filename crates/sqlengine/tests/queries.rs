@@ -51,7 +51,8 @@ fn insert_coerces_types() {
 
 #[test]
 fn update_and_delete() {
-    let mut db = db_with("CREATE TABLE t (a int, b int); INSERT INTO t VALUES (1,10),(2,20),(3,30)");
+    let mut db =
+        db_with("CREATE TABLE t (a int, b int); INSERT INTO t VALUES (1,10),(2,20),(3,30)");
     let r = execute_sql(&mut db, "UPDATE t SET b = b + a WHERE a > 1").unwrap();
     assert_eq!(r.count(), Some(2));
     let t = q(&mut db, "SELECT b FROM t ORDER BY a");
@@ -83,10 +84,8 @@ fn aggregates_global_and_grouped() {
     assert_eq!(cell(&t, 0, 4), &Value::Float(1.0));
     assert_eq!(cell(&t, 0, 5), &Value::Float(5.0));
 
-    let t = q(
-        &mut db,
-        "SELECT g, sum(x) AS total FROM s GROUP BY g HAVING count(x) >= 2 ORDER BY g",
-    );
+    let t =
+        q(&mut db, "SELECT g, sum(x) AS total FROM s GROUP BY g HAVING count(x) >= 2 ORDER BY g");
     assert_eq!(t.num_rows(), 2);
     assert_eq!(cell(&t, 0, 1), &Value::Float(3.0));
     assert_eq!(cell(&t, 1, 1), &Value::Float(8.0));
@@ -116,7 +115,8 @@ fn distinct_and_count_distinct() {
 
 #[test]
 fn stddev_and_variance() {
-    let mut db = db_with("CREATE TABLE s (x float8); INSERT INTO s VALUES (2),(4),(4),(4),(5),(5),(7),(9)");
+    let mut db =
+        db_with("CREATE TABLE s (x float8); INSERT INTO s VALUES (2),(4),(4),(4),(5),(5),(7),(9)");
     let t = q(&mut db, "SELECT var_pop(x), stddev_pop(x), variance(x) FROM s");
     assert_eq!(cell(&t, 0, 0), &Value::Float(4.0));
     assert_eq!(cell(&t, 0, 1), &Value::Float(2.0));
@@ -188,31 +188,23 @@ fn subqueries_scalar_in_exists() {
     let t = q(&mut db, "SELECT x FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.x = t.x)");
     assert_eq!(t.num_rows(), 2);
     // Correlated scalar subquery.
-    let t = q(
-        &mut db,
-        "SELECT x, (SELECT count(*) FROM u WHERE u.x <= t.x) AS c FROM t ORDER BY x",
-    );
+    let t =
+        q(&mut db, "SELECT x, (SELECT count(*) FROM u WHERE u.x <= t.x) AS c FROM t ORDER BY x");
     assert_eq!(ints(&t, 1), vec![0, 1, 2]);
 }
 
 #[test]
 fn lateral_subquery() {
-    let mut db = db_with(
-        "CREATE TABLE t (x int); INSERT INTO t VALUES (1),(2)",
-    );
-    let t = q(
-        &mut db,
-        "SELECT t.x, d.y FROM t, LATERAL (SELECT t.x * 10 AS y) AS d ORDER BY t.x",
-    );
+    let mut db = db_with("CREATE TABLE t (x int); INSERT INTO t VALUES (1),(2)");
+    let t = q(&mut db, "SELECT t.x, d.y FROM t, LATERAL (SELECT t.x * 10 AS y) AS d ORDER BY t.x");
     assert_eq!(ints(&t, 1), vec![10, 20]);
 }
 
 #[test]
 fn left_join_lateral_paper_shape() {
     // The shape used by the paper's LTI simulation listing.
-    let mut db = db_with(
-        "CREATE TABLE data (ts int, v int); INSERT INTO data VALUES (1, 100), (2, 200)",
-    );
+    let mut db =
+        db_with("CREATE TABLE data (ts int, v int); INSERT INTO data VALUES (1, 100), (2, 200)");
     let t = q(
         &mut db,
         "SELECT d.ts, n.v FROM data d LEFT JOIN LATERAL \
@@ -229,10 +221,7 @@ fn set_operations() {
     assert_eq!(ints(&t, 0), vec![1, 2]);
     let t = q(&mut db, "SELECT 1 UNION ALL SELECT 1");
     assert_eq!(t.num_rows(), 2);
-    let t = q(
-        &mut db,
-        "(VALUES (1),(2),(3)) INTERSECT (VALUES (2),(3),(4)) ORDER BY 1",
-    );
+    let t = q(&mut db, "(VALUES (1),(2),(3)) INTERSECT (VALUES (2),(3),(4)) ORDER BY 1");
     assert_eq!(ints(&t, 0), vec![2, 3]);
     let t = q(&mut db, "(VALUES (1),(2),(2)) EXCEPT (VALUES (2)) ORDER BY 1");
     assert_eq!(ints(&t, 0), vec![1]);
@@ -243,10 +232,8 @@ fn set_operations() {
 #[test]
 fn ctes_and_nesting() {
     let mut db = Database::new();
-    let t = q(
-        &mut db,
-        "WITH a AS (SELECT 1 AS x), b AS (SELECT x + 1 AS y FROM a) SELECT y FROM b",
-    );
+    let t =
+        q(&mut db, "WITH a AS (SELECT 1 AS x), b AS (SELECT x + 1 AS y FROM a) SELECT y FROM b");
     assert_eq!(cell(&t, 0, 0), &Value::Int(2));
 }
 
@@ -312,7 +299,8 @@ fn views() {
 
 #[test]
 fn order_by_variants() {
-    let mut db = db_with("CREATE TABLE t (x int, y int); INSERT INTO t VALUES (1, 3),(2, NULL),(3, 1)");
+    let mut db =
+        db_with("CREATE TABLE t (x int, y int); INSERT INTO t VALUES (1, 3),(2, NULL),(3, 1)");
     let t = q(&mut db, "SELECT x, y FROM t ORDER BY y");
     assert_eq!(ints(&t, 0), vec![3, 1, 2]); // NULL last by default
     let t = q(&mut db, "SELECT x, y FROM t ORDER BY y DESC");
@@ -327,7 +315,8 @@ fn order_by_variants() {
 
 #[test]
 fn order_by_input_column_not_in_projection() {
-    let mut db = db_with("CREATE TABLE t (x int, y int); INSERT INTO t VALUES (1, 3),(2, 2),(3, 1)");
+    let mut db =
+        db_with("CREATE TABLE t (x int, y int); INSERT INTO t VALUES (1, 3),(2, 2),(3, 1)");
     let t = q(&mut db, "SELECT x FROM t ORDER BY y");
     assert_eq!(ints(&t, 0), vec![3, 2, 1]);
 }
@@ -370,14 +359,8 @@ fn timestamp_arithmetic_in_sql() {
         "CREATE TABLE t (ts timestamp);
          INSERT INTO t VALUES ('2017-07-02 07:00'), ('2017-07-02 08:00')",
     );
-    let t = q(
-        &mut db,
-        "SELECT ts + interval '1 hour' AS nxt FROM t ORDER BY ts LIMIT 1",
-    );
-    assert_eq!(
-        cell(&t, 0, 0).to_string(),
-        "2017-07-02 08:00:00"
-    );
+    let t = q(&mut db, "SELECT ts + interval '1 hour' AS nxt FROM t ORDER BY ts LIMIT 1");
+    assert_eq!(cell(&t, 0, 0).to_string(), "2017-07-02 08:00:00");
     let t = q(&mut db, "SELECT max(ts) - min(ts) FROM t");
     assert_eq!(cell(&t, 0, 0).to_string(), "1 hours");
 }
@@ -389,15 +372,9 @@ fn bit_strings_and_c_mask_filtering() {
         "CREATE TABLE l (v int, c_mask bit);
          INSERT INTO l VALUES (1, b'11'), (2, b'01'), (3, b'01')",
     );
-    let t = q(
-        &mut db,
-        "SELECT v FROM l WHERE (c_mask & b'10') <> b'00' ORDER BY v",
-    );
+    let t = q(&mut db, "SELECT v FROM l WHERE (c_mask & b'10') <> b'00' ORDER BY v");
     assert_eq!(ints(&t, 0), vec![1]);
-    let t = q(
-        &mut db,
-        "SELECT v FROM l WHERE (c_mask & b'01') <> b'00' ORDER BY v",
-    );
+    let t = q(&mut db, "SELECT v FROM l WHERE (c_mask & b'01') <> b'00' ORDER BY v");
     assert_eq!(ints(&t, 0), vec![1, 2, 3]);
 }
 
@@ -462,9 +439,8 @@ fn having_without_group_by() {
 
 #[test]
 fn string_agg_and_bool_aggs() {
-    let mut db = db_with(
-        "CREATE TABLE t (s text, b bool); INSERT INTO t VALUES ('a', true), ('b', false)",
-    );
+    let mut db =
+        db_with("CREATE TABLE t (s text, b bool); INSERT INTO t VALUES ('a', true), ('b', false)");
     let t = q(&mut db, "SELECT string_agg(s, ','), bool_and(b), bool_or(b) FROM t");
     assert_eq!(cell(&t, 0, 0), &Value::text("a,b"));
     assert_eq!(cell(&t, 0, 1), &Value::Bool(false));

@@ -22,10 +22,7 @@ fn where_treats_null_as_false() {
     let mut db = db_with("CREATE TABLE t (x int); INSERT INTO t VALUES (1), (NULL), (3)");
     assert_eq!(scalar(&mut db, "SELECT count(*) FROM t WHERE x > 0"), Value::Int(2));
     assert_eq!(scalar(&mut db, "SELECT count(*) FROM t WHERE NOT (x > 0)"), Value::Int(0));
-    assert_eq!(
-        scalar(&mut db, "SELECT count(*) FROM t WHERE x > 0 OR x IS NULL"),
-        Value::Int(3)
-    );
+    assert_eq!(scalar(&mut db, "SELECT count(*) FROM t WHERE x > 0 OR x IS NULL"), Value::Int(3));
 }
 
 #[test]
@@ -72,9 +69,8 @@ fn distinct_on_nulls() {
 
 #[test]
 fn group_by_null_forms_one_group() {
-    let mut db = db_with(
-        "CREATE TABLE t (g int, x int); INSERT INTO t VALUES (NULL, 1), (NULL, 2), (1, 3)",
-    );
+    let mut db =
+        db_with("CREATE TABLE t (g int, x int); INSERT INTO t VALUES (NULL, 1), (NULL, 2), (1, 3)");
     let t = q(&mut db, "SELECT g, sum(x) FROM t GROUP BY g ORDER BY g");
     assert_eq!(t.num_rows(), 2);
     // NULL group sorts last and sums to 3.
@@ -134,10 +130,7 @@ fn cross_type_numeric_grouping() {
 #[test]
 fn self_join_aliases() {
     let mut db = db_with("CREATE TABLE t (x int); INSERT INTO t VALUES (1), (2), (3)");
-    let t = q(
-        &mut db,
-        "SELECT a.x, b.x FROM t a JOIN t b ON b.x = a.x + 1 ORDER BY a.x",
-    );
+    let t = q(&mut db, "SELECT a.x, b.x FROM t a JOIN t b ON b.x = a.x + 1 ORDER BY a.x");
     assert_eq!(t.num_rows(), 2);
     assert_eq!(t.value(0, 1), &Value::Int(2));
 }
@@ -148,10 +141,8 @@ fn subquery_in_from_with_aggregates() {
         "CREATE TABLE t (g int, x int);
          INSERT INTO t VALUES (1, 10), (1, 20), (2, 30)",
     );
-    let v = scalar(
-        &mut db,
-        "SELECT max(total) FROM (SELECT g, sum(x) AS total FROM t GROUP BY g) s",
-    );
+    let v =
+        scalar(&mut db, "SELECT max(total) FROM (SELECT g, sum(x) AS total FROM t GROUP BY g) s");
     assert_eq!(v, Value::Int(30));
 }
 
@@ -177,10 +168,7 @@ fn delete_everything_and_reinsert() {
 #[test]
 fn chained_comparison_in_where() {
     let mut db = db_with("CREATE TABLE t (x int); INSERT INTO t VALUES (1), (5), (9)");
-    assert_eq!(
-        scalar(&mut db, "SELECT count(*) FROM t WHERE 2 <= x <= 8"),
-        Value::Int(1)
-    );
+    assert_eq!(scalar(&mut db, "SELECT count(*) FROM t WHERE 2 <= x <= 8"), Value::Int(1));
 }
 
 #[test]
@@ -202,10 +190,7 @@ fn between_is_inclusive_and_symmetric_in_types() {
 fn exists_with_empty_subquery() {
     let mut db = db_with("CREATE TABLE t (x int)");
     assert_eq!(scalar(&mut db, "SELECT EXISTS (SELECT 1 FROM t)"), Value::Bool(false));
-    assert_eq!(
-        scalar(&mut db, "SELECT NOT EXISTS (SELECT 1 FROM t)"),
-        Value::Bool(true)
-    );
+    assert_eq!(scalar(&mut db, "SELECT NOT EXISTS (SELECT 1 FROM t)"), Value::Bool(true));
 }
 
 #[test]

@@ -143,12 +143,7 @@ impl Lti {
 /// measurements (the paper's `sum((x - inTemp)^2)` fitness).
 pub fn simulation_sse(model: &Lti, x0: &[f64], u: &[Vec<f64>], measured: &[f64]) -> f64 {
     let (states, _) = model.simulate(x0, u);
-    states
-        .iter()
-        .take(measured.len())
-        .zip(measured)
-        .map(|(x, m)| (x[0] - m) * (x[0] - m))
-        .sum()
+    states.iter().take(measured.len()).zip(measured).map(|(x, m)| (x[0] - m) * (x[0] - m)).sum()
 }
 
 /// Result of HVAC parameter estimation.
@@ -179,17 +174,9 @@ pub fn fit_hvac(
         let m = Lti::hvac(p[0], p[1], p[2]);
         simulation_sse(&m, &x0, u, measured)
     };
-    let start = vec![
-        (a_lo + a_hi) / 2.0,
-        (b1_lo + b1_hi) / 2.0,
-        (b2_lo + b2_hi) / 2.0,
-    ];
-    let r = sa_from(
-        f,
-        &space,
-        SaOptions { iterations, seed, step: 0.05, ..Default::default() },
-        start,
-    );
+    let start = vec![(a_lo + a_hi) / 2.0, (b1_lo + b1_hi) / 2.0, (b2_lo + b2_hi) / 2.0];
+    let r =
+        sa_from(f, &space, SaOptions { iterations, seed, step: 0.05, ..Default::default() }, start);
     HvacFit { a1: r.x[0], b1: r.x[1], b2: r.x[2], sse: r.value, evaluations: r.evaluations }
 }
 
@@ -257,13 +244,7 @@ mod tests {
             .collect();
         let (states, _) = truth.simulate(&[21.0], &u);
         let measured: Vec<f64> = states.iter().map(|s| s[0]).collect();
-        let fit = fit_hvac(
-            &u,
-            &measured,
-            ((0.0, 1.0), (0.0, 1.0), (0.0, 0.01)),
-            30_000,
-            42,
-        );
+        let fit = fit_hvac(&u, &measured, ((0.0, 1.0), (0.0, 1.0), (0.0, 0.01)), 30_000, 42);
         assert!(fit.sse < 1.0, "sse {}", fit.sse);
         assert!((fit.a1 - 0.90).abs() < 0.05, "a1 {}", fit.a1);
     }

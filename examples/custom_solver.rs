@@ -15,11 +15,7 @@ impl Solver for GreedyScheduler {
         "greedy_scheduler"
     }
 
-    fn solve(
-        &self,
-        _ctx: &SolveContext<'_>,
-        prob: &ProblemInstance,
-    ) -> sqlengine::Result<Table> {
+    fn solve(&self, _ctx: &SolveContext<'_>, prob: &ProblemInstance) -> sqlengine::Result<Table> {
         let rel = &prob.relations[0];
         let t = &rel.table;
         let start = t.schema.index_of("start_at").expect("start_at column");
@@ -47,9 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut s = Session::new();
     s.install_solver(Arc::new(GreedyScheduler));
 
-    s.execute(
-        "CREATE TABLE meetings (title text, start_at float8, finish_at float8, pick int)",
-    )?;
+    s.execute("CREATE TABLE meetings (title text, start_at float8, finish_at float8, pick int)")?;
     for (title, a, b) in [
         ("standup", 9.0, 9.5),
         ("design review", 9.25, 11.0),
@@ -61,9 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         s.execute(&format!("INSERT INTO meetings VALUES ('{title}', {a}, {b}, NULL)"))?;
     }
 
-    let schedule = s.query(
-        "SOLVESELECT m(pick) AS (SELECT * FROM meetings) USING greedy_scheduler()",
-    )?;
+    let schedule =
+        s.query("SOLVESELECT m(pick) AS (SELECT * FROM meetings) USING greedy_scheduler()")?;
     println!("Schedule (pick = attend):\n{schedule}");
     let attended = s.query_scalar(
         "SELECT count(*) FROM (SOLVESELECT m(pick) AS (SELECT * FROM meetings) \

@@ -76,9 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         datagen::TRUE_B1,
         datagen::TRUE_B2
     );
-    s.execute(&format!(
-        "CREATE TABLE hvac_pars AS SELECT {a1} AS a1, {b1} AS b1, {b2} AS b2"
-    ))?;
+    s.execute(&format!("CREATE TABLE hvac_pars AS SELECT {a1} AS a1, {b1} AS b1, {b2} AS b2"))?;
 
     // P4: schedule HVAC loads — minimize electricity cost subject to the
     // thermal dynamics (the same shared model) and comfort limits.

@@ -16,9 +16,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                               unit_profit float8, hold_cost float8,
                               produce float8, stock float8)",
     )?;
-    for (m, (d, cap)) in [(120.0, 150.0), (160.0, 180.0), (220.0, 200.0), (140.0, 150.0)]
-        .iter()
-        .enumerate()
+    for (m, (d, cap)) in
+        [(120.0, 150.0), (160.0, 180.0), (220.0, 200.0), (140.0, 150.0)].iter().enumerate()
     {
         s.execute(&format!(
             "INSERT INTO months VALUES ({}, {d}, {cap}, 9.0, 1.5, NULL, NULL)",

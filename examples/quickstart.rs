@@ -56,9 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "INSERT INTO sales VALUES ('2026-06-01'::timestamp + interval '{i} days', {v})"
         ))?;
     }
-    let forecast = s.query(
-        "SOLVESELECT f(units) AS (SELECT * FROM sales) USING predictive_solver()",
-    )?;
+    let forecast =
+        s.query("SOLVESELECT f(units) AS (SELECT * FROM sales) USING predictive_solver()")?;
     println!("Sales forecast (last rows filled by the Predictive Advisor):");
     for row in forecast.rows.iter().rev().take(6).rev() {
         println!("  {}  {:>8.1}", row[0], row[1].as_f64()?);

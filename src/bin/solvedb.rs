@@ -1,41 +1,205 @@
 //! `solvedb` — an interactive SQL shell for the SolveDB+ engine.
 //!
 //! ```text
-//! cargo run --bin solvedb              # interactive REPL
-//! cargo run --bin solvedb -- file.sql  # run a script
+//! solvedb                          # interactive REPL (local, in-process)
+//! solvedb file.sql                 # run a script, printing every result
+//! solvedb -e "SELECT 1; SELECT 2"  # run statements from the command line
+//! solvedb --connect HOST:PORT      # talk to a solvedbd server instead
+//! solvedb --version
 //! ```
 //!
 //! Statements end with `;` and may span lines. Meta commands:
 //! `\d` (list tables), `\solvers`, `\explain SOLVESELECT ...;`,
-//! `\demo` (load the paper's Table 1), `\q`.
+//! `\demo` (load the paper's Table 1), `\q`. Meta commands other than
+//! `\q` inspect in-process state and are local-only.
 
+use solvedbplus::server::{Client, ClientError};
+use solvedbplus::sqlengine::parser::split_statements;
 use solvedbplus::{datagen, ExecResult, Session};
 use std::io::{BufRead, Write};
 
+const USAGE: &str = "\
+usage: solvedb [OPTIONS] [SCRIPT.sql]
+
+options:
+  -e, --exec SQL       execute the given statements and exit
+  -c, --connect ADDR   connect to a solvedbd server at ADDR (host:port)
+      --version        print version and exit
+  -h, --help           show this message
+
+With no script and no -e, starts an interactive shell.";
+
+struct Options {
+    connect: Option<String>,
+    exec: Option<String>,
+    script: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options { connect: None, exec: None, script: None };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take_value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "-e" | "--exec" => opts.exec = Some(take_value(arg)?),
+            "-c" | "--connect" => opts.connect = Some(take_value(arg)?),
+            "--version" => {
+                println!("solvedb {}", env!("CARGO_PKG_VERSION"));
+                std::process::exit(0);
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option: {other}"));
+            }
+            path => {
+                if opts.script.is_some() {
+                    return Err("only one script file may be given".into());
+                }
+                opts.script = Some(path.to_string());
+            }
+        }
+    }
+    if opts.exec.is_some() && opts.script.is_some() {
+        return Err("-e and a script file are mutually exclusive".into());
+    }
+    Ok(opts)
+}
+
+/// Where statements execute: an in-process session or a solvedbd server.
+enum Backend {
+    Local(Session),
+    Remote(Client),
+}
+
+impl Backend {
+    /// Run a batch statement by statement, printing every statement's
+    /// result as it completes. Returns `false` if a statement failed
+    /// (execution stops there, matching server batch semantics).
+    fn run_batch(&mut self, sql: &str, timings: bool) -> bool {
+        match self {
+            Backend::Local(session) => {
+                for piece in split_statements(sql) {
+                    let start = std::time::Instant::now();
+                    let outcome = solvedbplus::sqlengine::parser::parse_statement(&piece)
+                        .and_then(|stmt| session.execute_statement(&stmt));
+                    match outcome {
+                        Ok(r) => print_result(&r, timings.then(|| start.elapsed())),
+                        Err(e) => {
+                            report_error(&e.to_string());
+                            return false;
+                        }
+                    }
+                }
+                true
+            }
+            Backend::Remote(client) => {
+                let start = std::time::Instant::now();
+                match client.execute(sql) {
+                    Ok(results) => {
+                        let mut ok = true;
+                        for r in results {
+                            match r {
+                                Ok(r) => print_result(&r, timings.then(|| start.elapsed())),
+                                Err(e) => {
+                                    report_error(&e.to_string());
+                                    ok = false;
+                                }
+                            }
+                        }
+                        ok
+                    }
+                    Err(e) => {
+                        report_error(&format!("connection lost: {e}"));
+                        false
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn print_result(r: &ExecResult, elapsed: Option<std::time::Duration>) {
+    match r {
+        ExecResult::Table(t) => {
+            print!("{t}");
+            match elapsed {
+                Some(d) => {
+                    println!("({} row(s), {:.1} ms)", t.num_rows(), d.as_secs_f64() * 1e3)
+                }
+                None => println!("({} row(s))", t.num_rows()),
+            }
+        }
+        ExecResult::Count(n) => println!("{n} row(s) affected"),
+        ExecResult::Done => println!("ok"),
+    }
+}
+
+fn report_error(msg: &str) {
+    eprintln!("error: {msg}");
+}
+
+fn connect(addr: &str) -> Client {
+    match Client::connect(addr) {
+        Ok(c) => c,
+        Err(ClientError::Io(e)) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("handshake with {addr} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
-    let mut session = Session::new();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(path) = args.first() {
-        let sql = match std::fs::read_to_string(path) {
-            Ok(s) => s,
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("solvedb: {msg}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut backend = match &opts.connect {
+        Some(addr) => Backend::Remote(connect(addr)),
+        None => Backend::Local(Session::new()),
+    };
+
+    // Non-interactive modes: -e SQL or a script file. Every statement's
+    // result is printed; the first failure stops execution with exit 1.
+    let batch = match (&opts.exec, &opts.script) {
+        (Some(sql), _) => Some(sql.clone()),
+        (None, Some(path)) => match std::fs::read_to_string(path) {
+            Ok(s) => Some(s),
             Err(e) => {
                 eprintln!("cannot read {path}: {e}");
                 std::process::exit(1);
             }
-        };
-        match session.execute_script(&sql) {
-            Ok(ExecResult::Table(t)) => print!("{t}"),
-            Ok(ExecResult::Count(n)) => println!("{n} row(s) affected"),
-            Ok(ExecResult::Done) => println!("ok"),
-            Err(e) => {
-                eprintln!("error: {e}");
-                std::process::exit(1);
-            }
-        }
-        return;
+        },
+        (None, None) => None,
+    };
+    if let Some(sql) = batch {
+        let ok = backend.run_batch(&sql, false);
+        std::process::exit(if ok { 0 } else { 1 });
     }
 
-    println!("SolveDB+ shell — SQL with SOLVESELECT / SOLVEMODEL. \\q quits, \\demo loads Table 1.");
+    // Interactive shell.
+    match &backend {
+        Backend::Remote(_) => println!(
+            "SolveDB+ shell — connected to {} (protocol v{}). \\q quits.",
+            opts.connect.as_deref().unwrap_or("?"),
+            solvedbplus::server::PROTOCOL_VERSION
+        ),
+        Backend::Local(_) => println!(
+            "SolveDB+ shell — SQL with SOLVESELECT / SOLVEMODEL. \\q quits, \\demo loads Table 1."
+        ),
+    }
     let stdin = std::io::stdin();
     let mut buffer = String::new();
     loop {
@@ -47,7 +211,7 @@ fn main() {
         }
         let trimmed = line.trim();
         if buffer.is_empty() && trimmed.starts_with('\\') {
-            match run_meta(&mut session, trimmed) {
+            match run_meta(&mut backend, trimmed) {
                 MetaOutcome::Quit => break,
                 MetaOutcome::Handled => continue,
             }
@@ -57,16 +221,10 @@ fn main() {
             continue;
         }
         let sql = std::mem::take(&mut buffer);
-        let start = std::time::Instant::now();
-        match session.execute_script(&sql) {
-            Ok(ExecResult::Table(t)) => {
-                print!("{t}");
-                println!("({} row(s), {:.1} ms)", t.num_rows(), start.elapsed().as_secs_f64() * 1e3);
-            }
-            Ok(ExecResult::Count(n)) => println!("{n} row(s) affected"),
-            Ok(ExecResult::Done) => println!("ok"),
-            Err(e) => println!("error: {e}"),
-        }
+        backend.run_batch(&sql, true);
+    }
+    if let Backend::Remote(client) = backend {
+        let _ = client.close();
     }
 }
 
@@ -75,9 +233,25 @@ enum MetaOutcome {
     Handled,
 }
 
-fn run_meta(session: &mut Session, cmd: &str) -> MetaOutcome {
+fn run_meta(backend: &mut Backend, cmd: &str) -> MetaOutcome {
+    if matches!(cmd, "\\q" | "\\quit") {
+        return MetaOutcome::Quit;
+    }
+    let session = match backend {
+        Backend::Local(s) => s,
+        Backend::Remote(client) => {
+            if cmd == "\\ping" {
+                match client.ping() {
+                    Ok(()) => println!("pong"),
+                    Err(e) => println!("error: {e}"),
+                }
+            } else {
+                println!("meta commands are local-only (except \\ping and \\q): {cmd}");
+            }
+            return MetaOutcome::Handled;
+        }
+    };
     match cmd {
-        "\\q" | "\\quit" => return MetaOutcome::Quit,
         "\\d" => {
             for name in session.db().table_names() {
                 let t = session.db().table(name).expect("listed table");
@@ -101,7 +275,9 @@ fn run_meta(session: &mut Session, cmd: &str) -> MetaOutcome {
         "\\demo" => {
             datagen::install_table1(session.db_mut());
             println!("loaded the paper's Table 1 as table `input`; try:");
-            println!("  SOLVESELECT t(pvsupply) AS (SELECT * FROM input) USING predictive_solver();");
+            println!(
+                "  SOLVESELECT t(pvsupply) AS (SELECT * FROM input) USING predictive_solver();"
+            );
         }
         other if other.starts_with("\\explain ") => {
             let sql = other.trim_start_matches("\\explain ").trim_end_matches(';');
@@ -110,7 +286,9 @@ fn run_meta(session: &mut Session, cmd: &str) -> MetaOutcome {
                 Err(e) => println!("error: {e}"),
             }
         }
-        other => println!("unknown meta command: {other} (try \\d, \\solvers, \\demo, \\explain, \\q)"),
+        other => {
+            println!("unknown meta command: {other} (try \\d, \\solvers, \\demo, \\explain, \\q)")
+        }
     }
     MetaOutcome::Handled
 }

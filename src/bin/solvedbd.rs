@@ -1,0 +1,153 @@
+//! `solvedbd` — the SolveDB+ network server daemon.
+//!
+//! ```text
+//! solvedbd                         # listen on 127.0.0.1:5433, 8 workers
+//! solvedbd --listen 0.0.0.0:7000   # explicit bind address
+//! solvedbd --port 7000             # shorthand for 127.0.0.1:7000
+//! solvedbd --workers 16            # worker pool size
+//! ```
+//!
+//! Each connection gets its own session (private table namespace) over
+//! a shared solver registry. Stop with Ctrl-C, or type `\q` on stdin;
+//! both shut down gracefully, draining workers and releasing the port.
+//! Protocol documentation: `crates/server/PROTOCOL.md`.
+
+use solvedbplus::server::{Server, ServerConfig};
+use std::io::BufRead;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+const DEFAULT_ADDR: &str = "127.0.0.1:5433";
+
+const USAGE: &str = "\
+usage: solvedbd [OPTIONS]
+
+options:
+  -l, --listen ADDR    bind address (default 127.0.0.1:5433)
+  -p, --port PORT      shorthand for --listen 127.0.0.1:PORT
+  -w, --workers N      worker threads / max concurrent connections (default 8)
+      --version        print version and exit
+  -h, --help           show this message";
+
+/// Set from the SIGINT handler; a watcher thread turns it into a
+/// graceful shutdown (the handler itself must stay async-signal-safe).
+static SIGINT: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_sigint_handler() {
+    // No libc crate in this build environment; bind the one symbol we
+    // need directly.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_sigint(_signum: i32) {
+        SIGINT.store(true, Ordering::SeqCst);
+    }
+    const SIGINT_NO: i32 = 2;
+    unsafe {
+        signal(SIGINT_NO, on_sigint as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint_handler() {}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut workers = ServerConfig::default().workers;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take_value = |name: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("solvedbd: {name} requires a value\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "-l" | "--listen" => addr = take_value(arg),
+            "-p" | "--port" => {
+                let port = take_value(arg);
+                match port.parse::<u16>() {
+                    Ok(p) => addr = format!("127.0.0.1:{p}"),
+                    Err(_) => {
+                        eprintln!("solvedbd: invalid port: {port}\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "-w" | "--workers" => {
+                let n = take_value(arg);
+                match n.parse::<usize>() {
+                    Ok(w) if w >= 1 => workers = w,
+                    _ => {
+                        eprintln!("solvedbd: invalid worker count: {n}\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--version" => {
+                println!("solvedbd {}", env!("CARGO_PKG_VERSION"));
+                return;
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("solvedbd: unknown option: {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let server = match Server::bind_with(&addr, ServerConfig { workers, ..Default::default() }) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("solvedbd: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let local = server.local_addr();
+    let shutdown = server.shutdown_handle();
+    println!("solvedbd listening on {local} ({workers} worker(s)); Ctrl-C or \\q to stop");
+
+    install_sigint_handler();
+    {
+        let shutdown = shutdown.clone();
+        std::thread::spawn(move || loop {
+            if SIGINT.load(Ordering::SeqCst) {
+                eprintln!("solvedbd: caught SIGINT, shutting down");
+                shutdown.shutdown();
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        });
+    }
+    {
+        let shutdown = shutdown.clone();
+        std::thread::spawn(move || {
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                match line {
+                    Ok(l) if matches!(l.trim(), "\\q" | "\\quit" | "quit" | "exit") => {
+                        shutdown.shutdown();
+                        return;
+                    }
+                    Ok(_) => continue,
+                    Err(_) => break,
+                }
+            }
+            // stdin EOF (e.g. daemonised with a closed stdin): keep
+            // serving; SIGINT remains the way to stop.
+        });
+    }
+
+    match server.run() {
+        Ok(()) => println!("solvedbd: shut down cleanly"),
+        Err(e) => {
+            eprintln!("solvedbd: server error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -22,23 +22,26 @@
 //! ```
 
 pub use solvedbplus_core::{
-    build_problem, ModelValue, ProblemInstance, Session, SolveContext, Solver, SolverRegistry,
+    build_problem, ModelValue, ProblemInstance, Session, SharedSolvers, SolveContext, Solver,
+    SolverRegistry,
 };
-pub use sqlengine::{Column, Ctes, Database, DataType, ExecResult, Row, Schema, Table, Value};
+pub use sqlengine::{Column, Ctes, DataType, Database, ExecResult, Row, Schema, Table, Value};
 
-/// The relational engine substrate.
-pub use sqlengine;
-/// The SolveDB+ semantics layer.
-pub use solvedbplus_core as core;
-/// LP / MIP solvers.
-pub use lp;
-/// Black-box global optimization (PSO / SA / DE).
-pub use globalopt;
-/// Time-series forecasting methods.
-pub use forecast;
-/// LTI state-space system models.
-pub use ssmodel;
-/// Synthetic datasets (NIST-like energy, TPC-H-like supply chain).
-pub use datagen;
 /// Structural simulations of the paper's baseline stacks.
 pub use baselines;
+/// Synthetic datasets (NIST-like energy, TPC-H-like supply chain).
+pub use datagen;
+/// Time-series forecasting methods.
+pub use forecast;
+/// Black-box global optimization (PSO / SA / DE).
+pub use globalopt;
+/// LP / MIP solvers.
+pub use lp;
+/// The solvedbd network server, wire protocol and client library.
+pub use server;
+/// The SolveDB+ semantics layer.
+pub use solvedbplus_core as core;
+/// The relational engine substrate.
+pub use sqlengine;
+/// LTI state-space system models.
+pub use ssmodel;

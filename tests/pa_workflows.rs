@@ -11,14 +11,9 @@ fn uc1_full_pipeline_agrees_with_direct_lp() {
     const HORIZON: usize = 16;
     let mut s = Session::new();
     let rows = datagen::energy_series(HISTORY + HORIZON, 99);
-    s.db_mut().put_table(
-        "input",
-        datagen::energy_planning_table(HISTORY, HORIZON, 99),
-    );
-    s.execute("CREATE TABLE hist AS SELECT * FROM input WHERE pvsupply IS NOT NULL")
-        .unwrap();
-    s.execute("CREATE TABLE horizon AS SELECT * FROM input WHERE pvsupply IS NULL")
-        .unwrap();
+    s.db_mut().put_table("input", datagen::energy_planning_table(HISTORY, HORIZON, 99));
+    s.execute("CREATE TABLE hist AS SELECT * FROM input WHERE pvsupply IS NOT NULL").unwrap();
+    s.execute("CREATE TABLE horizon AS SELECT * FROM input WHERE pvsupply IS NULL").unwrap();
 
     // P2 via the specialized solver; P4 via the symbolic LP with the
     // generator's true thermal parameters (so the LP is checkable).
@@ -64,8 +59,7 @@ fn uc1_full_pipeline_agrees_with_direct_lp() {
     .unwrap();
 
     let plan = s.query("SELECT hload, pvsupply, outtemp FROM plan ORDER BY time").unwrap();
-    let sql_loads: Vec<f64> =
-        plan.rows.iter().map(|r| r[0].as_f64().unwrap()).collect();
+    let sql_loads: Vec<f64> = plan.rows.iter().map(|r| r[0].as_f64().unwrap()).collect();
     let pv: Vec<f64> = plan.rows.iter().map(|r| r[1].as_f64().unwrap()).collect();
 
     // The same LP built directly in Rust must agree.
@@ -84,10 +78,7 @@ fn uc1_full_pipeline_agrees_with_direct_lp() {
     assert_eq!(sql_loads.len(), direct.len());
     let sql_cost: f64 = sql_loads.iter().zip(&pv).map(|(h, p)| (h - p) * 0.12).sum();
     let direct_cost: f64 = direct.iter().zip(&pv).map(|(h, p)| (h - p) * 0.12).sum();
-    assert!(
-        (sql_cost - direct_cost).abs() < 1e-3,
-        "SQL {sql_cost} vs direct {direct_cost}"
-    );
+    assert!((sql_cost - direct_cost).abs() < 1e-3, "SQL {sql_cost} vs direct {direct_cost}");
 }
 
 /// UC2 end-to-end: SolveDB+ picks a feasible, profitable production set
@@ -139,16 +130,9 @@ fn uc2_full_pipeline() {
         .as_i64()
         .unwrap();
     assert!(picked >= 1, "nothing picked");
-    let used = s
-        .query_scalar("SELECT sum(volume * pick) FROM production_plan")
-        .unwrap()
-        .as_f64()
-        .unwrap();
-    let cap = s
-        .query_scalar("SELECT 0.4 * sum(volume) FROM profit")
-        .unwrap()
-        .as_f64()
-        .unwrap();
+    let used =
+        s.query_scalar("SELECT sum(volume * pick) FROM production_plan").unwrap().as_f64().unwrap();
+    let cap = s.query_scalar("SELECT 0.4 * sum(volume) FROM profit").unwrap().as_f64().unwrap();
     assert!(used <= cap + 1e-6);
 
     // The R-style baseline solves the same shape of problem.
@@ -197,9 +181,7 @@ fn modeleval_inspection() {
          WITH curve AS (SELECT (SELECT k FROM pars) * 10.0 AS v))",
     )
     .unwrap();
-    let v = s
-        .query_scalar("MODELEVAL (SELECT v FROM curve) IN (SELECT m FROM model)")
-        .unwrap();
+    let v = s.query_scalar("MODELEVAL (SELECT v FROM curve) IN (SELECT m FROM model)").unwrap();
     assert_eq!(v.as_f64().unwrap(), 5.0);
     // Instantiated evaluation sees the new parameters.
     let v = s

@@ -48,20 +48,12 @@ fn production_planning_with_inventory() {
         .unwrap();
     // Month 2 demand (140) exceeds capacity (120): month 1 must
     // pre-produce 20, so months 1-2 both run at full capacity.
-    let produce: Vec<f64> = t
-        .column_values("produce")
-        .unwrap()
-        .iter()
-        .map(|v| v.as_f64().unwrap())
-        .collect();
+    let produce: Vec<f64> =
+        t.column_values("produce").unwrap().iter().map(|v| v.as_f64().unwrap()).collect();
     assert!((produce[0] - 120.0).abs() < 1e-6, "{produce:?}");
     assert!((produce[1] - 120.0).abs() < 1e-6);
-    let stocks: Vec<f64> = t
-        .column_values("stock")
-        .unwrap()
-        .iter()
-        .map(|v| v.as_f64().unwrap())
-        .collect();
+    let stocks: Vec<f64> =
+        t.column_values("stock").unwrap().iter().map(|v| v.as_f64().unwrap()).collect();
     assert!((stocks[0] - 20.0).abs() < 1e-6, "{stocks:?}");
 }
 
@@ -110,17 +102,11 @@ fn hypothetical_deletes() {
     )
     .unwrap();
     // Keep the most rows under budget: {2, 3, 1} sums 1000 → 3 rows.
-    assert_eq!(
-        s.query_scalar("SELECT count(*) FROM hypothetical").unwrap().as_i64().unwrap(),
-        3
-    );
+    assert_eq!(s.query_scalar("SELECT count(*) FROM hypothetical").unwrap().as_i64().unwrap(), 3);
     let total = s.query_scalar("SELECT sum(amount) FROM hypothetical").unwrap();
     assert!(total.as_f64().unwrap() <= 1000.0);
     // Base table unchanged.
-    assert_eq!(
-        s.query_scalar("SELECT count(*) FROM expenses").unwrap().as_i64().unwrap(),
-        4
-    );
+    assert_eq!(s.query_scalar("SELECT count(*) FROM expenses").unwrap().as_i64().unwrap(), 4);
 }
 
 #[test]
@@ -149,11 +135,7 @@ fn demand_and_supply_balancing() {
         )
         .unwrap();
     // Merit order: 120 solar + 80 wind + 130 gas = 330 at cost 930.
-    let cost: f64 = t
-        .rows
-        .iter()
-        .map(|r| r[2].as_f64().unwrap() * r[3].as_f64().unwrap())
-        .sum();
+    let cost: f64 = t.rows.iter().map(|r| r[2].as_f64().unwrap() * r[3].as_f64().unwrap()).sum();
     assert!((cost - 930.0).abs() < 1e-6, "cost {cost}");
 }
 
@@ -165,8 +147,7 @@ fn sudoku_4x4() {
         for c in 1..=4i64 {
             let b = ((r - 1) / 2) * 2 + (c - 1) / 2 + 1;
             for v in 1..=4i64 {
-                s.execute(&format!("INSERT INTO cells VALUES ({r}, {c}, {v}, {b}, NULL)"))
-                    .unwrap();
+                s.execute(&format!("INSERT INTO cells VALUES ({r}, {c}, {v}, {b}, NULL)")).unwrap();
             }
         }
     }

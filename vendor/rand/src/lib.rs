@@ -1,0 +1,235 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses: `StdRng`, `SeedableRng::seed_from_u64`, and the `Rng` helpers
+//! `gen`, `gen_range`, `gen_bool`.
+//!
+//! The container this repository builds in has no crates.io access, so
+//! the real `rand` cannot be fetched. The generator here is
+//! xoshiro256++ seeded through SplitMix64 — deterministic, fast, and
+//! statistically strong enough for the randomized tests and stochastic
+//! solvers in this repo. The sequences differ from upstream `StdRng`
+//! (ChaCha12); nothing in the workspace depends on the exact stream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A float uniform in `[0, 1)` with 53 random bits.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Deterministic seeding interface.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling a value of `T` from the "standard" distribution.
+pub struct Standard;
+
+/// Distribution trait (minimal form of `rand::distributions::Distribution`).
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        rng.next_f64()
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                let v = rng.next_u64() % span;
+                ((self.start as $wide).wrapping_add(v as $wide)) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let v = rng.next_u64() % (span + 1);
+                ((lo as $wide).wrapping_add(v as $wide)) as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+// No f32 `SampleRange` impl: it would make `gen_range(0.1..0.2)`
+// ambiguous and break `{float}` literal fallback to f64.
+
+/// The user-facing convenience trait, blanket-implemented for all cores.
+pub trait Rng: RngCore {
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ generator, seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // Expand the seed with SplitMix64 so nearby seeds diverge.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let mut s = [next(), next(), next(), next()];
+            if s == [0, 0, 0, 0] {
+                s = [1, 2, 3, 4];
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.gen()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let f = rng.gen_range(-5.0..5.0);
+            assert!((-5.0..5.0).contains(&f));
+            let i = rng.gen_range(-3i32..=3);
+            assert!((-3..=3).contains(&i));
+            let u = rng.gen_range(0usize..7);
+            assert!(u < 7);
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.7)).count();
+        assert!((6_500..7_500).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn inclusive_range_hits_endpoints() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let v = rng.gen_range(-3i32..=3);
+            seen[(v + 3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "missing endpoint: {seen:?}");
+    }
+}
