@@ -20,6 +20,8 @@
 //! solvers); the *shape* — who wins, and why — is what the benchmark
 //! harness reproduces.
 
+#![forbid(unsafe_code)]
+
 pub mod csvio;
 pub mod interp;
 pub mod modelgen;

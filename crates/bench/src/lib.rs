@@ -6,6 +6,8 @@
 //! regenerates every figure's data series. The `reproduce` binary prints
 //! them; the Criterion benches time the hot paths.
 
+#![forbid(unsafe_code)]
+
 pub mod eloc;
 pub mod figures;
 pub mod setup;

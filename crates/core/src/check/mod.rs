@@ -1,0 +1,230 @@
+//! `solvecheck` — a pre-solve static analyzer for `SOLVESELECT` models.
+//!
+//! SolveDB+'s pitch (paper §2) is that keeping the whole prescriptive
+//! pipeline inside the DBMS makes problems *inspectable*. This module is
+//! the layer that makes them *checkable*: it runs over a compiled
+//! [`ProblemInstance`] before any solver is invoked and emits structured
+//! [`Diagnostic`]s with stable `SD0xx` codes (catalogued in
+//! `DIAGNOSTICS.md` at the repository root):
+//!
+//! | code  | severity | finding                                            |
+//! |-------|----------|----------------------------------------------------|
+//! | SD001 | warning  | decision variable unbounded in the objective direction |
+//! | SD002 | error    | nonlinear rule but the linear solver is named      |
+//! | SD003 | warning  | decision columns never referenced by any rule      |
+//! | SD004 | error    | trivially infeasible constant constraint           |
+//! | SD005 | warning/note | duplicate / shadowed constraints               |
+//! | SD006 | warning  | objective contains no decision variables           |
+//! | SD007 | error    | multiple objectives for a single-objective solver  |
+//!
+//! The analysis reuses the symbolic compilation machinery of §4.1: rules
+//! are evaluated over a symbolically materialized environment, and the
+//! checks inspect the resulting linear atoms. Evaluation is per-rule, so
+//! one defective rule does not hide findings in the others. Everything
+//! here is advisory — the analyzer never fails a statement itself;
+//! `Error`-level findings predict what the solver will reject.
+
+pub mod rules;
+
+use crate::problem::{
+    collect_constraints, materialize_env, rule_label, CellPatch, ProblemInstance,
+};
+use crate::symbolic::{as_linexpr, LinExpr, Rel};
+use sqlengine::ast::{SolveStmt, Statement};
+use sqlengine::catalog::{Ctes, Database};
+use sqlengine::diag::{Diagnostic, Severity};
+use sqlengine::error::{Error, Result};
+use sqlengine::exec::run_query;
+use sqlengine::parser;
+
+/// Solvers whose rule system must compile to a *linear* program.
+const LINEAR_SOLVERS: &[&str] = &["solverlp"];
+/// Optimization solvers that accept exactly one objective.
+const SINGLE_OBJECTIVE_SOLVERS: &[&str] = &["solverlp", "swarmops"];
+
+/// Comparison tolerance for constant-constraint evaluation.
+pub(crate) const TOL: f64 = 1e-9;
+
+/// One flattened constraint atom, pre-digested for the checks:
+/// `diff ⋈ 0` where `diff = lhs - rhs`, tagged with the rule it came
+/// from.
+pub struct Atom {
+    pub diff: LinExpr,
+    pub rel: Rel,
+    /// Human-readable label of the originating rule.
+    pub rule: String,
+}
+
+/// The digested model the structural checks run over.
+pub struct CheckedModel<'a> {
+    pub prob: &'a ProblemInstance,
+    /// All constraint atoms that evaluated symbolically.
+    pub atoms: Vec<Atom>,
+    /// The objective, when it compiled to a linear expression.
+    pub objective: Option<LinExpr>,
+    pub minimize: bool,
+    /// True when every rule (and the objective, if present) evaluated
+    /// symbolically — the reference- and bound-sensitive checks (SD001,
+    /// SD003) only run on a complete picture.
+    pub complete: bool,
+}
+
+fn is_nonlinear(msg: &str) -> bool {
+    msg.contains("not linear") || msg.contains("not representable in a linear program")
+}
+
+/// Run the analyzer over an already-compiled problem instance.
+///
+/// Never returns an error: a model the analyzer cannot evaluate at all
+/// simply yields no (or only structural) findings, and the solver
+/// reports the failure at run time.
+pub fn check_problem(db: &Database, ctes: &Ctes, prob: &ProblemInstance) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let solver = prob.solver.as_deref();
+    let linear_solver = solver.is_some_and(|s| LINEAR_SOLVERS.contains(&s));
+
+    // No rules at all (predictive solvers, plain fills): nothing to
+    // analyze — every variable is legitimately "unreferenced".
+    let has_rules =
+        prob.minimize.is_some() || prob.maximize.is_some() || !prob.subjectto.is_empty();
+    if !has_rules {
+        return diags;
+    }
+
+    // SD007: multiple objectives for a single-objective solver.
+    let both_objectives = prob.minimize.is_some() && prob.maximize.is_some();
+    if both_objectives && solver.is_some_and(|s| SINGLE_OBJECTIVE_SOLVERS.contains(&s)) {
+        diags.push(
+            Diagnostic::error(
+                "SD007",
+                format!(
+                    "both MINIMIZE and MAXIMIZE are specified, but '{}' is single-objective",
+                    solver.unwrap_or_default()
+                ),
+            )
+            .with_detail(
+                "drop one objective, or fold it into the other as a weighted sum \
+                 (e.g. MINIMIZE cost - w * profit)",
+            ),
+        );
+    }
+
+    // Symbolic environment. Lenient: derived relations that cannot be
+    // expressed symbolically stay unavailable, and rules referencing
+    // them are reported per-rule below.
+    let Ok(env) = materialize_env(db, ctes, prob, &CellPatch::Symbolic) else {
+        return diags;
+    };
+
+    // Objective: evaluate symbolically unless both are present (then
+    // SD007 already fired and neither compiles meaningfully).
+    let (obj_query, minimize) = match (&prob.minimize, &prob.maximize) {
+        (Some(q), None) => (Some(q), true),
+        (None, Some(q)) => (Some(q), false),
+        _ => (None, true),
+    };
+    let mut objective = None;
+    if let Some(q) = obj_query {
+        let clause = if minimize { "MINIMIZE" } else { "MAXIMIZE" };
+        match run_query(db, &env, q, None).and_then(|t| t.scalar()).and_then(|v| as_linexpr(&v)) {
+            Ok(lin) => {
+                // SD006: objective with no decision variables.
+                if lin.is_constant() {
+                    diags.push(
+                        Diagnostic::warning("SD006", "objective contains no decision variables")
+                            .with_detail(format!(
+                                "the {clause} expression evaluates to the constant {}; \
+                                 every feasible solution is equally optimal",
+                                lin.constant
+                            )),
+                    );
+                }
+                objective = Some(lin);
+            }
+            Err(e) if linear_solver && is_nonlinear(&e.to_string()) => {
+                // SD002 (objective side). Mirror the runtime wording so
+                // the diagnostic and the eventual solver error agree.
+                diags.push(
+                    Diagnostic::error(
+                        "SD002",
+                        format!("in {clause} rule {}: {e}", rule_label(None, q)),
+                    )
+                    .with_detail(
+                        "nonlinear rules need a black-box solver: \
+                         try USING swarmops.pso() instead of solverlp",
+                    ),
+                );
+            }
+            Err(_) => {} // the solver reports non-linearity findings at run time
+        }
+    }
+
+    // Constraints, rule by rule, so one defective rule does not abort
+    // analysis of the rest.
+    let mut all_rules_ok = true;
+    let mut atoms = Vec::new();
+    for rule in &prob.subjectto {
+        let label = rule_label(rule.alias.as_deref(), &rule.query);
+        let mut collected = Vec::new();
+        match collect_constraints(db, &env, std::slice::from_ref(rule), &mut collected) {
+            Ok(()) => {
+                for c in &collected {
+                    for (l, rel, r) in c.atoms() {
+                        atoms.push(Atom { diff: l.sub(r), rel, rule: label.clone() });
+                    }
+                }
+            }
+            Err(e) => {
+                all_rules_ok = false;
+                let msg = e.to_string();
+                if msg.contains("trivially false") {
+                    // SD004 (constant FALSE cell, caught during eval).
+                    diags.push(Diagnostic::error("SD004", msg).with_detail(
+                        "a constraint cell evaluated to constant FALSE; \
+                         no assignment of the decision variables can satisfy it",
+                    ));
+                } else if linear_solver && is_nonlinear(&msg) {
+                    diags.push(Diagnostic::error("SD002", msg).with_detail(
+                        "nonlinear rules need a black-box solver: \
+                         try USING swarmops.pso() instead of solverlp",
+                    ));
+                }
+                // Other evaluation failures (unavailable derived
+                // relations, type errors) are the solver's to report.
+            }
+        }
+    }
+
+    let complete = all_rules_ok && !both_objectives && (obj_query.is_none() || objective.is_some());
+    let model = CheckedModel { prob, atoms, objective, minimize, complete };
+    rules::sd004_infeasible_constants(&model, &mut diags);
+    rules::sd005_duplicate_or_shadowed(&model, &mut diags);
+    rules::sd001_unbounded_in_objective(&model, &mut diags);
+    rules::sd003_unreferenced_columns(&model, &mut diags);
+
+    diags.sort_by(|a, b| b.severity.cmp(&a.severity).then_with(|| a.code.cmp(&b.code)));
+    diags
+}
+
+/// Compile a `SOLVESELECT` and run the analyzer (the `EXPLAIN CHECK`
+/// entry point). Errors only when the statement itself fails to compile
+/// into a problem instance.
+pub fn check_stmt(db: &Database, ctes: &Ctes, stmt: &SolveStmt) -> Result<Vec<Diagnostic>> {
+    let prob = crate::problem::build_problem(db, ctes, stmt)?;
+    Ok(check_problem(db, ctes, &prob))
+}
+
+/// Parse and check a single `SOLVESELECT` statement.
+pub fn check_sql(db: &Database, sql: &str) -> Result<Vec<Diagnostic>> {
+    match parser::parse_statement(sql)? {
+        Statement::Solve(stmt) => check_stmt(db, &Ctes::new(), &stmt),
+        Statement::Explain { stmt, .. } => check_stmt(db, &Ctes::new(), &stmt),
+        _ => Err(Error::solver("CHECK is only defined for SOLVESELECT statements")),
+    }
+}
+
+/// True when any diagnostic is `Error`-level (the model cannot solve as
+/// written).
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}

@@ -1,0 +1,289 @@
+//! The structural checks: each inspects the digested [`CheckedModel`]
+//! and appends findings. All checks are conservative — when the model
+//! could not be fully evaluated (a rule failed, the objective did not
+//! compile) the reference- and bound-sensitive checks stay silent
+//! rather than guess.
+
+use super::{Atom, CheckedModel, TOL};
+use crate::explain::{render_linexpr, var_name};
+use crate::symbolic::{LinExpr, Rel, VarId};
+use sqlengine::diag::Diagnostic;
+use std::collections::{BTreeMap, HashMap};
+
+fn rel_op(rel: Rel) -> &'static str {
+    match rel {
+        Rel::Le => "<=",
+        Rel::Eq => "=",
+        Rel::Ge => ">=",
+    }
+}
+
+/// Render an atom `diff ⋈ 0` back into readable form.
+fn render_atom(m: &CheckedModel<'_>, a: &Atom) -> String {
+    format!("{} {} 0", render_linexpr(m.prob, &a.diff), rel_op(a.rel))
+}
+
+// ---------------------------------------------------------------------------
+// SD001 — decision variable unbounded in the objective direction
+// ---------------------------------------------------------------------------
+
+/// A variable with a nonzero objective coefficient whose improving
+/// direction no constraint bounds makes the LP unbounded. The analysis
+/// is exact for variables that appear only in single-variable
+/// inequality atoms; any appearance in a multi-variable or equality
+/// atom disables the check for that variable (the coupling may bound
+/// it indirectly).
+pub fn sd001_unbounded_in_objective(m: &CheckedModel<'_>, diags: &mut Vec<Diagnostic>) {
+    if !m.complete {
+        return;
+    }
+    let Some(obj) = &m.objective else { return };
+    for &(v, coef) in &obj.terms {
+        if coef == 0.0 {
+            continue;
+        }
+        // Which way does the objective push v?
+        let wants_down = (m.minimize && coef > 0.0) || (!m.minimize && coef < 0.0);
+        let mut coupled = false;
+        let (mut has_lower, mut has_upper) = (false, false);
+        for a in &m.atoms {
+            let Some(&(_, c)) = a.diff.terms.iter().find(|&&(tv, _)| tv == v) else {
+                continue;
+            };
+            if a.diff.terms.len() > 1 || a.rel == Rel::Eq {
+                coupled = true;
+                break;
+            }
+            // Single-variable atom c·v + k ⋈ 0.
+            if (a.rel == Rel::Le) == (c > 0.0) {
+                has_upper = true;
+            } else {
+                has_lower = true;
+            }
+        }
+        if coupled {
+            continue;
+        }
+        if if wants_down { !has_lower } else { !has_upper } {
+            let name = var_name(m.prob, v);
+            let sense = if m.minimize { "minimized" } else { "maximized" };
+            let dir = if wants_down { "below" } else { "above" };
+            diags.push(
+                Diagnostic::warning(
+                    "SD001",
+                    format!("decision variable {name} is unbounded in the objective direction"),
+                )
+                .with_detail(format!(
+                    "the {sense} objective contains {coef}*{name}, but no constraint \
+                     bounds {name} from {dir}; the problem is unbounded"
+                )),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SD003 — decision columns never referenced by any rule
+// ---------------------------------------------------------------------------
+
+/// A decision column none of whose variables appears in the objective
+/// or any constraint is dead weight: §4.3's pruning removes the
+/// variables before solving and their cells pass through unchanged,
+/// which is rarely what the model author meant.
+pub fn sd003_unreferenced_columns(m: &CheckedModel<'_>, diags: &mut Vec<Diagnostic>) {
+    if !m.complete {
+        return;
+    }
+    let mut used = vec![false; m.prob.num_vars()];
+    if let Some(obj) = &m.objective {
+        for v in obj.vars() {
+            used[v as usize] = true;
+        }
+    }
+    for a in &m.atoms {
+        for v in a.diff.vars() {
+            used[v as usize] = true;
+        }
+    }
+    // A column counts as referenced if any of its row-variables is.
+    let mut referenced: BTreeMap<(usize, usize), bool> = BTreeMap::new();
+    for (i, info) in m.prob.vars.iter().enumerate() {
+        *referenced.entry((info.rel, info.col)).or_insert(false) |= used[i];
+    }
+    // Aggregate unreferenced columns per relation.
+    let mut per_rel: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    for (&(rel, col), &hit) in &referenced {
+        if !hit {
+            let name = m.prob.relations[rel].table.schema.columns[col].name.clone();
+            per_rel.entry(rel).or_default().push(name);
+        }
+    }
+    for (rel, cols) in per_rel {
+        let alias = m.prob.relations[rel].alias.as_deref().unwrap_or("<input>");
+        let plural = if cols.len() == 1 { "column" } else { "columns" };
+        diags.push(
+            Diagnostic::warning(
+                "SD003",
+                format!(
+                    "decision {plural} {} of relation '{alias}' {} never referenced by any rule",
+                    cols.join(", "),
+                    if cols.len() == 1 { "is" } else { "are" }
+                ),
+            )
+            .with_detail(
+                "unreferenced variables are pruned before solving (§4.3) and their \
+                 cells pass through unchanged; drop them from the decision list or \
+                 reference them in a rule",
+            ),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SD004 — trivially infeasible constant constraints
+// ---------------------------------------------------------------------------
+
+/// An atom whose variables cancelled away entirely (`x - x <= -1`)
+/// leaves a constant comparison; if it is violated, no assignment can
+/// ever satisfy the model. (Constant comparisons that never touch a
+/// decision variable, like `1 <= 0`, are caught earlier during rule
+/// evaluation and reported from the driver.)
+pub fn sd004_infeasible_constants(m: &CheckedModel<'_>, diags: &mut Vec<Diagnostic>) {
+    for a in &m.atoms {
+        if !a.diff.is_constant() {
+            continue;
+        }
+        let c = a.diff.constant;
+        let violated = match a.rel {
+            Rel::Le => c > TOL,
+            Rel::Ge => c < -TOL,
+            Rel::Eq => c.abs() > TOL,
+        };
+        if violated {
+            diags.push(
+                Diagnostic::error(
+                    "SD004",
+                    format!(
+                        "constraint in rule {} is trivially infeasible: {}",
+                        a.rule,
+                        render_atom(m, a)
+                    ),
+                )
+                .with_detail(
+                    "the decision variables cancel out, leaving a constant comparison \
+                     that is always false",
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SD005 — duplicate / shadowed constraints
+// ---------------------------------------------------------------------------
+
+/// Normalize an atom for identity comparison: `Ge` becomes `Le` by
+/// negation, `Eq` is sign-canonicalized on its first term.
+fn normalize(a: &Atom) -> (LinExpr, Rel) {
+    match a.rel {
+        Rel::Ge => (a.diff.neg(), Rel::Le),
+        Rel::Eq => {
+            if a.diff.terms.first().is_some_and(|&(_, c)| c < 0.0) {
+                (a.diff.neg(), Rel::Eq)
+            } else {
+                (a.diff.clone(), Rel::Eq)
+            }
+        }
+        Rel::Le => (a.diff.clone(), Rel::Le),
+    }
+}
+
+type AtomKey = (u8, Vec<(VarId, u64)>, u64);
+
+fn atom_key(diff: &LinExpr, rel: Rel) -> AtomKey {
+    (
+        match rel {
+            Rel::Le => 0,
+            Rel::Eq => 1,
+            Rel::Ge => 2,
+        },
+        diff.terms.iter().map(|&(v, c)| (v, c.to_bits())).collect(),
+        diff.constant.to_bits(),
+    )
+}
+
+/// Exact duplicate atoms add no information (warning); a single-variable
+/// bound strictly dominated by a tighter bound on the same side is
+/// shadowed (note).
+pub fn sd005_duplicate_or_shadowed(m: &CheckedModel<'_>, diags: &mut Vec<Diagnostic>) {
+    // -- exact duplicates ---------------------------------------------------
+    let mut seen: Vec<(AtomKey, &Atom, usize)> = Vec::new();
+    for a in &m.atoms {
+        if a.diff.is_constant() {
+            continue; // SD004 territory
+        }
+        let (diff, rel) = normalize(a);
+        let key = atom_key(&diff, rel);
+        match seen.iter_mut().find(|(k, _, _)| *k == key) {
+            Some((_, _, n)) => *n += 1,
+            None => seen.push((key, a, 1)),
+        }
+    }
+    for (_, a, n) in &seen {
+        if *n > 1 {
+            diags.push(
+                Diagnostic::warning(
+                    "SD005",
+                    format!("constraint '{}' appears {n} times", render_atom(m, a)),
+                )
+                .with_detail(format!(
+                    "first occurrence in rule {}; duplicates add no information and \
+                     enlarge the solver input",
+                    a.rule
+                )),
+            );
+        }
+    }
+
+    // -- shadowed single-variable bounds ------------------------------------
+    // c·v + k ⋈ 0  ⇒  v ⋈' -k/c, an upper bound when (⋈ is <=) == (c > 0).
+    let mut bounds: HashMap<(VarId, bool), Vec<f64>> = HashMap::new();
+    for a in &m.atoms {
+        if a.rel == Rel::Eq || a.diff.terms.len() != 1 {
+            continue;
+        }
+        let (v, c) = a.diff.terms[0];
+        let bound = -a.diff.constant / c;
+        let upper = (a.rel == Rel::Le) == (c > 0.0);
+        bounds.entry((v, upper)).or_default().push(bound);
+    }
+    let mut shadowed: Vec<(VarId, bool, f64, f64)> = Vec::new();
+    for (&(v, upper), bs) in &bounds {
+        let binding = if upper {
+            bs.iter().cloned().fold(f64::INFINITY, f64::min)
+        } else {
+            bs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        };
+        for &b in bs {
+            let slack = if upper { b - binding } else { binding - b };
+            if slack > TOL {
+                shadowed.push((v, upper, b, binding));
+            }
+        }
+    }
+    shadowed.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+    shadowed.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1 && a.2 == b.2);
+    for (v, upper, loose, tight) in shadowed {
+        let name = var_name(m.prob, v);
+        let op = if upper { "<=" } else { ">=" };
+        diags.push(
+            Diagnostic::note(
+                "SD005",
+                format!(
+                    "bound '{name} {op} {loose}' is shadowed by the tighter '{name} {op} {tight}'"
+                ),
+            )
+            .with_detail("the looser bound can never be binding and can be dropped"),
+        );
+    }
+}

@@ -23,7 +23,8 @@ pub struct Explanation {
     /// Rendered objective, when linear.
     pub objective: Option<String>,
     pub minimize: bool,
-    /// Rendered constraints (up to a cap) when linear.
+    /// All rendered constraints when linear. [`Explanation::render`]
+    /// caps how many it prints; the full list stays available here.
     pub constraints: Vec<String>,
     pub constraint_count: usize,
     /// Whether the rules compile to a linear program.
@@ -31,6 +32,10 @@ pub struct Explanation {
     /// The named solver and method.
     pub solver: Option<String>,
 }
+
+/// How many constraints [`Explanation::render`] prints before eliding
+/// the rest with a `... and N more` line.
+const MAX_RENDERED: usize = 20;
 
 impl Explanation {
     pub fn render(&self) -> String {
@@ -58,8 +63,11 @@ impl Explanation {
             self.constraint_count,
             if self.linear { "linear" } else { "not linear — black-box evaluation" }
         );
-        for c in &self.constraints {
+        for c in self.constraints.iter().take(MAX_RENDERED) {
             let _ = writeln!(s, "  {c}");
+        }
+        if self.constraints.len() > MAX_RENDERED {
+            let _ = writeln!(s, "  ... and {} more", self.constraints.len() - MAX_RENDERED);
         }
         if let Some(sv) = &self.solver {
             let _ = writeln!(s, "solver: {sv}");
@@ -68,7 +76,7 @@ impl Explanation {
     }
 }
 
-fn var_name(prob: &ProblemInstance, v: u32) -> String {
+pub(crate) fn var_name(prob: &ProblemInstance, v: u32) -> String {
     let info = &prob.vars[v as usize];
     let rel = &prob.relations[info.rel];
     format!(
@@ -79,7 +87,7 @@ fn var_name(prob: &ProblemInstance, v: u32) -> String {
     )
 }
 
-fn render_linexpr(prob: &ProblemInstance, e: &LinExpr) -> String {
+pub(crate) fn render_linexpr(prob: &ProblemInstance, e: &LinExpr) -> String {
     let mut parts = Vec::new();
     for &(v, c) in &e.terms {
         if c == 1.0 {
@@ -122,7 +130,6 @@ pub fn explain_stmt(db: &Database, ctes: &Ctes, stmt: &SolveStmt) -> Result<Expl
         s
     });
 
-    const MAX_RENDERED: usize = 20;
     match compile_linear(db, ctes, &prob) {
         Ok(rules) => {
             let (_, used) = to_lp(&prob, &rules);
@@ -131,23 +138,18 @@ pub fn explain_stmt(db: &Database, ctes: &Ctes, stmt: &SolveStmt) -> Result<Expl
             for c in &rules.constraints {
                 for (l, rel, r) in c.atoms() {
                     count += 1;
-                    if constraints.len() < MAX_RENDERED {
-                        let op = match rel {
-                            Rel::Le => "<=",
-                            Rel::Eq => "=",
-                            Rel::Ge => ">=",
-                        };
-                        constraints.push(format!(
-                            "{} {} {}",
-                            render_linexpr(&prob, l),
-                            op,
-                            render_linexpr(&prob, r)
-                        ));
-                    }
+                    let op = match rel {
+                        Rel::Le => "<=",
+                        Rel::Eq => "=",
+                        Rel::Ge => ">=",
+                    };
+                    constraints.push(format!(
+                        "{} {} {}",
+                        render_linexpr(&prob, l),
+                        op,
+                        render_linexpr(&prob, r)
+                    ));
                 }
-            }
-            if count > MAX_RENDERED {
-                constraints.push(format!("... and {} more", count - MAX_RENDERED));
             }
             Ok(Explanation {
                 relations,

@@ -1,15 +1,18 @@
 //! The engine hook: routes `SOLVESELECT`, `SOLVEMODEL` expressions and
 //! `MODELEVAL` from query execution into the solver framework.
 
+use crate::check;
+use crate::explain;
 use crate::model::{expect_model, ModelValue};
 use crate::problem::{build_problem, materialize_env, CellPatch};
 use crate::solver::{SolveContext, SolverRegistry};
 use sqlengine::ast::{Query, SolveKind, SolveStmt};
 use sqlengine::catalog::{Ctes, Database, SolveHandler};
+use sqlengine::diag::Diagnostic;
 use sqlengine::error::{Error, Result};
 use sqlengine::exec::run_query;
-use sqlengine::table::Table;
-use sqlengine::types::{custom, Value};
+use sqlengine::table::{Column, Schema, Table};
+use sqlengine::types::{custom, DataType, Value};
 use std::sync::Arc;
 
 /// SolveDB+'s implementation of the engine's [`SolveHandler`] hook.
@@ -24,7 +27,13 @@ impl Handler {
 }
 
 impl SolveHandler for Handler {
-    fn solve_select(&self, db: &Database, stmt: &SolveStmt, ctes: &Ctes) -> Result<Table> {
+    fn solve_select(
+        &self,
+        db: &Database,
+        stmt: &SolveStmt,
+        ctes: &Ctes,
+        warnings: &mut Vec<Diagnostic>,
+    ) -> Result<Table> {
         let using = stmt
             .using
             .as_ref()
@@ -32,8 +41,24 @@ impl SolveHandler for Handler {
         let solver = self.registry.get(&using.solver)?;
         SolverRegistry::check_method(solver.as_ref(), &using.method)?;
         let prob = build_problem(db, ctes, stmt)?;
+        // Pre-solve static analysis. All findings go into the sink; the
+        // executor keeps only advisory (Warning/Note) severities on the
+        // result — Error-level findings predict a solver failure that
+        // the solve call below reports in its own words.
+        warnings.extend(check::check_problem(db, ctes, &prob));
         let ctx = SolveContext { db, ctes };
         solver.solve(&ctx, &prob)
+    }
+
+    fn explain_solve(&self, db: &Database, stmt: &SolveStmt, ctes: &Ctes) -> Result<Table> {
+        let e = explain::explain_stmt(db, ctes, stmt)?;
+        let schema = Schema::new(vec![Column::new("plan", DataType::Text)]);
+        let rows = e.render().lines().map(|l| vec![Value::text(l)]).collect();
+        Ok(Table::with_rows(schema, rows))
+    }
+
+    fn check_solve(&self, db: &Database, stmt: &SolveStmt, ctes: &Ctes) -> Result<Vec<Diagnostic>> {
+        check::check_stmt(db, ctes, stmt)
     }
 
     fn solve_model(&self, _db: &Database, stmt: &SolveStmt, _ctes: &Ctes) -> Result<Value> {

@@ -9,6 +9,10 @@
 //!
 //! Entry point: [`Session`].
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod check;
 pub mod explain;
 pub mod handler;
 pub mod model;
@@ -19,6 +23,7 @@ pub mod solver;
 pub mod solvers;
 pub mod symbolic;
 
+pub use check::{check_sql, check_stmt};
 pub use explain::{explain_sql, Explanation};
 pub use model::ModelValue;
 pub use problem::{build_problem, ProblemInstance};

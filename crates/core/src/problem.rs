@@ -57,6 +57,8 @@ pub struct ProblemInstance {
     pub subjectto: Vec<NamedRule>,
     pub vars: Vec<VarInfo>,
     pub params: HashMap<String, Value>,
+    /// Solver named in the `USING` clause.
+    pub solver: Option<String>,
     pub method: Option<String>,
 }
 
@@ -212,8 +214,10 @@ pub fn build_problem(db: &Database, ctes: &Ctes, stmt: &SolveStmt) -> Result<Pro
     // (`features := outTemp`), everything else is evaluated as a
     // constant expression.
     let mut params = HashMap::new();
+    let mut solver = None;
     let mut method = None;
     if let Some(u) = &stmt.using {
+        solver = Some(u.solver.clone());
         method = u.method.clone();
         for (i, (name, expr)) in u.params.iter().enumerate() {
             let key = name.clone().unwrap_or_else(|| format!("${i}"));
@@ -280,6 +284,7 @@ pub fn build_problem(db: &Database, ctes: &Ctes, stmt: &SolveStmt) -> Result<Pro
         subjectto: stmt.subjectto.clone(),
         vars,
         params,
+        solver,
         method,
     })
 }
@@ -382,6 +387,28 @@ pub struct LinearRules {
     pub constraints: Vec<ConstraintValue>,
 }
 
+/// Describe a rule for error messages and diagnostics: its alias when
+/// named, else its (truncated) SQL text — so a nonlinearity error names
+/// the offending rule instead of floating free of context.
+pub fn rule_label(alias: Option<&str>, query: &Query) -> String {
+    match alias {
+        Some(a) => format!("'{a}'"),
+        None => {
+            let sql = query.to_string();
+            let mut s: String = sql.chars().take(60).collect();
+            if s.chars().count() < sql.chars().count() {
+                s.push_str("...");
+            }
+            format!("({s})")
+        }
+    }
+}
+
+/// Wrap a rule-evaluation error with which clause and rule produced it.
+fn rule_error(clause: &str, alias: Option<&str>, query: &Query, e: Error) -> Error {
+    Error::solver(format!("in {clause} rule {}: {e}", rule_label(alias, query)))
+}
+
 /// Evaluate MINIMIZE/MAXIMIZE and SUBJECTTO symbolically.
 pub fn compile_linear(db: &Database, base: &Ctes, prob: &ProblemInstance) -> Result<LinearRules> {
     let env = materialize_env(db, base, prob, &CellPatch::Symbolic)?;
@@ -395,12 +422,13 @@ pub fn compile_linear(db: &Database, base: &Ctes, prob: &ProblemInstance) -> Res
             ))
         }
     };
+    let clause = if minimize { "MINIMIZE" } else { "MAXIMIZE" };
     let objective = match obj_query {
         None => LinExpr::constant(0.0),
-        Some(q) => {
-            let t = run_query(db, &env, q, None)?;
-            as_linexpr(&t.scalar()?)?
-        }
+        Some(q) => run_query(db, &env, q, None)
+            .and_then(|t| t.scalar())
+            .and_then(|v| as_linexpr(&v))
+            .map_err(|e| rule_error(clause, None, q, e))?,
     };
     let mut constraints = Vec::new();
     collect_constraints(db, &env, &prob.subjectto, &mut constraints)?;
@@ -417,7 +445,8 @@ pub fn collect_constraints(
     out: &mut Vec<ConstraintValue>,
 ) -> Result<()> {
     for rule in rules {
-        let t = run_query(db, env, &rule.query, None)?;
+        let t = run_query(db, env, &rule.query, None)
+            .map_err(|e| rule_error("SUBJECTTO", rule.alias.as_deref(), &rule.query, e))?;
         for row in &t.rows {
             for cell in row {
                 if let Some(c) = downcast::<ConstraintVal>(cell) {

@@ -163,6 +163,13 @@ impl Session {
         execute_statement(&mut self.db, stmt)
     }
 
+    /// Run the pre-solve static analyzer over a `SOLVESELECT` without
+    /// solving it (the programmatic face of `EXPLAIN CHECK`). Returns
+    /// all findings, every severity included.
+    pub fn check(&self, sql: &str) -> Result<Vec<sqlengine::diag::Diagnostic>> {
+        crate::check::check_sql(&self.db, sql)
+    }
+
     /// Execute and expect a result set.
     pub fn query(&mut self, sql: &str) -> Result<Table> {
         self.execute(sql)?.into_table()

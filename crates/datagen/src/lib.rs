@@ -15,6 +15,8 @@
 //!
 //! Everything is seeded and deterministic.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sqlengine::types::timeval;

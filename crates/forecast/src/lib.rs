@@ -7,6 +7,8 @@
 //! Advisor (`predictive_solver`). Engine integration (SQL exposure,
 //! decision-column handling) lives in `solvedbplus-core`.
 
+#![forbid(unsafe_code)]
+
 pub mod arima;
 pub mod cv;
 pub mod linreg;

@@ -9,6 +9,8 @@
 //! be marked integral (the paper's ARIMA order search uses integer
 //! parameters in `[0, 5]`). Runs are deterministic given a seed.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

@@ -8,6 +8,8 @@
 //! (possibly infinite) bounds and optional integrality, linear
 //! constraints `a'x ⋈ b`, and a linear objective.
 
+#![forbid(unsafe_code)]
+
 pub mod mip;
 pub mod simplex;
 

@@ -102,16 +102,35 @@ impl Client {
     /// Execute a SQL batch (one or more `;`-separated statements) and
     /// return one result per executed statement, in order. If a
     /// statement fails, its reconstructed engine error is the last
-    /// element (the server skips the rest of the batch).
+    /// element (the server skips the rest of the batch). Analyzer
+    /// warnings (WARNING frames, protocol v2) are attached to the
+    /// result of the statement that produced them.
     pub fn execute(&mut self, sql: &str) -> Result<Vec<StatementResult>, ClientError> {
         write_frame(&mut self.stream, &Frame::Query(sql.to_string()))?;
         let mut results = Vec::new();
+        // A WARNING frame precedes the result frame it belongs to, so
+        // buffer diagnostics until the next result arrives.
+        let mut pending = Vec::new();
         loop {
             match Self::read(&mut self.stream)? {
-                Frame::ResultTable(t) => results.push(Ok(ExecResult::Table(t))),
-                Frame::RowCount(n) => results.push(Ok(ExecResult::Count(n as usize))),
-                Frame::Done => results.push(Ok(ExecResult::Done)),
-                Frame::Error { kind, message } => results.push(Err(frame_to_error(kind, &message))),
+                Frame::Warning(diags) => pending.extend(diags),
+                Frame::ResultTable(t) => {
+                    results
+                        .push(Ok(ExecResult::table(t).with_warnings(std::mem::take(&mut pending))));
+                }
+                Frame::RowCount(n) => {
+                    results
+                        .push(Ok(ExecResult::count(n as usize)
+                            .with_warnings(std::mem::take(&mut pending))));
+                }
+                Frame::Done => {
+                    results
+                        .push(Ok(ExecResult::done().with_warnings(std::mem::take(&mut pending))));
+                }
+                Frame::Error { kind, message } => {
+                    pending.clear();
+                    results.push(Err(frame_to_error(kind, &message)));
+                }
                 Frame::End => return Ok(results),
                 other => {
                     return Err(ClientError::Protocol(format!(
@@ -130,18 +149,13 @@ impl Client {
         match results.pop() {
             Some(Ok(r)) => Ok(r),
             Some(Err(e)) => Err(ClientError::Engine(e)),
-            None => Ok(ExecResult::Done), // empty batch
+            None => Ok(ExecResult::done()), // empty batch
         }
     }
 
     /// Execute a single statement and expect a result set.
     pub fn query(&mut self, sql: &str) -> Result<Table, ClientError> {
-        match self.execute_script(sql)? {
-            ExecResult::Table(t) => Ok(t),
-            other => Err(ClientError::Engine(EngineError::eval(format!(
-                "statement did not return a result set ({other:?})"
-            )))),
-        }
+        Ok(self.execute_script(sql)?.into_table()?)
     }
 
     /// Execute a single statement and expect a single scalar.

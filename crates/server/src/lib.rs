@@ -15,6 +15,9 @@
 //! * [`client`] — a blocking client library used by the
 //!   `solvedb --connect` CLI mode and the integration tests.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod client;
 pub mod manager;
 pub mod protocol;

@@ -16,6 +16,7 @@
 //! malformed or hostile peer gets an error, never a panic or an
 //! unbounded allocation.
 
+use sqlengine::diag::Diagnostic;
 use sqlengine::error::Error as EngineError;
 use sqlengine::{wire, Table};
 use std::fmt;
@@ -26,7 +27,10 @@ pub const MAGIC: [u8; 4] = *b"SDBP";
 
 /// Current protocol version. Bumped on incompatible changes; the server
 /// rejects clients announcing a different version.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// History: v1 — initial protocol; v2 — adds the `WARNING` frame
+/// carrying pre-solve analyzer diagnostics before a statement's result.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Upper bound for one frame (64 MiB + framing slack), matching the
 /// string limit of the value codec.
@@ -43,6 +47,7 @@ mod frame_type {
     pub const PONG: u8 = 0x08;
     pub const BYE: u8 = 0x09;
     pub const END: u8 = 0x0A;
+    pub const WARNING: u8 = 0x0B;
 }
 
 /// One protocol frame.
@@ -70,6 +75,10 @@ pub enum Frame {
     Bye,
     /// Terminates the server's response to one `Query` batch.
     End,
+    /// Advisory diagnostics from the pre-solve static analyzer,
+    /// sent immediately before the result frame of the statement they
+    /// belong to (protocol v2, see DIAGNOSTICS.md).
+    Warning(Vec<Diagnostic>),
 }
 
 /// Errors arising while reading/writing frames: transport failures keep
@@ -183,6 +192,10 @@ fn encode_body(f: &Frame, out: &mut Vec<u8>) {
         Frame::Pong => out.push(frame_type::PONG),
         Frame::Bye => out.push(frame_type::BYE),
         Frame::End => out.push(frame_type::END),
+        Frame::Warning(diags) => {
+            out.push(frame_type::WARNING);
+            wire::encode_diagnostics(diags, out);
+        }
     }
 }
 
@@ -253,6 +266,15 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, ProtoError> {
         frame_type::PONG => expect_empty(payload, "PONG", Frame::Pong)?,
         frame_type::BYE => expect_empty(payload, "BYE", Frame::Bye)?,
         frame_type::END => expect_empty(payload, "END", Frame::End)?,
+        frame_type::WARNING => {
+            let mut r = wire::Reader::new(payload);
+            let diags = wire::decode_diagnostics(&mut r)
+                .map_err(|e| malformed(format!("WARNING payload: {e}")))?;
+            if !r.is_empty() {
+                return Err(malformed("WARNING frame has trailing bytes"));
+            }
+            Frame::Warning(diags)
+        }
         other => return Err(malformed(format!("unknown frame type 0x{other:02x}"))),
     };
     Ok(frame)
@@ -387,6 +409,19 @@ mod tests {
         roundtrip(Frame::Pong);
         roundtrip(Frame::Bye);
         roundtrip(Frame::End);
+        roundtrip(Frame::Warning(vec![]));
+        roundtrip(Frame::Warning(vec![
+            sqlengine::diag::Diagnostic::warning("SD001", "x is unbounded below"),
+            sqlengine::diag::Diagnostic::note("SD005", "shadowed bound").with_detail("see x <= 4"),
+        ]));
+    }
+
+    #[test]
+    fn warning_frame_rejects_trailing_bytes() {
+        let mut enc = Vec::new();
+        encode_body(&Frame::Warning(vec![]), &mut enc);
+        enc.push(0xFF);
+        assert!(decode_body(&enc).is_err());
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::protocol::{
 };
 use crossbeam::channel;
 use sqlengine::parser::{parse_statement, split_statements};
-use sqlengine::ExecResult;
+use sqlengine::Outcome;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -267,9 +267,11 @@ fn serve_connection(mut stream: TcpStream, manager: &Arc<SessionManager>, stop: 
 }
 
 /// Execute one Query batch statement by statement, streaming one
-/// response frame per statement and an END terminator. The batch stops
-/// at the first failing statement (its error frame is the last response
-/// before END), matching script-mode semantics in the CLI.
+/// response frame per statement and an END terminator. A statement
+/// with analyzer warnings gets a WARNING frame immediately before its
+/// result frame (protocol v2). The batch stops at the first failing
+/// statement (its error frame is the last response before END),
+/// matching script-mode semantics in the CLI.
 fn run_batch(
     stream: &mut TcpStream,
     session: &mut crate::manager::SessionHandle,
@@ -278,9 +280,16 @@ fn run_batch(
     for piece in split_statements(sql) {
         let outcome = parse_statement(&piece).and_then(|stmt| session.execute_statement(&stmt));
         match outcome {
-            Ok(ExecResult::Table(t)) => write_frame(stream, &Frame::ResultTable(t))?,
-            Ok(ExecResult::Count(n)) => write_frame(stream, &Frame::RowCount(n as u64))?,
-            Ok(ExecResult::Done) => write_frame(stream, &Frame::Done)?,
+            Ok(r) => {
+                if !r.warnings.is_empty() {
+                    write_frame(stream, &Frame::Warning(r.warnings))?;
+                }
+                match r.outcome {
+                    Outcome::Table(t) => write_frame(stream, &Frame::ResultTable(t))?,
+                    Outcome::Count(n) => write_frame(stream, &Frame::RowCount(n as u64))?,
+                    Outcome::Done => write_frame(stream, &Frame::Done)?,
+                }
+            }
             Err(e) => {
                 write_frame(stream, &error_to_frame(&e))?;
                 break;

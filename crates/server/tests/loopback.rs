@@ -6,7 +6,7 @@
 use server::protocol::{read_frame, write_frame, Frame, PROTOCOL_VERSION};
 use server::{Client, ClientError, Server, ServerConfig};
 use solvedbplus_core::Session;
-use sqlengine::{ExecResult, Value};
+use sqlengine::{Outcome, Severity, Value};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::mpsc;
 use std::thread;
@@ -85,14 +85,45 @@ fn batch_reports_every_statement_and_stops_at_first_error() {
         )
         .unwrap();
     assert_eq!(results.len(), 4, "three successes then the failing statement");
-    assert!(matches!(results[0], Ok(ExecResult::Done)));
-    assert!(matches!(results[1], Ok(ExecResult::Count(3))));
-    match &results[2] {
-        Ok(ExecResult::Table(t)) => assert_eq!(t.scalar().unwrap(), Value::Int(6)),
+    assert!(matches!(results[0].as_ref().unwrap().outcome, Outcome::Done));
+    assert!(matches!(results[1].as_ref().unwrap().outcome, Outcome::Count(3)));
+    match &results[2].as_ref().unwrap().outcome {
+        Outcome::Table(t) => assert_eq!(t.scalar().unwrap(), Value::Int(6)),
         other => panic!("expected table, got {other:?}"),
     }
     // The engine error arrives with its category reconstructed.
     assert!(matches!(&results[3], Err(sqlengine::Error::Catalog(_))));
+    ts.stop();
+}
+
+#[test]
+fn analyzer_warnings_survive_the_wire_roundtrip() {
+    let ts = TestServer::start(2);
+    let mut client = Client::connect(ts.addr).unwrap();
+    client.execute_script("CREATE TABLE w (x float8); INSERT INTO w VALUES (NULL)").expect("setup");
+    // x has an upper bound but the objective maximizes it with no lower
+    // bound relevance — use a model with a decision variable missing the
+    // bound the objective pushes toward: maximize x with only x >= 0.
+    let results = client
+        .execute(
+            "SOLVESELECT q(x) AS (SELECT * FROM w) \
+             MAXIMIZE (SELECT x FROM q) \
+             SUBJECTTO (SELECT x >= 0, x <= 10, x <= 20 FROM q) \
+             USING solverlp()",
+        )
+        .expect("solve batch");
+    assert_eq!(results.len(), 1);
+    let r = results[0].as_ref().expect("solve succeeds");
+    assert!(matches!(r.outcome, Outcome::Table(_)));
+    // `x <= 20` is shadowed by `x <= 10` → SD005 note travels back.
+    let sd005 = r
+        .warnings
+        .iter()
+        .find(|d| d.code == "SD005")
+        .unwrap_or_else(|| panic!("expected SD005 in warnings, got {:?}", r.warnings));
+    assert_eq!(sd005.severity, Severity::Note);
+    assert!(sd005.message.contains("shadowed"), "message: {}", sd005.message);
+    client.close().unwrap();
     ts.stop();
 }
 

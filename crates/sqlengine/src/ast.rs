@@ -393,6 +393,13 @@ pub struct ColumnDef {
 pub enum Statement {
     Query(Query),
     Solve(SolveStmt),
+    /// `EXPLAIN [CHECK] SOLVESELECT ...` — describe the compiled problem
+    /// (`check: false`) or run the pre-solve static analyzer and return
+    /// its diagnostics as a relation (`check: true`), without solving.
+    Explain {
+        check: bool,
+        stmt: Box<SolveStmt>,
+    },
     /// `MODELEVAL (select) IN (select)` (§4.4).
     ModelEval {
         select: Query,
@@ -832,6 +839,9 @@ impl fmt::Display for Statement {
         match self {
             Statement::Query(q) => write!(f, "{q}"),
             Statement::Solve(s) => write!(f, "{s}"),
+            Statement::Explain { check, stmt } => {
+                write!(f, "EXPLAIN {}{stmt}", if *check { "CHECK " } else { "" })
+            }
             Statement::ModelEval { select, model } => {
                 write!(f, "MODELEVAL ({select}) IN ({model})")
             }

@@ -2,6 +2,7 @@
 //! hook through which the SolveDB+ layer plugs into query execution.
 
 use crate::ast::{Query, SolveStmt};
+use crate::diag::Diagnostic;
 use crate::error::{Error, Result};
 use crate::table::{Table, TableRef};
 use crate::types::Value;
@@ -66,7 +67,36 @@ impl Ctes {
 /// mirroring a PostgreSQL install without the SolveDB+ extension.
 pub trait SolveHandler: Send + Sync {
     /// Execute a `SOLVESELECT`, returning the output relation.
-    fn solve_select(&self, db: &Database, stmt: &SolveStmt, ctes: &Ctes) -> Result<Table>;
+    ///
+    /// Before solving, the handler may run its pre-solve static
+    /// analyzer and push advisory findings into `warnings`; the
+    /// executor attaches `Warning`/`Note`-severity entries to the
+    /// statement's [`crate::exec::ExecResult`].
+    fn solve_select(
+        &self,
+        db: &Database,
+        stmt: &SolveStmt,
+        ctes: &Ctes,
+        warnings: &mut Vec<Diagnostic>,
+    ) -> Result<Table>;
+
+    /// `EXPLAIN SOLVESELECT ...`: describe the compiled problem (one
+    /// text column, one row per plan line) without solving it.
+    fn explain_solve(&self, _db: &Database, _stmt: &SolveStmt, _ctes: &Ctes) -> Result<Table> {
+        Err(Error::unsupported("EXPLAIN SOLVESELECT requires the SolveDB+ solve handler"))
+    }
+
+    /// `EXPLAIN CHECK SOLVESELECT ...`: run the pre-solve static
+    /// analyzer and return all findings (every severity) without
+    /// solving.
+    fn check_solve(
+        &self,
+        _db: &Database,
+        _stmt: &SolveStmt,
+        _ctes: &Ctes,
+    ) -> Result<Vec<Diagnostic>> {
+        Err(Error::unsupported("EXPLAIN CHECK requires the SolveDB+ solve handler"))
+    }
 
     /// Evaluate a `SOLVEMODEL`, returning a model value.
     fn solve_model(&self, db: &Database, stmt: &SolveStmt, ctes: &Ctes) -> Result<Value>;

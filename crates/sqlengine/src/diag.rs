@@ -1,0 +1,181 @@
+//! Structured diagnostics for the solve layers.
+//!
+//! The SolveDB+ static analyzer (`solvedbplus-core::check`) and the
+//! engine itself report model defects as [`Diagnostic`] values — a
+//! stable `SD0xx` code, a severity, a one-line message and an optional
+//! multi-line detail. Diagnostics travel on the result type
+//! ([`crate::exec::ExecResult::warnings`]), across the wire protocol
+//! (see `crates/server/PROTOCOL.md`) and render rustc-style in the
+//! `solvedb` shell. The full catalogue lives in `DIAGNOSTICS.md` at the
+//! repository root.
+
+use crate::table::{Column, Schema, Table};
+use crate::types::{DataType, Value};
+
+/// How serious a diagnostic is.
+///
+/// `Error`-level diagnostics describe models that cannot solve as
+/// written (the solver would fail at run time); they surface through
+/// `EXPLAIN CHECK`. `Warning` and `Note` levels describe suspicious but
+/// solvable models and are attached to successful results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    Note,
+    Warning,
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name, as rendered in `error[SD004]: ...`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Wire encoding (stable across protocol versions).
+    pub fn code(self) -> u8 {
+        match self {
+            Severity::Note => 0,
+            Severity::Warning => 1,
+            Severity::Error => 2,
+        }
+    }
+
+    /// Inverse of [`Severity::code`]; unknown bytes decode as `Note` so
+    /// newer peers never make a frame unreadable.
+    pub fn from_code(c: u8) -> Severity {
+        match c {
+            2 => Severity::Error,
+            1 => Severity::Warning,
+            _ => Severity::Note,
+        }
+    }
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding from the pre-solve static analyzer (or the engine).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable identifier, `SD001`..`SD007` today (see DIAGNOSTICS.md).
+    pub code: String,
+    pub severity: Severity,
+    /// One-line summary of the finding.
+    pub message: String,
+    /// Optional elaboration: the offending construct, or a fix-it hint.
+    pub detail: Option<String>,
+}
+
+impl Diagnostic {
+    pub fn new(
+        code: impl Into<String>,
+        severity: Severity,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic { code: code.into(), severity, message: message.into(), detail: None }
+    }
+
+    pub fn error(code: impl Into<String>, message: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(code, Severity::Error, message)
+    }
+
+    pub fn warning(code: impl Into<String>, message: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(code, Severity::Warning, message)
+    }
+
+    pub fn note(code: impl Into<String>, message: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(code, Severity::Note, message)
+    }
+
+    pub fn with_detail(mut self, detail: impl Into<String>) -> Diagnostic {
+        self.detail = Some(detail.into());
+        self
+    }
+}
+
+/// Rustc-style rendering:
+///
+/// ```text
+/// warning[SD003]: decision column 'load' is never referenced by any rule
+///   = note: unreferenced variables are pruned before solving (§4.3)
+/// ```
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        if let Some(detail) = &self.detail {
+            for line in detail.lines() {
+                write!(f, "\n  = note: {line}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Render a diagnostic list as a relation (`EXPLAIN CHECK` output):
+/// columns `code`, `severity`, `message`, `detail`.
+pub fn diagnostics_table(diags: &[Diagnostic]) -> Table {
+    let schema = Schema::new(vec![
+        Column::new("code", DataType::Text),
+        Column::new("severity", DataType::Text),
+        Column::new("message", DataType::Text),
+        Column::new("detail", DataType::Text),
+    ]);
+    let rows = diags
+        .iter()
+        .map(|d| {
+            vec![
+                Value::Text(d.code.as_str().into()),
+                Value::Text(d.severity.as_str().into()),
+                Value::Text(d.message.as_str().into()),
+                d.detail.as_deref().map_or(Value::Null, |s| Value::Text(s.into())),
+            ]
+        })
+        .collect();
+    Table::with_rows(schema, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_roundtrip_and_order() {
+        for s in [Severity::Note, Severity::Warning, Severity::Error] {
+            assert_eq!(Severity::from_code(s.code()), s);
+        }
+        assert!(Severity::Note < Severity::Warning && Severity::Warning < Severity::Error);
+        assert_eq!(Severity::from_code(200), Severity::Note);
+    }
+
+    #[test]
+    fn display_matches_rustc_shape() {
+        let d = Diagnostic::warning("SD003", "decision column 'x' is never referenced")
+            .with_detail("unused variables are pruned before solving");
+        assert_eq!(
+            d.to_string(),
+            "warning[SD003]: decision column 'x' is never referenced\n  \
+             = note: unused variables are pruned before solving"
+        );
+        let plain = Diagnostic::error("SD004", "constraint is trivially false");
+        assert_eq!(plain.to_string(), "error[SD004]: constraint is trivially false");
+    }
+
+    #[test]
+    fn diagnostics_table_shape() {
+        let t = diagnostics_table(&[
+            Diagnostic::warning("SD006", "objective has no decision variables"),
+            Diagnostic::error("SD007", "two objectives").with_detail("drop one"),
+        ]);
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.num_columns(), 4);
+        assert_eq!(t.rows[0][3], Value::Null);
+        assert_eq!(t.rows[1][0], Value::Text("SD007".into()));
+    }
+}

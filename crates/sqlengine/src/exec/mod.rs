@@ -6,6 +6,7 @@ pub mod select;
 
 use crate::ast::{Query, SetExpr, Statement};
 use crate::catalog::{Ctes, Database};
+use crate::diag::{diagnostics_table, Diagnostic, Severity};
 use crate::error::{Error, Result};
 use crate::exec::eval::{Binder, Env, EvalCtx, Scope};
 use crate::parser;
@@ -15,9 +16,9 @@ use crate::types::Value;
 pub use eval::{BoundExpr, ScopeCol};
 pub use select::run_query;
 
-/// Result of executing one statement.
+/// What a statement produced.
 #[derive(Debug)]
-pub enum ExecResult {
+pub enum Outcome {
     /// A query (or SOLVESELECT / MODELEVAL) result set.
     Table(Table),
     /// Rows affected by DML.
@@ -26,18 +27,46 @@ pub enum ExecResult {
     Done,
 }
 
+/// Result of executing one statement: the outcome plus any diagnostics
+/// the pre-solve static analyzer attached (the *warnings channel* —
+/// `Warning`/`Note` severity only; `Error`-level findings either fail
+/// the statement or surface through `EXPLAIN CHECK`).
+#[derive(Debug)]
+pub struct ExecResult {
+    pub outcome: Outcome,
+    pub warnings: Vec<Diagnostic>,
+}
+
 impl ExecResult {
-    /// Expect a result set.
+    pub fn table(t: Table) -> ExecResult {
+        ExecResult { outcome: Outcome::Table(t), warnings: Vec::new() }
+    }
+
+    pub fn count(n: usize) -> ExecResult {
+        ExecResult { outcome: Outcome::Count(n), warnings: Vec::new() }
+    }
+
+    pub fn done() -> ExecResult {
+        ExecResult { outcome: Outcome::Done, warnings: Vec::new() }
+    }
+
+    /// Attach analyzer warnings to this result.
+    pub fn with_warnings(mut self, warnings: Vec<Diagnostic>) -> ExecResult {
+        self.warnings = warnings;
+        self
+    }
+
+    /// Expect a result set (drops any attached warnings).
     pub fn into_table(self) -> Result<Table> {
-        match self {
-            ExecResult::Table(t) => Ok(t),
+        match self.outcome {
+            Outcome::Table(t) => Ok(t),
             other => Err(Error::eval(format!("statement returned {other:?}, expected rows"))),
         }
     }
 
-    pub fn count(&self) -> Option<usize> {
-        match self {
-            ExecResult::Count(n) => Some(*n),
+    pub fn row_count(&self) -> Option<usize> {
+        match self.outcome {
+            Outcome::Count(n) => Some(n),
             _ => None,
         }
     }
@@ -52,7 +81,7 @@ pub fn execute_sql(db: &mut Database, sql: &str) -> Result<ExecResult> {
 /// Parse and execute a `;`-separated script, returning the last result.
 pub fn execute_script(db: &mut Database, sql: &str) -> Result<ExecResult> {
     let stmts = parser::parse_statements(sql)?;
-    let mut last = ExecResult::Done;
+    let mut last = ExecResult::done();
     for s in &stmts {
         last = execute_statement(db, s)?;
     }
@@ -63,14 +92,29 @@ pub fn execute_script(db: &mut Database, sql: &str) -> Result<ExecResult> {
 pub fn execute_statement(db: &mut Database, stmt: &Statement) -> Result<ExecResult> {
     let ctes = Ctes::new();
     match stmt {
-        Statement::Query(q) => Ok(ExecResult::Table(run_query(db, &ctes, q, None)?)),
+        Statement::Query(q) => Ok(ExecResult::table(run_query(db, &ctes, q, None)?)),
         Statement::Solve(s) => {
             let handler = db.solve_handler()?;
-            Ok(ExecResult::Table(handler.solve_select(db, s, &ctes)?))
+            let mut warnings = Vec::new();
+            let t = handler.solve_select(db, s, &ctes, &mut warnings)?;
+            // The warnings channel carries advisory findings only; a
+            // handler that pushed an Error-level diagnostic and still
+            // returned Ok gets it downgraded to the advisory channel.
+            warnings.retain(|d| d.severity <= Severity::Warning);
+            Ok(ExecResult::table(t).with_warnings(warnings))
+        }
+        Statement::Explain { check, stmt } => {
+            let handler = db.solve_handler()?;
+            let t = if *check {
+                diagnostics_table(&handler.check_solve(db, stmt, &ctes)?)
+            } else {
+                handler.explain_solve(db, stmt, &ctes)?
+            };
+            Ok(ExecResult::table(t))
         }
         Statement::ModelEval { select, model } => {
             let handler = db.solve_handler()?;
-            Ok(ExecResult::Table(handler.model_eval(db, select, model, &ctes)?))
+            Ok(ExecResult::table(handler.model_eval(db, select, model, &ctes)?))
         }
         Statement::Insert { table, columns, source } => {
             let src = run_query(db, &ctes, source, None)?;
@@ -107,7 +151,7 @@ pub fn execute_statement(db: &mut Database, stmt: &Statement) -> Result<ExecResu
                 }
                 t.push_coerced(full)?;
             }
-            Ok(ExecResult::Count(n))
+            Ok(ExecResult::count(n))
         }
         Statement::Update { table, assignments, where_ } => {
             let snapshot: Table = db.table(table)?.as_ref().clone();
@@ -147,7 +191,7 @@ pub fn execute_statement(db: &mut Database, stmt: &Statement) -> Result<ExecResu
                 }
             }
             db.put_table(table, Table::with_rows(snapshot.schema, new_rows));
-            Ok(ExecResult::Count(n))
+            Ok(ExecResult::count(n))
         }
         Statement::Delete { table, where_ } => {
             let snapshot: Table = db.table(table)?.as_ref().clone();
@@ -172,7 +216,7 @@ pub fn execute_statement(db: &mut Database, stmt: &Statement) -> Result<ExecResu
                 }
             }
             db.put_table(table, Table::with_rows(snapshot.schema, kept));
-            Ok(ExecResult::Count(n))
+            Ok(ExecResult::count(n))
         }
         Statement::CreateTable { name, if_not_exists, columns, as_query } => {
             let table = match as_query {
@@ -182,19 +226,19 @@ pub fn execute_statement(db: &mut Database, stmt: &Statement) -> Result<ExecResu
                 )),
             };
             db.create_table(name, table, *if_not_exists)?;
-            Ok(ExecResult::Done)
+            Ok(ExecResult::done())
         }
         Statement::CreateView { name, or_replace, query } => {
             db.create_view(name, query.clone(), *or_replace)?;
-            Ok(ExecResult::Done)
+            Ok(ExecResult::done())
         }
         Statement::DropTable { name, if_exists } => {
             db.drop_table(name, *if_exists)?;
-            Ok(ExecResult::Done)
+            Ok(ExecResult::done())
         }
         Statement::DropView { name, if_exists } => {
             db.drop_view(name, *if_exists)?;
-            Ok(ExecResult::Done)
+            Ok(ExecResult::done())
         }
     }
 }

@@ -314,7 +314,9 @@ fn run_set_expr(
         SetExpr::Select(sel) => run_select(db, ctes, sel, outer, &[], &None, &None),
         SetExpr::Solve(stmt) => {
             let handler = db.solve_handler()?;
-            handler.solve_select(db, stmt, ctes)
+            // Subquery position has no warnings channel; advisory
+            // findings from nested solves are dropped here.
+            handler.solve_select(db, stmt, ctes, &mut Vec::new())
         }
         SetExpr::Query(q) => run_query(db, ctes, q, outer),
         SetExpr::Values(rows) => run_values(db, ctes, rows, outer),

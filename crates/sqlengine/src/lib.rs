@@ -10,8 +10,11 @@
 //! (solver framework, symbolic evaluation, model management) live in the
 //! `solvedbplus-core` crate and plug in through [`catalog::SolveHandler`].
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod catalog;
+pub mod diag;
 pub mod error;
 pub mod exec;
 pub mod lexer;
@@ -21,7 +24,8 @@ pub mod types;
 pub mod wire;
 
 pub use catalog::{Ctes, Database, ScalarUdf, SolveHandler};
+pub use diag::{Diagnostic, Severity};
 pub use error::{Error, Result};
-pub use exec::{execute_script, execute_sql, execute_statement, run_query, ExecResult};
+pub use exec::{execute_script, execute_sql, execute_statement, run_query, ExecResult, Outcome};
 pub use table::{Column, Row, Schema, Table};
 pub use types::{DataType, Value};

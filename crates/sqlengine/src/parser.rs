@@ -299,6 +299,17 @@ impl Parser {
         if self.peek_kw("solveselect") || self.peek_kw("solvemodel") {
             return Ok(Statement::Solve(self.parse_solve()?));
         }
+        if self.eat_kw("explain") {
+            let check = self.eat_kw("check");
+            if !(self.peek_kw("solveselect") || self.peek_kw("solvemodel")) {
+                return Err(Error::parse(format!(
+                    "EXPLAIN {}expects a SOLVESELECT or SOLVEMODEL statement, found '{}'",
+                    if check { "CHECK " } else { "" },
+                    self.peek()
+                )));
+            }
+            return Ok(Statement::Explain { check, stmt: Box::new(self.parse_solve()?) });
+        }
         if self.eat_kw("modeleval") {
             self.expect(&Token::LParen)?;
             let select = self.parse_query()?;
@@ -1410,6 +1421,27 @@ mod tests {
         assert_eq!(roundtrip_expr("-2 ^ 2"), "(-(2 ^ 2))");
         assert_eq!(roundtrip_expr("a or b and c"), "(a OR (b AND c))");
         assert_eq!(roundtrip_expr("not a = b"), "(NOT (a = b))");
+    }
+
+    #[test]
+    fn explain_and_explain_check_parse() {
+        let sql = "SOLVESELECT q(x) AS (SELECT * FROM v) \
+                   MAXIMIZE (SELECT x FROM q) USING solverlp()";
+        let plain = parse_statement(&format!("EXPLAIN {sql}")).unwrap();
+        let Statement::Explain { check: false, ref stmt } = plain else {
+            panic!("expected EXPLAIN, got {plain:?}")
+        };
+        assert!(stmt.using.is_some());
+        let checked = parse_statement(&format!("EXPLAIN CHECK {sql}")).unwrap();
+        assert!(matches!(checked, Statement::Explain { check: true, .. }));
+        // Display round-trips through the parser.
+        let again = parse_statement(&checked.to_string()).unwrap();
+        assert!(matches!(again, Statement::Explain { check: true, .. }));
+        // EXPLAIN only applies to solve statements.
+        let err = parse_statement("EXPLAIN SELECT 1").unwrap_err().to_string();
+        assert!(err.contains("SOLVESELECT"), "error: {err}");
+        let err = parse_statement("EXPLAIN CHECK SELECT 1").unwrap_err().to_string();
+        assert!(err.contains("CHECK"), "error: {err}");
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! UTF-8 and absurd length prefixes all return `Err` rather than
 //! panicking, so a malicious or corrupt peer cannot crash the server.
 
+use crate::diag::{Diagnostic, Severity};
 use crate::error::{Error, Result};
 use crate::table::{Column, Schema, Table};
 use crate::types::{BitString, DataType, Value};
@@ -325,6 +326,56 @@ pub fn decode_table_from(r: &mut Reader<'_>) -> Result<Table> {
         rows.push(row);
     }
     Ok(Table::with_rows(schema, rows))
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics
+// ---------------------------------------------------------------------------
+
+/// Upper bound on diagnostics in one batch (defensive).
+const MAX_DIAGS: u16 = 1024;
+
+/// Encode analyzer diagnostics (the WARNING frame payload):
+///
+/// ```text
+/// diags := count:u16 diag*
+/// diag  := code:(len:u32 utf8) severity:u8 message:(len:u32 utf8)
+///          has_detail:u8 [detail:(len:u32 utf8)]
+/// ```
+pub fn encode_diagnostics(diags: &[Diagnostic], out: &mut Vec<u8>) {
+    let n = diags.len().min(MAX_DIAGS as usize);
+    out.extend_from_slice(&(n as u16).to_le_bytes());
+    for d in &diags[..n] {
+        put_str(out, &d.code);
+        out.push(d.severity.code());
+        put_str(out, &d.message);
+        match &d.detail {
+            Some(detail) => {
+                out.push(1);
+                put_str(out, detail);
+            }
+            None => out.push(0),
+        }
+    }
+}
+
+pub fn decode_diagnostics(r: &mut Reader<'_>) -> Result<Vec<Diagnostic>> {
+    let n = r.u16()?;
+    if n > MAX_DIAGS {
+        return Err(err(format!("diagnostic count {n} exceeds limit {MAX_DIAGS}")));
+    }
+    let mut diags = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let code = r.string()?;
+        let severity = Severity::from_code(r.u8()?);
+        let message = r.string()?;
+        let detail = match r.u8()? {
+            0 => None,
+            _ => Some(r.string()?),
+        };
+        diags.push(Diagnostic { code, severity, message, detail });
+    }
+    Ok(diags)
 }
 
 #[cfg(test)]

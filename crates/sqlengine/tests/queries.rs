@@ -54,11 +54,11 @@ fn update_and_delete() {
     let mut db =
         db_with("CREATE TABLE t (a int, b int); INSERT INTO t VALUES (1,10),(2,20),(3,30)");
     let r = execute_sql(&mut db, "UPDATE t SET b = b + a WHERE a > 1").unwrap();
-    assert_eq!(r.count(), Some(2));
+    assert_eq!(r.row_count(), Some(2));
     let t = q(&mut db, "SELECT b FROM t ORDER BY a");
     assert_eq!(ints(&t, 0), vec![10, 22, 33]);
     let r = execute_sql(&mut db, "DELETE FROM t WHERE b = 22").unwrap();
-    assert_eq!(r.count(), Some(1));
+    assert_eq!(r.row_count(), Some(1));
     assert_eq!(q(&mut db, "SELECT count(*) FROM t").scalar().unwrap(), Value::Int(2));
 }
 

@@ -159,7 +159,7 @@ fn update_with_subquery_assignment() {
 #[test]
 fn delete_everything_and_reinsert() {
     let mut db = db_with("CREATE TABLE t (x int); INSERT INTO t VALUES (1), (2)");
-    let n = execute_sql(&mut db, "DELETE FROM t").unwrap().count();
+    let n = execute_sql(&mut db, "DELETE FROM t").unwrap().row_count();
     assert_eq!(n, Some(2));
     execute_sql(&mut db, "INSERT INTO t VALUES (9)").unwrap();
     assert_eq!(scalar(&mut db, "SELECT sum(x) FROM t"), Value::Int(9));

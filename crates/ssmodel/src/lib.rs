@@ -14,6 +14,8 @@
 //! estimation, replacing Matlab's `ssest` / System Identification
 //! Toolbox in the evaluation.
 
+#![forbid(unsafe_code)]
+
 use globalopt::{sa_from, SaOptions, SearchSpace};
 
 /// A discrete LTI model with dense matrices (row-major).

@@ -15,7 +15,7 @@
 
 use solvedbplus::server::{Client, ClientError};
 use solvedbplus::sqlengine::parser::split_statements;
-use solvedbplus::{datagen, ExecResult, Session};
+use solvedbplus::{datagen, ExecResult, Outcome, Session};
 use std::io::{BufRead, Write};
 
 const USAGE: &str = "\
@@ -123,8 +123,13 @@ impl Backend {
 }
 
 fn print_result(r: &ExecResult, elapsed: Option<std::time::Duration>) {
-    match r {
-        ExecResult::Table(t) => {
+    // Pre-solve analyzer findings come first, rustc-style, on stderr —
+    // they annotate the statement, not its result set.
+    for diag in &r.warnings {
+        eprintln!("{diag}");
+    }
+    match &r.outcome {
+        Outcome::Table(t) => {
             print!("{t}");
             match elapsed {
                 Some(d) => {
@@ -133,8 +138,8 @@ fn print_result(r: &ExecResult, elapsed: Option<std::time::Duration>) {
                 None => println!("({} row(s))", t.num_rows()),
             }
         }
-        ExecResult::Count(n) => println!("{n} row(s) affected"),
-        ExecResult::Done => println!("ok"),
+        Outcome::Count(n) => println!("{n} row(s) affected"),
+        Outcome::Done => println!("ok"),
     }
 }
 

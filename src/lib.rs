@@ -21,11 +21,16 @@
 //! assert_eq!(t.value(0, 0).as_f64().unwrap(), 3.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use solvedbplus_core::{
     build_problem, ModelValue, ProblemInstance, Session, SharedSolvers, SolveContext, Solver,
     SolverRegistry,
 };
-pub use sqlengine::{Column, Ctes, DataType, Database, ExecResult, Row, Schema, Table, Value};
+pub use sqlengine::{
+    Column, Ctes, DataType, Database, Diagnostic, ExecResult, Outcome, Row, Schema, Severity,
+    Table, Value,
+};
 
 /// Structural simulations of the paper's baseline stacks.
 pub use baselines;
