@@ -14,8 +14,9 @@ use baselines::uc1::{
     madlib_python, matlab_native, matlab_yalmip, p4_direct, p4_symbolic, p4_symbolic_mpt, Uc1Task,
 };
 use baselines::uc2::{madlib_cplex, r_cplex};
+use obs::timed;
 use solvedbplus_core::Session;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// A reproduced table/figure: printable series.
 #[derive(Debug, Clone)]
@@ -293,49 +294,45 @@ pub fn fig4a(cfg: Config) -> Figure {
         let y: Vec<f64> = data[..hist].iter().map(|r| r.pv_supply).collect();
         let feats = vec![data[..hist].iter().map(|r| r.out_temp).collect::<Vec<f64>>()];
         let fut = vec![data[hist..].iter().map(|r| r.out_temp).collect::<Vec<f64>>()];
-        let t = Instant::now();
-        let _ = baselines::uc1::p2_symbolic_lr(&y, &feats, &fut);
-        let yalmip_1 = t.elapsed();
+        let (_, yalmip_1) = timed(|| baselines::uc1::p2_symbolic_lr(&y, &feats, &fut));
 
         // SolveDB+ explicit LP (S-3SS P2 script).
         let (mut s, _) = uc1_session(hist, hor, 7 + k as u64);
         s.execute_script(uc1::S_3SS_P1).unwrap();
-        let t = Instant::now();
-        s.execute_script(uc1::S_3SS_P2).unwrap();
-        let sdb_1 = t.elapsed();
+        let (_, sdb_1) = timed(|| s.execute_script(uc1::S_3SS_P2).unwrap());
 
         // Reference "fitlm": native least squares, N models (N = k) on
         // base-sized data.
-        let t = Instant::now();
-        for m in 0..k {
-            let d = datagen::energy_series(base_hist + base_hor, 100 + m as u64);
-            let y: Vec<f64> = d[..base_hist].iter().map(|r| r.pv_supply).collect();
-            let f = vec![d[..base_hist].iter().map(|r| r.out_temp).collect::<Vec<f64>>()];
-            let mut lr = forecast::LinearRegression::new();
-            use forecast::Forecaster;
-            lr.fit(&y, &f).unwrap();
-            let futm = vec![d[base_hist..].iter().map(|r| r.out_temp).collect::<Vec<f64>>()];
-            let _ = lr.forecast(base_hor, &futm).unwrap();
-        }
-        let fitlm_n = t.elapsed();
+        let (_, fitlm_n) = timed(|| {
+            for m in 0..k {
+                let d = datagen::energy_series(base_hist + base_hor, 100 + m as u64);
+                let y: Vec<f64> = d[..base_hist].iter().map(|r| r.pv_supply).collect();
+                let f = vec![d[..base_hist].iter().map(|r| r.out_temp).collect::<Vec<f64>>()];
+                let mut lr = forecast::LinearRegression::new();
+                use forecast::Forecaster;
+                lr.fit(&y, &f).unwrap();
+                let futm = vec![d[base_hist..].iter().map(|r| r.out_temp).collect::<Vec<f64>>()];
+                let _ = lr.forecast(base_hor, &futm).unwrap();
+            }
+        });
 
         // N independent base-size models for the general tools.
-        let t = Instant::now();
-        for m in 0..k {
-            let d = datagen::energy_series(base_hist + base_hor, 200 + m as u64);
-            let y: Vec<f64> = d[..base_hist].iter().map(|r| r.pv_supply).collect();
-            let f = vec![d[..base_hist].iter().map(|r| r.out_temp).collect::<Vec<f64>>()];
-            let fu = vec![d[base_hist..].iter().map(|r| r.out_temp).collect::<Vec<f64>>()];
-            let _ = baselines::uc1::p2_symbolic_lr(&y, &f, &fu);
-        }
-        let yalmip_n = t.elapsed();
-        let t = Instant::now();
-        for m in 0..k {
-            let (mut s, _) = uc1_session(base_hist, base_hor, 300 + m as u64);
-            s.execute_script(uc1::S_3SS_P1).unwrap();
-            s.execute_script(uc1::S_3SS_P2).unwrap();
-        }
-        let sdb_n = t.elapsed();
+        let (_, yalmip_n) = timed(|| {
+            for m in 0..k {
+                let d = datagen::energy_series(base_hist + base_hor, 200 + m as u64);
+                let y: Vec<f64> = d[..base_hist].iter().map(|r| r.pv_supply).collect();
+                let f = vec![d[..base_hist].iter().map(|r| r.out_temp).collect::<Vec<f64>>()];
+                let fu = vec![d[base_hist..].iter().map(|r| r.out_temp).collect::<Vec<f64>>()];
+                let _ = baselines::uc1::p2_symbolic_lr(&y, &f, &fu);
+            }
+        });
+        let (_, sdb_n) = timed(|| {
+            for m in 0..k {
+                let (mut s, _) = uc1_session(base_hist, base_hor, 300 + m as u64);
+                s.execute_script(uc1::S_3SS_P1).unwrap();
+                s.execute_script(uc1::S_3SS_P2).unwrap();
+            }
+        });
 
         rows.push(vec![
             format!("{k}x"),
@@ -376,27 +373,28 @@ pub fn fig4b(cfg: Config) -> Figure {
 
         // fminsearch (Matlab/YALMIP): the fitness runs in Matlab's
         // interpreter — modelled by the baselines' expression walker.
-        let t = Instant::now();
-        let r = nelder_mead(
-            |p| baselines::interp::interpreted_hvac_sse(p[0], p[1], p[2], &u, &measured),
-            &[0.5, 0.05, 0.0005],
-            NmOptions { max_iterations: 100, ..Default::default() },
-        );
-        let fminsearch_per_iter = t.elapsed().as_secs_f64() / r.evaluations.max(1) as f64;
+        let (r, fminsearch) = timed(|| {
+            nelder_mead(
+                |p| baselines::interp::interpreted_hvac_sse(p[0], p[1], p[2], &u, &measured),
+                &[0.5, 0.05, 0.0005],
+                NmOptions { max_iterations: 100, ..Default::default() },
+            )
+        });
+        let fminsearch_per_iter = fminsearch.as_secs_f64() / r.evaluations.max(1) as f64;
 
         // SolveDB+ (simulated annealing over the SQL-expressed fitness).
         let (mut s, _) = uc1_session(n, 4, 31);
         s.execute_script(uc1::S_3SS_P1).unwrap();
         let iters = if cfg.quick { 20 } else { 50 };
-        let t = Instant::now();
         let sql = uc1::S_3SS_P3.replace("iterations := 400", &format!("iterations := {iters}"));
-        s.execute_script(&sql).unwrap();
-        let sdb_per_iter = t.elapsed().as_secs_f64() / iters as f64;
+        let (_, sdb) = timed(|| s.execute_script(&sql).unwrap());
+        let sdb_per_iter = sdb.as_secs_f64() / iters as f64;
 
         // Reference ssest: native annealing fit.
-        let t = Instant::now();
-        let fit = ssmodel::fit_hvac(&u, &measured, ((0.0, 1.0), (0.0, 1.0), (0.0, 0.01)), 100, 3);
-        let ssest_per_iter = t.elapsed().as_secs_f64() / fit.evaluations.max(1) as f64;
+        let (fit, ssest) = timed(|| {
+            ssmodel::fit_hvac(&u, &measured, ((0.0, 1.0), (0.0, 1.0), (0.0, 0.01)), 100, 3)
+        });
+        let ssest_per_iter = ssest.as_secs_f64() / fit.evaluations.max(1) as f64;
 
         rows.push(vec![
             n.to_string(),
@@ -444,12 +442,12 @@ pub fn fig5(cfg: Config) -> Figure {
 
         // YALMIP + MPT breakdowns (with CSV data I/O).
         let dir = baselines::csvio::TempDir::new("fig5").unwrap();
-        let io_t = Instant::now();
-        let tbl = datagen::energy_table(&data[history..]);
-        let p = dir.file("hor.csv");
-        baselines::csvio::export_csv(&tbl, &p).unwrap();
-        let _ = baselines::csvio::import_csv_numeric(&p).unwrap();
-        let io = io_t.elapsed();
+        let (_, io) = timed(|| {
+            let tbl = datagen::energy_table(&data[history..]);
+            let p = dir.file("hor.csv");
+            baselines::csvio::export_csv(&tbl, &p).unwrap();
+            let _ = baselines::csvio::import_csv_numeric(&p).unwrap();
+        });
         let (_, mut yal) = p4_symbolic(&task, hvac, &pv, x0);
         yal.data_io = io;
         let (_, mut mpt) = p4_symbolic_mpt(&task, hvac, &pv, x0);
@@ -546,18 +544,12 @@ pub fn fig6(_cfg: Config) -> Figure {
 /// SolveDB+ side of the in-DBMS comparison: specialized lr_solver for
 /// P2, SQL-fitness annealing for P3, symbolic-LP SOLVESELECT for P4.
 pub fn run_sdb_indbms(s: &mut Session, p3_iters: usize) -> baselines::PhaseTimes {
-    use std::time::Instant;
     s.execute_script(uc1::S_3SS_P1).unwrap();
-    let t2 = Instant::now();
-    s.execute_script(include_str!("../scripts/uc1/s_indbms_p2.sql")).unwrap();
-    let p2 = t2.elapsed();
-    let t3 = Instant::now();
+    let (_, p2) =
+        timed(|| s.execute_script(include_str!("../scripts/uc1/s_indbms_p2.sql")).unwrap());
     let sql = uc1::S_3SS_P3.replace("iterations := 400", &format!("iterations := {p3_iters}"));
-    s.execute_script(&sql).unwrap();
-    let p3 = t3.elapsed();
-    let t4 = Instant::now();
-    s.execute_script(uc1::S_3SS_P4).unwrap();
-    let p4 = t4.elapsed();
+    let (_, p3) = timed(|| s.execute_script(&sql).unwrap());
+    let (_, p4) = timed(|| s.execute_script(uc1::S_3SS_P4).unwrap());
     baselines::PhaseTimes { p1: Duration::ZERO, p2, p3, p4 }
 }
 
@@ -621,24 +613,24 @@ pub fn fig8(cfg: Config) -> Figure {
     let mut rows = Vec::new();
     for &n in &counts {
         // SolveDB+: n independent instances.
-        let t = Instant::now();
-        for i in 0..n {
-            let (mut s, _) = uc1_session(history, horizon, 1000 + i as u64);
-            run_sdb_indbms(&mut s, 30);
-        }
-        let sdb = t.elapsed();
+        let (_, sdb) = timed(|| {
+            for i in 0..n {
+                let (mut s, _) = uc1_session(history, horizon, 1000 + i as u64);
+                run_sdb_indbms(&mut s, 30);
+            }
+        });
         // MADlib stack: n instances.
-        let t = Instant::now();
-        for i in 0..n {
-            let data = datagen::energy_series(history + horizon, 1000 + i as u64);
-            let mut task = Uc1Task::new(
-                data[..history].to_vec(),
-                data[history..].iter().map(|r| r.out_temp).collect(),
-            );
-            task.p3_evaluations = 30;
-            let _ = madlib_python(&task);
-        }
-        let madlib = t.elapsed();
+        let (_, madlib) = timed(|| {
+            for i in 0..n {
+                let data = datagen::energy_series(history + horizon, 1000 + i as u64);
+                let mut task = Uc1Task::new(
+                    data[..history].to_vec(),
+                    data[history..].iter().map(|r| r.out_temp).collect(),
+                );
+                task.p3_evaluations = 30;
+                let _ = madlib_python(&task);
+            }
+        });
         rows.push(vec![n.to_string(), secs(sdb), secs(madlib)]);
     }
     Figure {
@@ -664,17 +656,13 @@ pub fn fig9(cfg: Config) -> Figure {
     for &n in &scales {
         let (mut s, items) = uc2_session(n, months, 9);
         let ids: Vec<i64> = items.iter().map(|i| i.item_id).collect();
-        let t = Instant::now();
-        run_uc2(&mut s, &ids).unwrap();
-        let sdb = t.elapsed();
-
-        let t = Instant::now();
-        let _ = r_cplex(&items);
-        let r = t.elapsed();
-
-        let t = Instant::now();
-        let _ = madlib_cplex(&items);
-        let madlib = t.elapsed();
+        let (_, sdb) = timed(|| run_uc2(&mut s, &ids).unwrap());
+        let (_, r) = timed(|| {
+            let _ = r_cplex(&items);
+        });
+        let (_, madlib) = timed(|| {
+            let _ = madlib_cplex(&items);
+        });
 
         rows.push(vec![n.to_string(), secs(sdb), secs(r), secs(madlib)]);
     }
@@ -774,11 +762,8 @@ pub fn fig11(cfg: Config) -> Figure {
         t
     });
 
-    let mut time_script = |sql: &str| -> Duration {
-        let t = Instant::now();
-        s.execute_script(sql).expect("feature script");
-        t.elapsed()
-    };
+    let mut time_script =
+        |sql: &str| -> Duration { timed(|| s.execute_script(sql).expect("feature script")).1 };
     let t_nocdte = time_script(P2_NOCDTE);
     let t_cdte = time_script(P2_CDTE);
     let t_wrapped = time_script(P2_WRAPPED);

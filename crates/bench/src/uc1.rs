@@ -3,9 +3,9 @@
 //! checked-in SQL scripts (the same files the eLOC figures measure).
 
 use baselines::PhaseTimes;
+use obs::timed;
 use solvedbplus_core::Session;
 use sqlengine::error::Result;
-use std::time::Instant;
 
 pub const S_3SS_P1: &str = include_str!("../scripts/uc1/s_3ss_p1.sql");
 pub const S_3SS_P2: &str = include_str!("../scripts/uc1/s_3ss_p2.sql");
@@ -32,18 +32,14 @@ fn run(s: &mut Session, script: &str, p3_iterations: Option<usize>) -> Result<()
 
 /// S-3SS: three independent SOLVESELECTs linked by temp tables.
 pub fn run_s3ss(s: &mut Session, p3_iterations: Option<usize>) -> Result<PhaseTimes> {
-    let t1 = Instant::now();
-    run(s, S_3SS_P1, None)?;
-    let p1 = t1.elapsed();
-    let t2 = Instant::now();
-    run(s, S_3SS_P2, None)?;
-    let p2 = t2.elapsed();
-    let t3 = Instant::now();
-    run(s, S_3SS_P3, p3_iterations)?;
-    let p3 = t3.elapsed();
-    let t4 = Instant::now();
-    run(s, S_3SS_P4, None)?;
-    let p4 = t4.elapsed();
+    let (r, p1) = timed(|| run(s, S_3SS_P1, None));
+    r?;
+    let (r, p2) = timed(|| run(s, S_3SS_P2, None));
+    r?;
+    let (r, p3) = timed(|| run(s, S_3SS_P3, p3_iterations));
+    r?;
+    let (r, p4) = timed(|| run(s, S_3SS_P4, None));
+    r?;
     Ok(PhaseTimes { p1, p2, p3, p4 })
 }
 
@@ -52,19 +48,17 @@ pub fn run_s3ss(s: &mut Session, p3_iterations: Option<usize>) -> Result<PhaseTi
 /// evenly between its users; attributing it to P3 keeps the comparison
 /// conservative).
 pub fn run_sshared(s: &mut Session, p3_iterations: Option<usize>) -> Result<PhaseTimes> {
-    let t1 = Instant::now();
-    run(s, S_3SS_P1, None)?;
-    let p1 = t1.elapsed();
-    let t2 = Instant::now();
-    run(s, S_3SS_P2, None)?;
-    let p2 = t2.elapsed();
-    let t3 = Instant::now();
-    run(s, S_SHARED_MODEL, None)?;
-    run(s, S_SHARED_P3, p3_iterations)?;
-    let p3 = t3.elapsed();
-    let t4 = Instant::now();
-    run(s, S_SHARED_P4, None)?;
-    let p4 = t4.elapsed();
+    let (r, p1) = timed(|| run(s, S_3SS_P1, None));
+    r?;
+    let (r, p2) = timed(|| run(s, S_3SS_P2, None));
+    r?;
+    let (r, p3) = timed(|| {
+        run(s, S_SHARED_MODEL, None)?;
+        run(s, S_SHARED_P3, p3_iterations)
+    });
+    r?;
+    let (r, p4) = timed(|| run(s, S_SHARED_P4, None));
+    r?;
     Ok(PhaseTimes { p1, p2, p3, p4 })
 }
 
@@ -75,11 +69,10 @@ pub fn run_sshared(s: &mut Session, p3_iterations: Option<usize>) -> Result<Phas
 /// reports the whole composite call as "optimization"; we report the
 /// single statement's time as p4 and the (trivial) setup as p1.
 pub fn run_ssolvers(s: &mut Session, fit_iterations: usize) -> Result<PhaseTimes> {
-    let t = Instant::now();
     let sql = S_SOLVERS
         .replace("price := 0.12)", &format!("price := 0.12, fit_iterations := {fit_iterations})"));
-    s.execute_script(&sql)?;
-    let total = t.elapsed();
+    let (r, total) = timed(|| s.execute_script(&sql));
+    r?;
     Ok(PhaseTimes {
         p1: std::time::Duration::ZERO,
         p2: std::time::Duration::ZERO,

@@ -2,9 +2,9 @@
 //! checked-in SQL script with per-item parameter substitution.
 
 use baselines::PhaseTimes;
+use obs::timed;
 use solvedbplus_core::Session;
 use sqlengine::error::Result;
-use std::time::Instant;
 
 pub const UC2_SQL: &str = include_str!("../scripts/uc2/solvedb.sql");
 pub const R_CPLEX_R: &str = include_str!("../scripts/uc2/r_cplex.R");
@@ -33,21 +33,21 @@ pub fn run_uc2(s: &mut Session, item_ids: &[i64]) -> Result<PhaseTimes> {
     let insert_pos = p2_tpl.find("INSERT INTO demand_forecast").expect("insert marker");
     let (setup_sql, insert_tpl) = p2_tpl.split_at(insert_pos);
 
-    let t2 = Instant::now();
-    s.execute_script(setup_sql)?;
-    for &id in item_ids {
-        let sql = insert_tpl.replace("$ITEM", &id.to_string());
-        s.execute_script(&sql)?;
-    }
-    let p2 = t2.elapsed();
+    let (r, p2) = timed(|| {
+        s.execute_script(setup_sql)?;
+        for &id in item_ids {
+            let sql = insert_tpl.replace("$ITEM", &id.to_string());
+            s.execute_script(&sql)?;
+        }
+        Ok::<_, sqlengine::error::Error>(())
+    });
+    r?;
 
-    let t3 = Instant::now();
-    s.execute_script(&p3_sql)?;
-    let p3 = t3.elapsed();
+    let (r, p3) = timed(|| s.execute_script(&p3_sql));
+    r?;
 
-    let t4 = Instant::now();
-    s.execute_script(&p4_sql)?;
-    let p4 = t4.elapsed();
+    let (r, p4) = timed(|| s.execute_script(&p4_sql));
+    r?;
 
     Ok(PhaseTimes { p1: std::time::Duration::ZERO, p2, p3, p4 })
 }

@@ -4,7 +4,7 @@
 use crate::check;
 use crate::explain;
 use crate::model::{expect_model, ModelValue};
-use crate::problem::{build_problem, materialize_env, CellPatch};
+use crate::problem::{build_problem, build_problem_traced, materialize_env, CellPatch};
 use crate::solver::{SolveContext, SolverRegistry};
 use sqlengine::ast::{Query, SolveKind, SolveStmt};
 use sqlengine::catalog::{Ctes, Database, SolveHandler};
@@ -33,21 +33,39 @@ impl SolveHandler for Handler {
         stmt: &SolveStmt,
         ctes: &Ctes,
         warnings: &mut Vec<Diagnostic>,
+        trace: Option<&obs::Trace>,
     ) -> Result<Table> {
         let using = stmt
             .using
             .as_ref()
             .ok_or_else(|| Error::solver("SOLVESELECT requires a USING clause naming a solver"))?;
-        let solver = self.registry.get(&using.solver)?;
-        SolverRegistry::check_method(solver.as_ref(), &using.method)?;
-        let prob = build_problem(db, ctes, stmt)?;
+        let (solver, prob) = {
+            let _plan = trace.map(|t| t.span("plan"));
+            let solver = self.registry.get(&using.solver)?;
+            SolverRegistry::check_method(solver.as_ref(), &using.method)?;
+            (solver, build_problem_traced(db, ctes, stmt, trace)?)
+        };
         // Pre-solve static analysis. All findings go into the sink; the
         // executor keeps only advisory (Warning/Note) severities on the
         // result — Error-level findings predict a solver failure that
         // the solve call below reports in its own words.
-        warnings.extend(check::check_problem(db, ctes, &prob));
-        let ctx = SolveContext { db, ctes };
-        solver.solve(&ctx, &prob)
+        obs::trace::span_time(trace, "check", || {
+            warnings.extend(check::check_problem(db, ctes, &prob));
+        });
+        let ctx = SolveContext { db, ctes, trace };
+        let span = trace.map(|t| {
+            let s = t.span("solve");
+            s.note("solver", &using.solver);
+            if let Some(m) = &using.method {
+                s.note("method", m);
+            }
+            s
+        });
+        let out = solver.solve(&ctx, &prob);
+        if let (Some(s), Ok(t)) = (span, &out) {
+            s.rows(t.num_rows() as u64);
+        }
+        out
     }
 
     fn explain_solve(&self, db: &Database, stmt: &SolveStmt, ctes: &Ctes) -> Result<Table> {

@@ -16,6 +16,7 @@ pub mod check;
 pub mod explain;
 pub mod handler;
 pub mod model;
+pub mod obs_tables;
 pub mod problem;
 pub mod rewrite;
 pub mod session;
@@ -26,6 +27,7 @@ pub mod symbolic;
 pub use check::{check_sql, check_stmt};
 pub use explain::{explain_sql, Explanation};
 pub use model::ModelValue;
+pub use obs_tables::ObsTables;
 pub use problem::{build_problem, ProblemInstance};
 pub use session::{Session, SharedSolvers};
 pub use solver::{SolveContext, Solver, SolverRegistry};

@@ -1,0 +1,186 @@
+//! Queryable observability tables.
+//!
+//! The metrics the engine records (see the `obs` crate) surface as
+//! virtual tables readable with plain `SELECT`, in the spirit of
+//! PostgreSQL's `pg_stat_statements`:
+//!
+//! - `sdb_stat_statements` — per statement-shape execution statistics;
+//! - `sdb_solver_stats` — per (solver, method) telemetry aggregates;
+//! - `sdb_sessions` — live connections (non-empty only under `solvedbd`).
+//!
+//! Ordinary tables, views and CTEs shadow these names; the provider is
+//! consulted only on a catalog miss.
+
+use obs::{MetricsRegistry, SessionRegistry};
+use sqlengine::catalog::VirtualTableProvider;
+use sqlengine::table::{Column, Schema, Table};
+use sqlengine::types::{DataType, Value};
+use std::sync::Arc;
+
+/// Names of the observability tables, sorted.
+pub const OBS_TABLE_NAMES: [&str; 3] = ["sdb_sessions", "sdb_solver_stats", "sdb_stat_statements"];
+
+/// The [`VirtualTableProvider`] exposing the metrics registry (and,
+/// when attached by a server, the session registry).
+pub struct ObsTables {
+    metrics: Arc<MetricsRegistry>,
+    sessions: Option<Arc<SessionRegistry>>,
+}
+
+impl ObsTables {
+    pub fn new(metrics: Arc<MetricsRegistry>, sessions: Option<Arc<SessionRegistry>>) -> ObsTables {
+        ObsTables { metrics, sessions }
+    }
+}
+
+fn ms(nanos: u64) -> Value {
+    Value::Float(nanos as f64 / 1_000_000.0)
+}
+
+fn int(n: u64) -> Value {
+    Value::Int(n as i64)
+}
+
+fn stat_statements(metrics: &MetricsRegistry) -> Table {
+    let schema = Schema::new(vec![
+        Column::new("query", DataType::Text),
+        Column::new("calls", DataType::Int),
+        Column::new("errors", DataType::Int),
+        Column::new("total_ms", DataType::Float),
+        Column::new("mean_ms", DataType::Float),
+        Column::new("min_ms", DataType::Float),
+        Column::new("max_ms", DataType::Float),
+        Column::new("rows", DataType::Int),
+    ]);
+    let rows = metrics
+        .statements()
+        .into_iter()
+        .map(|(shape, s)| {
+            vec![
+                Value::text(&shape),
+                int(s.calls),
+                int(s.errors),
+                ms(s.total_nanos),
+                ms(s.total_nanos.checked_div(s.calls).unwrap_or(0)),
+                ms(s.min_nanos),
+                ms(s.max_nanos),
+                int(s.rows),
+            ]
+        })
+        .collect();
+    Table::with_rows(schema, rows)
+}
+
+fn solver_stats(metrics: &MetricsRegistry) -> Table {
+    let schema = Schema::new(vec![
+        Column::new("solver", DataType::Text),
+        Column::new("method", DataType::Text),
+        Column::new("runs", DataType::Int),
+        Column::new("total_ms", DataType::Float),
+        Column::new("iterations", DataType::Int),
+        Column::new("nodes_explored", DataType::Int),
+        Column::new("nodes_pruned", DataType::Int),
+        Column::new("evaluations", DataType::Int),
+        Column::new("restarts", DataType::Int),
+        Column::new("last_objective", DataType::Float),
+    ]);
+    let rows = metrics
+        .solvers()
+        .into_iter()
+        .map(|((solver, method), a)| {
+            vec![
+                Value::text(&solver),
+                Value::text(&method),
+                int(a.runs),
+                ms(a.total_nanos),
+                int(a.iterations),
+                int(a.nodes_explored),
+                int(a.nodes_pruned),
+                int(a.evaluations),
+                int(a.restarts),
+                a.last_objective.map(Value::Float).unwrap_or(Value::Null),
+            ]
+        })
+        .collect();
+    Table::with_rows(schema, rows)
+}
+
+fn sessions_table(sessions: Option<&SessionRegistry>) -> Table {
+    let schema = Schema::new(vec![
+        Column::new("session_id", DataType::Int),
+        Column::new("uptime_ms", DataType::Float),
+        Column::new("queries", DataType::Int),
+        Column::new("bytes_in", DataType::Int),
+        Column::new("bytes_out", DataType::Int),
+    ]);
+    let rows = sessions
+        .map(|reg| {
+            reg.snapshot()
+                .into_iter()
+                .map(|s| {
+                    vec![
+                        int(s.id),
+                        ms(s.uptime_nanos),
+                        int(s.queries),
+                        int(s.bytes_in),
+                        int(s.bytes_out),
+                    ]
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    Table::with_rows(schema, rows)
+}
+
+impl VirtualTableProvider for ObsTables {
+    fn names(&self) -> Vec<String> {
+        OBS_TABLE_NAMES.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn table(&self, name: &str) -> Option<Table> {
+        match name {
+            "sdb_stat_statements" => Some(stat_statements(&self.metrics)),
+            "sdb_solver_stats" => Some(solver_stats(&self.metrics)),
+            "sdb_sessions" => Some(sessions_table(self.sessions.as_deref())),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_registries_yield_empty_tables() {
+        let p = ObsTables::new(Arc::new(MetricsRegistry::default()), None);
+        for name in OBS_TABLE_NAMES {
+            let t = p.table(name).unwrap();
+            assert_eq!(t.num_rows(), 0, "{name}");
+            assert!(t.schema.len() >= 5, "{name}");
+        }
+        assert!(p.table("sdb_nothing").is_none());
+    }
+
+    #[test]
+    fn solver_rows_carry_aggregates() {
+        let metrics = Arc::new(MetricsRegistry::default());
+        metrics.record_solver(
+            &obs::SolverStats {
+                solver: "solverlp".into(),
+                method: "bb".into(),
+                iterations: 7,
+                nodes_explored: 3,
+                objective: Some(1.5),
+                ..obs::SolverStats::default()
+            },
+            2_000_000,
+        );
+        let t = ObsTables::new(metrics, None).table("sdb_solver_stats").unwrap();
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.rows[0][0], Value::text("solverlp"));
+        assert_eq!(t.rows[0][2], Value::Int(1));
+        assert_eq!(t.rows[0][4], Value::Int(7));
+        assert_eq!(t.rows[0][9], Value::Float(1.5));
+    }
+}

@@ -208,7 +208,22 @@ fn resolve_dec_cols(table: &Table, spec: &DecCols, alias: Option<&str>) -> Resul
 /// `SOLVESELECT` statement. Evaluates solver parameters, materializes
 /// every decision relation in order, and assigns variable ids.
 pub fn build_problem(db: &Database, ctes: &Ctes, stmt: &SolveStmt) -> Result<ProblemInstance> {
-    let stmt = if stmt.inlines.is_empty() { stmt.clone() } else { inline_models(db, ctes, stmt)? };
+    build_problem_traced(db, ctes, stmt, None)
+}
+
+/// [`build_problem`], recording `rewrite` (model inlining) and
+/// `instantiate` (relation materialization) stages into the trace.
+pub fn build_problem_traced(
+    db: &Database,
+    ctes: &Ctes,
+    stmt: &SolveStmt,
+    trace: Option<&obs::Trace>,
+) -> Result<ProblemInstance> {
+    let stmt = if stmt.inlines.is_empty() {
+        stmt.clone()
+    } else {
+        obs::trace::span_time(trace, "rewrite", || inline_models(db, ctes, stmt))?
+    };
 
     // Solver parameters: bare column names act as identifiers
     // (`features := outTemp`), everything else is evaluated as a
@@ -241,6 +256,7 @@ pub fn build_problem(db: &Database, ctes: &Ctes, stmt: &SolveStmt) -> Result<Pro
 
     // Materialize D₁..D_N in order; each sees the previously materialized
     // relations (scope rule of §4.1).
+    let inst_span = trace.map(|t| t.span("instantiate"));
     let mut env = ctes.clone();
     let mut relations: Vec<DecRelInst> = Vec::new();
     let mut vars: Vec<VarInfo> = Vec::new();
@@ -275,6 +291,12 @@ pub fn build_problem(db: &Database, ctes: &Ctes, stmt: &SolveStmt) -> Result<Pro
             table,
             vars: rel_vars,
         });
+    }
+
+    if let Some(s) = inst_span {
+        s.rows(relations.iter().map(|r| r.table.num_rows() as u64).sum());
+        s.note("relations", relations.len());
+        s.note("vars", vars.len());
     }
 
     Ok(ProblemInstance {

@@ -3,16 +3,17 @@
 //! PostgreSQL connection to a SolveDB+-patched server.
 
 use crate::handler::Handler;
+use crate::obs_tables::ObsTables;
 use crate::solver::{Solver, SolverRegistry};
 use crate::solvers::{ArimaSolver, LpSolver, PredictiveAdvisor, SwarmOps};
 use forecast::arima::arima_rmse;
+use obs::{MetricsRegistry, QueryTrace, SessionRegistry};
 use parking_lot::RwLock;
 use sqlengine::ast::Statement;
 use sqlengine::catalog::ScalarUdf;
 use sqlengine::error::{Error, Result};
-use sqlengine::{
-    execute_script, execute_sql, execute_statement, Database, ExecResult, Table, Value,
-};
+use sqlengine::exec::Outcome;
+use sqlengine::{execute_statement_timed, parser, Database, ExecResult, Table, Value};
 use ssmodel::{simulation_sse, Lti};
 use std::sync::Arc;
 
@@ -28,6 +29,7 @@ use std::sync::Arc;
 pub struct SharedSolvers {
     registry: Arc<SolverRegistry>,
     advisor: Arc<PredictiveAdvisor>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl SharedSolvers {
@@ -41,7 +43,7 @@ impl SharedSolvers {
         registry.register(Arc::new(ArimaSolver));
         let advisor = Arc::new(PredictiveAdvisor::new());
         registry.register(advisor.clone() as Arc<dyn Solver>);
-        SharedSolvers { registry, advisor }
+        SharedSolvers { registry, advisor, metrics: Arc::new(MetricsRegistry::new()) }
     }
 
     pub fn registry(&self) -> &Arc<SolverRegistry> {
@@ -50,6 +52,12 @@ impl SharedSolvers {
 
     pub fn advisor(&self) -> &Arc<PredictiveAdvisor> {
         &self.advisor
+    }
+
+    /// The shared metrics store backing `sdb_stat_statements` and
+    /// `sdb_solver_stats` in every session built from these solvers.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 }
 
@@ -64,6 +72,7 @@ pub struct Session {
     db: Database,
     registry: Arc<SolverRegistry>,
     advisor: Arc<PredictiveAdvisor>,
+    metrics: Arc<MetricsRegistry>,
     /// Training series backing the `arima_rmse(ar, i, ma)` UDF.
     arima_training: Arc<RwLock<Vec<f64>>>,
     /// Training data backing the `hvac_sse(a1, b1, b2)` UDF:
@@ -91,9 +100,11 @@ impl Session {
     pub fn with_solvers(shared: &SharedSolvers) -> Session {
         let registry = shared.registry.clone();
         let advisor = shared.advisor.clone();
+        let metrics = shared.metrics.clone();
 
         let mut db = Database::new();
         db.set_solve_handler(Arc::new(Handler::new(registry.clone())));
+        db.set_virtual_tables(Arc::new(ObsTables::new(metrics.clone(), None)));
 
         let arima_training: Arc<RwLock<Vec<f64>>> = Arc::new(RwLock::new(Vec::new()));
         let hvac_training: Arc<RwLock<(Vec<Vec<f64>>, Vec<f64>)>> =
@@ -143,24 +154,58 @@ impl Session {
             }),
         });
 
-        Session { db, registry, advisor, arima_training, hvac_training }
+        Session { db, registry, advisor, metrics, arima_training, hvac_training }
     }
 
     /// Execute one SQL statement.
     pub fn execute(&mut self, sql: &str) -> Result<ExecResult> {
-        execute_sql(&mut self.db, sql)
+        let (parsed, parse_time) = obs::timed(|| parser::parse_statement(sql));
+        self.run_recorded(&parsed?, Some(parse_time.as_nanos() as u64))
     }
 
     /// Execute a `;`-separated script, returning the last result.
     pub fn execute_script(&mut self, sql: &str) -> Result<ExecResult> {
-        execute_script(&mut self.db, sql)
+        let stmts = parser::parse_statements(sql)?;
+        let mut last = ExecResult::done();
+        for s in &stmts {
+            last = self.run_recorded(s, None)?;
+        }
+        Ok(last)
     }
 
     /// Execute one already-parsed statement — the statement-by-statement
     /// path shared by the CLI's script/remote modes and the server,
     /// which need a result per statement rather than the last one.
     pub fn execute_statement(&mut self, stmt: &Statement) -> Result<ExecResult> {
-        execute_statement(&mut self.db, stmt)
+        self.run_recorded(stmt, None)
+    }
+
+    /// Execute a statement and fold the outcome into the session's
+    /// metrics registry: one `sdb_stat_statements` row per statement
+    /// shape, plus per-solver aggregates when the statement was traced.
+    fn run_recorded(&mut self, stmt: &Statement, parse_nanos: Option<u64>) -> Result<ExecResult> {
+        let shape = sqlengine::statement_shape(stmt);
+        let (out, elapsed) =
+            obs::timed(|| execute_statement_timed(&mut self.db, stmt, parse_nanos));
+        let nanos = elapsed.as_nanos() as u64;
+        match &out {
+            Ok(res) => {
+                let rows = match &res.outcome {
+                    Outcome::Table(t) => t.num_rows() as u64,
+                    Outcome::Count(n) => *n as u64,
+                    Outcome::Done => 0,
+                };
+                self.metrics.record_statement(&shape, nanos, rows, false);
+                if let Some(tr) = &res.trace {
+                    let solve_nanos = solve_stage_nanos(tr);
+                    for st in &tr.solvers {
+                        self.metrics.record_solver(st, solve_nanos);
+                    }
+                }
+            }
+            Err(_) => self.metrics.record_statement(&shape, nanos, 0, true),
+        }
+        out
     }
 
     /// Run the pre-solve static analyzer over a `SOLVESELECT` without
@@ -202,6 +247,17 @@ impl Session {
         &self.advisor
     }
 
+    /// The metrics store this session records into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Expose a server's live-session registry through `sdb_sessions`
+    /// (called by `solvedbd` when it builds a connection's session).
+    pub fn attach_session_registry(&mut self, sessions: Arc<SessionRegistry>) {
+        self.db.set_virtual_tables(Arc::new(ObsTables::new(self.metrics.clone(), Some(sessions))));
+    }
+
     /// Register the training series used by the `arima_rmse` UDF.
     pub fn set_arima_training(&self, y: Vec<f64>) {
         *self.arima_training.write() = y;
@@ -212,6 +268,12 @@ impl Session {
     pub fn set_hvac_training(&self, u: Vec<Vec<f64>>, measured: Vec<f64>) {
         *self.hvac_training.write() = (u, measured);
     }
+}
+
+/// Wall-clock attributable to solving: the root `solve` stage when the
+/// trace has one, the whole statement otherwise.
+fn solve_stage_nanos(tr: &QueryTrace) -> u64 {
+    tr.stages.iter().find(|s| s.name == "solve").map(|s| s.nanos).unwrap_or(tr.total_nanos)
 }
 
 #[cfg(test)]

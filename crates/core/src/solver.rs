@@ -11,10 +11,27 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Execution context handed to solvers: catalog access plus the CTE
-/// environment the `SOLVESELECT` ran under.
+/// environment the `SOLVESELECT` ran under, and the query trace (when
+/// the statement is being instrumented) into which solvers record
+/// sub-stages and [`obs::SolverStats`] telemetry.
 pub struct SolveContext<'a> {
     pub db: &'a Database,
     pub ctes: &'a Ctes,
+    pub trace: Option<&'a obs::Trace>,
+}
+
+impl SolveContext<'_> {
+    /// Report solver telemetry, if a trace is recording.
+    pub fn report(&self, stats: obs::SolverStats) {
+        if let Some(t) = self.trace {
+            t.solver(stats);
+        }
+    }
+
+    /// Time a sub-stage of the solve, if a trace is recording.
+    pub fn stage<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        obs::trace::span_time(self.trace, name, f)
+    }
 }
 
 /// A SolveDB+ solver. Solvers receive the built problem instance

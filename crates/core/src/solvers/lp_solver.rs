@@ -23,24 +23,57 @@ impl Solver for LpSolver {
     }
 
     fn solve(&self, ctx: &SolveContext<'_>, prob: &ProblemInstance) -> Result<Table> {
-        let rules = compile_linear(ctx.db, ctx.ctes, prob)?;
-        let (mut lp_prob, used) = to_lp(prob, &rules);
-        // A node limit can be supplied for large MIPs.
-        if let Some(Ok(limit)) = prob.param_usize("node_limit") {
-            if lp_prob.has_integers() {
-                let sol = lp::mip::branch_and_bound(
-                    &lp_prob,
-                    lp::mip::MipOptions { node_limit: limit, ..Default::default() },
-                );
-                return finish(prob, sol, &used);
-            }
-        }
+        let (mut lp_prob, used) = ctx.stage("compile", || -> Result<_> {
+            let rules = compile_linear(ctx.db, ctx.ctes, prob)?;
+            Ok(to_lp(prob, &rules))
+        })?;
         // Method `simplex` forces the LP relaxation even with integers.
         if prob.method.as_deref() == Some("simplex") {
             lp_prob.integer.iter_mut().for_each(|b| *b = false);
         }
-        let sol = lp::solve(&lp_prob);
-        finish(prob, sol, &used)
+        let node_limit = match prob.param_usize("node_limit") {
+            Some(Ok(limit)) => Some(limit),
+            _ => None,
+        };
+        let (sol, stats) = ctx.stage("solve-lp", || {
+            if lp_prob.has_integers() {
+                let opts = match node_limit {
+                    Some(limit) => lp::mip::MipOptions { node_limit: limit, ..Default::default() },
+                    None => lp::mip::MipOptions::default(),
+                };
+                let (sol, st) = lp::mip::branch_and_bound_stats(&lp_prob, opts);
+                (sol, Some(st))
+            } else {
+                (lp::simplex::solve_lp(&lp_prob), None)
+            }
+        });
+        ctx.report(telemetry(&sol, stats.as_ref()));
+        ctx.stage("post-process", || finish(prob, sol, &used))
+    }
+}
+
+/// Map an LP/MIP outcome onto the shared solver-telemetry shape.
+fn telemetry(sol: &lp::Solution, stats: Option<&lp::mip::MipStats>) -> obs::SolverStats {
+    let objective =
+        matches!(sol.status, lp::Status::Optimal | lp::Status::NodeLimit).then_some(sol.objective);
+    match stats {
+        Some(st) => obs::SolverStats {
+            solver: "solverlp".into(),
+            method: "bb".into(),
+            iterations: st.simplex_iterations as u64,
+            nodes_explored: st.nodes_explored as u64,
+            nodes_pruned: st.nodes_pruned as u64,
+            objective,
+            incumbents: st.incumbents.iter().map(|&(n, v)| (n as u64, v)).collect(),
+            ..obs::SolverStats::default()
+        },
+        None => obs::SolverStats {
+            solver: "solverlp".into(),
+            method: "simplex".into(),
+            iterations: sol.iterations as u64,
+            objective,
+            ..obs::SolverStats::default()
+        },
     }
 }
 

@@ -175,15 +175,24 @@ impl Solver for LrSolver {
         "lr_solver"
     }
 
-    fn solve(&self, _ctx: &SolveContext<'_>, prob: &ProblemInstance) -> Result<Table> {
-        let task = prepare(prob)?;
-        forecast_each(prob, &task, |t| {
-            Ok(Box::new(if t.features.is_empty() {
-                LinearRegression::with_trend()
-            } else {
-                LinearRegression::new()
-            }))
-        })
+    fn solve(&self, ctx: &SolveContext<'_>, prob: &ProblemInstance) -> Result<Table> {
+        let task = ctx.stage("prepare", || prepare(prob))?;
+        let out = ctx.stage("fit-predict", || {
+            forecast_each(prob, &task, |t| {
+                Ok(Box::new(if t.features.is_empty() {
+                    LinearRegression::with_trend()
+                } else {
+                    LinearRegression::new()
+                }))
+            })
+        });
+        ctx.report(obs::SolverStats {
+            solver: "lr_solver".into(),
+            method: "lr".into(),
+            evaluations: task.targets.len() as u64,
+            ..obs::SolverStats::default()
+        });
+        out
     }
 }
 
@@ -200,6 +209,12 @@ pub struct ArimaSolver;
 /// PSO order search matching the paper's setting (10 particles × 10
 /// iterations over integer orders in [0,5]).
 pub fn search_arima_order(y: &[f64], seed: u64) -> (usize, usize, usize) {
+    search_arima_order_stats(y, seed).0
+}
+
+/// [`search_arima_order`] plus the number of RMSE evaluations the
+/// search spent — the telemetry the solver reports.
+pub fn search_arima_order_stats(y: &[f64], seed: u64) -> ((usize, usize, usize), usize) {
     let space =
         SearchSpace::continuous(vec![0.0; 3], vec![5.0, 2.0, 5.0]).with_integrality(vec![true; 3]);
     let r = pso(
@@ -207,7 +222,7 @@ pub fn search_arima_order(y: &[f64], seed: u64) -> (usize, usize, usize) {
         &space,
         PsoOptions { particles: 10, iterations: 10, seed, ..Default::default() },
     );
-    (r.x[0] as usize, r.x[1] as usize, r.x[2] as usize)
+    ((r.x[0] as usize, r.x[1] as usize, r.x[2] as usize), r.evaluations)
 }
 
 impl Solver for ArimaSolver {
@@ -219,8 +234,8 @@ impl Solver for ArimaSolver {
         vec!["auto", "fixed"]
     }
 
-    fn solve(&self, _ctx: &SolveContext<'_>, prob: &ProblemInstance) -> Result<Table> {
-        let task = prepare(prob)?;
+    fn solve(&self, ctx: &SolveContext<'_>, prob: &ProblemInstance) -> Result<Table> {
+        let task = ctx.stage("prepare", || prepare(prob))?;
         let fixed = match (
             prob.param_usize("ar").transpose()?,
             prob.param_usize("i").transpose()?,
@@ -232,24 +247,38 @@ impl Solver for ArimaSolver {
             (None, None, None) => None,
         };
         let seed = prob.param_usize("seed").transpose()?.unwrap_or(0xA41A) as u64;
-        forecast_each(prob, &task, |t| {
-            let (p, d, q) = match fixed {
-                Some(o) => o,
-                None => search_arima_order(&t.y, seed),
-            };
-            // Fall back to simpler orders when the series is too short
-            // for the requested/search-selected one.
-            for (p, d, q) in [(p, d, q), (1, 0, 0), (0, 1, 0), (0, 0, 0)] {
-                if arima_rmse(&t.y, p, d, q).is_finite() {
-                    return Ok(Box::new(Arima::new(p, d, q)) as Box<dyn Forecaster>);
+        let search_evals = std::cell::Cell::new(0u64);
+        let out = ctx.stage("fit-predict", || {
+            forecast_each(prob, &task, |t| {
+                let (p, d, q) = match fixed {
+                    Some(o) => o,
+                    None => {
+                        let (order, evals) = search_arima_order_stats(&t.y, seed);
+                        search_evals.set(search_evals.get() + evals as u64);
+                        order
+                    }
+                };
+                // Fall back to simpler orders when the series is too short
+                // for the requested/search-selected one.
+                for (p, d, q) in [(p, d, q), (1, 0, 0), (0, 1, 0), (0, 0, 0)] {
+                    if arima_rmse(&t.y, p, d, q).is_finite() {
+                        return Ok(Box::new(Arima::new(p, d, q)) as Box<dyn Forecaster>);
+                    }
                 }
-            }
-            Err(Error::solver(format!(
-                "series '{}' is too short for any ARIMA order ({} points)",
-                t.name,
-                t.y.len()
-            )))
-        })
+                Err(Error::solver(format!(
+                    "series '{}' is too short for any ARIMA order ({} points)",
+                    t.name,
+                    t.y.len()
+                )))
+            })
+        });
+        ctx.report(obs::SolverStats {
+            solver: "arima_solver".into(),
+            method: if fixed.is_some() { "fixed".into() } else { "auto".into() },
+            evaluations: search_evals.get(),
+            ..obs::SolverStats::default()
+        });
+        out
     }
 }
 
@@ -360,35 +389,49 @@ impl Solver for PredictiveAdvisor {
         "predictive_solver"
     }
 
-    fn solve(&self, _ctx: &SolveContext<'_>, prob: &ProblemInstance) -> Result<Table> {
-        let task = prepare(prob)?;
-        forecast_each(prob, &task, |t| {
-            let has_features = !t.features.is_empty();
-            let key = Self::cache_key(t);
-            if let Some(name) = self.cache.read().get(&key).cloned() {
-                self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(Self::make_named(&name, has_features));
-            }
-            // P2.2–P2.3: training + validation over the candidate pool.
-            let horizon = t.fill_rows.len().max(1).min(t.y.len() / 3).max(1);
-            let candidates = Self::candidates(has_features, t.y.len());
-            let names: Vec<String> = candidates.iter().map(|(n, _)| n.clone()).collect();
-            let mut best: Option<(String, f64)> = None;
-            for (name, make) in &candidates {
-                let score = cross_validate(make.as_ref(), &t.y, &t.features, horizon, 3);
-                if score.is_finite() && best.as_ref().map_or(true, |(_, s)| score < *s) {
-                    best = Some((name.clone(), score));
+    fn solve(&self, ctx: &SolveContext<'_>, prob: &ProblemInstance) -> Result<Table> {
+        let task = ctx.stage("prepare", || prepare(prob))?;
+        let validations = std::cell::Cell::new(0u64);
+        let hits_before = self.cache_hits();
+        let out = ctx.stage("fit-predict", || {
+            forecast_each(prob, &task, |t| {
+                let has_features = !t.features.is_empty();
+                let key = Self::cache_key(t);
+                if let Some(name) = self.cache.read().get(&key).cloned() {
+                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Self::make_named(&name, has_features));
                 }
-            }
-            let chosen = best.map(|(n, _)| n).ok_or_else(|| {
-                Error::solver(format!(
-                    "no candidate model fits series '{}' (candidates: {})",
-                    t.name,
-                    names.join(", ")
-                ))
-            })?;
-            self.cache.write().insert(key, chosen.clone());
-            Ok(Self::make_named(&chosen, has_features))
-        })
+                // P2.2–P2.3: training + validation over the candidate pool.
+                let horizon = t.fill_rows.len().max(1).min(t.y.len() / 3).max(1);
+                let candidates = Self::candidates(has_features, t.y.len());
+                let names: Vec<String> = candidates.iter().map(|(n, _)| n.clone()).collect();
+                let mut best: Option<(String, f64)> = None;
+                for (name, make) in &candidates {
+                    let score = cross_validate(make.as_ref(), &t.y, &t.features, horizon, 3);
+                    validations.set(validations.get() + 1);
+                    if score.is_finite() && best.as_ref().map_or(true, |(_, s)| score < *s) {
+                        best = Some((name.clone(), score));
+                    }
+                }
+                let chosen = best.map(|(n, _)| n).ok_or_else(|| {
+                    Error::solver(format!(
+                        "no candidate model fits series '{}' (candidates: {})",
+                        t.name,
+                        names.join(", ")
+                    ))
+                })?;
+                self.cache.write().insert(key, chosen.clone());
+                Ok(Self::make_named(&chosen, has_features))
+            })
+        });
+        ctx.report(obs::SolverStats {
+            solver: "predictive_solver".into(),
+            method: "advisor".into(),
+            evaluations: validations.get(),
+            // Cache hits this invocation, reported as avoided restarts.
+            restarts: (self.cache_hits() - hits_before) as u64,
+            ..obs::SolverStats::default()
+        });
+        out
     }
 }

@@ -25,10 +25,11 @@ impl Solver for SwarmOps {
     }
 
     fn solve(&self, ctx: &SolveContext<'_>, prob: &ProblemInstance) -> Result<Table> {
-        let bb = build_blackbox(ctx.db, ctx.ctes, prob)?;
+        let bb = ctx.stage("build", || build_blackbox(ctx.db, ctx.ctes, prob))?;
         let fitness = |x: &[f64]| blackbox_fitness(ctx.db, ctx.ctes, prob, &bb, x);
         let seed = prob.param_usize("seed").transpose()?.unwrap_or(0x5001_7EDB) as u64;
         let method = prob.method.as_deref().unwrap_or("pso");
+        let search = ctx.trace.map(|t| t.span("search"));
         let result = match method {
             "sa" => {
                 let iterations = prob.param_usize("iterations").transpose()?.unwrap_or(2000);
@@ -59,7 +60,16 @@ impl Solver for SwarmOps {
                 )
             }
         };
+        drop(search);
+        ctx.report(obs::SolverStats {
+            solver: "swarmops".into(),
+            method: method.into(),
+            iterations: result.iterations as u64,
+            evaluations: result.evaluations as u64,
+            objective: Some(result.value),
+            ..obs::SolverStats::default()
+        });
         let x = result.x;
-        Ok(apply_solution(prob, &|v| Some(x[v as usize])))
+        ctx.stage("post-process", || Ok(apply_solution(prob, &|v| Some(x[v as usize]))))
     }
 }

@@ -510,8 +510,7 @@ fn sudoku_example_is_clean() {
         for c in 1..=4 {
             let b = ((r - 1) / 2) * 2 + (c - 1) / 2 + 1;
             for v in 1..=4 {
-                s.execute(&format!("INSERT INTO cells VALUES ({r}, {c}, {v}, {b}, NULL)"))
-                    .unwrap();
+                s.execute(&format!("INSERT INTO cells VALUES ({r}, {c}, {v}, {b}, NULL)")).unwrap();
             }
         }
     }

@@ -1,0 +1,178 @@
+//! End-to-end observability tests: `EXPLAIN ANALYZE`, execution traces
+//! on results, and the queryable metrics tables.
+
+use obs::Stage;
+use solvedbplus_core::Session;
+use sqlengine::{Table, Value};
+
+const SETUP: &str = "CREATE TABLE vars (x float8, y float8); \
+                     INSERT INTO vars VALUES (NULL, NULL)";
+
+const SOLVE: &str = "SOLVESELECT v(x, y) AS (SELECT * FROM vars) \
+                     MINIMIZE (SELECT 2*x + 3*y FROM v) \
+                     SUBJECTTO (SELECT x + y >= 10, x >= 0, y >= 0 FROM v) \
+                     USING solverlp()";
+
+fn text_column(t: &Table, col: &str) -> Vec<String> {
+    t.column_values(col)
+        .unwrap()
+        .iter()
+        .map(|v| match v {
+            Value::Text(s) => s.to_string(),
+            other => other.to_string(),
+        })
+        .collect()
+}
+
+fn stage_names(stages: &[Stage], out: &mut Vec<String>) {
+    for s in stages {
+        out.push(s.name.clone());
+        stage_names(&s.children, out);
+    }
+}
+
+#[test]
+fn solve_results_carry_a_trace() {
+    let mut s = Session::new();
+    s.execute_script(SETUP).unwrap();
+    let res = s.execute(SOLVE).unwrap();
+    let trace = res.trace.expect("SOLVESELECT should be traced");
+    assert_eq!(trace.label, "SOLVESELECT");
+    let mut names = Vec::new();
+    stage_names(&trace.stages, &mut names);
+    for expected in ["parse", "plan", "instantiate", "check", "solve", "post-process"] {
+        assert!(names.iter().any(|n| n == expected), "missing stage {expected} in {names:?}");
+    }
+    // Every stage took measurable time and the tree fits in the total.
+    let root_sum: u64 = trace.stages.iter().map(|s| s.nanos).sum();
+    assert!(trace.stages.iter().all(|s| s.nanos >= 1));
+    assert!(root_sum <= trace.total_nanos, "{root_sum} > {}", trace.total_nanos);
+    // The LP solver reported telemetry.
+    assert_eq!(trace.solvers.len(), 1);
+    let st = &trace.solvers[0];
+    assert_eq!(st.solver, "solverlp");
+    assert_eq!(st.method, "simplex");
+    assert!(st.iterations > 0);
+    assert_eq!(st.objective, Some(20.0));
+}
+
+#[test]
+fn explain_analyze_renders_the_stage_tree() {
+    let mut s = Session::new();
+    s.execute_script(SETUP).unwrap();
+    let t = s.query(&format!("EXPLAIN ANALYZE {SOLVE}")).unwrap();
+    let plan = text_column(&t, "plan").join("\n");
+    for expected in
+        ["query: SOLVESELECT", "-> parse:", "-> solve:", "solver solverlp", "rows out: 1"]
+    {
+        assert!(plan.contains(expected), "missing {expected:?} in:\n{plan}");
+    }
+    // Timings render in milliseconds with nonzero precision.
+    assert!(plan.contains(" ms"), "no timings in:\n{plan}");
+    // EXPLAIN ANALYZE executed the statement, so the metrics saw a solver run.
+    let runs = s.query("SELECT runs FROM sdb_solver_stats").unwrap();
+    assert_eq!(runs.rows.len(), 1);
+    assert_eq!(runs.rows[0][0], Value::Int(1));
+}
+
+#[test]
+fn mip_solves_report_branch_and_bound_telemetry() {
+    let mut s = Session::new();
+    s.execute_script(
+        "CREATE TABLE items (id int, value float8, weight float8, pick int);
+         INSERT INTO items VALUES
+           (1, 60, 10, NULL), (2, 100, 20, NULL), (3, 120, 30, NULL)",
+    )
+    .unwrap();
+    let res = s
+        .execute(
+            "SOLVESELECT it(pick) AS (SELECT * FROM items) \
+             MAXIMIZE (SELECT sum(value * pick) FROM it) \
+             SUBJECTTO (SELECT sum(weight * pick) <= 50 FROM it), \
+                       (SELECT 0 <= pick <= 1 FROM it) \
+             USING solverlp.cbc()",
+        )
+        .unwrap();
+    let trace = res.trace.unwrap();
+    let st = &trace.solvers[0];
+    assert_eq!(st.method, "bb");
+    assert!(st.nodes_explored > 0);
+    assert!(st.iterations >= st.nodes_explored, "{} < {}", st.iterations, st.nodes_explored);
+    assert!(!st.incumbents.is_empty());
+    assert_eq!(st.objective, Some(220.0));
+}
+
+#[test]
+fn stat_statements_aggregates_by_shape() {
+    let mut s = Session::new();
+    s.execute("CREATE TABLE t (x int)").unwrap();
+    s.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+    // Two executions of the same statement shape, different literals.
+    s.query("SELECT x FROM t WHERE x > 1").unwrap();
+    s.query("SELECT x FROM t WHERE x > 2").unwrap();
+    let stats = s.query("SELECT query, calls, rows FROM sdb_stat_statements").unwrap();
+    let shapes = text_column(&stats, "query");
+    let target: Vec<usize> = shapes
+        .iter()
+        .enumerate()
+        .filter(|(_, q)| q.contains("where ( x > ? )"))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(target.len(), 1, "expected one aggregated row, got shapes {shapes:?}");
+    let i = target[0];
+    assert_eq!(stats.rows[i][1], Value::Int(2), "calls");
+    // 2 rows matched the first filter, 1 the second.
+    assert_eq!(stats.rows[i][2], Value::Int(3), "rows");
+    // The metrics SELECTs themselves get recorded too, on the next read.
+    let again = s.query("SELECT calls FROM sdb_stat_statements").unwrap();
+    assert!(again.rows.len() >= stats.rows.len());
+}
+
+#[test]
+fn failed_statements_count_as_errors() {
+    let mut s = Session::new();
+    s.execute("CREATE TABLE t (x int)").unwrap();
+    assert!(s.execute("SELECT nope FROM t").is_err());
+    let stats = s.query("SELECT query, errors FROM sdb_stat_statements").unwrap();
+    let shapes = text_column(&stats, "query");
+    let i = shapes.iter().position(|q| q.contains("nope")).expect("errored shape recorded");
+    assert_eq!(stats.rows[i][1], Value::Int(1));
+}
+
+#[test]
+fn solver_stats_aggregate_across_sessions_sharing_solvers() {
+    use solvedbplus_core::SharedSolvers;
+    let shared = SharedSolvers::new();
+    let mut a = Session::with_solvers(&shared);
+    let mut b = Session::with_solvers(&shared);
+    for s in [&mut a, &mut b] {
+        s.execute_script(SETUP).unwrap();
+        s.query(SOLVE).unwrap();
+    }
+    // Both runs landed in the shared registry, visible from either session.
+    let t = a.query("SELECT solver, method, runs, iterations FROM sdb_solver_stats").unwrap();
+    assert_eq!(t.rows.len(), 1);
+    assert_eq!(t.rows[0][0], Value::text("solverlp"));
+    assert_eq!(t.rows[0][1], Value::text("simplex"));
+    assert_eq!(t.rows[0][2], Value::Int(2));
+}
+
+#[test]
+fn real_tables_shadow_virtual_ones() {
+    let mut s = Session::new();
+    s.execute_script(
+        "CREATE TABLE sdb_stat_statements (note text); \
+         INSERT INTO sdb_stat_statements VALUES ('mine')",
+    )
+    .unwrap();
+    let t = s.query("SELECT note FROM sdb_stat_statements").unwrap();
+    assert_eq!(t.rows, vec![vec![Value::text("mine")]]);
+}
+
+#[test]
+fn sdb_sessions_is_empty_without_a_server() {
+    let mut s = Session::new();
+    let t = s.query("SELECT * FROM sdb_sessions").unwrap();
+    assert_eq!(t.num_rows(), 0);
+    assert_eq!(t.schema.len(), 5);
+}

@@ -83,6 +83,8 @@ pub struct OptResult {
     pub x: Vec<f64>,
     pub value: f64,
     pub evaluations: usize,
+    /// Outer iterations (generations / annealing steps) actually run.
+    pub iterations: usize,
 }
 
 // ---------------------------------------------------------------------------
@@ -163,7 +165,7 @@ pub fn pso(mut f: impl FnMut(&[f64]) -> f64, space: &SearchSpace, opts: PsoOptio
             }
         }
     }
-    OptResult { x: gbest, value: gbest_val, evaluations }
+    OptResult { x: gbest, value: gbest_val, evaluations, iterations: opts.iterations }
 }
 
 // ---------------------------------------------------------------------------
@@ -260,7 +262,7 @@ pub fn sa_from(
         }
         temp *= opts.cooling;
     }
-    OptResult { x: best, value: best_val, evaluations }
+    OptResult { x: best, value: best_val, evaluations, iterations: opts.iterations }
 }
 
 // ---------------------------------------------------------------------------
@@ -333,7 +335,7 @@ pub fn differential_evolution(
         }
     }
     let (bi, _) = vals.iter().enumerate().min_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap();
-    OptResult { x: pop[bi].clone(), value: vals[bi], evaluations }
+    OptResult { x: pop[bi].clone(), value: vals[bi], evaluations, iterations: opts.iterations }
 }
 
 #[cfg(test)]
@@ -363,6 +365,7 @@ mod tests {
         );
         assert!(r.value < 1e-4, "value {}", r.value);
         assert!(r.evaluations > 0);
+        assert_eq!(r.iterations, 200);
     }
 
     #[test]

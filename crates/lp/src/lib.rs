@@ -169,17 +169,32 @@ pub struct Solution {
     pub x: Vec<f64>,
     /// Objective value including the constant term.
     pub objective: f64,
-    /// Simplex iterations (LP) or explored nodes (MIP).
+    /// Simplex iterations (pivots). For a MIP this is the sum over all
+    /// LP relaxations solved during branch-and-bound.
     pub iterations: usize,
+    /// Branch-and-bound nodes explored. Zero for a pure LP solve.
+    pub nodes: usize,
 }
 
 impl Solution {
     pub fn infeasible() -> Solution {
-        Solution { status: Status::Infeasible, x: vec![], objective: f64::NAN, iterations: 0 }
+        Solution {
+            status: Status::Infeasible,
+            x: vec![],
+            objective: f64::NAN,
+            iterations: 0,
+            nodes: 0,
+        }
     }
 
     pub fn unbounded() -> Solution {
-        Solution { status: Status::Unbounded, x: vec![], objective: f64::NAN, iterations: 0 }
+        Solution {
+            status: Status::Unbounded,
+            x: vec![],
+            objective: f64::NAN,
+            iterations: 0,
+            nodes: 0,
+        }
     }
 
     pub fn is_optimal(&self) -> bool {

@@ -78,15 +78,37 @@ fn pick_branch_var(p: &Problem, x: &[f64]) -> Option<(usize, f64)> {
     best.map(|(j, v, _)| (j, v))
 }
 
+/// Search telemetry from one branch-and-bound run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MipStats {
+    /// Nodes whose LP relaxation was solved.
+    pub nodes_explored: usize,
+    /// Nodes discarded by bound or by an infeasible relaxation before
+    /// branching.
+    pub nodes_pruned: usize,
+    /// Simplex iterations summed over every LP relaxation solved.
+    pub simplex_iterations: usize,
+    /// Incumbent trajectory: (nodes explored when found, objective in
+    /// the problem's own sense).
+    pub incumbents: Vec<(usize, f64)>,
+}
+
 /// Solve a MIP by branch-and-bound.
 pub fn branch_and_bound(root: &Problem, opts: MipOptions) -> Solution {
+    branch_and_bound_stats(root, opts).0
+}
+
+/// Solve a MIP by branch-and-bound, also reporting search telemetry.
+pub fn branch_and_bound_stats(root: &Problem, opts: MipOptions) -> (Solution, MipStats) {
     // Work in minimization sense internally.
     let sense = if root.minimize { 1.0 } else { -1.0 };
+    let mut stats = MipStats::default();
 
     let root_lp = solve_lp(root);
+    stats.simplex_iterations += root_lp.iterations;
     match root_lp.status {
-        Status::Infeasible => return Solution::infeasible(),
-        Status::Unbounded => return Solution::unbounded(),
+        Status::Infeasible => return (Solution::infeasible(), stats),
+        Status::Unbounded => return (Solution::unbounded(), stats),
         _ => {}
     }
     if pick_branch_var(root, &root_lp.x).is_none() {
@@ -98,7 +120,8 @@ pub fn branch_and_bound(root: &Problem, opts: MipOptions) -> Solution {
             }
         });
         s.objective = root.objective_value(&s.x);
-        return s;
+        stats.incumbents.push((0, s.objective));
+        return (s, stats);
     }
 
     let mut heap = BinaryHeap::new();
@@ -112,6 +135,7 @@ pub fn branch_and_bound(root: &Problem, opts: MipOptions) -> Solution {
         // Bound pruning.
         if let Some((inc, _)) = &incumbent {
             if node.bound >= *inc - opts.gap * (1.0 + inc.abs()) {
+                stats.nodes_pruned += 1;
                 continue;
             }
         }
@@ -126,12 +150,15 @@ pub fn branch_and_bound(root: &Problem, opts: MipOptions) -> Solution {
             sub.tighten(j, lo, hi);
         }
         let lp = solve_lp(&sub);
+        stats.simplex_iterations += lp.iterations;
         if lp.status != Status::Optimal {
+            stats.nodes_pruned += 1;
             continue;
         }
         let bound = sense * lp.objective;
         if let Some((inc, _)) = &incumbent {
             if bound >= *inc - opts.gap * (1.0 + inc.abs()) {
+                stats.nodes_pruned += 1;
                 continue;
             }
         }
@@ -147,6 +174,7 @@ pub fn branch_and_bound(root: &Problem, opts: MipOptions) -> Solution {
                 if root.is_feasible(&x, 1e-5) {
                     let obj = sense * root.objective_value(&x);
                     if incumbent.as_ref().map_or(true, |(inc, _)| obj < *inc) {
+                        stats.incumbents.push((nodes, sense * obj));
                         incumbent = Some((obj, x));
                     }
                 }
@@ -162,26 +190,30 @@ pub fn branch_and_bound(root: &Problem, opts: MipOptions) -> Solution {
         }
     }
 
-    match incumbent {
+    stats.nodes_explored = nodes;
+    let solution = match incumbent {
         None => {
             if hit_limit {
                 Solution {
                     status: Status::NodeLimit,
                     x: vec![],
                     objective: f64::NAN,
-                    iterations: nodes,
+                    iterations: stats.simplex_iterations,
+                    nodes,
                 }
             } else {
-                Solution::infeasible()
+                Solution { iterations: stats.simplex_iterations, nodes, ..Solution::infeasible() }
             }
         }
         Some((obj, x)) => Solution {
             status: if hit_limit { Status::NodeLimit } else { Status::Optimal },
             objective: sense * obj,
             x,
-            iterations: nodes,
+            iterations: stats.simplex_iterations,
+            nodes,
         },
-    }
+    };
+    (solution, stats)
 }
 
 #[cfg(test)]
@@ -278,6 +310,39 @@ mod tests {
         assert!((s.x[0] - 5.0).abs() < 1e-6);
         assert!((s.x[1] - 1.2).abs() < 1e-6);
         assert!((s.objective - 11.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stats_separate_simplex_iterations_from_nodes() {
+        let n = 10;
+        let values: Vec<f64> = (0..n).map(|i| (i * 7 % 13) as f64 + 1.0).collect();
+        let weights: Vec<f64> = (0..n).map(|i| (i * 5 % 11) as f64 + 1.0).collect();
+        let mut p = Problem::maximize(n);
+        for j in 0..n {
+            p.set_bounds(j, 0.0, 1.0);
+            p.integer[j] = true;
+        }
+        p.set_objective(values.into_iter().enumerate().collect());
+        p.add_constraint(weights.into_iter().enumerate().collect(), Rel::Le, 17.0);
+        let (s, st) = branch_and_bound_stats(&p, MipOptions::default());
+        assert_eq!(s.status, Status::Optimal);
+        assert_eq!(s.nodes, st.nodes_explored);
+        assert_eq!(s.iterations, st.simplex_iterations);
+        assert!(st.nodes_explored >= 1);
+        // A branching search solves at least one LP pivot per node on
+        // this instance, so the two counters must genuinely differ.
+        assert!(
+            st.simplex_iterations > st.nodes_explored,
+            "iterations ({}) should count pivots, not nodes ({})",
+            st.simplex_iterations,
+            st.nodes_explored
+        );
+        assert!(!st.incumbents.is_empty());
+        // Maximization: incumbents improve monotonically upward.
+        for w in st.incumbents.windows(2) {
+            assert!(w[1].1 > w[0].1, "incumbent trajectory must improve: {:?}", st.incumbents);
+        }
+        assert!((st.incumbents.last().unwrap().1 - s.objective).abs() < 1e-9);
     }
 
     #[test]

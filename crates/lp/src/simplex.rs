@@ -525,7 +525,7 @@ pub fn solve_lp(p: &Problem) -> Solution {
     }
     let _ = t.n_structural;
     let raw_obj = p.objective_value(&x);
-    Solution { status: Status::Optimal, x, objective: raw_obj, iterations: total_iters }
+    Solution { status: Status::Optimal, x, objective: raw_obj, iterations: total_iters, nodes: 0 }
 }
 
 #[cfg(test)]

@@ -1,0 +1,308 @@
+//! Cumulative metrics registries.
+//!
+//! [`MetricsRegistry`] aggregates per-statement-shape execution
+//! counters and per-solver telemetry across the lifetime of a session
+//! (or, on the server, across all sessions — the registry is shared
+//! through an `Arc`). [`SessionRegistry`] tracks live server sessions.
+//! Both are read back through the `sdb_*` virtual tables.
+
+use crate::trace::SolverStats;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Cap on distinct statement shapes kept, to bound memory on adversarial
+/// workloads. Once full, new shapes are dropped (existing keep updating).
+const MAX_STATEMENT_SHAPES: usize = 10_000;
+
+/// Cumulative counters for one statement shape.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatementStats {
+    /// Number of completed executions (successful or not).
+    pub calls: u64,
+    /// Executions that returned an error.
+    pub errors: u64,
+    pub total_nanos: u64,
+    pub min_nanos: u64,
+    pub max_nanos: u64,
+    /// Total rows returned across calls.
+    pub rows: u64,
+}
+
+/// Cumulative telemetry for one (solver, method) pair.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SolverAgg {
+    pub runs: u64,
+    pub total_nanos: u64,
+    pub iterations: u64,
+    pub nodes_explored: u64,
+    pub nodes_pruned: u64,
+    pub evaluations: u64,
+    pub restarts: u64,
+    pub last_objective: Option<f64>,
+}
+
+#[derive(Debug, Default)]
+struct MetricsInner {
+    statements: HashMap<String, StatementStats>,
+    solvers: HashMap<(String, String), SolverAgg>,
+}
+
+/// Thread-safe cumulative metrics store.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<MetricsInner>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, MetricsInner> {
+        // Metrics must never take the engine down: recover from poison.
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Record one statement execution under its canonical shape.
+    pub fn record_statement(&self, shape: &str, nanos: u64, rows: u64, errored: bool) {
+        let mut inner = self.lock();
+        if !inner.statements.contains_key(shape) && inner.statements.len() >= MAX_STATEMENT_SHAPES {
+            return;
+        }
+        let st = inner.statements.entry(shape.to_string()).or_default();
+        st.calls += 1;
+        if errored {
+            st.errors += 1;
+        }
+        st.total_nanos += nanos;
+        st.min_nanos = if st.calls == 1 { nanos } else { st.min_nanos.min(nanos) };
+        st.max_nanos = st.max_nanos.max(nanos);
+        st.rows += rows;
+    }
+
+    /// Fold one solver invocation's telemetry into the aggregate.
+    pub fn record_solver(&self, stats: &SolverStats, nanos: u64) {
+        let mut inner = self.lock();
+        let agg = inner.solvers.entry((stats.solver.clone(), stats.method.clone())).or_default();
+        agg.runs += 1;
+        agg.total_nanos += nanos;
+        agg.iterations += stats.iterations;
+        agg.nodes_explored += stats.nodes_explored;
+        agg.nodes_pruned += stats.nodes_pruned;
+        agg.evaluations += stats.evaluations;
+        agg.restarts += stats.restarts;
+        if stats.objective.is_some() {
+            agg.last_objective = stats.objective;
+        }
+    }
+
+    /// Snapshot of statement stats, sorted by total time descending.
+    pub fn statements(&self) -> Vec<(String, StatementStats)> {
+        let inner = self.lock();
+        let mut v: Vec<_> = inner.statements.iter().map(|(k, s)| (k.clone(), s.clone())).collect();
+        v.sort_by(|a, b| b.1.total_nanos.cmp(&a.1.total_nanos).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Snapshot of solver aggregates, sorted by (solver, method).
+    pub fn solvers(&self) -> Vec<((String, String), SolverAgg)> {
+        let inner = self.lock();
+        let mut v: Vec<_> = inner.solvers.iter().map(|(k, s)| (k.clone(), s.clone())).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Drop all accumulated data (used by tests).
+    pub fn reset(&self) {
+        let mut inner = self.lock();
+        inner.statements.clear();
+        inner.solvers.clear();
+    }
+}
+
+/// Live counters for one server session. Atomics so the I/O path can
+/// bump bytes without locking.
+#[derive(Debug)]
+pub struct SessionCounters {
+    pub id: u64,
+    started: Instant,
+    pub queries: AtomicU64,
+    pub bytes_in: AtomicU64,
+    pub bytes_out: AtomicU64,
+}
+
+impl SessionCounters {
+    fn new(id: u64) -> SessionCounters {
+        SessionCounters {
+            id,
+            started: Instant::now(),
+            queries: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+        }
+    }
+
+    pub fn add_query(&self) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_bytes_in(&self, n: u64) {
+        self.bytes_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_bytes_out(&self, n: u64) {
+        self.bytes_out.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn uptime_nanos(&self) -> u64 {
+        (self.started.elapsed().as_nanos() as u64).max(1)
+    }
+}
+
+/// Point-in-time view of one live session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSnapshot {
+    pub id: u64,
+    pub uptime_nanos: u64,
+    pub queries: u64,
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+}
+
+/// Registry of live server sessions, keyed by session id.
+#[derive(Debug, Default)]
+pub struct SessionRegistry {
+    sessions: Mutex<HashMap<u64, Arc<SessionCounters>>>,
+}
+
+impl SessionRegistry {
+    pub fn new() -> SessionRegistry {
+        SessionRegistry::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HashMap<u64, Arc<SessionCounters>>> {
+        self.sessions.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Register a session and get its live counters.
+    pub fn open(&self, id: u64) -> Arc<SessionCounters> {
+        let counters = Arc::new(SessionCounters::new(id));
+        self.lock().insert(id, Arc::clone(&counters));
+        counters
+    }
+
+    /// Remove a closed session.
+    pub fn close(&self, id: u64) {
+        self.lock().remove(&id);
+    }
+
+    /// Snapshot of all live sessions, ordered by id.
+    pub fn snapshot(&self) -> Vec<SessionSnapshot> {
+        let mut v: Vec<SessionSnapshot> = self
+            .lock()
+            .values()
+            .map(|c| SessionSnapshot {
+                id: c.id,
+                uptime_nanos: c.uptime_nanos(),
+                queries: c.queries.load(Ordering::Relaxed),
+                bytes_in: c.bytes_in.load(Ordering::Relaxed),
+                bytes_out: c.bytes_out.load(Ordering::Relaxed),
+            })
+            .collect();
+        v.sort_by_key(|s| s.id);
+        v
+    }
+
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_shape_aggregates_into_one_entry() {
+        let m = MetricsRegistry::new();
+        m.record_statement("SELECT ?", 100, 1, false);
+        m.record_statement("SELECT ?", 300, 2, false);
+        let stmts = m.statements();
+        assert_eq!(stmts.len(), 1);
+        let (shape, s) = &stmts[0];
+        assert_eq!(shape, "SELECT ?");
+        assert_eq!(s.calls, 2);
+        assert_eq!(s.errors, 0);
+        assert_eq!(s.total_nanos, 400);
+        assert_eq!(s.min_nanos, 100);
+        assert_eq!(s.max_nanos, 300);
+        assert_eq!(s.rows, 3);
+    }
+
+    #[test]
+    fn errors_are_counted_separately() {
+        let m = MetricsRegistry::new();
+        m.record_statement("SELECT ?", 50, 0, true);
+        let (_, s) = &m.statements()[0];
+        assert_eq!((s.calls, s.errors), (1, 1));
+    }
+
+    #[test]
+    fn statements_sorted_by_total_time() {
+        let m = MetricsRegistry::new();
+        m.record_statement("fast", 10, 0, false);
+        m.record_statement("slow", 1000, 0, false);
+        let stmts = m.statements();
+        assert_eq!(stmts[0].0, "slow");
+        assert_eq!(stmts[1].0, "fast");
+    }
+
+    #[test]
+    fn solver_aggregation_sums_counters() {
+        let m = MetricsRegistry::new();
+        let st = SolverStats {
+            solver: "solverlp".into(),
+            method: "mip".into(),
+            iterations: 7,
+            nodes_explored: 3,
+            nodes_pruned: 1,
+            objective: Some(2.0),
+            ..SolverStats::default()
+        };
+        m.record_solver(&st, 500);
+        m.record_solver(&st, 700);
+        let solvers = m.solvers();
+        assert_eq!(solvers.len(), 1);
+        let ((name, method), agg) = &solvers[0];
+        assert_eq!((name.as_str(), method.as_str()), ("solverlp", "mip"));
+        assert_eq!(agg.runs, 2);
+        assert_eq!(agg.total_nanos, 1200);
+        assert_eq!(agg.iterations, 14);
+        assert_eq!(agg.nodes_explored, 6);
+        assert_eq!(agg.last_objective, Some(2.0));
+    }
+
+    #[test]
+    fn session_registry_tracks_open_and_close() {
+        let r = SessionRegistry::new();
+        let c = r.open(7);
+        c.add_query();
+        c.add_bytes_in(10);
+        c.add_bytes_out(20);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].id, 7);
+        assert_eq!(snap[0].queries, 1);
+        assert_eq!(snap[0].bytes_in, 10);
+        assert_eq!(snap[0].bytes_out, 20);
+        assert!(snap[0].uptime_nanos >= 1);
+        r.close(7);
+        assert!(r.is_empty());
+    }
+}

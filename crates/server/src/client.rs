@@ -103,32 +103,47 @@ impl Client {
     /// return one result per executed statement, in order. If a
     /// statement fails, its reconstructed engine error is the last
     /// element (the server skips the rest of the batch). Analyzer
-    /// warnings (WARNING frames, protocol v2) are attached to the
-    /// result of the statement that produced them.
+    /// warnings (WARNING frames, protocol v2) and execution traces
+    /// (STATS frames, protocol v3) are attached to the result of the
+    /// statement that produced them.
     pub fn execute(&mut self, sql: &str) -> Result<Vec<StatementResult>, ClientError> {
         write_frame(&mut self.stream, &Frame::Query(sql.to_string()))?;
         let mut results = Vec::new();
-        // A WARNING frame precedes the result frame it belongs to, so
-        // buffer diagnostics until the next result arrives.
+        // WARNING and STATS frames precede the result frame they belong
+        // to, so buffer both until the next result arrives.
         let mut pending = Vec::new();
+        let mut pending_trace = None;
+        let attach = |r: ExecResult, pending: &mut Vec<_>, trace: &mut Option<_>| {
+            let r = r.with_warnings(std::mem::take(pending));
+            match trace.take() {
+                Some(t) => r.with_trace(t),
+                None => r,
+            }
+        };
         loop {
             match Self::read(&mut self.stream)? {
                 Frame::Warning(diags) => pending.extend(diags),
+                Frame::Stats(trace) => pending_trace = Some(trace),
                 Frame::ResultTable(t) => {
-                    results
-                        .push(Ok(ExecResult::table(t).with_warnings(std::mem::take(&mut pending))));
+                    results.push(Ok(attach(
+                        ExecResult::table(t),
+                        &mut pending,
+                        &mut pending_trace,
+                    )));
                 }
                 Frame::RowCount(n) => {
-                    results
-                        .push(Ok(ExecResult::count(n as usize)
-                            .with_warnings(std::mem::take(&mut pending))));
+                    results.push(Ok(attach(
+                        ExecResult::count(n as usize),
+                        &mut pending,
+                        &mut pending_trace,
+                    )));
                 }
                 Frame::Done => {
-                    results
-                        .push(Ok(ExecResult::done().with_warnings(std::mem::take(&mut pending))));
+                    results.push(Ok(attach(ExecResult::done(), &mut pending, &mut pending_trace)));
                 }
                 Frame::Error { kind, message } => {
                     pending.clear();
+                    pending_trace = None;
                     results.push(Err(frame_to_error(kind, &message)));
                 }
                 Frame::End => return Ok(results),

@@ -6,6 +6,7 @@
 //! training state) built over one process-wide [`SharedSolvers`]
 //! (solver registry + Predictive Advisor model cache).
 
+use obs::{SessionCounters, SessionRegistry};
 use solvedbplus_core::{Session, SharedSolvers};
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -17,6 +18,9 @@ pub struct SessionManager {
     shared: SharedSolvers,
     active: AtomicUsize,
     opened: AtomicUsize,
+    /// Live per-session counters, published to every session through
+    /// the `sdb_sessions` virtual table.
+    sessions: Arc<SessionRegistry>,
 }
 
 impl SessionManager {
@@ -27,7 +31,12 @@ impl SessionManager {
     /// Build a manager over pre-configured solver infrastructure (e.g.
     /// with extra solvers installed before the server starts).
     pub fn with_solvers(shared: SharedSolvers) -> SessionManager {
-        SessionManager { shared, active: AtomicUsize::new(0), opened: AtomicUsize::new(0) }
+        SessionManager {
+            shared,
+            active: AtomicUsize::new(0),
+            opened: AtomicUsize::new(0),
+            sessions: Arc::new(SessionRegistry::new()),
+        }
     }
 
     /// The solver infrastructure shared by all sessions.
@@ -35,13 +44,20 @@ impl SessionManager {
         &self.shared
     }
 
+    /// The live-session registry backing `sdb_sessions`.
+    pub fn sessions(&self) -> &Arc<SessionRegistry> {
+        &self.sessions
+    }
+
     /// Open a session for a new connection. The returned handle derefs
     /// to [`Session`] and decrements the live count when dropped.
     pub fn open(self: &Arc<Self>) -> SessionHandle {
-        let session = Session::with_solvers(&self.shared);
+        let mut session = Session::with_solvers(&self.shared);
+        session.attach_session_registry(self.sessions.clone());
         self.active.fetch_add(1, Ordering::SeqCst);
-        self.opened.fetch_add(1, Ordering::SeqCst);
-        SessionHandle { session, manager: Arc::clone(self) }
+        let id = self.opened.fetch_add(1, Ordering::SeqCst) as u64 + 1;
+        let counters = self.sessions.open(id);
+        SessionHandle { session, manager: Arc::clone(self), counters, id }
     }
 
     /// Number of currently live sessions.
@@ -65,6 +81,20 @@ impl Default for SessionManager {
 pub struct SessionHandle {
     session: Session,
     manager: Arc<SessionManager>,
+    counters: Arc<SessionCounters>,
+    id: u64,
+}
+
+impl SessionHandle {
+    /// This connection's live counters (queries, bytes in/out).
+    pub fn counters(&self) -> &Arc<SessionCounters> {
+        &self.counters
+    }
+
+    /// The server-assigned session id (1-based, monotonic).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
 }
 
 impl Deref for SessionHandle {
@@ -82,6 +112,7 @@ impl DerefMut for SessionHandle {
 
 impl Drop for SessionHandle {
     fn drop(&mut self) {
+        self.manager.sessions.close(self.id);
         self.manager.active.fetch_sub(1, Ordering::SeqCst);
     }
 }
@@ -99,11 +130,28 @@ mod tests {
         let b = m.open();
         assert_eq!(m.active(), 2);
         assert_eq!(m.total_opened(), 2);
+        assert_eq!(m.sessions().len(), 2);
         drop(a);
         assert_eq!(m.active(), 1);
+        assert_eq!(m.sessions().len(), 1);
         drop(b);
         assert_eq!(m.active(), 0);
         assert_eq!(m.total_opened(), 2);
+        assert!(m.sessions().is_empty());
+    }
+
+    #[test]
+    fn sessions_see_each_other_in_sdb_sessions() {
+        let m = Arc::new(SessionManager::new());
+        let mut a = m.open();
+        let _b = m.open();
+        a.counters().add_query();
+        a.counters().add_bytes_in(10);
+        let t = a.query("SELECT session_id, queries FROM sdb_sessions").unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.rows[0][0], Value::Int(1));
+        assert_eq!(t.rows[0][1], Value::Int(1));
+        assert_eq!(t.rows[1][0], Value::Int(2));
     }
 
     #[test]

@@ -29,8 +29,10 @@ pub const MAGIC: [u8; 4] = *b"SDBP";
 /// rejects clients announcing a different version.
 ///
 /// History: v1 — initial protocol; v2 — adds the `WARNING` frame
-/// carrying pre-solve analyzer diagnostics before a statement's result.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// carrying pre-solve analyzer diagnostics before a statement's result;
+/// v3 — adds the `STATS` frame carrying the statement's execution trace
+/// (stage tree + solver telemetry) before its result.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Upper bound for one frame (64 MiB + framing slack), matching the
 /// string limit of the value codec.
@@ -48,6 +50,7 @@ mod frame_type {
     pub const BYE: u8 = 0x09;
     pub const END: u8 = 0x0A;
     pub const WARNING: u8 = 0x0B;
+    pub const STATS: u8 = 0x0C;
 }
 
 /// One protocol frame.
@@ -79,6 +82,10 @@ pub enum Frame {
     /// sent immediately before the result frame of the statement they
     /// belong to (protocol v2, see DIAGNOSTICS.md).
     Warning(Vec<Diagnostic>),
+    /// The execution trace of a statement — stage tree with timings
+    /// plus solver telemetry — sent immediately before the result frame
+    /// of the statement it describes (protocol v3, see PROTOCOL.md).
+    Stats(obs::QueryTrace),
 }
 
 /// Errors arising while reading/writing frames: transport failures keep
@@ -196,6 +203,10 @@ fn encode_body(f: &Frame, out: &mut Vec<u8>) {
             out.push(frame_type::WARNING);
             wire::encode_diagnostics(diags, out);
         }
+        Frame::Stats(trace) => {
+            out.push(frame_type::STATS);
+            wire::encode_trace(trace, out);
+        }
     }
 }
 
@@ -274,6 +285,15 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, ProtoError> {
                 return Err(malformed("WARNING frame has trailing bytes"));
             }
             Frame::Warning(diags)
+        }
+        frame_type::STATS => {
+            let mut r = wire::Reader::new(payload);
+            let trace =
+                wire::decode_trace(&mut r).map_err(|e| malformed(format!("STATS payload: {e}")))?;
+            if !r.is_empty() {
+                return Err(malformed("STATS frame has trailing bytes"));
+            }
+            Frame::Stats(trace)
         }
         other => return Err(malformed(format!("unknown frame type 0x{other:02x}"))),
     };
@@ -414,6 +434,39 @@ mod tests {
             sqlengine::diag::Diagnostic::warning("SD001", "x is unbounded below"),
             sqlengine::diag::Diagnostic::note("SD005", "shadowed bound").with_detail("see x <= 4"),
         ]));
+        roundtrip(Frame::Stats(obs::QueryTrace::default()));
+        roundtrip(Frame::Stats(obs::QueryTrace {
+            label: "SOLVESELECT".into(),
+            total_nanos: 5_000_000,
+            stages: vec![
+                obs::Stage::leaf("parse", 1_000),
+                obs::Stage {
+                    name: "solve".into(),
+                    nanos: 4_000_000,
+                    rows: Some(3),
+                    meta: vec![("solver".into(), "solverlp".into())],
+                    children: vec![obs::Stage::leaf("compile", 2_000)],
+                },
+            ],
+            solvers: vec![obs::SolverStats {
+                solver: "solverlp".into(),
+                method: "bb".into(),
+                iterations: 9,
+                nodes_explored: 4,
+                nodes_pruned: 1,
+                objective: Some(6.5),
+                incumbents: vec![(1, 4.0), (3, 6.5)],
+                ..obs::SolverStats::default()
+            }],
+        }));
+    }
+
+    #[test]
+    fn stats_frame_rejects_trailing_bytes() {
+        let mut enc = Vec::new();
+        encode_body(&Frame::Stats(obs::QueryTrace::default()), &mut enc);
+        enc.push(0xFF);
+        assert!(decode_body(&enc).is_err());
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::protocol::{
     PROTOCOL_VERSION,
 };
 use crossbeam::channel;
-use sqlengine::parser::{parse_statement, split_statements};
+use sqlengine::parser::split_statements;
 use sqlengine::Outcome;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -40,11 +40,15 @@ pub struct ServerConfig {
     /// Accepted-but-unserved connections to queue before `accept`
     /// blocks.
     pub backlog: usize,
+    /// Statements slower than this many milliseconds are written to the
+    /// slow-query log on stderr, with their stage breakdown. `None`
+    /// disables the log.
+    pub slow_query_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { workers: 8, backlog: 16 }
+        ServerConfig { workers: 8, backlog: 16, slow_query_ms: None }
     }
 }
 
@@ -127,10 +131,11 @@ impl Server {
             let rx = rx.clone();
             let manager = self.manager.clone();
             let flag = self.shutdown.clone();
+            let config = self.config.clone();
             workers.push(std::thread::Builder::new().name(format!("solvedbd-worker-{i}")).spawn(
                 move || {
                     while let Ok(stream) = rx.recv() {
-                        serve_connection(stream, &manager, &flag);
+                        serve_connection(stream, &manager, &flag, &config);
                         if flag.load(Ordering::SeqCst) {
                             break;
                         }
@@ -179,7 +184,12 @@ impl Server {
 
 /// Serve one connection to completion: handshake, then a
 /// query/response loop. All errors terminate just this connection.
-fn serve_connection(mut stream: TcpStream, manager: &Arc<SessionManager>, stop: &AtomicBool) {
+fn serve_connection(
+    mut stream: TcpStream,
+    manager: &Arc<SessionManager>,
+    stop: &AtomicBool,
+    config: &ServerConfig,
+) {
     let _ = stream.set_nodelay(true);
     if stream.set_read_timeout(Some(READ_TICK)).is_err() {
         return;
@@ -226,6 +236,10 @@ fn serve_connection(mut stream: TcpStream, manager: &Arc<SessionManager>, stop: 
     }
 
     let mut session = manager.open();
+    let counters = session.counters().clone();
+    // Everything after the handshake flows through the metering wrapper
+    // so the session's byte counters cover the whole conversation.
+    let mut stream = Metered { stream: &stream, counters: &counters };
 
     loop {
         let frame = match read_frame_interruptible(&mut stream, stopped) {
@@ -242,7 +256,7 @@ fn serve_connection(mut stream: TcpStream, manager: &Arc<SessionManager>, stop: 
         };
         match frame {
             Frame::Query(sql) => {
-                if run_batch(&mut stream, &mut session, &sql).is_err() {
+                if run_batch(&mut stream, &mut session, &sql, config).is_err() {
                     return;
                 }
             }
@@ -266,23 +280,74 @@ fn serve_connection(mut stream: TcpStream, manager: &Arc<SessionManager>, stop: 
     }
 }
 
+/// [`Read`]/[`Write`] adaptor that folds transferred byte counts into a
+/// session's counters (the `bytes_in`/`bytes_out` of `sdb_sessions`).
+struct Metered<'a> {
+    stream: &'a TcpStream,
+    counters: &'a obs::SessionCounters,
+}
+
+impl io::Read for Metered<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = (&mut self.stream).read(buf)?;
+        self.counters.add_bytes_in(n as u64);
+        Ok(n)
+    }
+}
+
+impl io::Write for Metered<'_> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = (&mut self.stream).write(buf)?;
+        self.counters.add_bytes_out(n as u64);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        (&mut self.stream).flush()
+    }
+}
+
 /// Execute one Query batch statement by statement, streaming one
 /// response frame per statement and an END terminator. A statement
 /// with analyzer warnings gets a WARNING frame immediately before its
-/// result frame (protocol v2). The batch stops at the first failing
-/// statement (its error frame is the last response before END),
+/// result frame (protocol v2); a traced statement additionally gets a
+/// STATS frame carrying its execution trace (protocol v3), after any
+/// WARNING and still before the result. The batch stops at the first
+/// failing statement (its error frame is the last response before END),
 /// matching script-mode semantics in the CLI.
-fn run_batch(
-    stream: &mut TcpStream,
+fn run_batch<W: io::Write>(
+    stream: &mut W,
     session: &mut crate::manager::SessionHandle,
     sql: &str,
+    config: &ServerConfig,
 ) -> io::Result<()> {
     for piece in split_statements(sql) {
-        let outcome = parse_statement(&piece).and_then(|stmt| session.execute_statement(&stmt));
+        session.counters().add_query();
+        // `Session::execute` parses the piece itself so the measured
+        // parse time lands in the trace's `parse` stage.
+        let (outcome, elapsed) = obs::timed(|| session.execute(&piece));
+        if let Some(threshold) = config.slow_query_ms {
+            let ms = elapsed.as_millis() as u64;
+            if ms >= threshold {
+                let stages = match &outcome {
+                    Ok(r) => r.trace.as_ref().map(|t| t.render().join("; ")).unwrap_or_default(),
+                    Err(_) => String::new(),
+                };
+                eprintln!(
+                    "[solvedbd] slow query on session {}: {ms} ms >= {threshold} ms: {}{}",
+                    session.id(),
+                    piece.trim(),
+                    if stages.is_empty() { String::new() } else { format!(" [{stages}]") },
+                );
+            }
+        }
         match outcome {
             Ok(r) => {
                 if !r.warnings.is_empty() {
                     write_frame(stream, &Frame::Warning(r.warnings))?;
+                }
+                if let Some(trace) = r.trace {
+                    write_frame(stream, &Frame::Stats(trace))?;
                 }
                 match r.outcome {
                     Outcome::Table(t) => write_frame(stream, &Frame::ResultTable(t))?,

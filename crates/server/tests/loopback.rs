@@ -23,8 +23,11 @@ struct TestServer {
 
 impl TestServer {
     fn start(workers: usize) -> TestServer {
-        let srv = Server::bind_with("127.0.0.1:0", ServerConfig { workers, backlog: 16 })
-            .expect("bind ephemeral port");
+        let srv = Server::bind_with(
+            "127.0.0.1:0",
+            ServerConfig { workers, backlog: 16, ..ServerConfig::default() },
+        )
+        .expect("bind ephemeral port");
         let addr = srv.local_addr();
         let shutdown = srv.shutdown_handle();
         let join = thread::spawn(move || srv.run());
@@ -123,6 +126,53 @@ fn analyzer_warnings_survive_the_wire_roundtrip() {
         .unwrap_or_else(|| panic!("expected SD005 in warnings, got {:?}", r.warnings));
     assert_eq!(sd005.severity, Severity::Note);
     assert!(sd005.message.contains("shadowed"), "message: {}", sd005.message);
+    client.close().unwrap();
+    ts.stop();
+}
+
+#[test]
+fn stats_frame_carries_the_execution_trace_over_the_wire() {
+    let ts = TestServer::start(2);
+    let mut client = Client::connect(ts.addr).unwrap();
+    client.execute_script(LP_SETUP).expect("setup");
+    let results = client.execute(LP_SOLVE).expect("solve batch");
+    assert_eq!(results.len(), 1);
+    let r = results[0].as_ref().expect("solve succeeds");
+    let trace = r.trace.as_ref().expect("SOLVESELECT results carry a trace (protocol v3)");
+    assert_eq!(trace.label, "SOLVESELECT");
+
+    // Stage tree sanity: nonzero stage durations summing to at most the
+    // total, and the canonical stages present.
+    assert!(!trace.stages.is_empty());
+    assert!(trace.stages.iter().all(|s| s.nanos >= 1), "zero-duration stage in {trace:?}");
+    let root_sum: u64 = trace.stages.iter().map(|s| s.nanos).sum();
+    assert!(
+        root_sum <= trace.total_nanos,
+        "stage sum {root_sum} exceeds total {}",
+        trace.total_nanos
+    );
+    let names: Vec<&str> = trace.stages.iter().map(|s| s.name.as_str()).collect();
+    for expected in ["plan", "check", "solve"] {
+        assert!(names.contains(&expected), "missing stage {expected} in {names:?}");
+    }
+
+    // Solver telemetry survived the round-trip.
+    assert_eq!(trace.solvers.len(), 1);
+    let st = &trace.solvers[0];
+    assert_eq!(st.solver, "solverlp");
+    assert!(st.iterations > 0);
+    assert_eq!(st.objective, Some(6.5));
+
+    // Plain SQL is not traced: no STATS frame, no attached trace.
+    let plain = client.execute("SELECT 1").unwrap();
+    assert!(plain[0].as_ref().unwrap().trace.is_none());
+
+    // The server-side metrics tables saw this connection's statements.
+    let t = client.query("SELECT queries FROM sdb_sessions").unwrap();
+    assert_eq!(t.num_rows(), 1, "one live session");
+    assert!(t.rows[0][0].as_i64().unwrap() >= 3);
+    let solver_runs = client.query_scalar("SELECT runs FROM sdb_solver_stats").unwrap();
+    assert_eq!(solver_runs, Value::Int(1));
     client.close().unwrap();
     ts.stop();
 }
@@ -253,8 +303,9 @@ fn graceful_shutdown_releases_the_port() {
     ts.stop();
 
     // The port must be immediately rebindable after run() returns.
-    let again = Server::bind_with(addr, ServerConfig { workers: 1, backlog: 4 })
-        .expect("rebinding the released port");
+    let again =
+        Server::bind_with(addr, ServerConfig { workers: 1, backlog: 4, ..ServerConfig::default() })
+            .expect("rebinding the released port");
     drop(again);
 
     // And new connections to the stopped server must fail.

@@ -389,15 +389,29 @@ pub struct ColumnDef {
     pub ty: DataType,
 }
 
+/// Variant of an `EXPLAIN` over a solve statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExplainMode {
+    /// `EXPLAIN`: describe the compiled problem without solving.
+    Plan,
+    /// `EXPLAIN CHECK`: run the pre-solve static analyzer only.
+    Check,
+    /// `EXPLAIN ANALYZE`: execute the solve and report the stage tree
+    /// with wall-clock timings and solver telemetry.
+    Analyze,
+}
+
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
     Query(Query),
     Solve(SolveStmt),
-    /// `EXPLAIN [CHECK] SOLVESELECT ...` — describe the compiled problem
-    /// (`check: false`) or run the pre-solve static analyzer and return
-    /// its diagnostics as a relation (`check: true`), without solving.
+    /// `EXPLAIN [CHECK | ANALYZE] SOLVESELECT ...` — describe the
+    /// compiled problem ([`ExplainMode::Plan`]), run the pre-solve
+    /// static analyzer and return its diagnostics as a relation
+    /// ([`ExplainMode::Check`]) without solving, or execute the solve
+    /// and return the timed stage tree ([`ExplainMode::Analyze`]).
     Explain {
-        check: bool,
+        mode: ExplainMode,
         stmt: Box<SolveStmt>,
     },
     /// `MODELEVAL (select) IN (select)` (§4.4).
@@ -839,8 +853,13 @@ impl fmt::Display for Statement {
         match self {
             Statement::Query(q) => write!(f, "{q}"),
             Statement::Solve(s) => write!(f, "{s}"),
-            Statement::Explain { check, stmt } => {
-                write!(f, "EXPLAIN {}{stmt}", if *check { "CHECK " } else { "" })
+            Statement::Explain { mode, stmt } => {
+                let kw = match mode {
+                    ExplainMode::Plan => "",
+                    ExplainMode::Check => "CHECK ",
+                    ExplainMode::Analyze => "ANALYZE ",
+                };
+                write!(f, "EXPLAIN {kw}{stmt}")
             }
             Statement::ModelEval { select, model } => {
                 write!(f, "MODELEVAL ({select}) IN ({model})")

@@ -72,12 +72,18 @@ pub trait SolveHandler: Send + Sync {
     /// analyzer and push advisory findings into `warnings`; the
     /// executor attaches `Warning`/`Note`-severity entries to the
     /// statement's [`crate::exec::ExecResult`].
+    ///
+    /// When `trace` is present the handler records its stage tree
+    /// (plan → rewrite → instantiate → solve → ...) and solver
+    /// telemetry into it; `None` skips instrumentation (nested solves,
+    /// handlers that predate tracing).
     fn solve_select(
         &self,
         db: &Database,
         stmt: &SolveStmt,
         ctes: &Ctes,
         warnings: &mut Vec<Diagnostic>,
+        trace: Option<&obs::Trace>,
     ) -> Result<Table>;
 
     /// `EXPLAIN SOLVESELECT ...`: describe the compiled problem (one
@@ -111,6 +117,21 @@ pub trait SolveHandler: Send + Sync {
     ) -> Result<Table>;
 }
 
+/// Provider of *virtual tables*: relations synthesized on demand
+/// rather than stored in the catalog (the `sdb_*` observability views
+/// — `sdb_stat_statements`, `sdb_solver_stats`, `sdb_sessions`).
+/// Ordinary tables, views and CTEs all shadow a virtual table of the
+/// same name; the provider is only consulted when catalog resolution
+/// misses.
+pub trait VirtualTableProvider: Send + Sync {
+    /// Names this provider can materialize.
+    fn names(&self) -> Vec<String>;
+
+    /// Materialize a snapshot of the named virtual table, or `None` if
+    /// the name is not one of [`Self::names`].
+    fn table(&self, name: &str) -> Option<Table>;
+}
+
 /// The database: named tables, views, UDFs and the solve hook.
 #[derive(Default)]
 pub struct Database {
@@ -118,6 +139,7 @@ pub struct Database {
     views: HashMap<String, Arc<Query>>,
     udfs: HashMap<String, ScalarUdf>,
     solve_handler: Option<Arc<dyn SolveHandler>>,
+    virtual_tables: Option<Arc<dyn VirtualTableProvider>>,
 }
 
 impl std::fmt::Debug for Database {
@@ -228,6 +250,25 @@ impl Database {
                 "no solver infrastructure registered (SOLVESELECT requires the SolveDB+ layer)",
             )
         })
+    }
+
+    // -- virtual tables ------------------------------------------------------
+
+    /// Install (or replace) the virtual-table provider.
+    pub fn set_virtual_tables(&mut self, provider: Arc<dyn VirtualTableProvider>) {
+        self.virtual_tables = Some(provider);
+    }
+
+    /// Materialize a virtual table by name, if a provider serves it.
+    pub fn virtual_table(&self, name: &str) -> Option<Table> {
+        self.virtual_tables.as_ref().and_then(|p| p.table(name))
+    }
+
+    /// Names served by the installed virtual-table provider, sorted.
+    pub fn virtual_table_names(&self) -> Vec<String> {
+        let mut v = self.virtual_tables.as_ref().map(|p| p.names()).unwrap_or_default();
+        v.sort_unstable();
+        v
     }
 }
 

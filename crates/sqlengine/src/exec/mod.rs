@@ -4,14 +4,15 @@ pub mod eval;
 pub mod funcs;
 pub mod select;
 
-use crate::ast::{Query, SetExpr, Statement};
+use crate::ast::{ExplainMode, Query, SetExpr, Statement};
 use crate::catalog::{Ctes, Database};
 use crate::diag::{diagnostics_table, Diagnostic, Severity};
 use crate::error::{Error, Result};
 use crate::exec::eval::{Binder, Env, EvalCtx, Scope};
 use crate::parser;
 use crate::table::{coerce, Column, Schema, Table};
-use crate::types::Value;
+use crate::types::{DataType, Value};
+use obs::{QueryTrace, Trace};
 
 pub use eval::{BoundExpr, ScopeCol};
 pub use select::run_query;
@@ -35,24 +36,33 @@ pub enum Outcome {
 pub struct ExecResult {
     pub outcome: Outcome,
     pub warnings: Vec<Diagnostic>,
+    /// Stage tree with timings and solver telemetry, recorded for solve
+    /// statements (and `EXPLAIN ANALYZE`). `None` for plain SQL.
+    pub trace: Option<QueryTrace>,
 }
 
 impl ExecResult {
     pub fn table(t: Table) -> ExecResult {
-        ExecResult { outcome: Outcome::Table(t), warnings: Vec::new() }
+        ExecResult { outcome: Outcome::Table(t), warnings: Vec::new(), trace: None }
     }
 
     pub fn count(n: usize) -> ExecResult {
-        ExecResult { outcome: Outcome::Count(n), warnings: Vec::new() }
+        ExecResult { outcome: Outcome::Count(n), warnings: Vec::new(), trace: None }
     }
 
     pub fn done() -> ExecResult {
-        ExecResult { outcome: Outcome::Done, warnings: Vec::new() }
+        ExecResult { outcome: Outcome::Done, warnings: Vec::new(), trace: None }
     }
 
     /// Attach analyzer warnings to this result.
     pub fn with_warnings(mut self, warnings: Vec<Diagnostic>) -> ExecResult {
         self.warnings = warnings;
+        self
+    }
+
+    /// Attach an execution trace to this result.
+    pub fn with_trace(mut self, trace: QueryTrace) -> ExecResult {
+        self.trace = Some(trace);
         self
     }
 
@@ -74,8 +84,8 @@ impl ExecResult {
 
 /// Parse and execute a single SQL statement.
 pub fn execute_sql(db: &mut Database, sql: &str) -> Result<ExecResult> {
-    let stmt = parser::parse_statement(sql)?;
-    execute_statement(db, &stmt)
+    let (stmt, parse_time) = obs::timed(|| parser::parse_statement(sql));
+    execute_statement_timed(db, &stmt?, Some(parse_time.as_nanos() as u64))
 }
 
 /// Parse and execute a `;`-separated script, returning the last result.
@@ -90,27 +100,64 @@ pub fn execute_script(db: &mut Database, sql: &str) -> Result<ExecResult> {
 
 /// Execute a parsed statement.
 pub fn execute_statement(db: &mut Database, stmt: &Statement) -> Result<ExecResult> {
+    execute_statement_timed(db, stmt, None)
+}
+
+/// Execute a parsed statement, seeding the execution trace (when one is
+/// recorded) with an already-measured parse time. Callers that parse
+/// the SQL themselves use this so the `parse` stage isn't lost.
+pub fn execute_statement_timed(
+    db: &mut Database,
+    stmt: &Statement,
+    parse_nanos: Option<u64>,
+) -> Result<ExecResult> {
     let ctes = Ctes::new();
     match stmt {
         Statement::Query(q) => Ok(ExecResult::table(run_query(db, &ctes, q, None)?)),
         Statement::Solve(s) => {
             let handler = db.solve_handler()?;
+            let trace = Trace::new();
+            trace.set_label("SOLVESELECT");
+            if let Some(n) = parse_nanos {
+                trace.record("parse", n);
+            }
             let mut warnings = Vec::new();
-            let t = handler.solve_select(db, s, &ctes, &mut warnings)?;
+            let t = handler.solve_select(db, s, &ctes, &mut warnings, Some(&trace))?;
             // The warnings channel carries advisory findings only; a
             // handler that pushed an Error-level diagnostic and still
             // returned Ok gets it downgraded to the advisory channel.
             warnings.retain(|d| d.severity <= Severity::Warning);
-            Ok(ExecResult::table(t).with_warnings(warnings))
+            Ok(ExecResult::table(t).with_warnings(warnings).with_trace(trace.finish()))
         }
-        Statement::Explain { check, stmt } => {
+        Statement::Explain { mode, stmt } => {
             let handler = db.solve_handler()?;
-            let t = if *check {
-                diagnostics_table(&handler.check_solve(db, stmt, &ctes)?)
-            } else {
-                handler.explain_solve(db, stmt, &ctes)?
-            };
-            Ok(ExecResult::table(t))
+            match mode {
+                ExplainMode::Check => {
+                    Ok(ExecResult::table(diagnostics_table(&handler.check_solve(db, stmt, &ctes)?)))
+                }
+                ExplainMode::Plan => Ok(ExecResult::table(handler.explain_solve(db, stmt, &ctes)?)),
+                ExplainMode::Analyze => {
+                    // Actually execute the solve, recording the stage
+                    // tree, and return the rendered tree as the result.
+                    let trace = Trace::new();
+                    trace.set_label("SOLVESELECT");
+                    if let Some(n) = parse_nanos {
+                        trace.record("parse", n);
+                    }
+                    let mut warnings = Vec::new();
+                    let solved = handler.solve_select(db, stmt, &ctes, &mut warnings, Some(&trace));
+                    warnings.retain(|d| d.severity <= Severity::Warning);
+                    let rows_out = solved?.num_rows();
+                    let qt = trace.finish();
+                    let schema = Schema::new(vec![Column::new("plan", DataType::Text)]);
+                    let mut lines = qt.render();
+                    lines.push(format!("rows out: {rows_out}"));
+                    let rows = lines.into_iter().map(|l| vec![Value::text(&l)]).collect();
+                    Ok(ExecResult::table(Table::with_rows(schema, rows))
+                        .with_warnings(warnings)
+                        .with_trace(qt))
+                }
+            }
         }
         Statement::ModelEval { select, model } => {
             let handler = db.solve_handler()?;

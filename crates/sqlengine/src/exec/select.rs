@@ -316,7 +316,7 @@ fn run_set_expr(
             let handler = db.solve_handler()?;
             // Subquery position has no warnings channel; advisory
             // findings from nested solves are dropped here.
-            handler.solve_select(db, stmt, ctes, &mut Vec::new())
+            handler.solve_select(db, stmt, ctes, &mut Vec::new(), None)
         }
         SetExpr::Query(q) => run_query(db, ctes, q, outer),
         SetExpr::Values(rows) => run_values(db, ctes, rows, outer),
@@ -471,10 +471,25 @@ fn scan_named(
         apply_alias_columns(&mut scope, alias)?;
         return Ok(Rel { scope, rows: t.rows });
     }
-    let t = db.table(name)?;
-    let mut scope = Scope::from_schema(Some(qualifier), &t.schema);
-    apply_alias_columns(&mut scope, alias)?;
-    Ok(Rel { scope, rows: t.rows.clone() })
+    match db.table(name) {
+        Ok(t) => {
+            let mut scope = Scope::from_schema(Some(qualifier), &t.schema);
+            apply_alias_columns(&mut scope, alias)?;
+            Ok(Rel { scope, rows: t.rows.clone() })
+        }
+        Err(e) => {
+            // Catalog miss: fall back to virtual tables (sdb_* views),
+            // which real relations of the same name shadow.
+            match db.virtual_table(name) {
+                Some(t) => {
+                    let mut scope = Scope::from_schema(Some(qualifier), &t.schema);
+                    apply_alias_columns(&mut scope, alias)?;
+                    Ok(Rel { scope, rows: t.rows })
+                }
+                None => Err(e),
+            }
+        }
+    }
 }
 
 fn apply_alias_columns(scope: &mut Scope, alias: Option<&TableAlias>) -> Result<()> {

@@ -19,13 +19,18 @@ pub mod error;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
+pub mod shape;
 pub mod table;
 pub mod types;
 pub mod wire;
 
-pub use catalog::{Ctes, Database, ScalarUdf, SolveHandler};
+pub use catalog::{Ctes, Database, ScalarUdf, SolveHandler, VirtualTableProvider};
 pub use diag::{Diagnostic, Severity};
 pub use error::{Error, Result};
-pub use exec::{execute_script, execute_sql, execute_statement, run_query, ExecResult, Outcome};
+pub use exec::{
+    execute_script, execute_sql, execute_statement, execute_statement_timed, run_query, ExecResult,
+    Outcome,
+};
+pub use shape::statement_shape;
 pub use table::{Column, Row, Schema, Table};
 pub use types::{DataType, Value};

@@ -300,15 +300,25 @@ impl Parser {
             return Ok(Statement::Solve(self.parse_solve()?));
         }
         if self.eat_kw("explain") {
-            let check = self.eat_kw("check");
+            let mode = if self.eat_kw("check") {
+                ExplainMode::Check
+            } else if self.eat_kw("analyze") {
+                ExplainMode::Analyze
+            } else {
+                ExplainMode::Plan
+            };
             if !(self.peek_kw("solveselect") || self.peek_kw("solvemodel")) {
                 return Err(Error::parse(format!(
                     "EXPLAIN {}expects a SOLVESELECT or SOLVEMODEL statement, found '{}'",
-                    if check { "CHECK " } else { "" },
+                    match mode {
+                        ExplainMode::Plan => "",
+                        ExplainMode::Check => "CHECK ",
+                        ExplainMode::Analyze => "ANALYZE ",
+                    },
                     self.peek()
                 )));
             }
-            return Ok(Statement::Explain { check, stmt: Box::new(self.parse_solve()?) });
+            return Ok(Statement::Explain { mode, stmt: Box::new(self.parse_solve()?) });
         }
         if self.eat_kw("modeleval") {
             self.expect(&Token::LParen)?;
@@ -1428,20 +1438,39 @@ mod tests {
         let sql = "SOLVESELECT q(x) AS (SELECT * FROM v) \
                    MAXIMIZE (SELECT x FROM q) USING solverlp()";
         let plain = parse_statement(&format!("EXPLAIN {sql}")).unwrap();
-        let Statement::Explain { check: false, ref stmt } = plain else {
+        let Statement::Explain { mode: ExplainMode::Plan, ref stmt } = plain else {
             panic!("expected EXPLAIN, got {plain:?}")
         };
         assert!(stmt.using.is_some());
         let checked = parse_statement(&format!("EXPLAIN CHECK {sql}")).unwrap();
-        assert!(matches!(checked, Statement::Explain { check: true, .. }));
+        assert!(matches!(checked, Statement::Explain { mode: ExplainMode::Check, .. }));
         // Display round-trips through the parser.
         let again = parse_statement(&checked.to_string()).unwrap();
-        assert!(matches!(again, Statement::Explain { check: true, .. }));
+        assert!(matches!(again, Statement::Explain { mode: ExplainMode::Check, .. }));
         // EXPLAIN only applies to solve statements.
         let err = parse_statement("EXPLAIN SELECT 1").unwrap_err().to_string();
         assert!(err.contains("SOLVESELECT"), "error: {err}");
         let err = parse_statement("EXPLAIN CHECK SELECT 1").unwrap_err().to_string();
         assert!(err.contains("CHECK"), "error: {err}");
+    }
+
+    #[test]
+    fn explain_analyze_parses_and_roundtrips() {
+        let sql = "SOLVESELECT q(x) AS (SELECT * FROM v) \
+                   MAXIMIZE (SELECT x FROM q) USING solverlp()";
+        let parsed = parse_statement(&format!("EXPLAIN ANALYZE {sql}")).unwrap();
+        let Statement::Explain { mode: ExplainMode::Analyze, ref stmt } = parsed else {
+            panic!("expected EXPLAIN ANALYZE, got {parsed:?}")
+        };
+        assert!(stmt.using.is_some());
+        // Display round-trips through the parser.
+        let shown = parsed.to_string();
+        assert!(shown.starts_with("EXPLAIN ANALYZE SOLVESELECT"), "display: {shown}");
+        let again = parse_statement(&shown).unwrap();
+        assert_eq!(again, parsed);
+        // ANALYZE applies only to solve statements, like the other modes.
+        let err = parse_statement("EXPLAIN ANALYZE SELECT 1").unwrap_err().to_string();
+        assert!(err.contains("ANALYZE"), "error: {err}");
     }
 
     #[test]

@@ -378,6 +378,166 @@ pub fn decode_diagnostics(r: &mut Reader<'_>) -> Result<Vec<Diagnostic>> {
     Ok(diags)
 }
 
+// ---------------------------------------------------------------------------
+// Query traces (the STATS frame payload, protocol v3)
+// ---------------------------------------------------------------------------
+
+/// Defensive limits on a decoded trace.
+const MAX_STAGES: u32 = 4096;
+const MAX_STAGE_DEPTH: u32 = 64;
+const MAX_SOLVERS: u16 = 256;
+const MAX_META: u16 = 256;
+const MAX_INCUMBENTS: u32 = 4096;
+
+/// Encode a [`obs::QueryTrace`] (the STATS frame payload):
+///
+/// ```text
+/// trace   := label:str total:u64 nstages:u16 stage* nsolvers:u16 solver*
+/// stage   := name:str nanos:u64 has_rows:u8 [rows:u64]
+///            nmeta:u16 (key:str value:str)* nchildren:u16 stage*
+/// solver  := solver:str method:str iterations:u64 nodes_explored:u64
+///            nodes_pruned:u64 evaluations:u64 restarts:u64
+///            has_objective:u8 [objective:f64]
+///            nincumbents:u32 (at:u64 objective:f64)*
+/// str     := len:u32 utf8[len]
+/// ```
+pub fn encode_trace(t: &obs::QueryTrace, out: &mut Vec<u8>) {
+    put_str(out, &t.label);
+    out.extend_from_slice(&t.total_nanos.to_le_bytes());
+    out.extend_from_slice(&(t.stages.len().min(u16::MAX as usize) as u16).to_le_bytes());
+    for s in t.stages.iter().take(u16::MAX as usize) {
+        encode_stage(s, out);
+    }
+    let n = t.solvers.len().min(MAX_SOLVERS as usize);
+    out.extend_from_slice(&(n as u16).to_le_bytes());
+    for st in &t.solvers[..n] {
+        put_str(out, &st.solver);
+        put_str(out, &st.method);
+        for v in [st.iterations, st.nodes_explored, st.nodes_pruned, st.evaluations, st.restarts] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        match st.objective {
+            Some(obj) => {
+                out.push(1);
+                out.extend_from_slice(&obj.to_bits().to_le_bytes());
+            }
+            None => out.push(0),
+        }
+        let ni = st.incumbents.len().min(MAX_INCUMBENTS as usize);
+        out.extend_from_slice(&(ni as u32).to_le_bytes());
+        for &(at, obj) in &st.incumbents[..ni] {
+            out.extend_from_slice(&at.to_le_bytes());
+            out.extend_from_slice(&obj.to_bits().to_le_bytes());
+        }
+    }
+}
+
+fn encode_stage(s: &obs::Stage, out: &mut Vec<u8>) {
+    put_str(out, &s.name);
+    out.extend_from_slice(&s.nanos.to_le_bytes());
+    match s.rows {
+        Some(rows) => {
+            out.push(1);
+            out.extend_from_slice(&rows.to_le_bytes());
+        }
+        None => out.push(0),
+    }
+    let nm = s.meta.len().min(MAX_META as usize);
+    out.extend_from_slice(&(nm as u16).to_le_bytes());
+    for (k, v) in &s.meta[..nm] {
+        put_str(out, k);
+        put_str(out, v);
+    }
+    out.extend_from_slice(&(s.children.len().min(u16::MAX as usize) as u16).to_le_bytes());
+    for c in s.children.iter().take(u16::MAX as usize) {
+        encode_stage(c, out);
+    }
+}
+
+/// Decode a query trace from a reader positioned at its start.
+pub fn decode_trace(r: &mut Reader<'_>) -> Result<obs::QueryTrace> {
+    let label = r.string()?;
+    let total_nanos = r.u64()?;
+    let nstages = r.u16()?;
+    let mut budget = MAX_STAGES;
+    let mut stages = Vec::with_capacity(nstages.min(64) as usize);
+    for _ in 0..nstages {
+        stages.push(decode_stage(r, 0, &mut budget)?);
+    }
+    let nsolvers = r.u16()?;
+    if nsolvers > MAX_SOLVERS {
+        return Err(err(format!("solver count {nsolvers} exceeds limit {MAX_SOLVERS}")));
+    }
+    let mut solvers = Vec::with_capacity(nsolvers as usize);
+    for _ in 0..nsolvers {
+        let solver = r.string()?;
+        let method = r.string()?;
+        let iterations = r.u64()?;
+        let nodes_explored = r.u64()?;
+        let nodes_pruned = r.u64()?;
+        let evaluations = r.u64()?;
+        let restarts = r.u64()?;
+        let objective = match r.u8()? {
+            0 => None,
+            _ => Some(r.f64()?),
+        };
+        let ni = r.u32()?;
+        if ni > MAX_INCUMBENTS {
+            return Err(err(format!("incumbent count {ni} exceeds limit {MAX_INCUMBENTS}")));
+        }
+        let mut incumbents = Vec::with_capacity(ni.min(64) as usize);
+        for _ in 0..ni {
+            let at = r.u64()?;
+            let obj = r.f64()?;
+            incumbents.push((at, obj));
+        }
+        solvers.push(obs::SolverStats {
+            solver,
+            method,
+            iterations,
+            nodes_explored,
+            nodes_pruned,
+            evaluations,
+            restarts,
+            objective,
+            incumbents,
+        });
+    }
+    Ok(obs::QueryTrace { label, total_nanos, stages, solvers })
+}
+
+fn decode_stage(r: &mut Reader<'_>, depth: u32, budget: &mut u32) -> Result<obs::Stage> {
+    if depth >= MAX_STAGE_DEPTH {
+        return Err(err(format!("stage tree deeper than limit {MAX_STAGE_DEPTH}")));
+    }
+    if *budget == 0 {
+        return Err(err(format!("stage count exceeds limit {MAX_STAGES}")));
+    }
+    *budget -= 1;
+    let name = r.string()?;
+    let nanos = r.u64()?;
+    let rows = match r.u8()? {
+        0 => None,
+        _ => Some(r.u64()?),
+    };
+    let nmeta = r.u16()?;
+    if nmeta > MAX_META {
+        return Err(err(format!("stage meta count {nmeta} exceeds limit {MAX_META}")));
+    }
+    let mut meta = Vec::with_capacity(nmeta.min(16) as usize);
+    for _ in 0..nmeta {
+        let k = r.string()?;
+        let v = r.string()?;
+        meta.push((k, v));
+    }
+    let nchildren = r.u16()?;
+    let mut children = Vec::with_capacity(nchildren.min(16) as usize);
+    for _ in 0..nchildren {
+        children.push(decode_stage(r, depth + 1, budget)?);
+    }
+    Ok(obs::Stage { name, nanos, rows, meta, children })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -520,6 +680,91 @@ mod tests {
         let enc = encode_table(&t);
         assert!(enc.len() > 4096, "expected a multi-KB payload, got {}", enc.len());
         assert_eq!(decode_table(&enc).unwrap(), t);
+    }
+
+    fn sample_trace() -> obs::QueryTrace {
+        obs::QueryTrace {
+            label: "SOLVESELECT".into(),
+            total_nanos: 5_000_000,
+            stages: vec![
+                obs::Stage::leaf("parse", 100_000),
+                obs::Stage {
+                    name: "solve".into(),
+                    nanos: 4_000_000,
+                    rows: Some(2),
+                    meta: vec![("solver".into(), "solverlp".into())],
+                    children: vec![obs::Stage::leaf("compile", 1_000_000)],
+                },
+            ],
+            solvers: vec![obs::SolverStats {
+                solver: "solverlp".into(),
+                method: "mip".into(),
+                iterations: 40,
+                nodes_explored: 7,
+                nodes_pruned: 3,
+                evaluations: 0,
+                restarts: 0,
+                objective: Some(6.5),
+                incumbents: vec![(1, 4.0), (5, 6.5)],
+            }],
+        }
+    }
+
+    #[test]
+    fn trace_roundtrips() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        encode_trace(&t, &mut buf);
+        let mut r = Reader::new(&buf);
+        let got = decode_trace(&mut r).unwrap();
+        assert!(r.is_empty(), "decoder left {} byte(s)", r.remaining());
+        assert_eq!(got, t);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = obs::QueryTrace::default();
+        let mut buf = Vec::new();
+        encode_trace(&t, &mut buf);
+        assert_eq!(decode_trace(&mut Reader::new(&buf)).unwrap(), t);
+    }
+
+    #[test]
+    fn truncated_trace_is_rejected_at_every_prefix() {
+        let mut buf = Vec::new();
+        encode_trace(&sample_trace(), &mut buf);
+        for cut in 0..buf.len() {
+            let mut r = Reader::new(&buf[..cut]);
+            assert!(
+                decode_trace(&mut r).is_err() || !r.is_empty(),
+                "prefix of {cut} bytes decoded cleanly"
+            );
+        }
+    }
+
+    #[test]
+    fn pathological_stage_depth_is_rejected() {
+        // A stage nested beyond MAX_STAGE_DEPTH must error, not recurse
+        // unboundedly.
+        let mut deep = obs::Stage::leaf("s", 1);
+        for _ in 0..80 {
+            deep = obs::Stage {
+                name: "s".into(),
+                nanos: 1,
+                rows: None,
+                meta: vec![],
+                children: vec![deep],
+            };
+        }
+        let t = obs::QueryTrace {
+            label: String::new(),
+            total_nanos: 1,
+            stages: vec![deep],
+            solvers: vec![],
+        };
+        let mut buf = Vec::new();
+        encode_trace(&t, &mut buf);
+        assert!(decode_trace(&mut Reader::new(&buf)).is_err());
     }
 
     #[test]

@@ -10,8 +10,15 @@
 //!
 //! Statements end with `;` and may span lines. Meta commands:
 //! `\d` (list tables), `\solvers`, `\explain SOLVESELECT ...;`,
-//! `\demo` (load the paper's Table 1), `\q`. Meta commands other than
-//! `\q` inspect in-process state and are local-only.
+//! `\demo` (load the paper's Table 1), `\timing` (toggle stage
+//! breakdowns), `\q`. Meta commands other than `\q`, `\ping` and
+//! `\timing` inspect in-process state and are local-only.
+//!
+//! With `--timing` (or after `\timing on`), every statement that
+//! carries an execution trace — SOLVESELECT and EXPLAIN ANALYZE — is
+//! followed by its rendered stage tree and solver telemetry. This works
+//! identically against a local session and over `--connect`, where the
+//! trace arrives in a protocol v3 STATS frame.
 
 use solvedbplus::server::{Client, ClientError};
 use solvedbplus::sqlengine::parser::split_statements;
@@ -24,6 +31,8 @@ usage: solvedb [OPTIONS] [SCRIPT.sql]
 options:
   -e, --exec SQL       execute the given statements and exit
   -c, --connect ADDR   connect to a solvedbd server at ADDR (host:port)
+  -t, --timing         print each statement's stage breakdown and solver
+                       telemetry (toggle interactively with \\timing)
       --version        print version and exit
   -h, --help           show this message
 
@@ -33,10 +42,11 @@ struct Options {
     connect: Option<String>,
     exec: Option<String>,
     script: Option<String>,
+    timing: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
-    let mut opts = Options { connect: None, exec: None, script: None };
+    let mut opts = Options { connect: None, exec: None, script: None, timing: false };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut take_value =
@@ -44,6 +54,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         match arg.as_str() {
             "-e" | "--exec" => opts.exec = Some(take_value(arg)?),
             "-c" | "--connect" => opts.connect = Some(take_value(arg)?),
+            "-t" | "--timing" => opts.timing = true,
             "--version" => {
                 println!("solvedb {}", env!("CARGO_PKG_VERSION"));
                 std::process::exit(0);
@@ -77,17 +88,21 @@ enum Backend {
 
 impl Backend {
     /// Run a batch statement by statement, printing every statement's
-    /// result as it completes. Returns `false` if a statement failed
-    /// (execution stops there, matching server batch semantics).
-    fn run_batch(&mut self, sql: &str, timings: bool) -> bool {
+    /// result as it completes. `elapsed` prints per-statement wall-clock
+    /// lines; `timing` additionally prints each statement's execution
+    /// trace (stage tree + solver telemetry) when one is available.
+    /// Returns `false` if a statement failed (execution stops there,
+    /// matching server batch semantics).
+    fn run_batch(&mut self, sql: &str, elapsed: bool, timing: bool) -> bool {
         match self {
             Backend::Local(session) => {
                 for piece in split_statements(sql) {
                     let start = std::time::Instant::now();
-                    let outcome = solvedbplus::sqlengine::parser::parse_statement(&piece)
-                        .and_then(|stmt| session.execute_statement(&stmt));
+                    // `Session::execute` parses the piece itself so the
+                    // measured parse time lands in the trace.
+                    let outcome = session.execute(&piece);
                     match outcome {
-                        Ok(r) => print_result(&r, timings.then(|| start.elapsed())),
+                        Ok(r) => print_result(&r, elapsed.then(|| start.elapsed()), timing),
                         Err(e) => {
                             report_error(&e.to_string());
                             return false;
@@ -103,7 +118,7 @@ impl Backend {
                         let mut ok = true;
                         for r in results {
                             match r {
-                                Ok(r) => print_result(&r, timings.then(|| start.elapsed())),
+                                Ok(r) => print_result(&r, elapsed.then(|| start.elapsed()), timing),
                                 Err(e) => {
                                     report_error(&e.to_string());
                                     ok = false;
@@ -122,7 +137,7 @@ impl Backend {
     }
 }
 
-fn print_result(r: &ExecResult, elapsed: Option<std::time::Duration>) {
+fn print_result(r: &ExecResult, elapsed: Option<std::time::Duration>, timing: bool) {
     // Pre-solve analyzer findings come first, rustc-style, on stderr —
     // they annotate the statement, not its result set.
     for diag in &r.warnings {
@@ -140,6 +155,13 @@ fn print_result(r: &ExecResult, elapsed: Option<std::time::Duration>) {
         }
         Outcome::Count(n) => println!("{n} row(s) affected"),
         Outcome::Done => println!("ok"),
+    }
+    if timing {
+        if let Some(trace) = &r.trace {
+            for line in trace.render() {
+                println!("{line}");
+            }
+        }
     }
 }
 
@@ -190,7 +212,7 @@ fn main() {
         (None, None) => None,
     };
     if let Some(sql) = batch {
-        let ok = backend.run_batch(&sql, false);
+        let ok = backend.run_batch(&sql, opts.timing, opts.timing);
         std::process::exit(if ok { 0 } else { 1 });
     }
 
@@ -207,6 +229,7 @@ fn main() {
     }
     let stdin = std::io::stdin();
     let mut buffer = String::new();
+    let mut timing = opts.timing;
     loop {
         print!("{}", if buffer.is_empty() { "solvedb> " } else { "     ... " });
         std::io::stdout().flush().ok();
@@ -216,7 +239,7 @@ fn main() {
         }
         let trimmed = line.trim();
         if buffer.is_empty() && trimmed.starts_with('\\') {
-            match run_meta(&mut backend, trimmed) {
+            match run_meta(&mut backend, trimmed, &mut timing) {
                 MetaOutcome::Quit => break,
                 MetaOutcome::Handled => continue,
             }
@@ -226,7 +249,7 @@ fn main() {
             continue;
         }
         let sql = std::mem::take(&mut buffer);
-        backend.run_batch(&sql, true);
+        backend.run_batch(&sql, true, timing);
     }
     if let Backend::Remote(client) = backend {
         let _ = client.close();
@@ -238,9 +261,24 @@ enum MetaOutcome {
     Handled,
 }
 
-fn run_meta(backend: &mut Backend, cmd: &str) -> MetaOutcome {
+fn run_meta(backend: &mut Backend, cmd: &str, timing: &mut bool) -> MetaOutcome {
     if matches!(cmd, "\\q" | "\\quit") {
         return MetaOutcome::Quit;
+    }
+    // `\timing` works against both backends: traces travel over the
+    // wire in STATS frames, so rendering is purely client-side.
+    if let Some(rest) = cmd.strip_prefix("\\timing") {
+        match rest.trim() {
+            "" => *timing = !*timing,
+            "on" => *timing = true,
+            "off" => *timing = false,
+            other => {
+                println!("usage: \\timing [on|off] (got {other:?})");
+                return MetaOutcome::Handled;
+            }
+        }
+        println!("timing is {}", if *timing { "on" } else { "off" });
+        return MetaOutcome::Handled;
     }
     let session = match backend {
         Backend::Local(s) => s,
@@ -251,7 +289,7 @@ fn run_meta(backend: &mut Backend, cmd: &str) -> MetaOutcome {
                     Err(e) => println!("error: {e}"),
                 }
             } else {
-                println!("meta commands are local-only (except \\ping and \\q): {cmd}");
+                println!("meta commands are local-only (except \\ping, \\timing and \\q): {cmd}");
             }
             return MetaOutcome::Handled;
         }
@@ -292,7 +330,9 @@ fn run_meta(backend: &mut Backend, cmd: &str) -> MetaOutcome {
             }
         }
         other => {
-            println!("unknown meta command: {other} (try \\d, \\solvers, \\demo, \\explain, \\q)")
+            println!(
+                "unknown meta command: {other} (try \\d, \\solvers, \\demo, \\explain, \\timing, \\q)"
+            )
         }
     }
     MetaOutcome::Handled

@@ -5,6 +5,7 @@
 //! solvedbd --listen 0.0.0.0:7000   # explicit bind address
 //! solvedbd --port 7000             # shorthand for 127.0.0.1:7000
 //! solvedbd --workers 16            # worker pool size
+//! solvedbd --slow-query-ms 500     # log statements slower than 500 ms
 //! ```
 //!
 //! Each connection gets its own session (private table namespace) over
@@ -25,6 +26,8 @@ options:
   -l, --listen ADDR    bind address (default 127.0.0.1:5433)
   -p, --port PORT      shorthand for --listen 127.0.0.1:PORT
   -w, --workers N      worker threads / max concurrent connections (default 8)
+      --slow-query-ms N log statements slower than N ms to stderr, with
+                       their stage breakdown (default: disabled)
       --version        print version and exit
   -h, --help           show this message";
 
@@ -55,6 +58,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = DEFAULT_ADDR.to_string();
     let mut workers = ServerConfig::default().workers;
+    let mut slow_query_ms = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -86,6 +90,16 @@ fn main() {
                     }
                 }
             }
+            "--slow-query-ms" => {
+                let n = take_value(arg);
+                match n.parse::<u64>() {
+                    Ok(ms) => slow_query_ms = Some(ms),
+                    Err(_) => {
+                        eprintln!("solvedbd: invalid slow-query threshold: {n}\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--version" => {
                 println!("solvedbd {}", env!("CARGO_PKG_VERSION"));
                 return;
@@ -101,7 +115,8 @@ fn main() {
         }
     }
 
-    let server = match Server::bind_with(&addr, ServerConfig { workers, ..Default::default() }) {
+    let config = ServerConfig { workers, slow_query_ms, ..Default::default() };
+    let server = match Server::bind_with(&addr, config) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("solvedbd: cannot bind {addr}: {e}");
