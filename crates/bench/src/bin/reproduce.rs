@@ -1,23 +1,34 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! reproduce [--quick] [all|table1|fig3a|fig3b|fig4a|fig4b|fig5|fig6|fig7|fig8|fig9|fig10|fig11|summary]...
+//! reproduce [--quick] [--json[=DIR]]
+//!           [all|table1|fig3a|fig3b|fig4a|fig4b|fig5|fig6|fig7|fig8|fig9|fig10|fig11|presolve|summary]...
 //! ```
 //!
 //! With no selector, everything runs. `--quick` shrinks workloads to
-//! CI-friendly sizes.
+//! CI-friendly sizes. `--json` additionally writes each artifact as a
+//! machine-readable `BENCH_<ID>.json` file (into DIR when given, the
+//! current directory otherwise).
 
 use bench::figures::{self, Config, Figure};
+use std::path::PathBuf;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let json_dir: Option<PathBuf> = args.iter().find_map(|a| {
+        if a == "--json" {
+            Some(PathBuf::from("."))
+        } else {
+            a.strip_prefix("--json=").map(PathBuf::from)
+        }
+    });
     let cfg = if quick { Config::quick() } else { Config::full() };
     let mut wanted: Vec<String> = args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = vec![
             "table1", "fig3a", "fig3b", "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8", "fig9",
-            "fig10", "fig11", "summary",
+            "fig10", "fig11", "presolve", "summary",
         ]
         .into_iter()
         .map(String::from)
@@ -45,6 +56,7 @@ fn main() {
             "fig9" => figures::fig9(cfg),
             "fig10" => figures::fig10(cfg),
             "fig11" => figures::fig11(cfg),
+            "presolve" => figures::presolve(cfg),
             "summary" => figures::summary(cfg),
             other => {
                 eprintln!("unknown artifact '{other}' — skipping");
@@ -52,5 +64,13 @@ fn main() {
             }
         };
         println!("{}", fig.render());
+        if let Some(dir) = &json_dir {
+            let path = dir.join(fig.json_filename());
+            match std::fs::write(&path, fig.to_json()) {
+                Ok(()) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+            }
+            println!();
+        }
     }
 }

@@ -60,6 +60,49 @@ impl Figure {
         }
         out
     }
+
+    /// Serialize as a `BENCH_*.json` artifact. The tree is strings all
+    /// the way down, so a hand-rolled emitter suffices.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let arr = |items: &[String]| -> String {
+            let cells: Vec<String> = items.iter().map(|s| format!("\"{}\"", esc(s))).collect();
+            format!("[{}]", cells.join(", "))
+        };
+        let rows: Vec<String> = self.rows.iter().map(|r| format!("    {}", arr(r))).collect();
+        format!(
+            "{{\n  \"id\": \"{}\",\n  \"title\": \"{}\",\n  \"headers\": {},\n  \"rows\": [\n{}\n  ],\n  \"notes\": {}\n}}\n",
+            esc(&self.id),
+            esc(&self.title),
+            arr(&self.headers),
+            rows.join(",\n"),
+            arr(&self.notes)
+        )
+    }
+
+    /// The artifact filename for this figure: `Fig 9` → `BENCH_FIG_9.json`.
+    pub fn json_filename(&self) -> String {
+        let slug: String = self
+            .id
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_uppercase() } else { '_' })
+            .collect();
+        format!("BENCH_{slug}.json")
+    }
 }
 
 /// Experiment sizing.
@@ -796,6 +839,113 @@ pub fn fig11(cfg: Config) -> Figure {
 }
 
 // ---------------------------------------------------------------------------
+// Presolve payoff — interval propagation on vs off
+// ---------------------------------------------------------------------------
+
+/// Turn presolve off in a `USING solverlp.cbc()` clause.
+fn presolve_off(sql: &str) -> String {
+    sql.replace("solverlp.cbc()", "solverlp.cbc(presolve := off)")
+}
+
+/// Execute one solve and pull its solver stats out of the trace.
+fn traced_solve(s: &mut Session, sql: &str) -> (Duration, obs::SolverStats) {
+    let (r, t) = timed(|| s.execute(sql));
+    let r = r.expect("traced solve");
+    let st = r.trace.and_then(|tr| tr.solvers.first().cloned()).expect("solver stats in trace");
+    (t, st)
+}
+
+/// Presolve on/off comparison across the UC1 LP, the UC2 knapsack MIP
+/// and a bound-snapping MIP microbench: solve time, branch-and-bound
+/// nodes, the reduction counters, and the (identical) objectives.
+pub fn presolve(cfg: Config) -> Figure {
+    let mut rows = Vec::new();
+    let mut push = |workload: &str, runs: [(&str, (Duration, obs::SolverStats)); 2]| {
+        for (mode, (t, st)) in runs {
+            rows.push(vec![
+                workload.to_string(),
+                mode.to_string(),
+                secs(t),
+                st.nodes_explored.to_string(),
+                st.presolve_cols.to_string(),
+                st.presolve_bounds.to_string(),
+                st.presolve_rows.to_string(),
+                st.objective.map(|o| format!("{o:.2}")).unwrap_or_else(|| "-".into()),
+            ]);
+        }
+    };
+
+    // UC1 P4: the HVAC planning LP, run on the session prepared through
+    // P3 (the solve does not mutate its inputs, so one session serves
+    // both runs).
+    {
+        let (mut s, _) = uc1_session(cfg.uc1_history(), cfg.uc1_horizon(), 41);
+        s.execute_script(uc1::S_3SS_P1).expect("UC1 P1");
+        s.execute_script(uc1::S_3SS_P2).expect("UC1 P2");
+        s.execute_script(&uc1::S_3SS_P3.replace("iterations := 400", "iterations := 40"))
+            .expect("UC1 P3");
+        let p4 = uc1::S_3SS_P4;
+        let start = p4.find("SOLVESELECT").expect("UC1 P4 solve statement");
+        let sql = p4[start..].trim().trim_end_matches(';').to_string();
+        let on = traced_solve(&mut s, &sql);
+        let off = traced_solve(&mut s, &presolve_off(&sql));
+        push("UC1 HVAC plan (LP)", [("on", on), ("off", off)]);
+    }
+
+    // UC2 P4: the warehouse knapsack MIP over forecast-weighted profits.
+    {
+        let n = if cfg.quick { 8 } else { 25 };
+        let months = if cfg.quick { 30 } else { 80 };
+        let (mut s, items) = uc2_session(n, months, 7);
+        let ids: Vec<i64> = items.iter().map(|i| i.item_id).collect();
+        crate::uc2::prepare_uc2_profit(&mut s, &ids).expect("UC2 P2+P3");
+        let sql = crate::uc2::p4_solve_sql();
+        let on = traced_solve(&mut s, &sql);
+        let off = traced_solve(&mut s, &presolve_off(&sql));
+        push(&format!("UC2 knapsack MIP ({n} items)"), [("on", on), ("off", off)]);
+    }
+
+    // Bound-snapping MIP: maximize sum(x) with a per-row 2x <= 7 over
+    // integer decisions. Presolve snaps every upper bound to x <= 3, the
+    // root relaxation becomes integral, and branch-and-bound never
+    // branches; without it every variable sits fractional at 3.5.
+    {
+        let n = if cfg.quick { 12 } else { 40 };
+        let mut s = Session::new();
+        s.execute_script("CREATE TABLE mb (rid int, x int)").expect("mb table");
+        for i in 0..n {
+            s.execute_script(&format!("INSERT INTO mb VALUES ({i}, NULL)")).expect("mb row");
+        }
+        let sql = "SOLVESELECT q(x) AS (SELECT rid, x FROM mb) \
+                   MAXIMIZE (SELECT sum(x) FROM q) \
+                   SUBJECTTO (SELECT x >= 0, 2 * x <= 7 FROM q) \
+                   USING solverlp.cbc()";
+        let on = traced_solve(&mut s, sql);
+        let off = traced_solve(&mut s, &presolve_off(sql));
+        push(&format!("bound-snap MIP ({n} int vars)"), [("on", on), ("off", off)]);
+    }
+
+    Figure {
+        id: "Presolve".into(),
+        title: "Interval-presolve payoff: solve time and search size, presolve on vs off".into(),
+        headers: vec![
+            "workload".into(),
+            "presolve".into(),
+            "solve (s)".into(),
+            "B&B nodes".into(),
+            "vars fixed".into(),
+            "bounds tightened".into(),
+            "rows removed".into(),
+            "objective".into(),
+        ],
+        rows,
+        notes: vec![
+            "identical objectives within each pair is the correctness check; nodes and time are the payoff".into(),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Table 3 claim checks
 // ---------------------------------------------------------------------------
 
@@ -856,6 +1006,46 @@ pub fn summary(cfg: Config) -> Figure {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn figures_serialize_to_json_artifacts() {
+        let f = Figure {
+            id: "Fig 9".into(),
+            title: "a \"quoted\" title".into(),
+            headers: vec!["x".into(), "y".into()],
+            rows: vec![vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+            notes: vec!["line\nbreak".into()],
+        };
+        assert_eq!(f.json_filename(), "BENCH_FIG_9.json");
+        let j = f.to_json();
+        assert!(j.contains("\"id\": \"Fig 9\""), "{j}");
+        assert!(j.contains("a \\\"quoted\\\" title"), "{j}");
+        assert!(j.contains("[\"1\", \"2\"]"), "{j}");
+        assert!(j.contains("line\\nbreak"), "{j}");
+    }
+
+    #[test]
+    fn presolve_figure_shows_node_reduction_at_equal_objectives() {
+        let f = presolve(Config::quick());
+        assert_eq!(f.rows.len(), 6);
+        // Objectives agree within each on/off pair.
+        for pair in f.rows.chunks(2) {
+            assert_eq!(pair[0][0], pair[1][0]);
+            assert_eq!((pair[0][1].as_str(), pair[1][1].as_str()), ("on", "off"));
+            assert_eq!(pair[0][7], pair[1][7], "objective drift in {}", pair[0][0]);
+        }
+        // The bound-snap MIP demonstrates the payoff: fewer B&B nodes
+        // with presolve on, and nonzero reduction counters.
+        let snap = &f.rows[4..6];
+        let nodes = |r: &Vec<String>| -> u64 { r[3].parse().unwrap() };
+        assert!(
+            nodes(&snap[0]) < nodes(&snap[1]),
+            "expected fewer nodes with presolve on: {} vs {}",
+            snap[0][3],
+            snap[1][3]
+        );
+        assert!(snap[0][5].parse::<u64>().unwrap() > 0, "bounds tightened should be counted");
+    }
 
     #[test]
     fn phase_eloc_splits_on_markers() {

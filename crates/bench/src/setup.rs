@@ -170,6 +170,37 @@ impl Solver for HvacScheduler {
     }
 }
 
+/// A session prepared for the feature scripts under `scripts/features`:
+/// the UC1 pipeline through P3 plus the shared LTI model, and the
+/// `lrdata`/`lrseries` tables the P2 variants train on.
+pub fn feature_session() -> Result<Session> {
+    let (mut s, data) = uc1_session(96, 12, 33);
+    s.execute_script(crate::uc1::S_3SS_P1)?; // hist + horizon
+    s.execute_script(crate::uc1::S_3SS_P2)?; // lr_pars + pv_forecast
+    s.execute_script(&crate::uc1::S_3SS_P3.replace("iterations := 400", "iterations := 40"))?; // hvac_pars
+    s.execute_script(crate::uc1::S_SHARED_MODEL)?; // model
+                                                   // lrdata / lrseries for the P2 feature scripts.
+    let lrdata: Vec<Vec<Value>> = data[..40]
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::Float(r.out_temp),
+                Value::Float(timeval::decompose(r.time).hour as f64),
+                Value::Float(r.pv_supply),
+            ]
+        })
+        .collect();
+    s.db_mut().put_table("lrdata", Table::from_rows(&["rid", "outtemp", "hr", "pvsupply"], lrdata));
+    let mut series = planning_table(&data[..52], 40);
+    // lr_solver fills the single `y` decision column: rename pvsupply.
+    let idx = series.schema.index_of("pvsupply").expect("pvsupply column");
+    series.schema.columns[idx].name = "y".into();
+    s.db_mut().put_table("lrseries", series);
+    Ok(s)
+}
+
 /// A session with the UC2 supply-chain tables installed.
 pub fn uc2_session(n_items: usize, months: usize, seed: u64) -> (Session, Vec<datagen::ScItem>) {
     let items = datagen::supply_chain(n_items, months, seed);

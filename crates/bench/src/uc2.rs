@@ -5,6 +5,7 @@ use baselines::PhaseTimes;
 use obs::timed;
 use solvedbplus_core::Session;
 use sqlengine::error::Result;
+use std::time::Duration;
 
 pub const UC2_SQL: &str = include_str!("../scripts/uc2/solvedb.sql");
 pub const R_CPLEX_R: &str = include_str!("../scripts/uc2/r_cplex.R");
@@ -22,11 +23,10 @@ fn split_script() -> (String, String, String) {
     )
 }
 
-/// Run the full UC2 workflow for the items already installed in the
-/// session. The P2 part of the script runs once per item (one ARIMA
-/// model per item, as the paper describes).
-pub fn run_uc2(s: &mut Session, item_ids: &[i64]) -> Result<PhaseTimes> {
-    let (p2_tpl, p3_sql, p4_sql) = split_script();
+/// Run P2 (per-item ARIMA forecasts) and P3 (the `profit` table) only,
+/// leaving the P4 knapsack to the caller. Returns the phase timings.
+pub fn prepare_uc2_profit(s: &mut Session, item_ids: &[i64]) -> Result<(Duration, Duration)> {
+    let (p2_tpl, p3_sql, _) = split_script();
 
     // The script's header (down to the first SOLVESELECT INSERT) sets up
     // the forecast table; split it from the per-item INSERT.
@@ -45,11 +45,28 @@ pub fn run_uc2(s: &mut Session, item_ids: &[i64]) -> Result<PhaseTimes> {
 
     let (r, p3) = timed(|| s.execute_script(&p3_sql));
     r?;
+    Ok((p2, p3))
+}
+
+/// The P4 knapsack `SOLVESELECT` on its own, extracted from the script
+/// so benches can execute it directly (and keep the statement trace).
+pub fn p4_solve_sql() -> String {
+    let (_, _, p4_sql) = split_script();
+    let start = p4_sql.find("SOLVESELECT").expect("P4 solve statement");
+    p4_sql[start..].trim().trim_end_matches(';').to_string()
+}
+
+/// Run the full UC2 workflow for the items already installed in the
+/// session. The P2 part of the script runs once per item (one ARIMA
+/// model per item, as the paper describes).
+pub fn run_uc2(s: &mut Session, item_ids: &[i64]) -> Result<PhaseTimes> {
+    let (_, _, p4_sql) = split_script();
+    let (p2, p3) = prepare_uc2_profit(s, item_ids)?;
 
     let (r, p4) = timed(|| s.execute_script(&p4_sql));
     r?;
 
-    Ok(PhaseTimes { p1: std::time::Duration::ZERO, p2, p3, p4 })
+    Ok(PhaseTimes { p1: Duration::ZERO, p2, p3, p4 })
 }
 
 #[cfg(test)]

@@ -4,37 +4,12 @@
 use bench::figures::{
     P2_CDTE, P2_NOCDTE, P2_WRAPPED, P3_CDTE, P3_NOCDTE, P3_SHARED, P4_CDTE, P4_NOCDTE, P4_SHARED,
 };
-use bench::setup::uc1_session;
-use bench::uc1::{S_3SS_P1, S_3SS_P2, S_3SS_P3, S_SHARED_MODEL};
 use solvedbplus_core::Session;
 use sqlengine::Table;
 
 /// Prepare a session with all tables the feature scripts need.
 fn prepared() -> Session {
-    let (mut s, data) = uc1_session(96, 12, 33);
-    s.execute_script(S_3SS_P1).unwrap(); // hist + horizon
-    s.execute_script(S_3SS_P2).unwrap(); // lr_pars + pv_forecast
-    s.execute_script(&S_3SS_P3.replace("iterations := 400", "iterations := 40")).unwrap(); // hvac_pars
-    s.execute_script(S_SHARED_MODEL).unwrap(); // model
-                                               // lrdata / lrseries for the P2 feature scripts.
-    let lrdata: Vec<Vec<sqlengine::Value>> = data[..40]
-        .iter()
-        .enumerate()
-        .map(|(i, r)| {
-            vec![
-                sqlengine::Value::Int(i as i64 + 1),
-                sqlengine::Value::Float(r.out_temp),
-                sqlengine::Value::Float(((r.time / 3_600_000_000) % 24) as f64),
-                sqlengine::Value::Float(r.pv_supply),
-            ]
-        })
-        .collect();
-    s.db_mut().put_table("lrdata", Table::from_rows(&["rid", "outtemp", "hr", "pvsupply"], lrdata));
-    let mut series = bench::setup::planning_table(&data[..52], 40);
-    let idx = series.schema.index_of("pvsupply").unwrap();
-    series.schema.columns[idx].name = "y".into();
-    s.db_mut().put_table("lrseries", series);
-    s
+    bench::setup::feature_session().expect("feature session")
 }
 
 fn floats(t: &Table, col: &str) -> Vec<f64> {

@@ -16,14 +16,22 @@
 //! | SD005 | warning/note | duplicate / shadowed constraints               |
 //! | SD006 | warning  | objective contains no decision variables           |
 //! | SD007 | error    | multiple objectives for a single-objective solver  |
+//! | SD008 | error    | interval propagation proves the model infeasible   |
+//! | SD009 | note     | decision variable implied fixed by propagation     |
+//! | SD010 | warning/note | forcing / redundant constraint                 |
+//! | SD011 | note     | empty or singleton constraint row                  |
+//! | SD012 | warning  | pathological constraint coefficient range          |
 //!
 //! The analysis reuses the symbolic compilation machinery of §4.1: rules
 //! are evaluated over a symbolically materialized environment, and the
 //! checks inspect the resulting linear atoms. Evaluation is per-rule, so
-//! one defective rule does not hide findings in the others. Everything
-//! here is advisory — the analyzer never fails a statement itself;
-//! `Error`-level findings predict what the solver will reject.
+//! one defective rule does not hide findings in the others. SD008–SD012
+//! additionally run the abstract-interpretation engine of [`presolve`]
+//! over those atoms. Everything here is advisory — the analyzer never
+//! fails a statement itself; `Error`-level findings predict what the
+//! solver will reject.
 
+pub mod presolve;
 pub mod rules;
 
 use crate::problem::{
@@ -201,6 +209,7 @@ pub fn check_problem(db: &Database, ctes: &Ctes, prob: &ProblemInstance) -> Vec<
     rules::sd005_duplicate_or_shadowed(&model, &mut diags);
     rules::sd001_unbounded_in_objective(&model, &mut diags);
     rules::sd003_unreferenced_columns(&model, &mut diags);
+    presolve::diag::presolve_rules(&model, &mut diags);
 
     diags.sort_by(|a, b| b.severity.cmp(&a.severity).then_with(|| a.code.cmp(&b.code)));
     diags

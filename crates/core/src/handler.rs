@@ -79,6 +79,14 @@ impl SolveHandler for Handler {
         check::check_stmt(db, ctes, stmt)
     }
 
+    fn presolve_solve(&self, db: &Database, stmt: &SolveStmt, ctes: &Ctes) -> Result<Table> {
+        let prob = build_problem(db, ctes, stmt)?;
+        let lines = check::presolve::reduce::explain_presolve(db, ctes, &prob);
+        let schema = Schema::new(vec![Column::new("plan", DataType::Text)]);
+        let rows = lines.into_iter().map(|l| vec![Value::text(&l)]).collect();
+        Ok(Table::with_rows(schema, rows))
+    }
+
     fn solve_model(&self, _db: &Database, stmt: &SolveStmt, _ctes: &Ctes) -> Result<Value> {
         // A SOLVEMODEL (or SOLVESELECT used as a model expression) is pure
         // AST capture — nothing evaluates until instantiation/inlining.

@@ -82,6 +82,9 @@ fn solver_stats(metrics: &MetricsRegistry) -> Table {
         Column::new("nodes_pruned", DataType::Int),
         Column::new("evaluations", DataType::Int),
         Column::new("restarts", DataType::Int),
+        Column::new("presolve_cols", DataType::Int),
+        Column::new("presolve_rows", DataType::Int),
+        Column::new("presolve_bounds", DataType::Int),
         Column::new("last_objective", DataType::Float),
     ]);
     let rows = metrics
@@ -98,6 +101,9 @@ fn solver_stats(metrics: &MetricsRegistry) -> Table {
                 int(a.nodes_pruned),
                 int(a.evaluations),
                 int(a.restarts),
+                int(a.presolve_cols),
+                int(a.presolve_rows),
+                int(a.presolve_bounds),
                 a.last_objective.map(Value::Float).unwrap_or(Value::Null),
             ]
         })
@@ -171,6 +177,8 @@ mod tests {
                 method: "bb".into(),
                 iterations: 7,
                 nodes_explored: 3,
+                presolve_cols: 2,
+                presolve_bounds: 4,
                 objective: Some(1.5),
                 ..obs::SolverStats::default()
             },
@@ -181,6 +189,8 @@ mod tests {
         assert_eq!(t.rows[0][0], Value::text("solverlp"));
         assert_eq!(t.rows[0][2], Value::Int(1));
         assert_eq!(t.rows[0][4], Value::Int(7));
-        assert_eq!(t.rows[0][9], Value::Float(1.5));
+        assert_eq!(t.rows[0][9], Value::Int(2));
+        assert_eq!(t.rows[0][11], Value::Int(4));
+        assert_eq!(t.rows[0][12], Value::Float(1.5));
     }
 }

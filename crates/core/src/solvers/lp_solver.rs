@@ -2,6 +2,8 @@
 //! solverlp.cbc()`), backed by this repository's simplex and
 //! branch-and-bound instead of CBC/GLPK.
 
+use crate::check::presolve::reduce::{reduce, Presolved};
+use crate::check::presolve::Counts;
 use crate::problem::{apply_solution, compile_linear, to_lp, ProblemInstance};
 use crate::solver::{SolveContext, Solver};
 use sqlengine::error::{Error, Result};
@@ -35,28 +37,65 @@ impl Solver for LpSolver {
             Some(Ok(limit)) => Some(limit),
             _ => None,
         };
+        // Interval-propagation presolve (on by default; `presolve := off`
+        // disables it). Shrinks the problem the simplex/B&B actually
+        // sees; the solution is un-crushed back to the full variable
+        // space before post-processing.
+        let presolve_on = prob
+            .param_text("presolve")
+            .map(|v| !matches!(v.to_ascii_lowercase().as_str(), "off" | "false" | "0"))
+            .unwrap_or(true);
+        let pre: Option<Presolved> =
+            presolve_on.then(|| ctx.stage("presolve", || reduce(&lp_prob)));
+        let counts = pre.as_ref().map(|p| p.counts()).unwrap_or_default();
         let (sol, stats) = ctx.stage("solve-lp", || {
-            if lp_prob.has_integers() {
+            if pre.as_ref().is_some_and(|p| p.infeasible()) {
+                return (lp::Solution::infeasible(), None);
+            }
+            let target = pre.as_ref().map(|p| &p.reduced).unwrap_or(&lp_prob);
+            if target.num_vars == 0 {
+                // Propagation fixed every variable; the objective is
+                // the folded constant and there is nothing to solve.
+                return (
+                    lp::Solution {
+                        status: lp::Status::Optimal,
+                        x: vec![],
+                        objective: target.objective_constant,
+                        iterations: 0,
+                        nodes: 0,
+                    },
+                    None,
+                );
+            }
+            if target.has_integers() {
                 let opts = match node_limit {
                     Some(limit) => lp::mip::MipOptions { node_limit: limit, ..Default::default() },
                     None => lp::mip::MipOptions::default(),
                 };
-                let (sol, st) = lp::mip::branch_and_bound_stats(&lp_prob, opts);
+                let (sol, st) = lp::mip::branch_and_bound_stats(target, opts);
                 (sol, Some(st))
             } else {
-                (lp::simplex::solve_lp(&lp_prob), None)
+                (lp::simplex::solve_lp(target), None)
             }
         });
-        ctx.report(telemetry(&sol, stats.as_ref()));
+        let sol = match &pre {
+            Some(p) => p.uncrush_solution(sol),
+            None => sol,
+        };
+        ctx.report(telemetry(&sol, stats.as_ref(), counts));
         ctx.stage("post-process", || finish(prob, sol, &used))
     }
 }
 
 /// Map an LP/MIP outcome onto the shared solver-telemetry shape.
-fn telemetry(sol: &lp::Solution, stats: Option<&lp::mip::MipStats>) -> obs::SolverStats {
+fn telemetry(
+    sol: &lp::Solution,
+    stats: Option<&lp::mip::MipStats>,
+    counts: Counts,
+) -> obs::SolverStats {
     let objective =
         matches!(sol.status, lp::Status::Optimal | lp::Status::NodeLimit).then_some(sol.objective);
-    match stats {
+    let mut out = match stats {
         Some(st) => obs::SolverStats {
             solver: "solverlp".into(),
             method: "bb".into(),
@@ -74,7 +113,11 @@ fn telemetry(sol: &lp::Solution, stats: Option<&lp::mip::MipStats>) -> obs::Solv
             objective,
             ..obs::SolverStats::default()
         },
-    }
+    };
+    out.presolve_cols = counts.cols_removed;
+    out.presolve_rows = counts.rows_removed;
+    out.presolve_bounds = counts.bounds_tightened;
+    out
 }
 
 fn finish(

@@ -1,0 +1,123 @@
+//! Property-based checks of the presolve engine's soundness: interval
+//! propagation may only *shrink* the feasible box (never cut off a
+//! feasible point), and solving the reduced problem must reach the same
+//! objective as solving the original — with and without integrality.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use solvedbplus_core::check::presolve::propagate;
+use solvedbplus_core::check::presolve::reduce::{model_of, reduce};
+
+/// Build a random LP/MIP that is feasible *by construction*: sample a
+/// point first, then draw bounds and constraint rows that the point
+/// satisfies. Integer dimensions sample integer coordinates.
+fn feasible_instance(seed: u64, n: usize, m: usize, integers: bool) -> (lp::Problem, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = lp::Problem::maximize(n);
+    let point: Vec<f64> = (0..n)
+        .map(|j| {
+            if integers && j % 2 == 0 {
+                p.integer[j] = true;
+                rng.gen_range(0i64..6) as f64
+            } else {
+                rng.gen_range(0.0..5.0)
+            }
+        })
+        .collect();
+    for (j, &v) in point.iter().enumerate() {
+        let lo = v - rng.gen_range(0.0..3.0);
+        let hi = v + rng.gen_range(0.0..3.0);
+        p.set_bounds(
+            j,
+            if p.integer[j] { lo.floor() } else { lo },
+            if p.integer[j] { hi.ceil() } else { hi },
+        );
+    }
+    p.set_objective((0..n).map(|j| (j, rng.gen_range(-4.0..4.0))).collect());
+    for _ in 0..m {
+        let coeffs: Vec<(usize, f64)> =
+            (0..n).map(|j| (j, rng.gen_range(-3i32..=3) as f64)).collect();
+        let at_point: f64 = coeffs.iter().map(|&(j, c)| c * point[j]).sum();
+        match rng.gen_range(0..3) {
+            0 => p.add_constraint(coeffs, lp::Rel::Le, at_point + rng.gen_range(0.0..4.0)),
+            1 => p.add_constraint(coeffs, lp::Rel::Ge, at_point - rng.gen_range(0.0..4.0)),
+            _ => p.add_constraint(coeffs, lp::Rel::Eq, at_point),
+        }
+    }
+    (p, point)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Soundness of the abstract domain: a known-feasible point always
+    /// stays inside the propagated intervals, and propagation never
+    /// claims infeasibility.
+    #[test]
+    fn feasible_points_stay_within_propagated_intervals(
+        seed in 0u64..10_000,
+        n in 1usize..6,
+        m in 0usize..5,
+        integers in any::<bool>(),
+    ) {
+        let (p, point) = feasible_instance(seed, n, m, integers);
+        let out = propagate(&model_of(&p));
+        prop_assert!(out.infeasible.is_none(), "feasible model declared infeasible");
+        for (j, &v) in point.iter().enumerate() {
+            prop_assert!(
+                out.intervals[j].contains(v, 1e-6),
+                "propagation cut off feasible coordinate {j}={v}: [{}, {}]",
+                out.intervals[j].lo,
+                out.intervals[j].hi
+            );
+        }
+    }
+
+    /// End-to-end reduction correctness: presolve + solve + un-crush
+    /// reaches the same objective as solving the original problem, and
+    /// the un-crushed point is feasible for the original.
+    #[test]
+    fn presolve_on_and_off_reach_the_same_objective(
+        seed in 0u64..10_000,
+        n in 1usize..5,
+        m in 0usize..4,
+        integers in any::<bool>(),
+    ) {
+        let (p, _) = feasible_instance(seed, n, m, integers);
+        let direct = if p.has_integers() {
+            lp::mip::branch_and_bound_stats(&p, Default::default()).0
+        } else {
+            lp::solve(&p)
+        };
+        // Construction guarantees feasibility; a bounded box rules out
+        // unboundedness.
+        prop_assert_eq!(direct.status, lp::Status::Optimal);
+
+        let pre = reduce(&p);
+        prop_assert!(!pre.infeasible(), "presolve declared a feasible model infeasible");
+        let reduced_sol = if pre.reduced.num_vars == 0 {
+            lp::Solution {
+                status: lp::Status::Optimal,
+                x: vec![],
+                objective: pre.reduced.objective_constant,
+                iterations: 0,
+                nodes: 0,
+            }
+        } else if pre.reduced.has_integers() {
+            lp::mip::branch_and_bound_stats(&pre.reduced, Default::default()).0
+        } else {
+            lp::solve(&pre.reduced)
+        };
+        prop_assert_eq!(reduced_sol.status, lp::Status::Optimal);
+        let full = pre.uncrush_solution(reduced_sol);
+        let tol = 1e-5 * (1.0 + direct.objective.abs());
+        prop_assert!(
+            (full.objective - direct.objective).abs() <= tol,
+            "objective drift: presolve {} vs direct {}",
+            full.objective,
+            direct.objective
+        );
+        prop_assert!(p.is_feasible(&full.x, 1e-5), "un-crushed point infeasible");
+    }
+}

@@ -10,9 +10,21 @@
 //! parameters in `[0, 5]`). Runs are deterministic given a seed.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Index of the smallest value under IEEE total order (empty → 0).
+fn argmin(vals: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, v) in vals.iter().enumerate().skip(1) {
+        if v.total_cmp(&vals[best]).is_lt() {
+            best = i;
+        }
+    }
+    best
+}
 
 /// Search box with optional per-dimension integrality.
 #[derive(Debug, Clone)]
@@ -138,8 +150,7 @@ pub fn pso(mut f: impl FnMut(&[f64]) -> f64, space: &SearchSpace, opts: PsoOptio
         .collect();
     let mut pbest = pos.clone();
     let mut pbest_val: Vec<f64> = pos.iter().map(|x| eval(x, &mut evaluations)).collect();
-    let (gbest_idx, _) =
-        pbest_val.iter().enumerate().min_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap();
+    let gbest_idx = argmin(&pbest_val);
     let mut gbest = pbest[gbest_idx].clone();
     let mut gbest_val = pbest_val[gbest_idx];
 
@@ -334,7 +345,7 @@ pub fn differential_evolution(
             }
         }
     }
-    let (bi, _) = vals.iter().enumerate().min_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap();
+    let bi = argmin(&vals);
     OptResult { x: pop[bi].clone(), value: vals[bi], evaluations, iterations: opts.iterations }
 }
 

@@ -9,6 +9,7 @@
 //! constraints `a'x ⋈ b`, and a linear objective.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod mip;
 pub mod simplex;

@@ -23,6 +23,7 @@
 //! policy.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod metrics;
 pub mod trace;

@@ -40,6 +40,9 @@ pub struct SolverAgg {
     pub nodes_pruned: u64,
     pub evaluations: u64,
     pub restarts: u64,
+    pub presolve_cols: u64,
+    pub presolve_rows: u64,
+    pub presolve_bounds: u64,
     pub last_objective: Option<f64>,
 }
 
@@ -93,6 +96,9 @@ impl MetricsRegistry {
         agg.nodes_pruned += stats.nodes_pruned;
         agg.evaluations += stats.evaluations;
         agg.restarts += stats.restarts;
+        agg.presolve_cols += stats.presolve_cols;
+        agg.presolve_rows += stats.presolve_rows;
+        agg.presolve_bounds += stats.presolve_bounds;
         if stats.objective.is_some() {
             agg.last_objective = stats.objective;
         }

@@ -70,6 +70,12 @@ pub struct SolverStats {
     pub evaluations: u64,
     /// Restarts performed (multi-start heuristics).
     pub restarts: u64,
+    /// Decision variables removed (fixed) by the presolve pass.
+    pub presolve_cols: u64,
+    /// Constraint rows removed by the presolve pass.
+    pub presolve_rows: u64,
+    /// Variable bounds tightened by the presolve pass.
+    pub presolve_bounds: u64,
     /// Final objective value, if the solve produced one.
     pub objective: Option<f64>,
     /// Incumbent trajectory: (nodes explored when found, objective).
@@ -144,6 +150,13 @@ fn render_solver(st: &SolverStats) -> String {
     }
     if st.restarts > 0 {
         let _ = write!(line, " restarts={}", st.restarts);
+    }
+    if st.presolve_cols > 0 || st.presolve_rows > 0 || st.presolve_bounds > 0 {
+        let _ = write!(
+            line,
+            " presolve(cols={} rows={} bounds={})",
+            st.presolve_cols, st.presolve_rows, st.presolve_bounds
+        );
     }
     if let Some(obj) = st.objective {
         let _ = write!(line, " objective={obj}");

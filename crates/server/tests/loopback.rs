@@ -131,6 +131,42 @@ fn analyzer_warnings_survive_the_wire_roundtrip() {
 }
 
 #[test]
+fn presolve_warnings_survive_the_wire_roundtrip() {
+    let ts = TestServer::start(2);
+    let mut client = Client::connect(ts.addr).unwrap();
+    client
+        .execute_script("CREATE TABLE p (x float8, y float8); INSERT INTO p VALUES (NULL, NULL)")
+        .expect("setup");
+    // Coefficients spanning 12 orders of magnitude on a solvable model:
+    // the presolve analyzer's SD012 warning must come back over SDBP.
+    let results = client
+        .execute(
+            "SOLVESELECT q(x, y) AS (SELECT * FROM p) \
+             MINIMIZE (SELECT sum(x + y) FROM q) \
+             SUBJECTTO (SELECT 1000000000.0 * x + 0.001 * y <= 5, \
+                        0 <= x <= 1, 0 <= y <= 1 FROM q) \
+             USING solverlp()",
+        )
+        .expect("solve batch");
+    assert_eq!(results.len(), 1);
+    let r = results[0].as_ref().expect("solve succeeds");
+    assert!(matches!(r.outcome, Outcome::Table(_)));
+    let sd012 = r
+        .warnings
+        .iter()
+        .find(|d| d.code == "SD012")
+        .unwrap_or_else(|| panic!("expected SD012 in warnings, got {:?}", r.warnings));
+    assert_eq!(sd012.severity, Severity::Warning);
+    assert!(sd012.message.contains("orders of magnitude"), "message: {}", sd012.message);
+    // The presolve counters ride along in the STATS frame.
+    let trace = r.trace.as_ref().expect("trace travels with the result");
+    let st = trace.solvers.first().expect("solver stats");
+    assert!(st.presolve_bounds > 0, "presolve counters lost on the wire: {st:?}");
+    client.close().unwrap();
+    ts.stop();
+}
+
+#[test]
 fn stats_frame_carries_the_execution_trace_over_the_wire() {
     let ts = TestServer::start(2);
     let mut client = Client::connect(ts.addr).unwrap();

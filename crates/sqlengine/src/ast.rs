@@ -399,6 +399,10 @@ pub enum ExplainMode {
     /// `EXPLAIN ANALYZE`: execute the solve and report the stage tree
     /// with wall-clock timings and solver telemetry.
     Analyze,
+    /// `EXPLAIN PRESOLVE`: run interval propagation over the compiled
+    /// model and render the reduction log (fixed variables, tightened
+    /// bounds, removed rows) without solving.
+    Presolve,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -858,6 +862,7 @@ impl fmt::Display for Statement {
                     ExplainMode::Plan => "",
                     ExplainMode::Check => "CHECK ",
                     ExplainMode::Analyze => "ANALYZE ",
+                    ExplainMode::Presolve => "PRESOLVE ",
                 };
                 write!(f, "EXPLAIN {kw}{stmt}")
             }

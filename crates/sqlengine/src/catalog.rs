@@ -104,6 +104,13 @@ pub trait SolveHandler: Send + Sync {
         Err(Error::unsupported("EXPLAIN CHECK requires the SolveDB+ solve handler"))
     }
 
+    /// `EXPLAIN PRESOLVE SOLVESELECT ...`: run interval propagation
+    /// over the compiled model and return the reduction log (one text
+    /// column, one row per line) without solving.
+    fn presolve_solve(&self, _db: &Database, _stmt: &SolveStmt, _ctes: &Ctes) -> Result<Table> {
+        Err(Error::unsupported("EXPLAIN PRESOLVE requires the SolveDB+ solve handler"))
+    }
+
     /// Evaluate a `SOLVEMODEL`, returning a model value.
     fn solve_model(&self, db: &Database, stmt: &SolveStmt, ctes: &Ctes) -> Result<Value>;
 

@@ -64,7 +64,7 @@ impl std::fmt::Display for Severity {
 /// One finding from the pre-solve static analyzer (or the engine).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Diagnostic {
-    /// Stable identifier, `SD001`..`SD007` today (see DIAGNOSTICS.md).
+    /// Stable identifier, `SD001`..`SD012` today (see DIAGNOSTICS.md).
     pub code: String,
     pub severity: Severity,
     /// One-line summary of the finding.

@@ -136,6 +136,9 @@ pub fn execute_statement_timed(
                     Ok(ExecResult::table(diagnostics_table(&handler.check_solve(db, stmt, &ctes)?)))
                 }
                 ExplainMode::Plan => Ok(ExecResult::table(handler.explain_solve(db, stmt, &ctes)?)),
+                ExplainMode::Presolve => {
+                    Ok(ExecResult::table(handler.presolve_solve(db, stmt, &ctes)?))
+                }
                 ExplainMode::Analyze => {
                     // Actually execute the solve, recording the stage
                     // tree, and return the rendered tree as the result.

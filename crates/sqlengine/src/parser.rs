@@ -304,6 +304,8 @@ impl Parser {
                 ExplainMode::Check
             } else if self.eat_kw("analyze") {
                 ExplainMode::Analyze
+            } else if self.eat_kw("presolve") {
+                ExplainMode::Presolve
             } else {
                 ExplainMode::Plan
             };
@@ -314,6 +316,7 @@ impl Parser {
                         ExplainMode::Plan => "",
                         ExplainMode::Check => "CHECK ",
                         ExplainMode::Analyze => "ANALYZE ",
+                        ExplainMode::Presolve => "PRESOLVE ",
                     },
                     self.peek()
                 )));

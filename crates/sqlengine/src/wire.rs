@@ -397,6 +397,7 @@ const MAX_INCUMBENTS: u32 = 4096;
 ///            nmeta:u16 (key:str value:str)* nchildren:u16 stage*
 /// solver  := solver:str method:str iterations:u64 nodes_explored:u64
 ///            nodes_pruned:u64 evaluations:u64 restarts:u64
+///            presolve_cols:u64 presolve_rows:u64 presolve_bounds:u64
 ///            has_objective:u8 [objective:f64]
 ///            nincumbents:u32 (at:u64 objective:f64)*
 /// str     := len:u32 utf8[len]
@@ -413,7 +414,16 @@ pub fn encode_trace(t: &obs::QueryTrace, out: &mut Vec<u8>) {
     for st in &t.solvers[..n] {
         put_str(out, &st.solver);
         put_str(out, &st.method);
-        for v in [st.iterations, st.nodes_explored, st.nodes_pruned, st.evaluations, st.restarts] {
+        for v in [
+            st.iterations,
+            st.nodes_explored,
+            st.nodes_pruned,
+            st.evaluations,
+            st.restarts,
+            st.presolve_cols,
+            st.presolve_rows,
+            st.presolve_bounds,
+        ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
         match st.objective {
@@ -477,6 +487,9 @@ pub fn decode_trace(r: &mut Reader<'_>) -> Result<obs::QueryTrace> {
         let nodes_pruned = r.u64()?;
         let evaluations = r.u64()?;
         let restarts = r.u64()?;
+        let presolve_cols = r.u64()?;
+        let presolve_rows = r.u64()?;
+        let presolve_bounds = r.u64()?;
         let objective = match r.u8()? {
             0 => None,
             _ => Some(r.f64()?),
@@ -499,6 +512,9 @@ pub fn decode_trace(r: &mut Reader<'_>) -> Result<obs::QueryTrace> {
             nodes_pruned,
             evaluations,
             restarts,
+            presolve_cols,
+            presolve_rows,
+            presolve_bounds,
             objective,
             incumbents,
         });
@@ -704,6 +720,9 @@ mod tests {
                 nodes_pruned: 3,
                 evaluations: 0,
                 restarts: 0,
+                presolve_cols: 2,
+                presolve_rows: 1,
+                presolve_bounds: 3,
                 objective: Some(6.5),
                 incumbents: vec![(1, 4.0), (5, 6.5)],
             }],

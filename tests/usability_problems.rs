@@ -178,6 +178,26 @@ fn sudoku_4x4() {
                 [(row[1].as_i64().unwrap() - 1) as usize] = row[2].as_i64().unwrap();
         }
     }
-    let expect = [[1, 2, 3, 4], [3, 4, 1, 2], [2, 1, 4, 3], [4, 3, 2, 1]];
-    assert_eq!(grid, expect);
+    // The clue set leaves the puzzle under-determined (several valid
+    // completions exist), so accept any grid that is a proper 4x4
+    // sudoku consistent with the clues rather than one fixed optimum.
+    let perm = |vals: [i64; 4]| {
+        let mut v = vals;
+        v.sort_unstable();
+        v == [1, 2, 3, 4]
+    };
+    for i in 0..4 {
+        assert!(perm(grid[i]), "row {i} invalid: {grid:?}");
+        assert!(
+            perm([grid[0][i], grid[1][i], grid[2][i], grid[3][i]]),
+            "col {i} invalid: {grid:?}"
+        );
+    }
+    for (r0, c0) in [(0, 0), (0, 2), (2, 0), (2, 2)] {
+        let b = [grid[r0][c0], grid[r0][c0 + 1], grid[r0 + 1][c0], grid[r0 + 1][c0 + 1]];
+        assert!(perm(b), "box at ({r0},{c0}) invalid: {grid:?}");
+    }
+    for (r, c, v) in [(1, 1, 1), (1, 2, 2), (2, 1, 3), (2, 3, 1), (3, 2, 1), (4, 4, 1)] {
+        assert_eq!(grid[r - 1][c - 1], v, "clue ({r},{c})={v} violated: {grid:?}");
+    }
 }
