@@ -4,7 +4,9 @@
 //! or nested in a FROM subquery — is run through `EXPLAIN CHECK` and
 //! `EXPLAIN PRESOLVE` in a session prepared the same way the benchmarks
 //! prepare it (each script executes after being analyzed, so later
-//! scripts see the tables earlier ones create).
+//! scripts see the tables earlier ones create). Every plain SELECT
+//! statement is additionally run through `EXPLAIN SELECT`, exercising
+//! the logical planner over the shipped scripts.
 //!
 //! Exit status is the CI contract:
 //! - an analyzer **panic** fails the sweep,
@@ -33,6 +35,18 @@ fn solves_in_statement(stmt: &Statement) -> Vec<&SolveStmt> {
         _ => {}
     }
     out
+}
+
+/// The queries the planner sees: top-level SELECTs plus the sources of
+/// INSERT … SELECT, CTAS and CREATE VIEW (model instantiation shapes).
+fn queries_in_statement(stmt: &Statement) -> Vec<&Query> {
+    match stmt {
+        Statement::Query(q) => vec![q],
+        Statement::Insert { source, .. } => vec![source],
+        Statement::CreateTable { as_query: Some(q), .. } => vec![q],
+        Statement::CreateView { query, .. } => vec![query],
+        _ => vec![],
+    }
 }
 
 fn solves_in_query<'a>(q: &'a Query, out: &mut Vec<&'a SolveStmt>) {
@@ -75,6 +89,8 @@ struct Sweep {
     scripts: usize,
     solves: usize,
     explains: usize,
+    selects: usize,
+    planned: usize,
     tolerated: Vec<String>,
     failures: Vec<String>,
 }
@@ -116,6 +132,30 @@ impl Sweep {
         }
     }
 
+    /// `EXPLAIN SELECT` over a plain query statement: the planner must
+    /// not panic, and must either print an optimized plan or name the
+    /// reason it fell back to the row interpreter.
+    fn explain_select(&mut self, s: &mut Session, name: &str, q: &Query) {
+        let wrapped = Statement::ExplainQuery { analyze: false, query: Box::new(q.clone()) };
+        let run = catch_unwind(AssertUnwindSafe(|| s.execute_statement(&wrapped)));
+        self.selects += 1;
+        match run {
+            Err(_) => self.failures.push(format!("{name}: EXPLAIN SELECT PANICKED")),
+            Ok(Err(e)) => self.tolerated.push(format!("{name}: EXPLAIN SELECT: {e}")),
+            Ok(Ok(res)) => match res.into_table() {
+                Ok(t) if t.rows.is_empty() => {
+                    self.failures.push(format!("{name}: EXPLAIN SELECT produced no output"));
+                }
+                Ok(t) => {
+                    if t.rows[0][0].as_str().is_ok_and(|l| !l.starts_with("row interpreter")) {
+                        self.planned += 1;
+                    }
+                }
+                Err(e) => self.tolerated.push(format!("{name}: EXPLAIN SELECT output: {e}")),
+            },
+        }
+    }
+
     /// Analyze then execute every statement of a script in order.
     fn script(&mut self, s: &mut Session, name: &str, sql: &str) {
         self.scripts += 1;
@@ -131,6 +171,9 @@ impl Sweep {
                 self.solves += 1;
                 self.explain(s, name, solve, ExplainMode::Check);
                 self.explain(s, name, solve, ExplainMode::Presolve);
+            }
+            for q in queries_in_statement(stmt) {
+                self.explain_select(s, name, q);
             }
             if let Err(e) = s.execute_statement(stmt) {
                 self.tolerated
@@ -245,8 +288,9 @@ fn main() {
     sweep.script(&mut s, "examples/sudoku.rs", &sudoku_setup);
 
     println!(
-        "analyze: {} script(s), {} solve statement(s), {} EXPLAIN run(s)",
-        sweep.scripts, sweep.solves, sweep.explains
+        "analyze: {} script(s), {} solve statement(s), {} EXPLAIN run(s), \
+         {} EXPLAIN SELECT run(s) ({} planned)",
+        sweep.scripts, sweep.solves, sweep.explains, sweep.selects, sweep.planned
     );
     for t in &sweep.tolerated {
         println!("  tolerated: {t}");

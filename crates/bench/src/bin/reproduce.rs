@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! reproduce [--quick] [--json[=DIR]]
-//!           [all|table1|fig3a|fig3b|fig4a|fig4b|fig5|fig6|fig7|fig8|fig9|fig10|fig11|presolve|summary]...
+//!           [all|table1|fig3a|fig3b|fig4a|fig4b|fig5|fig6|fig7|fig8|fig9|fig10|fig11|presolve|executor|summary]...
 //! ```
 //!
 //! With no selector, everything runs. `--quick` shrinks workloads to
@@ -28,7 +28,7 @@ fn main() {
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = vec![
             "table1", "fig3a", "fig3b", "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8", "fig9",
-            "fig10", "fig11", "presolve", "summary",
+            "fig10", "fig11", "presolve", "executor", "summary",
         ]
         .into_iter()
         .map(String::from)
@@ -57,6 +57,7 @@ fn main() {
             "fig10" => figures::fig10(cfg),
             "fig11" => figures::fig11(cfg),
             "presolve" => figures::presolve(cfg),
+            "executor" => figures::executor(cfg),
             "summary" => figures::summary(cfg),
             other => {
                 eprintln!("unknown artifact '{other}' — skipping");

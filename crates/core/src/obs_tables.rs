@@ -51,6 +51,7 @@ fn stat_statements(metrics: &MetricsRegistry) -> Table {
         Column::new("min_ms", DataType::Float),
         Column::new("max_ms", DataType::Float),
         Column::new("rows", DataType::Int),
+        Column::new("plan", DataType::Text),
     ]);
     let rows = metrics
         .statements()
@@ -65,6 +66,7 @@ fn stat_statements(metrics: &MetricsRegistry) -> Table {
                 ms(s.min_nanos),
                 ms(s.max_nanos),
                 int(s.rows),
+                s.last_plan.map(|p| Value::text(format!("{p:016x}"))).unwrap_or(Value::Null),
             ]
         })
         .collect();

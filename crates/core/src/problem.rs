@@ -102,6 +102,7 @@ fn add_prologue(query: &Query, mapping: &[(String, String)]) -> Query {
                 from: vec![TableRef::Named { name: prefixed.clone(), alias: None }],
                 where_: None,
                 group_by: vec![],
+                grouping_sets: None,
                 having: None,
             }),
         })
@@ -245,6 +246,7 @@ pub fn build_problem_traced(
                         from: vec![],
                         where_: None,
                         group_by: vec![],
+                        grouping_sets: None,
                         having: None,
                     });
                     run_query(db, ctes, &q, None)?.scalar()?

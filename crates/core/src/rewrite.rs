@@ -133,6 +133,7 @@ pub fn rewrite_cdtes(db: &Database, ctes: &Ctes, stmt: &SolveStmt) -> Result<Cdt
             from: vec![TableRef::Named { name: COMBINED.into(), alias: None }],
             where_: None,
             group_by: vec![],
+            grouping_sets: None,
             having: None,
         }),
     };
@@ -170,6 +171,7 @@ pub fn rewrite_cdtes(db: &Database, ctes: &Ctes, stmt: &SolveStmt) -> Result<Cdt
                 from: vec![TableRef::Named { name: "l".into(), alias: None }],
                 where_: Some(filter),
                 group_by: vec![],
+                grouping_sets: None,
                 having: None,
             }),
         });

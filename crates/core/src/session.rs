@@ -195,7 +195,13 @@ impl Session {
                     Outcome::Count(n) => *n as u64,
                     Outcome::Done => 0,
                 };
-                self.metrics.record_statement(&shape, nanos, rows, false);
+                self.metrics.record_statement_plan(
+                    &shape,
+                    nanos,
+                    rows,
+                    false,
+                    res.plan_fingerprint,
+                );
                 if let Some(tr) = &res.trace {
                     let solve_nanos = solve_stage_nanos(tr);
                     for st in &tr.solvers {

@@ -375,6 +375,29 @@ fn plain_sql_results_carry_no_warnings() {
 }
 
 #[test]
+fn nested_solve_warnings_reach_the_outer_result() {
+    // A SOLVESELECT in FROM position has no warnings channel of its
+    // own; its advisory findings must surface on the enclosing
+    // statement's result instead of being dropped.
+    let mut s = lp_session();
+    let r = s
+        .execute(
+            "SELECT count(*) FROM ( \
+               SOLVESELECT q(x) AS (SELECT x FROM v) \
+               MAXIMIZE (SELECT x FROM q) \
+               SUBJECTTO (SELECT x <= 10, x <= 20, x >= 0 FROM q) \
+               USING solverlp()) sub",
+        )
+        .unwrap();
+    assert!(matches!(r.outcome, Outcome::Table(_)));
+    let d = find(&r.warnings, "SD005").expect("nested solve's SD005 should propagate");
+    assert!(d.severity <= Severity::Warning);
+    // The drain is per statement: the next statement starts clean.
+    let r = s.execute("SELECT 1").unwrap();
+    assert!(r.warnings.is_empty());
+}
+
+#[test]
 fn explain_check_returns_the_diagnostics_table() {
     let mut s = lp_session();
     let t = s

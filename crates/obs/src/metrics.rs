@@ -28,6 +28,10 @@ pub struct StatementStats {
     pub max_nanos: u64,
     /// Total rows returned across calls.
     pub rows: u64,
+    /// Fingerprint of the optimized logical plan from the most recent
+    /// execution that ran on the planned (columnar) executor; `None`
+    /// when every recorded call used the row interpreter.
+    pub last_plan: Option<u64>,
 }
 
 /// Cumulative telemetry for one (solver, method) pair.
@@ -70,6 +74,19 @@ impl MetricsRegistry {
 
     /// Record one statement execution under its canonical shape.
     pub fn record_statement(&self, shape: &str, nanos: u64, rows: u64, errored: bool) {
+        self.record_statement_plan(shape, nanos, rows, errored, None);
+    }
+
+    /// Record one statement execution, noting the optimized-plan
+    /// fingerprint when the planned executor ran it.
+    pub fn record_statement_plan(
+        &self,
+        shape: &str,
+        nanos: u64,
+        rows: u64,
+        errored: bool,
+        plan: Option<u64>,
+    ) {
         let mut inner = self.lock();
         if !inner.statements.contains_key(shape) && inner.statements.len() >= MAX_STATEMENT_SHAPES {
             return;
@@ -83,6 +100,9 @@ impl MetricsRegistry {
         st.min_nanos = if st.calls == 1 { nanos } else { st.min_nanos.min(nanos) };
         st.max_nanos = st.max_nanos.max(nanos);
         st.rows += rows;
+        if plan.is_some() {
+            st.last_plan = plan;
+        }
     }
 
     /// Fold one solver invocation's telemetry into the aggregate.

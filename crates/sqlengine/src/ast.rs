@@ -250,6 +250,11 @@ pub struct Select {
     pub from: Vec<TableRef>,
     pub where_: Option<Expr>,
     pub group_by: Vec<Expr>,
+    /// Grouping sets as index lists into `group_by`. `None` = plain
+    /// `GROUP BY` (one implicit set using every key). `ROLLUP`/`CUBE`
+    /// are expanded to their sets at parse time, so downstream layers
+    /// only ever see `GROUPING SETS` form.
+    pub grouping_sets: Option<Vec<Vec<usize>>>,
     pub having: Option<Expr>,
 }
 
@@ -261,6 +266,7 @@ impl Select {
             from: vec![],
             where_: None,
             group_by: vec![],
+            grouping_sets: None,
             having: None,
         }
     }
@@ -417,6 +423,14 @@ pub enum Statement {
     Explain {
         mode: ExplainMode,
         stmt: Box<SolveStmt>,
+    },
+    /// `EXPLAIN [ANALYZE] SELECT ...` — render the optimized logical
+    /// plan with cost/row estimates; with `analyze` the query is also
+    /// executed and per-operator timings and row/batch counts are
+    /// reported from the `obs` stage tree.
+    ExplainQuery {
+        analyze: bool,
+        query: Box<Query>,
     },
     /// `MODELEVAL (select) IN (select)` (§4.4).
     ModelEval {
@@ -714,7 +728,23 @@ impl fmt::Display for Select {
         if let Some(w) = &self.where_ {
             write!(f, " WHERE {w}")?;
         }
-        if !self.group_by.is_empty() {
+        if let Some(sets) = &self.grouping_sets {
+            // Canonical form: ROLLUP/CUBE were expanded at parse time,
+            // so always render as GROUPING SETS (round-trips exactly).
+            let rendered: Vec<String> = sets
+                .iter()
+                .map(|set| {
+                    format!(
+                        "({})",
+                        set.iter()
+                            .map(|&i| self.group_by[i].to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                })
+                .collect();
+            write!(f, " GROUP BY GROUPING SETS ({})", rendered.join(", "))?;
+        } else if !self.group_by.is_empty() {
             write!(
                 f,
                 " GROUP BY {}",
@@ -865,6 +895,9 @@ impl fmt::Display for Statement {
                     ExplainMode::Presolve => "PRESOLVE ",
                 };
                 write!(f, "EXPLAIN {kw}{stmt}")
+            }
+            Statement::ExplainQuery { analyze, query } => {
+                write!(f, "EXPLAIN {}{query}", if *analyze { "ANALYZE " } else { "" })
             }
             Statement::ModelEval { select, model } => {
                 write!(f, "MODELEVAL ({select}) IN ({model})")

@@ -147,6 +147,11 @@ pub struct Database {
     udfs: HashMap<String, ScalarUdf>,
     solve_handler: Option<Arc<dyn SolveHandler>>,
     virtual_tables: Option<Arc<dyn VirtualTableProvider>>,
+    /// Per-table statistics used by the cost-based planner, keyed by the
+    /// table allocation identity (see `plan::stats`). Interior-mutable so
+    /// read-only query paths can populate it lazily.
+    pub(crate) stats_cache:
+        std::sync::Mutex<HashMap<(usize, usize), Arc<crate::plan::stats::TableStats>>>,
 }
 
 impl std::fmt::Debug for Database {

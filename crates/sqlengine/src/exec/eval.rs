@@ -171,6 +171,10 @@ pub enum BoundExpr {
         pattern: Box<BoundExpr>,
         negated: bool,
         case_insensitive: bool,
+        /// Pattern pre-compiled at bind time when the pattern operand is
+        /// a constant (the overwhelmingly common case); `None` means the
+        /// pattern is computed per row.
+        compiled: Option<Arc<LikePattern>>,
     },
     ScalarSubquery(Arc<Query>),
     InSubquery {
@@ -317,12 +321,25 @@ impl<'a> Binder<'a> {
                 high: Box::new(self.bind(high)?),
                 negated: *negated,
             },
-            Expr::Like { expr, pattern, negated, case_insensitive } => BoundExpr::Like {
-                expr: Box::new(self.bind(expr)?),
-                pattern: Box::new(self.bind(pattern)?),
-                negated: *negated,
-                case_insensitive: *case_insensitive,
-            },
+            Expr::Like { expr, pattern, negated, case_insensitive } => {
+                let pattern = Box::new(self.bind(pattern)?);
+                // Compile constant patterns once per bound expression
+                // instead of re-tokenizing the pattern string per row.
+                let compiled = match pattern.as_ref() {
+                    BoundExpr::Const(Value::Text(p)) => {
+                        let pat = if *case_insensitive { p.to_lowercase() } else { p.to_string() };
+                        Some(Arc::new(LikePattern::compile(&pat)))
+                    }
+                    _ => None,
+                };
+                BoundExpr::Like {
+                    expr: Box::new(self.bind(expr)?),
+                    pattern,
+                    negated: *negated,
+                    case_insensitive: *case_insensitive,
+                    compiled,
+                }
+            }
             Expr::SolveModel(s) => BoundExpr::SolveModel(Arc::new((**s).clone())),
         })
     }
@@ -506,18 +523,29 @@ impl BoundExpr {
                     Ok(both)
                 }
             }
-            BoundExpr::Like { expr, pattern, negated, case_insensitive } => {
+            BoundExpr::Like { expr, pattern, negated, case_insensitive, compiled } => {
                 let v = expr.eval(ctx, env)?;
-                let p = pattern.eval(ctx, env)?;
-                if v.is_null() || p.is_null() {
+                if v.is_null() {
                     return Ok(Value::Null);
                 }
-                let (mut s, mut pat) = (v.as_str()?.to_string(), p.as_str()?.to_string());
+                let mut s = v.as_str()?.to_string();
                 if *case_insensitive {
                     s = s.to_lowercase();
-                    pat = pat.to_lowercase();
                 }
-                let m = like_match(&s, &pat);
+                let m = match compiled {
+                    Some(pat) => pat.matches(&s),
+                    None => {
+                        let p = pattern.eval(ctx, env)?;
+                        if p.is_null() {
+                            return Ok(Value::Null);
+                        }
+                        let mut pat = p.as_str()?.to_string();
+                        if *case_insensitive {
+                            pat = pat.to_lowercase();
+                        }
+                        LikePattern::compile(&pat).matches(&s)
+                    }
+                };
                 Ok(Value::Bool(m != *negated))
             }
             BoundExpr::ScalarSubquery(q) => {
@@ -559,33 +587,77 @@ impl BoundExpr {
     }
 }
 
-/// SQL LIKE pattern match (`%` = any run, `_` = any single char).
-pub fn like_match(s: &str, pattern: &str) -> bool {
-    let s: Vec<char> = s.chars().collect();
-    let p: Vec<char> = pattern.chars().collect();
-    // Iterative two-pointer with backtracking on the last '%'.
-    let (mut si, mut pi) = (0usize, 0usize);
-    let (mut star_p, mut star_s) = (usize::MAX, 0usize);
-    while si < s.len() {
-        if pi < p.len() && (p[pi] == '_' || p[pi] == s[si]) {
-            si += 1;
-            pi += 1;
-        } else if pi < p.len() && p[pi] == '%' {
-            star_p = pi;
-            star_s = si;
-            pi += 1;
-        } else if star_p != usize::MAX {
-            pi = star_p + 1;
-            star_s += 1;
-            si = star_s;
-        } else {
-            return false;
+/// One token of a compiled LIKE pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LikeTok {
+    /// `%` — any run of characters (including empty).
+    Any,
+    /// `_` — exactly one character.
+    One,
+    /// A literal character.
+    Lit(char),
+}
+
+/// A LIKE pattern tokenized once; matching re-uses the token vector
+/// instead of re-scanning the pattern string for every row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LikePattern {
+    toks: Vec<LikeTok>,
+}
+
+impl LikePattern {
+    pub fn compile(pattern: &str) -> LikePattern {
+        let mut toks = Vec::with_capacity(pattern.len());
+        for ch in pattern.chars() {
+            match ch {
+                '%' => {
+                    // Collapse runs of '%' — they match the same strings
+                    // and the backtracking matcher gets cheaper.
+                    if toks.last() != Some(&LikeTok::Any) {
+                        toks.push(LikeTok::Any);
+                    }
+                }
+                '_' => toks.push(LikeTok::One),
+                c => toks.push(LikeTok::Lit(c)),
+            }
         }
+        LikePattern { toks }
     }
-    while pi < p.len() && p[pi] == '%' {
-        pi += 1;
+
+    pub fn matches(&self, s: &str) -> bool {
+        let s: Vec<char> = s.chars().collect();
+        let p = &self.toks;
+        // Iterative two-pointer with backtracking on the last '%'.
+        let (mut si, mut pi) = (0usize, 0usize);
+        let (mut star_p, mut star_s) = (usize::MAX, 0usize);
+        while si < s.len() {
+            if pi < p.len() && (p[pi] == LikeTok::One || p[pi] == LikeTok::Lit(s[si])) {
+                si += 1;
+                pi += 1;
+            } else if pi < p.len() && p[pi] == LikeTok::Any {
+                star_p = pi;
+                star_s = si;
+                pi += 1;
+            } else if star_p != usize::MAX {
+                pi = star_p + 1;
+                star_s += 1;
+                si = star_s;
+            } else {
+                return false;
+            }
+        }
+        while pi < p.len() && p[pi] == LikeTok::Any {
+            pi += 1;
+        }
+        pi == p.len()
     }
-    pi == p.len()
+}
+
+/// SQL LIKE pattern match (`%` = any run, `_` = any single char).
+/// One-shot convenience over [`LikePattern`]; hot paths compile the
+/// pattern once at bind time instead.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    LikePattern::compile(pattern).matches(s)
 }
 
 #[cfg(test)]
@@ -659,6 +731,35 @@ mod tests {
         assert!(like_match("a.b", "a.b"));
         assert_eq!(eval_str("'Hello' ILIKE 'h%'").unwrap(), Value::Bool(true));
         assert_eq!(eval_str("'Hello' LIKE 'h%'").unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn constant_like_patterns_compile_at_bind_time() {
+        let db = Database::new();
+        let scope = Scope::default();
+        let binder = Binder::new(&db, &scope);
+        let bound = binder.bind(&parse_expr("'abc' LIKE 'a%'").unwrap()).unwrap();
+        let BoundExpr::Like { compiled, .. } = &bound else { panic!("expected Like") };
+        assert!(compiled.is_some(), "constant pattern should be pre-compiled");
+        // ILIKE pre-lowercases the compiled pattern.
+        let bound = binder.bind(&parse_expr("'ABC' ILIKE 'A_C'").unwrap()).unwrap();
+        let BoundExpr::Like { compiled, .. } = &bound else { panic!("expected Like") };
+        assert!(compiled.as_ref().unwrap().matches("abc"));
+        // Non-constant patterns stay dynamic and still match correctly.
+        let bound = binder.bind(&parse_expr("'ab' LIKE ('a' || '%')").unwrap()).unwrap();
+        let BoundExpr::Like { compiled, .. } = &bound else { panic!("expected Like") };
+        assert!(compiled.is_none());
+        let ctes = Ctes::new();
+        let ctx = EvalCtx { db: &db, ctes: &ctes };
+        assert_eq!(bound.eval(&ctx, &Env::empty()).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn like_pattern_tokenizer_collapses_percent_runs() {
+        let p = LikePattern::compile("a%%%b");
+        assert!(p.matches("ab") && p.matches("axxb") && !p.matches("b"));
+        let q = LikePattern::compile("%%");
+        assert!(q.matches("") && q.matches("anything"));
     }
 
     #[test]

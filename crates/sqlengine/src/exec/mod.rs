@@ -39,19 +39,38 @@ pub struct ExecResult {
     /// Stage tree with timings and solver telemetry, recorded for solve
     /// statements (and `EXPLAIN ANALYZE`). `None` for plain SQL.
     pub trace: Option<QueryTrace>,
+    /// FNV-1a fingerprint of the optimized logical plan when the
+    /// columnar executor ran the statement; `None` when the row
+    /// interpreter handled it. Recorded in `sdb_stat_statements`.
+    pub plan_fingerprint: Option<u64>,
 }
 
 impl ExecResult {
     pub fn table(t: Table) -> ExecResult {
-        ExecResult { outcome: Outcome::Table(t), warnings: Vec::new(), trace: None }
+        ExecResult {
+            outcome: Outcome::Table(t),
+            warnings: Vec::new(),
+            trace: None,
+            plan_fingerprint: None,
+        }
     }
 
     pub fn count(n: usize) -> ExecResult {
-        ExecResult { outcome: Outcome::Count(n), warnings: Vec::new(), trace: None }
+        ExecResult {
+            outcome: Outcome::Count(n),
+            warnings: Vec::new(),
+            trace: None,
+            plan_fingerprint: None,
+        }
     }
 
     pub fn done() -> ExecResult {
-        ExecResult { outcome: Outcome::Done, warnings: Vec::new(), trace: None }
+        ExecResult {
+            outcome: Outcome::Done,
+            warnings: Vec::new(),
+            trace: None,
+            plan_fingerprint: None,
+        }
     }
 
     /// Attach analyzer warnings to this result.
@@ -112,8 +131,62 @@ pub fn execute_statement_timed(
     parse_nanos: Option<u64>,
 ) -> Result<ExecResult> {
     let ctes = Ctes::new();
+    // Discard diagnostics parked by an earlier statement that errored
+    // before its drain point — they do not belong to this statement.
+    drop(select::take_nested_solve_warnings());
+    let mut result = execute_statement_inner(db, stmt, parse_nanos, &ctes)?;
+    // Solves executed in subquery position have no warnings channel of
+    // their own; they park advisory findings thread-locally and the
+    // statement layer attaches them here so they are not dropped.
+    let mut nested = select::take_nested_solve_warnings();
+    nested.retain(|d| d.severity <= Severity::Warning);
+    result.warnings.extend(nested);
+    Ok(result)
+}
+
+fn execute_statement_inner(
+    db: &mut Database,
+    stmt: &Statement,
+    parse_nanos: Option<u64>,
+    ctes: &Ctes,
+) -> Result<ExecResult> {
+    let ctes = ctes.clone();
     match stmt {
-        Statement::Query(q) => Ok(ExecResult::table(run_query(db, &ctes, q, None)?)),
+        Statement::Query(q) => {
+            let (t, fp) = select::run_query_planned(db, &ctes, q, None, None)?;
+            let mut result = ExecResult::table(t);
+            result.plan_fingerprint = fp;
+            Ok(result)
+        }
+        Statement::ExplainQuery { analyze: false, query } => {
+            let lines = select::explain_query_plan(db, &ctes, query)?;
+            let schema = Schema::new(vec![Column::new("plan", DataType::Text)]);
+            let rows = lines.into_iter().map(|l| vec![Value::text(&l)]).collect();
+            Ok(ExecResult::table(Table::with_rows(schema, rows)))
+        }
+        Statement::ExplainQuery { analyze: true, query } => {
+            // Execute the query, recording the per-operator stage tree,
+            // and return the rendered tree (mirrors EXPLAIN ANALYZE for
+            // solve statements).
+            let trace = Trace::new();
+            trace.set_label("SELECT");
+            if let Some(n) = parse_nanos {
+                trace.record("parse", n);
+            }
+            let (t, fp) = select::run_query_planned(db, &ctes, query, None, Some(&trace))?;
+            let rows_out = t.num_rows();
+            let qt = trace.finish();
+            let schema = Schema::new(vec![Column::new("plan", DataType::Text)]);
+            let mut lines = qt.render();
+            lines.push(format!("rows out: {rows_out}"));
+            if let Some(f) = fp {
+                lines.push(format!("plan fingerprint: {f:016x}"));
+            }
+            let rows = lines.into_iter().map(|l| vec![Value::text(&l)]).collect();
+            let mut result = ExecResult::table(Table::with_rows(schema, rows)).with_trace(qt);
+            result.plan_fingerprint = fp;
+            Ok(result)
+        }
         Statement::Solve(s) => {
             let handler = db.solve_handler()?;
             let trace = Trace::new();

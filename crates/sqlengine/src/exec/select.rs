@@ -4,19 +4,67 @@
 
 use crate::ast::*;
 use crate::catalog::{Ctes, Database};
+use crate::diag::{Diagnostic, Severity};
 use crate::error::{Error, Result};
 use crate::exec::eval::{Binder, BoundExpr, Env, EvalCtx, Scope, ScopeCol};
 use crate::exec::funcs;
 use crate::table::{Column as TColumn, Row, Schema, Table};
 use crate::types::{BinOp, DataType, GroupKey, Value};
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Iteration guard for `WITH RECURSIVE`.
 const MAX_RECURSION: usize = 1_000_000;
 
+thread_local! {
+    /// Advisory findings from solves in subquery position (no warnings
+    /// channel reaches there); the statement layer drains this into the
+    /// outer `ExecResult` so nested diagnostics are not dropped.
+    static NESTED_SOLVE_WARNINGS: RefCell<Vec<Diagnostic>> = const { RefCell::new(Vec::new()) };
+    /// Bench / differential-test hook: bypass the columnar executor.
+    static FORCE_ROW: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Drain advisory diagnostics parked by solves executed in subquery
+/// position since the last drain (thread-local).
+pub fn take_nested_solve_warnings() -> Vec<Diagnostic> {
+    NESTED_SOLVE_WARNINGS.with(|w| std::mem::take(&mut *w.borrow_mut()))
+}
+
+pub(crate) fn park_nested_solve_warnings(warnings: Vec<Diagnostic>) {
+    if !warnings.is_empty() {
+        NESTED_SOLVE_WARNINGS.with(|w| w.borrow_mut().extend(warnings));
+    }
+}
+
+/// Force the row interpreter for queries run on this thread (bench and
+/// differential-test hook). Returns the previous setting.
+pub fn set_force_row_interpreter(on: bool) -> bool {
+    FORCE_ROW.with(|f| f.replace(on))
+}
+
+pub(crate) fn force_row_interpreter() -> bool {
+    FORCE_ROW.with(|f| f.get())
+}
+
 /// Execute a query and materialize the result.
 pub fn run_query(db: &Database, ctes: &Ctes, q: &Query, outer: Option<&Env<'_>>) -> Result<Table> {
+    run_query_planned(db, ctes, q, outer, None).map(|(t, _)| t)
+}
+
+/// Execute a query, routing plannable top-level SELECTs through the
+/// columnar executor (`plan` module). Returns the optimized-plan
+/// fingerprint when the columnar path ran, `None` when the row
+/// interpreter handled the query. `trace`, when given, receives
+/// per-operator spans (EXPLAIN ANALYZE).
+pub fn run_query_planned(
+    db: &Database,
+    ctes: &Ctes,
+    q: &Query,
+    outer: Option<&Env<'_>>,
+    trace: Option<&obs::Trace>,
+) -> Result<(Table, Option<u64>)> {
     let mut env_ctes = ctes.clone();
     for cte in &q.with {
         let table = if q.recursive && query_references(&cte.query, &cte.name) {
@@ -29,6 +77,67 @@ pub fn run_query(db: &Database, ctes: &Ctes, q: &Query, outer: Option<&Env<'_>>)
         env_ctes.insert(&cte.name, Arc::new(table));
     }
 
+    if let SetExpr::Select(sel) = &q.body {
+        if outer.is_none() && !force_row_interpreter() {
+            // Planning failures (unsupported shapes) fall back to the
+            // row interpreter; execution errors are genuine and surface.
+            if let Ok(Some(planned)) =
+                crate::plan::plan_select(db, &env_ctes, sel, &q.order_by, &q.limit, &q.offset)
+            {
+                let fp = planned.fingerprint();
+                let t = crate::plan::execute(db, &env_ctes, &planned, trace)?;
+                return Ok((t, Some(fp)));
+            }
+        }
+    }
+
+    let span = trace.map(|tr| tr.span("row interpreter"));
+    let t = run_query_rows(db, &env_ctes, q, outer)?;
+    if let Some(s) = &span {
+        s.rows(t.num_rows() as u64);
+    }
+    Ok((t, None))
+}
+
+/// Render the optimized plan for `EXPLAIN SELECT` — or a one-line
+/// explanation of why the query stays on the row interpreter. CTEs are
+/// materialized first (the planner resolves FROM sources at plan time).
+pub fn explain_query_plan(db: &Database, ctes: &Ctes, q: &Query) -> Result<Vec<String>> {
+    let mut env_ctes = ctes.clone();
+    for cte in &q.with {
+        let table = if q.recursive && query_references(&cte.query, &cte.name) {
+            run_recursive_cte(db, &env_ctes, cte, None)?
+        } else {
+            let mut t = run_query(db, &env_ctes, &cte.query, None)?;
+            rename_columns(&mut t, &cte.columns)?;
+            t
+        };
+        env_ctes.insert(&cte.name, Arc::new(table));
+    }
+    Ok(match &q.body {
+        SetExpr::Select(sel) => {
+            match crate::plan::plan_select(db, &env_ctes, sel, &q.order_by, &q.limit, &q.offset) {
+                Ok(Some(p)) => p.explain_lines(),
+                Ok(None) => vec![
+                    "row interpreter (shape outside the planner: no FROM, LATERAL, USING, or SOLVE)"
+                        .to_string(),
+                ],
+                Err(e) => vec![format!("row interpreter (planning fell back: {e})")],
+            }
+        }
+        _ => vec!["row interpreter (set operation or VALUES body)".to_string()],
+    })
+}
+
+/// The original row-at-a-time path (CTEs already materialized into
+/// `env_ctes` by the caller).
+fn run_query_rows(
+    db: &Database,
+    env_ctes: &Ctes,
+    q: &Query,
+    outer: Option<&Env<'_>>,
+) -> Result<Table> {
+    let env_ctes = env_ctes.clone();
     match &q.body {
         SetExpr::Select(sel) => {
             run_select(db, &env_ctes, sel, outer, &q.order_by, &q.limit, &q.offset)
@@ -84,7 +193,7 @@ fn bind_order_expr(
     binder.bind(expr)
 }
 
-fn sort_keyed(rows: &mut [(Vec<Value>, Row)], order: &[OrderItem]) {
+pub(crate) fn sort_keyed(rows: &mut [(Vec<Value>, Row)], order: &[OrderItem]) {
     rows.sort_by(|(ka, _), (kb, _)| {
         for (i, item) in order.iter().enumerate() {
             let (a, b) = (&ka[i], &kb[i]);
@@ -314,9 +423,14 @@ fn run_set_expr(
         SetExpr::Select(sel) => run_select(db, ctes, sel, outer, &[], &None, &None),
         SetExpr::Solve(stmt) => {
             let handler = db.solve_handler()?;
-            // Subquery position has no warnings channel; advisory
-            // findings from nested solves are dropped here.
-            handler.solve_select(db, stmt, ctes, &mut Vec::new(), None)
+            // Subquery position has no warnings channel; park advisory
+            // findings in the thread-local drained by the statement
+            // layer so they reach the outer ExecResult.
+            let mut warnings = Vec::new();
+            let t = handler.solve_select(db, stmt, ctes, &mut warnings, None)?;
+            warnings.retain(|d| d.severity <= Severity::Warning);
+            park_nested_solve_warnings(warnings);
+            Ok(t)
         }
         SetExpr::Query(q) => run_query(db, ctes, q, outer),
         SetExpr::Values(rows) => run_values(db, ctes, rows, outer),
@@ -492,7 +606,7 @@ fn scan_named(
     }
 }
 
-fn apply_alias_columns(scope: &mut Scope, alias: Option<&TableAlias>) -> Result<()> {
+pub(crate) fn apply_alias_columns(scope: &mut Scope, alias: Option<&TableAlias>) -> Result<()> {
     if let Some(a) = alias {
         if !a.columns.is_empty() {
             if a.columns.len() > scope.cols.len() {
@@ -647,7 +761,7 @@ fn eval_condition(
 /// Try to extract equi-join keys from an ON conjunction:
 /// every conjunct must be `l = r` with one side fully in the left scope
 /// and the other fully in the right scope.
-fn try_equi_keys(
+pub(crate) fn try_equi_keys(
     db: &Database,
     e: &Expr,
     left: &Scope,
@@ -948,16 +1062,16 @@ fn eval_from(
 
 /// Aggregate call found in an expression.
 #[derive(Debug, Clone, PartialEq)]
-struct AggCall {
-    name: String,
-    distinct: bool,
+pub(crate) struct AggCall {
+    pub(crate) name: String,
+    pub(crate) distinct: bool,
     /// `None` = count(*).
-    arg: Option<Expr>,
+    pub(crate) arg: Option<Expr>,
     /// Second argument (string_agg separator).
-    arg2: Option<Expr>,
+    pub(crate) arg2: Option<Expr>,
 }
 
-fn find_aggregates(e: &Expr, out: &mut Vec<AggCall>) {
+pub(crate) fn find_aggregates(e: &Expr, out: &mut Vec<AggCall>) {
     e.walk(&mut |node| {
         if let Expr::Func { name, args, distinct } = node {
             if funcs::is_aggregate(name) {
@@ -982,7 +1096,7 @@ fn find_aggregates(e: &Expr, out: &mut Vec<AggCall>) {
 /// Rewrite an expression for the post-aggregation scope: aggregate calls
 /// become references to `#a{i}`, expressions equal to a GROUP BY item
 /// become `#g{i}`.
-fn rewrite_agg(e: &Expr, group_by: &[Expr], aggs: &[AggCall]) -> Expr {
+pub(crate) fn rewrite_agg(e: &Expr, group_by: &[Expr], aggs: &[AggCall]) -> Expr {
     // Group-expression match first (so `a` in GROUP BY a stays valid).
     for (i, g) in group_by.iter().enumerate() {
         if e == g {
@@ -1067,7 +1181,7 @@ fn rewrite_agg(e: &Expr, group_by: &[Expr], aggs: &[AggCall]) -> Expr {
 }
 
 /// Aggregate accumulator.
-struct AggState {
+pub(crate) struct AggState {
     kind: String,
     distinct: bool,
     seen: std::collections::HashSet<GroupKey>,
@@ -1084,7 +1198,7 @@ struct AggState {
 }
 
 impl AggState {
-    fn new(kind: &str, distinct: bool) -> AggState {
+    pub(crate) fn new(kind: &str, distinct: bool) -> AggState {
         AggState {
             kind: kind.to_string(),
             distinct,
@@ -1101,7 +1215,7 @@ impl AggState {
         }
     }
 
-    fn update(&mut self, v: Option<Value>, sep: Option<&Value>) -> Result<()> {
+    pub(crate) fn update(&mut self, v: Option<Value>, sep: Option<&Value>) -> Result<()> {
         match (&self.kind[..], v) {
             ("count", None) => self.count += 1, // count(*)
             (_, None) => {}
@@ -1170,7 +1284,7 @@ impl AggState {
         Ok(())
     }
 
-    fn finish(self, sep: Option<&Value>) -> Result<Value> {
+    pub(crate) fn finish(self, sep: Option<&Value>) -> Result<Value> {
         Ok(match &self.kind[..] {
             "count" => Value::Int(self.count),
             "sum" => self.sum.unwrap_or(Value::Null),
@@ -1231,6 +1345,85 @@ impl AggState {
     }
 }
 
+/// Expand `SELECT *` / `t.*` items into positional column references
+/// (`#idx{i}` markers) and attach default names to plain expressions.
+/// Shared between the row interpreter and the planner so both see the
+/// same projection list.
+pub(crate) fn expand_projection(
+    sel: &Select,
+    scope: &Scope,
+) -> Result<Vec<(Option<String>, Expr)>> {
+    let mut proj: Vec<(Option<String>, Expr)> = Vec::new();
+    for item in &sel.projection {
+        match item {
+            SelectItem::Wildcard { qualifier } => {
+                for (i, c) in scope.cols.iter().enumerate() {
+                    let keep = match qualifier {
+                        None => true,
+                        Some(q) => c.qualifier.as_deref() == Some(q.as_str()),
+                    };
+                    if keep && !c.name.starts_with('#') {
+                        // Reference by position via a marker resolved below.
+                        proj.push((
+                            Some(c.name.clone()),
+                            Expr::Column {
+                                qualifier: Some(format!("#idx{i}")),
+                                name: c.name.clone(),
+                            },
+                        ));
+                    }
+                }
+                if proj.is_empty() && scope.cols.is_empty() {
+                    return Err(Error::bind("SELECT * with no FROM clause"));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                // Inner wildcard check (count(*) is rewritten later).
+                let name = alias.clone().or_else(|| default_name(expr));
+                proj.push((name, expr.clone()));
+            }
+        }
+    }
+    Ok(proj)
+}
+
+/// Resolve GROUP BY items against the projection list: positional
+/// references (`GROUP BY 2`) and projection aliases become the projected
+/// expression; input columns win over aliases.
+pub(crate) fn resolve_group_by(
+    items: &[Expr],
+    proj: &[(Option<String>, Expr)],
+    scope: &Scope,
+) -> Result<Vec<Expr>> {
+    let mut group_by: Vec<Expr> = Vec::new();
+    for g in items {
+        let resolved = match g {
+            Expr::Literal(Literal::Int(i)) => {
+                let idx = *i - 1;
+                if idx < 0 || idx as usize >= proj.len() {
+                    return Err(Error::bind(format!("GROUP BY position {i} out of range")));
+                }
+                proj[idx as usize].1.clone()
+            }
+            Expr::Column { qualifier: None, name } => {
+                // Prefer an input column; otherwise a projection alias.
+                if scope.resolve(None, name)?.is_some() {
+                    g.clone()
+                } else if let Some((_, e)) =
+                    proj.iter().find(|(n, _)| n.as_deref() == Some(name.as_str()))
+                {
+                    e.clone()
+                } else {
+                    g.clone()
+                }
+            }
+            other => other.clone(),
+        };
+        group_by.push(resolved);
+    }
+    Ok(group_by)
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_select(
     db: &Database,
@@ -1260,65 +1453,10 @@ fn run_select(
     }
 
     // Expand wildcards into column references (pre-binding).
-    let mut proj: Vec<(Option<String>, Expr)> = Vec::new();
-    for item in &sel.projection {
-        match item {
-            SelectItem::Wildcard { qualifier } => {
-                for (i, c) in input.scope.cols.iter().enumerate() {
-                    let keep = match qualifier {
-                        None => true,
-                        Some(q) => c.qualifier.as_deref() == Some(q.as_str()),
-                    };
-                    if keep && !c.name.starts_with('#') {
-                        // Reference by position via a marker resolved below.
-                        proj.push((
-                            Some(c.name.clone()),
-                            Expr::Column {
-                                qualifier: Some(format!("#idx{i}")),
-                                name: c.name.clone(),
-                            },
-                        ));
-                    }
-                }
-                if proj.is_empty() && input.scope.cols.is_empty() {
-                    return Err(Error::bind("SELECT * with no FROM clause"));
-                }
-            }
-            SelectItem::Expr { expr, alias } => {
-                // Inner wildcard check (count(*) is rewritten later).
-                let name = alias.clone().or_else(|| default_name(expr));
-                proj.push((name, expr.clone()));
-            }
-        }
-    }
+    let proj = expand_projection(sel, &input.scope)?;
 
     // Resolve GROUP BY items given projections (position / alias refs).
-    let mut group_by: Vec<Expr> = Vec::new();
-    for g in &sel.group_by {
-        let resolved = match g {
-            Expr::Literal(Literal::Int(i)) => {
-                let idx = *i - 1;
-                if idx < 0 || idx as usize >= proj.len() {
-                    return Err(Error::bind(format!("GROUP BY position {i} out of range")));
-                }
-                proj[idx as usize].1.clone()
-            }
-            Expr::Column { qualifier: None, name } => {
-                // Prefer an input column; otherwise a projection alias.
-                if input.scope.resolve(None, name)?.is_some() {
-                    g.clone()
-                } else if let Some((_, e)) =
-                    proj.iter().find(|(n, _)| n.as_deref() == Some(name.as_str()))
-                {
-                    e.clone()
-                } else {
-                    g.clone()
-                }
-            }
-            other => other.clone(),
-        };
-        group_by.push(resolved);
-    }
+    let group_by = resolve_group_by(&sel.group_by, &proj, &input.scope)?;
 
     // Detect aggregation.
     let mut aggs: Vec<AggCall> = Vec::new();
@@ -1331,7 +1469,10 @@ fn run_select(
     for o in order_by {
         find_aggregates(&o.expr, &mut aggs);
     }
-    let aggregated = !group_by.is_empty() || !aggs.is_empty() || sel.having.is_some();
+    let aggregated = !group_by.is_empty()
+        || sel.grouping_sets.is_some()
+        || !aggs.is_empty()
+        || sel.having.is_some();
 
     let (out_scope, out_rows, proj_bound, having_bound, order_bound);
     if aggregated {
@@ -1355,44 +1496,62 @@ fn run_select(
             })
             .collect::<Result<_>>()?;
 
-        // Group rows.
-        let mut groups: Vec<(Vec<Value>, Vec<AggState>, Option<Value>)> = Vec::new();
-        let mut index: HashMap<Vec<GroupKey>, usize> = HashMap::new();
+        // Group rows. Plain GROUP BY is the single grouping set using
+        // every key; ROLLUP/CUBE/GROUPING SETS run one grouping pass per
+        // set with the keys outside the set masked to NULL, and the
+        // per-set outputs concatenated.
+        let sets: Vec<Vec<usize>> = match &sel.grouping_sets {
+            Some(s) => s.clone(),
+            None => vec![(0..group_by.len()).collect()],
+        };
         let make_states = || -> Vec<AggState> {
             aggs.iter().map(|a| AggState::new(&a.name, a.distinct)).collect()
         };
-        if group_by.is_empty() {
-            groups.push((vec![], make_states(), None));
-        }
-        for row in &rows {
-            let env = Env { scope: &input.scope, row, parent: outer };
-            let gvals: Vec<Value> =
-                group_bound.iter().map(|b| b.eval(&ctx, &env)).collect::<Result<_>>()?;
-            let gidx = if group_by.is_empty() {
-                0
+        let mut groups: Vec<(Vec<Value>, Vec<AggState>, Option<Value>)> = Vec::new();
+        for set in &sets {
+            let mut index: HashMap<Vec<GroupKey>, usize> = HashMap::new();
+            let empty_gidx = if set.is_empty() {
+                // The empty set is a global aggregate: exactly one output
+                // row even over empty input.
+                groups.push((vec![Value::Null; group_by.len()], make_states(), None));
+                Some(groups.len() - 1)
             } else {
-                let key: Vec<GroupKey> = gvals.iter().map(|v| v.group_key()).collect();
-                *index.entry(key).or_insert_with(|| {
-                    groups.push((gvals.clone(), make_states(), None));
-                    groups.len() - 1
-                })
+                None
             };
-            let (_, states, sep_slot) = &mut groups[gidx];
-            for (si, ba) in aggs_bound.iter().enumerate() {
-                let v = match &ba.arg {
-                    None => None,
-                    Some(b) => Some(b.eval(&ctx, &env)?),
-                };
-                let sep = match &ba.arg2 {
-                    None => None,
-                    Some(b) => {
-                        let s = b.eval(&ctx, &env)?;
-                        *sep_slot = Some(s.clone());
-                        Some(s)
+            for row in &rows {
+                let env = Env { scope: &input.scope, row, parent: outer };
+                let gvals: Vec<Value> =
+                    group_bound.iter().map(|b| b.eval(&ctx, &env)).collect::<Result<_>>()?;
+                let masked: Vec<Value> = (0..group_by.len())
+                    .map(|i| if set.contains(&i) { gvals[i].clone() } else { Value::Null })
+                    .collect();
+                let gidx = match empty_gidx {
+                    Some(g) => g,
+                    None => {
+                        let key: Vec<GroupKey> = masked.iter().map(|v| v.group_key()).collect();
+                        *index.entry(key).or_insert_with(|| {
+                            groups.push((masked.clone(), make_states(), None));
+                            groups.len() - 1
+                        })
                     }
                 };
-                states[si].update(v, sep.as_ref())?;
-                let _ = &ba.call;
+                let (_, states, sep_slot) = &mut groups[gidx];
+                for (si, ba) in aggs_bound.iter().enumerate() {
+                    let v = match &ba.arg {
+                        None => None,
+                        Some(b) => Some(b.eval(&ctx, &env)?),
+                    };
+                    let sep = match &ba.arg2 {
+                        None => None,
+                        Some(b) => {
+                            let s = b.eval(&ctx, &env)?;
+                            *sep_slot = Some(s.clone());
+                            Some(s)
+                        }
+                    };
+                    states[si].update(v, sep.as_ref())?;
+                    let _ = &ba.call;
+                }
             }
         }
 
@@ -1560,7 +1719,11 @@ fn run_select(
 
 /// Wildcard-expanded items carry a `#idx{i}` qualifier so they bind by
 /// position, immune to duplicate column names.
-fn bind_with_idx_markers(binder: &Binder<'_>, e: &Expr, _scope: &Scope) -> Result<BoundExpr> {
+pub(crate) fn bind_with_idx_markers(
+    binder: &Binder<'_>,
+    e: &Expr,
+    _scope: &Scope,
+) -> Result<BoundExpr> {
     if let Expr::Column { qualifier: Some(q), .. } = e {
         if let Some(idx) = q.strip_prefix("#idx") {
             let index: usize = idx.parse().expect("internal marker");
@@ -1572,7 +1735,7 @@ fn bind_with_idx_markers(binder: &Binder<'_>, e: &Expr, _scope: &Scope) -> Resul
 
 /// In the aggregate path markers must be turned back into plain column
 /// expressions so they can match GROUP BY items.
-fn resolve_idx_markers(e: &Expr, scope: &Scope) -> Expr {
+pub(crate) fn resolve_idx_markers(e: &Expr, scope: &Scope) -> Expr {
     if let Expr::Column { qualifier: Some(q), .. } = e {
         if let Some(idx) = q.strip_prefix("#idx") {
             let index: usize = idx.parse().expect("internal marker");
@@ -1585,7 +1748,7 @@ fn resolve_idx_markers(e: &Expr, scope: &Scope) -> Expr {
 
 /// Statically known output type of a bound expression (used when value
 /// inference sees only NULLs).
-fn static_type(b: &BoundExpr, scope: &Scope) -> DataType {
+pub(crate) fn static_type(b: &BoundExpr, scope: &Scope) -> DataType {
     match b {
         BoundExpr::Column { depth: 0, index } => scope.cols[*index].ty.clone(),
         BoundExpr::Cast { ty, .. } => ty.clone(),

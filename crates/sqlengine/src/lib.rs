@@ -19,6 +19,7 @@ pub mod error;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
 pub mod shape;
 pub mod table;
 pub mod types;
@@ -27,6 +28,7 @@ pub mod wire;
 pub use catalog::{Ctes, Database, ScalarUdf, SolveHandler, VirtualTableProvider};
 pub use diag::{Diagnostic, Severity};
 pub use error::{Error, Result};
+pub use exec::select::set_force_row_interpreter;
 pub use exec::{
     execute_script, execute_sql, execute_statement, execute_statement_timed, run_query, ExecResult,
     Outcome,

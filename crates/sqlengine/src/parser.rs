@@ -309,19 +309,31 @@ impl Parser {
             } else {
                 ExplainMode::Plan
             };
-            if !(self.peek_kw("solveselect") || self.peek_kw("solvemodel")) {
-                return Err(Error::parse(format!(
-                    "EXPLAIN {}expects a SOLVESELECT or SOLVEMODEL statement, found '{}'",
-                    match mode {
-                        ExplainMode::Plan => "",
-                        ExplainMode::Check => "CHECK ",
-                        ExplainMode::Analyze => "ANALYZE ",
-                        ExplainMode::Presolve => "PRESOLVE ",
-                    },
-                    self.peek()
-                )));
+            if self.peek_kw("solveselect") || self.peek_kw("solvemodel") {
+                return Ok(Statement::Explain { mode, stmt: Box::new(self.parse_solve()?) });
             }
-            return Ok(Statement::Explain { mode, stmt: Box::new(self.parse_solve()?) });
+            // Plain queries support EXPLAIN / EXPLAIN ANALYZE (logical
+            // plan rendering); CHECK and PRESOLVE stay solve-only.
+            if matches!(mode, ExplainMode::Plan | ExplainMode::Analyze) && self.starts_query_at(0) {
+                return Ok(Statement::ExplainQuery {
+                    analyze: mode == ExplainMode::Analyze,
+                    query: Box::new(self.parse_query()?),
+                });
+            }
+            return Err(Error::parse(format!(
+                "EXPLAIN {}expects a {}SOLVESELECT or SOLVEMODEL statement, found '{}'",
+                match mode {
+                    ExplainMode::Plan => "",
+                    ExplainMode::Check => "CHECK ",
+                    ExplainMode::Analyze => "ANALYZE ",
+                    ExplainMode::Presolve => "PRESOLVE ",
+                },
+                match mode {
+                    ExplainMode::Plan | ExplainMode::Analyze => "query, ",
+                    _ => "",
+                },
+                self.peek()
+            )));
         }
         if self.eat_kw("modeleval") {
             self.expect(&Token::LParen)?;
@@ -690,14 +702,10 @@ impl Parser {
         }
         let where_ = if self.eat_kw("where") { Some(self.parse_expr()?) } else { None };
         let mut group_by = Vec::new();
+        let mut grouping_sets = None;
         if self.eat_kw("group") {
             self.expect_kw("by")?;
-            loop {
-                group_by.push(self.parse_expr()?);
-                if !self.eat(&Token::Comma) {
-                    break;
-                }
-            }
+            (group_by, grouping_sets) = self.parse_group_by()?;
         }
         let having = if self.eat_kw("having") { Some(self.parse_expr()?) } else { None };
         Ok(SetExpr::Select(Box::new(Select {
@@ -706,8 +714,105 @@ impl Parser {
             from,
             where_,
             group_by,
+            grouping_sets,
             having,
         })))
+    }
+
+    /// Parse the list after `GROUP BY`: either a plain expression list or
+    /// one of the grouping-set constructs. ROLLUP and CUBE are contextual
+    /// keywords — recognized only when immediately followed by `(` — so
+    /// `GROUP BY rollup` still groups by a column named `rollup`.
+    fn parse_group_by(&mut self) -> Result<(Vec<Expr>, Option<Vec<Vec<usize>>>)> {
+        if self.peek_kw("rollup") && self.peek_at(1) == &Token::LParen {
+            self.next();
+            let keys = self.parse_paren_expr_list()?;
+            // ROLLUP(a, b) = GROUPING SETS ((a, b), (a), ())
+            let sets: Vec<Vec<usize>> = (0..=keys.len()).rev().map(|k| (0..k).collect()).collect();
+            return Ok((keys, Some(sets)));
+        }
+        if self.peek_kw("cube") && self.peek_at(1) == &Token::LParen {
+            self.next();
+            let keys = self.parse_paren_expr_list()?;
+            let n = keys.len();
+            if n > 12 {
+                return Err(Error::parse("CUBE supports at most 12 columns"));
+            }
+            // CUBE(a, b) = GROUPING SETS ((a, b), (a), (b), ()), i.e. the
+            // powerset in PostgreSQL's output order (descending masks).
+            let sets: Vec<Vec<usize>> = (0..(1usize << n))
+                .rev()
+                .map(|mask| (0..n).filter(|&i| mask & (1 << (n - 1 - i)) != 0).collect())
+                .collect();
+            return Ok((keys, Some(sets)));
+        }
+        if self.peek_kw("grouping") && self.peek_at(1).is_kw("sets") {
+            self.next();
+            self.next();
+            self.expect(&Token::LParen)?;
+            // Each element is `(expr, ...)`, `()` or a bare expression
+            // (a singleton set). Distinct key expressions are collected
+            // in first-appearance order; sets index into that list.
+            let mut keys: Vec<Expr> = Vec::new();
+            let mut sets: Vec<Vec<usize>> = Vec::new();
+            let key_index = |keys: &mut Vec<Expr>, e: Expr| -> usize {
+                if let Some(i) = keys.iter().position(|k| *k == e) {
+                    i
+                } else {
+                    keys.push(e);
+                    keys.len() - 1
+                }
+            };
+            loop {
+                let mut set = Vec::new();
+                if self.eat(&Token::LParen) {
+                    if !self.eat(&Token::RParen) {
+                        loop {
+                            let idx = key_index(&mut keys, self.parse_expr()?);
+                            if !set.contains(&idx) {
+                                set.push(idx);
+                            }
+                            if !self.eat(&Token::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&Token::RParen)?;
+                    }
+                } else {
+                    set.push(key_index(&mut keys, self.parse_expr()?));
+                }
+                sets.push(set);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok((keys, Some(sets)));
+        }
+        let mut group_by = Vec::new();
+        loop {
+            group_by.push(self.parse_expr()?);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok((group_by, None))
+    }
+
+    /// `( expr [, expr]* )` — shared by ROLLUP and CUBE.
+    fn parse_paren_expr_list(&mut self) -> Result<Vec<Expr>> {
+        self.expect(&Token::LParen)?;
+        let mut out = Vec::new();
+        if !self.eat(&Token::RParen) {
+            loop {
+                out.push(self.parse_expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+        }
+        Ok(out)
     }
 
     fn parse_table_ref(&mut self) -> Result<TableRef> {
@@ -1450,11 +1555,18 @@ mod tests {
         // Display round-trips through the parser.
         let again = parse_statement(&checked.to_string()).unwrap();
         assert!(matches!(again, Statement::Explain { mode: ExplainMode::Check, .. }));
-        // EXPLAIN only applies to solve statements.
-        let err = parse_statement("EXPLAIN SELECT 1").unwrap_err().to_string();
-        assert!(err.contains("SOLVESELECT"), "error: {err}");
+        // Plain queries get EXPLAIN too (logical plan rendering)...
+        let q = parse_statement("EXPLAIN SELECT 1").unwrap();
+        assert!(matches!(q, Statement::ExplainQuery { analyze: false, .. }), "got {q:?}");
+        assert_eq!(q.to_string(), "EXPLAIN SELECT 1");
+        assert_eq!(parse_statement(&q.to_string()).unwrap(), q);
+        // ...but CHECK / PRESOLVE stay solve-only.
         let err = parse_statement("EXPLAIN CHECK SELECT 1").unwrap_err().to_string();
         assert!(err.contains("CHECK"), "error: {err}");
+        let err = parse_statement("EXPLAIN PRESOLVE SELECT 1").unwrap_err().to_string();
+        assert!(err.contains("PRESOLVE"), "error: {err}");
+        let err = parse_statement("EXPLAIN 42").unwrap_err().to_string();
+        assert!(err.contains("SOLVESELECT"), "error: {err}");
     }
 
     #[test]
@@ -1471,9 +1583,40 @@ mod tests {
         assert!(shown.starts_with("EXPLAIN ANALYZE SOLVESELECT"), "display: {shown}");
         let again = parse_statement(&shown).unwrap();
         assert_eq!(again, parsed);
-        // ANALYZE applies only to solve statements, like the other modes.
-        let err = parse_statement("EXPLAIN ANALYZE SELECT 1").unwrap_err().to_string();
-        assert!(err.contains("ANALYZE"), "error: {err}");
+        // ANALYZE also applies to plain queries.
+        let q = parse_statement("EXPLAIN ANALYZE SELECT 1").unwrap();
+        assert!(matches!(q, Statement::ExplainQuery { analyze: true, .. }), "got {q:?}");
+        assert_eq!(q.to_string(), "EXPLAIN ANALYZE SELECT 1");
+        assert_eq!(parse_statement(&q.to_string()).unwrap(), q);
+    }
+
+    #[test]
+    fn grouping_sets_parse_and_roundtrip() {
+        // ROLLUP expands to prefix sets.
+        let q = parse_query("SELECT a, b, sum(c) FROM t GROUP BY ROLLUP(a, b)").unwrap();
+        let SetExpr::Select(sel) = &q.body else { panic!() };
+        assert_eq!(sel.group_by.len(), 2);
+        assert_eq!(sel.grouping_sets, Some(vec![vec![0, 1], vec![0], vec![]]));
+        // CUBE expands to the powerset in PostgreSQL order.
+        let q = parse_query("SELECT a, b FROM t GROUP BY CUBE(a, b)").unwrap();
+        let SetExpr::Select(sel) = &q.body else { panic!() };
+        assert_eq!(sel.grouping_sets, Some(vec![vec![0, 1], vec![0], vec![1], vec![]]));
+        // GROUPING SETS with paren lists, bare expressions and the empty set.
+        let q = parse_query("SELECT a, b FROM t GROUP BY GROUPING SETS ((a, b), b, ())").unwrap();
+        let SetExpr::Select(sel) = &q.body else { panic!() };
+        assert_eq!(sel.group_by.len(), 2);
+        assert_eq!(sel.grouping_sets, Some(vec![vec![0, 1], vec![1], vec![]]));
+        // Display renders canonical GROUPING SETS form and round-trips.
+        let shown = q.to_string();
+        assert!(shown.contains("GROUP BY GROUPING SETS ((a, b), (b), ())"), "display: {shown}");
+        assert_eq!(parse_query(&shown).unwrap(), q);
+        let rollup = parse_query("SELECT a FROM t GROUP BY ROLLUP(a)").unwrap();
+        assert_eq!(parse_query(&rollup.to_string()).unwrap(), rollup);
+        // Contextual keywords: `rollup` without parens is a column name.
+        let q = parse_query("SELECT rollup FROM t GROUP BY rollup").unwrap();
+        let SetExpr::Select(sel) = &q.body else { panic!() };
+        assert_eq!(sel.grouping_sets, None);
+        assert_eq!(sel.group_by.len(), 1);
     }
 
     #[test]

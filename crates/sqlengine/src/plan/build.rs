@@ -1,0 +1,1283 @@
+//! Plan construction and cost-based optimization.
+//!
+//! [`plan_select`] compiles a plain `SELECT` into a [`PlannedQuery`].
+//! It is deliberately conservative: any shape outside the planner's
+//! competence returns `Ok(None)` (or an error, which the caller also
+//! treats as "fall back") and the row interpreter executes the query
+//! with its original semantics. Shapes that stay on the row path:
+//!
+//! - no FROM clause, LATERAL, `USING` joins
+//! - `SOLVEMODEL` expressions or `SOLVESELECT` subqueries anywhere
+//! - correlated outer context (the caller only plans top-level queries)
+//!
+//! For a FROM clause of pure inner/cross joins the builder runs the
+//! full optimization pipeline: `WHERE` and `ON` conjuncts are pooled
+//! (sound because inner-join `ON` and `WHERE` are interchangeable),
+//! single-table conjuncts are pushed below the join onto their scan,
+//! two-table equalities become hash-join edges, scans are pruned to the
+//! referenced columns, and the join order is chosen greedily from
+//! per-table statistics (smallest relation first, then whichever
+//! candidate minimizes the estimated intermediate size). A `Reorder`
+//! node restores the syntactic column order above the chosen join tree.
+//! Outer joins keep their syntactic structure (predicate motion across
+//! the nullable side of an outer join is unsound) and only get the
+//! vectorized executor, not the optimizer.
+//!
+//! Expressions containing subqueries disable column pruning and join
+//! reordering: bound subqueries re-bind against the runtime scope chain
+//! at evaluation time, so the scope they see must stay syntactic.
+
+use super::ir::{PlanAggCall, PlanNode, PlannedQuery};
+use crate::ast::{
+    Expr, JoinConstraint, JoinKind, Literal, OrderItem, Select, SelectItem, SetExpr,
+    TableRef as AstTableRef,
+};
+use crate::catalog::{Ctes, Database};
+use crate::error::Result;
+use crate::exec::eval::{Binder, BoundExpr, Env, EvalCtx, Scope, ScopeCol};
+use crate::exec::select::{
+    bind_with_idx_markers, expand_projection, find_aggregates, resolve_group_by,
+    resolve_idx_markers, rewrite_agg, run_query, static_type, try_equi_keys, AggCall,
+};
+use crate::table::TableRef;
+use crate::types::DataType;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Compile a `SELECT` into an optimized plan, or `None` when the shape
+/// belongs on the row interpreter.
+pub fn plan_select(
+    db: &Database,
+    ctes: &Ctes,
+    sel: &Select,
+    order_by: &[OrderItem],
+    limit: &Option<Expr>,
+    offset: &Option<Expr>,
+) -> Result<Option<PlannedQuery>> {
+    // -- shape gate ---------------------------------------------------------
+    if sel.from.is_empty() {
+        return Ok(None);
+    }
+    if sel.from.iter().any(tref_unsupported) {
+        return Ok(None);
+    }
+    if select_has_solve(sel)
+        || order_by.iter().any(|o| expr_has_solve(&o.expr))
+        || limit.as_ref().is_some_and(expr_has_solve)
+        || offset.as_ref().is_some_and(expr_has_solve)
+    {
+        return Ok(None);
+    }
+
+    // LIMIT/OFFSET are constant expressions; resolve them at plan time
+    // (errors fall back so the interpreter reports them).
+    let eval_const = |e: &Expr| -> Result<Option<usize>> {
+        let scope = Scope::default();
+        let binder = Binder::new(db, &scope);
+        let b = binder.bind(e)?;
+        let ctx = EvalCtx { db, ctes };
+        let v = b.eval(&ctx, &Env::empty())?;
+        if v.is_null() {
+            Ok(None)
+        } else {
+            Ok(Some(v.as_i64()?.max(0) as usize))
+        }
+    };
+    let limit_n = match limit {
+        Some(e) => eval_const(e)?,
+        None => None,
+    };
+    let offset_n = match offset {
+        Some(e) => eval_const(e)?,
+        None => None,
+    };
+
+    // -- FROM clause --------------------------------------------------------
+    let pure = sel.from.iter().all(is_pure_inner);
+    let from = if pure {
+        let mut bases = Vec::new();
+        let mut ons: Vec<(&Expr, Scope)> = Vec::new();
+        for tref in &sel.from {
+            if !flatten_pure(db, ctes, tref, &mut bases, &mut ons)? {
+                return Ok(None);
+            }
+        }
+        // Validate ON conditions the way the interpreter would: bound
+        // against the local combined scope of their join node.
+        for (e, local) in &ons {
+            let binder = Binder::new(db, local);
+            binder.bind(e)?; // Err → fall back; interpreter reproduces it
+        }
+        let mut syn_scope = Scope::default();
+        let mut offsets = Vec::with_capacity(bases.len());
+        for b in &bases {
+            offsets.push(syn_scope.cols.len());
+            syn_scope = syn_scope.join(&b.scope);
+        }
+        FromShape::Pure {
+            bases,
+            offsets,
+            syn_scope,
+            ons: ons.into_iter().map(|(e, _)| e).collect(),
+        }
+    } else {
+        let mut node: Option<PlanNode> = None;
+        for tref in &sel.from {
+            let Some(next) = build_syntactic(db, ctes, tref)? else { return Ok(None) };
+            node = Some(match node {
+                None => next,
+                Some(acc) => {
+                    let scope = acc.scope().join(next.scope());
+                    let est = acc.est() * next.est();
+                    PlanNode::Join {
+                        left: Box::new(acc),
+                        right: Box::new(next),
+                        kind: JoinKind::Cross,
+                        lkeys: vec![],
+                        rkeys: vec![],
+                        cond: None,
+                        desc: String::new(),
+                        scope,
+                        est,
+                    }
+                }
+            });
+        }
+        let Some(node) = node else { return Ok(None) };
+        let syn_scope = node.scope().clone();
+        FromShape::General { node, syn_scope }
+    };
+    let syn_scope = match &from {
+        FromShape::Pure { syn_scope, .. } | FromShape::General { syn_scope, .. } => {
+            syn_scope.clone()
+        }
+    };
+
+    // -- projection / grouping analysis (mirrors run_select) ----------------
+    let proj = expand_projection(sel, &syn_scope)?;
+    let group_by = resolve_group_by(&sel.group_by, &proj, &syn_scope)?;
+    let mut aggs: Vec<AggCall> = Vec::new();
+    for (_, e) in &proj {
+        find_aggregates(e, &mut aggs);
+    }
+    if let Some(h) = &sel.having {
+        find_aggregates(h, &mut aggs);
+    }
+    for o in order_by {
+        find_aggregates(&o.expr, &mut aggs);
+    }
+    let aggregated = !group_by.is_empty()
+        || sel.grouping_sets.is_some()
+        || !aggs.is_empty()
+        || sel.having.is_some();
+
+    // Subqueries re-bind against the runtime scope at evaluation time,
+    // so any subquery in any expression pins the scope to its syntactic
+    // shape: no pruning, no join reordering.
+    let mut has_subquery = proj.iter().any(|(_, e)| expr_has_subquery(e))
+        || sel.where_.as_ref().is_some_and(expr_has_subquery)
+        || sel.having.as_ref().is_some_and(expr_has_subquery)
+        || group_by.iter().any(expr_has_subquery)
+        || order_by.iter().any(|o| expr_has_subquery(&o.expr));
+
+    // Bind the pre-aggregation expressions against the syntactic scope.
+    let syn_binder = Binder::new(db, &syn_scope);
+    let mut group_bound: Vec<BoundExpr> = Vec::new();
+    let mut agg_args: Vec<(Option<BoundExpr>, Option<BoundExpr>)> = Vec::new();
+    let mut proj_bound: Vec<BoundExpr> = Vec::new();
+    let mut order_bound: Vec<BoundExpr> = Vec::new();
+    if aggregated {
+        for g in &group_by {
+            group_bound.push(syn_binder.bind(g)?);
+        }
+        for a in &aggs {
+            agg_args.push((
+                a.arg.as_ref().map(|e| syn_binder.bind(e)).transpose()?,
+                a.arg2.as_ref().map(|e| syn_binder.bind(e)).transpose()?,
+            ));
+        }
+    } else {
+        for (_, e) in &proj {
+            proj_bound.push(bind_with_idx_markers(&syn_binder, e, &syn_scope)?);
+        }
+        for o in order_by {
+            if let Expr::Literal(Literal::Int(i)) = &o.expr {
+                let idx = *i - 1;
+                if idx < 0 || idx as usize >= proj_bound.len() {
+                    return Ok(None); // interpreter reports the range error
+                }
+                order_bound.push(proj_bound[idx as usize].clone());
+                continue;
+            }
+            if let Expr::Column { qualifier: None, name } = &o.expr {
+                if let Some(i) = proj.iter().position(|(n, _)| n.as_deref() == Some(name.as_str()))
+                {
+                    order_bound.push(proj_bound[i].clone());
+                    continue;
+                }
+            }
+            order_bound.push(syn_binder.bind(&o.expr)?);
+        }
+    }
+
+    // -- conjunct classification (pure mode) --------------------------------
+    let (mut input, col_map) = match from {
+        FromShape::General { node, .. } => {
+            let node = match &sel.where_ {
+                Some(w) => {
+                    let pred = syn_binder.bind(w)?;
+                    let est = sel_est(node.est(), 1);
+                    PlanNode::Filter {
+                        input: Box::new(node),
+                        pred,
+                        desc: clip(&w.to_string()),
+                        est,
+                    }
+                }
+                None => node,
+            };
+            (node, None)
+        }
+        FromShape::Pure { bases, offsets, syn_scope: _, ons } => {
+            let mut conjuncts: Vec<&Expr> = Vec::new();
+            for e in &ons {
+                split_and(e, &mut conjuncts);
+            }
+            if let Some(w) = &sel.where_ {
+                split_and(w, &mut conjuncts);
+            }
+
+            let base_of = |cols: &[usize]| -> Option<usize> {
+                let mut owner = None;
+                for &c in cols {
+                    let b = offsets.iter().rposition(|&o| o <= c)?;
+                    if owner.is_some_and(|p| p != b) {
+                        return None;
+                    }
+                    owner = Some(b);
+                }
+                owner
+            };
+
+            struct Edge {
+                a: usize,
+                b: usize,
+                ab: BoundExpr,
+                bb: BoundExpr,
+                desc: String,
+            }
+            let mut pushed: Vec<Vec<(BoundExpr, String)>> = vec![Vec::new(); bases.len()];
+            let mut edges: Vec<Edge> = Vec::new();
+            let mut residual: Vec<(BoundExpr, String)> = Vec::new();
+            for c in conjuncts {
+                let b = syn_binder.bind(c)?;
+                let desc = clip(&c.to_string());
+                if bound_has_subquery(&b) {
+                    has_subquery = true;
+                    residual.push((b, desc));
+                    continue;
+                }
+                let mut cols = Vec::new();
+                collect_cols(&b, &mut cols);
+                if !cols.is_empty() {
+                    if let Some(owner) = base_of(&cols) {
+                        pushed[owner].push((b, desc));
+                        continue;
+                    }
+                }
+                if let BoundExpr::BinOp { op: crate::types::BinOp::Eq, lhs, rhs } = &b {
+                    let (mut lc, mut rc) = (Vec::new(), Vec::new());
+                    collect_cols(lhs, &mut lc);
+                    collect_cols(rhs, &mut rc);
+                    if !lc.is_empty() && !rc.is_empty() {
+                        if let (Some(a), Some(bb)) = (base_of(&lc), base_of(&rc)) {
+                            if a != bb {
+                                edges.push(Edge {
+                                    a,
+                                    b: bb,
+                                    ab: (**lhs).clone(),
+                                    bb: (**rhs).clone(),
+                                    desc,
+                                });
+                                continue;
+                            }
+                        }
+                    }
+                }
+                residual.push((b, desc));
+            }
+
+            // -- column pruning ---------------------------------------------
+            let widths: Vec<usize> = bases.iter().map(|b| b.scope.cols.len()).collect();
+            let total: usize = widths.iter().sum();
+            let kept: Vec<Vec<usize>> = if has_subquery {
+                widths.iter().map(|&w| (0..w).collect()).collect()
+            } else {
+                let mut used: HashSet<usize> = HashSet::new();
+                let mut add = |b: &BoundExpr| {
+                    let mut cols = Vec::new();
+                    collect_cols(b, &mut cols);
+                    used.extend(cols);
+                };
+                for (b, _) in pushed.iter().flatten() {
+                    add(b);
+                }
+                for e in &edges {
+                    add(&e.ab);
+                    add(&e.bb);
+                }
+                for (b, _) in &residual {
+                    add(b);
+                }
+                for b in group_bound.iter().chain(proj_bound.iter()).chain(order_bound.iter()) {
+                    add(b);
+                }
+                for (a1, a2) in &agg_args {
+                    if let Some(b) = a1 {
+                        add(b);
+                    }
+                    if let Some(b) = a2 {
+                        add(b);
+                    }
+                }
+                (0..bases.len())
+                    .map(|bi| {
+                        (0..widths[bi]).filter(|j| used.contains(&(offsets[bi] + j))).collect()
+                    })
+                    .collect()
+            };
+            // Old syntactic index → pruned syntactic index.
+            let mut to_pruned: HashMap<usize, usize> = HashMap::new();
+            let mut pruned_offsets = Vec::with_capacity(bases.len());
+            let mut pruned_scope = Scope::default();
+            for (bi, keep) in kept.iter().enumerate() {
+                pruned_offsets.push(pruned_scope.cols.len());
+                for &j in keep {
+                    to_pruned.insert(offsets[bi] + j, pruned_scope.cols.len());
+                    pruned_scope.cols.push(bases[bi].scope.cols[j].clone());
+                }
+            }
+            let map: Option<HashMap<usize, usize>> =
+                if to_pruned.len() == total && (0..total).all(|i| to_pruned.get(&i) == Some(&i)) {
+                    None
+                } else {
+                    Some(to_pruned.clone())
+                };
+
+            // -- per-base scan (+ pushed filter) nodes -----------------------
+            let col_distinct = |syn: usize| -> Option<f64> {
+                let bi = offsets.iter().rposition(|&o| o <= syn)?;
+                let j = syn - offsets[bi];
+                let stats = db.table_stats(&bases[bi].source);
+                Some(stats.distinct_of(j))
+            };
+            let mut nodes: Vec<Option<PlanNode>> = Vec::with_capacity(bases.len());
+            let mut ests: Vec<f64> = Vec::with_capacity(bases.len());
+            for (bi, base) in bases.iter().enumerate() {
+                let stats = db.table_stats(&base.source);
+                let scope =
+                    Scope::new(kept[bi].iter().map(|&j| base.scope.cols[j].clone()).collect());
+                let full = kept[bi].len() == widths[bi];
+                let mut est = stats.row_count as f64;
+                let mut node = PlanNode::Scan {
+                    label: base.label.clone(),
+                    source: base.source.clone(),
+                    cols: if full { None } else { Some(kept[bi].clone()) },
+                    total_cols: widths[bi],
+                    scope,
+                    est,
+                };
+                // Base-local remap: syntactic index → scan output index.
+                let local: HashMap<usize, usize> =
+                    kept[bi].iter().enumerate().map(|(pos, &j)| (offsets[bi] + j, pos)).collect();
+                for (b, desc) in &pushed[bi] {
+                    est = pred_est(b, est, &col_distinct);
+                    let Some(pred) = remap_cols(b, &local) else { return Ok(None) };
+                    node =
+                        PlanNode::Filter { input: Box::new(node), pred, desc: desc.clone(), est };
+                }
+                nodes.push(Some(node));
+                ests.push(est);
+            }
+
+            // -- greedy join order ------------------------------------------
+            let nb = bases.len();
+            let reorder_ok = !has_subquery;
+            let mut order: Vec<usize> = Vec::with_capacity(nb);
+            if nb > 1 && reorder_ok {
+                let mut start = 0;
+                for i in 1..nb {
+                    if ests[i] < ests[start] {
+                        start = i;
+                    }
+                }
+                let mut in_set = vec![false; nb];
+                in_set[start] = true;
+                order.push(start);
+                let mut acc_est = ests[start];
+                while order.len() < nb {
+                    let mut best: Option<(f64, usize)> = None;
+                    for c in 0..nb {
+                        if in_set[c] {
+                            continue;
+                        }
+                        let est = join_est(
+                            acc_est,
+                            ests[c],
+                            &edges_between(
+                                &edges.iter().map(|e| (e.a, e.b, &e.ab, &e.bb)).collect::<Vec<_>>(),
+                                &in_set,
+                                c,
+                            ),
+                            &col_distinct,
+                        );
+                        if best.is_none_or(|(be, _)| est < be) {
+                            best = Some((est, c));
+                        }
+                    }
+                    let Some((est, c)) = best else { return Ok(None) };
+                    in_set[c] = true;
+                    order.push(c);
+                    acc_est = est;
+                }
+            } else {
+                order.extend(0..nb);
+            }
+
+            // -- assemble the join tree -------------------------------------
+            // acc_map: pruned syntactic index → position in the join output.
+            let mut acc_map: HashMap<usize, usize> = HashMap::new();
+            let first = order[0];
+            for pos in 0..kept[first].len() {
+                acc_map.insert(pruned_offsets[first] + pos, pos);
+            }
+            let Some(mut node) = nodes[first].take() else { return Ok(None) };
+            let mut acc_est = ests[first];
+            let mut in_set = vec![false; nb];
+            in_set[first] = true;
+            let mut edge_used = vec![false; edges.len()];
+            for &c in &order[1..] {
+                let mut lkeys = Vec::new();
+                let mut rkeys = Vec::new();
+                let mut descs = Vec::new();
+                let local: HashMap<usize, usize> =
+                    kept[c].iter().enumerate().map(|(pos, &j)| (offsets[c] + j, pos)).collect();
+                let mut denom = 1.0f64;
+                for (ei, e) in edges.iter().enumerate() {
+                    if edge_used[ei] {
+                        continue;
+                    }
+                    let (set_side, c_side) = if e.b == c && in_set[e.a] {
+                        (&e.ab, &e.bb)
+                    } else if e.a == c && in_set[e.b] {
+                        (&e.bb, &e.ab)
+                    } else {
+                        continue;
+                    };
+                    // Remap through pruning first, then to positions.
+                    let set_pruned = match &map {
+                        Some(m) => {
+                            let Some(x) = remap_cols(set_side, m) else { return Ok(None) };
+                            x
+                        }
+                        None => set_side.clone(),
+                    };
+                    let Some(lk) = remap_cols(&set_pruned, &acc_map) else { return Ok(None) };
+                    let Some(rk) = remap_cols(c_side, &local) else { return Ok(None) };
+                    lkeys.push(lk);
+                    rkeys.push(rk);
+                    descs.push(e.desc.clone());
+                    denom = denom.max(edge_distinct(set_side, c_side, &col_distinct));
+                    edge_used[ei] = true;
+                }
+                let Some(right) = nodes[c].take() else { return Ok(None) };
+                let est = if lkeys.is_empty() {
+                    acc_est * ests[c]
+                } else {
+                    (acc_est * ests[c] / denom.max(1.0)).max(0.0)
+                };
+                let kind = if lkeys.is_empty() { JoinKind::Cross } else { JoinKind::Inner };
+                let scope = node.scope().join(right.scope());
+                let width = acc_map.len();
+                for pos in 0..kept[c].len() {
+                    acc_map.insert(pruned_offsets[c] + pos, width + pos);
+                }
+                node = PlanNode::Join {
+                    left: Box::new(node),
+                    right: Box::new(right),
+                    kind,
+                    lkeys,
+                    rkeys,
+                    cond: None,
+                    desc: descs.join(" AND "),
+                    scope,
+                    est,
+                };
+                acc_est = est;
+                in_set[c] = true;
+            }
+
+            // Restore syntactic column order above the join.
+            let width = pruned_scope.cols.len();
+            let mut perm = Vec::with_capacity(width);
+            for i in 0..width {
+                let Some(&p) = acc_map.get(&i) else { return Ok(None) };
+                perm.push(p);
+            }
+            if perm.iter().enumerate().any(|(i, &p)| i != p) {
+                node =
+                    PlanNode::Reorder { input: Box::new(node), perm, scope: pruned_scope.clone() };
+            }
+
+            // Residual predicates evaluate on the reordered (syntactic)
+            // columns.
+            for (b, desc) in &residual {
+                let pred = match &map {
+                    Some(m) => {
+                        let Some(x) = remap_cols(b, m) else { return Ok(None) };
+                        x
+                    }
+                    None => b.clone(),
+                };
+                let est = sel_est(node.est(), 1);
+                node = PlanNode::Filter { input: Box::new(node), pred, desc: desc.clone(), est };
+            }
+            (node, map)
+        }
+    };
+
+    // Remap the pre-aggregation expressions through pruning.
+    if let Some(m) = &col_map {
+        for b in group_bound.iter_mut().chain(proj_bound.iter_mut()).chain(order_bound.iter_mut()) {
+            let Some(x) = remap_cols(b, m) else { return Ok(None) };
+            *b = x;
+        }
+        for (a1, a2) in agg_args.iter_mut() {
+            for slot in [a1, a2] {
+                if let Some(b) = slot {
+                    let Some(x) = remap_cols(b, m) else { return Ok(None) };
+                    *slot = Some(x);
+                }
+            }
+        }
+    }
+
+    // -- aggregation / projection tail --------------------------------------
+    let (names, static_types, visible);
+    if aggregated {
+        let sets: Vec<Vec<usize>> = match &sel.grouping_sets {
+            Some(s) => s.clone(),
+            None => vec![(0..group_by.len()).collect()],
+        };
+        // Post-aggregation scope: #g0.. then #a0.. (same as run_select).
+        let mut cols = Vec::new();
+        for i in 0..group_by.len() {
+            cols.push(ScopeCol { qualifier: None, name: format!("#g{i}"), ty: DataType::Unknown });
+        }
+        for i in 0..aggs.len() {
+            cols.push(ScopeCol { qualifier: None, name: format!("#a{i}"), ty: DataType::Unknown });
+        }
+        let agg_scope = Scope::new(cols);
+
+        let agg_desc = {
+            let g = group_by.iter().map(|e| e.to_string()).collect::<Vec<_>>().join(", ");
+            let a = aggs.iter().map(agg_display).collect::<Vec<_>>().join(", ");
+            clip(&format!("group=[{g}] aggs=[{a}]"))
+        };
+        let input_est = input.est();
+        let est = agg_est(input_est, &sets);
+        let plan_aggs: Vec<PlanAggCall> = aggs
+            .iter()
+            .zip(agg_args)
+            .map(|(call, (arg, arg2))| PlanAggCall {
+                name: call.name.clone(),
+                distinct: call.distinct,
+                arg,
+                arg2,
+                desc: agg_display(call),
+            })
+            .collect();
+        input = PlanNode::Aggregate {
+            input: Box::new(input),
+            group: group_bound,
+            sets,
+            aggs: plan_aggs,
+            desc: agg_desc,
+            scope: agg_scope.clone(),
+            est,
+        };
+
+        // HAVING filters aggregate rows before projection.
+        let agg_binder = Binder::new(db, &agg_scope);
+        if let Some(h) = &sel.having {
+            let pred = agg_binder.bind(&rewrite_agg(h, &group_by, &aggs))?;
+            let est = sel_est(input.est(), 1);
+            input =
+                PlanNode::Filter { input: Box::new(input), pred, desc: clip(&h.to_string()), est };
+        }
+
+        // Projection and ORDER BY bind against the aggregate scope.
+        let rewritten_proj: Vec<(Option<String>, Expr)> = proj
+            .iter()
+            .map(|(n, e)| {
+                (n.clone(), rewrite_agg(&resolve_idx_markers(e, &syn_scope), &group_by, &aggs))
+            })
+            .collect();
+        let pb: Vec<BoundExpr> =
+            rewritten_proj.iter().map(|(_, e)| agg_binder.bind(e)).collect::<Result<_>>()?;
+        let mut ob: Vec<BoundExpr> = Vec::new();
+        for o in order_by {
+            if let Expr::Literal(Literal::Int(i)) = &o.expr {
+                let idx = *i - 1;
+                if idx < 0 || idx as usize >= pb.len() {
+                    return Ok(None);
+                }
+                ob.push(pb[idx as usize].clone());
+                continue;
+            }
+            if let Expr::Column { qualifier: None, name } = &o.expr {
+                if let Some(i) =
+                    rewritten_proj.iter().position(|(n, _)| n.as_deref() == Some(name.as_str()))
+                {
+                    ob.push(pb[i].clone());
+                    continue;
+                }
+            }
+            ob.push(agg_binder.bind(&rewrite_agg(&o.expr, &group_by, &aggs))?);
+        }
+        proj_bound = pb;
+        order_bound = ob;
+        names = output_names(&proj);
+        static_types = proj_bound.iter().map(|b| static_type(b, &agg_scope)).collect::<Vec<_>>();
+        visible = proj.len();
+    } else {
+        names = output_names(&proj);
+        static_types = proj_bound.iter().map(|b| static_type(b, input.scope())).collect::<Vec<_>>();
+        visible = proj.len();
+    }
+
+    // Project (visible columns + ORDER BY keys).
+    let mut out_cols: Vec<ScopeCol> = names
+        .iter()
+        .zip(static_types.iter())
+        .map(|(n, t)| ScopeCol { qualifier: None, name: n.clone(), ty: t.clone() })
+        .collect();
+    for i in 0..order_bound.len() {
+        out_cols.push(ScopeCol {
+            qualifier: None,
+            name: format!("#ord{i}"),
+            ty: DataType::Unknown,
+        });
+    }
+    let proj_desc = clip(&proj.iter().map(|(_, e)| e.to_string()).collect::<Vec<_>>().join(", "));
+    let mut exprs = proj_bound;
+    exprs.extend(order_bound);
+    input = PlanNode::Project {
+        input: Box::new(input),
+        exprs,
+        visible,
+        desc: proj_desc,
+        scope: Scope::new(out_cols),
+    };
+
+    if sel.distinct {
+        input = PlanNode::Distinct { input: Box::new(input), visible };
+    }
+    if !order_by.is_empty() {
+        let desc = clip(
+            &order_by
+                .iter()
+                .map(|o| {
+                    let mut s = o.expr.to_string();
+                    if o.desc {
+                        s.push_str(" DESC");
+                    }
+                    s
+                })
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        input = PlanNode::Sort { input: Box::new(input), items: order_by.to_vec(), visible, desc };
+    }
+    if limit_n.is_some() || offset_n.is_some() {
+        input = PlanNode::Limit { input: Box::new(input), limit: limit_n, offset: offset_n };
+    }
+
+    Ok(Some(PlannedQuery { root: input, names, static_types, visible }))
+}
+
+// ---------------------------------------------------------------------------
+// FROM analysis
+// ---------------------------------------------------------------------------
+
+enum FromShape<'a> {
+    Pure { bases: Vec<Base>, offsets: Vec<usize>, syn_scope: Scope, ons: Vec<&'a Expr> },
+    General { node: PlanNode, syn_scope: Scope },
+}
+
+struct Base {
+    label: String,
+    source: TableRef,
+    scope: Scope,
+}
+
+/// Is this FROM element a tree of inner/cross joins over plain
+/// primaries (full optimization applies)?
+fn is_pure_inner(t: &AstTableRef) -> bool {
+    match t {
+        AstTableRef::Named { .. } => true,
+        AstTableRef::Subquery { lateral, .. } => !lateral,
+        AstTableRef::Join { left, right, kind, constraint } => {
+            matches!(kind, JoinKind::Inner | JoinKind::Cross)
+                && matches!(constraint, JoinConstraint::On(_) | JoinConstraint::None)
+                && is_pure_inner(left)
+                && is_pure_inner(right)
+        }
+    }
+}
+
+/// Shapes the planner refuses outright.
+fn tref_unsupported(t: &AstTableRef) -> bool {
+    match t {
+        AstTableRef::Named { .. } => false,
+        AstTableRef::Subquery { lateral, query, .. } => *lateral || query_has_solve(query),
+        AstTableRef::Join { left, right, constraint, .. } => {
+            matches!(constraint, JoinConstraint::Using(_))
+                || tref_unsupported(left)
+                || tref_unsupported(right)
+        }
+    }
+}
+
+/// Flatten a pure-inner tree into `bases` (syntactic order), recording
+/// each ON condition with the combined scope of its join node (for
+/// validation). Returns false on shapes that cannot be planned.
+fn flatten_pure<'a>(
+    db: &Database,
+    ctes: &Ctes,
+    t: &'a AstTableRef,
+    bases: &mut Vec<Base>,
+    ons: &mut Vec<(&'a Expr, Scope)>,
+) -> Result<bool> {
+    fn go<'a>(
+        db: &Database,
+        ctes: &Ctes,
+        t: &'a AstTableRef,
+        bases: &mut Vec<Base>,
+        ons: &mut Vec<(&'a Expr, Scope)>,
+    ) -> Result<Option<Scope>> {
+        match t {
+            AstTableRef::Join { left, right, constraint, .. } => {
+                let Some(ls) = go(db, ctes, left, bases, ons)? else { return Ok(None) };
+                let Some(rs) = go(db, ctes, right, bases, ons)? else { return Ok(None) };
+                let combined = ls.join(&rs);
+                if let JoinConstraint::On(e) = constraint {
+                    ons.push((e, combined.clone()));
+                }
+                Ok(Some(combined))
+            }
+            primary => match materialize_primary(db, ctes, primary)? {
+                Some(base) => {
+                    let scope = base.scope.clone();
+                    bases.push(base);
+                    Ok(Some(scope))
+                }
+                None => Ok(None),
+            },
+        }
+    }
+    Ok(go(db, ctes, t, bases, ons)?.is_some())
+}
+
+/// Materialize a table primary (named relation or subquery) as an
+/// `Arc<Table>` plus its scope — the same resolution order as the row
+/// interpreter's `scan_named`: CTEs shadow views shadow tables shadow
+/// virtual tables.
+fn materialize_primary(db: &Database, ctes: &Ctes, t: &AstTableRef) -> Result<Option<Base>> {
+    match t {
+        AstTableRef::Named { name, alias } => {
+            let qualifier = alias.as_ref().map(|a| a.name.as_str()).unwrap_or(name);
+            let (source, mut scope) = if let Some(t) = ctes.get(name) {
+                let scope = Scope::from_schema(Some(qualifier), &t.schema);
+                (t.clone(), scope)
+            } else if let Some(vq) = db.view(name) {
+                let t = run_query(db, ctes, vq, None)?;
+                let scope = Scope::from_schema(Some(qualifier), &t.schema);
+                (Arc::new(t), scope)
+            } else {
+                match db.table(name) {
+                    Ok(t) => {
+                        let scope = Scope::from_schema(Some(qualifier), &t.schema);
+                        (t.clone(), scope)
+                    }
+                    Err(e) => match db.virtual_table(name) {
+                        Some(t) => {
+                            let scope = Scope::from_schema(Some(qualifier), &t.schema);
+                            (Arc::new(t), scope)
+                        }
+                        None => return Err(e),
+                    },
+                }
+            };
+            crate::exec::select::apply_alias_columns(&mut scope, alias.as_ref())?;
+            Ok(Some(Base { label: name.clone(), source, scope }))
+        }
+        AstTableRef::Subquery { query, lateral: false, alias } => {
+            let t = run_query(db, ctes, query, None)?;
+            let qualifier = alias.as_ref().map(|a| a.name.as_str());
+            let mut scope = Scope::from_schema(qualifier, &t.schema);
+            crate::exec::select::apply_alias_columns(&mut scope, alias.as_ref())?;
+            let label =
+                alias.as_ref().map(|a| a.name.clone()).unwrap_or_else(|| "(subquery)".to_string());
+            Ok(Some(Base { label, source: Arc::new(t), scope }))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// Build a plan subtree that mirrors the syntactic join structure
+/// (used for outer joins, where reordering/pushdown are unsound).
+fn build_syntactic(db: &Database, ctes: &Ctes, t: &AstTableRef) -> Result<Option<PlanNode>> {
+    match t {
+        AstTableRef::Join { left, right, kind, constraint } => {
+            let Some(l) = build_syntactic(db, ctes, left)? else { return Ok(None) };
+            let Some(r) = build_syntactic(db, ctes, right)? else { return Ok(None) };
+            let combined = l.scope().join(r.scope());
+            let (lkeys, rkeys, cond, desc) = match constraint {
+                JoinConstraint::Using(_) => return Ok(None),
+                JoinConstraint::None => (vec![], vec![], None, String::new()),
+                JoinConstraint::On(e) => {
+                    let keys = if !matches!(kind, JoinKind::Cross) {
+                        try_equi_keys(db, e, l.scope(), r.scope())
+                    } else {
+                        None
+                    };
+                    match keys {
+                        Some((lk, rk)) => (lk, rk, None, clip(&e.to_string())),
+                        None => {
+                            let binder = Binder::new(db, &combined);
+                            (vec![], vec![], Some(binder.bind(e)?), clip(&e.to_string()))
+                        }
+                    }
+                }
+            };
+            let (le, re) = (l.est(), r.est());
+            let mut est = if lkeys.is_empty() && cond.is_none() {
+                le * re
+            } else if lkeys.is_empty() {
+                le * re / 3.0
+            } else {
+                le * re / le.max(re).max(1.0)
+            };
+            if matches!(kind, JoinKind::Left | JoinKind::Full) {
+                est = est.max(le);
+            }
+            if matches!(kind, JoinKind::Right | JoinKind::Full) {
+                est = est.max(re);
+            }
+            Ok(Some(PlanNode::Join {
+                left: Box::new(l),
+                right: Box::new(r),
+                kind: *kind,
+                lkeys,
+                rkeys,
+                cond,
+                desc,
+                scope: combined,
+                est,
+            }))
+        }
+        primary => {
+            let Some(base) = materialize_primary(db, ctes, primary)? else { return Ok(None) };
+            let stats = db.table_stats(&base.source);
+            let total = base.scope.cols.len();
+            Ok(Some(PlanNode::Scan {
+                label: base.label,
+                source: base.source,
+                cols: None,
+                total_cols: total,
+                scope: base.scope,
+                est: stats.row_count as f64,
+            }))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expression analysis helpers
+// ---------------------------------------------------------------------------
+
+fn split_and<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+    if let Expr::BinOp { op: crate::types::BinOp::And, lhs, rhs } = e {
+        split_and(lhs, out);
+        split_and(rhs, out);
+    } else {
+        out.push(e);
+    }
+}
+
+fn expr_has_solve(e: &Expr) -> bool {
+    let mut found = false;
+    e.walk(&mut |n| {
+        found = found
+            || matches!(n, Expr::SolveModel(_))
+            || match n {
+                Expr::ScalarSubquery(q) => query_has_solve(q),
+                Expr::InSubquery { query, .. } | Expr::Exists { query, .. } => {
+                    query_has_solve(query)
+                }
+                _ => false,
+            };
+    });
+    found
+}
+
+fn expr_has_subquery(e: &Expr) -> bool {
+    let mut found = false;
+    e.walk(&mut |n| {
+        found = found
+            || matches!(n, Expr::ScalarSubquery(_) | Expr::InSubquery { .. } | Expr::Exists { .. });
+    });
+    found
+}
+
+fn select_has_solve(sel: &Select) -> bool {
+    sel.projection.iter().any(|i| match i {
+        SelectItem::Expr { expr, .. } => expr_has_solve(expr),
+        SelectItem::Wildcard { .. } => false,
+    }) || sel.where_.as_ref().is_some_and(expr_has_solve)
+        || sel.having.as_ref().is_some_and(expr_has_solve)
+        || sel.group_by.iter().any(expr_has_solve)
+        || sel.from.iter().any(tref_has_solve)
+}
+
+fn tref_has_solve(t: &AstTableRef) -> bool {
+    match t {
+        AstTableRef::Named { .. } => false,
+        AstTableRef::Subquery { query, .. } => query_has_solve(query),
+        AstTableRef::Join { left, right, constraint, .. } => {
+            tref_has_solve(left)
+                || tref_has_solve(right)
+                || matches!(constraint, JoinConstraint::On(e) if expr_has_solve(e))
+        }
+    }
+}
+
+fn query_has_solve(q: &crate::ast::Query) -> bool {
+    fn set_expr(s: &SetExpr) -> bool {
+        match s {
+            SetExpr::Solve(_) => true,
+            SetExpr::Select(sel) => select_has_solve(sel),
+            SetExpr::Query(q) => query_has_solve(q),
+            SetExpr::SetOp { left, right, .. } => set_expr(left) || set_expr(right),
+            SetExpr::Values(rows) => rows.iter().flatten().any(expr_has_solve),
+        }
+    }
+    q.with.iter().any(|c| query_has_solve(&c.query))
+        || set_expr(&q.body)
+        || q.order_by.iter().any(|o| expr_has_solve(&o.expr))
+        || q.limit.as_ref().is_some_and(expr_has_solve)
+        || q.offset.as_ref().is_some_and(expr_has_solve)
+}
+
+/// Does a bound expression contain a subquery (or solve) node? Such
+/// expressions bind their subqueries against the runtime scope chain at
+/// evaluation time and therefore must not be index-remapped.
+pub(crate) fn bound_has_subquery(b: &BoundExpr) -> bool {
+    match b {
+        BoundExpr::ScalarSubquery(_)
+        | BoundExpr::InSubquery { .. }
+        | BoundExpr::Exists { .. }
+        | BoundExpr::SolveModel(_) => true,
+        BoundExpr::Const(_) | BoundExpr::Column { .. } => false,
+        BoundExpr::BinOp { lhs, rhs, .. } => bound_has_subquery(lhs) || bound_has_subquery(rhs),
+        BoundExpr::UnOp { expr, .. } => bound_has_subquery(expr),
+        BoundExpr::Chain { first, rest } => {
+            bound_has_subquery(first) || rest.iter().any(|(_, e)| bound_has_subquery(e))
+        }
+        BoundExpr::Builtin { args, .. } | BoundExpr::Udf { args, .. } => {
+            args.iter().any(bound_has_subquery)
+        }
+        BoundExpr::Cast { expr, .. } => bound_has_subquery(expr),
+        BoundExpr::Case { operand, branches, else_ } => {
+            operand.as_deref().is_some_and(bound_has_subquery)
+                || branches.iter().any(|(c, r)| bound_has_subquery(c) || bound_has_subquery(r))
+                || else_.as_deref().is_some_and(bound_has_subquery)
+        }
+        BoundExpr::IsNull { expr, .. } => bound_has_subquery(expr),
+        BoundExpr::InList { expr, list, .. } => {
+            bound_has_subquery(expr) || list.iter().any(bound_has_subquery)
+        }
+        BoundExpr::Between { expr, low, high, .. } => {
+            bound_has_subquery(expr) || bound_has_subquery(low) || bound_has_subquery(high)
+        }
+        BoundExpr::Like { expr, pattern, .. } => {
+            bound_has_subquery(expr) || bound_has_subquery(pattern)
+        }
+    }
+}
+
+/// Collect all depth-0 column indices referenced by a bound expression.
+pub(crate) fn collect_cols(b: &BoundExpr, out: &mut Vec<usize>) {
+    match b {
+        BoundExpr::Column { depth: 0, index } => out.push(*index),
+        BoundExpr::Column { .. } | BoundExpr::Const(_) => {}
+        BoundExpr::BinOp { lhs, rhs, .. } => {
+            collect_cols(lhs, out);
+            collect_cols(rhs, out);
+        }
+        BoundExpr::UnOp { expr, .. } => collect_cols(expr, out),
+        BoundExpr::Chain { first, rest } => {
+            collect_cols(first, out);
+            for (_, e) in rest {
+                collect_cols(e, out);
+            }
+        }
+        BoundExpr::Builtin { args, .. } | BoundExpr::Udf { args, .. } => {
+            for a in args {
+                collect_cols(a, out);
+            }
+        }
+        BoundExpr::Cast { expr, .. } => collect_cols(expr, out),
+        BoundExpr::Case { operand, branches, else_ } => {
+            if let Some(o) = operand {
+                collect_cols(o, out);
+            }
+            for (c, r) in branches {
+                collect_cols(c, out);
+                collect_cols(r, out);
+            }
+            if let Some(e) = else_ {
+                collect_cols(e, out);
+            }
+        }
+        BoundExpr::IsNull { expr, .. } => collect_cols(expr, out),
+        BoundExpr::InList { expr, list, .. } => {
+            collect_cols(expr, out);
+            for e in list {
+                collect_cols(e, out);
+            }
+        }
+        BoundExpr::Between { expr, low, high, .. } => {
+            collect_cols(expr, out);
+            collect_cols(low, out);
+            collect_cols(high, out);
+        }
+        BoundExpr::Like { expr, pattern, .. } => {
+            collect_cols(expr, out);
+            collect_cols(pattern, out);
+        }
+        BoundExpr::ScalarSubquery(_)
+        | BoundExpr::InSubquery { .. }
+        | BoundExpr::Exists { .. }
+        | BoundExpr::SolveModel(_) => {}
+    }
+}
+
+/// Rewrite depth-0 column indices through `map`. Returns `None` when a
+/// column is missing from the map or the expression contains a subquery
+/// (those must never be remapped).
+pub(crate) fn remap_cols(b: &BoundExpr, map: &HashMap<usize, usize>) -> Option<BoundExpr> {
+    Some(match b {
+        BoundExpr::Column { depth: 0, index } => {
+            BoundExpr::Column { depth: 0, index: *map.get(index)? }
+        }
+        BoundExpr::Column { .. } => return None,
+        BoundExpr::Const(v) => BoundExpr::Const(v.clone()),
+        BoundExpr::BinOp { op, lhs, rhs } => BoundExpr::BinOp {
+            op: *op,
+            lhs: Box::new(remap_cols(lhs, map)?),
+            rhs: Box::new(remap_cols(rhs, map)?),
+        },
+        BoundExpr::UnOp { op, expr } => {
+            BoundExpr::UnOp { op: *op, expr: Box::new(remap_cols(expr, map)?) }
+        }
+        BoundExpr::Chain { first, rest } => BoundExpr::Chain {
+            first: Box::new(remap_cols(first, map)?),
+            rest: rest
+                .iter()
+                .map(|(op, e)| remap_cols(e, map).map(|e| (*op, e)))
+                .collect::<Option<Vec<_>>>()?,
+        },
+        BoundExpr::Builtin { f, args } => BoundExpr::Builtin {
+            f,
+            args: args.iter().map(|a| remap_cols(a, map)).collect::<Option<Vec<_>>>()?,
+        },
+        BoundExpr::Udf { udf, args } => BoundExpr::Udf {
+            udf: udf.clone(),
+            args: args.iter().map(|a| remap_cols(a, map)).collect::<Option<Vec<_>>>()?,
+        },
+        BoundExpr::Cast { expr, ty } => {
+            BoundExpr::Cast { expr: Box::new(remap_cols(expr, map)?), ty: ty.clone() }
+        }
+        BoundExpr::Case { operand, branches, else_ } => BoundExpr::Case {
+            operand: match operand {
+                Some(o) => Some(Box::new(remap_cols(o, map)?)),
+                None => None,
+            },
+            branches: branches
+                .iter()
+                .map(|(c, r)| Some((remap_cols(c, map)?, remap_cols(r, map)?)))
+                .collect::<Option<Vec<_>>>()?,
+            else_: match else_ {
+                Some(e) => Some(Box::new(remap_cols(e, map)?)),
+                None => None,
+            },
+        },
+        BoundExpr::IsNull { expr, negated } => {
+            BoundExpr::IsNull { expr: Box::new(remap_cols(expr, map)?), negated: *negated }
+        }
+        BoundExpr::InList { expr, list, negated } => BoundExpr::InList {
+            expr: Box::new(remap_cols(expr, map)?),
+            list: list.iter().map(|e| remap_cols(e, map)).collect::<Option<Vec<_>>>()?,
+            negated: *negated,
+        },
+        BoundExpr::Between { expr, low, high, negated } => BoundExpr::Between {
+            expr: Box::new(remap_cols(expr, map)?),
+            low: Box::new(remap_cols(low, map)?),
+            high: Box::new(remap_cols(high, map)?),
+            negated: *negated,
+        },
+        BoundExpr::Like { expr, pattern, negated, case_insensitive, compiled } => BoundExpr::Like {
+            expr: Box::new(remap_cols(expr, map)?),
+            pattern: Box::new(remap_cols(pattern, map)?),
+            negated: *negated,
+            case_insensitive: *case_insensitive,
+            compiled: compiled.clone(),
+        },
+        BoundExpr::ScalarSubquery(_)
+        | BoundExpr::InSubquery { .. }
+        | BoundExpr::Exists { .. }
+        | BoundExpr::SolveModel(_) => return None,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Cardinality helpers
+// ---------------------------------------------------------------------------
+
+/// Generic predicate selectivity: one third per conjunct, floored at one
+/// row for non-empty inputs.
+fn sel_est(input: f64, conjuncts: usize) -> f64 {
+    if input <= 0.0 {
+        return 0.0;
+    }
+    (input / 3.0f64.powi(conjuncts as i32)).max(1.0)
+}
+
+/// Filter estimate for a pushed predicate; equality with a constant uses
+/// the column's distinct count.
+fn pred_est(b: &BoundExpr, input: f64, col_distinct: &dyn Fn(usize) -> Option<f64>) -> f64 {
+    if input <= 0.0 {
+        return 0.0;
+    }
+    if let BoundExpr::BinOp { op: crate::types::BinOp::Eq, lhs, rhs } = b {
+        let col = match (lhs.as_ref(), rhs.as_ref()) {
+            (BoundExpr::Column { depth: 0, index }, BoundExpr::Const(_))
+            | (BoundExpr::Const(_), BoundExpr::Column { depth: 0, index }) => Some(*index),
+            _ => None,
+        };
+        if let Some(c) = col {
+            if let Some(d) = col_distinct(c) {
+                return (input / d.max(1.0)).max(1.0);
+            }
+        }
+    }
+    sel_est(input, 1)
+}
+
+/// Distinct estimate for one equi-edge: the larger side's key distinct
+/// count (standard |L||R|/max(dL,dR) formula).
+fn edge_distinct(a: &BoundExpr, b: &BoundExpr, col_distinct: &dyn Fn(usize) -> Option<f64>) -> f64 {
+    let side = |e: &BoundExpr| -> f64 {
+        if let BoundExpr::Column { depth: 0, index } = e {
+            col_distinct(*index).unwrap_or(1.0)
+        } else {
+            1.0
+        }
+    };
+    side(a).max(side(b))
+}
+
+fn edges_between<'a>(
+    edges: &[(usize, usize, &'a BoundExpr, &'a BoundExpr)],
+    in_set: &[bool],
+    c: usize,
+) -> Vec<(&'a BoundExpr, &'a BoundExpr)> {
+    edges
+        .iter()
+        .filter_map(|&(a, b, ab, bb)| {
+            if a == c && in_set[b] {
+                Some((bb, ab))
+            } else if b == c && in_set[a] {
+                Some((ab, bb))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+fn join_est(
+    acc: f64,
+    cand: f64,
+    edges: &[(&BoundExpr, &BoundExpr)],
+    col_distinct: &dyn Fn(usize) -> Option<f64>,
+) -> f64 {
+    if edges.is_empty() {
+        return acc * cand;
+    }
+    let mut denom = 1.0f64;
+    for (a, b) in edges {
+        denom = denom.max(edge_distinct(a, b, col_distinct));
+    }
+    (acc * cand / denom.max(1.0)).max(0.0)
+}
+
+/// Aggregate output estimate: one row per grouping set at minimum,
+/// bounded by the input size per set.
+fn agg_est(input: f64, sets: &[Vec<usize>]) -> f64 {
+    let per_set = |set: &Vec<usize>| -> f64 {
+        if set.is_empty() {
+            1.0
+        } else {
+            (input / 2.0).max(1.0).min(input.max(1.0))
+        }
+    };
+    sets.iter().map(per_set).sum::<f64>().max(1.0)
+}
+
+// ---------------------------------------------------------------------------
+// Display helpers
+// ---------------------------------------------------------------------------
+
+fn agg_display(call: &AggCall) -> String {
+    let arg = match &call.arg {
+        Some(e) => e.to_string(),
+        None => "*".to_string(),
+    };
+    if call.distinct {
+        format!("{}(DISTINCT {})", call.name, arg)
+    } else {
+        format!("{}({})", call.name, arg)
+    }
+}
+
+fn output_names(proj: &[(Option<String>, Expr)]) -> Vec<String> {
+    proj.iter()
+        .enumerate()
+        .map(|(i, (n, _))| n.clone().unwrap_or_else(|| format!("column{}", i + 1)))
+        .collect()
+}
+
+/// Clip a display string for EXPLAIN output.
+fn clip(s: &str) -> String {
+    const MAX: usize = 64;
+    if s.chars().count() <= MAX {
+        s.to_string()
+    } else {
+        let mut out: String = s.chars().take(MAX).collect();
+        out.push('\u{2026}');
+        out
+    }
+}

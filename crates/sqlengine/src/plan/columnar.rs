@@ -1,0 +1,841 @@
+//! Typed column vectors, fixed-size batches and vectorized expression
+//! evaluation.
+//!
+//! A [`ColumnVec`] stores one column of a batch in a typed vector with a
+//! validity [`Bitmap`]; heterogeneous columns degrade to `Any` (boxed
+//! [`Value`]s). A [`Batch`] is a set of columns of equal length, at most
+//! [`BATCH_SIZE`] rows when produced by a scan.
+//!
+//! [`VecExpr`] is the vectorized form of a [`BoundExpr`]: column loads,
+//! constants, binary/unary operators, `IS NULL` and casts evaluate a
+//! whole batch at a time (with typed fast loops for the common numeric
+//! and text cases); any other expression — function calls, CASE,
+//! subqueries, LIKE, IN — compiles to a `Fallback` node that re-enters
+//! the row interpreter's evaluator per row, guaranteeing identical
+//! semantics. A subtree with a fallback child collapses into a fallback
+//! of the whole expression: mixed vector/row evaluation is never
+//! attempted.
+
+use crate::error::{Error, Result};
+use crate::exec::eval::{BoundExpr, Env, EvalCtx, Scope};
+use crate::table::Row;
+use crate::types::value::cmp_f64;
+use crate::types::{BinOp, Bitmap, UnOp, Value};
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// Rows per scan-produced batch.
+pub const BATCH_SIZE: usize = 1024;
+
+// ---------------------------------------------------------------------------
+// Column vectors
+// ---------------------------------------------------------------------------
+
+/// One column of a batch. Typed variants carry a validity bitmap
+/// (`true` = present); slots that are invalid hold an arbitrary
+/// placeholder and read back as SQL NULL.
+#[derive(Debug, Clone)]
+pub enum ColumnVec {
+    Int(Vec<i64>, Bitmap),
+    Float(Vec<f64>, Bitmap),
+    Bool(Vec<bool>, Bitmap),
+    Text(Vec<Arc<str>>, Bitmap),
+    /// Mixed or non-primitive values (timestamps, intervals, bit
+    /// strings, custom solver values) stay boxed.
+    Any(Vec<Value>),
+}
+
+impl ColumnVec {
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnVec::Int(v, _) => v.len(),
+            ColumnVec::Float(v, _) => v.len(),
+            ColumnVec::Bool(v, _) => v.len(),
+            ColumnVec::Text(v, _) => v.len(),
+            ColumnVec::Any(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Is the slot at `i` non-NULL?
+    pub fn is_valid(&self, i: usize) -> bool {
+        match self {
+            ColumnVec::Int(_, b)
+            | ColumnVec::Float(_, b)
+            | ColumnVec::Bool(_, b)
+            | ColumnVec::Text(_, b) => b.get(i),
+            ColumnVec::Any(v) => !v[i].is_null(),
+        }
+    }
+
+    /// Read one slot back as a [`Value`].
+    pub fn get(&self, i: usize) -> Value {
+        match self {
+            ColumnVec::Int(v, b) => {
+                if b.get(i) {
+                    Value::Int(v[i])
+                } else {
+                    Value::Null
+                }
+            }
+            ColumnVec::Float(v, b) => {
+                if b.get(i) {
+                    Value::Float(v[i])
+                } else {
+                    Value::Null
+                }
+            }
+            ColumnVec::Bool(v, b) => {
+                if b.get(i) {
+                    Value::Bool(v[i])
+                } else {
+                    Value::Null
+                }
+            }
+            ColumnVec::Text(v, b) => {
+                if b.get(i) {
+                    Value::Text(v[i].clone())
+                } else {
+                    Value::Null
+                }
+            }
+            ColumnVec::Any(v) => v[i].clone(),
+        }
+    }
+
+    /// Build a column from owned values, choosing the narrowest typed
+    /// representation that fits every non-NULL value.
+    pub fn from_values(values: Vec<Value>) -> ColumnVec {
+        #[derive(PartialEq, Clone, Copy)]
+        enum Kind {
+            Unknown,
+            Int,
+            Float,
+            Bool,
+            Text,
+            Mixed,
+        }
+        let mut kind = Kind::Unknown;
+        for v in &values {
+            let k = match v {
+                Value::Null => continue,
+                Value::Int(_) => Kind::Int,
+                Value::Float(_) => Kind::Float,
+                Value::Bool(_) => Kind::Bool,
+                Value::Text(_) => Kind::Text,
+                _ => Kind::Mixed,
+            };
+            kind = match (kind, k) {
+                (Kind::Unknown, k) => k,
+                (a, b) if a == b => a,
+                _ => Kind::Mixed,
+            };
+            if kind == Kind::Mixed {
+                break;
+            }
+        }
+        let n = values.len();
+        match kind {
+            Kind::Int => {
+                let mut data = Vec::with_capacity(n);
+                let mut valid = Bitmap::with_capacity(n);
+                for v in values {
+                    match v {
+                        Value::Int(i) => {
+                            data.push(i);
+                            valid.push(true);
+                        }
+                        _ => {
+                            data.push(0);
+                            valid.push(false);
+                        }
+                    }
+                }
+                ColumnVec::Int(data, valid)
+            }
+            Kind::Float => {
+                let mut data = Vec::with_capacity(n);
+                let mut valid = Bitmap::with_capacity(n);
+                for v in values {
+                    match v {
+                        Value::Float(f) => {
+                            data.push(f);
+                            valid.push(true);
+                        }
+                        _ => {
+                            data.push(0.0);
+                            valid.push(false);
+                        }
+                    }
+                }
+                ColumnVec::Float(data, valid)
+            }
+            Kind::Bool => {
+                let mut data = Vec::with_capacity(n);
+                let mut valid = Bitmap::with_capacity(n);
+                for v in values {
+                    match v {
+                        Value::Bool(b) => {
+                            data.push(b);
+                            valid.push(true);
+                        }
+                        _ => {
+                            data.push(false);
+                            valid.push(false);
+                        }
+                    }
+                }
+                ColumnVec::Bool(data, valid)
+            }
+            Kind::Text => {
+                let empty: Arc<str> = Arc::from("");
+                let mut data = Vec::with_capacity(n);
+                let mut valid = Bitmap::with_capacity(n);
+                for v in values {
+                    match v {
+                        Value::Text(s) => {
+                            data.push(s);
+                            valid.push(true);
+                        }
+                        _ => {
+                            data.push(empty.clone());
+                            valid.push(false);
+                        }
+                    }
+                }
+                ColumnVec::Text(data, valid)
+            }
+            // All-NULL columns stay Any so they read back as NULL without
+            // inventing a type.
+            Kind::Unknown | Kind::Mixed => ColumnVec::Any(values),
+        }
+    }
+
+    /// Broadcast one value to a column of length `n`.
+    pub fn broadcast(v: &Value, n: usize) -> ColumnVec {
+        match v {
+            Value::Int(i) => ColumnVec::Int(vec![*i; n], Bitmap::filled(n, true)),
+            Value::Float(f) => ColumnVec::Float(vec![*f; n], Bitmap::filled(n, true)),
+            Value::Bool(b) => ColumnVec::Bool(vec![*b; n], Bitmap::filled(n, true)),
+            Value::Text(s) => ColumnVec::Text(vec![s.clone(); n], Bitmap::filled(n, true)),
+            other => ColumnVec::Any(vec![other.clone(); n]),
+        }
+    }
+
+    /// Select the slots at `idx` (in order) into a new column.
+    pub fn gather(&self, idx: &[usize]) -> ColumnVec {
+        match self {
+            ColumnVec::Int(v, b) => {
+                let mut data = Vec::with_capacity(idx.len());
+                let mut valid = Bitmap::with_capacity(idx.len());
+                for &i in idx {
+                    data.push(v[i]);
+                    valid.push(b.get(i));
+                }
+                ColumnVec::Int(data, valid)
+            }
+            ColumnVec::Float(v, b) => {
+                let mut data = Vec::with_capacity(idx.len());
+                let mut valid = Bitmap::with_capacity(idx.len());
+                for &i in idx {
+                    data.push(v[i]);
+                    valid.push(b.get(i));
+                }
+                ColumnVec::Float(data, valid)
+            }
+            ColumnVec::Bool(v, b) => {
+                let mut data = Vec::with_capacity(idx.len());
+                let mut valid = Bitmap::with_capacity(idx.len());
+                for &i in idx {
+                    data.push(v[i]);
+                    valid.push(b.get(i));
+                }
+                ColumnVec::Bool(data, valid)
+            }
+            ColumnVec::Text(v, b) => {
+                let mut data = Vec::with_capacity(idx.len());
+                let mut valid = Bitmap::with_capacity(idx.len());
+                for &i in idx {
+                    data.push(v[i].clone());
+                    valid.push(b.get(i));
+                }
+                ColumnVec::Text(data, valid)
+            }
+            ColumnVec::Any(v) => ColumnVec::Any(idx.iter().map(|&i| v[i].clone()).collect()),
+        }
+    }
+
+    /// Gather with optional indices: `None` produces NULL (outer-join
+    /// padding).
+    pub fn gather_opt(&self, idx: &[Option<usize>]) -> ColumnVec {
+        // Padding introduces NULLs regardless of the source type, so the
+        // typed variants keep their representation with invalid slots.
+        match self {
+            ColumnVec::Int(v, b) => {
+                let mut data = Vec::with_capacity(idx.len());
+                let mut valid = Bitmap::with_capacity(idx.len());
+                for &i in idx {
+                    match i {
+                        Some(i) => {
+                            data.push(v[i]);
+                            valid.push(b.get(i));
+                        }
+                        None => {
+                            data.push(0);
+                            valid.push(false);
+                        }
+                    }
+                }
+                ColumnVec::Int(data, valid)
+            }
+            ColumnVec::Float(v, b) => {
+                let mut data = Vec::with_capacity(idx.len());
+                let mut valid = Bitmap::with_capacity(idx.len());
+                for &i in idx {
+                    match i {
+                        Some(i) => {
+                            data.push(v[i]);
+                            valid.push(b.get(i));
+                        }
+                        None => {
+                            data.push(0.0);
+                            valid.push(false);
+                        }
+                    }
+                }
+                ColumnVec::Float(data, valid)
+            }
+            ColumnVec::Bool(v, b) => {
+                let mut data = Vec::with_capacity(idx.len());
+                let mut valid = Bitmap::with_capacity(idx.len());
+                for &i in idx {
+                    match i {
+                        Some(i) => {
+                            data.push(v[i]);
+                            valid.push(b.get(i));
+                        }
+                        None => {
+                            data.push(false);
+                            valid.push(false);
+                        }
+                    }
+                }
+                ColumnVec::Bool(data, valid)
+            }
+            ColumnVec::Text(v, b) => {
+                let empty: Arc<str> = Arc::from("");
+                let mut data = Vec::with_capacity(idx.len());
+                let mut valid = Bitmap::with_capacity(idx.len());
+                for &i in idx {
+                    match i {
+                        Some(i) => {
+                            data.push(v[i].clone());
+                            valid.push(b.get(i));
+                        }
+                        None => {
+                            data.push(empty.clone());
+                            valid.push(false);
+                        }
+                    }
+                }
+                ColumnVec::Text(data, valid)
+            }
+            ColumnVec::Any(v) => ColumnVec::Any(
+                idx.iter().map(|&i| i.map(|i| v[i].clone()).unwrap_or(Value::Null)).collect(),
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batches
+// ---------------------------------------------------------------------------
+
+/// A horizontal slice of a relation: columns of equal length.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    pub cols: Vec<Arc<ColumnVec>>,
+    pub len: usize,
+}
+
+impl Batch {
+    /// Build a batch from row-major storage, optionally keeping only the
+    /// columns listed in `keep` (in that order).
+    pub fn from_rows(rows: &[Row], keep: Option<&[usize]>) -> Batch {
+        let len = rows.len();
+        let cols: Vec<Arc<ColumnVec>> = match keep {
+            Some(keep) => keep
+                .iter()
+                .map(|&c| {
+                    Arc::new(ColumnVec::from_values(rows.iter().map(|r| r[c].clone()).collect()))
+                })
+                .collect(),
+            None => {
+                let width = rows.first().map(|r| r.len()).unwrap_or(0);
+                (0..width)
+                    .map(|c| {
+                        Arc::new(ColumnVec::from_values(
+                            rows.iter().map(|r| r[c].clone()).collect(),
+                        ))
+                    })
+                    .collect()
+            }
+        };
+        Batch { cols, len }
+    }
+
+    /// Materialize one row.
+    pub fn row_at(&self, i: usize) -> Row {
+        self.cols.iter().map(|c| c.get(i)).collect()
+    }
+
+    /// Keep only the rows at `idx`.
+    pub fn gather(&self, idx: &[usize]) -> Batch {
+        Batch { cols: self.cols.iter().map(|c| Arc::new(c.gather(idx))).collect(), len: idx.len() }
+    }
+}
+
+/// Materialize a sequence of batches as rows.
+pub fn batches_to_rows(batches: &[Batch]) -> Vec<Row> {
+    let mut rows = Vec::with_capacity(batches.iter().map(|b| b.len).sum());
+    for b in batches {
+        for i in 0..b.len {
+            rows.push(b.row_at(i));
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized expressions
+// ---------------------------------------------------------------------------
+
+/// Context for vectorized evaluation: the interpreter's evaluation
+/// context plus the scope of the batch (needed when a fallback
+/// expression contains a subquery that correlates to the current row).
+pub struct VecEvalCtx<'a> {
+    pub ctx: &'a EvalCtx<'a>,
+    pub scope: &'a Scope,
+}
+
+/// A bound expression compiled for batch evaluation.
+#[derive(Debug, Clone)]
+pub enum VecExpr {
+    Col(usize),
+    Const(Value),
+    BinOp {
+        op: BinOp,
+        lhs: Box<VecExpr>,
+        rhs: Box<VecExpr>,
+        orig: BoundExpr,
+    },
+    UnOp {
+        op: UnOp,
+        expr: Box<VecExpr>,
+    },
+    IsNull {
+        expr: Box<VecExpr>,
+        negated: bool,
+    },
+    Cast {
+        expr: Box<VecExpr>,
+        ty: crate::types::DataType,
+    },
+    /// Row-at-a-time re-entry into the interpreter's evaluator.
+    Fallback(BoundExpr),
+}
+
+impl VecExpr {
+    /// Compile a bound expression. Unsupported shapes become `Fallback`;
+    /// a fallback child collapses the whole subtree.
+    pub fn compile(b: &BoundExpr) -> VecExpr {
+        match b {
+            BoundExpr::Column { depth: 0, index } => VecExpr::Col(*index),
+            BoundExpr::Const(v) => VecExpr::Const(v.clone()),
+            BoundExpr::BinOp { op, lhs, rhs } => {
+                let l = VecExpr::compile(lhs);
+                let r = VecExpr::compile(rhs);
+                if matches!(l, VecExpr::Fallback(_)) || matches!(r, VecExpr::Fallback(_)) {
+                    VecExpr::Fallback(b.clone())
+                } else {
+                    VecExpr::BinOp { op: *op, lhs: Box::new(l), rhs: Box::new(r), orig: b.clone() }
+                }
+            }
+            BoundExpr::UnOp { op, expr } => {
+                let e = VecExpr::compile(expr);
+                if matches!(e, VecExpr::Fallback(_)) {
+                    VecExpr::Fallback(b.clone())
+                } else {
+                    VecExpr::UnOp { op: *op, expr: Box::new(e) }
+                }
+            }
+            BoundExpr::IsNull { expr, negated } => {
+                let e = VecExpr::compile(expr);
+                if matches!(e, VecExpr::Fallback(_)) {
+                    VecExpr::Fallback(b.clone())
+                } else {
+                    VecExpr::IsNull { expr: Box::new(e), negated: *negated }
+                }
+            }
+            BoundExpr::Cast { expr, ty } => {
+                let e = VecExpr::compile(expr);
+                if matches!(e, VecExpr::Fallback(_)) {
+                    VecExpr::Fallback(b.clone())
+                } else {
+                    VecExpr::Cast { expr: Box::new(e), ty: ty.clone() }
+                }
+            }
+            other => VecExpr::Fallback(other.clone()),
+        }
+    }
+
+    /// Evaluate against a batch, producing one column.
+    pub fn eval(&self, batch: &Batch, ev: &VecEvalCtx<'_>) -> Result<Arc<ColumnVec>> {
+        match self {
+            VecExpr::Col(i) => Ok(batch.cols[*i].clone()),
+            VecExpr::Const(v) => Ok(Arc::new(ColumnVec::broadcast(v, batch.len))),
+            VecExpr::BinOp { op, lhs, rhs, orig } => {
+                let l = lhs.eval(batch, ev)?;
+                if matches!(op, BinOp::And | BinOp::Or) {
+                    // The interpreter short-circuits AND/OR on a plain
+                    // boolean left side, so the right side may error only
+                    // on rows that never evaluate it. Vector evaluation is
+                    // eager; when the right side errors, replay the whole
+                    // expression row-by-row to reproduce the interpreter's
+                    // exact behavior.
+                    let r = match rhs.eval(batch, ev) {
+                        Ok(r) => r,
+                        Err(_) => return eval_fallback(orig, batch, ev),
+                    };
+                    return binop_columns(*op, &l, &r).map(Arc::new);
+                }
+                let r = rhs.eval(batch, ev)?;
+                binop_columns(*op, &l, &r).map(Arc::new)
+            }
+            VecExpr::UnOp { op, expr } => {
+                let c = expr.eval(batch, ev)?;
+                let mut out = Vec::with_capacity(c.len());
+                for i in 0..c.len() {
+                    out.push(Value::unop(*op, &c.get(i))?);
+                }
+                Ok(Arc::new(ColumnVec::from_values(out)))
+            }
+            VecExpr::IsNull { expr, negated } => {
+                let c = expr.eval(batch, ev)?;
+                let mut data = Vec::with_capacity(c.len());
+                for i in 0..c.len() {
+                    data.push(c.is_valid(i) == *negated);
+                }
+                let n = data.len();
+                Ok(Arc::new(ColumnVec::Bool(data, Bitmap::filled(n, true))))
+            }
+            VecExpr::Cast { expr, ty } => {
+                let c = expr.eval(batch, ev)?;
+                let mut out = Vec::with_capacity(c.len());
+                for i in 0..c.len() {
+                    out.push(c.get(i).cast(ty)?);
+                }
+                Ok(Arc::new(ColumnVec::from_values(out)))
+            }
+            VecExpr::Fallback(b) => eval_fallback(b, batch, ev),
+        }
+    }
+}
+
+/// Row-at-a-time evaluation of a bound expression over a batch.
+fn eval_fallback(b: &BoundExpr, batch: &Batch, ev: &VecEvalCtx<'_>) -> Result<Arc<ColumnVec>> {
+    let mut out = Vec::with_capacity(batch.len);
+    for i in 0..batch.len {
+        let row = batch.row_at(i);
+        let env = Env { scope: ev.scope, row: &row, parent: None };
+        out.push(b.eval(ev.ctx, &env)?);
+    }
+    Ok(Arc::new(ColumnVec::from_values(out)))
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized binary operators
+// ---------------------------------------------------------------------------
+
+fn ord_matches(op: BinOp, o: Ordering) -> bool {
+    match op {
+        BinOp::Eq => o == Ordering::Equal,
+        BinOp::Ne => o != Ordering::Equal,
+        BinOp::Lt => o == Ordering::Less,
+        BinOp::Le => o != Ordering::Greater,
+        BinOp::Gt => o == Ordering::Greater,
+        BinOp::Ge => o != Ordering::Less,
+        _ => false,
+    }
+}
+
+/// Apply a binary operator over two columns with typed fast loops for
+/// the common cases; everything else routes each element through
+/// [`Value::binop`] (identical semantics to the row interpreter).
+fn binop_columns(op: BinOp, l: &ColumnVec, r: &ColumnVec) -> Result<ColumnVec> {
+    use ColumnVec::*;
+    let n = l.len();
+    debug_assert_eq!(n, r.len());
+
+    // Comparisons on matching primitive columns.
+    if op.is_comparison() {
+        match (l, r) {
+            (Int(a, av), Int(b, bv)) => {
+                let mut data = Vec::with_capacity(n);
+                let mut valid = Bitmap::with_capacity(n);
+                for i in 0..n {
+                    let ok = av.get(i) && bv.get(i);
+                    data.push(ok && ord_matches(op, a[i].cmp(&b[i])));
+                    valid.push(ok);
+                }
+                return Ok(Bool(data, valid));
+            }
+            (Float(a, av), Float(b, bv)) => {
+                let mut data = Vec::with_capacity(n);
+                let mut valid = Bitmap::with_capacity(n);
+                for i in 0..n {
+                    let ok = av.get(i) && bv.get(i);
+                    data.push(ok && ord_matches(op, cmp_f64(a[i], b[i])));
+                    valid.push(ok);
+                }
+                return Ok(Bool(data, valid));
+            }
+            (Int(a, av), Float(b, bv)) => {
+                let mut data = Vec::with_capacity(n);
+                let mut valid = Bitmap::with_capacity(n);
+                for i in 0..n {
+                    let ok = av.get(i) && bv.get(i);
+                    data.push(ok && ord_matches(op, cmp_f64(a[i] as f64, b[i])));
+                    valid.push(ok);
+                }
+                return Ok(Bool(data, valid));
+            }
+            (Float(a, av), Int(b, bv)) => {
+                let mut data = Vec::with_capacity(n);
+                let mut valid = Bitmap::with_capacity(n);
+                for i in 0..n {
+                    let ok = av.get(i) && bv.get(i);
+                    data.push(ok && ord_matches(op, cmp_f64(a[i], b[i] as f64)));
+                    valid.push(ok);
+                }
+                return Ok(Bool(data, valid));
+            }
+            (Text(a, av), Text(b, bv)) => {
+                let mut data = Vec::with_capacity(n);
+                let mut valid = Bitmap::with_capacity(n);
+                for i in 0..n {
+                    let ok = av.get(i) && bv.get(i);
+                    data.push(ok && ord_matches(op, a[i].as_ref().cmp(b[i].as_ref())));
+                    valid.push(ok);
+                }
+                return Ok(Bool(data, valid));
+            }
+            _ => {}
+        }
+    }
+
+    // Kleene AND/OR on boolean columns.
+    if matches!(op, BinOp::And | BinOp::Or) {
+        if let (Bool(a, av), Bool(b, bv)) = (l, r) {
+            let mut data = Vec::with_capacity(n);
+            let mut valid = Bitmap::with_capacity(n);
+            for i in 0..n {
+                let x = if av.get(i) { Some(a[i]) } else { None };
+                let y = if bv.get(i) { Some(b[i]) } else { None };
+                let out = match (op, x, y) {
+                    (BinOp::And, Some(false), _) | (BinOp::And, _, Some(false)) => Some(false),
+                    (BinOp::And, Some(true), Some(true)) => Some(true),
+                    (BinOp::Or, Some(true), _) | (BinOp::Or, _, Some(true)) => Some(true),
+                    (BinOp::Or, Some(false), Some(false)) => Some(false),
+                    _ => None,
+                };
+                data.push(out.unwrap_or(false));
+                valid.push(out.is_some());
+            }
+            return Ok(Bool(data, valid));
+        }
+        // Non-boolean operand: route through Value::binop to reproduce
+        // the interpreter's error.
+        return binop_generic(op, l, r);
+    }
+
+    // Integer arithmetic with overflow checks (mirrors Value::binop).
+    if let (Int(a, av), Int(b, bv)) = (l, r) {
+        let checked = |f: fn(i64, i64) -> Option<i64>| -> Result<ColumnVec> {
+            let mut data = Vec::with_capacity(n);
+            let mut valid = Bitmap::with_capacity(n);
+            for i in 0..n {
+                if av.get(i) && bv.get(i) {
+                    data.push(f(a[i], b[i]).ok_or_else(|| Error::eval("integer overflow"))?);
+                    valid.push(true);
+                } else {
+                    data.push(0);
+                    valid.push(false);
+                }
+            }
+            Ok(Int(data, valid))
+        };
+        match op {
+            BinOp::Add => return checked(i64::checked_add),
+            BinOp::Sub => return checked(i64::checked_sub),
+            BinOp::Mul => return checked(i64::checked_mul),
+            BinOp::Div | BinOp::Mod => {
+                let mut data = Vec::with_capacity(n);
+                let mut valid = Bitmap::with_capacity(n);
+                for i in 0..n {
+                    if av.get(i) && bv.get(i) {
+                        if b[i] == 0 {
+                            return Err(Error::eval("division by zero"));
+                        }
+                        data.push(if op == BinOp::Div { a[i] / b[i] } else { a[i] % b[i] });
+                        valid.push(true);
+                    } else {
+                        data.push(0);
+                        valid.push(false);
+                    }
+                }
+                return Ok(Int(data, valid));
+            }
+            _ => {}
+        }
+    }
+
+    // Float (or mixed int/float) arithmetic.
+    let float_at = |c: &ColumnVec, i: usize| -> Option<f64> {
+        match c {
+            Int(v, b) => b.get(i).then(|| v[i] as f64),
+            Float(v, b) => b.get(i).then(|| v[i]),
+            _ => None,
+        }
+    };
+    if matches!((l, r), (Int(..) | Float(..), Int(..) | Float(..)))
+        && matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod | BinOp::Pow)
+    {
+        let mut data = Vec::with_capacity(n);
+        let mut valid = Bitmap::with_capacity(n);
+        for i in 0..n {
+            match (float_at(l, i), float_at(r, i)) {
+                (Some(x), Some(y)) => {
+                    let v = match op {
+                        BinOp::Add => x + y,
+                        BinOp::Sub => x - y,
+                        BinOp::Mul => x * y,
+                        BinOp::Div | BinOp::Mod => {
+                            if y == 0.0 {
+                                return Err(Error::eval("division by zero"));
+                            }
+                            if op == BinOp::Div {
+                                x / y
+                            } else {
+                                x % y
+                            }
+                        }
+                        _ => x.powf(y),
+                    };
+                    data.push(v);
+                    valid.push(true);
+                }
+                _ => {
+                    data.push(0.0);
+                    valid.push(false);
+                }
+            }
+        }
+        return Ok(Float(data, valid));
+    }
+
+    // Text concatenation.
+    if op == BinOp::Concat {
+        if let (Text(a, av), Text(b, bv)) = (l, r) {
+            let empty: Arc<str> = Arc::from("");
+            let mut data = Vec::with_capacity(n);
+            let mut valid = Bitmap::with_capacity(n);
+            for i in 0..n {
+                if av.get(i) && bv.get(i) {
+                    let mut s = String::with_capacity(a[i].len() + b[i].len());
+                    s.push_str(&a[i]);
+                    s.push_str(&b[i]);
+                    data.push(Arc::from(s.as_str()));
+                    valid.push(true);
+                } else {
+                    data.push(empty.clone());
+                    valid.push(false);
+                }
+            }
+            return Ok(Text(data, valid));
+        }
+    }
+
+    binop_generic(op, l, r)
+}
+
+/// Element-by-element application of [`Value::binop`].
+fn binop_generic(op: BinOp, l: &ColumnVec, r: &ColumnVec) -> Result<ColumnVec> {
+    let n = l.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(Value::binop(op, &l.get(i), &r.get(i))?);
+    }
+    Ok(ColumnVec::from_values(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(vals: &[Option<i64>]) -> ColumnVec {
+        ColumnVec::from_values(
+            vals.iter().map(|v| v.map(Value::Int).unwrap_or(Value::Null)).collect(),
+        )
+    }
+
+    #[test]
+    fn from_values_picks_typed_representation() {
+        let c = ints(&[Some(1), None, Some(3)]);
+        assert!(matches!(c, ColumnVec::Int(..)));
+        assert_eq!(c.get(0), Value::Int(1));
+        assert!(c.get(1).is_null());
+        let mixed = ColumnVec::from_values(vec![Value::Int(1), Value::text("x")]);
+        assert!(matches!(mixed, ColumnVec::Any(_)));
+    }
+
+    #[test]
+    fn typed_comparison_propagates_nulls() {
+        let a = ints(&[Some(1), None, Some(3)]);
+        let b = ints(&[Some(2), Some(2), Some(2)]);
+        let c = binop_columns(BinOp::Gt, &a, &b).unwrap();
+        assert_eq!(c.get(0), Value::Bool(false));
+        assert!(c.get(1).is_null());
+        assert_eq!(c.get(2), Value::Bool(true));
+    }
+
+    #[test]
+    fn int_arithmetic_checks_overflow() {
+        let a = ints(&[Some(i64::MAX)]);
+        let b = ints(&[Some(1)]);
+        assert!(binop_columns(BinOp::Add, &a, &b).is_err());
+        let ok = binop_columns(BinOp::Add, &ints(&[Some(2)]), &ints(&[Some(3)])).unwrap();
+        assert_eq!(ok.get(0), Value::Int(5));
+    }
+
+    #[test]
+    fn kleene_and_matches_interpreter() {
+        let t = ColumnVec::from_values(vec![Value::Bool(true), Value::Bool(false), Value::Null]);
+        let u = ColumnVec::from_values(vec![Value::Null, Value::Null, Value::Null]);
+        let c = binop_columns(BinOp::And, &t, &u).unwrap();
+        assert!(c.get(0).is_null());
+        assert_eq!(c.get(1), Value::Bool(false));
+        assert!(c.get(2).is_null());
+    }
+
+    #[test]
+    fn mixed_numeric_division_promotes_to_float() {
+        let a = ints(&[Some(7)]);
+        let b = ColumnVec::from_values(vec![Value::Float(2.0)]);
+        let c = binop_columns(BinOp::Div, &a, &b).unwrap();
+        assert_eq!(c.get(0), Value::Float(3.5));
+    }
+}

@@ -1,0 +1,756 @@
+//! Columnar batch executor for [`PlannedQuery`] trees.
+//!
+//! Operators consume and produce [`Batch`]es of typed column vectors.
+//! Result parity with the row interpreter is maintained by construction:
+//! every operator mirrors the interpreter's algorithm (same grouping
+//! order, same hash-join build/probe order, same sort comparator) and
+//! non-vectorizable expressions evaluate through the interpreter's
+//! [`BoundExpr::eval`] on materialized rows. Each operator runs under an
+//! `obs` span so `EXPLAIN ANALYZE` shows a per-operator timing tree.
+
+use super::columnar::{batches_to_rows, Batch, ColumnVec, VecEvalCtx, VecExpr, BATCH_SIZE};
+use super::ir::{PlanAggCall, PlanNode, PlannedQuery};
+use crate::catalog::{Ctes, Database};
+use crate::error::{Error, Result};
+use crate::exec::eval::{BoundExpr, Env, EvalCtx, Scope};
+use crate::exec::select::{sort_keyed, AggState};
+use crate::table::{Column as TColumn, Row, Schema, Table};
+use crate::types::{DataType, GroupKey, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Execute a planned query, producing the final result table.
+pub fn execute(
+    db: &Database,
+    ctes: &Ctes,
+    planned: &PlannedQuery,
+    trace: Option<&obs::Trace>,
+) -> Result<Table> {
+    let ctx = EvalCtx { db, ctes };
+    let span = trace.map(|t| t.span("columnar executor"));
+    let batches = run_node(&ctx, &planned.root, trace)?;
+    let mut rows = batches_to_rows(&batches);
+    for r in &mut rows {
+        r.truncate(planned.visible);
+    }
+    if let Some(s) = &span {
+        s.rows(rows.len() as u64);
+    }
+
+    // Output schema: infer each column's type from the first non-NULL
+    // value, falling back to the statically known type (same as the row
+    // interpreter — solver variable typing depends on this).
+    let mut schema = Schema::new(
+        planned.names.iter().map(|n| TColumn::new(n.clone(), DataType::Unknown)).collect(),
+    );
+    for (i, col) in schema.columns.iter_mut().enumerate() {
+        for row in &rows {
+            if !row[i].is_null() {
+                col.ty = row[i].data_type();
+                break;
+            }
+        }
+        if col.ty == DataType::Unknown {
+            col.ty = planned.static_types[i].clone();
+        }
+    }
+    Ok(Table::with_rows(schema, rows))
+}
+
+fn run_node(ctx: &EvalCtx<'_>, node: &PlanNode, trace: Option<&obs::Trace>) -> Result<Vec<Batch>> {
+    let span = trace.map(|t| t.span(&node.describe()));
+    let out = run_node_inner(ctx, node, trace)?;
+    if let Some(s) = &span {
+        s.rows(out.iter().map(|b| b.len as u64).sum());
+    }
+    Ok(out)
+}
+
+fn run_node_inner(
+    ctx: &EvalCtx<'_>,
+    node: &PlanNode,
+    trace: Option<&obs::Trace>,
+) -> Result<Vec<Batch>> {
+    match node {
+        PlanNode::Scan { source, cols, .. } => Ok(source
+            .rows
+            .chunks(BATCH_SIZE)
+            .map(|c| Batch::from_rows(c, cols.as_deref()))
+            .collect()),
+
+        PlanNode::Filter { input, pred, .. } => {
+            let scope = input.scope();
+            let batches = run_node(ctx, input, trace)?;
+            let vctx = VecEvalCtx { ctx, scope };
+            let ve = VecExpr::compile(pred);
+            let mut out = Vec::with_capacity(batches.len());
+            for b in &batches {
+                let col = ve.eval(b, &vctx)?;
+                let mut sel = Vec::new();
+                match col.as_ref() {
+                    ColumnVec::Bool(vals, bm) => {
+                        for (i, v) in vals.iter().enumerate().take(b.len) {
+                            if bm.get(i) && *v {
+                                sel.push(i);
+                            }
+                        }
+                    }
+                    other => {
+                        // Mirror the interpreter: `as_bool` may error on
+                        // non-boolean predicate values.
+                        for i in 0..b.len {
+                            if other.get(i).as_bool()? == Some(true) {
+                                sel.push(i);
+                            }
+                        }
+                    }
+                }
+                if sel.len() == b.len {
+                    out.push(b.clone());
+                } else if !sel.is_empty() {
+                    out.push(b.gather(&sel));
+                }
+            }
+            Ok(out)
+        }
+
+        PlanNode::Reorder { input, perm, .. } => {
+            let batches = run_node(ctx, input, trace)?;
+            Ok(batches
+                .into_iter()
+                .map(|b| Batch {
+                    cols: perm.iter().map(|&p| b.cols[p].clone()).collect(),
+                    len: b.len,
+                })
+                .collect())
+        }
+
+        PlanNode::Join { left, right, kind, lkeys, rkeys, cond, scope, .. } => {
+            let lb = run_node(ctx, left, trace)?;
+            let rb = run_node(ctx, right, trace)?;
+            if !lkeys.is_empty() {
+                hash_join(ctx, &lb, &rb, left.scope(), right.scope(), *kind, lkeys, rkeys)
+            } else {
+                loop_join(ctx, &lb, &rb, left.scope(), right.scope(), scope, *kind, cond.as_ref())
+            }
+        }
+
+        PlanNode::Aggregate { input, group, sets, aggs, .. } => {
+            let in_scope = input.scope();
+            let batches = run_node(ctx, input, trace)?;
+            aggregate(ctx, &batches, in_scope, group, sets, aggs)
+        }
+
+        PlanNode::Project { input, exprs, .. } => {
+            let in_scope = input.scope();
+            let batches = run_node(ctx, input, trace)?;
+            let vctx = VecEvalCtx { ctx, scope: in_scope };
+            let ves: Vec<VecExpr> = exprs.iter().map(VecExpr::compile).collect();
+            batches
+                .iter()
+                .map(|b| {
+                    let cols = ves.iter().map(|e| e.eval(b, &vctx)).collect::<Result<Vec<_>>>()?;
+                    Ok(Batch { cols, len: b.len })
+                })
+                .collect()
+        }
+
+        PlanNode::Distinct { input, visible } => {
+            let batches = run_node(ctx, input, trace)?;
+            let mut seen: HashMap<Vec<GroupKey>, ()> = HashMap::new();
+            let mut out = Vec::new();
+            for b in &batches {
+                let mut sel = Vec::new();
+                for i in 0..b.len {
+                    let key: Vec<GroupKey> =
+                        b.cols[..*visible].iter().map(|c| c.get(i).group_key()).collect();
+                    if seen.insert(key, ()).is_none() {
+                        sel.push(i);
+                    }
+                }
+                if sel.len() == b.len {
+                    out.push(b.clone());
+                } else if !sel.is_empty() {
+                    out.push(b.gather(&sel));
+                }
+            }
+            Ok(out)
+        }
+
+        PlanNode::Sort { input, items, visible, .. } => {
+            let batches = run_node(ctx, input, trace)?;
+            let rows = batches_to_rows(&batches);
+            let mut keyed: Vec<(Vec<Value>, Row)> =
+                rows.into_iter().map(|r| (r[*visible..].to_vec(), r)).collect();
+            sort_keyed(&mut keyed, items);
+            let rows: Vec<Row> = keyed.into_iter().map(|(_, r)| r).collect();
+            Ok(rows.chunks(BATCH_SIZE).map(|c| Batch::from_rows(c, None)).collect())
+        }
+
+        PlanNode::Limit { input, limit, offset } => {
+            let batches = run_node(ctx, input, trace)?;
+            let mut rows = batches_to_rows(&batches);
+            if let Some(o) = offset {
+                if *o >= rows.len() {
+                    rows.clear();
+                } else {
+                    rows.drain(..*o);
+                }
+            }
+            if let Some(l) = limit {
+                rows.truncate(*l);
+            }
+            Ok(rows.chunks(BATCH_SIZE).map(|c| Batch::from_rows(c, None)).collect())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Joins
+// ---------------------------------------------------------------------------
+
+/// Concatenate a side's batches into one batch for join processing.
+fn concat(batches: &[Batch], width: usize) -> Batch {
+    if batches.len() == 1 {
+        return batches[0].clone();
+    }
+    let len: usize = batches.iter().map(|b| b.len).sum();
+    let mut cols = Vec::with_capacity(width);
+    for c in 0..width {
+        let mut vals = Vec::with_capacity(len);
+        for b in batches {
+            for i in 0..b.len {
+                vals.push(b.cols[c].get(i));
+            }
+        }
+        cols.push(Arc::new(ColumnVec::from_values(vals)));
+    }
+    Batch { cols, len }
+}
+
+/// Hash equi-join. Replicates the interpreter's `hash_join` exactly:
+/// build on the right (right rows in order, NULL keys never match but
+/// stay pad-eligible), probe left rows in order emitting matches in
+/// bucket order, pad unmatched left inline for LEFT/FULL, then append
+/// unmatched right rows in right order for RIGHT/FULL.
+#[allow(clippy::too_many_arguments)]
+fn hash_join(
+    ctx: &EvalCtx<'_>,
+    lb: &[Batch],
+    rb: &[Batch],
+    lscope: &Scope,
+    rscope: &Scope,
+    kind: crate::ast::JoinKind,
+    lkeys: &[BoundExpr],
+    rkeys: &[BoundExpr],
+) -> Result<Vec<Batch>> {
+    use crate::ast::JoinKind;
+    let lbatch = concat(lb, lscope.cols.len());
+    let rbatch = concat(rb, rscope.cols.len());
+
+    let rv = VecEvalCtx { ctx, scope: rscope };
+    let rkey_cols: Vec<Arc<ColumnVec>> =
+        rkeys.iter().map(|k| VecExpr::compile(k).eval(&rbatch, &rv)).collect::<Result<_>>()?;
+    let mut table: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
+    for ri in 0..rbatch.len {
+        let mut key = Vec::with_capacity(rkey_cols.len());
+        let mut has_null = false;
+        for c in &rkey_cols {
+            let v = c.get(ri);
+            if v.is_null() {
+                has_null = true;
+                break;
+            }
+            key.push(v.group_key());
+        }
+        if has_null {
+            continue; // NULL keys never match.
+        }
+        table.entry(key).or_default().push(ri);
+    }
+
+    let lv = VecEvalCtx { ctx, scope: lscope };
+    let lkey_cols: Vec<Arc<ColumnVec>> =
+        lkeys.iter().map(|k| VecExpr::compile(k).eval(&lbatch, &lv)).collect::<Result<_>>()?;
+    let mut li_out: Vec<Option<usize>> = Vec::new();
+    let mut ri_out: Vec<Option<usize>> = Vec::new();
+    let mut right_matched = vec![false; rbatch.len];
+    for li in 0..lbatch.len {
+        let mut key = Vec::with_capacity(lkey_cols.len());
+        let mut has_null = false;
+        for c in &lkey_cols {
+            let v = c.get(li);
+            if v.is_null() {
+                has_null = true;
+                break;
+            }
+            key.push(v.group_key());
+        }
+        let matches = if has_null { None } else { table.get(&key) };
+        match matches {
+            Some(ris) if !ris.is_empty() => {
+                for &ri in ris {
+                    right_matched[ri] = true;
+                    li_out.push(Some(li));
+                    ri_out.push(Some(ri));
+                }
+            }
+            _ => {
+                if matches!(kind, JoinKind::Left | JoinKind::Full) {
+                    li_out.push(Some(li));
+                    ri_out.push(None);
+                }
+            }
+        }
+    }
+    if matches!(kind, JoinKind::Right | JoinKind::Full) {
+        for (ri, m) in right_matched.iter().enumerate() {
+            if !m {
+                li_out.push(None);
+                ri_out.push(Some(ri));
+            }
+        }
+    }
+
+    let mut cols = Vec::with_capacity(lbatch.cols.len() + rbatch.cols.len());
+    for c in &lbatch.cols {
+        cols.push(Arc::new(c.gather_opt(&li_out)));
+    }
+    for c in &rbatch.cols {
+        cols.push(Arc::new(c.gather_opt(&ri_out)));
+    }
+    Ok(vec![Batch { cols, len: li_out.len() }])
+}
+
+/// Nested-loop join for non-equi conditions and cross joins, mirroring
+/// the interpreter's `join_rels` fallback (same row order, same padding
+/// behavior).
+#[allow(clippy::too_many_arguments)]
+fn loop_join(
+    ctx: &EvalCtx<'_>,
+    lb: &[Batch],
+    rb: &[Batch],
+    lscope: &Scope,
+    rscope: &Scope,
+    combined: &Scope,
+    kind: crate::ast::JoinKind,
+    cond: Option<&BoundExpr>,
+) -> Result<Vec<Batch>> {
+    use crate::ast::JoinKind;
+    let lrows = batches_to_rows(lb);
+    let rrows = batches_to_rows(rb);
+    let mut rows = Vec::new();
+    let mut right_matched = vec![false; rrows.len()];
+    for lrow in &lrows {
+        let mut matched = false;
+        for (ri, rrow) in rrows.iter().enumerate() {
+            let mut row = lrow.clone();
+            row.extend(rrow.iter().cloned());
+            let ok = match cond {
+                None => true,
+                Some(b) => {
+                    let env = Env { scope: combined, row: &row, parent: None };
+                    b.eval(ctx, &env)?.as_bool()? == Some(true)
+                }
+            };
+            if ok {
+                matched = true;
+                right_matched[ri] = true;
+                rows.push(row);
+            }
+        }
+        if !matched && matches!(kind, JoinKind::Left | JoinKind::Full) {
+            let mut row = lrow.clone();
+            row.extend(vec![Value::Null; rscope.cols.len()]);
+            rows.push(row);
+        }
+    }
+    if matches!(kind, JoinKind::Right | JoinKind::Full) {
+        for (ri, rrow) in rrows.iter().enumerate() {
+            if !right_matched[ri] {
+                let mut row = vec![Value::Null; lscope.cols.len()];
+                row.extend(rrow.iter().cloned());
+                rows.push(row);
+            }
+        }
+    }
+    Ok(rows.chunks(BATCH_SIZE).map(|c| Batch::from_rows(c, None)).collect())
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+/// One accumulator per (group, aggregate call). Typed variants avoid
+/// `Value` boxing and the interpreter's per-row string dispatch for the
+/// hot aggregates over uniformly-typed columns; everything else runs the
+/// interpreter's [`AggState`] for exact parity.
+enum Acc {
+    /// `count(*)` — increments unconditionally.
+    CountStar(i64),
+    /// Non-distinct `count(x)` — counts valid slots.
+    CountCol(i64),
+    SumInt {
+        sum: i64,
+        seen: bool,
+    },
+    SumFloat {
+        sum: f64,
+        seen: bool,
+    },
+    AvgInt {
+        sum: i64,
+        n: i64,
+    },
+    AvgFloat {
+        sum: f64,
+        n: i64,
+    },
+    MinInt(Option<i64>),
+    MaxInt(Option<i64>),
+    General(Box<AggState>),
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum AccKind {
+    CountStar,
+    CountCol,
+    SumInt,
+    SumFloat,
+    AvgInt,
+    AvgFloat,
+    MinInt,
+    MaxInt,
+    General,
+}
+
+impl Acc {
+    fn new(kind: AccKind, call: &PlanAggCall) -> Acc {
+        match kind {
+            AccKind::CountStar => Acc::CountStar(0),
+            AccKind::CountCol => Acc::CountCol(0),
+            AccKind::SumInt => Acc::SumInt { sum: 0, seen: false },
+            AccKind::SumFloat => Acc::SumFloat { sum: 0.0, seen: false },
+            AccKind::AvgInt => Acc::AvgInt { sum: 0, n: 0 },
+            AccKind::AvgFloat => Acc::AvgFloat { sum: 0.0, n: 0 },
+            AccKind::MinInt => Acc::MinInt(None),
+            AccKind::MaxInt => Acc::MaxInt(None),
+            AccKind::General => Acc::General(Box::new(AggState::new(&call.name, call.distinct))),
+        }
+    }
+
+    fn finish(self, sep: Option<&Value>) -> Result<Value> {
+        Ok(match self {
+            Acc::CountStar(c) | Acc::CountCol(c) => Value::Int(c),
+            Acc::SumInt { sum, seen } => {
+                if seen {
+                    Value::Int(sum)
+                } else {
+                    Value::Null
+                }
+            }
+            Acc::SumFloat { sum, seen } => {
+                if seen {
+                    Value::Float(sum)
+                } else {
+                    Value::Null
+                }
+            }
+            // avg over integers: the interpreter promotes the sum to
+            // Float before dividing, so the result is always Float.
+            Acc::AvgInt { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum as f64 / n as f64)
+                }
+            }
+            Acc::AvgFloat { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+            Acc::MinInt(v) | Acc::MaxInt(v) => v.map(Value::Int).unwrap_or(Value::Null),
+            Acc::General(state) => state.finish(sep)?,
+        })
+    }
+}
+
+/// Per-batch evaluated input columns for the aggregate operator.
+struct AggBatch {
+    len: usize,
+    group: Vec<Arc<ColumnVec>>,
+    args: Vec<Option<Arc<ColumnVec>>>,
+    args2: Vec<Option<Arc<ColumnVec>>>,
+}
+
+fn aggregate(
+    ctx: &EvalCtx<'_>,
+    batches: &[Batch],
+    in_scope: &Scope,
+    group: &[BoundExpr],
+    sets: &[Vec<usize>],
+    aggs: &[PlanAggCall],
+) -> Result<Vec<Batch>> {
+    let vctx = VecEvalCtx { ctx, scope: in_scope };
+    let gexprs: Vec<VecExpr> = group.iter().map(VecExpr::compile).collect();
+    let aexprs: Vec<Option<VecExpr>> =
+        aggs.iter().map(|a| a.arg.as_ref().map(VecExpr::compile)).collect();
+    let a2exprs: Vec<Option<VecExpr>> =
+        aggs.iter().map(|a| a.arg2.as_ref().map(VecExpr::compile)).collect();
+
+    // Evaluate group keys and aggregate arguments once per batch — they
+    // are shared across all grouping sets.
+    let mut abatches: Vec<AggBatch> = Vec::with_capacity(batches.len());
+    for b in batches {
+        abatches.push(AggBatch {
+            len: b.len,
+            group: gexprs.iter().map(|e| e.eval(b, &vctx)).collect::<Result<_>>()?,
+            args: aexprs
+                .iter()
+                .map(|e| e.as_ref().map(|e| e.eval(b, &vctx)).transpose())
+                .collect::<Result<_>>()?,
+            args2: a2exprs
+                .iter()
+                .map(|e| e.as_ref().map(|e| e.eval(b, &vctx)).transpose())
+                .collect::<Result<_>>()?,
+        });
+    }
+
+    // Pick an accumulator per aggregate call: typed fast paths only when
+    // the argument column is uniformly typed across every batch.
+    let kinds: Vec<AccKind> =
+        aggs.iter().enumerate().map(|(si, a)| acc_kind(a, si, &abatches)).collect();
+    let make_accs =
+        || -> Vec<Acc> { kinds.iter().zip(aggs).map(|(k, a)| Acc::new(*k, a)).collect() };
+
+    // Group rows: same order as the interpreter — grouping sets outer,
+    // input rows inner, groups created on first encounter; the empty set
+    // contributes exactly one (global) group even over empty input.
+    let mut groups: Vec<(Vec<Value>, Vec<Acc>, Option<Value>)> = Vec::new();
+    for set in sets {
+        let empty_gidx = if set.is_empty() {
+            groups.push((vec![Value::Null; group.len()], make_accs(), None));
+            Some(groups.len() - 1)
+        } else {
+            None
+        };
+        if let Some(g) = empty_gidx {
+            for bc in &abatches {
+                for i in 0..bc.len {
+                    bump_group(&mut groups, g, bc, i)?;
+                }
+            }
+            continue;
+        }
+        // Typed fast path: plain GROUP BY over one uniformly-Int column
+        // keys by i64 directly, skipping per-row key allocation.
+        let int_cols: Option<Vec<(&[i64], &crate::types::Bitmap)>> =
+            if group.len() == 1 && set.len() == 1 {
+                abatches
+                    .iter()
+                    .map(|b| match b.group[0].as_ref() {
+                        ColumnVec::Int(v, bm) => Some((v.as_slice(), bm)),
+                        _ => None,
+                    })
+                    .collect()
+            } else {
+                None
+            };
+        if let Some(cols) = int_cols {
+            let mut iindex: HashMap<i64, usize> = HashMap::new();
+            let mut null_gidx: Option<usize> = None;
+            for (bi, bc) in abatches.iter().enumerate() {
+                let (vals, valid) = cols[bi];
+                for i in 0..bc.len {
+                    let gidx = if valid.get(i) {
+                        match iindex.get(&vals[i]) {
+                            Some(&g) => g,
+                            None => {
+                                iindex.insert(vals[i], groups.len());
+                                groups.push((vec![Value::Int(vals[i])], make_accs(), None));
+                                groups.len() - 1
+                            }
+                        }
+                    } else {
+                        match null_gidx {
+                            Some(g) => g,
+                            None => {
+                                groups.push((vec![Value::Null], make_accs(), None));
+                                null_gidx = Some(groups.len() - 1);
+                                groups.len() - 1
+                            }
+                        }
+                    };
+                    bump_group(&mut groups, gidx, bc, i)?;
+                }
+            }
+            continue;
+        }
+        let mut index: HashMap<Vec<GroupKey>, usize> = HashMap::new();
+        let mut keybuf: Vec<GroupKey> = Vec::with_capacity(group.len());
+        for bc in &abatches {
+            for i in 0..bc.len {
+                keybuf.clear();
+                for k in 0..group.len() {
+                    if set.contains(&k) {
+                        keybuf.push(bc.group[k].get(i).group_key());
+                    } else {
+                        keybuf.push(Value::Null.group_key());
+                    }
+                }
+                let gidx = match index.get(keybuf.as_slice()) {
+                    Some(&g) => g,
+                    None => {
+                        let masked: Vec<Value> =
+                            (0..group.len())
+                                .map(|k| {
+                                    if set.contains(&k) {
+                                        bc.group[k].get(i)
+                                    } else {
+                                        Value::Null
+                                    }
+                                })
+                                .collect();
+                        index.insert(std::mem::take(&mut keybuf), groups.len());
+                        groups.push((masked, make_accs(), None));
+                        groups.len() - 1
+                    }
+                };
+                bump_group(&mut groups, gidx, bc, i)?;
+            }
+        }
+    }
+
+    fn bump_group(
+        groups: &mut [(Vec<Value>, Vec<Acc>, Option<Value>)],
+        gidx: usize,
+        bc: &AggBatch,
+        i: usize,
+    ) -> Result<()> {
+        let (_, accs, sep_slot) = &mut groups[gidx];
+        for (si, acc) in accs.iter_mut().enumerate() {
+            let sep = match &bc.args2[si] {
+                None => None,
+                Some(c) => {
+                    let s = c.get(i);
+                    *sep_slot = Some(s.clone());
+                    Some(s)
+                }
+            };
+            update_acc(acc, &bc.args[si], i, sep)?;
+        }
+        Ok(())
+    }
+
+    let mut agg_rows: Vec<Row> = Vec::with_capacity(groups.len());
+    for (gvals, accs, sep) in groups {
+        let mut row = gvals;
+        for acc in accs {
+            row.push(acc.finish(sep.as_ref())?);
+        }
+        agg_rows.push(row);
+    }
+    Ok(agg_rows.chunks(BATCH_SIZE).map(|c| Batch::from_rows(c, None)).collect())
+}
+
+/// Choose the accumulator implementation for one aggregate call.
+fn acc_kind(call: &PlanAggCall, si: usize, abatches: &[AggBatch]) -> AccKind {
+    if call.distinct {
+        return AccKind::General;
+    }
+    if call.name == "count" && call.arg.is_none() {
+        return AccKind::CountStar;
+    }
+    if call.arg.is_none() {
+        return AccKind::General;
+    }
+    if call.name == "count" {
+        return AccKind::CountCol;
+    }
+    // Uniform column type across all batches?
+    let all_int =
+        abatches.iter().all(|b| matches!(b.args[si].as_deref(), Some(ColumnVec::Int(..))));
+    let all_float =
+        abatches.iter().all(|b| matches!(b.args[si].as_deref(), Some(ColumnVec::Float(..))));
+    match (call.name.as_str(), all_int, all_float) {
+        ("sum", true, _) => AccKind::SumInt,
+        ("sum", _, true) => AccKind::SumFloat,
+        ("avg", true, _) => AccKind::AvgInt,
+        ("avg", _, true) => AccKind::AvgFloat,
+        ("min", true, _) => AccKind::MinInt,
+        ("max", true, _) => AccKind::MaxInt,
+        _ => AccKind::General,
+    }
+}
+
+fn update_acc(
+    acc: &mut Acc,
+    col: &Option<Arc<ColumnVec>>,
+    i: usize,
+    sep: Option<Value>,
+) -> Result<()> {
+    match acc {
+        Acc::CountStar(c) => *c += 1,
+        Acc::CountCol(c) => {
+            if col.as_ref().is_some_and(|c| c.is_valid(i)) {
+                *c += 1;
+            }
+        }
+        Acc::SumInt { sum, seen } => {
+            if let Some(ColumnVec::Int(vals, bm)) = col.as_deref() {
+                if bm.get(i) {
+                    *sum =
+                        sum.checked_add(vals[i]).ok_or_else(|| Error::eval("integer overflow"))?;
+                    *seen = true;
+                }
+            }
+        }
+        Acc::SumFloat { sum, seen } => {
+            if let Some(ColumnVec::Float(vals, bm)) = col.as_deref() {
+                if bm.get(i) {
+                    *sum += vals[i];
+                    *seen = true;
+                }
+            }
+        }
+        Acc::AvgInt { sum, n } => {
+            if let Some(ColumnVec::Int(vals, bm)) = col.as_deref() {
+                if bm.get(i) {
+                    *sum =
+                        sum.checked_add(vals[i]).ok_or_else(|| Error::eval("integer overflow"))?;
+                    *n += 1;
+                }
+            }
+        }
+        Acc::AvgFloat { sum, n } => {
+            if let Some(ColumnVec::Float(vals, bm)) = col.as_deref() {
+                if bm.get(i) {
+                    *sum += vals[i];
+                    *n += 1;
+                }
+            }
+        }
+        Acc::MinInt(m) => {
+            if let Some(ColumnVec::Int(vals, bm)) = col.as_deref() {
+                if bm.get(i) {
+                    *m = Some(m.map_or(vals[i], |p| p.min(vals[i])));
+                }
+            }
+        }
+        Acc::MaxInt(m) => {
+            if let Some(ColumnVec::Int(vals, bm)) = col.as_deref() {
+                if bm.get(i) {
+                    *m = Some(m.map_or(vals[i], |p| p.max(vals[i])));
+                }
+            }
+        }
+        Acc::General(state) => {
+            let v = col.as_ref().map(|c| c.get(i));
+            state.update(v, sep.as_ref())?;
+        }
+    }
+    Ok(())
+}

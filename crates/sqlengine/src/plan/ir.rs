@@ -1,0 +1,352 @@
+//! The logical plan IR.
+//!
+//! A [`PlanNode`] tree is produced by the builder (`plan::build`) from a
+//! bound `SELECT`, already optimized: predicates pushed down, scans
+//! pruned to the referenced columns, joins reordered. Every node carries
+//! its *output* [`Scope`] (the columns visible to expressions evaluated
+//! above it — fallback expressions need it to build row environments)
+//! and a cardinality estimate from per-table statistics.
+//!
+//! The IR renders in two forms: an `EXPLAIN` tree with cardinality and
+//! cost annotations, and a structural string (no estimates) hashed into
+//! the plan fingerprint recorded in `sdb_stat_statements`.
+
+use crate::ast::{JoinKind, OrderItem};
+use crate::exec::eval::{BoundExpr, Scope};
+use crate::table::TableRef;
+use crate::types::DataType;
+
+/// One aggregate call in an [`PlanNode::Aggregate`], with pre-bound
+/// argument expressions (evaluated against the aggregate input scope).
+#[derive(Debug, Clone)]
+pub struct PlanAggCall {
+    pub name: String,
+    pub distinct: bool,
+    /// `None` for `count(*)`.
+    pub arg: Option<BoundExpr>,
+    /// Second argument (`string_agg` separator).
+    pub arg2: Option<BoundExpr>,
+    /// Display form for EXPLAIN / fingerprinting.
+    pub desc: String,
+}
+
+/// A logical plan operator. `est` fields are output-cardinality
+/// estimates; `desc` fields are pre-rendered display fragments (the
+/// builder has the original AST at hand, the executor does not).
+#[derive(Debug, Clone)]
+pub enum PlanNode {
+    /// Scan a materialized relation (base table, CTE, view or subquery
+    /// result), optionally keeping only the columns in `cols`.
+    Scan {
+        label: String,
+        source: TableRef,
+        /// `Some` = projection pruning kept these source column indices
+        /// (in order); `None` = full width.
+        cols: Option<Vec<usize>>,
+        total_cols: usize,
+        scope: Scope,
+        est: f64,
+    },
+    /// Keep rows where `pred` is true.
+    Filter { input: Box<PlanNode>, pred: BoundExpr, desc: String, est: f64 },
+    /// Join two inputs. When `lkeys`/`rkeys` are non-empty this is a
+    /// hash equi-join on those key expressions; `cond` holds any
+    /// residual (non-equi) condition evaluated on the combined row.
+    Join {
+        left: Box<PlanNode>,
+        right: Box<PlanNode>,
+        kind: JoinKind,
+        lkeys: Vec<BoundExpr>,
+        rkeys: Vec<BoundExpr>,
+        cond: Option<BoundExpr>,
+        desc: String,
+        scope: Scope,
+        est: f64,
+    },
+    /// Restore the syntactic column order after join reordering:
+    /// output column `i` is input column `perm[i]`.
+    Reorder { input: Box<PlanNode>, perm: Vec<usize>, scope: Scope },
+    /// Hash aggregation over grouping sets. `sets` lists, per grouping
+    /// set, the indices into `group` that are active (others masked to
+    /// NULL); a plain GROUP BY is the single full set.
+    Aggregate {
+        input: Box<PlanNode>,
+        group: Vec<BoundExpr>,
+        sets: Vec<Vec<usize>>,
+        aggs: Vec<PlanAggCall>,
+        desc: String,
+        scope: Scope,
+        est: f64,
+    },
+    /// Compute output expressions. The first `visible` are the SELECT
+    /// list; the rest are ORDER BY keys carried alongside.
+    Project {
+        input: Box<PlanNode>,
+        exprs: Vec<BoundExpr>,
+        visible: usize,
+        desc: String,
+        scope: Scope,
+    },
+    /// SELECT DISTINCT over the first `visible` columns.
+    Distinct { input: Box<PlanNode>, visible: usize },
+    /// Sort by the key columns `visible..` produced by the Project
+    /// below, using the direction/null-order of `items`.
+    Sort { input: Box<PlanNode>, items: Vec<OrderItem>, visible: usize, desc: String },
+    /// LIMIT/OFFSET with plan-time-constant values.
+    Limit { input: Box<PlanNode>, limit: Option<usize>, offset: Option<usize> },
+}
+
+impl PlanNode {
+    /// The node's output scope.
+    pub fn scope(&self) -> &Scope {
+        match self {
+            PlanNode::Scan { scope, .. }
+            | PlanNode::Join { scope, .. }
+            | PlanNode::Reorder { scope, .. }
+            | PlanNode::Aggregate { scope, .. }
+            | PlanNode::Project { scope, .. } => scope,
+            PlanNode::Filter { input, .. }
+            | PlanNode::Distinct { input, .. }
+            | PlanNode::Sort { input, .. }
+            | PlanNode::Limit { input, .. } => input.scope(),
+        }
+    }
+
+    /// Estimated output cardinality.
+    pub fn est(&self) -> f64 {
+        match self {
+            PlanNode::Scan { est, .. }
+            | PlanNode::Filter { est, .. }
+            | PlanNode::Join { est, .. }
+            | PlanNode::Aggregate { est, .. } => *est,
+            PlanNode::Reorder { input, .. }
+            | PlanNode::Project { input, .. }
+            | PlanNode::Sort { input, .. } => input.est(),
+            PlanNode::Distinct { input, .. } => input.est() / 2.0,
+            PlanNode::Limit { input, limit, .. } => match limit {
+                Some(n) => input.est().min(*n as f64),
+                None => input.est(),
+            },
+        }
+    }
+
+    /// Cumulative cost estimate: child costs plus the rows this operator
+    /// touches (sorts pay an extra log factor).
+    pub fn cost(&self) -> f64 {
+        match self {
+            PlanNode::Scan { est, cols, total_cols, .. } => {
+                // Pruned scans move less data.
+                let width = match cols {
+                    Some(c) if *total_cols > 0 => c.len() as f64 / *total_cols as f64,
+                    _ => 1.0,
+                };
+                est * width.max(0.1)
+            }
+            PlanNode::Filter { input, .. } => input.cost() + input.est(),
+            PlanNode::Join { left, right, lkeys, est, .. } => {
+                let base = left.cost() + right.cost();
+                if lkeys.is_empty() {
+                    // Nested loop.
+                    base + left.est() * right.est().max(1.0)
+                } else {
+                    base + left.est() + right.est() + est
+                }
+            }
+            PlanNode::Reorder { input, .. } => input.cost(),
+            PlanNode::Aggregate { input, sets, .. } => {
+                input.cost() + input.est() * sets.len().max(1) as f64
+            }
+            PlanNode::Project { input, .. } | PlanNode::Distinct { input, .. } => {
+                input.cost() + input.est()
+            }
+            PlanNode::Sort { input, .. } => {
+                let n = input.est();
+                input.cost() + n * (n + 2.0).log2()
+            }
+            PlanNode::Limit { input, .. } => input.cost(),
+        }
+    }
+
+    /// One-line description of this operator (no tree prefix).
+    pub(crate) fn describe(&self) -> String {
+        match self {
+            PlanNode::Scan { label, cols, total_cols, .. } => match cols {
+                Some(c) => format!("Scan {label} cols={}/{total_cols}", c.len()),
+                None => format!("Scan {label}"),
+            },
+            PlanNode::Filter { desc, .. } => format!("Filter {desc}"),
+            PlanNode::Join { kind, lkeys, desc, .. } => {
+                let how = if lkeys.is_empty() { "NestedLoopJoin" } else { "HashJoin" };
+                let kw = match kind {
+                    JoinKind::Inner => "Inner",
+                    JoinKind::Left => "Left",
+                    JoinKind::Right => "Right",
+                    JoinKind::Full => "Full",
+                    JoinKind::Cross => "Cross",
+                };
+                if desc.is_empty() {
+                    format!("{how} {kw}")
+                } else {
+                    format!("{how} {kw} on {desc}")
+                }
+            }
+            PlanNode::Reorder { perm, .. } => format!("Reorder perm={perm:?}"),
+            PlanNode::Aggregate { desc, sets, .. } => {
+                if sets.len() > 1 {
+                    format!("Aggregate {desc} sets={}", sets.len())
+                } else {
+                    format!("Aggregate {desc}")
+                }
+            }
+            PlanNode::Project { desc, .. } => format!("Project {desc}"),
+            PlanNode::Distinct { .. } => "Distinct".to_string(),
+            PlanNode::Sort { desc, .. } => format!("Sort {desc}"),
+            PlanNode::Limit { limit, offset, .. } => {
+                let mut s = "Limit".to_string();
+                if let Some(n) = limit {
+                    s.push_str(&format!(" {n}"));
+                }
+                if let Some(n) = offset {
+                    s.push_str(&format!(" offset {n}"));
+                }
+                s
+            }
+        }
+    }
+
+    fn children(&self) -> Vec<&PlanNode> {
+        match self {
+            PlanNode::Scan { .. } => vec![],
+            PlanNode::Filter { input, .. }
+            | PlanNode::Reorder { input, .. }
+            | PlanNode::Aggregate { input, .. }
+            | PlanNode::Project { input, .. }
+            | PlanNode::Distinct { input, .. }
+            | PlanNode::Sort { input, .. }
+            | PlanNode::Limit { input, .. } => vec![input],
+            PlanNode::Join { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// Append EXPLAIN lines for this subtree.
+    fn render_into(&self, lines: &mut Vec<String>, prefix: &str, is_last: bool, is_root: bool) {
+        let own = format!(
+            "{} (rows\u{2248}{}, cost\u{2248}{})",
+            self.describe(),
+            fmt_est(self.est()),
+            fmt_est(self.cost())
+        );
+        if is_root {
+            lines.push(own);
+        } else {
+            let branch = if is_last { "\u{2514}\u{2500} " } else { "\u{251c}\u{2500} " };
+            lines.push(format!("{prefix}{branch}{own}"));
+        }
+        let child_prefix = if is_root {
+            String::new()
+        } else if is_last {
+            format!("{prefix}   ")
+        } else {
+            format!("{prefix}\u{2502}  ")
+        };
+        let kids = self.children();
+        let n = kids.len();
+        for (i, k) in kids.into_iter().enumerate() {
+            k.render_into(lines, &child_prefix, i + 1 == n, false);
+        }
+    }
+
+    /// Append the structural (estimate-free) form used for
+    /// fingerprinting.
+    fn structure_into(&self, out: &mut String) {
+        match self {
+            PlanNode::Scan { label, cols, .. } => {
+                out.push_str("scan(");
+                out.push_str(label);
+                if let Some(c) = cols {
+                    out.push_str(&format!(" cols={c:?}"));
+                }
+                out.push(')');
+            }
+            PlanNode::Filter { input, desc, .. } => {
+                out.push_str("filter(");
+                out.push_str(desc);
+                out.push_str(")<-");
+                input.structure_into(out);
+            }
+            PlanNode::Join { left, right, kind, lkeys, desc, .. } => {
+                out.push_str(if lkeys.is_empty() { "nljoin(" } else { "hashjoin(" });
+                out.push_str(&format!("{kind:?} {desc})["));
+                left.structure_into(out);
+                out.push_str(" , ");
+                right.structure_into(out);
+                out.push(']');
+            }
+            PlanNode::Reorder { input, perm, .. } => {
+                out.push_str(&format!("reorder({perm:?})<-"));
+                input.structure_into(out);
+            }
+            PlanNode::Aggregate { input, sets, desc, .. } => {
+                out.push_str(&format!("agg({desc} sets={sets:?})<-"));
+                input.structure_into(out);
+            }
+            PlanNode::Project { input, desc, visible, .. } => {
+                out.push_str(&format!("project({desc} vis={visible})<-"));
+                input.structure_into(out);
+            }
+            PlanNode::Distinct { input, .. } => {
+                out.push_str("distinct<-");
+                input.structure_into(out);
+            }
+            PlanNode::Sort { input, desc, .. } => {
+                out.push_str(&format!("sort({desc})<-"));
+                input.structure_into(out);
+            }
+            PlanNode::Limit { input, limit, offset, .. } => {
+                out.push_str(&format!("limit({limit:?},{offset:?})<-"));
+                input.structure_into(out);
+            }
+        }
+    }
+}
+
+fn fmt_est(v: f64) -> String {
+    if v >= 100.0 || v.fract().abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// A fully planned `SELECT`: optimized operator tree plus output
+/// metadata.
+#[derive(Debug, Clone)]
+pub struct PlannedQuery {
+    pub root: PlanNode,
+    /// Output column names (the SELECT list).
+    pub names: Vec<String>,
+    /// Statically inferred output types, used when a column has no
+    /// non-NULL value to sniff a type from.
+    pub static_types: Vec<DataType>,
+    /// Number of visible output columns (ORDER BY keys beyond this are
+    /// dropped from the final table).
+    pub visible: usize,
+}
+
+impl PlannedQuery {
+    /// Stable structural fingerprint of the optimized plan (FNV-1a over
+    /// the estimate-free plan rendering).
+    pub fn fingerprint(&self) -> u64 {
+        let mut s = String::new();
+        self.root.structure_into(&mut s);
+        super::fnv1a(s.as_bytes())
+    }
+
+    /// Render the `EXPLAIN SELECT` tree, one line per operator.
+    pub fn explain_lines(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        self.root.render_into(&mut lines, "", true, true);
+        lines.push(format!("plan fingerprint: {:016x}", self.fingerprint()));
+        lines
+    }
+}

@@ -1,0 +1,121 @@
+//! Per-table statistics for cost-based planning.
+//!
+//! Statistics are computed lazily the first time the planner sees a
+//! table and cached on the [`Database`] keyed by the table's allocation
+//! identity `(Arc pointer, row count)`. Tables are copy-on-write
+//! (`Arc<Table>`), so any mutation produces a new allocation and the
+//! planner naturally picks up fresh statistics. A recycled allocation
+//! address with an identical row count can in principle alias a stale
+//! entry — statistics are advisory (they steer plan choice, never
+//! results), so the consequence is at worst a suboptimal plan.
+
+use crate::catalog::Database;
+use crate::table::TableRef;
+use crate::types::Value;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// How many rows to sample when estimating per-column distinct counts.
+const SAMPLE_ROWS: usize = 1024;
+
+/// Summary statistics for one table.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    /// Exact row count at collection time.
+    pub row_count: usize,
+    /// Estimated distinct values per column (sampled; ≥ 1.0 for
+    /// non-empty tables).
+    pub distinct: Vec<f64>,
+}
+
+impl TableStats {
+    /// Collect statistics by scanning at most [`SAMPLE_ROWS`] rows.
+    pub fn collect(table: &crate::table::Table) -> TableStats {
+        let row_count = table.rows.len();
+        let sample = row_count.min(SAMPLE_ROWS);
+        let ncols = table.schema.len();
+        let mut distinct = Vec::with_capacity(ncols);
+        for c in 0..ncols {
+            let mut seen: HashSet<crate::types::GroupKey> = HashSet::new();
+            for row in table.rows.iter().take(sample) {
+                let v: &Value = &row[c];
+                seen.insert(v.group_key());
+            }
+            let d = if sample == 0 {
+                0.0
+            } else if sample < row_count {
+                // Scale the sampled distinct count linearly, capped at the
+                // row count — crude, but stable and monotone.
+                (seen.len() as f64 * row_count as f64 / sample as f64).min(row_count as f64)
+            } else {
+                seen.len() as f64
+            };
+            distinct.push(d.max(if row_count == 0 { 0.0 } else { 1.0 }));
+        }
+        TableStats { row_count, distinct }
+    }
+
+    /// Distinct estimate for a column, defaulting to a third of the rows
+    /// when the column is out of range (synthetic relations).
+    pub fn distinct_of(&self, col: usize) -> f64 {
+        self.distinct.get(col).copied().unwrap_or_else(|| (self.row_count as f64 / 3.0).max(1.0))
+    }
+}
+
+impl Database {
+    /// Statistics for a catalog table, computed on first use and cached.
+    pub(crate) fn table_stats(&self, table: &TableRef) -> Arc<TableStats> {
+        let key = (Arc::as_ptr(table) as usize, table.rows.len());
+        if let Ok(cache) = self.stats_cache.lock() {
+            if let Some(s) = cache.get(&key) {
+                return s.clone();
+            }
+        }
+        let stats = Arc::new(TableStats::collect(table));
+        if let Ok(mut cache) = self.stats_cache.lock() {
+            // Bound the cache: a DDL-heavy session would otherwise grow it
+            // without limit.
+            if cache.len() > 4096 {
+                cache.clear();
+            }
+            cache.insert(key, stats.clone());
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Table;
+
+    #[test]
+    fn collect_counts_rows_and_distincts() {
+        let t = Table::from_rows(
+            &["a", "b"],
+            vec![
+                vec![Value::Int(1), Value::text("x")],
+                vec![Value::Int(1), Value::text("y")],
+                vec![Value::Int(2), Value::text("x")],
+                vec![Value::Null, Value::text("x")],
+            ],
+        );
+        let s = TableStats::collect(&t);
+        assert_eq!(s.row_count, 4);
+        assert_eq!(s.distinct.len(), 2);
+        // a: {1, 2, NULL} -> 3 distinct keys; b: {x, y} -> 2.
+        assert_eq!(s.distinct[0], 3.0);
+        assert_eq!(s.distinct[1], 2.0);
+    }
+
+    #[test]
+    fn stats_cache_invalidates_on_copy_on_write() {
+        let mut db = Database::new();
+        db.create_table("t", Table::from_rows(&["a"], vec![vec![Value::Int(1)]]), false).unwrap();
+        let s1 = db.table_stats(&db.table("t").unwrap().clone());
+        assert_eq!(s1.row_count, 1);
+        db.table_mut("t").unwrap().rows.push(vec![Value::Int(2)]);
+        let s2 = db.table_stats(&db.table("t").unwrap().clone());
+        assert_eq!(s2.row_count, 2);
+    }
+}

@@ -108,6 +108,90 @@ impl fmt::Display for BitString {
     }
 }
 
+/// A growable bitmap, used by the columnar executor as a per-column
+/// validity mask (bit set = value present, bit clear = SQL NULL).
+/// Unlike [`BitString`] it has no 64-bit cap: bits are stored in
+/// little-endian order across `u64` blocks.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bitmap {
+    blocks: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    pub fn new() -> Bitmap {
+        Bitmap::default()
+    }
+
+    /// A bitmap of `len` bits, all set (`value = true`) or all clear.
+    pub fn filled(len: usize, value: bool) -> Bitmap {
+        let nblocks = len.div_ceil(64);
+        let mut blocks = vec![if value { u64::MAX } else { 0 }; nblocks];
+        if value {
+            if let Some(last) = blocks.last_mut() {
+                let tail = len % 64;
+                if tail != 0 {
+                    *last = (1u64 << tail) - 1;
+                }
+            }
+        }
+        Bitmap { blocks, len }
+    }
+
+    pub fn with_capacity(bits: usize) -> Bitmap {
+        Bitmap { blocks: Vec::with_capacity(bits.div_ceil(64)), len: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn push(&mut self, bit: bool) {
+        let block = self.len / 64;
+        if block == self.blocks.len() {
+            self.blocks.push(0);
+        }
+        if bit {
+            self.blocks[block] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Bits past `len` read as `false`.
+    pub fn get(&self, index: usize) -> bool {
+        if index >= self.len {
+            return false;
+        }
+        (self.blocks[index / 64] >> (index % 64)) & 1 == 1
+    }
+
+    pub fn set(&mut self, index: usize, bit: bool) {
+        if index >= self.len {
+            return;
+        }
+        let mask = 1u64 << (index % 64);
+        if bit {
+            self.blocks[index / 64] |= mask;
+        } else {
+            self.blocks[index / 64] &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// True when every bit in the bitmap is set.
+    pub fn all_set(&self) -> bool {
+        self.count_ones() == self.len
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,5 +242,34 @@ mod tests {
     fn reject_invalid_literals() {
         assert!(BitString::parse("012").is_err());
         assert!(BitString::parse(&"1".repeat(65)).is_err());
+    }
+
+    #[test]
+    fn bitmap_push_get_roundtrip() {
+        let mut bm = Bitmap::new();
+        for i in 0..200 {
+            bm.push(i % 3 == 0);
+        }
+        assert_eq!(bm.len(), 200);
+        for i in 0..200 {
+            assert_eq!(bm.get(i), i % 3 == 0, "bit {i}");
+        }
+        assert_eq!(bm.count_ones(), (0..200).filter(|i| i % 3 == 0).count());
+        assert!(!bm.get(200));
+    }
+
+    #[test]
+    fn bitmap_filled_and_set() {
+        let mut bm = Bitmap::filled(100, true);
+        assert_eq!(bm.len(), 100);
+        assert_eq!(bm.count_ones(), 100);
+        assert!(bm.all_set());
+        bm.set(64, false);
+        assert!(!bm.get(64));
+        assert!(!bm.all_set());
+        assert_eq!(bm.count_ones(), 99);
+        let empty = Bitmap::filled(70, false);
+        assert_eq!(empty.count_ones(), 0);
+        assert!(!empty.get(69) && !empty.get(1000));
     }
 }

@@ -8,7 +8,7 @@ pub mod ops;
 pub mod timeval;
 pub mod value;
 
-pub use bits::BitString;
+pub use bits::{BitString, Bitmap};
 pub use custom::{custom, downcast, CustomValue};
 pub use datatype::DataType;
 pub use ops::{BinOp, UnOp};

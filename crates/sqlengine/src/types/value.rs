@@ -429,7 +429,7 @@ fn type_err(op: BinOp, lhs: &Value, rhs: &Value) -> Error {
     ))
 }
 
-fn cmp_f64(a: f64, b: f64) -> Ordering {
+pub(crate) fn cmp_f64(a: f64, b: f64) -> Ordering {
     a.partial_cmp(&b).unwrap_or_else(|| {
         // NaN sorts after everything (PostgreSQL convention).
         match (a.is_nan(), b.is_nan()) {

@@ -1,0 +1,528 @@
+//! Differential tests for the planned (columnar) executor.
+//!
+//! Every query here runs twice — once through the default path, which
+//! routes plannable SELECTs through the logical plan + columnar batch
+//! executor, and once with `set_force_row_interpreter(true)`, which
+//! pins the legacy row-at-a-time interpreter. The two executions must
+//! agree on column names and on the multiset of result rows (the
+//! optimizer may legally reorder joins, so row order is only compared
+//! when the query carries an ORDER BY).
+//!
+//! A deterministic xorshift generator fuzzes several hundred SELECT
+//! shapes — projections, predicates, multi-way joins, grouping,
+//! HAVING, DISTINCT, ORDER BY, LIMIT/OFFSET — on top of a bank of
+//! hand-written queries covering the planner's edge shapes
+//! (ROLLUP/CUBE/GROUPING SETS, outer joins, subqueries, NULL keys).
+
+use sqlengine::{execute_script, execute_sql, set_force_row_interpreter, Database, Table, Value};
+
+fn setup() -> Database {
+    let mut db = Database::new();
+    execute_script(
+        &mut db,
+        "CREATE TABLE t1 (a INT, b INT, c TEXT, d FLOAT8);
+         CREATE TABLE t2 (a INT, e TEXT, f INT);
+         CREATE TABLE t3 (k INT, v INT);",
+    )
+    .unwrap();
+    // Deterministic data with duplicates and NULLs in every column.
+    let mut rng = Rng::new(0xC0FFEE);
+    let mut rows = Vec::new();
+    for i in 0..60 {
+        let a = if rng.below(10) == 0 { "NULL".into() } else { format!("{}", rng.below(8)) };
+        let b = if rng.below(12) == 0 { "NULL".into() } else { format!("{}", rng.below(50)) };
+        let c = match rng.below(5) {
+            0 => "NULL".into(),
+            1 => "'red'".into(),
+            2 => "'green'".into(),
+            3 => "'blue'".into(),
+            _ => format!("'c{}'", i % 4),
+        };
+        let d = if rng.below(8) == 0 {
+            "NULL".into()
+        } else {
+            format!("{}.{}", rng.below(20), rng.below(10))
+        };
+        rows.push(format!("({a},{b},{c},{d})"));
+    }
+    execute_sql(&mut db, &format!("INSERT INTO t1 VALUES {}", rows.join(","))).unwrap();
+    let mut rows = Vec::new();
+    for _ in 0..25 {
+        let a = if rng.below(10) == 0 { "NULL".into() } else { format!("{}", rng.below(8)) };
+        let e: String = match rng.below(4) {
+            0 => "NULL".into(),
+            1 => "'x'".into(),
+            2 => "'y'".into(),
+            _ => "'z'".into(),
+        };
+        let f = format!("{}", rng.below(100));
+        rows.push(format!("({a},{e},{f})"));
+    }
+    execute_sql(&mut db, &format!("INSERT INTO t2 VALUES {}", rows.join(","))).unwrap();
+    let mut rows = Vec::new();
+    for _ in 0..15 {
+        rows.push(format!("({},{})", rng.below(8), rng.below(30)));
+    }
+    execute_sql(&mut db, &format!("INSERT INTO t3 VALUES {}", rows.join(","))).unwrap();
+    db
+}
+
+/// Minimal xorshift64* PRNG so the fuzz corpus is reproducible without
+/// pulling in a dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn pick<'a>(&mut self, opts: &[&'a str]) -> &'a str {
+        opts[self.below(opts.len() as u64) as usize]
+    }
+}
+
+/// Render a value so that NULL, ints, floats and text all key
+/// distinctly, and Float(2.0)/Int(2) stay distinguishable.
+fn key(v: &Value) -> String {
+    match v {
+        Value::Null => "∅".to_string(),
+        Value::Int(i) => format!("i{i}"),
+        Value::Float(f) => format!("f{f}"),
+        other => format!("v{other}"),
+    }
+}
+
+fn row_keys(t: &Table) -> Vec<String> {
+    t.rows.iter().map(|r| r.iter().map(key).collect::<Vec<_>>().join("\u{1f}")).collect()
+}
+
+/// Run `sql` through both executors and compare. `ordered` compares
+/// exact row sequence; otherwise the sorted multiset.
+fn check(db: &mut Database, sql: &str, ordered: bool) {
+    let planned = execute_sql(db, sql).map(|r| r.into_table().unwrap());
+    let prev = set_force_row_interpreter(true);
+    let row = execute_sql(db, sql).map(|r| r.into_table().unwrap());
+    set_force_row_interpreter(prev);
+    match (planned, row) {
+        (Ok(p), Ok(r)) => {
+            assert_eq!(p.schema.names(), r.schema.names(), "column names differ for: {sql}");
+            let mut pk = row_keys(&p);
+            let mut rk = row_keys(&r);
+            if !ordered {
+                pk.sort();
+                rk.sort();
+            }
+            assert_eq!(pk, rk, "rows differ for: {sql}");
+        }
+        (Err(pe), Err(re)) => {
+            assert_eq!(pe.to_string(), re.to_string(), "errors differ for: {sql}");
+        }
+        (Ok(_), Err(re)) => panic!("columnar succeeded, row interpreter failed ({re}): {sql}"),
+        (Err(pe), Ok(_)) => panic!("columnar failed ({pe}), row interpreter succeeded: {sql}"),
+    }
+}
+
+#[test]
+fn differential_handwritten_corpus() {
+    let mut db = setup();
+    // (sql, has total order) — the bank covers planner edge shapes.
+    let corpus: &[(&str, bool)] = &[
+        ("SELECT * FROM t1", false),
+        ("SELECT a, b FROM t1 WHERE a > 3", false),
+        ("SELECT c, d FROM t1 WHERE c IS NULL", false),
+        ("SELECT a FROM t1 WHERE c IS NOT NULL AND b < 30", false),
+        ("SELECT a + b AS s, d * 2 FROM t1 WHERE a IS NOT NULL", false),
+        ("SELECT CASE WHEN a > 4 THEN 'hi' ELSE 'lo' END AS lvl, b FROM t1", false),
+        ("SELECT * FROM t1 WHERE c LIKE 'c%'", false),
+        ("SELECT * FROM t1 WHERE c IN ('red', 'blue')", false),
+        ("SELECT * FROM t1 WHERE b BETWEEN 10 AND 30", false),
+        ("SELECT DISTINCT c FROM t1", false),
+        ("SELECT DISTINCT a, c FROM t1 WHERE b > 5", false),
+        ("SELECT a, b FROM t1 ORDER BY a, b, d", true),
+        ("SELECT a, b FROM t1 ORDER BY b DESC NULLS FIRST, a, c", true),
+        ("SELECT a FROM t1 ORDER BY a LIMIT 7", true),
+        ("SELECT a FROM t1 ORDER BY a LIMIT 5 OFFSET 3", true),
+        ("SELECT count(*) FROM t1", true),
+        ("SELECT count(a), count(*), sum(b), min(d), max(d) FROM t1", true),
+        ("SELECT avg(b), avg(d) FROM t1", true),
+        ("SELECT c, count(*) FROM t1 GROUP BY c", false),
+        ("SELECT c, sum(b), avg(d) FROM t1 GROUP BY c ORDER BY c NULLS LAST", true),
+        ("SELECT a, c, count(*) FROM t1 GROUP BY a, c HAVING count(*) > 1", false),
+        ("SELECT c, count(DISTINCT a) FROM t1 GROUP BY c", false),
+        (
+            "SELECT c, string_agg(cast(a AS TEXT), ',') FROM t1 WHERE a IS NOT NULL GROUP BY c",
+            false,
+        ),
+        ("SELECT c, stddev(b), variance(b) FROM t1 GROUP BY c", false),
+        ("SELECT count(*) FROM t1 GROUP BY a HAVING sum(b) > 100", false),
+        // Joins: comma, inner, outer, non-equi, three-way.
+        ("SELECT t1.a, t2.e FROM t1, t2 WHERE t1.a = t2.a", false),
+        ("SELECT t1.a, t2.e FROM t1 JOIN t2 ON t1.a = t2.a WHERE t2.f > 50", false),
+        ("SELECT t1.a, t2.e FROM t1 LEFT JOIN t2 ON t1.a = t2.a", false),
+        ("SELECT t1.a, t2.e FROM t1 RIGHT JOIN t2 ON t1.a = t2.a", false),
+        ("SELECT t1.a, t2.e FROM t1 FULL JOIN t2 ON t1.a = t2.a", false),
+        ("SELECT x.a, y.a FROM t1 x JOIN t1 y ON x.a = y.b", false),
+        ("SELECT t1.a, t3.v FROM t1 JOIN t3 ON t1.a < t3.k", false),
+        ("SELECT t1.a, t2.e, t3.v FROM t1, t2, t3 WHERE t1.a = t2.a AND t2.a = t3.k", false),
+        ("SELECT t1.c, sum(t3.v) FROM t1 JOIN t3 ON t1.a = t3.k GROUP BY t1.c", false),
+        (
+            "SELECT t2.e, count(*) FROM t1 LEFT JOIN t2 ON t1.a = t2.a AND t2.f > 30 \
+             GROUP BY t2.e ORDER BY t2.e NULLS LAST",
+            true,
+        ),
+        // Subqueries (residual predicates, pruning disabled).
+        ("SELECT a FROM t1 WHERE a IN (SELECT k FROM t3)", false),
+        ("SELECT a FROM t1 WHERE EXISTS (SELECT 1 FROM t2 WHERE t2.a = t1.a)", false),
+        ("SELECT a, (SELECT max(v) FROM t3) AS mv FROM t1 WHERE b > 20", false),
+        (
+            "SELECT s.a, s.n FROM (SELECT a, count(*) AS n FROM t1 GROUP BY a) s WHERE s.n > 2",
+            false,
+        ),
+        // CTEs materialize before planning.
+        (
+            "WITH big AS (SELECT * FROM t1 WHERE b > 25) SELECT c, count(*) FROM big GROUP BY c",
+            false,
+        ),
+        // Grouping sets family.
+        ("SELECT c, sum(b) FROM t1 GROUP BY ROLLUP (c)", false),
+        ("SELECT a, c, sum(b) FROM t1 GROUP BY ROLLUP (a, c)", false),
+        ("SELECT a, c, count(*) FROM t1 GROUP BY CUBE (a, c)", false),
+        ("SELECT a, c, sum(b) FROM t1 GROUP BY GROUPING SETS ((a), (c), ())", false),
+        ("SELECT c, grouping(c), sum(b) FROM t1 GROUP BY ROLLUP (c)", false),
+        // Expressions in GROUP BY and ORDER BY positions.
+        ("SELECT a % 3 AS g, count(*) FROM t1 WHERE a IS NOT NULL GROUP BY a % 3", false),
+        ("SELECT a, b FROM t1 WHERE a IS NOT NULL ORDER BY 2 DESC, 1", true),
+        ("SELECT upper(c) AS u, length(c) FROM t1 WHERE c IS NOT NULL", false),
+        ("SELECT coalesce(a, -1), coalesce(c, 'none') FROM t1", false),
+        ("SELECT abs(b - 25), round(d) FROM t1", false),
+        // Errors must match exactly.
+        ("SELECT nope FROM t1", true),
+        ("SELECT a FROM t1 GROUP BY c", true),
+        ("SELECT sum(b) + a FROM t1", true),
+    ];
+    for (sql, ordered) in corpus {
+        check(&mut db, sql, *ordered);
+    }
+}
+
+#[test]
+fn differential_fuzzed_selects() {
+    let mut db = setup();
+    let mut rng = Rng::new(0xDEADBEEF);
+    for _ in 0..220 {
+        let sql = gen_select(&mut rng);
+        // Generated queries never carry a total order: compare multisets.
+        check(&mut db, &sql, false);
+    }
+}
+
+fn gen_select(rng: &mut Rng) -> String {
+    let agg = rng.below(3) == 0;
+    let join = rng.below(3) == 0;
+    let from = if join {
+        let kind = rng.pick(&["JOIN", "LEFT JOIN", "RIGHT JOIN", "FULL JOIN"]);
+        format!("t1 {kind} t2 ON t1.a = t2.a")
+    } else {
+        "t1".to_string()
+    };
+    let qual = |c: &str| {
+        if join && c == "a" {
+            format!("t1.{c}")
+        } else {
+            c.to_string()
+        }
+    };
+    let mut sql = String::from("SELECT ");
+    if agg {
+        let g = qual(rng.pick(&["a", "c"]));
+        let call = match rng.below(5) {
+            0 => "count(*)".to_string(),
+            1 => format!("sum({})", qual("b")),
+            2 => format!("avg({})", qual("d")),
+            3 => format!("min({})", qual("b")),
+            _ => format!("count(DISTINCT {})", qual("b")),
+        };
+        sql.push_str(&format!("{g}, {call} FROM {from}"));
+        add_where(&mut sql, rng, &qual);
+        match rng.below(4) {
+            0 => sql.push_str(&format!(" GROUP BY ROLLUP ({g})")),
+            1 => sql.push_str(&format!(" GROUP BY CUBE ({g})")),
+            _ => sql.push_str(&format!(" GROUP BY {g}")),
+        }
+        if rng.below(3) == 0 {
+            sql.push_str(" HAVING count(*) > 1");
+        }
+    } else {
+        if rng.below(4) == 0 {
+            sql.push_str("DISTINCT ");
+        }
+        let cols: Vec<String> = match rng.below(4) {
+            0 => vec![qual("a"), qual("b")],
+            1 => vec![qual("c"), format!("{} + 1", qual("b"))],
+            2 => vec!["*".to_string()],
+            _ => vec![qual("a"), qual("c"), qual("d")],
+        };
+        sql.push_str(&cols.join(", "));
+        sql.push_str(&format!(" FROM {from}"));
+        add_where(&mut sql, rng, &qual);
+        if rng.below(3) == 0 {
+            // ORDER BY alone is not a total order over duplicate rows;
+            // keep it to exercise Sort, but still compare multisets.
+            sql.push_str(&format!(" ORDER BY {}", qual("b")));
+            if rng.below(2) == 0 {
+                sql.push_str(&format!(" LIMIT {} OFFSET {}", 40 + rng.below(60), rng.below(4)));
+            }
+        }
+    }
+    sql
+}
+
+fn add_where(sql: &mut String, rng: &mut Rng, qual: &dyn Fn(&str) -> String) {
+    if rng.below(4) == 0 {
+        return;
+    }
+    let mut preds = Vec::new();
+    for _ in 0..=rng.below(2) {
+        let p = match rng.below(6) {
+            0 => format!("{} {} {}", qual("a"), rng.pick(&["<", ">", "=", "<>"]), rng.below(8)),
+            1 => format!("{} {} {}", qual("b"), rng.pick(&["<=", ">="]), rng.below(50)),
+            2 => format!("{} IS NOT NULL", qual("c")),
+            3 => format!("{} IS NULL", qual("d")),
+            4 => format!("{} IN ('red', 'green')", qual("c")),
+            _ => format!("{} BETWEEN 5 AND 40", qual("b")),
+        };
+        preds.push(p);
+    }
+    sql.push_str(&format!(" WHERE {}", preds.join(rng.pick(&[" AND ", " OR "]))));
+}
+
+// ---------------------------------------------------------------------------
+// Grouping sets: exact expected outputs (both executors).
+
+fn grouping_db() -> Database {
+    let mut db = Database::new();
+    execute_script(
+        &mut db,
+        "CREATE TABLE sales (region TEXT, product TEXT, amount INT);
+         INSERT INTO sales VALUES
+           ('east', 'ink', 10), ('east', 'pen', 20), ('east', 'ink', 30),
+           ('west', 'pen', 40), ('west', 'ink', 50);",
+    )
+    .unwrap();
+    db
+}
+
+fn rows_of(db: &mut Database, sql: &str) -> Vec<Vec<String>> {
+    let t = execute_sql(db, sql).unwrap().into_table().unwrap();
+    t.rows.iter().map(|r| r.iter().map(|v| v.to_string()).collect()).collect()
+}
+
+fn assert_both_executors(db: &mut Database, sql: &str, expected: &[&[&str]]) {
+    for force_row in [false, true] {
+        let prev = set_force_row_interpreter(force_row);
+        let mut got = rows_of(db, sql);
+        set_force_row_interpreter(prev);
+        let mut want: Vec<Vec<String>> =
+            expected.iter().map(|r| r.iter().map(|s| s.to_string()).collect()).collect();
+        got.sort();
+        want.sort();
+        assert_eq!(got, want, "force_row={force_row}: {sql}");
+    }
+}
+
+#[test]
+fn rollup_produces_subtotals_and_grand_total() {
+    let mut db = grouping_db();
+    assert_both_executors(
+        &mut db,
+        "SELECT region, product, sum(amount) FROM sales GROUP BY ROLLUP (region, product)",
+        &[
+            &["east", "ink", "40"],
+            &["east", "pen", "20"],
+            &["west", "pen", "40"],
+            &["west", "ink", "50"],
+            &["east", "NULL", "60"],
+            &["west", "NULL", "90"],
+            &["NULL", "NULL", "150"],
+        ],
+    );
+}
+
+#[test]
+fn cube_produces_all_marginals() {
+    let mut db = grouping_db();
+    assert_both_executors(
+        &mut db,
+        "SELECT region, product, sum(amount) FROM sales GROUP BY CUBE (region, product)",
+        &[
+            &["east", "ink", "40"],
+            &["east", "pen", "20"],
+            &["west", "pen", "40"],
+            &["west", "ink", "50"],
+            &["east", "NULL", "60"],
+            &["west", "NULL", "90"],
+            &["NULL", "ink", "90"],
+            &["NULL", "pen", "60"],
+            &["NULL", "NULL", "150"],
+        ],
+    );
+}
+
+#[test]
+fn grouping_sets_listed_explicitly() {
+    let mut db = grouping_db();
+    assert_both_executors(
+        &mut db,
+        "SELECT region, product, count(*) FROM sales \
+         GROUP BY GROUPING SETS ((region), (product), ())",
+        &[
+            &["east", "NULL", "3"],
+            &["west", "NULL", "2"],
+            &["NULL", "ink", "3"],
+            &["NULL", "pen", "2"],
+            &["NULL", "NULL", "5"],
+        ],
+    );
+}
+
+#[test]
+fn rollup_keeps_null_source_groups_distinct_from_totals() {
+    let mut db = grouping_db();
+    execute_sql(&mut db, "INSERT INTO sales VALUES (NULL, 'ink', 7)").unwrap();
+    // A NULL region group and the grand-total row both render region as
+    // NULL; the multiset must contain both, with distinct sums.
+    assert_both_executors(
+        &mut db,
+        "SELECT region, sum(amount) FROM sales GROUP BY ROLLUP (region)",
+        &[&["east", "60"], &["west", "90"], &["NULL", "7"], &["NULL", "157"]],
+    );
+}
+
+#[test]
+fn rollup_respects_having_and_order() {
+    let mut db = grouping_db();
+    let sql = "SELECT region, sum(amount) AS s FROM sales GROUP BY ROLLUP (region) \
+               HAVING sum(amount) > 70 ORDER BY s";
+    for force_row in [false, true] {
+        let prev = set_force_row_interpreter(force_row);
+        let got = rows_of(&mut db, sql);
+        set_force_row_interpreter(prev);
+        assert_eq!(
+            got,
+            vec![
+                vec!["west".to_string(), "90".to_string()],
+                vec!["NULL".to_string(), "150".to_string()]
+            ]
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN SELECT snapshots.
+
+fn explain_lines(db: &mut Database, sql: &str) -> Vec<String> {
+    let t = execute_sql(db, sql).unwrap().into_table().unwrap();
+    t.rows.iter().map(|r| r[0].to_string()).collect()
+}
+
+#[test]
+fn explain_select_shows_optimized_plan() {
+    let mut db = setup();
+    let lines = explain_lines(
+        &mut db,
+        "EXPLAIN SELECT t1.c, sum(t2.f) FROM t1 JOIN t2 ON t1.a = t2.a \
+         WHERE t1.b > 10 AND t2.f < 90 GROUP BY t1.c",
+    );
+    let plan = lines.join("\n");
+    assert!(plan.contains("Project"), "missing Project:\n{plan}");
+    assert!(plan.contains("Aggregate"), "missing Aggregate:\n{plan}");
+    assert!(plan.contains("HashJoin"), "missing HashJoin:\n{plan}");
+    // Both single-table predicates must be pushed below the join: the
+    // Filter lines appear after (deeper than) the HashJoin line.
+    let join_at = lines.iter().position(|l| l.contains("HashJoin")).unwrap();
+    let filters: Vec<usize> =
+        lines.iter().enumerate().filter(|(_, l)| l.contains("Filter")).map(|(i, _)| i).collect();
+    assert_eq!(filters.len(), 2, "expected two pushed filters:\n{plan}");
+    assert!(filters.iter().all(|&i| i > join_at), "filters not below join:\n{plan}");
+    // Column pruning: t1 has 4 columns but only a, b, c are used.
+    assert!(plan.contains("cols=3/4"), "t1 not pruned to 3/4 cols:\n{plan}");
+    // Estimates and fingerprint render.
+    assert!(plan.contains("rows≈"), "missing row estimates:\n{plan}");
+    assert!(lines.last().unwrap().starts_with("plan fingerprint: "), "no fingerprint:\n{plan}");
+}
+
+#[test]
+fn explain_select_falls_back_gracefully() {
+    let mut db = setup();
+    // SOLVE shapes stay on the row interpreter; EXPLAIN says so rather
+    // than erroring.
+    let lines = explain_lines(&mut db, "EXPLAIN SELECT 1 AS one");
+    assert!(
+        lines[0].contains("row interpreter"),
+        "constant SELECT should report fallback: {lines:?}"
+    );
+}
+
+#[test]
+fn explain_fingerprint_is_stable_and_structural() {
+    let mut db = setup();
+    let fp = |db: &mut Database, sql: &str| {
+        explain_lines(db, sql).last().unwrap().trim_start_matches("plan fingerprint: ").to_string()
+    };
+    let a1 = fp(&mut db, "EXPLAIN SELECT a, b FROM t1 WHERE a > 3");
+    let a2 = fp(&mut db, "EXPLAIN SELECT a, b FROM t1 WHERE a > 3");
+    assert_eq!(a1, a2, "fingerprint not deterministic");
+    let b = fp(&mut db, "EXPLAIN SELECT a, b FROM t1 WHERE a > 4");
+    assert_ne!(a1, b, "different predicates should fingerprint differently");
+    // Inserting rows changes estimates but not the structural fingerprint.
+    execute_sql(&mut db, "INSERT INTO t1 VALUES (1, 2, 'red', 0.5)").unwrap();
+    let a3 = fp(&mut db, "EXPLAIN SELECT a, b FROM t1 WHERE a > 3");
+    assert_eq!(a1, a3, "fingerprint must ignore cardinality estimates");
+}
+
+#[test]
+fn explain_analyze_select_traces_operators() {
+    let mut db = setup();
+    let t = execute_sql(&mut db, "EXPLAIN ANALYZE SELECT c, count(*) FROM t1 GROUP BY c")
+        .unwrap()
+        .into_table()
+        .unwrap();
+    let text = t.rows.iter().map(|r| r[0].to_string()).collect::<Vec<_>>().join("\n");
+    assert!(text.contains("columnar executor"), "missing executor span:\n{text}");
+    assert!(text.contains("Aggregate"), "missing Aggregate span:\n{text}");
+    assert!(text.contains("Scan t1"), "missing Scan span:\n{text}");
+    assert!(text.contains("rows out:"), "missing row count:\n{text}");
+    assert!(text.contains("plan fingerprint:"), "missing fingerprint:\n{text}");
+}
+
+#[test]
+fn stat_statements_fingerprint_matches_explain() {
+    // The plan fingerprint recorded in sdb_stat_statements equals the
+    // one EXPLAIN prints for the same statement (session-level test
+    // lives in core; here we check the ExecResult plumbing).
+    let mut db = setup();
+    let r = execute_sql(&mut db, "SELECT a, b FROM t1 WHERE a > 3").unwrap();
+    let fp = r.plan_fingerprint.expect("plannable SELECT should carry a fingerprint");
+    let lines = explain_lines(&mut db, "EXPLAIN SELECT a, b FROM t1 WHERE a > 3");
+    assert_eq!(
+        lines.last().unwrap(),
+        &format!("plan fingerprint: {fp:016x}"),
+        "ExecResult fingerprint disagrees with EXPLAIN"
+    );
+    // Row-interpreter shapes carry no fingerprint.
+    let r = execute_sql(&mut db, "SELECT 1").unwrap();
+    assert!(r.plan_fingerprint.is_none());
+}
