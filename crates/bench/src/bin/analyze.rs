@@ -14,6 +14,10 @@
 //!   (the examples are expected to stay clean),
 //! - execution errors in the scripts themselves are tolerated and
 //!   reported (some solves only compile mid-pipeline).
+//!
+//! With `--persistent`, every sweep session runs durably (a throwaway
+//! data directory per session, fsync `never`), so the whole script
+//! corpus additionally exercises the WAL commit path.
 
 use bench::setup::{feature_session, uc1_session, uc2_session};
 use bench::{figures, uc1, uc2};
@@ -21,6 +25,9 @@ use solvedbplus_core::Session;
 use sqlengine::ast::{ExplainMode, Query, SetExpr, SolveStmt, Statement, TableRef};
 use sqlengine::parser;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Arc;
+use storage::{FsyncPolicy, StorageEngine};
 
 /// Collect every `SOLVESELECT` reachable from a statement.
 fn solves_in_statement(stmt: &Statement) -> Vec<&SolveStmt> {
@@ -184,7 +191,37 @@ impl Sweep {
     }
 }
 
+/// Sweep sessions running durably (`--persistent`): each gets its own
+/// throwaway data dir so the script corpus exercises the WAL path.
+struct Persist {
+    on: bool,
+    dirs: Vec<PathBuf>,
+}
+
+impl Persist {
+    fn attach(&mut self, s: &mut Session, tag: &str) {
+        if !self.on {
+            return;
+        }
+        let dir = std::env::temp_dir().join(format!("sdb-analyze-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = StorageEngine::open(&dir, FsyncPolicy::Never).expect("analyze: open storage");
+        s.attach_storage(Arc::new(engine)).expect("analyze: attach storage");
+        self.dirs.push(dir);
+    }
+}
+
+impl Drop for Persist {
+    fn drop(&mut self) {
+        for dir in &self.dirs {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
 fn main() {
+    let persistent = std::env::args().any(|a| a == "--persistent");
+    let mut persist = Persist { on: persistent, dirs: Vec::new() };
     let mut sweep = Sweep::default();
     // Annealing iteration counts are scaled down exactly like the quick
     // benches scale them — the analyzers don't depend on fit quality.
@@ -193,6 +230,7 @@ fn main() {
     // UC1: the full pipeline, phase by phase, then the shared-model and
     // composite-solver variants on top of the same session.
     let (mut s, _) = uc1_session(96, 12, 33);
+    persist.attach(&mut s, "uc1");
     for (name, sql) in [
         ("uc1/s_3ss_p1.sql", uc1::S_3SS_P1),
         ("uc1/s_3ss_p2.sql", uc1::S_3SS_P2),
@@ -211,6 +249,7 @@ fn main() {
     // Feature scripts, on the session the feature benches use.
     match feature_session() {
         Ok(mut s) => {
+            persist.attach(&mut s, "features");
             for (name, sql) in [
                 ("features/p2_nocdte.sql", figures::P2_NOCDTE),
                 ("features/p2_cdte.sql", figures::P2_CDTE),
@@ -231,6 +270,7 @@ fn main() {
     // UC2: the script runs per item in the harness; one item id stands
     // in for the $ITEM placeholder here.
     let (mut s, items) = uc2_session(4, 24, 7);
+    persist.attach(&mut s, "uc2");
     let uc2_sql = uc2::UC2_SQL.replace("$ITEM", &items[0].item_id.to_string());
     sweep.script(&mut s, "uc2/solvedb.sql", &uc2_sql);
 
@@ -238,6 +278,7 @@ fn main() {
     // SQL in Rust, so the statements are mirrored here; the sudoku
     // one-hot MIP is the most constraint-heavy model in the repo).
     let mut s = Session::new();
+    persist.attach(&mut s, "quickstart");
     sweep.script(
         &mut s,
         "examples/quickstart.rs",
@@ -260,6 +301,7 @@ fn main() {
     );
 
     let mut s = Session::new();
+    persist.attach(&mut s, "sudoku");
     let mut sudoku_setup =
         String::from("CREATE TABLE cells (r int, c int, v int, box int, pick int);");
     for r in 1..=4 {
@@ -289,8 +331,13 @@ fn main() {
 
     println!(
         "analyze: {} script(s), {} solve statement(s), {} EXPLAIN run(s), \
-         {} EXPLAIN SELECT run(s) ({} planned)",
-        sweep.scripts, sweep.solves, sweep.explains, sweep.selects, sweep.planned
+         {} EXPLAIN SELECT run(s) ({} planned){}",
+        sweep.scripts,
+        sweep.solves,
+        sweep.explains,
+        sweep.selects,
+        sweep.planned,
+        if persistent { " [persistent mode: sessions WAL-committed]" } else { "" }
     );
     for t in &sweep.tolerated {
         println!("  tolerated: {t}");

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! reproduce [--quick] [--json[=DIR]]
-//!           [all|table1|fig3a|fig3b|fig4a|fig4b|fig5|fig6|fig7|fig8|fig9|fig10|fig11|presolve|executor|summary]...
+//!           [all|table1|fig3a|fig3b|fig4a|fig4b|fig5|fig6|fig7|fig8|fig9|fig10|fig11|presolve|executor|storage|summary]...
 //! ```
 //!
 //! With no selector, everything runs. `--quick` shrinks workloads to
@@ -28,7 +28,7 @@ fn main() {
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = vec![
             "table1", "fig3a", "fig3b", "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8", "fig9",
-            "fig10", "fig11", "presolve", "executor", "summary",
+            "fig10", "fig11", "presolve", "executor", "storage", "summary",
         ]
         .into_iter()
         .map(String::from)
@@ -58,6 +58,7 @@ fn main() {
             "fig11" => figures::fig11(cfg),
             "presolve" => figures::presolve(cfg),
             "executor" => figures::executor(cfg),
+            "storage" => figures::storage_fig(cfg),
             "summary" => figures::summary(cfg),
             other => {
                 eprintln!("unknown artifact '{other}' — skipping");
@@ -66,6 +67,7 @@ fn main() {
         };
         println!("{}", fig.render());
         if let Some(dir) = &json_dir {
+            let _ = std::fs::create_dir_all(dir);
             let path = dir.join(fig.json_filename());
             match std::fs::write(&path, fig.to_json()) {
                 Ok(()) => println!("wrote {}", path.display()),

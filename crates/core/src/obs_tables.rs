@@ -4,9 +4,13 @@
 //! virtual tables readable with plain `SELECT`, in the spirit of
 //! PostgreSQL's `pg_stat_statements`:
 //!
-//! - `sdb_stat_statements` — per statement-shape execution statistics;
+//! - `sdb_stat_statements` — per statement-shape execution statistics
+//!   (including plan-cache hit/miss counters);
 //! - `sdb_solver_stats` — per (solver, method) telemetry aggregates;
-//! - `sdb_sessions` — live connections (non-empty only under `solvedbd`).
+//! - `sdb_sessions` — live connections (non-empty only under `solvedbd`);
+//! - `sdb_storage` — WAL/checkpoint/recovery state (rows only when a
+//!   storage engine is attached, i.e. the session runs with a data
+//!   directory).
 //!
 //! Ordinary tables, views and CTEs shadow these names; the provider is
 //! consulted only on a catalog miss.
@@ -16,21 +20,37 @@ use sqlengine::catalog::VirtualTableProvider;
 use sqlengine::table::{Column, Schema, Table};
 use sqlengine::types::{DataType, Value};
 use std::sync::Arc;
+use storage::StorageEngine;
 
 /// Names of the observability tables, sorted.
-pub const OBS_TABLE_NAMES: [&str; 3] = ["sdb_sessions", "sdb_solver_stats", "sdb_stat_statements"];
+pub const OBS_TABLE_NAMES: [&str; 4] =
+    ["sdb_sessions", "sdb_solver_stats", "sdb_stat_statements", "sdb_storage"];
 
 /// The [`VirtualTableProvider`] exposing the metrics registry (and,
-/// when attached by a server, the session registry).
+/// when attached by a server, the session registry; and, when running
+/// with a data directory, the storage engine).
 pub struct ObsTables {
     metrics: Arc<MetricsRegistry>,
     sessions: Option<Arc<SessionRegistry>>,
+    storage: Option<Arc<StorageEngine>>,
 }
 
 impl ObsTables {
-    pub fn new(metrics: Arc<MetricsRegistry>, sessions: Option<Arc<SessionRegistry>>) -> ObsTables {
-        ObsTables { metrics, sessions }
+    pub fn new(
+        metrics: Arc<MetricsRegistry>,
+        sessions: Option<Arc<SessionRegistry>>,
+        storage: Option<Arc<StorageEngine>>,
+    ) -> ObsTables {
+        ObsTables { metrics, sessions, storage }
     }
+}
+
+/// `sdb_storage` with no engine attached: same schema, zero rows, so
+/// `SELECT * FROM sdb_storage` is valid in ephemeral sessions too.
+fn empty_storage_table() -> Table {
+    let mut t = StorageEngine::status_schema_table();
+    t.rows.clear();
+    t
 }
 
 fn ms(nanos: u64) -> Value {
@@ -52,6 +72,8 @@ fn stat_statements(metrics: &MetricsRegistry) -> Table {
         Column::new("max_ms", DataType::Float),
         Column::new("rows", DataType::Int),
         Column::new("plan", DataType::Text),
+        Column::new("cache_hits", DataType::Int),
+        Column::new("cache_misses", DataType::Int),
     ]);
     let rows = metrics
         .statements()
@@ -67,6 +89,8 @@ fn stat_statements(metrics: &MetricsRegistry) -> Table {
                 ms(s.max_nanos),
                 int(s.rows),
                 s.last_plan.map(|p| Value::text(format!("{p:016x}"))).unwrap_or(Value::Null),
+                int(s.cache_hits),
+                int(s.cache_misses),
             ]
         })
         .collect();
@@ -150,6 +174,9 @@ impl VirtualTableProvider for ObsTables {
             "sdb_stat_statements" => Some(stat_statements(&self.metrics)),
             "sdb_solver_stats" => Some(solver_stats(&self.metrics)),
             "sdb_sessions" => Some(sessions_table(self.sessions.as_deref())),
+            "sdb_storage" => Some(
+                self.storage.as_ref().map(|e| e.status_table()).unwrap_or_else(empty_storage_table),
+            ),
             _ => None,
         }
     }
@@ -161,7 +188,7 @@ mod tests {
 
     #[test]
     fn empty_registries_yield_empty_tables() {
-        let p = ObsTables::new(Arc::new(MetricsRegistry::default()), None);
+        let p = ObsTables::new(Arc::new(MetricsRegistry::default()), None, None);
         for name in OBS_TABLE_NAMES {
             let t = p.table(name).unwrap();
             assert_eq!(t.num_rows(), 0, "{name}");
@@ -186,7 +213,7 @@ mod tests {
             },
             2_000_000,
         );
-        let t = ObsTables::new(metrics, None).table("sdb_solver_stats").unwrap();
+        let t = ObsTables::new(metrics, None, None).table("sdb_solver_stats").unwrap();
         assert_eq!(t.num_rows(), 1);
         assert_eq!(t.rows[0][0], Value::text("solverlp"));
         assert_eq!(t.rows[0][2], Value::Int(1));

@@ -16,6 +16,7 @@ use sqlengine::exec::Outcome;
 use sqlengine::{execute_statement_timed, parser, Database, ExecResult, Table, Value};
 use ssmodel::{simulation_sse, Lti};
 use std::sync::Arc;
+use storage::StorageEngine;
 
 /// The process-wide solver infrastructure shared by every session a
 /// server creates: the solver registry (RC3 extensibility) and the
@@ -73,6 +74,11 @@ pub struct Session {
     registry: Arc<SolverRegistry>,
     advisor: Arc<PredictiveAdvisor>,
     metrics: Arc<MetricsRegistry>,
+    /// Live-session registry a server attached (for `sdb_sessions`).
+    session_registry: Option<Arc<SessionRegistry>>,
+    /// Durability engine when running with a data directory; the
+    /// session group-commits its WAL batch after every statement.
+    storage: Option<Arc<StorageEngine>>,
     /// Training series backing the `arima_rmse(ar, i, ma)` UDF.
     arima_training: Arc<RwLock<Vec<f64>>>,
     /// Training data backing the `hvac_sse(a1, b1, b2)` UDF:
@@ -104,7 +110,7 @@ impl Session {
 
         let mut db = Database::new();
         db.set_solve_handler(Arc::new(Handler::new(registry.clone())));
-        db.set_virtual_tables(Arc::new(ObsTables::new(metrics.clone(), None)));
+        db.set_virtual_tables(Arc::new(ObsTables::new(metrics.clone(), None, None)));
 
         let arima_training: Arc<RwLock<Vec<f64>>> = Arc::new(RwLock::new(Vec::new()));
         let hvac_training: Arc<RwLock<(Vec<Vec<f64>>, Vec<f64>)>> =
@@ -154,7 +160,16 @@ impl Session {
             }),
         });
 
-        Session { db, registry, advisor, metrics, arima_training, hvac_training }
+        Session {
+            db,
+            registry,
+            advisor,
+            metrics,
+            session_registry: None,
+            storage: None,
+            arima_training,
+            hvac_training,
+        }
     }
 
     /// Execute one SQL statement.
@@ -188,6 +203,30 @@ impl Session {
         let (out, elapsed) =
             obs::timed(|| execute_statement_timed(&mut self.db, stmt, parse_nanos));
         let nanos = elapsed.as_nanos() as u64;
+        // Group commit: everything the statement logged goes to the WAL
+        // in one write (and at most one fsync, per policy). This runs
+        // even when the statement errored — partial in-memory effects
+        // were already flushed to the hook and the log must mirror them.
+        // A durability failure fails the statement: the caller must not
+        // observe un-logged state as committed.
+        let mut out = out;
+        if let Some(engine) = &self.storage {
+            match engine.commit() {
+                Ok((records, commit_nanos)) => {
+                    if records > 0 {
+                        if let Ok(res) = &mut out {
+                            if let Some(tr) = &mut res.trace {
+                                tr.stages.push(StorageEngine::append_stage(records, commit_nanos));
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    self.metrics.record_statement(&shape, nanos, 0, true);
+                    return Err(e);
+                }
+            }
+        }
         match &out {
             Ok(res) => {
                 let rows = match &res.outcome {
@@ -195,12 +234,13 @@ impl Session {
                     Outcome::Count(n) => *n as u64,
                     Outcome::Done => 0,
                 };
-                self.metrics.record_statement_plan(
+                self.metrics.record_statement_exec(
                     &shape,
                     nanos,
                     rows,
                     false,
                     res.plan_fingerprint,
+                    res.plan_cache_hit,
                 );
                 if let Some(tr) = &res.trace {
                     let solve_nanos = solve_stage_nanos(tr);
@@ -261,7 +301,34 @@ impl Session {
     /// Expose a server's live-session registry through `sdb_sessions`
     /// (called by `solvedbd` when it builds a connection's session).
     pub fn attach_session_registry(&mut self, sessions: Arc<SessionRegistry>) {
-        self.db.set_virtual_tables(Arc::new(ObsTables::new(self.metrics.clone(), Some(sessions))));
+        self.session_registry = Some(sessions);
+        self.rebuild_virtual_tables();
+    }
+
+    /// Make the session durable: hydrate the catalog from the engine's
+    /// recovered state, then register the engine as the catalog's
+    /// durability hook so every subsequent mutation is WAL-logged.
+    /// Hydration runs *before* the hook attaches, so replayed history
+    /// is not logged a second time.
+    pub fn attach_storage(&mut self, engine: Arc<StorageEngine>) -> Result<()> {
+        engine.hydrate(&mut self.db)?;
+        self.db.set_durability_hook(engine.clone());
+        self.storage = Some(engine);
+        self.rebuild_virtual_tables();
+        Ok(())
+    }
+
+    /// The attached storage engine, if the session is durable.
+    pub fn storage(&self) -> Option<&Arc<StorageEngine>> {
+        self.storage.as_ref()
+    }
+
+    fn rebuild_virtual_tables(&mut self) {
+        self.db.set_virtual_tables(Arc::new(ObsTables::new(
+            self.metrics.clone(),
+            self.session_registry.clone(),
+            self.storage.clone(),
+        )));
     }
 
     /// Register the training series used by the `arima_rmse` UDF.

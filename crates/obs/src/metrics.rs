@@ -32,6 +32,10 @@ pub struct StatementStats {
     /// execution that ran on the planned (columnar) executor; `None`
     /// when every recorded call used the row interpreter.
     pub last_plan: Option<u64>,
+    /// Executions served by the plan cache.
+    pub cache_hits: u64,
+    /// Cache-eligible executions that had to plan fresh.
+    pub cache_misses: u64,
 }
 
 /// Cumulative telemetry for one (solver, method) pair.
@@ -87,6 +91,21 @@ impl MetricsRegistry {
         errored: bool,
         plan: Option<u64>,
     ) {
+        self.record_statement_exec(shape, nanos, rows, errored, plan, None);
+    }
+
+    /// Record one statement execution including its plan-cache outcome
+    /// (`Some(true)` = hit, `Some(false)` = planned fresh, `None` = not
+    /// cache-eligible).
+    pub fn record_statement_exec(
+        &self,
+        shape: &str,
+        nanos: u64,
+        rows: u64,
+        errored: bool,
+        plan: Option<u64>,
+        cache: Option<bool>,
+    ) {
         let mut inner = self.lock();
         if !inner.statements.contains_key(shape) && inner.statements.len() >= MAX_STATEMENT_SHAPES {
             return;
@@ -102,6 +121,11 @@ impl MetricsRegistry {
         st.rows += rows;
         if plan.is_some() {
             st.last_plan = plan;
+        }
+        match cache {
+            Some(true) => st.cache_hits += 1,
+            Some(false) => st.cache_misses += 1,
+            None => {}
         }
     }
 

@@ -8,9 +8,11 @@
 
 use obs::{SessionCounters, SessionRegistry};
 use solvedbplus_core::{Session, SharedSolvers};
+use sqlengine::error::Result;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use storage::StorageEngine;
 
 /// Creates sessions for incoming connections and tracks how many are
 /// live. Cheap to share: hand an `Arc<SessionManager>` to every worker.
@@ -21,6 +23,9 @@ pub struct SessionManager {
     /// Live per-session counters, published to every session through
     /// the `sdb_sessions` virtual table.
     sessions: Arc<SessionRegistry>,
+    /// Durability engine every new session hydrates from and commits
+    /// through (`solvedbd --data-dir`); `None` = ephemeral server.
+    storage: Option<Arc<StorageEngine>>,
 }
 
 impl SessionManager {
@@ -31,11 +36,22 @@ impl SessionManager {
     /// Build a manager over pre-configured solver infrastructure (e.g.
     /// with extra solvers installed before the server starts).
     pub fn with_solvers(shared: SharedSolvers) -> SessionManager {
+        SessionManager::with_storage(shared, None)
+    }
+
+    /// Build a manager whose sessions are durable: each new session is
+    /// hydrated from the engine's recovered catalog and group-commits
+    /// its statements to the engine's WAL.
+    pub fn with_storage(
+        shared: SharedSolvers,
+        storage: Option<Arc<StorageEngine>>,
+    ) -> SessionManager {
         SessionManager {
             shared,
             active: AtomicUsize::new(0),
             opened: AtomicUsize::new(0),
             sessions: Arc::new(SessionRegistry::new()),
+            storage,
         }
     }
 
@@ -49,15 +65,25 @@ impl SessionManager {
         &self.sessions
     }
 
+    /// The storage engine durable sessions share, if any.
+    pub fn storage(&self) -> Option<&Arc<StorageEngine>> {
+        self.storage.as_ref()
+    }
+
     /// Open a session for a new connection. The returned handle derefs
-    /// to [`Session`] and decrements the live count when dropped.
-    pub fn open(self: &Arc<Self>) -> SessionHandle {
+    /// to [`Session`] and decrements the live count when dropped. Fails
+    /// only when a durable session cannot hydrate from the recovered
+    /// catalog.
+    pub fn open(self: &Arc<Self>) -> Result<SessionHandle> {
         let mut session = Session::with_solvers(&self.shared);
         session.attach_session_registry(self.sessions.clone());
+        if let Some(engine) = &self.storage {
+            session.attach_storage(engine.clone())?;
+        }
         self.active.fetch_add(1, Ordering::SeqCst);
         let id = self.opened.fetch_add(1, Ordering::SeqCst) as u64 + 1;
         let counters = self.sessions.open(id);
-        SessionHandle { session, manager: Arc::clone(self), counters, id }
+        Ok(SessionHandle { session, manager: Arc::clone(self), counters, id })
     }
 
     /// Number of currently live sessions.
@@ -126,8 +152,8 @@ mod tests {
     fn handles_track_liveness() {
         let m = Arc::new(SessionManager::new());
         assert_eq!(m.active(), 0);
-        let a = m.open();
-        let b = m.open();
+        let a = m.open().unwrap();
+        let b = m.open().unwrap();
         assert_eq!(m.active(), 2);
         assert_eq!(m.total_opened(), 2);
         assert_eq!(m.sessions().len(), 2);
@@ -143,8 +169,8 @@ mod tests {
     #[test]
     fn sessions_see_each_other_in_sdb_sessions() {
         let m = Arc::new(SessionManager::new());
-        let mut a = m.open();
-        let _b = m.open();
+        let mut a = m.open().unwrap();
+        let _b = m.open().unwrap();
         a.counters().add_query();
         a.counters().add_bytes_in(10);
         let t = a.query("SELECT session_id, queries FROM sdb_sessions").unwrap();
@@ -157,8 +183,8 @@ mod tests {
     #[test]
     fn sessions_are_namespaced_but_share_solvers() {
         let m = Arc::new(SessionManager::new());
-        let mut a = m.open();
-        let mut b = m.open();
+        let mut a = m.open().unwrap();
+        let mut b = m.open().unwrap();
         a.execute("CREATE TABLE t (x int)").unwrap();
         assert!(b.execute("SELECT * FROM t").is_err());
         b.execute_script("CREATE TABLE t (x int); INSERT INTO t VALUES (9)").unwrap();

@@ -21,13 +21,16 @@ use crate::protocol::{
     PROTOCOL_VERSION,
 };
 use crossbeam::channel;
+use solvedbplus_core::SharedSolvers;
 use sqlengine::parser::split_statements;
 use sqlengine::Outcome;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use storage::{FsyncPolicy, StorageEngine};
 
 /// Poll granularity for shutdown checks on blocked reads.
 const READ_TICK: Duration = Duration::from_millis(250);
@@ -44,11 +47,23 @@ pub struct ServerConfig {
     /// slow-query log on stderr, with their stage breakdown. `None`
     /// disables the log.
     pub slow_query_ms: Option<u64>,
+    /// Run durably: recover from (and WAL-commit to) this directory.
+    /// `None` = in-memory server, state dies with the process.
+    pub data_dir: Option<PathBuf>,
+    /// When WAL appends reach stable storage (only meaningful with
+    /// `data_dir`).
+    pub fsync: FsyncPolicy,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { workers: 8, backlog: 16, slow_query_ms: None }
+        ServerConfig {
+            workers: 8,
+            backlog: 16,
+            slow_query_ms: None,
+            data_dir: None,
+            fsync: FsyncPolicy::Always,
+        }
     }
 }
 
@@ -96,15 +111,28 @@ impl Server {
         if config.workers == 0 {
             return Err(io::Error::new(io::ErrorKind::InvalidInput, "workers must be >= 1"));
         }
+        let storage = match &config.data_dir {
+            Some(dir) => Some(Arc::new(
+                StorageEngine::open(dir, config.fsync)
+                    .map_err(|e| io::Error::other(format!("storage recovery failed: {e}")))?,
+            )),
+            None => None,
+        };
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         Ok(Server {
             listener,
             addr,
-            manager: Arc::new(SessionManager::new()),
+            manager: Arc::new(SessionManager::with_storage(SharedSolvers::new(), storage)),
             shutdown: Arc::new(AtomicBool::new(false)),
             config,
         })
+    }
+
+    /// The storage engine when running with `data_dir` (for recovery
+    /// reporting at startup).
+    pub fn storage(&self) -> Option<&Arc<StorageEngine>> {
+        self.manager.storage()
     }
 
     /// The bound address (resolves ephemeral ports).
@@ -235,7 +263,13 @@ fn serve_connection(
         }
     }
 
-    let mut session = manager.open();
+    let mut session = match manager.open() {
+        Ok(s) => s,
+        Err(e) => {
+            let _ = write_frame(&mut stream, &error_to_frame(&e));
+            return;
+        }
+    };
     let counters = session.counters().clone();
     // Everything after the handshake flows through the metering wrapper
     // so the session's byte counters cover the whole conversation.

@@ -470,6 +470,9 @@ pub enum Statement {
         name: String,
         if_exists: bool,
     },
+    /// `CHECKPOINT` — force a durability snapshot and rotate the
+    /// write-ahead log (errors without an attached data directory).
+    Checkpoint,
 }
 
 // ---------------------------------------------------------------------------
@@ -970,6 +973,7 @@ impl fmt::Display for Statement {
             Statement::DropView { name, if_exists } => {
                 write!(f, "DROP VIEW {}{}", if *if_exists { "IF EXISTS " } else { "" }, ident(name))
             }
+            Statement::Checkpoint => write!(f, "CHECKPOINT"),
         }
     }
 }

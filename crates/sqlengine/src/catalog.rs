@@ -4,9 +4,10 @@
 use crate::ast::{Query, SolveStmt};
 use crate::diag::Diagnostic;
 use crate::error::{Error, Result};
-use crate::table::{Table, TableRef};
+use crate::table::{coerce, Row, Table, TableRef};
 use crate::types::Value;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A scalar user-defined function. `param_names` enables named-argument
@@ -58,6 +59,12 @@ impl Ctes {
 
     pub fn names(&self) -> impl Iterator<Item = &str> {
         self.map.keys().map(|s| s.as_str())
+    }
+
+    /// True when no CTE bindings are visible (plan-cache eligibility:
+    /// cached plans must not capture per-execution CTE data).
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
     }
 }
 
@@ -124,6 +131,108 @@ pub trait SolveHandler: Send + Sync {
     ) -> Result<Table>;
 }
 
+/// A logical catalog mutation — the unit the durability subsystem
+/// records. Every mutation of the catalog's persistent state (tables,
+/// views) flows through exactly one of these commit points; replaying
+/// the sequence against an empty [`Database`] reconstructs the catalog.
+///
+/// Mutations carry [`TableRef`]s (cheap `Arc` clones of the
+/// copy-on-write table handles), so emitting one never copies row data.
+#[derive(Debug, Clone)]
+pub enum CatalogMutation {
+    /// `CREATE TABLE` / `CREATE TABLE AS` (the table may carry rows).
+    CreateTable {
+        name: String,
+        table: TableRef,
+    },
+    DropTable {
+        name: String,
+    },
+    /// Wholesale replacement (UPDATE/DELETE rewrite, solution
+    /// materialization, programmatic `put_table`).
+    PutTable {
+        name: String,
+        table: TableRef,
+    },
+    /// Rows appended by `INSERT` (already coerced to column types).
+    AppendRows {
+        name: String,
+        rows: Vec<Row>,
+    },
+    /// `CREATE [OR REPLACE] VIEW` — the view's definition re-parses from
+    /// its canonical SQL rendering.
+    CreateView {
+        name: String,
+        sql: String,
+    },
+    DropView {
+        name: String,
+    },
+}
+
+impl CatalogMutation {
+    /// The relation this mutation touches.
+    pub fn relation(&self) -> &str {
+        match self {
+            CatalogMutation::CreateTable { name, .. }
+            | CatalogMutation::DropTable { name }
+            | CatalogMutation::PutTable { name, .. }
+            | CatalogMutation::AppendRows { name, .. }
+            | CatalogMutation::CreateView { name, .. }
+            | CatalogMutation::DropView { name } => name,
+        }
+    }
+
+    /// Apply this mutation to a database (the replay side of recovery).
+    /// Applications are last-writer-wins and idempotent at the
+    /// full-state level, so re-applying a suffix after a snapshot that
+    /// already contains it is safe.
+    pub fn apply(&self, db: &mut Database) -> Result<()> {
+        match self {
+            CatalogMutation::CreateTable { name, table } => {
+                db.tables.insert(name.clone(), table.clone());
+            }
+            CatalogMutation::DropTable { name } => {
+                db.tables.remove(name);
+            }
+            CatalogMutation::PutTable { name, table } => {
+                db.tables.insert(name.clone(), table.clone());
+            }
+            CatalogMutation::AppendRows { name, rows } => {
+                let t = db
+                    .tables
+                    .get_mut(name)
+                    .ok_or_else(|| Error::catalog(format!("replay: table '{name}' missing")))?;
+                Arc::make_mut(t).rows.extend(rows.iter().cloned());
+            }
+            CatalogMutation::CreateView { name, sql } => {
+                let q = crate::parser::parse_query(sql)?;
+                db.views.insert(name.clone(), Arc::new(q));
+            }
+            CatalogMutation::DropView { name } => {
+                db.views.remove(name);
+            }
+        }
+        db.bump_epoch();
+        Ok(())
+    }
+}
+
+/// Hook implemented by the durability subsystem (`crates/storage`).
+/// The catalog invokes [`DurabilityHook::record`] at every mutation
+/// commit point *after* the in-memory mutation succeeded; an attached
+/// session then calls the engine's group-commit entry point once per
+/// statement to flush the batch to the write-ahead log.
+pub trait DurabilityHook: Send + Sync {
+    /// Buffer one committed catalog mutation for the next group commit.
+    fn record(&self, mutation: CatalogMutation);
+
+    /// `CHECKPOINT`: snapshot the full database state and rotate the
+    /// log. Returns a one-row status relation. `trace`, when present,
+    /// receives `checkpoint` stage spans.
+    fn checkpoint(&self, db: &Database, trace: Option<&obs::Trace>) -> Result<Table>;
+}
+
 /// Provider of *virtual tables*: relations synthesized on demand
 /// rather than stored in the catalog (the `sdb_*` observability views
 /// — `sdb_stat_statements`, `sdb_solver_stats`, `sdb_sessions`).
@@ -147,11 +256,23 @@ pub struct Database {
     udfs: HashMap<String, ScalarUdf>,
     solve_handler: Option<Arc<dyn SolveHandler>>,
     virtual_tables: Option<Arc<dyn VirtualTableProvider>>,
+    durability: Option<Arc<dyn DurabilityHook>>,
+    /// Tables mutated through [`Database::table_mut`] since the last
+    /// [`Database::flush_dirty`] — the escape hatch that keeps direct
+    /// mutable access from bypassing the durability hook. The statement
+    /// executor flushes after every statement.
+    dirty_tables: HashSet<String>,
+    /// Monotone counter bumped on every catalog mutation; cached plans
+    /// are keyed on it so DDL and DML invalidate the plan cache.
+    pub(crate) catalog_epoch: AtomicU64,
     /// Per-table statistics used by the cost-based planner, keyed by the
     /// table allocation identity (see `plan::stats`). Interior-mutable so
     /// read-only query paths can populate it lazily.
     pub(crate) stats_cache:
         std::sync::Mutex<HashMap<(usize, usize), Arc<crate::plan::stats::TableStats>>>,
+    /// Cache of optimized plans keyed by `(catalog epoch, AST hash)` —
+    /// see `plan::cache`. Hit/miss counters feed `sdb_stat_statements`.
+    pub(crate) plan_cache: std::sync::Mutex<HashMap<u64, Arc<crate::plan::PlannedQuery>>>,
 }
 
 impl std::fmt::Debug for Database {
@@ -169,6 +290,24 @@ impl Database {
         Database::default()
     }
 
+    /// Bump the catalog epoch (invalidates cached plans).
+    pub(crate) fn bump_epoch(&self) {
+        self.catalog_epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current catalog epoch (monotone across mutations).
+    pub fn catalog_epoch(&self) -> u64 {
+        self.catalog_epoch.load(Ordering::Relaxed)
+    }
+
+    /// Emit a committed mutation to the durability hook, if one is
+    /// attached. Called *after* the in-memory mutation succeeded.
+    fn emit(&self, mutation: CatalogMutation) {
+        if let Some(hook) = &self.durability {
+            hook.record(mutation);
+        }
+    }
+
     // -- tables ------------------------------------------------------------
 
     pub fn create_table(&mut self, name: &str, table: Table, if_not_exists: bool) -> Result<()> {
@@ -178,14 +317,23 @@ impl Database {
             }
             return Err(Error::catalog(format!("relation '{name}' already exists")));
         }
-        self.tables.insert(name.to_string(), Arc::new(table));
+        let table = Arc::new(table);
+        self.tables.insert(name.to_string(), table.clone());
+        self.bump_epoch();
+        self.emit(CatalogMutation::CreateTable { name: name.to_string(), table });
         Ok(())
     }
 
     pub fn drop_table(&mut self, name: &str, if_exists: bool) -> Result<()> {
-        if self.tables.remove(name).is_none() && !if_exists {
-            return Err(Error::catalog(format!("table '{name}' does not exist")));
+        if self.tables.remove(name).is_none() {
+            if !if_exists {
+                return Err(Error::catalog(format!("table '{name}' does not exist")));
+            }
+            return Ok(());
         }
+        self.dirty_tables.remove(name);
+        self.bump_epoch();
+        self.emit(CatalogMutation::DropTable { name: name.to_string() });
         Ok(())
     }
 
@@ -200,7 +348,18 @@ impl Database {
     }
 
     /// Mutable access for DML; clones on shared access (copy-on-write).
+    ///
+    /// When a durability hook is attached the table is marked dirty and
+    /// its full state is re-published at the next [`Self::flush_dirty`]
+    /// (the statement executor flushes after every statement), so direct
+    /// mutable access cannot bypass the write-ahead log. Prefer
+    /// [`Self::append_rows`] / [`Self::put_table`], whose records are
+    /// precise.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        if self.durability.is_some() && self.tables.contains_key(name) {
+            self.dirty_tables.insert(name.to_string());
+        }
+        self.bump_epoch();
         let arc = self
             .tables
             .get_mut(name)
@@ -208,13 +367,75 @@ impl Database {
         Ok(Arc::make_mut(arc))
     }
 
+    /// Append pre-built rows to a table, coercing each value to the
+    /// column's declared type — the single commit point for `INSERT`.
+    /// Validation is all-or-nothing: a coercion failure leaves the
+    /// table untouched (and nothing is logged).
+    pub fn append_rows(&mut self, name: &str, rows: Vec<Row>) -> Result<usize> {
+        let arc = self
+            .tables
+            .get_mut(name)
+            .ok_or_else(|| Error::catalog(format!("table '{name}' does not exist")))?;
+        let schema = arc.schema.clone();
+        let mut coerced = Vec::with_capacity(rows.len());
+        for row in rows {
+            if row.len() != schema.len() {
+                return Err(Error::eval(format!(
+                    "row has {} values, table has {} columns",
+                    row.len(),
+                    schema.len()
+                )));
+            }
+            let mut out = Vec::with_capacity(row.len());
+            for (v, col) in row.into_iter().zip(&schema.columns) {
+                out.push(coerce(v, &col.ty)?);
+            }
+            coerced.push(out);
+        }
+        let n = coerced.len();
+        Arc::make_mut(arc).rows.extend(coerced.iter().cloned());
+        self.bump_epoch();
+        self.emit(CatalogMutation::AppendRows { name: name.to_string(), rows: coerced });
+        Ok(n)
+    }
+
     /// Replace a table's contents wholesale.
     pub fn put_table(&mut self, name: &str, table: Table) {
-        self.tables.insert(name.to_string(), Arc::new(table));
+        let table = Arc::new(table);
+        self.tables.insert(name.to_string(), table.clone());
+        self.dirty_tables.remove(name);
+        self.bump_epoch();
+        self.emit(CatalogMutation::PutTable { name: name.to_string(), table });
     }
 
     pub fn table_names(&self) -> Vec<&str> {
         let mut v: Vec<&str> = self.tables.keys().map(|s| s.as_str()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// All tables as `(name, handle)` pairs, sorted by name — the
+    /// snapshot surface for the durability subsystem (`Arc` clones, no
+    /// row copies).
+    pub fn tables_snapshot(&self) -> Vec<(String, TableRef)> {
+        let mut v: Vec<(String, TableRef)> =
+            self.tables.iter().map(|(n, t)| (n.clone(), t.clone())).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// All views as `(name, canonical SQL)` pairs, sorted by name.
+    pub fn views_snapshot(&self) -> Vec<(String, String)> {
+        let mut v: Vec<(String, String)> =
+            self.views.iter().map(|(n, q)| (n.clone(), q.to_string())).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Names of registered UDFs, sorted (recorded in snapshots for
+    /// observability; the session re-registers its built-in UDFs itself).
+    pub fn udf_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.udfs.keys().cloned().collect();
         v.sort_unstable();
         v
     }
@@ -225,14 +446,22 @@ impl Database {
         if !or_replace && (self.views.contains_key(name) || self.tables.contains_key(name)) {
             return Err(Error::catalog(format!("relation '{name}' already exists")));
         }
+        let sql = query.to_string();
         self.views.insert(name.to_string(), Arc::new(query));
+        self.bump_epoch();
+        self.emit(CatalogMutation::CreateView { name: name.to_string(), sql });
         Ok(())
     }
 
     pub fn drop_view(&mut self, name: &str, if_exists: bool) -> Result<()> {
-        if self.views.remove(name).is_none() && !if_exists {
-            return Err(Error::catalog(format!("view '{name}' does not exist")));
+        if self.views.remove(name).is_none() {
+            if !if_exists {
+                return Err(Error::catalog(format!("view '{name}' does not exist")));
+            }
+            return Ok(());
         }
+        self.bump_epoch();
+        self.emit(CatalogMutation::DropView { name: name.to_string() });
         Ok(())
     }
 
@@ -248,6 +477,49 @@ impl Database {
 
     pub fn udf(&self, name: &str) -> Option<&ScalarUdf> {
         self.udfs.get(name)
+    }
+
+    // -- durability ----------------------------------------------------------
+
+    /// Attach the durability hook. Call *after* recovery has populated
+    /// the database — mutations applied before attachment are not
+    /// re-logged.
+    pub fn set_durability_hook(&mut self, hook: Arc<dyn DurabilityHook>) {
+        self.durability = Some(hook);
+    }
+
+    /// The attached durability hook, if any.
+    pub fn durability_hook(&self) -> Option<&Arc<dyn DurabilityHook>> {
+        self.durability.as_ref()
+    }
+
+    /// Publish the full state of every table mutated through
+    /// [`Self::table_mut`] since the last flush as `PutTable` records.
+    /// The statement executor calls this after every statement, making
+    /// the durability hook observe *all* catalog mutations regardless of
+    /// which mutation API the writer used.
+    pub fn flush_dirty(&mut self) {
+        if self.durability.is_none() || self.dirty_tables.is_empty() {
+            return;
+        }
+        let dirty: Vec<String> = self.dirty_tables.drain().collect();
+        for name in dirty {
+            if let Some(table) = self.tables.get(&name) {
+                let table = table.clone();
+                self.emit(CatalogMutation::PutTable { name, table });
+            }
+        }
+    }
+
+    /// `CHECKPOINT`: force a snapshot and rotate the log through the
+    /// attached durability hook.
+    pub fn checkpoint(&mut self, trace: Option<&obs::Trace>) -> Result<Table> {
+        // Dirty tables must reach the log before the snapshot covers them.
+        self.flush_dirty();
+        let hook = self.durability.clone().ok_or_else(|| {
+            Error::unsupported("CHECKPOINT requires a data directory (start with --data-dir)")
+        })?;
+        hook.checkpoint(self, trace)
     }
 
     // -- solve hook ----------------------------------------------------------

@@ -43,6 +43,12 @@ pub struct ExecResult {
     /// columnar executor ran the statement; `None` when the row
     /// interpreter handled it. Recorded in `sdb_stat_statements`.
     pub plan_fingerprint: Option<u64>,
+    /// Plan-cache outcome for the statement's top-level query:
+    /// `Some(true)` = served from the cache, `Some(false)` = planned
+    /// fresh and cached, `None` = not cache-eligible (row interpreter,
+    /// CTEs, DML/DDL). Feeds the hit/miss counters in
+    /// `sdb_stat_statements`.
+    pub plan_cache_hit: Option<bool>,
 }
 
 impl ExecResult {
@@ -52,6 +58,7 @@ impl ExecResult {
             warnings: Vec::new(),
             trace: None,
             plan_fingerprint: None,
+            plan_cache_hit: None,
         }
     }
 
@@ -61,6 +68,7 @@ impl ExecResult {
             warnings: Vec::new(),
             trace: None,
             plan_fingerprint: None,
+            plan_cache_hit: None,
         }
     }
 
@@ -70,6 +78,7 @@ impl ExecResult {
             warnings: Vec::new(),
             trace: None,
             plan_fingerprint: None,
+            plan_cache_hit: None,
         }
     }
 
@@ -132,9 +141,17 @@ pub fn execute_statement_timed(
 ) -> Result<ExecResult> {
     let ctes = Ctes::new();
     // Discard diagnostics parked by an earlier statement that errored
-    // before its drain point — they do not belong to this statement.
+    // before its drain point — they do not belong to this statement;
+    // likewise any stale plan-cache event.
     drop(select::take_nested_solve_warnings());
-    let mut result = execute_statement_inner(db, stmt, parse_nanos, &ctes)?;
+    let _ = select::take_plan_cache_event();
+    let inner = execute_statement_inner(db, stmt, parse_nanos, &ctes);
+    // Publish tables mutated through `table_mut` to the durability hook
+    // even when the statement errored mid-flight: the in-memory state
+    // already changed, and the log must mirror it.
+    db.flush_dirty();
+    let mut result = inner?;
+    result.plan_cache_hit = select::take_plan_cache_event();
     // Solves executed in subquery position have no warnings channel of
     // their own; they park advisory findings thread-locally and the
     // statement layer attaches them here so they are not dropped.
@@ -265,15 +282,17 @@ fn execute_statement_inner(
                     })
                     .collect::<Result<_>>()?
             };
-            let t = db.table_mut(table)?;
-            let n = src.rows.len();
+            let mut full_rows: Vec<Vec<Value>> = Vec::with_capacity(src.rows.len());
             for row in src.rows {
                 let mut full: Vec<Value> = vec![Value::Null; target_schema.len()];
                 for (i, v) in row.into_iter().enumerate() {
                     full[positions[i]] = v;
                 }
-                t.push_coerced(full)?;
+                full_rows.push(full);
             }
+            // The single commit point for INSERT: coerces all rows
+            // up-front (all-or-nothing) and emits one durability record.
+            let n = db.append_rows(table, full_rows)?;
             Ok(ExecResult::count(n))
         }
         Statement::Update { table, assignments, where_ } => {
@@ -362,6 +381,15 @@ fn execute_statement_inner(
         Statement::DropView { name, if_exists } => {
             db.drop_view(name, *if_exists)?;
             Ok(ExecResult::done())
+        }
+        Statement::Checkpoint => {
+            let trace = Trace::new();
+            trace.set_label("CHECKPOINT");
+            if let Some(n) = parse_nanos {
+                trace.record("parse", n);
+            }
+            let t = db.checkpoint(Some(&trace))?;
+            Ok(ExecResult::table(t).with_trace(trace.finish()))
         }
     }
 }

@@ -24,6 +24,16 @@ thread_local! {
     static NESTED_SOLVE_WARNINGS: RefCell<Vec<Diagnostic>> = const { RefCell::new(Vec::new()) };
     /// Bench / differential-test hook: bypass the columnar executor.
     static FORCE_ROW: Cell<bool> = const { Cell::new(false) };
+    /// Plan-cache outcome of the most recent cache-eligible query on
+    /// this thread: `Some(true)` = hit, `Some(false)` = planned fresh.
+    /// The statement layer drains this into `ExecResult`.
+    static PLAN_CACHE_EVENT: Cell<Option<bool>> = const { Cell::new(None) };
+}
+
+/// Drain the plan-cache hit/miss event recorded by the most recent
+/// cache-eligible query on this thread.
+pub fn take_plan_cache_event() -> Option<bool> {
+    PLAN_CACHE_EVENT.with(|c| c.take())
 }
 
 /// Drain advisory diagnostics parked by solves executed in subquery
@@ -79,12 +89,33 @@ pub fn run_query_planned(
 
     if let SetExpr::Select(sel) = &q.body {
         if outer.is_none() && !force_row_interpreter() {
+            // Cached plans embed resolved table handles, so only
+            // CTE-free queries are cache-eligible; the key's catalog
+            // epoch invalidates entries on any mutation (plan::cache).
+            let cache_key = if env_ctes.is_empty() {
+                Some(db.plan_cache_key(sel, &q.order_by, &q.limit, &q.offset))
+            } else {
+                None
+            };
+            if let Some(key) = cache_key {
+                if let Some(planned) = db.cached_plan(key) {
+                    PLAN_CACHE_EVENT.with(|c| c.set(Some(true)));
+                    let fp = planned.fingerprint();
+                    let t = crate::plan::execute(db, &env_ctes, &planned, trace)?;
+                    return Ok((t, Some(fp)));
+                }
+            }
             // Planning failures (unsupported shapes) fall back to the
             // row interpreter; execution errors are genuine and surface.
             if let Ok(Some(planned)) =
                 crate::plan::plan_select(db, &env_ctes, sel, &q.order_by, &q.limit, &q.offset)
             {
                 let fp = planned.fingerprint();
+                let planned = Arc::new(planned);
+                if let Some(key) = cache_key {
+                    PLAN_CACHE_EVENT.with(|c| c.set(Some(false)));
+                    db.cache_plan(key, planned.clone());
+                }
                 let t = crate::plan::execute(db, &env_ctes, &planned, trace)?;
                 return Ok((t, Some(fp)));
             }

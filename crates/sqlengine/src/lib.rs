@@ -25,7 +25,9 @@ pub mod table;
 pub mod types;
 pub mod wire;
 
-pub use catalog::{Ctes, Database, ScalarUdf, SolveHandler, VirtualTableProvider};
+pub use catalog::{
+    CatalogMutation, Ctes, Database, DurabilityHook, ScalarUdf, SolveHandler, VirtualTableProvider,
+};
 pub use diag::{Diagnostic, Severity};
 pub use error::{Error, Result};
 pub use exec::select::set_force_row_interpreter;

@@ -442,6 +442,9 @@ impl Parser {
             self.expect(&Token::RParen)?;
             return Ok(Statement::CreateTable { name, if_not_exists, columns, as_query: None });
         }
+        if self.eat_kw("checkpoint") {
+            return Ok(Statement::Checkpoint);
+        }
         if self.eat_kw("drop") {
             let is_view = if self.eat_kw("view") {
                 true

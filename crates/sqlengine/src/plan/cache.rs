@@ -1,0 +1,125 @@
+//! Plan cache: optimized plans keyed by `(catalog epoch, AST hash)`.
+//!
+//! Plans embed resolved [`crate::table::TableRef`] handles (the
+//! `PlanNode::Scan` source), so a cached plan is only valid for the
+//! exact catalog state it was built against. Rather than tracking
+//! fine-grained dependencies, the key includes the catalog epoch — a
+//! monotone counter [`Database::bump_epoch`] advances on *every*
+//! catalog mutation (DDL, DML, wholesale replacement) — so any change
+//! to tables or views strands stale entries, which age out when the
+//! cache is cleared at its size bound. Table statistics are derived
+//! from table data, so the epoch also covers stats changes.
+//!
+//! The AST hash is literal-sensitive (FNV-1a over the `Debug`
+//! rendering): `SELECT a FROM t WHERE b = 1` and `... b = 2` cache
+//! separately. That is deliberate — constant folding bakes literals
+//! into the optimized plan, so plans cannot be shared across literal
+//! variants (unlike `sdb_stat_statements`, whose shape key masks
+//! literals to group statements).
+
+use super::{fnv1a, PlannedQuery};
+use crate::ast::{Expr, OrderItem, Select};
+use crate::catalog::Database;
+use std::sync::Arc;
+
+/// Clear the cache once it holds this many plans. Epoch-keyed entries
+/// go stale on every mutation, so a long DML-heavy session would
+/// otherwise grow the map without bound.
+const MAX_CACHED_PLANS: usize = 256;
+
+impl Database {
+    /// Cache key for a plannable SELECT under the current catalog epoch.
+    pub(crate) fn plan_cache_key(
+        &self,
+        sel: &Select,
+        order_by: &[OrderItem],
+        limit: &Option<Expr>,
+        offset: &Option<Expr>,
+    ) -> u64 {
+        let mut bytes = self.catalog_epoch().to_le_bytes().to_vec();
+        bytes.extend_from_slice(format!("{sel:?}|{order_by:?}|{limit:?}|{offset:?}").as_bytes());
+        fnv1a(&bytes)
+    }
+
+    /// Look up a cached plan (a hit is an `Arc` clone, no re-planning).
+    pub(crate) fn cached_plan(&self, key: u64) -> Option<Arc<PlannedQuery>> {
+        match self.plan_cache.lock() {
+            Ok(cache) => cache.get(&key).cloned(),
+            Err(_) => None,
+        }
+    }
+
+    /// Insert a freshly built plan under `key`.
+    pub(crate) fn cache_plan(&self, key: u64, plan: Arc<PlannedQuery>) {
+        if let Ok(mut cache) = self.plan_cache.lock() {
+            if cache.len() >= MAX_CACHED_PLANS {
+                cache.clear();
+            }
+            cache.insert(key, plan);
+        }
+    }
+
+    /// Number of plans currently cached (observability).
+    pub fn plan_cache_len(&self) -> usize {
+        self.plan_cache.lock().map(|c| c.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute_sql;
+    use crate::table::Table;
+    use crate::types::Value;
+
+    fn db_with_table() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "t",
+            Table::from_rows(&["a"], vec![vec![Value::Int(1)], vec![Value::Int(2)]]),
+            false,
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn repeat_query_hits_cache() {
+        let mut db = db_with_table();
+        execute_sql(&mut db, "SELECT a FROM t WHERE a > 1").unwrap();
+        let n = db.plan_cache_len();
+        assert!(n >= 1, "first execution should populate the cache");
+        execute_sql(&mut db, "SELECT a FROM t WHERE a > 1").unwrap();
+        assert_eq!(db.plan_cache_len(), n, "repeat execution should not add entries");
+    }
+
+    #[test]
+    fn mutation_invalidates_cached_plan() {
+        let mut db = db_with_table();
+        execute_sql(&mut db, "SELECT a FROM t").unwrap();
+        let epoch = db.catalog_epoch();
+        execute_sql(&mut db, "INSERT INTO t VALUES (3)").unwrap();
+        assert!(db.catalog_epoch() > epoch, "DML must advance the epoch");
+        // Same SQL now keys differently; results reflect the new row.
+        let t = execute_sql(&mut db, "SELECT a FROM t").unwrap().into_table().unwrap();
+        assert_eq!(t.num_rows(), 3);
+    }
+
+    #[test]
+    fn literal_variants_cache_separately() {
+        let db = db_with_table();
+        let k1 = {
+            let stmt = crate::parser::parse_statement("SELECT a FROM t WHERE a = 1").unwrap();
+            let crate::ast::Statement::Query(q) = stmt else { panic!("expected query") };
+            let crate::ast::SetExpr::Select(sel) = &q.body else { panic!("expected select") };
+            db.plan_cache_key(sel, &q.order_by, &q.limit, &q.offset)
+        };
+        let k2 = {
+            let stmt = crate::parser::parse_statement("SELECT a FROM t WHERE a = 2").unwrap();
+            let crate::ast::Statement::Query(q) = stmt else { panic!("expected query") };
+            let crate::ast::SetExpr::Select(sel) = &q.body else { panic!("expected select") };
+            db.plan_cache_key(sel, &q.order_by, &q.limit, &q.offset)
+        };
+        assert_ne!(k1, k2, "plan-cache key must be literal-sensitive");
+    }
+}

@@ -16,6 +16,7 @@
 //! expressions), aggregate accumulators and sort comparators.
 
 pub mod build;
+pub mod cache;
 pub mod columnar;
 pub mod exec;
 pub mod ir;

@@ -1,0 +1,575 @@
+//! The storage engine: group-commit WAL appends, checkpointing, crash
+//! recovery, and the shadow catalog that hydrates new sessions.
+//!
+//! One [`StorageEngine`] owns a data directory holding `wal.log` plus
+//! `snapshot-<lsn>.sdb` files. Sessions attach it as the catalog's
+//! [`DurabilityHook`]: every committed mutation is buffered, and the
+//! session calls [`StorageEngine::commit`] once per statement — all of
+//! a statement's records go to the log in one contiguous write (group
+//! commit), with at most one fsync as the [`FsyncPolicy`] dictates.
+//!
+//! The engine also maintains a *shadow catalog* — the durable tables
+//! and views as of the last commit — so that (a) `CHECKPOINT` can
+//! snapshot the full durable state even when the calling session's
+//! private catalog predates other sessions' writes, and (b) new
+//! sessions hydrate from memory without re-reading the log.
+
+use crate::record::Record;
+use crate::snapshot::{self, SnapshotData};
+use crate::wal::Wal;
+use obs::{QueryTrace, Stage, Trace};
+use sqlengine::catalog::{CatalogMutation, Database, DurabilityHook};
+use sqlengine::error::{Error, Result};
+use sqlengine::table::{Table, TableRef};
+use sqlengine::types::Value;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// When (if ever) WAL appends reach stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync after every group commit — survives power loss.
+    Always,
+    /// fsync at most once per the given window — bounded data loss,
+    /// near-`Never` throughput.
+    Interval(Duration),
+    /// Never fsync — the OS page cache decides; survives process
+    /// crashes (SIGKILL) but not power loss.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parse `always` / `never` / `interval` / `interval:<ms>`.
+    pub fn parse(s: &str) -> Result<FsyncPolicy> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
+            "interval" => Ok(FsyncPolicy::Interval(Duration::from_millis(100))),
+            other => {
+                if let Some(ms) = other.strip_prefix("interval:") {
+                    let ms: u64 = ms.parse().map_err(|_| {
+                        Error::eval(format!("invalid fsync interval '{ms}' (want milliseconds)"))
+                    })?;
+                    return Ok(FsyncPolicy::Interval(Duration::from_millis(ms)));
+                }
+                Err(Error::eval(format!(
+                    "unknown fsync policy '{other}' (want always | interval[:ms] | never)"
+                )))
+            }
+        }
+    }
+
+    /// Canonical rendering (shown in `sdb_storage`).
+    pub fn label(&self) -> String {
+        match self {
+            FsyncPolicy::Always => "always".to_string(),
+            FsyncPolicy::Interval(d) => format!("interval:{}", d.as_millis()),
+            FsyncPolicy::Never => "never".to_string(),
+        }
+    }
+}
+
+/// What recovery found and did, frozen at open time.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryStats {
+    /// LSN of the snapshot that seeded recovery (0 = none found).
+    pub snapshot_lsn: u64,
+    /// Tables / views restored from the snapshot.
+    pub snapshot_tables: u64,
+    pub snapshot_views: u64,
+    /// UDF names the snapshot recorded (informational — UDFs are code,
+    /// re-registered by the session at startup).
+    pub snapshot_udfs: Vec<String>,
+    /// WAL records replayed (LSN > snapshot LSN).
+    pub replayed_records: u64,
+    /// WAL records skipped because the snapshot already covered them.
+    pub skipped_records: u64,
+    /// Bytes of torn WAL tail truncated at open.
+    pub truncated_bytes: u64,
+    /// Why the tail was torn, when it was.
+    pub torn_reason: Option<String>,
+    /// Snapshots that failed validation and were passed over.
+    pub rejected_snapshots: Vec<(String, String)>,
+    /// Wall-clock nanos spent recovering.
+    pub recover_nanos: u64,
+}
+
+/// Mutable engine state behind one lock: the log, the commit buffer,
+/// the shadow catalog, and cumulative counters.
+struct EngineInner {
+    wal: Wal,
+    /// Mutations recorded since the last [`StorageEngine::commit`].
+    pending: Vec<CatalogMutation>,
+    next_lsn: u64,
+    last_checkpoint_lsn: u64,
+    /// Shadow catalog: durable tables/views as of the last commit.
+    tables: HashMap<String, TableRef>,
+    views: HashMap<String, String>,
+    /// Cumulative counters (surfaced in `sdb_storage`).
+    commits: u64,
+    fsyncs: u64,
+    appended_records: u64,
+    appended_bytes: u64,
+    wal_append_nanos: u64,
+    checkpoints: u64,
+    snapshots_written: u64,
+    last_snapshot_bytes: u64,
+    last_fsync: Instant,
+}
+
+impl EngineInner {
+    fn apply_to_shadow(&mut self, m: &CatalogMutation) {
+        match m {
+            CatalogMutation::CreateTable { name, table }
+            | CatalogMutation::PutTable { name, table } => {
+                self.tables.insert(name.clone(), table.clone());
+            }
+            CatalogMutation::DropTable { name } => {
+                self.tables.remove(name);
+            }
+            CatalogMutation::AppendRows { name, rows } => {
+                if let Some(t) = self.tables.get_mut(name) {
+                    Arc::make_mut(t).rows.extend(rows.iter().cloned());
+                }
+            }
+            CatalogMutation::CreateView { name, sql } => {
+                self.views.insert(name.clone(), sql.clone());
+            }
+            CatalogMutation::DropView { name } => {
+                self.views.remove(name);
+            }
+        }
+    }
+}
+
+/// The durable storage engine for one data directory.
+pub struct StorageEngine {
+    dir: PathBuf,
+    policy: FsyncPolicy,
+    inner: Mutex<EngineInner>,
+    recovery: RecoveryStats,
+    recovery_trace: QueryTrace,
+}
+
+fn lock(inner: &Mutex<EngineInner>) -> MutexGuard<'_, EngineInner> {
+    // A poisoning panic cannot leave the byte-level state torn worse
+    // than a crash would, and recovery handles crashes; keep serving.
+    inner.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl StorageEngine {
+    /// Open a data directory: load the newest valid snapshot, replay
+    /// the WAL tail (truncating a torn final record), and position the
+    /// log for appends. Records the `recover` stage tree.
+    pub fn open(dir: &Path, policy: FsyncPolicy) -> Result<StorageEngine> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| Error::eval(format!("storage: create data dir: {e}")))?;
+        let started = Instant::now();
+        let trace = Trace::new();
+        trace.set_label("RECOVER");
+        let mut stats = RecoveryStats::default();
+        let mut tables: HashMap<String, TableRef> = HashMap::new();
+        let mut views: HashMap<String, String> = HashMap::new();
+
+        // Phase 1: newest valid snapshot.
+        let snap: Option<SnapshotData> = trace.time("recover.snapshot", || {
+            let mut rejected = Vec::new();
+            let s = snapshot::load_latest(dir, &mut rejected);
+            stats.rejected_snapshots = rejected;
+            s
+        });
+        if let Some(snap) = &snap {
+            stats.snapshot_lsn = snap.last_lsn;
+            stats.snapshot_tables = snap.tables.len() as u64;
+            stats.snapshot_views = snap.views.len() as u64;
+            stats.snapshot_udfs = snap.udfs.clone();
+            for (name, t) in &snap.tables {
+                tables.insert(name.clone(), t.clone());
+            }
+            for (name, sql) in &snap.views {
+                views.insert(name.clone(), sql.clone());
+            }
+        }
+        let snapshot_lsn = stats.snapshot_lsn;
+
+        // Phase 2: WAL tail. Records the snapshot already covers are
+        // skipped; a torn final record was truncated by `Wal::open`.
+        let (wal, scan) = trace.time("recover.wal", || Wal::open(&dir.join("wal.log")))?;
+        stats.truncated_bytes = scan.truncated_bytes;
+        stats.torn_reason = scan.torn_reason.clone();
+        let mut shadow = EngineInner {
+            wal,
+            pending: Vec::new(),
+            next_lsn: 1,
+            last_checkpoint_lsn: snapshot_lsn,
+            tables,
+            views,
+            commits: 0,
+            fsyncs: 0,
+            appended_records: 0,
+            appended_bytes: 0,
+            wal_append_nanos: 0,
+            checkpoints: 0,
+            snapshots_written: 0,
+            last_snapshot_bytes: 0,
+            last_fsync: Instant::now(),
+        };
+        let mut max_lsn = snapshot_lsn;
+        for Record { lsn, mutation } in &scan.records {
+            max_lsn = max_lsn.max(*lsn);
+            if *lsn <= snapshot_lsn {
+                stats.skipped_records += 1;
+                continue;
+            }
+            shadow.apply_to_shadow(mutation);
+            stats.replayed_records += 1;
+        }
+        shadow.next_lsn = max_lsn + 1;
+        stats.recover_nanos = started.elapsed().as_nanos() as u64;
+        let recovery_trace = trace.finish();
+        Ok(StorageEngine {
+            dir: dir.to_path_buf(),
+            policy,
+            inner: Mutex::new(shadow),
+            recovery: stats,
+            recovery_trace,
+        })
+    }
+
+    /// The data directory this engine owns.
+    pub fn data_dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    /// Recovery outcome, frozen at open.
+    pub fn recovery_stats(&self) -> &RecoveryStats {
+        &self.recovery
+    }
+
+    /// The `recover` stage tree recorded while opening.
+    pub fn recovery_trace(&self) -> &QueryTrace {
+        &self.recovery_trace
+    }
+
+    /// Populate a fresh session catalog from the shadow catalog
+    /// (`Arc` clones — no row copies). Call *before* attaching the
+    /// engine as the durability hook so hydration is not re-logged.
+    pub fn hydrate(&self, db: &mut Database) -> Result<()> {
+        let inner = lock(&self.inner);
+        let mut muts: Vec<CatalogMutation> = Vec::new();
+        let mut tables: Vec<(&String, &TableRef)> = inner.tables.iter().collect();
+        tables.sort_by(|a, b| a.0.cmp(b.0));
+        for (name, t) in tables {
+            muts.push(CatalogMutation::CreateTable { name: name.clone(), table: t.clone() });
+        }
+        let mut views: Vec<(&String, &String)> = inner.views.iter().collect();
+        views.sort_by(|a, b| a.0.cmp(b.0));
+        for (name, sql) in views {
+            muts.push(CatalogMutation::CreateView { name: name.clone(), sql: sql.clone() });
+        }
+        drop(inner);
+        for m in muts {
+            m.apply(db)?;
+        }
+        Ok(())
+    }
+
+    /// Group commit: flush every mutation recorded since the last call
+    /// as one contiguous WAL write, fsyncing per the policy. Returns
+    /// `(records written, nanos spent)` for the `wal.append` stage.
+    pub fn commit(&self) -> Result<(u64, u64)> {
+        let mut inner = lock(&self.inner);
+        if inner.pending.is_empty() {
+            return Ok((0, 0));
+        }
+        let started = Instant::now();
+        let pending = std::mem::take(&mut inner.pending);
+        let mut batch = Vec::with_capacity(pending.len());
+        for m in pending {
+            let lsn = inner.next_lsn;
+            inner.next_lsn += 1;
+            batch.push((lsn, m));
+        }
+        let fsync = match self.policy {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::Never => false,
+            FsyncPolicy::Interval(window) => inner.last_fsync.elapsed() >= window,
+        };
+        let bytes = inner.wal.append(&batch, fsync)?;
+        if fsync {
+            inner.fsyncs += 1;
+            inner.last_fsync = Instant::now();
+        }
+        for (_, m) in &batch {
+            inner.apply_to_shadow(m);
+        }
+        let n = batch.len() as u64;
+        let nanos = started.elapsed().as_nanos() as u64;
+        inner.commits += 1;
+        inner.appended_records += n;
+        inner.appended_bytes += bytes;
+        inner.wal_append_nanos += nanos;
+        Ok((n, nanos))
+    }
+
+    /// `CHECKPOINT`: commit anything pending, snapshot the shadow
+    /// catalog, rotate the log, prune superseded snapshots. `udfs` is
+    /// the checkpointing session's registered-UDF list (recorded in the
+    /// snapshot for recovery reporting).
+    pub fn do_checkpoint(&self, udfs: &[String], trace: Option<&Trace>) -> Result<Table> {
+        // Flush the commit buffer so the snapshot's LSN covers it.
+        self.commit()?;
+        let mut inner = lock(&self.inner);
+        let started = Instant::now();
+        let last_lsn = inner.next_lsn - 1;
+        let mut tables: Vec<(String, TableRef)> =
+            inner.tables.iter().map(|(n, t)| (n.clone(), t.clone())).collect();
+        tables.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut views: Vec<(String, String)> =
+            inner.views.iter().map(|(n, s)| (n.clone(), s.clone())).collect();
+        views.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let (path, bytes) = if let Some(tr) = trace {
+            tr.time("checkpoint.snapshot", || {
+                snapshot::write_snapshot_parts(&self.dir, last_lsn, &tables, &views, udfs)
+            })?
+        } else {
+            snapshot::write_snapshot_parts(&self.dir, last_lsn, &tables, &views, udfs)?
+        };
+        // The snapshot is durably in place; the log can restart empty
+        // (replay skips LSN ≤ snapshot anyway, so a crash between the
+        // rename above and this truncation is safe).
+        if let Some(tr) = trace {
+            tr.time("checkpoint.rotate", || inner.wal.rotate())?;
+        } else {
+            inner.wal.rotate()?;
+        }
+        snapshot::prune_snapshots(&self.dir, last_lsn);
+        inner.last_checkpoint_lsn = last_lsn;
+        inner.checkpoints += 1;
+        inner.snapshots_written += 1;
+        inner.last_snapshot_bytes = bytes;
+        let nanos = started.elapsed().as_nanos() as u64;
+        Ok(Table::from_rows(
+            &["checkpoint_lsn", "snapshot_file", "snapshot_bytes", "tables", "views", "ms"],
+            vec![vec![
+                Value::Int(last_lsn as i64),
+                Value::text(path.to_string_lossy()),
+                Value::Int(bytes as i64),
+                Value::Int(tables.len() as i64),
+                Value::Int(views.len() as i64),
+                Value::Float(nanos as f64 / 1_000_000.0),
+            ]],
+        ))
+    }
+
+    /// Column names of the `sdb_storage` relation.
+    pub const STATUS_COLUMNS: [&'static str; 17] = [
+        "data_dir",
+        "fsync_policy",
+        "wal_bytes",
+        "wal_records",
+        "last_lsn",
+        "last_checkpoint_lsn",
+        "commits",
+        "fsyncs",
+        "wal_append_ms",
+        "checkpoints",
+        "snapshot_bytes",
+        "recovered_snapshot_lsn",
+        "recovered_replayed",
+        "recovered_skipped",
+        "recovered_truncated_bytes",
+        "recovered_torn_reason",
+        "recover_ms",
+    ];
+
+    /// The `sdb_storage` relation with no rows — the shape served when
+    /// no storage engine is attached (ephemeral sessions).
+    pub fn status_schema_table() -> Table {
+        Table::from_rows(&Self::STATUS_COLUMNS, Vec::new())
+    }
+
+    /// One-row relation backing the `sdb_storage` virtual table.
+    pub fn status_table(&self) -> Table {
+        let inner = lock(&self.inner);
+        let r = &self.recovery;
+        Table::from_rows(
+            &Self::STATUS_COLUMNS,
+            vec![vec![
+                Value::text(self.dir.to_string_lossy()),
+                Value::text(self.policy.label()),
+                Value::Int(inner.wal.bytes() as i64),
+                Value::Int(inner.wal.records() as i64),
+                Value::Int((inner.next_lsn - 1) as i64),
+                Value::Int(inner.last_checkpoint_lsn as i64),
+                Value::Int(inner.commits as i64),
+                Value::Int(inner.fsyncs as i64),
+                Value::Float(inner.wal_append_nanos as f64 / 1_000_000.0),
+                Value::Int(inner.checkpoints as i64),
+                Value::Int(inner.last_snapshot_bytes as i64),
+                Value::Int(r.snapshot_lsn as i64),
+                Value::Int(r.replayed_records as i64),
+                Value::Int(r.skipped_records as i64),
+                Value::Int(r.truncated_bytes as i64),
+                match &r.torn_reason {
+                    Some(reason) => Value::text(reason),
+                    None => Value::Null,
+                },
+                Value::Float(r.recover_nanos as f64 / 1_000_000.0),
+            ]],
+        )
+    }
+
+    /// A `wal.append` stage for the most useful unit: one commit call.
+    pub fn append_stage(records: u64, nanos: u64) -> Stage {
+        let mut s = Stage::leaf("wal.append", nanos);
+        s.rows = Some(records);
+        s
+    }
+}
+
+impl DurabilityHook for StorageEngine {
+    fn record(&self, mutation: CatalogMutation) {
+        lock(&self.inner).pending.push(mutation);
+    }
+
+    fn checkpoint(&self, db: &Database, trace: Option<&Trace>) -> Result<Table> {
+        self.do_checkpoint(&db.udf_names(), trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlengine::execute_sql;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sdb-engine-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn attached_db(engine: &Arc<StorageEngine>) -> Database {
+        let mut db = Database::new();
+        engine.hydrate(&mut db).unwrap();
+        db.set_durability_hook(engine.clone());
+        db
+    }
+
+    #[test]
+    fn statements_survive_reopen() {
+        let dir = tmpdir("reopen");
+        {
+            let engine = Arc::new(StorageEngine::open(&dir, FsyncPolicy::Always).unwrap());
+            let mut db = attached_db(&engine);
+            execute_sql(&mut db, "CREATE TABLE t (a INT, b TEXT)").unwrap();
+            execute_sql(&mut db, "INSERT INTO t VALUES (1, 'x'), (2, 'y')").unwrap();
+            execute_sql(&mut db, "CREATE VIEW v AS SELECT a FROM t WHERE b = 'y'").unwrap();
+            engine.commit().unwrap();
+        }
+        let engine = Arc::new(StorageEngine::open(&dir, FsyncPolicy::Always).unwrap());
+        assert_eq!(engine.recovery_stats().replayed_records, 3);
+        let mut db = attached_db(&engine);
+        let t = execute_sql(&mut db, "SELECT * FROM v").unwrap().into_table().unwrap();
+        assert_eq!(t.num_rows(), 1);
+        let t = execute_sql(&mut db, "SELECT count(*) FROM t").unwrap().into_table().unwrap();
+        assert_eq!(t.rows[0][0], Value::Int(2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_rotates_and_recovery_prefers_snapshot() {
+        let dir = tmpdir("ckpt");
+        {
+            let engine = Arc::new(StorageEngine::open(&dir, FsyncPolicy::Always).unwrap());
+            let mut db = attached_db(&engine);
+            execute_sql(&mut db, "CREATE TABLE t (a INT)").unwrap();
+            execute_sql(&mut db, "INSERT INTO t VALUES (1), (2), (3)").unwrap();
+            engine.commit().unwrap();
+            let status = execute_sql(&mut db, "CHECKPOINT").unwrap().into_table().unwrap();
+            assert_eq!(status.num_rows(), 1);
+            // Post-checkpoint writes land in the fresh log.
+            execute_sql(&mut db, "INSERT INTO t VALUES (4)").unwrap();
+            engine.commit().unwrap();
+        }
+        let engine = Arc::new(StorageEngine::open(&dir, FsyncPolicy::Always).unwrap());
+        let r = engine.recovery_stats();
+        assert!(r.snapshot_lsn > 0, "snapshot should seed recovery");
+        assert_eq!(r.replayed_records, 1, "only the post-checkpoint insert replays");
+        let mut db = attached_db(&engine);
+        let t = execute_sql(&mut db, "SELECT count(*) FROM t").unwrap().into_table().unwrap();
+        assert_eq!(t.rows[0][0], Value::Int(4));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn update_delete_and_drop_replay() {
+        let dir = tmpdir("dml");
+        {
+            let engine = Arc::new(StorageEngine::open(&dir, FsyncPolicy::Never).unwrap());
+            let mut db = attached_db(&engine);
+            for sql in [
+                "CREATE TABLE t (a INT, b TEXT)",
+                "INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')",
+                "UPDATE t SET b = 'yy' WHERE a = 2",
+                "DELETE FROM t WHERE a = 1",
+                "CREATE TABLE gone (g INT)",
+                "DROP TABLE gone",
+            ] {
+                execute_sql(&mut db, sql).unwrap();
+                engine.commit().unwrap();
+            }
+        }
+        let engine = Arc::new(StorageEngine::open(&dir, FsyncPolicy::Never).unwrap());
+        let mut db = attached_db(&engine);
+        let t =
+            execute_sql(&mut db, "SELECT a, b FROM t ORDER BY a").unwrap().into_table().unwrap();
+        assert_eq!(
+            t.rows,
+            vec![vec![Value::Int(2), Value::text("yy")], vec![Value::Int(3), Value::text("z")],]
+        );
+        assert!(execute_sql(&mut db, "SELECT * FROM gone").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_policy_parse() {
+        assert_eq!(FsyncPolicy::parse("always").unwrap(), FsyncPolicy::Always);
+        assert_eq!(FsyncPolicy::parse("never").unwrap(), FsyncPolicy::Never);
+        assert_eq!(
+            FsyncPolicy::parse("interval:250").unwrap(),
+            FsyncPolicy::Interval(Duration::from_millis(250))
+        );
+        assert!(FsyncPolicy::parse("sometimes").is_err());
+        assert_eq!(FsyncPolicy::parse("interval:250").unwrap().label(), "interval:250");
+    }
+
+    #[test]
+    fn status_table_reports_counters() {
+        let dir = tmpdir("status");
+        let engine = Arc::new(StorageEngine::open(&dir, FsyncPolicy::Always).unwrap());
+        let mut db = attached_db(&engine);
+        execute_sql(&mut db, "CREATE TABLE t (a INT)").unwrap();
+        engine.commit().unwrap();
+        let s = engine.status_table();
+        assert_eq!(s.num_rows(), 1);
+        let col = |name: &str| {
+            let i = s.schema.index_of(name).unwrap();
+            s.rows[0][i].clone()
+        };
+        assert_eq!(col("commits"), Value::Int(1));
+        assert_eq!(col("fsyncs"), Value::Int(1));
+        assert_eq!(col("wal_records"), Value::Int(1));
+        assert_eq!(col("fsync_policy"), Value::text("always"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

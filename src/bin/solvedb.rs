@@ -5,6 +5,7 @@
 //! solvedb file.sql                 # run a script, printing every result
 //! solvedb -e "SELECT 1; SELECT 2"  # run statements from the command line
 //! solvedb --connect HOST:PORT      # talk to a solvedbd server instead
+//! solvedb --data-dir ./data        # durable local session (WAL + snapshots)
 //! solvedb --version
 //! ```
 //!
@@ -22,8 +23,10 @@
 
 use solvedbplus::server::{Client, ClientError};
 use solvedbplus::sqlengine::parser::split_statements;
+use solvedbplus::storage::{FsyncPolicy, StorageEngine};
 use solvedbplus::{datagen, ExecResult, Outcome, Session};
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 
 const USAGE: &str = "\
 usage: solvedb [OPTIONS] [SCRIPT.sql]
@@ -33,6 +36,10 @@ options:
   -c, --connect ADDR   connect to a solvedbd server at ADDR (host:port)
   -t, --timing         print each statement's stage breakdown and solver
                        telemetry (toggle interactively with \\timing)
+  -D, --data-dir DIR   durable local session: recover from DIR, write-ahead-
+                       log every mutation into it (local mode only)
+      --fsync POLICY   when WAL appends reach disk: always | interval[:ms]
+                       | never (default always; needs --data-dir)
       --version        print version and exit
   -h, --help           show this message
 
@@ -43,10 +50,21 @@ struct Options {
     exec: Option<String>,
     script: Option<String>,
     timing: bool,
+    data_dir: Option<String>,
+    fsync: FsyncPolicy,
+    fsync_given: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
-    let mut opts = Options { connect: None, exec: None, script: None, timing: false };
+    let mut opts = Options {
+        connect: None,
+        exec: None,
+        script: None,
+        timing: false,
+        data_dir: None,
+        fsync: FsyncPolicy::Always,
+        fsync_given: false,
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut take_value =
@@ -55,6 +73,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "-e" | "--exec" => opts.exec = Some(take_value(arg)?),
             "-c" | "--connect" => opts.connect = Some(take_value(arg)?),
             "-t" | "--timing" => opts.timing = true,
+            "-D" | "--data-dir" => opts.data_dir = Some(take_value(arg)?),
+            "--fsync" => {
+                let p = take_value(arg)?;
+                opts.fsync = FsyncPolicy::parse(&p).map_err(|e| e.to_string())?;
+                opts.fsync_given = true;
+            }
             "--version" => {
                 println!("solvedb {}", env!("CARGO_PKG_VERSION"));
                 std::process::exit(0);
@@ -76,6 +100,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if opts.exec.is_some() && opts.script.is_some() {
         return Err("-e and a script file are mutually exclusive".into());
+    }
+    if opts.data_dir.is_some() && opts.connect.is_some() {
+        return Err("--data-dir applies to local sessions only (not --connect); \
+                    start solvedbd with --data-dir instead"
+            .into());
+    }
+    if opts.fsync_given && opts.data_dir.is_none() {
+        return Err("--fsync requires --data-dir".into());
     }
     Ok(opts)
 }
@@ -195,7 +227,29 @@ fn main() {
 
     let mut backend = match &opts.connect {
         Some(addr) => Backend::Remote(connect(addr)),
-        None => Backend::Local(Session::new()),
+        None => {
+            let mut session = Session::new();
+            if let Some(dir) = &opts.data_dir {
+                let engine = match StorageEngine::open(std::path::Path::new(dir), opts.fsync) {
+                    Ok(e) => Arc::new(e),
+                    Err(e) => {
+                        eprintln!("solvedb: storage recovery failed: {e}");
+                        std::process::exit(1);
+                    }
+                };
+                let r = engine.recovery_stats();
+                eprintln!(
+                    "solvedb: recovered {dir} (snapshot lsn {}, {} record(s) replayed, \
+                     {} torn byte(s) truncated)",
+                    r.snapshot_lsn, r.replayed_records, r.truncated_bytes,
+                );
+                if let Err(e) = session.attach_storage(engine) {
+                    eprintln!("solvedb: cannot attach storage: {e}");
+                    std::process::exit(1);
+                }
+            }
+            Backend::Local(session)
+        }
     };
 
     // Non-interactive modes: -e SQL or a script file. Every statement's

@@ -6,14 +6,20 @@
 //! solvedbd --port 7000             # shorthand for 127.0.0.1:7000
 //! solvedbd --workers 16            # worker pool size
 //! solvedbd --slow-query-ms 500     # log statements slower than 500 ms
+//! solvedbd --data-dir ./data       # durable mode: recover + WAL-commit
+//! solvedbd --data-dir ./data --fsync interval:100
 //! ```
 //!
 //! Each connection gets its own session (private table namespace) over
-//! a shared solver registry. Stop with Ctrl-C, or type `\q` on stdin;
-//! both shut down gracefully, draining workers and releasing the port.
-//! Protocol documentation: `crates/server/PROTOCOL.md`.
+//! a shared solver registry. With `--data-dir`, the server recovers the
+//! catalog from the newest snapshot plus the WAL tail at startup, and
+//! every session group-commits its statements to the log (see
+//! `STORAGE.md`). Stop with Ctrl-C, or type `\q` on stdin; both shut
+//! down gracefully, draining workers and releasing the port. Protocol
+//! documentation: `crates/server/PROTOCOL.md`.
 
 use solvedbplus::server::{Server, ServerConfig};
+use solvedbplus::storage::FsyncPolicy;
 use std::io::BufRead;
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -28,6 +34,11 @@ options:
   -w, --workers N      worker threads / max concurrent connections (default 8)
       --slow-query-ms N log statements slower than N ms to stderr, with
                        their stage breakdown (default: disabled)
+  -D, --data-dir DIR   run durably: recover the catalog from DIR at start,
+                       write-ahead-log every mutation into it (default:
+                       in-memory, state dies with the process)
+      --fsync POLICY   when WAL appends reach disk: always | interval[:ms]
+                       | never (default always; needs --data-dir)
       --version        print version and exit
   -h, --help           show this message";
 
@@ -59,6 +70,9 @@ fn main() {
     let mut addr = DEFAULT_ADDR.to_string();
     let mut workers = ServerConfig::default().workers;
     let mut slow_query_ms = None;
+    let mut data_dir: Option<std::path::PathBuf> = None;
+    let mut fsync = FsyncPolicy::Always;
+    let mut fsync_given = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -100,6 +114,20 @@ fn main() {
                     }
                 }
             }
+            "-D" | "--data-dir" => data_dir = Some(take_value(arg).into()),
+            "--fsync" => {
+                let p = take_value(arg);
+                match FsyncPolicy::parse(&p) {
+                    Ok(policy) => {
+                        fsync = policy;
+                        fsync_given = true;
+                    }
+                    Err(e) => {
+                        eprintln!("solvedbd: {e}\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--version" => {
                 println!("solvedbd {}", env!("CARGO_PKG_VERSION"));
                 return;
@@ -115,7 +143,11 @@ fn main() {
         }
     }
 
-    let config = ServerConfig { workers, slow_query_ms, ..Default::default() };
+    if fsync_given && data_dir.is_none() {
+        eprintln!("solvedbd: --fsync requires --data-dir\n{USAGE}");
+        std::process::exit(2);
+    }
+    let config = ServerConfig { workers, slow_query_ms, data_dir, fsync, ..Default::default() };
     let server = match Server::bind_with(&addr, config) {
         Ok(s) => s,
         Err(e) => {
@@ -123,6 +155,19 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if let Some(engine) = server.storage() {
+        let r = engine.recovery_stats();
+        println!(
+            "solvedbd: recovered {} (snapshot lsn {}, {} record(s) replayed, \
+             {} torn byte(s) truncated, {:.1} ms); fsync policy: {}",
+            engine.data_dir().display(),
+            r.snapshot_lsn,
+            r.replayed_records,
+            r.truncated_bytes,
+            r.recover_nanos as f64 / 1e6,
+            engine.policy().label(),
+        );
+    }
     let local = server.local_addr();
     let shutdown = server.shutdown_handle();
     println!("solvedbd listening on {local} ({workers} worker(s)); Ctrl-C or \\q to stop");

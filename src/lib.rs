@@ -50,3 +50,5 @@ pub use solvedbplus_core as core;
 pub use sqlengine;
 /// LTI state-space system models.
 pub use ssmodel;
+/// The durable storage engine: WAL, snapshots, crash recovery.
+pub use storage;
