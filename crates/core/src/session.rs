@@ -16,7 +16,7 @@ use sqlengine::exec::Outcome;
 use sqlengine::{execute_statement_timed, parser, Database, ExecResult, Table, Value};
 use ssmodel::{simulation_sse, Lti};
 use std::sync::Arc;
-use storage::StorageEngine;
+use storage::{SessionHook, StorageEngine};
 
 /// The process-wide solver infrastructure shared by every session a
 /// server creates: the solver registry (RC3 extensibility) and the
@@ -79,6 +79,10 @@ pub struct Session {
     /// Durability engine when running with a data directory; the
     /// session group-commits its WAL batch after every statement.
     storage: Option<Arc<StorageEngine>>,
+    /// This session's private commit buffer over the shared engine —
+    /// a group commit covers exactly this session's statement, never a
+    /// concurrent connection's mid-statement mutations.
+    storage_hook: Option<Arc<SessionHook>>,
     /// Training series backing the `arima_rmse(ar, i, ma)` UDF.
     arima_training: Arc<RwLock<Vec<f64>>>,
     /// Training data backing the `hvac_sse(a1, b1, b2)` UDF:
@@ -167,6 +171,7 @@ impl Session {
             metrics,
             session_registry: None,
             storage: None,
+            storage_hook: None,
             arima_training,
             hvac_training,
         }
@@ -210,8 +215,8 @@ impl Session {
         // A durability failure fails the statement: the caller must not
         // observe un-logged state as committed.
         let mut out = out;
-        if let Some(engine) = &self.storage {
-            match engine.commit() {
+        if let Some(hook) = &self.storage_hook {
+            match hook.commit() {
                 Ok((records, commit_nanos)) => {
                     if records > 0 {
                         if let Ok(res) = &mut out {
@@ -306,14 +311,16 @@ impl Session {
     }
 
     /// Make the session durable: hydrate the catalog from the engine's
-    /// recovered state, then register the engine as the catalog's
-    /// durability hook so every subsequent mutation is WAL-logged.
-    /// Hydration runs *before* the hook attaches, so replayed history
-    /// is not logged a second time.
+    /// recovered state, then register a per-session [`SessionHook`]
+    /// over the engine as the catalog's durability hook so every
+    /// subsequent mutation is WAL-logged. Hydration runs *before* the
+    /// hook attaches, so replayed history is not logged a second time.
     pub fn attach_storage(&mut self, engine: Arc<StorageEngine>) -> Result<()> {
         engine.hydrate(&mut self.db)?;
-        self.db.set_durability_hook(engine.clone());
+        let hook = Arc::new(SessionHook::new(engine.clone()));
+        self.db.set_durability_hook(hook.clone());
         self.storage = Some(engine);
+        self.storage_hook = Some(hook);
         self.rebuild_virtual_tables();
         Ok(())
     }

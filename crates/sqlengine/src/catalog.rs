@@ -231,6 +231,16 @@ pub trait DurabilityHook: Send + Sync {
     /// log. Returns a one-row status relation. `trace`, when present,
     /// receives `checkpoint` stage spans.
     fn checkpoint(&self, db: &Database, trace: Option<&obs::Trace>) -> Result<Table>;
+
+    /// Does `name` already exist in the *durable* catalog — possibly
+    /// committed by another connection after this session hydrated its
+    /// private catalog? `CREATE TABLE` / `CREATE VIEW` consult this
+    /// before mutating, so a name conflict across connections fails
+    /// the statement instead of letting two sessions commit tables of
+    /// the same name with different schemas.
+    fn durable_relation_exists(&self, _name: &str) -> bool {
+        false
+    }
 }
 
 /// Provider of *virtual tables*: relations synthesized on demand
@@ -270,9 +280,11 @@ pub struct Database {
     /// read-only query paths can populate it lazily.
     pub(crate) stats_cache:
         std::sync::Mutex<HashMap<(usize, usize), Arc<crate::plan::stats::TableStats>>>,
-    /// Cache of optimized plans keyed by `(catalog epoch, AST hash)` —
-    /// see `plan::cache`. Hit/miss counters feed `sdb_stat_statements`.
-    pub(crate) plan_cache: std::sync::Mutex<HashMap<u64, Arc<crate::plan::PlannedQuery>>>,
+    /// Cache of optimized plans keyed by `(catalog epoch, exact query
+    /// rendering)` — see `plan::cache`. Hit/miss counters feed
+    /// `sdb_stat_statements`.
+    pub(crate) plan_cache:
+        std::sync::Mutex<HashMap<crate::plan::cache::PlanCacheKey, Arc<crate::plan::PlannedQuery>>>,
 }
 
 impl std::fmt::Debug for Database {
@@ -316,6 +328,17 @@ impl Database {
                 return Ok(());
             }
             return Err(Error::catalog(format!("relation '{name}' already exists")));
+        }
+        // Not in this session's private catalog — but another
+        // connection may have committed it durably since hydration.
+        if self.durability.as_ref().is_some_and(|h| h.durable_relation_exists(name)) {
+            if if_not_exists {
+                return Ok(());
+            }
+            return Err(Error::catalog(format!(
+                "relation '{name}' already exists in the durable catalog \
+                 (created by another connection)"
+            )));
         }
         let table = Arc::new(table);
         self.tables.insert(name.to_string(), table.clone());
@@ -445,6 +468,13 @@ impl Database {
     pub fn create_view(&mut self, name: &str, query: Query, or_replace: bool) -> Result<()> {
         if !or_replace && (self.views.contains_key(name) || self.tables.contains_key(name)) {
             return Err(Error::catalog(format!("relation '{name}' already exists")));
+        }
+        if !or_replace && self.durability.as_ref().is_some_and(|h| h.durable_relation_exists(name))
+        {
+            return Err(Error::catalog(format!(
+                "relation '{name}' already exists in the durable catalog \
+                 (created by another connection)"
+            )));
         }
         let sql = query.to_string();
         self.views.insert(name.to_string(), Arc::new(query));

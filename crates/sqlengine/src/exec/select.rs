@@ -97,7 +97,7 @@ pub fn run_query_planned(
             } else {
                 None
             };
-            if let Some(key) = cache_key {
+            if let Some(key) = &cache_key {
                 if let Some(planned) = db.cached_plan(key) {
                     PLAN_CACHE_EVENT.with(|c| c.set(Some(true)));
                     let fp = planned.fingerprint();

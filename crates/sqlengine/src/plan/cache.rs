@@ -1,4 +1,5 @@
-//! Plan cache: optimized plans keyed by `(catalog epoch, AST hash)`.
+//! Plan cache: optimized plans keyed by `(catalog epoch, exact query
+//! rendering)`.
 //!
 //! Plans embed resolved [`crate::table::TableRef`] handles (the
 //! `PlanNode::Scan` source), so a cached plan is only valid for the
@@ -10,14 +11,17 @@
 //! cache is cleared at its size bound. Table statistics are derived
 //! from table data, so the epoch also covers stats changes.
 //!
-//! The AST hash is literal-sensitive (FNV-1a over the `Debug`
-//! rendering): `SELECT a FROM t WHERE b = 1` and `... b = 2` cache
-//! separately. That is deliberate — constant folding bakes literals
-//! into the optimized plan, so plans cannot be shared across literal
-//! variants (unlike `sdb_stat_statements`, whose shape key masks
-//! literals to group statements).
+//! The key stores the full `Debug` rendering of the query, not a hash
+//! of it: `HashMap` compares keys on lookup, so two distinct queries
+//! can never alias one cache slot — a hash-only key would silently
+//! execute the wrong plan on a 64-bit collision. The rendering is
+//! literal-sensitive: `SELECT a FROM t WHERE b = 1` and `... b = 2`
+//! cache separately. That is deliberate — constant folding bakes
+//! literals into the optimized plan, so plans cannot be shared across
+//! literal variants (unlike `sdb_stat_statements`, whose shape key
+//! masks literals to group statements).
 
-use super::{fnv1a, PlannedQuery};
+use super::PlannedQuery;
 use crate::ast::{Expr, OrderItem, Select};
 use crate::catalog::Database;
 use std::sync::Arc;
@@ -27,6 +31,16 @@ use std::sync::Arc;
 /// otherwise grow the map without bound.
 const MAX_CACHED_PLANS: usize = 256;
 
+/// Full plan-cache key: catalog epoch plus the exact rendered query.
+/// Hash collisions between different queries land in the same bucket
+/// but fail the equality check, so a lookup can never return another
+/// query's plan.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanCacheKey {
+    epoch: u64,
+    query: String,
+}
+
 impl Database {
     /// Cache key for a plannable SELECT under the current catalog epoch.
     pub(crate) fn plan_cache_key(
@@ -35,22 +49,23 @@ impl Database {
         order_by: &[OrderItem],
         limit: &Option<Expr>,
         offset: &Option<Expr>,
-    ) -> u64 {
-        let mut bytes = self.catalog_epoch().to_le_bytes().to_vec();
-        bytes.extend_from_slice(format!("{sel:?}|{order_by:?}|{limit:?}|{offset:?}").as_bytes());
-        fnv1a(&bytes)
+    ) -> PlanCacheKey {
+        PlanCacheKey {
+            epoch: self.catalog_epoch(),
+            query: format!("{sel:?}|{order_by:?}|{limit:?}|{offset:?}"),
+        }
     }
 
     /// Look up a cached plan (a hit is an `Arc` clone, no re-planning).
-    pub(crate) fn cached_plan(&self, key: u64) -> Option<Arc<PlannedQuery>> {
+    pub(crate) fn cached_plan(&self, key: &PlanCacheKey) -> Option<Arc<PlannedQuery>> {
         match self.plan_cache.lock() {
-            Ok(cache) => cache.get(&key).cloned(),
+            Ok(cache) => cache.get(key).cloned(),
             Err(_) => None,
         }
     }
 
     /// Insert a freshly built plan under `key`.
-    pub(crate) fn cache_plan(&self, key: u64, plan: Arc<PlannedQuery>) {
+    pub(crate) fn cache_plan(&self, key: PlanCacheKey, plan: Arc<PlannedQuery>) {
         if let Ok(mut cache) = self.plan_cache.lock() {
             if cache.len() >= MAX_CACHED_PLANS {
                 cache.clear();
@@ -83,6 +98,13 @@ mod tests {
         db
     }
 
+    fn key_for(db: &Database, sql: &str) -> PlanCacheKey {
+        let stmt = crate::parser::parse_statement(sql).unwrap();
+        let crate::ast::Statement::Query(q) = stmt else { panic!("expected query") };
+        let crate::ast::SetExpr::Select(sel) = &q.body else { panic!("expected select") };
+        db.plan_cache_key(sel, &q.order_by, &q.limit, &q.offset)
+    }
+
     #[test]
     fn repeat_query_hits_cache() {
         let mut db = db_with_table();
@@ -108,18 +130,24 @@ mod tests {
     #[test]
     fn literal_variants_cache_separately() {
         let db = db_with_table();
-        let k1 = {
-            let stmt = crate::parser::parse_statement("SELECT a FROM t WHERE a = 1").unwrap();
-            let crate::ast::Statement::Query(q) = stmt else { panic!("expected query") };
-            let crate::ast::SetExpr::Select(sel) = &q.body else { panic!("expected select") };
-            db.plan_cache_key(sel, &q.order_by, &q.limit, &q.offset)
-        };
-        let k2 = {
-            let stmt = crate::parser::parse_statement("SELECT a FROM t WHERE a = 2").unwrap();
-            let crate::ast::Statement::Query(q) = stmt else { panic!("expected query") };
-            let crate::ast::SetExpr::Select(sel) = &q.body else { panic!("expected select") };
-            db.plan_cache_key(sel, &q.order_by, &q.limit, &q.offset)
-        };
+        let k1 = key_for(&db, "SELECT a FROM t WHERE a = 1");
+        let k2 = key_for(&db, "SELECT a FROM t WHERE a = 2");
         assert_ne!(k1, k2, "plan-cache key must be literal-sensitive");
+    }
+
+    /// The key carries the full query text: distinct queries compare
+    /// unequal even if they were to hash alike, so a lookup can never
+    /// serve another query's plan.
+    #[test]
+    fn key_stores_full_query_material() {
+        let db = db_with_table();
+        let k1 = key_for(&db, "SELECT a FROM t");
+        let k1_again = key_for(&db, "SELECT a FROM t");
+        assert_eq!(k1, k1_again, "same query, same epoch: identical key");
+        let k2 = key_for(&db, "SELECT a FROM t ORDER BY a");
+        assert_ne!(k1, k2);
+        db.bump_epoch();
+        let k3 = key_for(&db, "SELECT a FROM t");
+        assert_ne!(k1, k3, "epoch changes must change the key");
     }
 }

@@ -2,17 +2,30 @@
 //! recovery, and the shadow catalog that hydrates new sessions.
 //!
 //! One [`StorageEngine`] owns a data directory holding `wal.log` plus
-//! `snapshot-<lsn>.sdb` files. Sessions attach it as the catalog's
-//! [`DurabilityHook`]: every committed mutation is buffered, and the
-//! session calls [`StorageEngine::commit`] once per statement — all of
-//! a statement's records go to the log in one contiguous write (group
-//! commit), with at most one fsync as the [`FsyncPolicy`] dictates.
+//! `snapshot-<lsn>.sdb` files. Each durable session attaches its own
+//! [`SessionHook`] as the catalog's `DurabilityHook`: every committed
+//! mutation is buffered *per session*, and the session flushes its
+//! buffer through [`StorageEngine::commit_batch`] once per statement —
+//! all of (and only) that statement's records go to the log in one
+//! contiguous write (group commit), with at most one fsync as the
+//! [`FsyncPolicy`] dictates.
 //!
 //! The engine also maintains a *shadow catalog* — the durable tables
 //! and views as of the last commit — so that (a) `CHECKPOINT` can
 //! snapshot the full durable state even when the calling session's
-//! private catalog predates other sessions' writes, and (b) new
-//! sessions hydrate from memory without re-reading the log.
+//! private catalog predates other sessions' writes, (b) new sessions
+//! hydrate from memory without re-reading the log, and (c) commits can
+//! be validated against the durable truth: a batch that conflicts with
+//! what another connection already committed (duplicate `CREATE
+//! TABLE`, an `INSERT` whose arity no longer matches the durable
+//! schema) is rejected as an error rather than silently merged.
+//!
+//! A WAL append I/O failure *poisons* the engine: after a partial
+//! write the file offset is indeterminate, so appending more frames
+//! could render every later record unrecoverable (replay stops at the
+//! first torn frame). A poisoned engine refuses all further commits
+//! and checkpoints; restarting the process recovers, truncating the
+//! torn tail.
 
 use crate::record::Record;
 use crate::snapshot::{self, SnapshotData};
@@ -24,7 +37,8 @@ use sqlengine::table::{Table, TableRef};
 use sqlengine::types::Value;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// When (if ever) WAL appends reach stable storage.
@@ -33,7 +47,10 @@ pub enum FsyncPolicy {
     /// fsync after every group commit — survives power loss.
     Always,
     /// fsync at most once per the given window — bounded data loss,
-    /// near-`Never` throughput.
+    /// near-`Never` throughput. The deadline is enforced even when the
+    /// engine goes idle: a background flusher thread syncs any
+    /// unsynced tail once the window expires, and a clean shutdown
+    /// (engine drop) syncs whatever remains.
     Interval(Duration),
     /// Never fsync — the OS page cache decides; survives process
     /// crashes (SIGKILL) but not power loss.
@@ -96,12 +113,10 @@ pub struct RecoveryStats {
     pub recover_nanos: u64,
 }
 
-/// Mutable engine state behind one lock: the log, the commit buffer,
-/// the shadow catalog, and cumulative counters.
+/// Mutable engine state behind one lock: the log, the shadow catalog,
+/// and cumulative counters.
 struct EngineInner {
     wal: Wal,
-    /// Mutations recorded since the last [`StorageEngine::commit`].
-    pending: Vec<CatalogMutation>,
     next_lsn: u64,
     last_checkpoint_lsn: u64,
     /// Shadow catalog: durable tables/views as of the last commit.
@@ -117,9 +132,19 @@ struct EngineInner {
     snapshots_written: u64,
     last_snapshot_bytes: u64,
     last_fsync: Instant,
+    /// Appended bytes not yet covered by an fsync.
+    dirty: bool,
+    /// Set on a WAL append/sync I/O failure. A partial append leaves
+    /// the file offset indeterminate, so every later write could be
+    /// unrecoverable; the engine refuses further commits until the
+    /// process restarts and recovery truncates the torn tail.
+    poisoned: Option<String>,
 }
 
 impl EngineInner {
+    /// Replay-side application (recovery): lenient, last-writer-wins.
+    /// The WAL is the authority here — commit-time validation already
+    /// kept conflicting records out of it.
     fn apply_to_shadow(&mut self, m: &CatalogMutation) {
         match m {
             CatalogMutation::CreateTable { name, table }
@@ -142,21 +167,140 @@ impl EngineInner {
             }
         }
     }
+
+    fn check_poisoned(&self) -> Result<()> {
+        match &self.poisoned {
+            Some(why) => Err(Error::eval(format!(
+                "storage: engine poisoned by an earlier WAL I/O failure \
+                 (restart to recover): {why}"
+            ))),
+            None => Ok(()),
+        }
+    }
+
+    /// Interval-policy deadline: sync the unsynced tail once the
+    /// window has expired. Called from the background flusher and from
+    /// empty commits, so the bounded-loss window holds even when the
+    /// last commits before an idle period never saw a follow-up.
+    fn sync_if_due(&mut self, policy: FsyncPolicy) -> Result<()> {
+        let FsyncPolicy::Interval(window) = policy else { return Ok(()) };
+        if !self.dirty || self.last_fsync.elapsed() < window {
+            return Ok(());
+        }
+        match self.wal.sync() {
+            Ok(()) => {
+                self.dirty = false;
+                self.fsyncs += 1;
+                self.last_fsync = Instant::now();
+                Ok(())
+            }
+            Err(e) => {
+                self.poisoned = Some(e.to_string());
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Commit-side application: validate `m` against the (scratch) durable
+/// catalog before it may reach the WAL. Conflicts with state another
+/// connection already committed surface as errors instead of silently
+/// merging rows into a table with a different schema.
+fn apply_checked(
+    tables: &mut HashMap<String, TableRef>,
+    views: &mut HashMap<String, String>,
+    m: &CatalogMutation,
+) -> Result<()> {
+    match m {
+        CatalogMutation::CreateTable { name, table } => {
+            if tables.contains_key(name) || views.contains_key(name) {
+                return Err(Error::catalog(format!(
+                    "relation '{name}' already exists in the durable catalog \
+                     (conflicting CREATE committed by another connection)"
+                )));
+            }
+            tables.insert(name.clone(), table.clone());
+        }
+        CatalogMutation::PutTable { name, table } => {
+            // Wholesale replacement: last-writer-wins by design.
+            tables.insert(name.clone(), table.clone());
+        }
+        CatalogMutation::DropTable { name } => {
+            tables.remove(name);
+        }
+        CatalogMutation::AppendRows { name, rows } => {
+            let t = tables.get_mut(name).ok_or_else(|| {
+                Error::catalog(format!(
+                    "cannot commit INSERT into '{name}' durably: the table no longer \
+                     exists in the durable catalog (dropped by another connection)"
+                ))
+            })?;
+            let want = t.schema.len();
+            for row in rows {
+                if row.len() != want {
+                    return Err(Error::catalog(format!(
+                        "cannot commit INSERT into '{name}' durably: row has {} values \
+                         but the durable table has {want} columns (schema diverged \
+                         across connections)",
+                        row.len()
+                    )));
+                }
+            }
+            Arc::make_mut(t).rows.extend(rows.iter().cloned());
+        }
+        CatalogMutation::CreateView { name, sql } => {
+            views.insert(name.clone(), sql.clone());
+        }
+        CatalogMutation::DropView { name } => {
+            views.remove(name);
+        }
+    }
+    Ok(())
 }
 
 /// The durable storage engine for one data directory.
 pub struct StorageEngine {
     dir: PathBuf,
     policy: FsyncPolicy,
-    inner: Mutex<EngineInner>,
+    inner: Arc<Mutex<EngineInner>>,
     recovery: RecoveryStats,
     recovery_trace: QueryTrace,
+    /// Interval-policy deadline flusher: stop flag + condvar, joined
+    /// on drop. `None` for `always`/`never` (nothing to flush late).
+    flusher: Option<(Arc<(Mutex<bool>, Condvar)>, JoinHandle<()>)>,
 }
 
 fn lock(inner: &Mutex<EngineInner>) -> MutexGuard<'_, EngineInner> {
     // A poisoning panic cannot leave the byte-level state torn worse
     // than a crash would, and recovery handles crashes; keep serving.
     inner.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Background deadline enforcement for [`FsyncPolicy::Interval`]: wake
+/// at least once per window and sync any unsynced tail whose deadline
+/// has passed, so commits before an idle period still reach disk
+/// within the documented bound.
+fn flusher_loop(
+    inner: Arc<Mutex<EngineInner>>,
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    window: Duration,
+) {
+    let sleep = window.max(Duration::from_millis(1));
+    let (flag, cvar) = &*stop;
+    let mut stopped = flag.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        let Ok((guard, _)) = cvar.wait_timeout(stopped, sleep) else { return };
+        stopped = guard;
+        if *stopped {
+            return;
+        }
+        let mut inner = lock(&inner);
+        if inner.poisoned.is_none() {
+            // An I/O failure here poisons the engine (inside
+            // sync_if_due); the next commit reports it.
+            let _ = inner.sync_if_due(FsyncPolicy::Interval(window));
+        }
+    }
 }
 
 impl StorageEngine {
@@ -201,7 +345,6 @@ impl StorageEngine {
         stats.torn_reason = scan.torn_reason.clone();
         let mut shadow = EngineInner {
             wal,
-            pending: Vec::new(),
             next_lsn: 1,
             last_checkpoint_lsn: snapshot_lsn,
             tables,
@@ -215,6 +358,8 @@ impl StorageEngine {
             snapshots_written: 0,
             last_snapshot_bytes: 0,
             last_fsync: Instant::now(),
+            dirty: false,
+            poisoned: None,
         };
         let mut max_lsn = snapshot_lsn;
         for Record { lsn, mutation } in &scan.records {
@@ -229,12 +374,26 @@ impl StorageEngine {
         shadow.next_lsn = max_lsn + 1;
         stats.recover_nanos = started.elapsed().as_nanos() as u64;
         let recovery_trace = trace.finish();
+        let inner = Arc::new(Mutex::new(shadow));
+        let flusher = if let FsyncPolicy::Interval(window) = policy {
+            let stop = Arc::new((Mutex::new(false), Condvar::new()));
+            let thread_inner = Arc::clone(&inner);
+            let thread_stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("sdb-wal-flusher".into())
+                .spawn(move || flusher_loop(thread_inner, thread_stop, window))
+                .ok()
+                .map(|handle| (stop, handle))
+        } else {
+            None
+        };
         Ok(StorageEngine {
             dir: dir.to_path_buf(),
             policy,
-            inner: Mutex::new(shadow),
+            inner,
             recovery: stats,
             recovery_trace,
+            flusher,
         })
     }
 
@@ -255,6 +414,14 @@ impl StorageEngine {
     /// The `recover` stage tree recorded while opening.
     pub fn recovery_trace(&self) -> &QueryTrace {
         &self.recovery_trace
+    }
+
+    /// True when `name` is a table or view in the durable (shadow)
+    /// catalog — possibly committed by another connection after this
+    /// one hydrated. The catalog consults this before `CREATE`.
+    pub fn relation_exists(&self, name: &str) -> bool {
+        let inner = lock(&self.inner);
+        inner.tables.contains_key(name) || inner.views.contains_key(name)
     }
 
     /// Populate a fresh session catalog from the shadow catalog
@@ -280,36 +447,62 @@ impl StorageEngine {
         Ok(())
     }
 
-    /// Group commit: flush every mutation recorded since the last call
-    /// as one contiguous WAL write, fsyncing per the policy. Returns
-    /// `(records written, nanos spent)` for the `wal.append` stage.
-    pub fn commit(&self) -> Result<(u64, u64)> {
+    /// Group commit: flush one statement's mutation batch as one
+    /// contiguous WAL write, fsyncing per the policy. The batch is
+    /// validated against the shadow catalog *before* anything reaches
+    /// the log — a cross-connection conflict (duplicate `CREATE
+    /// TABLE`, appends to a dropped table or against a diverged
+    /// schema) fails the commit and leaves both the WAL and the shadow
+    /// untouched. Returns `(records written, nanos spent)` for the
+    /// `wal.append` stage.
+    pub fn commit_batch(&self, batch: Vec<CatalogMutation>) -> Result<(u64, u64)> {
         let mut inner = lock(&self.inner);
-        if inner.pending.is_empty() {
+        inner.check_poisoned()?;
+        if batch.is_empty() {
+            // Even an effect-free statement enforces the interval
+            // deadline, so a trickle of reads still flushes the tail.
+            inner.sync_if_due(self.policy)?;
             return Ok((0, 0));
         }
         let started = Instant::now();
-        let pending = std::mem::take(&mut inner.pending);
-        let mut batch = Vec::with_capacity(pending.len());
-        for m in pending {
-            let lsn = inner.next_lsn;
-            inner.next_lsn += 1;
-            batch.push((lsn, m));
+        // Validate into a scratch copy (cheap `Arc` clones); the real
+        // shadow is swapped in only after the WAL write succeeds, so a
+        // rejected or failed batch changes nothing.
+        let mut tables = inner.tables.clone();
+        let mut views = inner.views.clone();
+        let mut lsn_batch = Vec::with_capacity(batch.len());
+        for m in batch {
+            apply_checked(&mut tables, &mut views, &m)?;
+            let lsn = inner.next_lsn + lsn_batch.len() as u64;
+            lsn_batch.push((lsn, m));
         }
         let fsync = match self.policy {
             FsyncPolicy::Always => true,
             FsyncPolicy::Never => false,
             FsyncPolicy::Interval(window) => inner.last_fsync.elapsed() >= window,
         };
-        let bytes = inner.wal.append(&batch, fsync)?;
+        let bytes = match inner.wal.append(&lsn_batch, fsync) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                // A partial append leaves the file offset torn; any
+                // further append could strand every record after it.
+                inner.poisoned = Some(e.to_string());
+                return Err(Error::eval(format!(
+                    "storage: WAL append failed; engine poisoned, restart to recover: {e}"
+                )));
+            }
+        };
+        inner.next_lsn += lsn_batch.len() as u64;
         if fsync {
             inner.fsyncs += 1;
             inner.last_fsync = Instant::now();
+            inner.dirty = false;
+        } else {
+            inner.dirty = true;
         }
-        for (_, m) in &batch {
-            inner.apply_to_shadow(m);
-        }
-        let n = batch.len() as u64;
+        inner.tables = tables;
+        inner.views = views;
+        let n = lsn_batch.len() as u64;
         let nanos = started.elapsed().as_nanos() as u64;
         inner.commits += 1;
         inner.appended_records += n;
@@ -318,14 +511,14 @@ impl StorageEngine {
         Ok((n, nanos))
     }
 
-    /// `CHECKPOINT`: commit anything pending, snapshot the shadow
-    /// catalog, rotate the log, prune superseded snapshots. `udfs` is
-    /// the checkpointing session's registered-UDF list (recorded in the
-    /// snapshot for recovery reporting).
+    /// `CHECKPOINT`: snapshot the shadow catalog, rotate the log,
+    /// prune superseded snapshots. The calling [`SessionHook`] flushes
+    /// its pending batch first so the snapshot's LSN covers it. `udfs`
+    /// is the checkpointing session's registered-UDF list (recorded in
+    /// the snapshot for recovery reporting).
     pub fn do_checkpoint(&self, udfs: &[String], trace: Option<&Trace>) -> Result<Table> {
-        // Flush the commit buffer so the snapshot's LSN covers it.
-        self.commit()?;
         let mut inner = lock(&self.inner);
+        inner.check_poisoned()?;
         let started = Instant::now();
         let last_lsn = inner.next_lsn - 1;
         let mut tables: Vec<(String, TableRef)> =
@@ -350,6 +543,7 @@ impl StorageEngine {
         } else {
             inner.wal.rotate()?;
         }
+        inner.dirty = false;
         snapshot::prune_snapshots(&self.dir, last_lsn);
         inner.last_checkpoint_lsn = last_lsn;
         inner.checkpoints += 1;
@@ -369,8 +563,13 @@ impl StorageEngine {
         ))
     }
 
+    #[cfg(test)]
+    fn poison_for_test(&self, why: &str) {
+        lock(&self.inner).poisoned = Some(why.to_string());
+    }
+
     /// Column names of the `sdb_storage` relation.
-    pub const STATUS_COLUMNS: [&'static str; 17] = [
+    pub const STATUS_COLUMNS: [&'static str; 18] = [
         "data_dir",
         "fsync_policy",
         "wal_bytes",
@@ -388,6 +587,7 @@ impl StorageEngine {
         "recovered_truncated_bytes",
         "recovered_torn_reason",
         "recover_ms",
+        "poisoned",
     ];
 
     /// The `sdb_storage` relation with no rows — the shape served when
@@ -423,6 +623,10 @@ impl StorageEngine {
                     None => Value::Null,
                 },
                 Value::Float(r.recover_nanos as f64 / 1_000_000.0),
+                match &inner.poisoned {
+                    Some(why) => Value::text(why),
+                    None => Value::Null,
+                },
             ]],
         )
     }
@@ -435,13 +639,69 @@ impl StorageEngine {
     }
 }
 
-impl DurabilityHook for StorageEngine {
+impl Drop for StorageEngine {
+    fn drop(&mut self) {
+        if let Some((stop, handle)) = self.flusher.take() {
+            let (flag, cvar) = &*stop;
+            *flag.lock().unwrap_or_else(|e| e.into_inner()) = true;
+            cvar.notify_all();
+            let _ = handle.join();
+        }
+        // Clean shutdown under the interval policy: sync the unsynced
+        // tail so a stopped server never depends on OS writeback.
+        // (`never` means never — shutdown honors it too.)
+        if matches!(self.policy, FsyncPolicy::Interval(_)) {
+            let mut inner = lock(&self.inner);
+            if inner.poisoned.is_none() && inner.dirty && inner.wal.sync().is_ok() {
+                inner.dirty = false;
+                inner.fsyncs += 1;
+            }
+        }
+    }
+}
+
+/// One session's durability hook: a private buffer of the mutations
+/// the current statement committed, flushed through the shared
+/// [`StorageEngine`] once per statement. Buffering per session (not in
+/// the engine) keeps concurrent connections from flushing each other's
+/// mid-statement mutations — a group commit covers exactly one
+/// statement's records, so a crash right after can never persist a
+/// partial statement from a concurrent session.
+pub struct SessionHook {
+    engine: Arc<StorageEngine>,
+    pending: Mutex<Vec<CatalogMutation>>,
+}
+
+impl SessionHook {
+    pub fn new(engine: Arc<StorageEngine>) -> SessionHook {
+        SessionHook { engine, pending: Mutex::new(Vec::new()) }
+    }
+
+    /// The shared engine this hook commits through.
+    pub fn engine(&self) -> &Arc<StorageEngine> {
+        &self.engine
+    }
+
+    /// Flush this session's pending batch as one group commit.
+    pub fn commit(&self) -> Result<(u64, u64)> {
+        let batch = std::mem::take(&mut *self.pending.lock().unwrap_or_else(|e| e.into_inner()));
+        self.engine.commit_batch(batch)
+    }
+}
+
+impl DurabilityHook for SessionHook {
     fn record(&self, mutation: CatalogMutation) {
-        lock(&self.inner).pending.push(mutation);
+        self.pending.lock().unwrap_or_else(|e| e.into_inner()).push(mutation);
     }
 
     fn checkpoint(&self, db: &Database, trace: Option<&Trace>) -> Result<Table> {
-        self.do_checkpoint(&db.udf_names(), trace)
+        // Flush this session's buffer so the snapshot's LSN covers it.
+        self.commit()?;
+        self.engine.do_checkpoint(&db.udf_names(), trace)
+    }
+
+    fn durable_relation_exists(&self, name: &str) -> bool {
+        self.engine.relation_exists(name)
     }
 }
 
@@ -458,11 +718,12 @@ mod tests {
         dir
     }
 
-    fn attached_db(engine: &Arc<StorageEngine>) -> Database {
+    fn attached_db(engine: &Arc<StorageEngine>) -> (Database, Arc<SessionHook>) {
         let mut db = Database::new();
         engine.hydrate(&mut db).unwrap();
-        db.set_durability_hook(engine.clone());
-        db
+        let hook = Arc::new(SessionHook::new(engine.clone()));
+        db.set_durability_hook(hook.clone());
+        (db, hook)
     }
 
     #[test]
@@ -470,15 +731,15 @@ mod tests {
         let dir = tmpdir("reopen");
         {
             let engine = Arc::new(StorageEngine::open(&dir, FsyncPolicy::Always).unwrap());
-            let mut db = attached_db(&engine);
+            let (mut db, hook) = attached_db(&engine);
             execute_sql(&mut db, "CREATE TABLE t (a INT, b TEXT)").unwrap();
             execute_sql(&mut db, "INSERT INTO t VALUES (1, 'x'), (2, 'y')").unwrap();
             execute_sql(&mut db, "CREATE VIEW v AS SELECT a FROM t WHERE b = 'y'").unwrap();
-            engine.commit().unwrap();
+            hook.commit().unwrap();
         }
         let engine = Arc::new(StorageEngine::open(&dir, FsyncPolicy::Always).unwrap());
         assert_eq!(engine.recovery_stats().replayed_records, 3);
-        let mut db = attached_db(&engine);
+        let (mut db, _hook) = attached_db(&engine);
         let t = execute_sql(&mut db, "SELECT * FROM v").unwrap().into_table().unwrap();
         assert_eq!(t.num_rows(), 1);
         let t = execute_sql(&mut db, "SELECT count(*) FROM t").unwrap().into_table().unwrap();
@@ -491,21 +752,21 @@ mod tests {
         let dir = tmpdir("ckpt");
         {
             let engine = Arc::new(StorageEngine::open(&dir, FsyncPolicy::Always).unwrap());
-            let mut db = attached_db(&engine);
+            let (mut db, hook) = attached_db(&engine);
             execute_sql(&mut db, "CREATE TABLE t (a INT)").unwrap();
             execute_sql(&mut db, "INSERT INTO t VALUES (1), (2), (3)").unwrap();
-            engine.commit().unwrap();
+            hook.commit().unwrap();
             let status = execute_sql(&mut db, "CHECKPOINT").unwrap().into_table().unwrap();
             assert_eq!(status.num_rows(), 1);
             // Post-checkpoint writes land in the fresh log.
             execute_sql(&mut db, "INSERT INTO t VALUES (4)").unwrap();
-            engine.commit().unwrap();
+            hook.commit().unwrap();
         }
         let engine = Arc::new(StorageEngine::open(&dir, FsyncPolicy::Always).unwrap());
         let r = engine.recovery_stats();
         assert!(r.snapshot_lsn > 0, "snapshot should seed recovery");
         assert_eq!(r.replayed_records, 1, "only the post-checkpoint insert replays");
-        let mut db = attached_db(&engine);
+        let (mut db, _hook) = attached_db(&engine);
         let t = execute_sql(&mut db, "SELECT count(*) FROM t").unwrap().into_table().unwrap();
         assert_eq!(t.rows[0][0], Value::Int(4));
         let _ = std::fs::remove_dir_all(&dir);
@@ -516,7 +777,7 @@ mod tests {
         let dir = tmpdir("dml");
         {
             let engine = Arc::new(StorageEngine::open(&dir, FsyncPolicy::Never).unwrap());
-            let mut db = attached_db(&engine);
+            let (mut db, hook) = attached_db(&engine);
             for sql in [
                 "CREATE TABLE t (a INT, b TEXT)",
                 "INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')",
@@ -526,11 +787,11 @@ mod tests {
                 "DROP TABLE gone",
             ] {
                 execute_sql(&mut db, sql).unwrap();
-                engine.commit().unwrap();
+                hook.commit().unwrap();
             }
         }
         let engine = Arc::new(StorageEngine::open(&dir, FsyncPolicy::Never).unwrap());
-        let mut db = attached_db(&engine);
+        let (mut db, _hook) = attached_db(&engine);
         let t =
             execute_sql(&mut db, "SELECT a, b FROM t ORDER BY a").unwrap().into_table().unwrap();
         assert_eq!(
@@ -557,9 +818,9 @@ mod tests {
     fn status_table_reports_counters() {
         let dir = tmpdir("status");
         let engine = Arc::new(StorageEngine::open(&dir, FsyncPolicy::Always).unwrap());
-        let mut db = attached_db(&engine);
+        let (mut db, hook) = attached_db(&engine);
         execute_sql(&mut db, "CREATE TABLE t (a INT)").unwrap();
-        engine.commit().unwrap();
+        hook.commit().unwrap();
         let s = engine.status_table();
         assert_eq!(s.num_rows(), 1);
         let col = |name: &str| {
@@ -570,6 +831,137 @@ mod tests {
         assert_eq!(col("fsyncs"), Value::Int(1));
         assert_eq!(col("wal_records"), Value::Int(1));
         assert_eq!(col("fsync_policy"), Value::text("always"));
+        assert_eq!(col("poisoned"), Value::Null);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Two connections with private catalogs share one durable truth:
+    /// a second CREATE TABLE of the same name is rejected at statement
+    /// level (stale hydration) and at commit level (race), so the
+    /// shadow catalog can never mix two sessions' schemas.
+    #[test]
+    fn cross_session_create_table_conflict_is_rejected() {
+        let dir = tmpdir("conflict");
+        let engine = Arc::new(StorageEngine::open(&dir, FsyncPolicy::Never).unwrap());
+        // Both sessions hydrate an empty catalog.
+        let (mut db1, hook1) = attached_db(&engine);
+        let (mut db2, hook2) = attached_db(&engine);
+
+        execute_sql(&mut db1, "CREATE TABLE t (a INT)").unwrap();
+        hook1.commit().unwrap();
+
+        // Statement-level: session 2's private catalog has no `t`, but
+        // the durable pre-check sees session 1's committed one.
+        let err = execute_sql(&mut db2, "CREATE TABLE t (b TEXT, c INT)").unwrap_err();
+        assert!(err.to_string().contains("durable catalog"), "unexpected error: {err}");
+        // IF NOT EXISTS downgrades the durable conflict to a no-op too.
+        execute_sql(&mut db2, "CREATE TABLE IF NOT EXISTS t (b TEXT, c INT)").unwrap();
+        assert_eq!(hook2.commit().unwrap().0, 0, "nothing to commit after rejected CREATE");
+
+        // Commit-level (the race window): a CreateTable that slipped
+        // past the pre-check still cannot reach the WAL.
+        hook2.record(CatalogMutation::CreateTable {
+            name: "t".into(),
+            table: Arc::new(Table::from_rows(&["b", "c"], Vec::new())),
+        });
+        let err = hook2.commit().unwrap_err();
+        assert!(err.to_string().contains("another connection"), "unexpected error: {err}");
+
+        // The durable schema is still session 1's, for new sessions
+        // and across a restart.
+        drop((db1, db2, hook1, hook2));
+        drop(engine);
+        let engine = Arc::new(StorageEngine::open(&dir, FsyncPolicy::Never).unwrap());
+        let (mut db3, _hook3) = attached_db(&engine);
+        let t = execute_sql(&mut db3, "SELECT * FROM t").unwrap().into_table().unwrap();
+        assert_eq!(t.schema.len(), 1, "durable schema must be the first CREATE's");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// An INSERT whose target was dropped (or reshaped) by another
+    /// connection errors at commit instead of corrupting the shadow.
+    #[test]
+    fn append_after_cross_session_drop_is_rejected() {
+        let dir = tmpdir("appendconflict");
+        let engine = Arc::new(StorageEngine::open(&dir, FsyncPolicy::Never).unwrap());
+        let (mut db1, hook1) = attached_db(&engine);
+        execute_sql(&mut db1, "CREATE TABLE t (a INT)").unwrap();
+        hook1.commit().unwrap();
+
+        // Session 2 hydrates with `t` present...
+        let (mut db2, hook2) = attached_db(&engine);
+        // ...then session 1 drops it durably.
+        execute_sql(&mut db1, "DROP TABLE t").unwrap();
+        hook1.commit().unwrap();
+
+        // Session 2's private catalog still has `t`; the insert
+        // succeeds in memory but must not commit durably.
+        execute_sql(&mut db2, "INSERT INTO t VALUES (7)").unwrap();
+        let err = hook2.commit().unwrap_err();
+        assert!(err.to_string().contains("dropped by another connection"), "got: {err}");
+
+        // Arity divergence is likewise rejected: a raw AppendRows with
+        // the wrong width against a live durable table.
+        execute_sql(&mut db1, "CREATE TABLE u (a INT, b INT)").unwrap();
+        hook1.commit().unwrap();
+        hook2.record(CatalogMutation::AppendRows {
+            name: "u".into(),
+            rows: vec![vec![Value::Int(1)]],
+        });
+        let err = hook2.commit().unwrap_err();
+        assert!(err.to_string().contains("columns"), "got: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The interval policy's bounded-loss window is enforced even when
+    /// no further commits arrive: the background flusher syncs the
+    /// tail once the window expires.
+    #[test]
+    fn interval_deadline_fsyncs_idle_tail() {
+        let dir = tmpdir("interval");
+        let engine = Arc::new(
+            StorageEngine::open(&dir, FsyncPolicy::Interval(Duration::from_millis(25))).unwrap(),
+        );
+        let (mut db, hook) = attached_db(&engine);
+        execute_sql(&mut db, "CREATE TABLE t (a INT)").unwrap();
+        hook.commit().unwrap();
+        // No more commits: the flusher must sync within the window
+        // (generous deadline to absorb scheduler noise).
+        let fsyncs = |engine: &StorageEngine| {
+            let s = engine.status_table();
+            let i = s.schema.index_of("fsyncs").unwrap();
+            match s.rows[0][i] {
+                Value::Int(n) => n,
+                _ => panic!("fsyncs not an int"),
+            }
+        };
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while fsyncs(&engine) == 0 {
+            assert!(Instant::now() < deadline, "flusher never synced the idle tail");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// After a WAL I/O failure the engine refuses further commits and
+    /// checkpoints instead of durably persisting a log with a hole.
+    #[test]
+    fn poisoned_engine_refuses_commits_and_checkpoints() {
+        let dir = tmpdir("poison");
+        let engine = Arc::new(StorageEngine::open(&dir, FsyncPolicy::Always).unwrap());
+        let (mut db, hook) = attached_db(&engine);
+        execute_sql(&mut db, "CREATE TABLE t (a INT)").unwrap();
+        hook.commit().unwrap();
+        engine.poison_for_test("simulated append failure");
+
+        execute_sql(&mut db, "INSERT INTO t VALUES (1)").unwrap();
+        let err = hook.commit().unwrap_err();
+        assert!(err.to_string().contains("poisoned"), "got: {err}");
+        let err = engine.do_checkpoint(&[], None).unwrap_err();
+        assert!(err.to_string().contains("poisoned"), "got: {err}");
+        let s = engine.status_table();
+        let i = s.schema.index_of("poisoned").unwrap();
+        assert_eq!(s.rows[0][i], Value::text("simulated append failure"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -18,11 +18,15 @@
 //!   mid-write) is detected by checksum/length validation and
 //!   physically truncated, leaving a prefix-consistent catalog.
 //!
-//! [`StorageEngine`] implements the catalog's `DurabilityHook`: the
-//! engine buffers each statement's committed mutations and flushes
-//! them as one group-commit write, fsyncing per [`FsyncPolicy`].
-//! Everything is `std`-only (the repo vendors no I/O crates); CRC-32
-//! is implemented in [`crc`].
+//! Each durable session attaches a [`SessionHook`] (the catalog's
+//! `DurabilityHook`) over the shared [`StorageEngine`]: the hook
+//! buffers the statement's committed mutations per session and
+//! flushes them as one group-commit write, fsyncing per
+//! [`FsyncPolicy`]. Commits are validated against the engine's shadow
+//! catalog, so conflicting schema changes from concurrent connections
+//! error instead of corrupting the durable state. Everything is
+//! `std`-only (the repo vendors no I/O crates); CRC-32 is implemented
+//! in [`crc`].
 
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
@@ -33,7 +37,7 @@ pub mod record;
 pub mod snapshot;
 pub mod wal;
 
-pub use engine::{FsyncPolicy, RecoveryStats, StorageEngine};
+pub use engine::{FsyncPolicy, RecoveryStats, SessionHook, StorageEngine};
 pub use record::Record;
 pub use snapshot::SnapshotData;
 pub use wal::{Wal, WalScan};

@@ -155,6 +155,37 @@ fn checkpoint_then_tail_replay_recovers_everything() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// Two connections share one durable truth even though each keeps a
+/// private catalog: a CREATE TABLE whose name another connection
+/// already committed is rejected (not silently merged into the shadow
+/// catalog), and recovery sees exactly the first writer's schema.
+#[test]
+fn cross_connection_create_table_conflict_is_rejected() {
+    let dir = tmp_dir("conflict");
+    {
+        let engine = Arc::new(StorageEngine::open(&dir, FsyncPolicy::Never).unwrap());
+        // Both sessions hydrate before either writes.
+        let mut s1 = Session::new();
+        s1.attach_storage(engine.clone()).unwrap();
+        let mut s2 = Session::new();
+        s2.attach_storage(engine.clone()).unwrap();
+
+        s1.execute("CREATE TABLE t (a int8)").unwrap();
+        s1.execute("INSERT INTO t VALUES (1)").unwrap();
+
+        let err = s2.execute("CREATE TABLE t (b float8, c float8)").unwrap_err();
+        assert!(err.to_string().contains("durable catalog"), "got: {err}");
+        // IF NOT EXISTS downgrades the cross-connection conflict to a
+        // no-op, like it does for a private-catalog conflict.
+        s2.execute("CREATE TABLE IF NOT EXISTS t (b float8, c float8)").unwrap();
+    }
+    let mut s = Session::new();
+    let engine = StorageEngine::open(&dir, FsyncPolicy::Never).unwrap();
+    s.attach_storage(Arc::new(engine)).unwrap();
+    assert_eq!(s.query("SELECT a FROM t").unwrap().rows, vec![vec![Value::Int(1)]]);
+    let _ = fs::remove_dir_all(&dir);
+}
+
 struct DurableServer {
     addr: SocketAddr,
     shutdown: ShutdownHandle,
