@@ -15,15 +15,25 @@
 //! - execution errors in the scripts themselves are tolerated and
 //!   reported (some solves only compile mid-pipeline).
 //!
+//! Every script is additionally run through the whole-script dataflow
+//! analyzer (`sqlengine::script`, SD013–SD018) against the session's
+//! catalog at that point; error-severity findings fail the sweep.
+//!
 //! With `--persistent`, every sweep session runs durably (a throwaway
 //! data directory per session, fsync `never`), so the whole script
 //! corpus additionally exercises the WAL commit path.
+//!
+//! Positional arguments are script paths: `analyze a.sql b.sql` lints,
+//! analyzes and executes just those files, in order, on one fresh
+//! session — the same contract, scoped to the given scripts.
 
 use bench::setup::{feature_session, uc1_session, uc2_session};
 use bench::{figures, uc1, uc2};
 use solvedbplus_core::Session;
 use sqlengine::ast::{ExplainMode, Query, SetExpr, SolveStmt, Statement, TableRef};
+use sqlengine::diag::Severity;
 use sqlengine::parser;
+use sqlengine::script::{analyze_script, CatalogSnapshot};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -98,6 +108,7 @@ struct Sweep {
     explains: usize,
     selects: usize,
     planned: usize,
+    script_findings: usize,
     tolerated: Vec<String>,
     failures: Vec<String>,
 }
@@ -163,6 +174,29 @@ impl Sweep {
         }
     }
 
+    /// Whole-script dataflow lint (SD013–SD018) against the session's
+    /// current catalog. Error-severity findings fail the sweep — the
+    /// shipped scripts are expected to lint clean; warnings are printed
+    /// as tolerated lines, notes (dead-table etc.) stay silent.
+    fn scriptcheck(&mut self, s: &Session, name: &str, stmts: &[Statement]) {
+        let snapshot = CatalogSnapshot::from_db(s.db());
+        let analysis = analyze_script(stmts, &snapshot);
+        self.script_findings += analysis.diagnostics.len();
+        for f in &analysis.diagnostics {
+            let line = format!(
+                "{name}: statement {}: scriptcheck {}: {}",
+                f.stmt + 1,
+                f.diag.code,
+                f.diag.message
+            );
+            match f.diag.severity {
+                Severity::Error => self.failures.push(line),
+                Severity::Warning => self.tolerated.push(line),
+                Severity::Note => {}
+            }
+        }
+    }
+
     /// Analyze then execute every statement of a script in order.
     fn script(&mut self, s: &mut Session, name: &str, sql: &str) {
         self.scripts += 1;
@@ -173,6 +207,7 @@ impl Sweep {
                 return;
             }
         };
+        self.scriptcheck(s, name, &stmts);
         for (i, stmt) in stmts.iter().enumerate() {
             for solve in solves_in_statement(stmt) {
                 self.solves += 1;
@@ -220,9 +255,36 @@ impl Drop for Persist {
 }
 
 fn main() {
-    let persistent = std::env::args().any(|a| a == "--persistent");
+    let mut persistent = false;
+    let mut paths: Vec<String> = Vec::new();
+    for a in std::env::args().skip(1) {
+        if a == "--persistent" {
+            persistent = true;
+        } else {
+            paths.push(a);
+        }
+    }
     let mut persist = Persist { on: persistent, dirs: Vec::new() };
     let mut sweep = Sweep::default();
+
+    // Explicit script paths: lint + analyze + execute just those, in
+    // order, on one fresh session (so a multi-file pipeline sees the
+    // tables earlier files create). With no paths, the full built-in
+    // sweep over the checked-in benchmark corpus runs instead.
+    if !paths.is_empty() {
+        let mut s = Session::new();
+        persist.attach(&mut s, "explicit");
+        for path in &paths {
+            match std::fs::read_to_string(path) {
+                Ok(sql) => sweep.script(&mut s, path, &sql),
+                Err(e) => sweep.failures.push(format!("{path}: cannot read: {e}")),
+            }
+        }
+        let code = verdict(&sweep, persistent);
+        drop(persist);
+        std::process::exit(code);
+    }
+
     // Annealing iteration counts are scaled down exactly like the quick
     // benches scale them — the analyzers don't depend on fit quality.
     let quick = |sql: &str| sql.replace("iterations := 400", "iterations := 40");
@@ -329,14 +391,22 @@ fn main() {
     );
     sweep.script(&mut s, "examples/sudoku.rs", &sudoku_setup);
 
+    let code = verdict(&sweep, persistent);
+    drop(persist);
+    std::process::exit(code);
+}
+
+/// Print the sweep summary and return the process exit code.
+fn verdict(sweep: &Sweep, persistent: bool) -> i32 {
     println!(
         "analyze: {} script(s), {} solve statement(s), {} EXPLAIN run(s), \
-         {} EXPLAIN SELECT run(s) ({} planned){}",
+         {} EXPLAIN SELECT run(s) ({} planned), {} scriptcheck finding(s){}",
         sweep.scripts,
         sweep.solves,
         sweep.explains,
         sweep.selects,
         sweep.planned,
+        sweep.script_findings,
         if persistent { " [persistent mode: sessions WAL-committed]" } else { "" }
     );
     for t in &sweep.tolerated {
@@ -344,11 +414,12 @@ fn main() {
     }
     if sweep.failures.is_empty() {
         println!("analyze: clean — no analyzer panics, no error-severity findings");
+        0
     } else {
         for f in &sweep.failures {
             eprintln!("  FAILURE: {f}");
         }
         eprintln!("analyze: {} failure(s)", sweep.failures.len());
-        std::process::exit(1);
+        1
     }
 }

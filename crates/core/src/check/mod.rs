@@ -21,6 +21,10 @@
 //! | SD010 | warning/note | forcing / redundant constraint                 |
 //! | SD011 | note     | empty or singleton constraint row                  |
 //! | SD012 | warning  | pathological constraint coefficient range          |
+//! | SD019 | note     | decomposable model: K independent blocks           |
+//!
+//! (SD013–SD018 are the *cross-statement* diagnostics of the whole-script
+//! analyzer, `sqlengine::script` — see that module.)
 //!
 //! The analysis reuses the symbolic compilation machinery of §4.1: rules
 //! are evaluated over a symbolically materialized environment, and the
@@ -33,6 +37,7 @@
 
 pub mod presolve;
 pub mod rules;
+pub mod structure;
 
 use crate::problem::{
     collect_constraints, materialize_env, rule_label, CellPatch, ProblemInstance,
@@ -210,6 +215,7 @@ pub fn check_problem(db: &Database, ctes: &Ctes, prob: &ProblemInstance) -> Vec<
     rules::sd001_unbounded_in_objective(&model, &mut diags);
     rules::sd003_unreferenced_columns(&model, &mut diags);
     presolve::diag::presolve_rules(&model, &mut diags);
+    structure::sd019_decomposable(&model, &mut diags);
 
     diags.sort_by(|a, b| b.severity.cmp(&a.severity).then_with(|| a.code.cmp(&b.code)));
     diags

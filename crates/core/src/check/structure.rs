@@ -1,0 +1,225 @@
+//! SD019 — block-diagonal model structure detection.
+//!
+//! Two decision variables are *coupled* when some constraint row
+//! references both; the transitive closure of coupling partitions the
+//! variables (and the rows) into independent blocks. A model with K ≥ 2
+//! blocks is block-diagonal: each block is a self-contained subproblem
+//! that can be solved in isolation, and (for a separable objective,
+//! which every linear objective is) the solutions concatenate into the
+//! global optimum. This is exactly the decomposition a partitioned
+//! parallel solver consumes (ROADMAP item 1), surfaced today as the
+//! informational diagnostic SD019.
+//!
+//! The detection is a union-find over the coefficient matrix: for each
+//! constraint atom, union all variables it references; blocks are the
+//! resulting components among *constrained* variables (variables no
+//! rule references are SD003's business, not a "block").
+
+use super::{Atom, CheckedModel};
+use crate::problem::{collect_constraints, materialize_env, CellPatch, ProblemInstance};
+use crate::symbolic::VarId;
+use sqlengine::catalog::{Ctes, Database};
+use sqlengine::diag::Diagnostic;
+use std::collections::HashMap;
+
+/// One independent block of the constraint structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// The decision variables of the block, ascending.
+    pub vars: Vec<VarId>,
+    /// Number of constraint rows that reference only this block.
+    pub rows: usize,
+}
+
+/// Partition the constraint atoms into variable-disjoint blocks.
+/// Deterministic: blocks are ordered by their smallest variable id.
+pub fn blocks(atoms: &[Atom]) -> Vec<Block> {
+    let mut uf = UnionFind::default();
+    for atom in atoms {
+        let mut vars = atom.diff.vars();
+        if let Some(first) = vars.next() {
+            uf.ensure(first);
+            for v in vars {
+                uf.union(first, v);
+            }
+        }
+    }
+    // Group variables by root.
+    let var_ids: Vec<VarId> = uf.ids();
+    let mut by_root: HashMap<VarId, Block> = HashMap::new();
+    for v in var_ids {
+        let root = uf.find(v);
+        by_root.entry(root).or_insert_with(|| Block { vars: vec![], rows: 0 }).vars.push(v);
+    }
+    for atom in atoms {
+        if let Some(v) = atom.diff.vars().next() {
+            let root = uf.find(v);
+            if let Some(block) = by_root.get_mut(&root) {
+                block.rows += 1;
+            }
+        }
+    }
+    let mut out: Vec<Block> = by_root.into_values().collect();
+    for b in &mut out {
+        b.vars.sort_unstable();
+    }
+    out.sort_by_key(|b| b.vars.first().copied().unwrap_or(VarId::MAX));
+    out
+}
+
+/// SD019: informational finding when the model splits into independent
+/// blocks. Requires a complete symbolic picture (otherwise an
+/// unevaluated rule might couple the blocks) and at least one genuine
+/// multi-variable constraint (a model of pure per-variable bounds would
+/// otherwise report every variable as its own "block").
+pub fn sd019_decomposable(model: &CheckedModel, diags: &mut Vec<Diagnostic>) {
+    if !model.complete {
+        return;
+    }
+    let has_coupling = model.atoms.iter().any(|a| {
+        let mut vars = a.diff.vars();
+        let first = vars.next();
+        vars.any(|v| Some(v) != first)
+    });
+    if !has_coupling {
+        return;
+    }
+    let blocks = blocks(&model.atoms);
+    if blocks.len() < 2 {
+        return;
+    }
+    const SHOWN: usize = 8;
+    let mut lines: Vec<String> = blocks
+        .iter()
+        .take(SHOWN)
+        .enumerate()
+        .map(|(i, b)| {
+            format!("block {}: {} variable(s), {} constraint row(s)", i + 1, b.vars.len(), b.rows)
+        })
+        .collect();
+    if blocks.len() > SHOWN {
+        lines.push(format!("... and {} more block(s)", blocks.len() - SHOWN));
+    }
+    lines.push(
+        "the blocks share no decision variables; each can be solved as an \
+         independent subproblem"
+            .to_string(),
+    );
+    diags.push(
+        Diagnostic::note(
+            "SD019",
+            format!("decomposable model: {} independent blocks", blocks.len()),
+        )
+        .with_detail(lines.join("\n")),
+    );
+}
+
+/// Compute the block structure of a compiled problem instance from
+/// scratch (the entry point for tests and the future partitioned
+/// solver). Returns an empty vector when the model cannot be evaluated
+/// symbolically — callers must treat that as "no decomposition known".
+pub fn problem_blocks(db: &Database, ctes: &Ctes, prob: &ProblemInstance) -> Vec<Block> {
+    let Ok(env) = materialize_env(db, ctes, prob, &CellPatch::Symbolic) else {
+        return Vec::new();
+    };
+    let mut atoms = Vec::new();
+    for rule in &prob.subjectto {
+        let mut collected = Vec::new();
+        if collect_constraints(db, &env, std::slice::from_ref(rule), &mut collected).is_err() {
+            return Vec::new(); // incomplete picture: no sound decomposition
+        }
+        for c in &collected {
+            for (l, rel, r) in c.atoms() {
+                atoms.push(Atom { diff: l.sub(r), rel, rule: String::new() });
+            }
+        }
+    }
+    blocks(&atoms)
+}
+
+/// Minimal path-halving union-find over sparse `VarId`s.
+#[derive(Default)]
+struct UnionFind {
+    parent: HashMap<VarId, VarId>,
+}
+
+impl UnionFind {
+    fn ensure(&mut self, v: VarId) {
+        self.parent.entry(v).or_insert(v);
+    }
+
+    fn find(&mut self, v: VarId) -> VarId {
+        self.ensure(v);
+        let mut x = v;
+        loop {
+            let p = self.parent[&x];
+            if p == x {
+                break;
+            }
+            let gp = self.parent[&p];
+            self.parent.insert(x, gp);
+            x = gp;
+        }
+        x
+    }
+
+    fn union(&mut self, a: VarId, b: VarId) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+
+    fn ids(&self) -> Vec<VarId> {
+        let mut v: Vec<VarId> = self.parent.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbolic::{LinExpr, Rel};
+
+    fn atom(vars: &[(VarId, f64)]) -> Atom {
+        Atom {
+            diff: LinExpr { constant: 0.0, terms: vars.to_vec() },
+            rel: Rel::Le,
+            rule: String::new(),
+        }
+    }
+
+    #[test]
+    fn disjoint_rows_make_two_blocks() {
+        let atoms =
+            vec![atom(&[(0, 1.0), (1, 1.0)]), atom(&[(2, 1.0), (3, 1.0)]), atom(&[(1, 2.0)])];
+        let b = blocks(&atoms);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0].vars, vec![0, 1]);
+        assert_eq!(b[0].rows, 2);
+        assert_eq!(b[1].vars, vec![2, 3]);
+        assert_eq!(b[1].rows, 1);
+    }
+
+    #[test]
+    fn coupling_row_merges_blocks() {
+        let atoms = vec![
+            atom(&[(0, 1.0), (1, 1.0)]),
+            atom(&[(2, 1.0), (3, 1.0)]),
+            atom(&[(1, 1.0), (2, 1.0)]), // couples the two
+        ];
+        let b = blocks(&atoms);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].vars, vec![0, 1, 2, 3]);
+        assert_eq!(b[0].rows, 3);
+    }
+
+    #[test]
+    fn constant_atoms_are_ignored() {
+        let atoms = vec![atom(&[]), atom(&[(5, 1.0)])];
+        let b = blocks(&atoms);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].rows, 1);
+    }
+}

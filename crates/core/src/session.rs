@@ -266,6 +266,14 @@ impl Session {
         crate::check::check_sql(&self.db, sql)
     }
 
+    /// Run the whole-script static analyzer (`scriptcheck`, SD013–SD018)
+    /// over a multi-statement script against this session's catalog —
+    /// the programmatic face of `EXPLAIN SCRIPT`. Nothing is executed.
+    pub fn check_script(&self, sql: &str) -> Result<sqlengine::script::ScriptAnalysis> {
+        let snapshot = sqlengine::script::CatalogSnapshot::from_db(&self.db);
+        sqlengine::script::analyze_sql(sql, &snapshot)
+    }
+
     /// Execute and expect a result set.
     pub fn query(&mut self, sql: &str) -> Result<Table> {
         self.execute(sql)?.into_table()

@@ -355,11 +355,27 @@ fn run_batch<W: io::Write>(
     sql: &str,
     config: &ServerConfig,
 ) -> io::Result<()> {
-    for piece in split_statements(sql) {
+    let pieces = split_statements(sql);
+    // Whole-script pre-flight: multi-statement batches run through the
+    // dataflow analyzer (`sqlengine::script`, SD013–SD018) against the
+    // session catalog, and each finding rides the WARNING frame of the
+    // statement it annotates. Error-level findings are demoted to
+    // warnings on the wire — the analyzer is advisory here; execution
+    // reports the authoritative error when the statement actually runs.
+    let mut script_warnings = match pieces.len() > 1 {
+        true => session
+            .check_script(sql)
+            .ok()
+            .filter(|a| a.statements.len() == pieces.len())
+            .map(|a| a.by_statement(sqlengine::diag::Severity::Warning))
+            .unwrap_or_default(),
+        false => Default::default(),
+    };
+    for (idx, piece) in pieces.iter().enumerate() {
         session.counters().add_query();
         // `Session::execute` parses the piece itself so the measured
         // parse time lands in the trace's `parse` stage.
-        let (outcome, elapsed) = obs::timed(|| session.execute(&piece));
+        let (outcome, elapsed) = obs::timed(|| session.execute(piece));
         if let Some(threshold) = config.slow_query_ms {
             let ms = elapsed.as_millis() as u64;
             if ms >= threshold {
@@ -377,8 +393,18 @@ fn run_batch<W: io::Write>(
         }
         match outcome {
             Ok(r) => {
-                if !r.warnings.is_empty() {
-                    write_frame(stream, &Frame::Warning(r.warnings))?;
+                let mut warnings: Vec<_> = script_warnings
+                    .remove(&idx)
+                    .unwrap_or_default()
+                    .into_iter()
+                    .map(|mut d| {
+                        d.severity = d.severity.min(sqlengine::diag::Severity::Warning);
+                        d
+                    })
+                    .collect();
+                warnings.extend(r.warnings);
+                if !warnings.is_empty() {
+                    write_frame(stream, &Frame::Warning(warnings))?;
                 }
                 if let Some(trace) = r.trace {
                     write_frame(stream, &Frame::Stats(trace))?;

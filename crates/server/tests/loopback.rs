@@ -131,6 +131,44 @@ fn analyzer_warnings_survive_the_wire_roundtrip() {
 }
 
 #[test]
+fn scriptcheck_findings_ride_the_warning_frames() {
+    let ts = TestServer::start(2);
+    let mut client = Client::connect(ts.addr).unwrap();
+    // A multi-statement batch triggers the whole-script pre-flight:
+    // replacing a never-read view fires SD016 on statement 2, attached
+    // to that statement's result as a wire warning. Execution itself
+    // succeeds throughout.
+    let results = client
+        .execute(
+            "CREATE VIEW v AS SELECT 1 AS a; \
+             CREATE OR REPLACE VIEW v AS SELECT 2 AS a; \
+             SELECT * FROM v",
+        )
+        .expect("batch");
+    assert_eq!(results.len(), 3);
+    let first = results[0].as_ref().expect("create view succeeds");
+    assert!(
+        !first.warnings.iter().any(|d| d.code == "SD016"),
+        "SD016 annotates the replacing statement, not the original: {:?}",
+        first.warnings
+    );
+    let second = results[1].as_ref().expect("replace succeeds");
+    let sd016 = second
+        .warnings
+        .iter()
+        .find(|d| d.code == "SD016")
+        .unwrap_or_else(|| panic!("expected SD016 in warnings, got {:?}", second.warnings));
+    assert_eq!(sd016.severity, Severity::Warning);
+    assert!(sd016.message.contains("replaced"), "message: {}", sd016.message);
+    match &results[2].as_ref().expect("select succeeds").outcome {
+        Outcome::Table(t) => assert_eq!(t.scalar().unwrap(), Value::Int(2)),
+        other => panic!("expected table, got {other:?}"),
+    }
+    client.close().unwrap();
+    ts.stop();
+}
+
+#[test]
 fn presolve_warnings_survive_the_wire_roundtrip() {
     let ts = TestServer::start(2);
     let mut client = Client::connect(ts.addr).unwrap();

@@ -432,6 +432,13 @@ pub enum Statement {
         analyze: bool,
         query: Box<Query>,
     },
+    /// `EXPLAIN SCRIPT '<path or sql>'` — run the whole-script static
+    /// analyzer (`scriptcheck`, SD013–SD018) over a script given as a
+    /// file path or inline SQL text, and return the dataflow summary
+    /// plus diagnostics as a relation.
+    ExplainScript {
+        source: String,
+    },
     /// `MODELEVAL (select) IN (select)` (§4.4).
     ModelEval {
         select: Query,
@@ -901,6 +908,9 @@ impl fmt::Display for Statement {
             }
             Statement::ExplainQuery { analyze, query } => {
                 write!(f, "EXPLAIN {}{query}", if *analyze { "ANALYZE " } else { "" })
+            }
+            Statement::ExplainScript { source } => {
+                write!(f, "EXPLAIN SCRIPT {}", quote_str(source))
             }
             Statement::ModelEval { select, model } => {
                 write!(f, "MODELEVAL ({select}) IN ({model})")

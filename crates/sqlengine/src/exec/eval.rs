@@ -98,7 +98,12 @@ impl<'a> Env<'a> {
     pub fn at_depth(&self, depth: usize) -> &Env<'a> {
         let mut e = self;
         for _ in 0..depth {
-            e = e.parent.expect("bound depth exceeds environment chain");
+            match e.parent {
+                Some(p) => e = p,
+                // Binder invariant: depths never exceed the chain.
+                // Saturating at the root keeps lookup total.
+                None => break,
+            }
         }
         e
     }
@@ -451,7 +456,7 @@ impl BoundExpr {
                         Some(prev) => Value::binop(BinOp::And, &prev, &pair)?,
                     });
                 }
-                Ok(acc.expect("chain has at least one comparison"))
+                acc.ok_or_else(|| Error::eval("comparison chain has no comparisons"))
             }
             BoundExpr::Builtin { f, args } => {
                 let vals = args.iter().map(|a| a.eval(ctx, env)).collect::<Result<Vec<_>>>()?;

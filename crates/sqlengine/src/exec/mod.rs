@@ -252,6 +252,13 @@ fn execute_statement_inner(
                 }
             }
         }
+        Statement::ExplainScript { source } => {
+            let text = crate::script::resolve_source(source)
+                .map_err(|e| Error::eval(format!("EXPLAIN SCRIPT: cannot read '{source}': {e}")))?;
+            let snapshot = crate::script::CatalogSnapshot::from_db(db);
+            let analysis = crate::script::analyze_sql(&text, &snapshot)?;
+            Ok(ExecResult::table(analysis.to_table()))
+        }
         Statement::ModelEval { select, model } => {
             let handler = db.solve_handler()?;
             Ok(ExecResult::table(handler.model_eval(db, select, model, &ctes)?))

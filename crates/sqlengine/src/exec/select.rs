@@ -1084,7 +1084,7 @@ fn eval_from(
         };
         acc = Some(next);
     }
-    Ok(acc.expect("from list is non-empty"))
+    acc.ok_or_else(|| Error::eval("FROM list is empty"))
 }
 
 // ---------------------------------------------------------------------------
@@ -1756,8 +1756,7 @@ pub(crate) fn bind_with_idx_markers(
     _scope: &Scope,
 ) -> Result<BoundExpr> {
     if let Expr::Column { qualifier: Some(q), .. } = e {
-        if let Some(idx) = q.strip_prefix("#idx") {
-            let index: usize = idx.parse().expect("internal marker");
+        if let Some(index) = q.strip_prefix("#idx").and_then(|i| i.parse::<usize>().ok()) {
             return Ok(BoundExpr::Column { depth: 0, index });
         }
     }
@@ -1768,9 +1767,11 @@ pub(crate) fn bind_with_idx_markers(
 /// expressions so they can match GROUP BY items.
 pub(crate) fn resolve_idx_markers(e: &Expr, scope: &Scope) -> Expr {
     if let Expr::Column { qualifier: Some(q), .. } = e {
-        if let Some(idx) = q.strip_prefix("#idx") {
-            let index: usize = idx.parse().expect("internal marker");
-            let col = &scope.cols[index];
+        if let Some(col) = q
+            .strip_prefix("#idx")
+            .and_then(|i| i.parse::<usize>().ok())
+            .and_then(|index| scope.cols.get(index))
+        {
             return Expr::Column { qualifier: col.qualifier.clone(), name: col.name.clone() };
         }
     }

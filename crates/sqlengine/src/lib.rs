@@ -11,6 +11,7 @@
 //! `solvedbplus-core` crate and plug in through [`catalog::SolveHandler`].
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod ast;
 pub mod catalog;
@@ -20,6 +21,7 @@ pub mod exec;
 pub mod lexer;
 pub mod parser;
 pub mod plan;
+pub mod script;
 pub mod shape;
 pub mod table;
 pub mod types;

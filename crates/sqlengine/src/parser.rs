@@ -51,9 +51,40 @@ pub fn parse_statements(sql: &str) -> Result<Vec<Statement>> {
 /// unterminated string or comment yields the remainder as one piece
 /// (the parser will report the real error).
 pub fn split_statements(sql: &str) -> Vec<String> {
-    let bytes = sql.as_bytes();
     let mut pieces = Vec::new();
     let mut start = 0;
+    for i in top_level_semicolons(sql) {
+        pieces.push(&sql[start..i]);
+        start = i + 1;
+    }
+    pieces.push(&sql[start..]);
+    pieces
+        .into_iter()
+        .map(str::trim)
+        .filter(|p| !p.is_empty() && !is_all_comments(p))
+        .map(str::to_string)
+        .collect()
+}
+
+/// True when the buffered input ends at a statement boundary: its last
+/// top-level `;` is followed only by whitespace and comments. The
+/// `solvedb` shell uses this instead of a raw `ends_with(';')` test, so
+/// a trailing `-- comment`, a `;` inside a string literal, or an open
+/// `/* block comment */` no longer confuses the continuation prompt.
+pub fn script_complete(sql: &str) -> bool {
+    match top_level_semicolons(sql).last() {
+        Some(&i) => is_all_comments(&sql[i + 1..]),
+        None => false,
+    }
+}
+
+/// Byte offsets of every `;` that sits outside single-quoted strings
+/// (with `''` escapes), double-quoted identifiers, `--` line comments
+/// and (nested) `/* ... */` block comments. An unterminated string or
+/// comment swallows the remainder, so no offsets are reported inside it.
+fn top_level_semicolons(sql: &str) -> Vec<usize> {
+    let bytes = sql.as_bytes();
+    let mut out = Vec::new();
     let mut i = 0;
     while i < bytes.len() {
         match bytes[i] {
@@ -100,20 +131,13 @@ pub fn split_statements(sql: &str) -> Vec<String> {
                 }
             }
             b';' => {
-                pieces.push(&sql[start..i]);
+                out.push(i);
                 i += 1;
-                start = i;
             }
             _ => i += 1,
         }
     }
-    pieces.push(&sql[start..]);
-    pieces
-        .into_iter()
-        .map(str::trim)
-        .filter(|p| !p.is_empty() && !is_all_comments(p))
-        .map(str::to_string)
-        .collect()
+    out
 }
 
 /// True when the piece tokenizes to nothing (whitespace/comments only).
@@ -300,6 +324,15 @@ impl Parser {
             return Ok(Statement::Solve(self.parse_solve()?));
         }
         if self.eat_kw("explain") {
+            // `EXPLAIN SCRIPT '<path or inline sql>'` — whole-script
+            // static analysis (scriptcheck).
+            if self.peek_kw("script") {
+                if let Token::Str(s) = self.peek_at(1).clone() {
+                    self.next(); // SCRIPT
+                    self.next(); // the string literal
+                    return Ok(Statement::ExplainScript { source: s });
+                }
+            }
             let mode = if self.eat_kw("check") {
                 ExplainMode::Check
             } else if self.eat_kw("analyze") {
@@ -1143,13 +1176,15 @@ impl Parser {
             let operand = self.parse_postfix_predicates()?;
             rest.push((op, operand));
         }
-        Ok(match rest.len() {
-            0 => first,
-            1 => {
-                let (op, rhs) = rest.into_iter().next().unwrap();
-                Expr::BinOp { op, lhs: Box::new(first), rhs: Box::new(rhs) }
+        let mut it = rest.into_iter();
+        Ok(match (it.next(), it.next()) {
+            (None, _) => first,
+            (Some((op, rhs)), None) => Expr::BinOp { op, lhs: Box::new(first), rhs: Box::new(rhs) },
+            (Some(a), Some(b)) => {
+                let mut rest = vec![a, b];
+                rest.extend(it);
+                Expr::Chain { first: Box::new(first), rest }
             }
-            _ => Expr::Chain { first: Box::new(first), rest },
         })
     }
 
@@ -1949,5 +1984,39 @@ mod tests {
         for piece in split_statements(script) {
             parse_statement(&piece).unwrap();
         }
+    }
+
+    #[test]
+    fn split_statements_semicolon_in_line_comment_does_not_split() {
+        // A `;` inside a `--` comment must not terminate the statement,
+        // even when the comment sits mid-statement.
+        let pieces = split_statements("SELECT 1 -- first; not a boundary\n+ 2; SELECT 3");
+        assert_eq!(pieces.len(), 2, "{pieces:?}");
+        assert!(pieces[0].ends_with("+ 2"), "{pieces:?}");
+        assert_eq!(pieces[1], "SELECT 3");
+        // Same for a comment on the final line with no trailing newline.
+        let pieces = split_statements("SELECT 1; -- done; really");
+        assert_eq!(pieces.len(), 1, "{pieces:?}");
+        assert_eq!(pieces[0], "SELECT 1");
+    }
+
+    #[test]
+    fn split_statements_semicolon_in_nested_block_comment() {
+        let pieces = split_statements("SELECT /* a /* b; */ c; */ 1; SELECT 2");
+        assert_eq!(pieces.len(), 2, "{pieces:?}");
+        assert_eq!(pieces[1], "SELECT 2");
+    }
+
+    #[test]
+    fn script_complete_recognizes_terminators() {
+        assert!(script_complete("SELECT 1;"));
+        assert!(script_complete("SELECT 1; -- trailing comment"));
+        assert!(script_complete("SELECT 1;\n/* done */\n"));
+        assert!(!script_complete("SELECT 1"));
+        assert!(!script_complete("SELECT ';'")); // ; only inside a string
+        assert!(!script_complete("SELECT 1; SELECT 2")); // second stmt open
+        assert!(!script_complete("SELECT 1; /* open comment")); // unterminated
+        assert!(!script_complete(""));
+        assert!(!script_complete("-- just a comment\n"));
     }
 }

@@ -1,0 +1,368 @@
+//! Per-statement read/write set extraction.
+//!
+//! The whole-script analyzer reasons about statements purely through the
+//! relation names they touch. This module walks a [`Statement`] and
+//! collects four sets:
+//!
+//! * `reads` — relations the statement consumes when it executes,
+//! * `lazy_reads` — relations a `CREATE VIEW` definition references
+//!   (views are stored unevaluated, so these are only *read* when the
+//!   view itself is read; they still order statements in the DAG),
+//! * `writes` — existing relations the statement mutates in place
+//!   (`INSERT`/`UPDATE`/`DELETE` targets),
+//! * `creates` / `drops` — relations brought into or removed from the
+//!   catalog.
+//!
+//! Names bound locally — CTEs, solve aliases (`D₁..D_N`, `INLINE`
+//! aliases), subquery aliases — are excluded via a scope set that is
+//! deliberately over-approximate (every alias of a solve statement is
+//! visible in all of its queries): binding too much can at worst hide a
+//! read, never invent one, so the cross-statement checks stay free of
+//! false positives.
+
+use crate::ast::{Expr, Query, SetExpr, SolveStmt, Statement, TableRef};
+use std::collections::{BTreeSet, HashSet};
+
+/// The relation footprint of one statement.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RwSet {
+    pub reads: BTreeSet<String>,
+    /// View-definition reads: deferred until the view is read, but still
+    /// dependency-ordering for the DAG.
+    pub lazy_reads: BTreeSet<String>,
+    pub writes: BTreeSet<String>,
+    pub creates: BTreeSet<String>,
+    pub drops: BTreeSet<String>,
+}
+
+impl RwSet {
+    /// Every relation this statement writes in the broad sense: mutates,
+    /// creates, or drops.
+    pub fn touched(&self) -> BTreeSet<String> {
+        self.writes.iter().chain(self.creates.iter()).chain(self.drops.iter()).cloned().collect()
+    }
+
+    /// Every relation read either eagerly or through a stored view
+    /// definition.
+    pub fn all_reads(&self) -> BTreeSet<String> {
+        self.reads.union(&self.lazy_reads).cloned().collect()
+    }
+
+    /// True when `self` and `other` commute: neither reads what the
+    /// other writes, and their write sets are disjoint.
+    pub fn independent(&self, other: &RwSet) -> bool {
+        let (wa, wb) = (self.touched(), other.touched());
+        wa.is_disjoint(&other.all_reads())
+            && wb.is_disjoint(&self.all_reads())
+            && wa.is_disjoint(&wb)
+    }
+}
+
+/// Short display label for a statement ("CREATE TABLE", "SOLVESELECT", ...).
+pub fn statement_kind(stmt: &Statement) -> &'static str {
+    match stmt {
+        Statement::Query(q) => {
+            if contains_solve(&q.body) {
+                "SOLVESELECT"
+            } else {
+                "SELECT"
+            }
+        }
+        Statement::Solve(_) => "SOLVESELECT",
+        Statement::Explain { .. } | Statement::ExplainQuery { .. } => "EXPLAIN",
+        Statement::ExplainScript { .. } => "EXPLAIN SCRIPT",
+        Statement::ModelEval { .. } => "MODELEVAL",
+        Statement::Insert { .. } => "INSERT",
+        Statement::Update { .. } => "UPDATE",
+        Statement::Delete { .. } => "DELETE",
+        Statement::CreateTable { as_query: Some(_), .. } => "CREATE TABLE AS",
+        Statement::CreateTable { .. } => "CREATE TABLE",
+        Statement::CreateView { .. } => "CREATE VIEW",
+        Statement::DropTable { .. } => "DROP TABLE",
+        Statement::DropView { .. } => "DROP VIEW",
+        Statement::Checkpoint => "CHECKPOINT",
+    }
+}
+
+fn contains_solve(body: &SetExpr) -> bool {
+    match body {
+        SetExpr::Solve(_) => true,
+        SetExpr::Query(q) => contains_solve(&q.body),
+        SetExpr::SetOp { left, right, .. } => contains_solve(left) || contains_solve(right),
+        SetExpr::Select(_) | SetExpr::Values(_) => false,
+    }
+}
+
+/// Compute the relation footprint of a statement.
+pub fn statement_rwset(stmt: &Statement) -> RwSet {
+    let mut rw = RwSet::default();
+    let bound = HashSet::new();
+    match stmt {
+        Statement::Query(q) => query_reads(q, &bound, &mut rw.reads),
+        Statement::ExplainQuery { query, .. } => query_reads(query, &bound, &mut rw.reads),
+        Statement::Solve(s) => solve_reads(s, &bound, &mut rw.reads),
+        Statement::Explain { stmt, .. } => solve_reads(stmt, &bound, &mut rw.reads),
+        Statement::ExplainScript { .. } => {}
+        Statement::ModelEval { select, model } => {
+            query_reads(select, &bound, &mut rw.reads);
+            query_reads(model, &bound, &mut rw.reads);
+        }
+        Statement::Insert { table, source, .. } => {
+            rw.writes.insert(table.clone());
+            query_reads(source, &bound, &mut rw.reads);
+        }
+        Statement::Update { table, assignments, where_ } => {
+            rw.writes.insert(table.clone());
+            rw.reads.insert(table.clone());
+            for (_, e) in assignments {
+                expr_reads(e, &bound, &mut rw.reads);
+            }
+            if let Some(w) = where_ {
+                expr_reads(w, &bound, &mut rw.reads);
+            }
+        }
+        Statement::Delete { table, where_ } => {
+            rw.writes.insert(table.clone());
+            rw.reads.insert(table.clone());
+            if let Some(w) = where_ {
+                expr_reads(w, &bound, &mut rw.reads);
+            }
+        }
+        Statement::CreateTable { name, as_query, .. } => {
+            rw.creates.insert(name.clone());
+            if let Some(q) = as_query {
+                query_reads(q, &bound, &mut rw.reads);
+            }
+        }
+        Statement::CreateView { name, query, .. } => {
+            rw.creates.insert(name.clone());
+            query_reads(query, &bound, &mut rw.lazy_reads);
+        }
+        Statement::DropTable { name, .. } => {
+            rw.drops.insert(name.clone());
+        }
+        Statement::DropView { name, .. } => {
+            rw.drops.insert(name.clone());
+        }
+        Statement::Checkpoint => {}
+    }
+    rw
+}
+
+/// Collect every `SOLVESELECT`/`SOLVEMODEL` that this statement would
+/// *execute* (not merely package as a model value), paired with a short
+/// context label. Used by the statically-empty-input check (SD018).
+pub fn executed_solves(stmt: &Statement) -> Vec<&SolveStmt> {
+    let mut out = Vec::new();
+    match stmt {
+        Statement::Solve(s) => out.push(s),
+        Statement::Query(q) => body_solves(&q.body, &mut out),
+        Statement::Insert { source, .. } => body_solves(&source.body, &mut out),
+        Statement::CreateTable { as_query: Some(q), .. } => body_solves(&q.body, &mut out),
+        _ => {}
+    }
+    out
+}
+
+fn body_solves<'a>(body: &'a SetExpr, out: &mut Vec<&'a SolveStmt>) {
+    match body {
+        SetExpr::Solve(s) => out.push(s),
+        SetExpr::Query(q) => body_solves(&q.body, out),
+        SetExpr::SetOp { left, right, .. } => {
+            body_solves(left, out);
+            body_solves(right, out);
+        }
+        SetExpr::Select(_) | SetExpr::Values(_) => {}
+    }
+}
+
+/// Relation names read by a query, excluding names in `bound`.
+pub fn query_reads(q: &Query, bound: &HashSet<String>, out: &mut BTreeSet<String>) {
+    let mut b = bound.clone();
+    if q.recursive {
+        for cte in &q.with {
+            b.insert(cte.name.clone());
+        }
+    }
+    for cte in &q.with {
+        query_reads(&cte.query, &b, out);
+        b.insert(cte.name.clone());
+    }
+    body_reads(&q.body, &b, out);
+    for o in &q.order_by {
+        expr_reads(&o.expr, &b, out);
+    }
+    if let Some(l) = &q.limit {
+        expr_reads(l, &b, out);
+    }
+    if let Some(o) = &q.offset {
+        expr_reads(o, &b, out);
+    }
+}
+
+fn body_reads(body: &SetExpr, bound: &HashSet<String>, out: &mut BTreeSet<String>) {
+    match body {
+        SetExpr::Select(s) => {
+            for t in &s.from {
+                tableref_reads(t, bound, out);
+            }
+            for item in &s.projection {
+                if let crate::ast::SelectItem::Expr { expr, .. } = item {
+                    expr_reads(expr, bound, out);
+                }
+            }
+            if let Some(w) = &s.where_ {
+                expr_reads(w, bound, out);
+            }
+            for g in &s.group_by {
+                expr_reads(g, bound, out);
+            }
+            if let Some(h) = &s.having {
+                expr_reads(h, bound, out);
+            }
+        }
+        SetExpr::Solve(s) => solve_reads(s, bound, out),
+        SetExpr::Query(q) => query_reads(q, bound, out),
+        SetExpr::SetOp { left, right, .. } => {
+            body_reads(left, bound, out);
+            body_reads(right, bound, out);
+        }
+        SetExpr::Values(rows) => {
+            for row in rows {
+                for e in row {
+                    expr_reads(e, bound, out);
+                }
+            }
+        }
+    }
+}
+
+fn tableref_reads(t: &TableRef, bound: &HashSet<String>, out: &mut BTreeSet<String>) {
+    match t {
+        TableRef::Named { name, .. } => {
+            if !bound.contains(name) {
+                out.insert(name.clone());
+            }
+        }
+        TableRef::Subquery { query, .. } => query_reads(query, bound, out),
+        TableRef::Join { left, right, constraint, .. } => {
+            tableref_reads(left, bound, out);
+            tableref_reads(right, bound, out);
+            if let crate::ast::JoinConstraint::On(e) = constraint {
+                expr_reads(e, bound, out);
+            }
+        }
+    }
+}
+
+/// Reads of a solve statement. All aliases (input, CDTEs, inlines) are
+/// bound across every sub-query — over-approximate on purpose.
+pub fn solve_reads(s: &SolveStmt, bound: &HashSet<String>, out: &mut BTreeSet<String>) {
+    let mut b = bound.clone();
+    for a in std::iter::once(&s.input.alias)
+        .chain(s.ctes.iter().map(|c| &c.alias))
+        .chain(s.inlines.iter().map(|i| &i.alias))
+        .flatten()
+    {
+        b.insert(a.clone());
+    }
+    query_reads(&s.input.query, &b, out);
+    for inl in &s.inlines {
+        query_reads(&inl.query, &b, out);
+    }
+    for cte in &s.ctes {
+        query_reads(&cte.query, &b, out);
+    }
+    if let Some(m) = &s.minimize {
+        query_reads(m, &b, out);
+    }
+    if let Some(m) = &s.maximize {
+        query_reads(m, &b, out);
+    }
+    for rule in &s.subjectto {
+        query_reads(&rule.query, &b, out);
+    }
+    if let Some(u) = &s.using {
+        for (_, e) in &u.params {
+            expr_reads(e, &b, out);
+        }
+    }
+}
+
+/// Reads hidden in expression-level subqueries (`IN (SELECT ...)`,
+/// `EXISTS`, scalar subqueries, `SOLVEMODEL` values).
+pub fn expr_reads(e: &Expr, bound: &HashSet<String>, out: &mut BTreeSet<String>) {
+    e.walk(&mut |n| match n {
+        Expr::InSubquery { query, .. } | Expr::Exists { query, .. } => {
+            query_reads(query, bound, out)
+        }
+        Expr::ScalarSubquery(q) => query_reads(q, bound, out),
+        Expr::SolveModel(s) => solve_reads(s, bound, out),
+        _ => {}
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+
+    fn rw(sql: &str) -> RwSet {
+        statement_rwset(&parse_statement(sql).expect("parse"))
+    }
+
+    #[test]
+    fn select_reads_tables_not_ctes() {
+        let s = rw("WITH c AS (SELECT * FROM t) SELECT * FROM c JOIN u ON c.x = u.x");
+        assert_eq!(s.reads, ["t", "u"].iter().map(|s| s.to_string()).collect());
+        assert!(s.touched().is_empty());
+    }
+
+    #[test]
+    fn insert_reads_source_writes_target() {
+        let s = rw("INSERT INTO t SELECT * FROM src WHERE x IN (SELECT x FROM other)");
+        assert!(s.writes.contains("t"));
+        assert!(s.reads.contains("src") && s.reads.contains("other"));
+    }
+
+    #[test]
+    fn ctas_creates_and_reads() {
+        let s = rw("CREATE TABLE out AS SELECT * FROM base");
+        assert!(s.creates.contains("out"));
+        assert!(s.reads.contains("base"));
+    }
+
+    #[test]
+    fn view_reads_are_lazy() {
+        let s = rw("CREATE VIEW v AS SELECT * FROM base");
+        assert!(s.creates.contains("v"));
+        assert!(s.lazy_reads.contains("base") && !s.reads.contains("base"));
+    }
+
+    #[test]
+    fn solve_aliases_are_bound() {
+        let s = rw("SOLVESELECT t(x) AS (SELECT * FROM input) \
+                    WITH u(y) AS (SELECT * FROM aux) \
+                    MINIMIZE (SELECT sum(x) FROM t) \
+                    SUBJECTTO (SELECT x >= y FROM t, u) \
+                    USING solverlp()");
+        assert_eq!(s.reads, ["aux", "input"].iter().map(|s| s.to_string()).collect());
+    }
+
+    #[test]
+    fn independence_is_symmetric_and_conflicts_detected() {
+        let a = rw("INSERT INTO t VALUES (1)");
+        let b = rw("SELECT * FROM t");
+        let c = rw("SELECT * FROM u");
+        assert!(!a.independent(&b) && !b.independent(&a));
+        assert!(a.independent(&c) && c.independent(&a));
+    }
+
+    #[test]
+    fn update_delete_read_and_write_target() {
+        let s = rw("UPDATE t SET x = (SELECT max(y) FROM m) WHERE x < 0");
+        assert!(s.writes.contains("t") && s.reads.contains("t") && s.reads.contains("m"));
+        let d = rw("DELETE FROM t WHERE x IN (SELECT x FROM dead)");
+        assert!(d.writes.contains("t") && d.reads.contains("dead"));
+    }
+}

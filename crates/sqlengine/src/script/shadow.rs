@@ -1,0 +1,554 @@
+//! The statically derived catalog state ("shadow catalog").
+//!
+//! As the script analyzer steps through statements it maintains, per
+//! relation name, what is *statically known* about that relation at that
+//! point: whether it exists, its (possibly partial) schema, a row-count
+//! estimate, and — where every inserted value was a numeric literal —
+//! per-column value intervals in the spirit of the presolve interval
+//! domain. Everything here is conservative: `None`/`Unknown` means
+//! "cannot tell", and downstream checks stay silent rather than guess.
+
+use crate::ast::{Expr, Literal, Query, Select, SelectItem, SetExpr, Statement, TableRef};
+use crate::types::{BinOp, DataType};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What kind of relation a shadow entry describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelKind {
+    Table,
+    View,
+    /// A name the script reads but never creates: assumed to exist in
+    /// the session catalog at run time (never diagnosed).
+    External,
+}
+
+/// One column of a derived schema. Either component may be unknown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DerivedCol {
+    pub name: Option<String>,
+    pub ty: Option<DataType>,
+}
+
+/// Statically derived row count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowEstimate {
+    Known(usize),
+    Unknown,
+}
+
+/// Inclusive numeric interval for a column, derived from literal
+/// `INSERT ... VALUES` rows. `nullable` records whether a `NULL` was
+/// ever inserted (NULLs never satisfy a comparison, so they do not
+/// widen the interval but are tracked for honesty in messages).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColRange {
+    pub lo: f64,
+    pub hi: f64,
+    pub nullable: bool,
+}
+
+/// Everything statically known about one relation at one script point.
+#[derive(Debug, Clone)]
+pub struct DerivedRel {
+    pub kind: RelKind,
+    pub schema: Option<Vec<DerivedCol>>,
+    pub rows: RowEstimate,
+    /// Statement index (0-based) that created it; `None` = pre-existing.
+    pub created_at: Option<usize>,
+    /// Statement index that dropped it, when dropped and not recreated.
+    pub dropped_at: Option<usize>,
+    /// Set once any later statement reads it (directly or through a view).
+    pub ever_read: bool,
+    /// For views: the stored defining query.
+    pub view_def: Option<Arc<Query>>,
+    /// Literal-derived per-column intervals; `None` = intervals lost.
+    pub ranges: Option<HashMap<String, ColRange>>,
+}
+
+impl DerivedRel {
+    pub fn external() -> DerivedRel {
+        DerivedRel {
+            kind: RelKind::External,
+            schema: None,
+            rows: RowEstimate::Unknown,
+            created_at: None,
+            dropped_at: None,
+            ever_read: false,
+            view_def: None,
+            ranges: None,
+        }
+    }
+
+    pub fn is_dropped(&self) -> bool {
+        self.dropped_at.is_some()
+    }
+
+    /// Column names, when the whole schema is known by name.
+    pub fn column_names(&self) -> Option<Vec<&str>> {
+        let schema = self.schema.as_ref()?;
+        schema.iter().map(|c| c.name.as_deref()).collect()
+    }
+}
+
+/// The shadow catalog: name → derived state. Plain map plus the handful
+/// of transition helpers the checks need.
+#[derive(Debug, Clone, Default)]
+pub struct ShadowCatalog {
+    pub rels: HashMap<String, DerivedRel>,
+}
+
+impl ShadowCatalog {
+    pub fn get(&self, name: &str) -> Option<&DerivedRel> {
+        self.rels.get(name)
+    }
+
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut DerivedRel> {
+        self.rels.get_mut(name)
+    }
+
+    /// Record a read of `name`, materializing an external entry for
+    /// never-created names.
+    pub fn mark_read(&mut self, name: &str) {
+        self.rels.entry(name.to_string()).or_insert_with(DerivedRel::external).ever_read = true;
+    }
+
+    /// Apply the catalog effects of `stmt` (index `idx`) to the shadow
+    /// state. Diagnostics never happen here — this is pure transition.
+    pub fn apply(&mut self, idx: usize, stmt: &Statement) {
+        match stmt {
+            Statement::CreateTable { name, if_not_exists, columns, as_query } => {
+                if *if_not_exists
+                    && self
+                        .rels
+                        .get(name)
+                        .is_some_and(|r| !r.is_dropped() && r.kind != RelKind::External)
+                {
+                    return; // no-op create; keep the known state
+                }
+                let (schema, rows) = match as_query {
+                    None => (
+                        Some(
+                            columns
+                                .iter()
+                                .map(|c| DerivedCol {
+                                    name: Some(c.name.clone()),
+                                    ty: Some(c.ty.clone()),
+                                })
+                                .collect(),
+                        ),
+                        RowEstimate::Known(0),
+                    ),
+                    Some(q) => (
+                        derive_schema(q, self),
+                        insert_row_count(q).map_or(RowEstimate::Unknown, RowEstimate::Known),
+                    ),
+                };
+                self.rels.insert(
+                    name.clone(),
+                    DerivedRel {
+                        kind: RelKind::Table,
+                        schema,
+                        rows,
+                        created_at: Some(idx),
+                        dropped_at: None,
+                        ever_read: false,
+                        view_def: None,
+                        ranges: Some(HashMap::new()),
+                    },
+                );
+            }
+            Statement::CreateView { name, query, .. } => {
+                self.rels.insert(
+                    name.clone(),
+                    DerivedRel {
+                        kind: RelKind::View,
+                        schema: derive_schema(query, self),
+                        rows: RowEstimate::Unknown,
+                        created_at: Some(idx),
+                        dropped_at: None,
+                        ever_read: false,
+                        view_def: Some(Arc::new(query.clone())),
+                        ranges: None,
+                    },
+                );
+            }
+            Statement::DropTable { name, .. } | Statement::DropView { name, .. } => {
+                if let Some(rel) = self.rels.get_mut(name) {
+                    rel.dropped_at = Some(idx);
+                } else {
+                    // Dropping an external relation: remember it is gone.
+                    let mut rel = DerivedRel::external();
+                    rel.dropped_at = Some(idx);
+                    self.rels.insert(name.clone(), rel);
+                }
+            }
+            Statement::Insert { table, columns, source } => {
+                let added = insert_row_count(source);
+                let literal_rows = literal_values_rows(source);
+                if let Some(rel) = self.rels.get_mut(table) {
+                    rel.rows = match (rel.rows, added) {
+                        (RowEstimate::Known(n), Some(m)) => RowEstimate::Known(n + m),
+                        _ => RowEstimate::Unknown,
+                    };
+                    // Interval update: only full-width literal inserts
+                    // keep the ranges sound; anything else drops them.
+                    match (&literal_rows, columns.is_empty(), &rel.schema) {
+                        (Some(rows), true, Some(schema)) => {
+                            merge_literal_ranges(rel, rows, schema.clone())
+                        }
+                        _ => rel.ranges = None,
+                    }
+                }
+            }
+            Statement::Update { table, assignments, .. } => {
+                if let Some(rel) = self.rels.get_mut(table) {
+                    if let Some(ranges) = rel.ranges.as_mut() {
+                        for (col, _) in assignments {
+                            ranges.remove(col);
+                        }
+                    }
+                }
+            }
+            Statement::Delete { table, where_ } => {
+                if let Some(rel) = self.rels.get_mut(table) {
+                    match where_ {
+                        None => {
+                            rel.rows = RowEstimate::Known(0);
+                            rel.ranges = Some(HashMap::new());
+                        }
+                        // Deleting rows can only shrink intervals; keep
+                        // them (they stay a sound over-approximation).
+                        Some(_) => rel.rows = RowEstimate::Unknown,
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn merge_literal_ranges(rel: &mut DerivedRel, rows: &[Vec<Literal>], schema: Vec<DerivedCol>) {
+    let Some(ranges) = rel.ranges.as_mut() else { return };
+    if rows.iter().any(|r| r.len() != schema.len()) {
+        rel.ranges = None; // arity mismatch: SD015 territory, intervals moot
+        return;
+    }
+    for (ci, col) in schema.iter().enumerate() {
+        let Some(name) = col.name.clone() else { continue };
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let mut nullable = false;
+        let mut numeric = true;
+        for row in rows {
+            match &row[ci] {
+                Literal::Int(i) => {
+                    lo = lo.min(*i as f64);
+                    hi = hi.max(*i as f64);
+                }
+                Literal::Float(x) => {
+                    lo = lo.min(*x);
+                    hi = hi.max(*x);
+                }
+                Literal::Null => nullable = true,
+                _ => numeric = false,
+            }
+        }
+        if !numeric {
+            ranges.remove(&name);
+            continue;
+        }
+        let entry = ranges.entry(name).or_insert(ColRange { lo, hi, nullable });
+        entry.lo = entry.lo.min(lo);
+        entry.hi = entry.hi.max(hi);
+        entry.nullable |= nullable;
+    }
+}
+
+/// Number of rows a query contributes, when statically countable.
+fn insert_row_count(q: &Query) -> Option<usize> {
+    if q.limit.is_some() || q.offset.is_some() {
+        return None;
+    }
+    body_row_count(&q.body)
+}
+
+fn body_row_count(body: &SetExpr) -> Option<usize> {
+    match body {
+        SetExpr::Values(rows) => Some(rows.len()),
+        SetExpr::Query(q) => insert_row_count(q),
+        SetExpr::Select(s)
+            if s.from.is_empty()
+                && s.where_.is_none()
+                && s.group_by.is_empty()
+                && s.having.is_none()
+                && !s.distinct =>
+        {
+            Some(1) // SELECT <exprs> with no FROM yields exactly one row
+        }
+        _ => None,
+    }
+}
+
+/// When the source is a plain `VALUES` of literals, return its rows.
+fn literal_values_rows(q: &Query) -> Option<Vec<Vec<Literal>>> {
+    if !q.with.is_empty() || q.limit.is_some() || q.offset.is_some() {
+        return None;
+    }
+    let SetExpr::Values(rows) = &q.body else { return None };
+    rows.iter()
+        .map(|row| {
+            row.iter()
+                .map(|e| match e {
+                    Expr::Literal(l) => Some(l.clone()),
+                    Expr::UnOp { op: crate::types::UnOp::Neg, expr } => match expr.as_ref() {
+                        Expr::Literal(Literal::Int(i)) => Some(Literal::Int(-i)),
+                        Expr::Literal(Literal::Float(x)) => Some(Literal::Float(-x)),
+                        _ => None,
+                    },
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Schema derivation
+// ---------------------------------------------------------------------------
+
+/// Best-effort schema of a query against the shadow catalog. `None`
+/// means even the arity is unknown (e.g. an unresolvable wildcard).
+pub fn derive_schema(q: &Query, shadow: &ShadowCatalog) -> Option<Vec<DerivedCol>> {
+    // CTE names shadow catalog names inside this query; treat any query
+    // with CTEs as opaque rather than resolve a second scope level.
+    if !q.with.is_empty() {
+        return derive_body_schema(&q.body, &ShadowCatalog::default());
+    }
+    derive_body_schema(&q.body, shadow)
+}
+
+fn derive_body_schema(body: &SetExpr, shadow: &ShadowCatalog) -> Option<Vec<DerivedCol>> {
+    match body {
+        SetExpr::Values(rows) => {
+            let first = rows.first()?;
+            Some(first.iter().map(|e| DerivedCol { name: None, ty: literal_type(e) }).collect())
+        }
+        SetExpr::Query(q) => derive_schema(q, shadow),
+        SetExpr::SetOp { left, .. } => derive_body_schema(left, shadow),
+        SetExpr::Solve(s) => derive_schema(&s.input.query, shadow),
+        SetExpr::Select(s) => derive_select_schema(s, shadow),
+    }
+}
+
+fn derive_select_schema(s: &Select, shadow: &ShadowCatalog) -> Option<Vec<DerivedCol>> {
+    // Source schema: only resolved for a single plain named source.
+    let source = match s.from.as_slice() {
+        [TableRef::Named { name, .. }] => {
+            shadow.get(name).filter(|r| !r.is_dropped()).and_then(|r| r.schema.clone())
+        }
+        _ => None,
+    };
+    let mut out = Vec::new();
+    for item in &s.projection {
+        match item {
+            SelectItem::Wildcard { .. } => match (&source, s.from.len()) {
+                (Some(cols), 1) => out.extend(cols.iter().cloned()),
+                _ => return None, // unresolvable wildcard: arity unknown
+            },
+            SelectItem::Expr { expr, alias } => {
+                let name = alias.clone().or_else(|| match expr {
+                    Expr::Column { name, .. } => Some(name.clone()),
+                    Expr::Func { name, .. } => Some(name.clone()),
+                    _ => None,
+                });
+                let ty = expr_type(expr, source.as_deref());
+                out.push(DerivedCol { name, ty });
+            }
+        }
+    }
+    Some(out)
+}
+
+fn literal_type(e: &Expr) -> Option<DataType> {
+    match e {
+        Expr::Literal(Literal::Int(_)) => Some(DataType::Int),
+        Expr::Literal(Literal::Float(_)) => Some(DataType::Float),
+        Expr::Literal(Literal::Bool(_)) => Some(DataType::Bool),
+        Expr::Literal(Literal::Str(_)) => Some(DataType::Text),
+        _ => None,
+    }
+}
+
+fn expr_type(e: &Expr, source: Option<&[DerivedCol]>) -> Option<DataType> {
+    match e {
+        Expr::Cast { ty, .. } => Some(ty.clone()),
+        Expr::Column { name, .. } => source?
+            .iter()
+            .find(|c| c.name.as_deref() == Some(name.as_str()))
+            .and_then(|c| c.ty.clone()),
+        _ => literal_type(e),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Static emptiness
+// ---------------------------------------------------------------------------
+
+/// Try to prove that `WHERE where_` selects no row of `rel`, using the
+/// literal-derived column intervals. Returns the human-readable reason
+/// on success. Sound but very incomplete: only conjunctions of
+/// column-vs-literal comparisons (and comparison chains) are examined.
+pub fn where_provably_empty(where_: &Expr, rel: &DerivedRel) -> Option<String> {
+    match where_ {
+        Expr::Literal(Literal::Bool(false)) => Some("the WHERE clause is constant FALSE".into()),
+        Expr::BinOp { op: BinOp::And, lhs, rhs } => {
+            where_provably_empty(lhs, rel).or_else(|| where_provably_empty(rhs, rel))
+        }
+        Expr::BinOp { op, lhs, rhs } if op.is_comparison() => comparison_unsat(*op, lhs, rhs, rel),
+        Expr::Chain { first, rest } => {
+            let mut prev = first.as_ref();
+            for (op, next) in rest {
+                if let Some(reason) = comparison_unsat(*op, prev, next, rel) {
+                    return Some(reason);
+                }
+                prev = next;
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+fn comparison_unsat(op: BinOp, lhs: &Expr, rhs: &Expr, rel: &DerivedRel) -> Option<String> {
+    // Normalize to column ⋈ constant.
+    let (col, c, op) = match (column_name(lhs), numeric_literal(rhs)) {
+        (Some(col), Some(c)) => (col, c, op),
+        _ => match (numeric_literal(lhs), column_name(rhs)) {
+            (Some(c), Some(col)) => (col, c, flip(op)?),
+            _ => return None,
+        },
+    };
+    let range = rel.ranges.as_ref()?.get(col)?;
+    let (lo, hi) = (range.lo, range.hi);
+    if lo > hi {
+        return None; // no numeric rows recorded
+    }
+    let unsat = match op {
+        BinOp::Lt => lo >= c,
+        BinOp::Le => lo > c,
+        BinOp::Gt => hi <= c,
+        BinOp::Ge => hi < c,
+        BinOp::Eq => c < lo || c > hi,
+        _ => false,
+    };
+    unsat.then(|| {
+        format!(
+            "every inserted value of '{col}' lies in [{lo}, {hi}], so '{col} {} {c}' \
+             matches no row",
+            op.symbol()
+        )
+    })
+}
+
+fn flip(op: BinOp) -> Option<BinOp> {
+    Some(match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        BinOp::Eq => BinOp::Eq,
+        _ => return None,
+    })
+}
+
+fn column_name(e: &Expr) -> Option<&str> {
+    match e {
+        Expr::Column { name, .. } => Some(name),
+        _ => None,
+    }
+}
+
+fn numeric_literal(e: &Expr) -> Option<f64> {
+    match e {
+        Expr::Literal(Literal::Int(i)) => Some(*i as f64),
+        Expr::Literal(Literal::Float(x)) => Some(*x),
+        Expr::UnOp { op: crate::types::UnOp::Neg, expr } => numeric_literal(expr).map(|v| -v),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+
+    fn apply_all(sql: &str) -> ShadowCatalog {
+        let mut shadow = ShadowCatalog::default();
+        for (i, piece) in crate::parser::split_statements(sql).iter().enumerate() {
+            let stmt = parse_statement(piece).expect("parse");
+            shadow.apply(i, &stmt);
+        }
+        shadow
+    }
+
+    #[test]
+    fn create_insert_tracks_rows_and_ranges() {
+        let s = apply_all(
+            "CREATE TABLE t (x float8, y int4); \
+             INSERT INTO t VALUES (1.5, 10), (2.5, 20), (NULL, 30)",
+        );
+        let rel = s.get("t").expect("t");
+        assert_eq!(rel.rows, RowEstimate::Known(3));
+        let ranges = rel.ranges.as_ref().expect("ranges");
+        let x = ranges.get("x").expect("x range");
+        assert_eq!((x.lo, x.hi, x.nullable), (1.5, 2.5, true));
+        assert_eq!(ranges.get("y").map(|r| (r.lo, r.hi)), Some((10.0, 30.0)));
+    }
+
+    #[test]
+    fn delete_without_where_empties() {
+        let s = apply_all("CREATE TABLE t (x int4); INSERT INTO t VALUES (1); DELETE FROM t");
+        assert_eq!(s.get("t").expect("t").rows, RowEstimate::Known(0));
+    }
+
+    #[test]
+    fn non_literal_insert_drops_ranges_keeps_count_unknown() {
+        let s = apply_all("CREATE TABLE t (x int4); INSERT INTO t SELECT x FROM src");
+        let rel = s.get("t").expect("t");
+        assert_eq!(rel.rows, RowEstimate::Unknown);
+        assert!(rel.ranges.is_none());
+    }
+
+    #[test]
+    fn where_contradiction_is_proven() {
+        let s = apply_all("CREATE TABLE t (x int4); INSERT INTO t VALUES (1), (5)");
+        let rel = s.get("t").expect("t");
+        let pred = |sql: &str| {
+            let stmt = parse_statement(&format!("SELECT * FROM t WHERE {sql}")).expect("parse");
+            let crate::ast::Statement::Query(q) = stmt else { panic!("query") };
+            let SetExpr::Select(sel) = q.body else { panic!("select") };
+            sel.where_.clone().expect("where")
+        };
+        assert!(where_provably_empty(&pred("x < 0"), rel).is_some());
+        assert!(where_provably_empty(&pred("x > 5"), rel).is_some());
+        assert!(where_provably_empty(&pred("x = 3 AND x < 99"), rel).is_none());
+        assert!(where_provably_empty(&pred("x = 7"), rel).is_some());
+        assert!(where_provably_empty(&pred("0 > x"), rel).is_some());
+        assert!(where_provably_empty(&pred("x >= 1"), rel).is_none());
+    }
+
+    #[test]
+    fn ctas_schema_derived_from_named_source() {
+        let s = apply_all(
+            "CREATE TABLE base (a int4, b text); \
+             CREATE TABLE derived AS SELECT a, b AS label, 1.5 AS w FROM base",
+        );
+        let rel = s.get("derived").expect("derived");
+        let schema = rel.schema.as_ref().expect("schema");
+        let names: Vec<_> = schema.iter().map(|c| c.name.as_deref()).collect();
+        assert_eq!(names, [Some("a"), Some("label"), Some("w")]);
+        assert_eq!(schema[0].ty, Some(DataType::Int));
+        assert_eq!(schema[2].ty, Some(DataType::Float));
+    }
+}

@@ -22,7 +22,7 @@
 //! trace arrives in a protocol v3 STATS frame.
 
 use solvedbplus::server::{Client, ClientError};
-use solvedbplus::sqlengine::parser::split_statements;
+use solvedbplus::sqlengine::parser::{script_complete, split_statements};
 use solvedbplus::storage::{FsyncPolicy, StorageEngine};
 use solvedbplus::{datagen, ExecResult, Outcome, Session};
 use std::io::{BufRead, Write};
@@ -30,6 +30,7 @@ use std::sync::Arc;
 
 const USAGE: &str = "\
 usage: solvedb [OPTIONS] [SCRIPT.sql]
+       solvedb --check SCRIPT.sql [SCRIPT.sql ...]
 
 options:
   -e, --exec SQL       execute the given statements and exit
@@ -40,6 +41,9 @@ options:
                        log every mutation into it (local mode only)
       --fsync POLICY   when WAL appends reach disk: always | interval[:ms]
                        | never (default always; needs --data-dir)
+      --check          lint the given script(s) with the whole-script
+                       analyzer (SD013..SD018) without executing anything;
+                       exits non-zero on error-level findings
       --version        print version and exit
   -h, --help           show this message
 
@@ -48,7 +52,8 @@ With no script and no -e, starts an interactive shell.";
 struct Options {
     connect: Option<String>,
     exec: Option<String>,
-    script: Option<String>,
+    scripts: Vec<String>,
+    check: bool,
     timing: bool,
     data_dir: Option<String>,
     fsync: FsyncPolicy,
@@ -59,7 +64,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         connect: None,
         exec: None,
-        script: None,
+        scripts: Vec::new(),
+        check: false,
         timing: false,
         data_dir: None,
         fsync: FsyncPolicy::Always,
@@ -74,6 +80,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "-c" | "--connect" => opts.connect = Some(take_value(arg)?),
             "-t" | "--timing" => opts.timing = true,
             "-D" | "--data-dir" => opts.data_dir = Some(take_value(arg)?),
+            "--check" => opts.check = true,
             "--fsync" => {
                 let p = take_value(arg)?;
                 opts.fsync = FsyncPolicy::parse(&p).map_err(|e| e.to_string())?;
@@ -91,14 +98,21 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 return Err(format!("unknown option: {other}"));
             }
             path => {
-                if opts.script.is_some() {
-                    return Err("only one script file may be given".into());
-                }
-                opts.script = Some(path.to_string());
+                opts.scripts.push(path.to_string());
             }
         }
     }
-    if opts.exec.is_some() && opts.script.is_some() {
+    if opts.check {
+        if opts.scripts.is_empty() {
+            return Err("--check requires at least one script file".into());
+        }
+        if opts.exec.is_some() || opts.connect.is_some() {
+            return Err("--check is a local lint pass; it takes script files only".into());
+        }
+    } else if opts.scripts.len() > 1 {
+        return Err("only one script file may be given (multiple are allowed with --check)".into());
+    }
+    if opts.exec.is_some() && !opts.scripts.is_empty() {
         return Err("-e and a script file are mutually exclusive".into());
     }
     if opts.data_dir.is_some() && opts.connect.is_some() {
@@ -201,6 +215,52 @@ fn report_error(msg: &str) {
     eprintln!("error: {msg}");
 }
 
+/// `solvedb --check`: run the whole-script static analyzer (SD013–SD018)
+/// over each script without executing anything. Findings print
+/// rustc-style on stderr, prefixed with the script and 1-based statement
+/// number; a one-line verdict per script goes to stdout. Returns the
+/// process exit code: 0 when every script parses and carries no
+/// error-level finding, 1 otherwise.
+fn run_check(session: &Session, paths: &[String]) -> i32 {
+    let mut failed = false;
+    for path in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match session.check_script(&text) {
+            Ok(analysis) => {
+                for f in &analysis.diagnostics {
+                    for line in format!("{}", f.diag).lines() {
+                        eprintln!("{path}: statement {}: {line}", f.stmt + 1);
+                    }
+                }
+                let verdict = if analysis.has_errors() {
+                    failed = true;
+                    "FAILED"
+                } else {
+                    "ok"
+                };
+                println!("{path}: {verdict} — {}", analysis.summary());
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+                println!("{path}: FAILED — does not parse");
+            }
+        }
+    }
+    if failed {
+        1
+    } else {
+        0
+    }
+}
+
 fn connect(addr: &str) -> Client {
     match Client::connect(addr) {
         Ok(c) => c,
@@ -252,9 +312,22 @@ fn main() {
         }
     };
 
+    // Lint mode: analyze each script against the session catalog
+    // (empty unless --data-dir recovered state) without executing it.
+    if opts.check {
+        let code = match &backend {
+            Backend::Local(session) => run_check(session, &opts.scripts),
+            Backend::Remote(_) => {
+                eprintln!("solvedb: --check is local-only");
+                2
+            }
+        };
+        std::process::exit(code);
+    }
+
     // Non-interactive modes: -e SQL or a script file. Every statement's
     // result is printed; the first failure stops execution with exit 1.
-    let batch = match (&opts.exec, &opts.script) {
+    let batch = match (&opts.exec, opts.scripts.first()) {
         (Some(sql), _) => Some(sql.clone()),
         (None, Some(path)) => match std::fs::read_to_string(path) {
             Ok(s) => Some(s),
@@ -299,7 +372,10 @@ fn main() {
             }
         }
         buffer.push_str(&line);
-        if !buffer.trim_end().ends_with(';') {
+        // A statement is submitted once the buffer ends at a real
+        // statement boundary — `;` inside strings or comments, and
+        // trailing comments after the `;`, are handled lexically.
+        if !script_complete(&buffer) {
             continue;
         }
         let sql = std::mem::take(&mut buffer);

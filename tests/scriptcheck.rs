@@ -1,0 +1,136 @@
+//! End-to-end contract of the whole-script analyzer over the checked-in
+//! corpora: every `tests/scripts/bad/*.sql` file declares the SD codes
+//! it must trigger in a leading `-- expect:` line and must carry at
+//! least one error-level finding; `tests/scripts/good/*.sql` must lint
+//! clean; and the decomposable model fires SD019 with provably disjoint
+//! blocks.
+
+use solvedbplus::core::{build_problem, check};
+use solvedbplus::sqlengine::ast::Statement;
+use solvedbplus::sqlengine::catalog::Ctes;
+use solvedbplus::sqlengine::parser;
+use solvedbplus::Session;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn corpus_dir(kind: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/scripts").join(kind)
+}
+
+fn sql_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .filter_map(|e| Some(e.ok()?.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "sql"))
+        .collect();
+    out.sort();
+    assert!(!out.is_empty(), "no .sql files in {}", dir.display());
+    out
+}
+
+/// The `-- expect: SDxxx SDyyy` header of a bad-corpus script.
+fn expected_codes(sql: &str) -> BTreeSet<String> {
+    let header = sql
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("-- expect:"))
+        .expect("bad-corpus scripts must declare `-- expect: SDxxx ...`");
+    let codes: BTreeSet<String> = header.split_whitespace().map(str::to_string).collect();
+    assert!(!codes.is_empty());
+    codes
+}
+
+#[test]
+fn bad_corpus_flags_every_expected_code() {
+    for path in sql_files(&corpus_dir("bad")) {
+        let sql = std::fs::read_to_string(&path).unwrap();
+        let expected = expected_codes(&sql);
+        let session = Session::new();
+        let analysis = session
+            .check_script(&sql)
+            .unwrap_or_else(|e| panic!("{} must parse: {e}", path.display()));
+        let found: BTreeSet<String> =
+            analysis.diagnostics.iter().map(|d| d.diag.code.clone()).collect();
+        for code in &expected {
+            assert!(found.contains(code), "{}: expected {code}, found {found:?}", path.display());
+        }
+        assert!(
+            analysis.has_errors(),
+            "{}: bad-corpus scripts must carry an error-level finding, got {found:?}",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn good_corpus_lints_clean() {
+    for path in sql_files(&corpus_dir("good")) {
+        let sql = std::fs::read_to_string(&path).unwrap();
+        let session = Session::new();
+        let analysis = session
+            .check_script(&sql)
+            .unwrap_or_else(|e| panic!("{} must parse: {e}", path.display()));
+        assert_eq!(analysis.error_count(), 0, "{}: {:?}", path.display(), analysis.diagnostics);
+        assert_eq!(analysis.warning_count(), 0, "{}: {:?}", path.display(), analysis.diagnostics);
+    }
+}
+
+#[test]
+fn sd019_fires_when_executing_the_decomposable_model() {
+    let path = corpus_dir("good").join("decomposable.sql");
+    let sql = std::fs::read_to_string(&path).unwrap();
+    let mut session = Session::new();
+    let mut sd019 = None;
+    for piece in parser::split_statements(&sql) {
+        let r = session.execute(&piece).unwrap_or_else(|e| panic!("{piece}: {e}"));
+        if let Some(d) = r.warnings.iter().find(|d| d.code == "SD019") {
+            sd019 = Some(d.clone());
+        }
+    }
+    let d = sd019.expect("the solve must report SD019");
+    assert!(d.message.contains("2 independent blocks"), "message: {}", d.message);
+}
+
+#[test]
+fn decomposable_blocks_are_variable_disjoint() {
+    let path = corpus_dir("good").join("decomposable.sql");
+    let sql = std::fs::read_to_string(&path).unwrap();
+    let stmts = parser::parse_statements(&sql).unwrap();
+    let mut session = Session::new();
+    let mut solve = None;
+    for stmt in &stmts {
+        if let Statement::Solve(s) = stmt {
+            solve = Some(s.clone());
+        } else {
+            session.execute_statement(stmt).unwrap();
+        }
+    }
+    let solve = solve.expect("decomposable.sql contains a SOLVESELECT");
+    let prob = build_problem(session.db(), &Ctes::new(), &solve).unwrap();
+    let blocks = check::structure::problem_blocks(session.db(), &Ctes::new(), &prob);
+    assert!(blocks.len() >= 2, "expected >= 2 blocks, got {blocks:?}");
+    for (i, a) in blocks.iter().enumerate() {
+        assert!(!a.vars.is_empty(), "block {i} has no variables");
+        assert!(a.rows > 0, "block {i} has no constraint rows");
+        for b in blocks.iter().skip(i + 1) {
+            assert!(
+                a.vars.iter().all(|v| !b.vars.contains(v)),
+                "blocks share variables: {blocks:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn explain_script_runs_end_to_end() {
+    let path = corpus_dir("bad").join("use_before_create.sql");
+    let mut session = Session::new();
+    let r = session
+        .execute(&format!("EXPLAIN SCRIPT '{}'", path.display()))
+        .expect("EXPLAIN SCRIPT succeeds even on defective scripts");
+    let t = r.into_table().expect("EXPLAIN SCRIPT yields a table");
+    // Row 0 is the summary; the SD013 finding appears with its severity.
+    assert!(t.num_rows() >= 2, "{t}");
+    let has_sd013 =
+        t.rows.iter().any(|row| row[1].as_str() == Ok("SD013") && row[2].as_str() == Ok("error"));
+    assert!(has_sd013, "expected an SD013 error row in {t}");
+}

@@ -1,0 +1,14 @@
+-- expect: SD014 SD017 SD018
+-- `plan` is created but never read (SD017, note); the SOLVESELECT's
+-- input table is provably empty — created and never inserted into —
+-- (SD018, warning); and the last SELECT reads a dropped table
+-- (SD014, error).
+CREATE TABLE plan (step int, cost float8);
+CREATE TABLE empty_input (x float8);
+SOLVESELECT s(x) AS (SELECT * FROM empty_input)
+  MINIMIZE (SELECT sum(x) FROM s)
+  SUBJECTTO (SELECT 0 <= x <= 1 FROM s)
+  USING solverlp();
+CREATE TABLE scratch (a int);
+DROP TABLE scratch;
+SELECT * FROM scratch;

@@ -1,0 +1,7 @@
+-- expect: SD015
+-- The second INSERT carries three values for a two-column table: the
+-- arity check runs against the schema derived from statement 1.
+CREATE TABLE t (a int, b int);
+INSERT INTO t VALUES (1, 2);
+INSERT INTO t VALUES (1, 2, 3);
+SELECT * FROM t;

@@ -1,0 +1,6 @@
+-- expect: SD014
+-- The final SELECT reads a table a previous statement dropped.
+CREATE TABLE prices (item text, usd float8);
+INSERT INTO prices VALUES ('widget', 9.5);
+DROP TABLE prices;
+SELECT * FROM prices;

@@ -1,0 +1,7 @@
+-- expect: SD015 SD016
+-- Statement 2 replaces a view nothing ever read (SD016, warning);
+-- statement 3 re-creates it without OR REPLACE (SD015, error).
+CREATE VIEW v AS SELECT 1 AS a;
+CREATE OR REPLACE VIEW v AS SELECT 2 AS a;
+CREATE VIEW v AS SELECT 3 AS a;
+SELECT * FROM v;

@@ -1,0 +1,6 @@
+-- expect: SD013
+-- The INSERT runs before the CREATE it depends on: the analyzer proves
+-- the use-before-create from the statement order alone.
+INSERT INTO orders VALUES (1, 'widget');
+CREATE TABLE orders (id int, item text);
+SELECT * FROM orders;

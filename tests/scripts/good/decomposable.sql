@@ -1,0 +1,12 @@
+-- A block-diagonal production model: each line's capacity constraint
+-- couples only that line's quantities, so the model splits into two
+-- independent blocks and the structure analyzer reports SD019.
+CREATE TABLE jobs (line int, job text, hours float8, profit float8, qty float8);
+INSERT INTO jobs VALUES
+  (1, 'a', 2, 25, NULL), (1, 'b', 4, 40, NULL),
+  (2, 'c', 3, 30, NULL), (2, 'd', 5, 55, NULL);
+SOLVESELECT j(qty) AS (SELECT * FROM jobs)
+  MAXIMIZE (SELECT sum(profit * qty) FROM j)
+  SUBJECTTO (SELECT sum(hours * qty) <= 100 FROM j GROUP BY line),
+            (SELECT 0 <= qty <= 20 FROM j)
+  USING solverlp();
