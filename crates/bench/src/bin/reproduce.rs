@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! reproduce [--quick] [--json[=DIR]]
-//!           [all|table1|fig3a|fig3b|fig4a|fig4b|fig5|fig6|fig7|fig8|fig9|fig10|fig11|presolve|executor|storage|summary]...
+//!           [all|table1|fig3a|fig3b|fig4a|fig4b|fig5|fig6|fig7|fig8|fig9|fig10|fig11|presolve|executor|storage|obs|summary]...
 //! ```
 //!
 //! With no selector, everything runs. `--quick` shrinks workloads to
@@ -28,7 +28,7 @@ fn main() {
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = vec![
             "table1", "fig3a", "fig3b", "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8", "fig9",
-            "fig10", "fig11", "presolve", "executor", "storage", "summary",
+            "fig10", "fig11", "presolve", "executor", "storage", "obs", "summary",
         ]
         .into_iter()
         .map(String::from)
@@ -59,6 +59,7 @@ fn main() {
             "presolve" => figures::presolve(cfg),
             "executor" => figures::executor(cfg),
             "storage" => figures::storage_fig(cfg),
+            "obs" => figures::obs_fig(cfg),
             "summary" => figures::summary(cfg),
             other => {
                 eprintln!("unknown artifact '{other}' — skipping");

@@ -5,7 +5,7 @@ use crate::check;
 use crate::explain;
 use crate::model::{expect_model, ModelValue};
 use crate::problem::{build_problem, build_problem_traced, materialize_env, CellPatch};
-use crate::solver::{SolveContext, SolverRegistry};
+use crate::solver::{SolveContext, SolveControl, SolverRegistry};
 use sqlengine::ast::{Query, SolveKind, SolveStmt};
 use sqlengine::catalog::{Ctes, Database, SolveHandler};
 use sqlengine::diag::Diagnostic;
@@ -52,7 +52,8 @@ impl SolveHandler for Handler {
         obs::trace::span_time(trace, "check", || {
             warnings.extend(check::check_problem(db, ctes, &prob));
         });
-        let ctx = SolveContext { db, ctes, trace };
+        let control = SolveControl::from_db(db);
+        let ctx = SolveContext { db, ctes, trace, control: control.as_ref() };
         let span = trace.map(|t| {
             let s = t.span("solve");
             s.note("solver", &using.solver);

@@ -5,9 +5,13 @@
 //! PostgreSQL's `pg_stat_statements`:
 //!
 //! - `sdb_stat_statements` — per statement-shape execution statistics
-//!   (including plan-cache hit/miss counters);
-//! - `sdb_solver_stats` — per (solver, method) telemetry aggregates;
-//! - `sdb_sessions` — live connections (non-empty only under `solvedbd`);
+//!   (including plan-cache hit/miss counters and latency quantiles);
+//! - `sdb_solver_stats` — per (solver, method) telemetry aggregates,
+//!   including the last run's incumbent trajectory;
+//! - `sdb_metrics` — latency histograms (pipeline stages, WAL append /
+//!   fsync, pooled statement latency) with p50/p90/p99/max;
+//! - `sdb_sessions` — live connections (non-empty only under
+//!   `solvedbd`), including the watchdog `kill` flag;
 //! - `sdb_storage` — WAL/checkpoint/recovery state (rows only when a
 //!   storage engine is attached, i.e. the session runs with a data
 //!   directory).
@@ -23,8 +27,8 @@ use std::sync::Arc;
 use storage::StorageEngine;
 
 /// Names of the observability tables, sorted.
-pub const OBS_TABLE_NAMES: [&str; 4] =
-    ["sdb_sessions", "sdb_solver_stats", "sdb_stat_statements", "sdb_storage"];
+pub const OBS_TABLE_NAMES: [&str; 5] =
+    ["sdb_metrics", "sdb_sessions", "sdb_solver_stats", "sdb_stat_statements", "sdb_storage"];
 
 /// The [`VirtualTableProvider`] exposing the metrics registry (and,
 /// when attached by a server, the session registry; and, when running
@@ -70,6 +74,9 @@ fn stat_statements(metrics: &MetricsRegistry) -> Table {
         Column::new("mean_ms", DataType::Float),
         Column::new("min_ms", DataType::Float),
         Column::new("max_ms", DataType::Float),
+        Column::new("p50_ms", DataType::Float),
+        Column::new("p95_ms", DataType::Float),
+        Column::new("p99_ms", DataType::Float),
         Column::new("rows", DataType::Int),
         Column::new("plan", DataType::Text),
         Column::new("cache_hits", DataType::Int),
@@ -87,6 +94,9 @@ fn stat_statements(metrics: &MetricsRegistry) -> Table {
                 ms(s.total_nanos.checked_div(s.calls).unwrap_or(0)),
                 ms(s.min_nanos),
                 ms(s.max_nanos),
+                ms(s.latency.p50()),
+                ms(s.latency.p95()),
+                ms(s.latency.p99()),
                 int(s.rows),
                 s.last_plan.map(|p| Value::text(format!("{p:016x}"))).unwrap_or(Value::Null),
                 int(s.cache_hits),
@@ -112,6 +122,7 @@ fn solver_stats(metrics: &MetricsRegistry) -> Table {
         Column::new("presolve_rows", DataType::Int),
         Column::new("presolve_bounds", DataType::Int),
         Column::new("last_objective", DataType::Float),
+        Column::new("incumbents", DataType::Text),
     ]);
     let rows = metrics
         .solvers()
@@ -131,10 +142,52 @@ fn solver_stats(metrics: &MetricsRegistry) -> Table {
                 int(a.presolve_rows),
                 int(a.presolve_bounds),
                 a.last_objective.map(Value::Float).unwrap_or(Value::Null),
+                if a.last_incumbents.is_empty() {
+                    Value::Null
+                } else {
+                    let traj: Vec<String> =
+                        a.last_incumbents.iter().map(|&(at, obj)| format!("{obj}@{at}")).collect();
+                    Value::text(format!("[{}]", traj.join(", ")))
+                },
             ]
         })
         .collect();
     Table::with_rows(schema, rows)
+}
+
+/// One row per latency histogram: every pipeline-stage path recorded by
+/// the tracer, plus the pooled per-statement latency as `statement`.
+fn metrics_table(metrics: &MetricsRegistry) -> Table {
+    let schema = Schema::new(vec![
+        Column::new("name", DataType::Text),
+        Column::new("count", DataType::Int),
+        Column::new("total_ms", DataType::Float),
+        Column::new("p50_ms", DataType::Float),
+        Column::new("p90_ms", DataType::Float),
+        Column::new("p99_ms", DataType::Float),
+        Column::new("max_ms", DataType::Float),
+    ]);
+    let mut rows = Vec::new();
+    let pooled = metrics.statement_latency();
+    if !pooled.is_empty() {
+        rows.push(hist_row("statement", &pooled));
+    }
+    for (name, h) in metrics.stages() {
+        rows.push(hist_row(&name, &h));
+    }
+    Table::with_rows(schema, rows)
+}
+
+fn hist_row(name: &str, h: &obs::Histogram) -> Vec<Value> {
+    vec![
+        Value::text(name),
+        int(h.count()),
+        ms(h.sum()),
+        ms(h.p50()),
+        ms(h.p90()),
+        ms(h.p99()),
+        ms(h.max()),
+    ]
 }
 
 fn sessions_table(sessions: Option<&SessionRegistry>) -> Table {
@@ -144,6 +197,7 @@ fn sessions_table(sessions: Option<&SessionRegistry>) -> Table {
         Column::new("queries", DataType::Int),
         Column::new("bytes_in", DataType::Int),
         Column::new("bytes_out", DataType::Int),
+        Column::new("kill", DataType::Bool),
     ]);
     let rows = sessions
         .map(|reg| {
@@ -156,6 +210,7 @@ fn sessions_table(sessions: Option<&SessionRegistry>) -> Table {
                         int(s.queries),
                         int(s.bytes_in),
                         int(s.bytes_out),
+                        Value::Bool(s.kill),
                     ]
                 })
                 .collect()
@@ -173,6 +228,7 @@ impl VirtualTableProvider for ObsTables {
         match name {
             "sdb_stat_statements" => Some(stat_statements(&self.metrics)),
             "sdb_solver_stats" => Some(solver_stats(&self.metrics)),
+            "sdb_metrics" => Some(metrics_table(&self.metrics)),
             "sdb_sessions" => Some(sessions_table(self.sessions.as_deref())),
             "sdb_storage" => Some(
                 self.storage.as_ref().map(|e| e.status_table()).unwrap_or_else(empty_storage_table),
@@ -221,5 +277,52 @@ mod tests {
         assert_eq!(t.rows[0][9], Value::Int(2));
         assert_eq!(t.rows[0][11], Value::Int(4));
         assert_eq!(t.rows[0][12], Value::Float(1.5));
+    }
+
+    #[test]
+    fn solver_rows_render_the_incumbent_trajectory() {
+        let metrics = Arc::new(MetricsRegistry::default());
+        metrics.record_solver(
+            &obs::SolverStats {
+                solver: "solverlp".into(),
+                method: "bb".into(),
+                objective: Some(6.5),
+                incumbents: vec![(1, 4.0), (3, 6.5)],
+                ..obs::SolverStats::default()
+            },
+            1_000,
+        );
+        let t = ObsTables::new(metrics, None, None).table("sdb_solver_stats").unwrap();
+        let last = t.rows[0].last().unwrap();
+        assert_eq!(last, &Value::text("[4@1, 6.5@3]"));
+    }
+
+    #[test]
+    fn metrics_table_surfaces_stage_and_statement_histograms() {
+        let metrics = Arc::new(MetricsRegistry::default());
+        metrics.record_stage("wal.fsync", 2_000_000);
+        metrics.record_stage("wal.fsync", 4_000_000);
+        metrics.record_statement_exec("SELECT ?", 1_000_000, 1, false, None, None);
+        let t = ObsTables::new(metrics, None, None).table("sdb_metrics").unwrap();
+        assert_eq!(t.schema.columns[0].name, "name");
+        let names: Vec<String> = t.rows.iter().map(|r| format!("{}", r[0])).collect();
+        assert!(names.contains(&"statement".to_string()), "{names:?}");
+        assert!(names.contains(&"wal.fsync".to_string()), "{names:?}");
+        let fsync = t.rows.iter().find(|r| format!("{}", r[0]) == "wal.fsync").unwrap();
+        assert_eq!(fsync[1], Value::Int(2));
+    }
+
+    #[test]
+    fn stat_statements_carry_latency_quantiles() {
+        let metrics = Arc::new(MetricsRegistry::default());
+        for _ in 0..10 {
+            metrics.record_statement_exec("SELECT ?", 1_000_000, 1, false, None, None);
+        }
+        let t = ObsTables::new(metrics, None, None).table("sdb_stat_statements").unwrap();
+        let p50_idx = t.schema.columns.iter().position(|c| c.name == "p50_ms").unwrap();
+        match t.rows[0][p50_idx] {
+            Value::Float(v) => assert!(v > 0.9 && v < 1.2, "p50 {v}"),
+            ref other => panic!("got {other:?}"),
+        }
     }
 }

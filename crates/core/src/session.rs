@@ -208,6 +208,15 @@ impl Session {
         let (out, elapsed) =
             obs::timed(|| execute_statement_timed(&mut self.db, stmt, parse_nanos));
         let nanos = elapsed.as_nanos() as u64;
+        // Fold per-stage latency distributions in before the group
+        // commit appends its wal.append stage: the WAL histograms are
+        // recorded by the storage engine itself, so recording the
+        // appended stage here would double-count them.
+        if let Ok(res) = &out {
+            if let Some(tr) = &res.trace {
+                self.metrics.record_trace_stages(tr);
+            }
+        }
         // Group commit: everything the statement logged goes to the WAL
         // in one write (and at most one fsync, per policy). This runs
         // even when the statement errored — partial in-memory effects
@@ -313,9 +322,30 @@ impl Session {
 
     /// Expose a server's live-session registry through `sdb_sessions`
     /// (called by `solvedbd` when it builds a connection's session).
+    /// Also makes `CANCEL <session>` resolvable from this session.
     pub fn attach_session_registry(&mut self, sessions: Arc<SessionRegistry>) {
+        self.db.set_session_registry(Some(sessions.clone()));
         self.session_registry = Some(sessions);
         self.rebuild_virtual_tables();
+    }
+
+    /// Attach this session's own per-connection counters, making it
+    /// killable via `CANCEL` (the watchdog polls the kill flag at
+    /// solver progress points).
+    pub fn attach_own_counters(&mut self, counters: Arc<obs::SessionCounters>) {
+        self.db.set_own_counters(Some(counters));
+    }
+
+    /// Install the live-progress sink solvers emit [`obs::ProgressEvent`]s
+    /// into (throttled by the watchdog to ~10 Hz).
+    pub fn set_progress_sink(&mut self, sink: Arc<dyn Fn(&obs::ProgressEvent) + Send + Sync>) {
+        self.db.set_progress_sink(Some(sink));
+    }
+
+    /// Set (or clear, with `None`/`Some(0)`) the solver wall-clock
+    /// budget — the programmatic face of `SET solver_timeout_ms`.
+    pub fn set_solver_timeout_ms(&mut self, ms: Option<u64>) {
+        self.db.set_solver_timeout_ms(ms.filter(|&v| v > 0));
     }
 
     /// Make the session durable: hydrate the catalog from the engine's
@@ -324,6 +354,7 @@ impl Session {
     /// subsequent mutation is WAL-logged. Hydration runs *before* the
     /// hook attaches, so replayed history is not logged a second time.
     pub fn attach_storage(&mut self, engine: Arc<StorageEngine>) -> Result<()> {
+        engine.attach_metrics(self.metrics.clone());
         engine.hydrate(&mut self.db)?;
         let hook = Arc::new(SessionHook::new(engine.clone()));
         self.db.set_durability_hook(hook.clone());

@@ -72,7 +72,20 @@ impl Solver for LpSolver {
                     Some(limit) => lp::mip::MipOptions { node_limit: limit, ..Default::default() },
                     None => lp::mip::MipOptions::default(),
                 };
-                let (sol, st) = lp::mip::branch_and_bound_stats(target, opts);
+                // Progress points double as the watchdog's cooperative
+                // cancellation checks (every PROGRESS_NODE_INTERVAL
+                // nodes plus every new incumbent).
+                let (sol, st) = lp::mip::branch_and_bound_with(target, opts, &mut |p| {
+                    ctx.progress(obs::ProgressEvent {
+                        solver: "solverlp".into(),
+                        method: "mip".into(),
+                        nodes: p.nodes as u64,
+                        iterations: p.pivots as u64,
+                        incumbent: p.incumbent,
+                        best_bound: p.best_bound,
+                        ..obs::ProgressEvent::default()
+                    })
+                });
                 (sol, Some(st))
             } else {
                 (lp::simplex::solve_lp(target), None)
@@ -82,7 +95,14 @@ impl Solver for LpSolver {
             Some(p) => p.uncrush_solution(sol),
             None => sol,
         };
-        ctx.report(telemetry(&sol, stats.as_ref(), counts));
+        let tele = telemetry(&sol, stats.as_ref(), counts);
+        let incumbents = tele.incumbents.clone();
+        ctx.report(tele);
+        if sol.status == lp::Status::Interrupted {
+            // Watchdog fired: surface the trajectory collected so far
+            // instead of a result table.
+            return Err(ctx.abort_error(&incumbents));
+        }
         ctx.stage("post-process", || finish(prob, sol, &used))
     }
 }
@@ -93,8 +113,11 @@ fn telemetry(
     stats: Option<&lp::mip::MipStats>,
     counts: Counts,
 ) -> obs::SolverStats {
-    let objective =
-        matches!(sol.status, lp::Status::Optimal | lp::Status::NodeLimit).then_some(sol.objective);
+    // Interrupted solves carry an objective only when an incumbent was
+    // found before the watchdog fired.
+    let objective = (matches!(sol.status, lp::Status::Optimal | lp::Status::NodeLimit)
+        || (sol.status == lp::Status::Interrupted && !sol.x.is_empty()))
+    .then_some(sol.objective);
     let mut out = match stats {
         Some(st) => obs::SolverStats {
             solver: "solverlp".into(),
@@ -133,5 +156,10 @@ fn finish(
         }
         lp::Status::Infeasible => Err(Error::solver("the problem is infeasible")),
         lp::Status::Unbounded => Err(Error::solver("the problem is unbounded")),
+        // Interrupted solves are turned into SolveTimeout before
+        // post-processing; reaching here would be a solver bug.
+        lp::Status::Interrupted => {
+            Err(Error::solver("internal: interrupted solve was not aborted"))
+        }
     }
 }

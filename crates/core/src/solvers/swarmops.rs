@@ -8,7 +8,10 @@
 
 use crate::problem::{apply_solution, blackbox_fitness, build_blackbox, ProblemInstance};
 use crate::solver::{SolveContext, Solver};
-use globalopt::{differential_evolution, pso, sa_from, DeOptions, PsoOptions, SaOptions};
+use globalopt::{
+    differential_evolution_with, pso_with, sa_from_with, DeOptions, PsoOptions, SaOptions,
+    SearchProgress,
+};
 use sqlengine::error::Result;
 use sqlengine::table::Table;
 
@@ -30,33 +33,53 @@ impl Solver for SwarmOps {
         let seed = prob.param_usize("seed").transpose()?.unwrap_or(0x5001_7EDB) as u64;
         let method = prob.method.as_deref().unwrap_or("pso");
         let search = ctx.trace.map(|t| t.span("search"));
+        // One watchdog/progress callback shared by the three methods;
+        // `interrupted` records whether it asked the search to stop.
+        let mut interrupted = false;
+        let mut on_progress = |sp: &SearchProgress| {
+            let go = ctx.progress(obs::ProgressEvent {
+                solver: "swarmops".into(),
+                method: method.into(),
+                iterations: sp.iteration as u64,
+                evaluations: sp.evaluations as u64,
+                incumbent: sp.best.is_finite().then_some(sp.best),
+                ..obs::ProgressEvent::default()
+            });
+            if !go {
+                interrupted = true;
+            }
+            go
+        };
         let result = match method {
             "sa" => {
                 let iterations = prob.param_usize("iterations").transpose()?.unwrap_or(2000);
-                sa_from(
+                sa_from_with(
                     fitness,
                     &bb.space,
                     SaOptions { iterations, seed, ..Default::default() },
                     bb.start.clone(),
+                    &mut on_progress,
                 )
             }
             "de" => {
                 let iterations = prob.param_usize("iterations").transpose()?.unwrap_or(60);
                 let population = prob.param_usize("population").transpose()?.unwrap_or(20);
-                differential_evolution(
+                differential_evolution_with(
                     fitness,
                     &bb.space,
                     DeOptions { iterations, population, seed, ..Default::default() },
+                    &mut on_progress,
                 )
             }
             _ => {
                 // The paper's UC2 setting: 10 particles × 10 iterations.
                 let iterations = prob.param_usize("iterations").transpose()?.unwrap_or(10);
                 let particles = prob.param_usize("particles").transpose()?.unwrap_or(10);
-                pso(
+                pso_with(
                     fitness,
                     &bb.space,
                     PsoOptions { particles, iterations, seed, ..Default::default() },
+                    &mut on_progress,
                 )
             }
         };
@@ -69,6 +92,11 @@ impl Solver for SwarmOps {
             objective: Some(result.value),
             ..obs::SolverStats::default()
         });
+        if interrupted {
+            let trajectory =
+                result.value.is_finite().then_some((result.iterations as u64, result.value));
+            return Err(ctx.abort_error(trajectory.as_slice()));
+        }
         let x = result.x;
         ctx.stage("post-process", || Ok(apply_solution(prob, &|v| Some(x[v as usize]))))
     }

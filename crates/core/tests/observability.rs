@@ -174,5 +174,85 @@ fn sdb_sessions_is_empty_without_a_server() {
     let mut s = Session::new();
     let t = s.query("SELECT * FROM sdb_sessions").unwrap();
     assert_eq!(t.num_rows(), 0);
-    assert_eq!(t.schema.len(), 5);
+    assert_eq!(t.schema.len(), 6);
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog: solver timeouts, CANCEL, and the histogram tables
+// ---------------------------------------------------------------------------
+
+/// A knapsack hard enough that branch-and-bound reaches its progress
+/// points many times before closing the gap.
+fn hard_knapsack_setup(s: &mut Session, n: usize) {
+    s.execute("CREATE TABLE items (id int, value float8, weight float8, pick int)").unwrap();
+    let rows: Vec<String> = (0..n)
+        .map(|i| format!("({i}, {}, {}, NULL)", (i * 7) % 13 + 1, (i * 5) % 11 + 1))
+        .collect();
+    s.execute(&format!("INSERT INTO items VALUES {}", rows.join(", "))).unwrap();
+}
+
+const HARD_SOLVE: &str = "SOLVESELECT it(pick) AS (SELECT * FROM items) \
+     MAXIMIZE (SELECT sum(value * pick) FROM it) \
+     SUBJECTTO (SELECT sum(weight * pick) <= 80 FROM it), \
+               (SELECT 0 <= pick <= 1 FROM it) \
+     USING solverlp.cbc()";
+
+#[test]
+fn solver_timeout_returns_solve_timeout_and_session_stays_usable() {
+    let mut s = Session::new();
+    hard_knapsack_setup(&mut s, 44);
+    s.execute("SET solver_timeout_ms = 1").unwrap();
+    let err = s.execute(HARD_SOLVE).unwrap_err();
+    assert!(matches!(err, sqlengine::Error::SolveTimeout(_)), "got {err}");
+    assert!(err.to_string().contains("budget"), "{err}");
+    // The budget can be cleared and the session keeps working.
+    s.execute("SET solver_timeout_ms = 0").unwrap();
+    assert_eq!(s.query_scalar("SELECT 1 + 1").unwrap(), Value::Int(2));
+}
+
+#[test]
+fn pending_cancel_aborts_the_next_solve() {
+    use obs::SessionRegistry;
+    use std::sync::Arc;
+    let registry = Arc::new(SessionRegistry::new());
+    let counters = registry.open(7);
+    let mut s = Session::new();
+    s.attach_session_registry(registry.clone());
+    s.attach_own_counters(counters.clone());
+    hard_knapsack_setup(&mut s, 44);
+    counters.request_kill();
+    let err = s.execute(HARD_SOLVE).unwrap_err();
+    assert!(matches!(err, sqlengine::Error::SolveTimeout(_)), "got {err}");
+    assert!(err.to_string().contains("cancelled"), "{err}");
+    // The abort consumed the kill flag: the session solves again.
+    assert!(!counters.kill_requested());
+    let t = s.query("SELECT session_id, kill FROM sdb_sessions").unwrap();
+    assert_eq!(t.rows, vec![vec![Value::Int(7), Value::Bool(false)]]);
+}
+
+#[test]
+fn cancel_statement_sets_the_kill_flag() {
+    use obs::SessionRegistry;
+    use std::sync::Arc;
+    let registry = Arc::new(SessionRegistry::new());
+    let victim = registry.open(3);
+    let mut admin = Session::new();
+    admin.attach_session_registry(registry.clone());
+    admin.execute("CANCEL 3").unwrap();
+    assert!(victim.kill_requested());
+    // Unknown sessions error cleanly.
+    let err = admin.execute("CANCEL 99").unwrap_err();
+    assert!(err.to_string().contains("no live session"), "{err}");
+}
+
+#[test]
+fn sdb_metrics_exposes_stage_histograms_after_a_solve() {
+    let mut s = Session::new();
+    s.execute_script(SETUP).unwrap();
+    s.query(SOLVE).unwrap();
+    let t = s.query("SELECT name, count FROM sdb_metrics").unwrap();
+    let names = text_column(&t, "name");
+    for expected in ["statement", "solve", "solve/compile"] {
+        assert!(names.iter().any(|n| n == expected), "missing {expected} in {names:?}");
+    }
 }

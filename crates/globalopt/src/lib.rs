@@ -99,6 +99,21 @@ pub struct OptResult {
     pub iterations: usize,
 }
 
+/// Point-in-time snapshot of a running search, handed to the progress
+/// callback of the `_with` variants once per outer iteration. Returning
+/// `false` from the callback stops the search cooperatively; the result
+/// then carries the best point found so far and the iterations actually
+/// run (the caller knows it interrupted — it returned `false`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchProgress {
+    /// Outer iterations completed so far (1-based at first callback).
+    pub iteration: usize,
+    /// Objective evaluations so far.
+    pub evaluations: usize,
+    /// Best objective value found so far (minimization sense).
+    pub best: f64,
+}
+
 // ---------------------------------------------------------------------------
 // Particle Swarm Optimization (Kennedy & Eberhart)
 // ---------------------------------------------------------------------------
@@ -130,7 +145,18 @@ impl Default for PsoOptions {
 }
 
 /// Minimize `f` by particle swarm optimization.
-pub fn pso(mut f: impl FnMut(&[f64]) -> f64, space: &SearchSpace, opts: PsoOptions) -> OptResult {
+pub fn pso(f: impl FnMut(&[f64]) -> f64, space: &SearchSpace, opts: PsoOptions) -> OptResult {
+    pso_with(f, space, opts, &mut |_| true)
+}
+
+/// [`pso`] with a per-iteration progress callback (see
+/// [`SearchProgress`]).
+pub fn pso_with(
+    mut f: impl FnMut(&[f64]) -> f64,
+    space: &SearchSpace,
+    opts: PsoOptions,
+    on_progress: &mut dyn FnMut(&SearchProgress) -> bool,
+) -> OptResult {
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let n = space.dim();
     let mut evaluations = 0usize;
@@ -154,7 +180,9 @@ pub fn pso(mut f: impl FnMut(&[f64]) -> f64, space: &SearchSpace, opts: PsoOptio
     let mut gbest = pbest[gbest_idx].clone();
     let mut gbest_val = pbest_val[gbest_idx];
 
-    for _ in 0..opts.iterations {
+    let mut ran = 0usize;
+    for it in 0..opts.iterations {
+        ran = it + 1;
         for p in 0..opts.particles {
             for i in 0..n {
                 let r1: f64 = rng.gen();
@@ -175,8 +203,11 @@ pub fn pso(mut f: impl FnMut(&[f64]) -> f64, space: &SearchSpace, opts: PsoOptio
                 }
             }
         }
+        if !on_progress(&SearchProgress { iteration: ran, evaluations, best: gbest_val }) {
+            break;
+        }
     }
-    OptResult { x: gbest, value: gbest_val, evaluations, iterations: opts.iterations }
+    OptResult { x: gbest, value: gbest_val, evaluations, iterations: ran }
 }
 
 // ---------------------------------------------------------------------------
@@ -222,10 +253,24 @@ pub fn simulated_annealing(
 /// Simulated annealing from an explicit starting point (SolveDB+ uses the
 /// decision columns' initial values when present).
 pub fn sa_from(
+    f: impl FnMut(&[f64]) -> f64,
+    space: &SearchSpace,
+    opts: SaOptions,
+    x: Vec<f64>,
+) -> OptResult {
+    sa_from_with(f, space, opts, x, &mut |_| true)
+}
+
+/// [`sa_from`] with a per-iteration progress callback (see
+/// [`SearchProgress`]). The callback is throttled to every 64 annealing
+/// steps — a step is one objective evaluation, far cheaper than a
+/// PSO/DE generation.
+pub fn sa_from_with(
     mut f: impl FnMut(&[f64]) -> f64,
     space: &SearchSpace,
     opts: SaOptions,
     mut x: Vec<f64>,
+    on_progress: &mut dyn FnMut(&SearchProgress) -> bool,
 ) -> OptResult {
     let mut rng = StdRng::seed_from_u64(opts.seed.wrapping_add(1));
     space.repair(&mut x);
@@ -246,7 +291,9 @@ pub fn sa_from(
     let scale = if cur_val.is_finite() { cur_val.abs().max(1.0) } else { 1.0 };
     let mut temp = opts.initial_temperature * scale;
 
-    for _ in 0..opts.iterations {
+    let mut ran = 0usize;
+    for it in 0..opts.iterations {
+        ran = it + 1;
         let mut cand = x.clone();
         // Perturb a random subset of dimensions.
         let k = rng.gen_range(1..=n.max(1));
@@ -272,8 +319,16 @@ pub fn sa_from(
             }
         }
         temp *= opts.cooling;
+        // `u64::is_multiple_of` would read better but needs Rust 1.87;
+        // the workspace MSRV is 1.75.
+        #[allow(clippy::manual_is_multiple_of)]
+        if ran % 64 == 0
+            && !on_progress(&SearchProgress { iteration: ran, evaluations, best: best_val })
+        {
+            break;
+        }
     }
-    OptResult { x: best, value: best_val, evaluations, iterations: opts.iterations }
+    OptResult { x: best, value: best_val, evaluations, iterations: ran }
 }
 
 // ---------------------------------------------------------------------------
@@ -299,9 +354,20 @@ impl Default for DeOptions {
 
 /// Minimize `f` by differential evolution (rand/1/bin scheme).
 pub fn differential_evolution(
+    f: impl FnMut(&[f64]) -> f64,
+    space: &SearchSpace,
+    opts: DeOptions,
+) -> OptResult {
+    differential_evolution_with(f, space, opts, &mut |_| true)
+}
+
+/// [`differential_evolution`] with a per-generation progress callback
+/// (see [`SearchProgress`]).
+pub fn differential_evolution_with(
     mut f: impl FnMut(&[f64]) -> f64,
     space: &SearchSpace,
     opts: DeOptions,
+    on_progress: &mut dyn FnMut(&SearchProgress) -> bool,
 ) -> OptResult {
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let n = space.dim();
@@ -320,7 +386,9 @@ pub fn differential_evolution(
     let mut pop: Vec<Vec<f64>> = (0..np).map(|_| space.sample(&mut rng)).collect();
     let mut vals: Vec<f64> = pop.iter().map(|x| eval(x, &mut evaluations)).collect();
 
-    for _ in 0..opts.iterations {
+    let mut ran = 0usize;
+    for it in 0..opts.iterations {
+        ran = it + 1;
         for i in 0..np {
             // Pick three distinct indices ≠ i.
             let mut pick = || loop {
@@ -344,9 +412,13 @@ pub fn differential_evolution(
                 vals[i] = tv;
             }
         }
+        if !on_progress(&SearchProgress { iteration: ran, evaluations, best: vals[argmin(&vals)] })
+        {
+            break;
+        }
     }
     let bi = argmin(&vals);
-    OptResult { x: pop[bi].clone(), value: vals[bi], evaluations, iterations: opts.iterations }
+    OptResult { x: pop[bi].clone(), value: vals[bi], evaluations, iterations: ran }
 }
 
 #[cfg(test)]
@@ -425,6 +497,56 @@ mod tests {
         assert_eq!(a.x, b.x);
         let c = pso(sphere, &box3(), PsoOptions { seed: 7, ..Default::default() });
         assert_ne!(a.x, c.x);
+    }
+
+    #[test]
+    fn progress_callback_can_stop_each_method() {
+        let space = box3();
+        // PSO: stop after 5 generations.
+        let mut seen = 0usize;
+        let r = pso_with(
+            sphere,
+            &space,
+            PsoOptions { particles: 10, iterations: 500, ..Default::default() },
+            &mut |p| {
+                seen = p.iteration;
+                assert!(p.evaluations > 0);
+                assert!(p.best.is_finite());
+                p.iteration < 5
+            },
+        );
+        assert_eq!(seen, 5);
+        assert_eq!(r.iterations, 5);
+        assert!(r.value.is_finite());
+
+        // DE: same contract.
+        let r = differential_evolution_with(
+            sphere,
+            &space,
+            DeOptions { iterations: 500, ..Default::default() },
+            &mut |p| p.iteration < 3,
+        );
+        assert_eq!(r.iterations, 3);
+
+        // SA: throttled to every 64 steps, so the stop lands on a
+        // multiple of 64.
+        let r = sa_from_with(
+            sphere,
+            &space,
+            SaOptions { iterations: 100_000, ..Default::default() },
+            vec![1.0, 1.0, 1.0],
+            &mut |p| p.iteration < 128,
+        );
+        assert_eq!(r.iterations, 128);
+    }
+
+    #[test]
+    fn uninterrupted_with_variants_match_plain_calls() {
+        let a = pso(sphere, &box3(), PsoOptions::default());
+        let b = pso_with(sphere, &box3(), PsoOptions::default(), &mut |_| true);
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.iterations, b.iterations);
     }
 
     #[test]

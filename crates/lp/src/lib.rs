@@ -160,6 +160,10 @@ pub enum Status {
     Unbounded,
     /// Branch-and-bound hit its node limit before proving optimality.
     NodeLimit,
+    /// The caller's progress callback asked the search to stop (solver
+    /// watchdog: timeout or kill). The best incumbent found so far — if
+    /// any — is in the solution.
+    Interrupted,
 }
 
 /// A solve result.

@@ -93,6 +93,27 @@ pub struct MipStats {
     pub incumbents: Vec<(usize, f64)>,
 }
 
+/// A point-in-time snapshot of a running branch-and-bound search,
+/// handed to the progress callback of [`branch_and_bound_with`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MipProgress {
+    /// Nodes whose LP relaxation has been solved so far.
+    pub nodes: usize,
+    /// Simplex pivots summed over all relaxations so far.
+    pub pivots: usize,
+    /// Best feasible objective found so far, in the problem's own
+    /// optimization sense.
+    pub incumbent: Option<f64>,
+    /// Relaxation bound of the node being explored, in the problem's
+    /// own sense.
+    pub best_bound: Option<f64>,
+}
+
+/// The progress callback fires at least once every this many nodes (and
+/// additionally on every new incumbent), bounding both its overhead and
+/// the watchdog's reaction latency.
+pub const PROGRESS_NODE_INTERVAL: usize = 32;
+
 /// Solve a MIP by branch-and-bound.
 pub fn branch_and_bound(root: &Problem, opts: MipOptions) -> Solution {
     branch_and_bound_stats(root, opts).0
@@ -100,6 +121,18 @@ pub fn branch_and_bound(root: &Problem, opts: MipOptions) -> Solution {
 
 /// Solve a MIP by branch-and-bound, also reporting search telemetry.
 pub fn branch_and_bound_stats(root: &Problem, opts: MipOptions) -> (Solution, MipStats) {
+    branch_and_bound_with(root, opts, &mut |_| true)
+}
+
+/// Solve a MIP by branch-and-bound with a progress callback. The
+/// callback runs every [`PROGRESS_NODE_INTERVAL`] nodes and on every
+/// new incumbent; returning `false` stops the search cooperatively with
+/// [`Status::Interrupted`], keeping the best incumbent found so far.
+pub fn branch_and_bound_with(
+    root: &Problem,
+    opts: MipOptions,
+    on_progress: &mut dyn FnMut(&MipProgress) -> bool,
+) -> (Solution, MipStats) {
     // Work in minimization sense internally.
     let sense = if root.minimize { 1.0 } else { -1.0 };
     let mut stats = MipStats::default();
@@ -130,6 +163,7 @@ pub fn branch_and_bound_stats(root: &Problem, opts: MipOptions) -> (Solution, Mi
     let mut incumbent: Option<(f64, Vec<f64>)> = None; // (sense-adjusted obj, x)
     let mut nodes = 0usize;
     let mut hit_limit = false;
+    let mut interrupted = false;
 
     while let Some(node) = heap.pop() {
         // Bound pruning.
@@ -142,6 +176,20 @@ pub fn branch_and_bound_stats(root: &Problem, opts: MipOptions) -> (Solution, Mi
         nodes += 1;
         if nodes > opts.node_limit {
             hit_limit = true;
+            break;
+        }
+        // `u64::is_multiple_of` would read better but needs Rust 1.87;
+        // the workspace MSRV is 1.75.
+        #[allow(clippy::manual_is_multiple_of)]
+        if nodes % PROGRESS_NODE_INTERVAL == 0
+            && !on_progress(&MipProgress {
+                nodes,
+                pivots: stats.simplex_iterations,
+                incumbent: incumbent.as_ref().map(|(o, _)| sense * *o),
+                best_bound: Some(sense * node.bound),
+            })
+        {
+            interrupted = true;
             break;
         }
         // Materialize the subproblem.
@@ -176,6 +224,15 @@ pub fn branch_and_bound_stats(root: &Problem, opts: MipOptions) -> (Solution, Mi
                     if incumbent.as_ref().map_or(true, |(inc, _)| obj < *inc) {
                         stats.incumbents.push((nodes, sense * obj));
                         incumbent = Some((obj, x));
+                        if !on_progress(&MipProgress {
+                            nodes,
+                            pivots: stats.simplex_iterations,
+                            incumbent: Some(sense * obj),
+                            best_bound: Some(sense * node.bound),
+                        }) {
+                            interrupted = true;
+                            break;
+                        }
                     }
                 }
             }
@@ -193,9 +250,9 @@ pub fn branch_and_bound_stats(root: &Problem, opts: MipOptions) -> (Solution, Mi
     stats.nodes_explored = nodes;
     let solution = match incumbent {
         None => {
-            if hit_limit {
+            if interrupted || hit_limit {
                 Solution {
-                    status: Status::NodeLimit,
+                    status: if interrupted { Status::Interrupted } else { Status::NodeLimit },
                     x: vec![],
                     objective: f64::NAN,
                     iterations: stats.simplex_iterations,
@@ -206,7 +263,13 @@ pub fn branch_and_bound_stats(root: &Problem, opts: MipOptions) -> (Solution, Mi
             }
         }
         Some((obj, x)) => Solution {
-            status: if hit_limit { Status::NodeLimit } else { Status::Optimal },
+            status: if interrupted {
+                Status::Interrupted
+            } else if hit_limit {
+                Status::NodeLimit
+            } else {
+                Status::Optimal
+            },
             objective: sense * obj,
             x,
             iterations: stats.simplex_iterations,
@@ -343,6 +406,69 @@ mod tests {
             assert!(w[1].1 > w[0].1, "incumbent trajectory must improve: {:?}", st.incumbents);
         }
         assert!((st.incumbents.last().unwrap().1 - s.objective).abs() < 1e-9);
+    }
+
+    fn hard_knapsack(n: usize) -> Problem {
+        let values: Vec<f64> = (0..n).map(|i| (i * 7 % 13) as f64 + 1.0).collect();
+        let weights: Vec<f64> = (0..n).map(|i| (i * 5 % 11) as f64 + 1.0).collect();
+        let cap = weights.iter().sum::<f64>() * 0.45;
+        let mut p = Problem::maximize(n);
+        for j in 0..n {
+            p.set_bounds(j, 0.0, 1.0);
+            p.integer[j] = true;
+        }
+        p.set_objective(values.into_iter().enumerate().collect());
+        p.add_constraint(weights.into_iter().enumerate().collect(), Rel::Le, cap);
+        p
+    }
+
+    #[test]
+    fn progress_callback_observes_the_search() {
+        let p = hard_knapsack(14);
+        let mut events: Vec<MipProgress> = Vec::new();
+        let (s, st) = branch_and_bound_with(&p, MipOptions::default(), &mut |ev| {
+            events.push(*ev);
+            true
+        });
+        assert_eq!(s.status, Status::Optimal);
+        // Every new incumbent fires the callback, so at least the
+        // incumbent trajectory is visible.
+        assert!(events.len() >= st.incumbents.len());
+        // Node counts are monotone non-decreasing across events.
+        for w in events.windows(2) {
+            assert!(w[1].nodes >= w[0].nodes);
+        }
+        let final_inc =
+            events.iter().rev().find_map(|e| e.incumbent).expect("some event carries an incumbent");
+        assert!((final_inc - s.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn callback_false_interrupts_with_incumbent() {
+        let p = hard_knapsack(16);
+        // Stop as soon as any incumbent exists.
+        let (s, st) =
+            branch_and_bound_with(&p, MipOptions::default(), &mut |ev| ev.incumbent.is_none());
+        assert_eq!(s.status, Status::Interrupted);
+        assert!(!st.incumbents.is_empty());
+        assert!(!s.x.is_empty(), "interrupted solve keeps the incumbent point");
+        assert!(s.objective.is_finite());
+        // And the full search would have kept going.
+        let full = branch_and_bound(&p, MipOptions::default());
+        assert_eq!(full.status, Status::Optimal);
+        assert!(full.objective >= s.objective - 1e-9);
+    }
+
+    #[test]
+    fn immediate_interrupt_without_incumbent() {
+        let p = hard_knapsack(16);
+        let (s, _) = branch_and_bound_with(&p, MipOptions::default(), &mut |_| false);
+        // Either the root relaxation was integral (unlikely here) or we
+        // stopped before any incumbent.
+        assert!(matches!(s.status, Status::Interrupted | Status::Optimal));
+        if s.status == Status::Interrupted {
+            assert!(s.x.is_empty() || s.objective.is_finite());
+        }
     }
 
     #[test]

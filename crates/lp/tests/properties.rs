@@ -64,6 +64,11 @@ proptest! {
                 prop_assert!(false, "bounded LP reported unbounded");
             }
             Status::NodeLimit => prop_assert!(false, "LP reported node limit"),
+            Status::Interrupted => {
+                // No callback installed here, so the search can never
+                // be interrupted.
+                prop_assert!(false, "LP reported interrupted without a callback");
+            }
         }
     }
 

@@ -25,10 +25,16 @@
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod hist;
 pub mod metrics;
+pub mod progress;
+pub mod slowlog;
 pub mod trace;
 
+pub use hist::Histogram;
 pub use metrics::{
     MetricsRegistry, SessionCounters, SessionRegistry, SessionSnapshot, SolverAgg, StatementStats,
 };
+pub use progress::ProgressEvent;
+pub use slowlog::{slow_query_line, SlowQuery};
 pub use trace::{timed, QueryTrace, SolverStats, Span, Stage, Trace};

@@ -6,15 +6,20 @@
 //! through an `Arc`). [`SessionRegistry`] tracks live server sessions.
 //! Both are read back through the `sdb_*` virtual tables.
 
+use crate::hist::Histogram;
 use crate::trace::SolverStats;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 /// Cap on distinct statement shapes kept, to bound memory on adversarial
 /// workloads. Once full, new shapes are dropped (existing keep updating).
 const MAX_STATEMENT_SHAPES: usize = 10_000;
+
+/// Cap on distinct pipeline-stage names kept. Stage names come from the
+/// engine, not users, so this is a backstop rather than a likely limit.
+const MAX_STAGE_NAMES: usize = 1_000;
 
 /// Cumulative counters for one statement shape.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -36,6 +41,9 @@ pub struct StatementStats {
     pub cache_hits: u64,
     /// Cache-eligible executions that had to plan fresh.
     pub cache_misses: u64,
+    /// Latency distribution across calls (p50/p95/p99 in
+    /// `sdb_stat_statements` read from here).
+    pub latency: Histogram,
 }
 
 /// Cumulative telemetry for one (solver, method) pair.
@@ -52,12 +60,19 @@ pub struct SolverAgg {
     pub presolve_rows: u64,
     pub presolve_bounds: u64,
     pub last_objective: Option<f64>,
+    /// Incumbent trajectory `(node index, objective)` of the most
+    /// recent run that produced one (MIP solves). Empty otherwise.
+    pub last_incumbents: Vec<(u64, f64)>,
 }
 
 #[derive(Debug, Default)]
 struct MetricsInner {
     statements: HashMap<String, StatementStats>,
     solvers: HashMap<(String, String), SolverAgg>,
+    /// Latency distribution per pipeline stage (`parse`, `plan`,
+    /// `solve/compile`, `wal.append`, ... — slash-joined stage paths
+    /// from the per-query trace trees).
+    stages: HashMap<String, Histogram>,
 }
 
 /// Thread-safe cumulative metrics store.
@@ -127,6 +142,31 @@ impl MetricsRegistry {
             Some(false) => st.cache_misses += 1,
             None => {}
         }
+        st.latency.record(nanos);
+    }
+
+    /// Record one timed pipeline-stage execution (`name` is the
+    /// slash-joined stage path, e.g. `solve/compile`).
+    pub fn record_stage(&self, name: &str, nanos: u64) {
+        let mut inner = self.lock();
+        if !inner.stages.contains_key(name) && inner.stages.len() >= MAX_STAGE_NAMES {
+            return;
+        }
+        inner.stages.entry(name.to_string()).or_default().record(nanos);
+    }
+
+    /// Record a whole trace tree: every stage (recursively, with
+    /// slash-joined paths) lands in its own histogram.
+    pub fn record_trace_stages(&self, trace: &crate::trace::QueryTrace) {
+        fn walk(reg: &MetricsRegistry, prefix: &str, stages: &[crate::trace::Stage]) {
+            for s in stages {
+                let path =
+                    if prefix.is_empty() { s.name.clone() } else { format!("{prefix}/{}", s.name) };
+                reg.record_stage(&path, s.nanos);
+                walk(reg, &path, &s.children);
+            }
+        }
+        walk(self, "", &trace.stages);
     }
 
     /// Fold one solver invocation's telemetry into the aggregate.
@@ -146,6 +186,9 @@ impl MetricsRegistry {
         if stats.objective.is_some() {
             agg.last_objective = stats.objective;
         }
+        if !stats.incumbents.is_empty() {
+            agg.last_incumbents = stats.incumbents.clone();
+        }
     }
 
     /// Snapshot of statement stats, sorted by total time descending.
@@ -164,11 +207,31 @@ impl MetricsRegistry {
         v
     }
 
+    /// Snapshot of per-stage latency histograms, sorted by stage path.
+    pub fn stages(&self) -> Vec<(String, Histogram)> {
+        let inner = self.lock();
+        let mut v: Vec<_> = inner.stages.iter().map(|(k, h)| (k.clone(), h.clone())).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// All statement latencies pooled into one distribution (the
+    /// `/metrics` statement histogram).
+    pub fn statement_latency(&self) -> Histogram {
+        let inner = self.lock();
+        let mut pooled = Histogram::new();
+        for st in inner.statements.values() {
+            pooled.merge(&st.latency);
+        }
+        pooled
+    }
+
     /// Drop all accumulated data (used by tests).
     pub fn reset(&self) {
         let mut inner = self.lock();
         inner.statements.clear();
         inner.solvers.clear();
+        inner.stages.clear();
     }
 }
 
@@ -181,6 +244,10 @@ pub struct SessionCounters {
     pub queries: AtomicU64,
     pub bytes_in: AtomicU64,
     pub bytes_out: AtomicU64,
+    /// Kill switch: set by `CANCEL <session>` (from any session), read
+    /// cooperatively by the owning session's running solve at progress
+    /// points.
+    kill: AtomicBool,
 }
 
 impl SessionCounters {
@@ -191,7 +258,24 @@ impl SessionCounters {
             queries: AtomicU64::new(0),
             bytes_in: AtomicU64::new(0),
             bytes_out: AtomicU64::new(0),
+            kill: AtomicBool::new(false),
         }
+    }
+
+    /// Ask the session's running solve to stop at its next progress
+    /// point.
+    pub fn request_kill(&self) {
+        self.kill.store(true, Ordering::SeqCst);
+    }
+
+    pub fn kill_requested(&self) -> bool {
+        self.kill.load(Ordering::SeqCst)
+    }
+
+    /// Re-arm after a kill has been delivered, so the session stays
+    /// usable for the next statement.
+    pub fn clear_kill(&self) {
+        self.kill.store(false, Ordering::SeqCst);
     }
 
     pub fn add_query(&self) {
@@ -219,6 +303,8 @@ pub struct SessionSnapshot {
     pub queries: u64,
     pub bytes_in: u64,
     pub bytes_out: u64,
+    /// True when a kill has been requested but not yet delivered.
+    pub kill: bool,
 }
 
 /// Registry of live server sessions, keyed by session id.
@@ -248,6 +334,11 @@ impl SessionRegistry {
         self.lock().remove(&id);
     }
 
+    /// Look up a live session's counters (the `CANCEL` path).
+    pub fn get(&self, id: u64) -> Option<Arc<SessionCounters>> {
+        self.lock().get(&id).cloned()
+    }
+
     /// Snapshot of all live sessions, ordered by id.
     pub fn snapshot(&self) -> Vec<SessionSnapshot> {
         let mut v: Vec<SessionSnapshot> = self
@@ -259,6 +350,7 @@ impl SessionRegistry {
                 queries: c.queries.load(Ordering::Relaxed),
                 bytes_in: c.bytes_in.load(Ordering::Relaxed),
                 bytes_out: c.bytes_out.load(Ordering::Relaxed),
+                kill: c.kill_requested(),
             })
             .collect();
         v.sort_by_key(|s| s.id);
@@ -336,6 +428,82 @@ mod tests {
         assert_eq!(agg.iterations, 14);
         assert_eq!(agg.nodes_explored, 6);
         assert_eq!(agg.last_objective, Some(2.0));
+    }
+
+    #[test]
+    fn statement_latency_histogram_tracks_calls() {
+        let m = MetricsRegistry::new();
+        m.record_statement("SELECT ?", 1_000, 1, false);
+        m.record_statement("SELECT ?", 3_000, 1, false);
+        let (_, s) = &m.statements()[0];
+        assert_eq!(s.latency.count(), 2);
+        assert_eq!(s.latency.max(), 3_000);
+        let pooled = m.statement_latency();
+        assert_eq!(pooled.count(), 2);
+    }
+
+    #[test]
+    fn stage_histograms_accumulate_by_path() {
+        let m = MetricsRegistry::new();
+        m.record_stage("solve", 500);
+        m.record_stage("solve", 700);
+        m.record_stage("parse", 10);
+        let stages = m.stages();
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].0, "parse");
+        assert_eq!(stages[1].0, "solve");
+        assert_eq!(stages[1].1.count(), 2);
+        m.reset();
+        assert!(m.stages().is_empty());
+    }
+
+    #[test]
+    fn trace_stages_record_recursively_with_paths() {
+        let t = crate::Trace::new();
+        {
+            let _outer = t.span("solve");
+            t.record("compile", 42);
+        }
+        let qt = t.finish();
+        let m = MetricsRegistry::new();
+        m.record_trace_stages(&qt);
+        let stages = m.stages();
+        let names: Vec<&str> = stages.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["solve", "solve/compile"]);
+    }
+
+    #[test]
+    fn incumbent_trajectory_survives_aggregation() {
+        let m = MetricsRegistry::new();
+        let st = SolverStats {
+            solver: "solverlp".into(),
+            method: "bb".into(),
+            incumbents: vec![(3, 4.0), (9, 2.5)],
+            ..SolverStats::default()
+        };
+        m.record_solver(&st, 100);
+        // A later run without incumbents must not erase the trajectory.
+        let bare = SolverStats {
+            solver: "solverlp".into(),
+            method: "bb".into(),
+            ..SolverStats::default()
+        };
+        m.record_solver(&bare, 100);
+        let (_, agg) = &m.solvers()[0];
+        assert_eq!(agg.last_incumbents, vec![(3, 4.0), (9, 2.5)]);
+    }
+
+    #[test]
+    fn kill_flag_round_trips_through_registry() {
+        let r = SessionRegistry::new();
+        let _c = r.open(5);
+        assert!(!r.snapshot()[0].kill);
+        r.get(5).unwrap().request_kill();
+        assert!(r.snapshot()[0].kill);
+        assert!(r.get(5).unwrap().kill_requested());
+        r.get(5).unwrap().clear_kill();
+        assert!(!r.get(5).unwrap().kill_requested());
+        assert!(r.get(99).is_none());
     }
 
     #[test]

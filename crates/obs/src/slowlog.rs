@@ -1,0 +1,96 @@
+//! Shared slow-query log formatting.
+//!
+//! Both binaries log statements slower than a configured threshold
+//! (`solvedbd --slow-query-ms`, `solvedb --slow-query-ms`). The
+//! threshold check and the line format live here so the log reads the
+//! same from a local shell and the daemon, and so the literal
+//! `slow query` marker CI greps for has exactly one definition.
+
+use crate::trace::QueryTrace;
+use std::time::Duration;
+
+/// Everything known about a statement when deciding whether to log it.
+#[derive(Debug, Clone, Copy)]
+pub struct SlowQuery<'a> {
+    /// Log source tag, e.g. `"solvedbd"` or `"solvedb"`.
+    pub source: &'a str,
+    /// Server session id, when the statement ran on a server session.
+    pub session: Option<u64>,
+    /// The statement text as submitted.
+    pub sql: &'a str,
+    /// The canonical statement shape (literals masked as `?`) — the
+    /// same fingerprint `sdb_stat_statements` aggregates by.
+    pub shape: Option<&'a str>,
+    /// The statement's stage tree, when one was recorded.
+    pub trace: Option<&'a QueryTrace>,
+}
+
+/// Format the slow-query log line for a statement that took `elapsed`,
+/// or `None` when it beat the threshold. Callers print the returned
+/// line to stderr.
+pub fn slow_query_line(threshold_ms: u64, elapsed: Duration, q: &SlowQuery<'_>) -> Option<String> {
+    let ms = elapsed.as_millis() as u64;
+    if ms < threshold_ms {
+        return None;
+    }
+    let mut line = format!("[{}] slow query", q.source);
+    if let Some(id) = q.session {
+        line.push_str(&format!(" on session {id}"));
+    }
+    line.push_str(&format!(": {ms} ms >= {threshold_ms} ms: {}", q.sql.trim()));
+    if let Some(shape) = q.shape {
+        line.push_str(&format!(" [shape: {shape}]"));
+    }
+    if let Some(t) = q.trace {
+        let stages = t.render().join("; ");
+        if !stages.is_empty() {
+            line.push_str(&format!(" [{stages}]"));
+        }
+    }
+    Some(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_statements_are_not_logged() {
+        let q = SlowQuery {
+            source: "solvedb",
+            session: None,
+            sql: "SELECT 1",
+            shape: None,
+            trace: None,
+        };
+        assert_eq!(slow_query_line(100, Duration::from_millis(5), &q), None);
+    }
+
+    #[test]
+    fn line_carries_session_shape_and_marker() {
+        let q = SlowQuery {
+            source: "solvedbd",
+            session: Some(3),
+            sql: "  SELECT 42  ",
+            shape: Some("SELECT ?"),
+            trace: None,
+        };
+        let line = slow_query_line(0, Duration::from_millis(7), &q).unwrap();
+        assert!(line.contains("slow query"), "{line}");
+        assert!(line.contains("on session 3"));
+        assert!(line.contains("7 ms >= 0 ms: SELECT 42"));
+        assert!(line.contains("[shape: SELECT ?]"));
+    }
+
+    #[test]
+    fn threshold_is_inclusive() {
+        let q = SlowQuery {
+            source: "solvedb",
+            session: None,
+            sql: "SELECT 1",
+            shape: None,
+            trace: None,
+        };
+        assert!(slow_query_line(10, Duration::from_millis(10), &q).is_some());
+    }
+}

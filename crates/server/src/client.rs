@@ -8,7 +8,8 @@
 //! `solvedbplus_core::Session` in most code.
 
 use crate::protocol::{
-    frame_to_error, read_frame, write_frame, Frame, ProtoError, PROTOCOL_VERSION,
+    frame_to_error, read_frame, write_frame, Frame, ProtoError, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
 };
 use sqlengine::error::Error as EngineError;
 use sqlengine::{ExecResult, Table, Value};
@@ -69,16 +70,24 @@ pub type StatementResult = Result<ExecResult, EngineError>;
 /// A blocking connection to a solvedbd server.
 pub struct Client {
     stream: TcpStream,
+    /// The protocol version the server echoed during the handshake.
+    version: u16,
 }
 
 impl Client {
-    /// Connect and perform the protocol handshake.
+    /// Connect and perform the protocol handshake. The client offers
+    /// [`PROTOCOL_VERSION`] and accepts any echo the server supports
+    /// down to [`MIN_PROTOCOL_VERSION`].
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         write_frame(&mut stream, &Frame::Hello { version: PROTOCOL_VERSION })?;
         match Self::read(&mut stream)? {
-            Frame::Hello { version } if version == PROTOCOL_VERSION => Ok(Client { stream }),
+            Frame::Hello { version }
+                if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) =>
+            {
+                Ok(Client { stream, version })
+            }
             Frame::Hello { version } => Err(ClientError::Protocol(format!(
                 "server speaks protocol version {version}, client speaks {PROTOCOL_VERSION}"
             ))),
@@ -87,6 +96,11 @@ impl Client {
                 Err(ClientError::Protocol(format!("expected HELLO from server, got {other:?}")))
             }
         }
+    }
+
+    /// The protocol version negotiated during the handshake.
+    pub fn protocol_version(&self) -> u16 {
+        self.version
     }
 
     fn read(stream: &mut TcpStream) -> Result<Frame, ClientError> {
@@ -105,8 +119,21 @@ impl Client {
     /// element (the server skips the rest of the batch). Analyzer
     /// warnings (WARNING frames, protocol v2) and execution traces
     /// (STATS frames, protocol v3) are attached to the result of the
-    /// statement that produced them.
+    /// statement that produced them. Live solve-progress updates
+    /// (PROGRESS frames, protocol v4) are discarded; use
+    /// [`Client::execute_with_progress`] to observe them.
     pub fn execute(&mut self, sql: &str) -> Result<Vec<StatementResult>, ClientError> {
+        self.execute_with_progress(sql, &mut |_| {})
+    }
+
+    /// Like [`Client::execute`], but invokes `on_progress` for every
+    /// PROGRESS frame the server streams mid-solve (protocol v4; a v3
+    /// server never sends any, so the callback simply stays silent).
+    pub fn execute_with_progress(
+        &mut self,
+        sql: &str,
+        on_progress: &mut dyn FnMut(&obs::ProgressEvent),
+    ) -> Result<Vec<StatementResult>, ClientError> {
         write_frame(&mut self.stream, &Frame::Query(sql.to_string()))?;
         let mut results = Vec::new();
         // WARNING and STATS frames precede the result frame they belong
@@ -122,6 +149,7 @@ impl Client {
         };
         loop {
             match Self::read(&mut self.stream)? {
+                Frame::Progress(ev) => on_progress(&ev),
                 Frame::Warning(diags) => pending.extend(diags),
                 Frame::Stats(trace) => pending_trace = Some(trace),
                 Frame::ResultTable(t) => {

@@ -13,17 +13,20 @@
 //! * [`server`] — a multi-threaded TCP server with a bounded worker
 //!   pool and graceful shutdown;
 //! * [`client`] — a blocking client library used by the
-//!   `solvedb --connect` CLI mode and the integration tests.
+//!   `solvedb --connect` CLI mode and the integration tests;
+//! * [`metrics_http`] — the Prometheus text exposition served at
+//!   `GET /metrics` when `solvedbd` runs with `--metrics-addr`.
 
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod client;
 pub mod manager;
+pub mod metrics_http;
 pub mod protocol;
 pub mod server;
 
 pub use client::{Client, ClientError, StatementResult};
 pub use manager::{SessionHandle, SessionManager};
-pub use protocol::{Frame, ProtoError, PROTOCOL_VERSION};
+pub use protocol::{Frame, ProtoError, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 pub use server::{Server, ServerConfig, ShutdownHandle};

@@ -83,6 +83,9 @@ impl SessionManager {
         self.active.fetch_add(1, Ordering::SeqCst);
         let id = self.opened.fetch_add(1, Ordering::SeqCst) as u64 + 1;
         let counters = self.sessions.open(id);
+        // The session watches its own kill flag (set by `CANCEL <id>`
+        // from any session) at solver progress points.
+        session.attach_own_counters(counters.clone());
         Ok(SessionHandle { session, manager: Arc::clone(self), counters, id })
     }
 

@@ -1,0 +1,329 @@
+//! Prometheus text-format exposition over a minimal hand-rolled HTTP
+//! endpoint (`solvedbd --metrics-addr`).
+//!
+//! One listener thread serves scrapes sequentially: a scrape is a
+//! point-in-time read of the shared registries (no per-request state),
+//! so there is nothing to parallelize and nothing to keep alive between
+//! requests. Only `GET /metrics` exists; everything else is a 404. The
+//! response format is the Prometheus text exposition format 0.0.4 —
+//! counters, gauges, and log-bucketed histograms rendered cumulatively
+//! with `+Inf`, `_sum` and `_count` series, all latencies in seconds.
+
+use crate::manager::SessionManager;
+use obs::Histogram;
+use sqlengine::Value;
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Accept-poll granularity while watching the shutdown flag.
+const ACCEPT_TICK: Duration = Duration::from_millis(100);
+
+/// Longest request head we bother reading before answering.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Serve scrapes until `stop` is set. The listener must already be
+/// bound; it is switched to non-blocking so the loop can poll `stop`.
+pub fn serve(listener: TcpListener, manager: Arc<SessionManager>, stop: Arc<AtomicBool>) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => handle_request(stream, &manager),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_TICK);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// Read one request head, answer, close. Any I/O failure just drops
+/// the connection — scrapers retry.
+fn handle_request(mut stream: TcpStream, manager: &Arc<SessionManager>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > MAX_REQUEST_BYTES {
+                    break;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    let request_line = match std::str::from_utf8(&head) {
+        Ok(s) => s.lines().next().unwrap_or(""),
+        Err(_) => "",
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let response = if method == "GET" && (path == "/metrics" || path.starts_with("/metrics?")) {
+        let body = render(manager);
+        format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    } else {
+        let body = "not found: only GET /metrics is served\n";
+        format!(
+            "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain; charset=utf-8\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    };
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+fn seconds(nanos: u64) -> f64 {
+    nanos as f64 / 1e9
+}
+
+/// Escape a label value per the exposition format.
+fn escape(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Sanitize a dynamic name fragment into a metric-name-safe suffix.
+fn metric_suffix(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+}
+
+fn counter(out: &mut String, name: &str, help: &str, value: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+fn gauge(out: &mut String, name: &str, help: &str, value: f64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Render one labeled histogram series set: cumulative buckets (upper
+/// bounds in seconds), `+Inf`, `_sum`, `_count`.
+fn histogram_series(out: &mut String, name: &str, labels: &str, h: &Histogram) {
+    let mut cumulative = 0u64;
+    for (upper, count) in h.nonzero_buckets() {
+        cumulative += count;
+        let le = seconds(upper);
+        let _ = writeln!(out, "{name}_bucket{{{labels}le=\"{le}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{{labels}le=\"+Inf\"}} {}", h.count());
+    let sum_labels = labels.trim_end_matches(',');
+    let braces = |suffix: &str| {
+        if sum_labels.is_empty() {
+            suffix.to_string()
+        } else {
+            format!("{suffix}{{{sum_labels}}}")
+        }
+    };
+    let _ = writeln!(out, "{} {}", braces(&format!("{name}_sum")), seconds(h.sum()));
+    let _ = writeln!(out, "{} {}", braces(&format!("{name}_count")), h.count());
+}
+
+/// Build the whole exposition body from the server's registries.
+pub fn render(manager: &Arc<SessionManager>) -> String {
+    let mut out = String::new();
+    let metrics = manager.solvers().metrics();
+
+    // Sessions.
+    gauge(
+        &mut out,
+        "sdb_sessions_active",
+        "Connections currently being served.",
+        manager.active() as f64,
+    );
+    counter(
+        &mut out,
+        "sdb_sessions_opened_total",
+        "Sessions opened over the server's lifetime.",
+        manager.total_opened() as u64,
+    );
+    let (mut queries, mut bytes_in, mut bytes_out) = (0u64, 0u64, 0u64);
+    for s in manager.sessions().snapshot() {
+        queries += s.queries;
+        bytes_in += s.bytes_in;
+        bytes_out += s.bytes_out;
+    }
+    gauge(
+        &mut out,
+        "sdb_sessions_queries",
+        "Statements received by live sessions.",
+        queries as f64,
+    );
+    gauge(&mut out, "sdb_sessions_bytes_in", "Bytes received from live sessions.", bytes_in as f64);
+    gauge(&mut out, "sdb_sessions_bytes_out", "Bytes sent to live sessions.", bytes_out as f64);
+
+    // Statements (aggregated over every shape).
+    let statements = metrics.statements();
+    let (mut calls, mut errors, mut rows, mut hits, mut misses) = (0u64, 0u64, 0u64, 0u64, 0u64);
+    for (_, s) in &statements {
+        calls += s.calls;
+        errors += s.errors;
+        rows += s.rows;
+        hits += s.cache_hits;
+        misses += s.cache_misses;
+    }
+    counter(&mut out, "sdb_statements_total", "Statements executed.", calls);
+    counter(&mut out, "sdb_statement_errors_total", "Statements that returned an error.", errors);
+    counter(&mut out, "sdb_statement_rows_total", "Rows returned across all statements.", rows);
+    counter(&mut out, "sdb_plan_cache_hits_total", "Executions served by the plan cache.", hits);
+    counter(
+        &mut out,
+        "sdb_plan_cache_misses_total",
+        "Cache-eligible executions that planned fresh.",
+        misses,
+    );
+    let ratio = if hits + misses == 0 { 0.0 } else { hits as f64 / (hits + misses) as f64 };
+    gauge(&mut out, "sdb_plan_cache_hit_ratio", "Plan-cache hit ratio since start.", ratio);
+
+    // Pooled statement latency distribution.
+    let pooled = metrics.statement_latency();
+    let _ = writeln!(
+        &mut out,
+        "# HELP sdb_statement_latency_seconds Statement latency pooled over all shapes."
+    );
+    let _ = writeln!(&mut out, "# TYPE sdb_statement_latency_seconds histogram");
+    histogram_series(&mut out, "sdb_statement_latency_seconds", "", &pooled);
+
+    // Per-stage latency histograms (pipeline stages, wal.append/fsync).
+    let stages = metrics.stages();
+    if !stages.is_empty() {
+        let _ =
+            writeln!(&mut out, "# HELP sdb_stage_latency_seconds Latency per pipeline stage path.");
+        let _ = writeln!(&mut out, "# TYPE sdb_stage_latency_seconds histogram");
+        for (name, h) in &stages {
+            let labels = format!("stage=\"{}\",", escape(name));
+            histogram_series(&mut out, "sdb_stage_latency_seconds", &labels, h);
+        }
+    }
+
+    // Solver telemetry, labeled by (solver, method).
+    let solvers = metrics.solvers();
+    if !solvers.is_empty() {
+        for (metric, help, pick) in [
+            (
+                "sdb_solver_runs_total",
+                "Solver invocations.",
+                (|a| a.runs) as fn(&obs::SolverAgg) -> u64,
+            ),
+            ("sdb_solver_iterations_total", "Solver iterations (pivots, steps).", |a| a.iterations),
+            ("sdb_solver_nodes_explored_total", "Branch-and-bound nodes explored.", |a| {
+                a.nodes_explored
+            }),
+            ("sdb_solver_evaluations_total", "Black-box fitness evaluations.", |a| a.evaluations),
+        ] {
+            let _ = writeln!(&mut out, "# HELP {metric} {help}");
+            let _ = writeln!(&mut out, "# TYPE {metric} counter");
+            for ((solver, method), agg) in &solvers {
+                let _ = writeln!(
+                    &mut out,
+                    "{metric}{{solver=\"{}\",method=\"{}\"}} {}",
+                    escape(solver),
+                    escape(method),
+                    pick(agg)
+                );
+            }
+        }
+        let _ = writeln!(
+            &mut out,
+            "# HELP sdb_solver_time_seconds_total Wall-clock time spent inside solvers."
+        );
+        let _ = writeln!(&mut out, "# TYPE sdb_solver_time_seconds_total counter");
+        for ((solver, method), agg) in &solvers {
+            let _ = writeln!(
+                &mut out,
+                "sdb_solver_time_seconds_total{{solver=\"{}\",method=\"{}\"}} {}",
+                escape(solver),
+                escape(method),
+                seconds(agg.total_nanos)
+            );
+        }
+    }
+
+    // Storage / WAL state: every numeric column of the status relation
+    // becomes a gauge, so the exposition tracks the `sdb_storage`
+    // virtual table without a second schema definition.
+    if let Some(engine) = manager.storage() {
+        let status = engine.status_table();
+        if let Some(row) = status.rows.first() {
+            for (col, value) in status.schema.columns.iter().zip(row) {
+                let v = match value {
+                    Value::Int(n) => *n as f64,
+                    Value::Float(f) => *f,
+                    _ => continue,
+                };
+                gauge(
+                    &mut out,
+                    &format!("sdb_storage_{}", metric_suffix(&col.name)),
+                    &format!("Storage status column {}.", col.name),
+                    v,
+                );
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::SessionManager;
+
+    #[test]
+    fn render_includes_type_lines_and_histograms() {
+        let manager = Arc::new(SessionManager::new());
+        {
+            let mut s = manager.open().unwrap();
+            s.execute("CREATE TABLE t (x int)").unwrap();
+            s.execute("INSERT INTO t VALUES (1)").unwrap();
+            s.query("SELECT x FROM t").unwrap();
+        }
+        let body = render(&manager);
+        assert!(body.contains("# TYPE sdb_statements_total counter"), "{body}");
+        assert!(body.contains("# TYPE sdb_statement_latency_seconds histogram"), "{body}");
+        assert!(body.contains("sdb_statement_latency_seconds_bucket"), "{body}");
+        assert!(body.contains("le=\"+Inf\"} 3"), "{body}");
+        assert!(body.contains("sdb_statement_latency_seconds_count 3"), "{body}");
+        assert!(body.contains("sdb_sessions_opened_total 1"), "{body}");
+        assert!(body.contains("sdb_plan_cache_hit_ratio"), "{body}");
+    }
+
+    #[test]
+    fn bucket_counts_are_cumulative() {
+        let mut h = Histogram::new();
+        h.record(10);
+        h.record(10);
+        h.record(1_000_000);
+        let mut out = String::new();
+        histogram_series(&mut out, "m", "", &h);
+        let lines: Vec<&str> = out.lines().collect();
+        // Two occupied buckets -> cumulative 2 then 3, then +Inf 3.
+        assert!(lines[0].ends_with(" 2"), "{out}");
+        assert!(lines[1].ends_with(" 3"), "{out}");
+        assert!(lines[2].contains("+Inf") && lines[2].ends_with(" 3"), "{out}");
+        assert!(lines.iter().any(|l| l.starts_with("m_count 3")), "{out}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(metric_suffix("wal.append"), "wal_append");
+    }
+}

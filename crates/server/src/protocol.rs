@@ -26,13 +26,21 @@ use std::io::{self, Read, Write};
 pub const MAGIC: [u8; 4] = *b"SDBP";
 
 /// Current protocol version. Bumped on incompatible changes; the server
-/// rejects clients announcing a different version.
+/// accepts clients announcing any version in
+/// [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`] and echoes the
+/// client's version back.
 ///
 /// History: v1 — initial protocol; v2 — adds the `WARNING` frame
 /// carrying pre-solve analyzer diagnostics before a statement's result;
 /// v3 — adds the `STATS` frame carrying the statement's execution trace
-/// (stage tree + solver telemetry) before its result.
-pub const PROTOCOL_VERSION: u16 = 3;
+/// (stage tree + solver telemetry) before its result; v4 — adds the
+/// `PROGRESS` frame streaming live solver progress during a long solve,
+/// and the `TIMEOUT` error kind for watchdog-killed solves.
+pub const PROTOCOL_VERSION: u16 = 4;
+
+/// Oldest protocol version the server still speaks. v3 clients are
+/// accepted and simply never receive `PROGRESS` frames.
+pub const MIN_PROTOCOL_VERSION: u16 = 3;
 
 /// Upper bound for one frame (64 MiB + framing slack), matching the
 /// string limit of the value codec.
@@ -51,6 +59,7 @@ mod frame_type {
     pub const END: u8 = 0x0A;
     pub const WARNING: u8 = 0x0B;
     pub const STATS: u8 = 0x0C;
+    pub const PROGRESS: u8 = 0x0D;
 }
 
 /// One protocol frame.
@@ -86,6 +95,11 @@ pub enum Frame {
     /// plus solver telemetry — sent immediately before the result frame
     /// of the statement it describes (protocol v3, see PROTOCOL.md).
     Stats(obs::QueryTrace),
+    /// A live solver progress snapshot, streamed at bounded intervals
+    /// while a solve statement is running (protocol v4). Zero or more
+    /// may precede the statement's STATS/result frames; clients may
+    /// ignore them freely.
+    Progress(obs::ProgressEvent),
 }
 
 /// Errors arising while reading/writing frames: transport failures keep
@@ -132,6 +146,7 @@ pub mod error_kind {
     pub const EVAL: u8 = 5;
     pub const SOLVER: u8 = 6;
     pub const UNSUPPORTED: u8 = 7;
+    pub const TIMEOUT: u8 = 8;
 }
 
 /// Encode an engine error as an error frame.
@@ -143,6 +158,7 @@ pub fn error_to_frame(e: &EngineError) -> Frame {
         EngineError::Catalog(m) => (error_kind::CATALOG, m),
         EngineError::Eval(m) => (error_kind::EVAL, m),
         EngineError::Solver(m) => (error_kind::SOLVER, m),
+        EngineError::SolveTimeout(m) => (error_kind::TIMEOUT, m),
         EngineError::Unsupported(m) => (error_kind::UNSUPPORTED, m),
     };
     Frame::Error { kind, message: message.clone() }
@@ -159,6 +175,7 @@ pub fn frame_to_error(kind: u8, message: &str) -> EngineError {
         error_kind::CATALOG => EngineError::catalog(message),
         error_kind::EVAL => EngineError::eval(message),
         error_kind::SOLVER => EngineError::solver(message),
+        error_kind::TIMEOUT => EngineError::solve_timeout(message),
         error_kind::UNSUPPORTED => EngineError::unsupported(message),
         error_kind::PROTOCOL => EngineError::eval(format!("protocol error: {message}")),
         other => EngineError::eval(format!("remote error (kind {other}): {message}")),
@@ -206,6 +223,10 @@ fn encode_body(f: &Frame, out: &mut Vec<u8>) {
         Frame::Stats(trace) => {
             out.push(frame_type::STATS);
             wire::encode_trace(trace, out);
+        }
+        Frame::Progress(ev) => {
+            out.push(frame_type::PROGRESS);
+            wire::encode_progress(ev, out);
         }
     }
 }
@@ -294,6 +315,15 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, ProtoError> {
                 return Err(malformed("STATS frame has trailing bytes"));
             }
             Frame::Stats(trace)
+        }
+        frame_type::PROGRESS => {
+            let mut r = wire::Reader::new(payload);
+            let ev = wire::decode_progress(&mut r)
+                .map_err(|e| malformed(format!("PROGRESS payload: {e}")))?;
+            if !r.is_empty() {
+                return Err(malformed("PROGRESS frame has trailing bytes"));
+            }
+            Frame::Progress(ev)
         }
         other => return Err(malformed(format!("unknown frame type 0x{other:02x}"))),
     };
@@ -462,6 +492,46 @@ mod tests {
     }
 
     #[test]
+    fn progress_frame_roundtrips() {
+        roundtrip(Frame::Progress(obs::ProgressEvent::default()));
+        roundtrip(Frame::Progress(obs::ProgressEvent {
+            solver: "solverlp".into(),
+            method: "mip".into(),
+            elapsed_nanos: 2_500_000_000,
+            nodes: 640,
+            iterations: 9_000,
+            evaluations: 0,
+            incumbent: Some(13.0),
+            best_bound: Some(17.5),
+        }));
+    }
+
+    #[test]
+    fn progress_frame_rejects_trailing_bytes() {
+        let mut enc = Vec::new();
+        encode_body(&Frame::Progress(obs::ProgressEvent::default()), &mut enc);
+        enc.push(0xFF);
+        assert!(decode_body(&enc).is_err());
+    }
+
+    #[test]
+    fn truncated_progress_frame_is_rejected() {
+        let mut enc = Vec::new();
+        encode_body(
+            &Frame::Progress(obs::ProgressEvent {
+                solver: "s".into(),
+                method: "m".into(),
+                incumbent: Some(1.0),
+                ..obs::ProgressEvent::default()
+            }),
+            &mut enc,
+        );
+        for cut in 1..enc.len() {
+            assert!(decode_body(&enc[..cut]).is_err(), "prefix of {cut} bytes decoded cleanly");
+        }
+    }
+
+    #[test]
     fn stats_frame_rejects_trailing_bytes() {
         let mut enc = Vec::new();
         encode_body(&Frame::Stats(obs::QueryTrace::default()), &mut enc);
@@ -534,6 +604,7 @@ mod tests {
             E::catalog("d"),
             E::eval("e"),
             E::solver("f"),
+            E::solve_timeout("budget exhausted"),
             E::unsupported("g"),
         ] {
             let Frame::Error { kind, message } = error_to_frame(&e) else {

@@ -18,7 +18,7 @@
 use crate::manager::SessionManager;
 use crate::protocol::{
     error_kind, error_to_frame, read_frame_interruptible, write_frame, Frame, ProtoError,
-    PROTOCOL_VERSION,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use crossbeam::channel;
 use solvedbplus_core::SharedSolvers;
@@ -53,6 +53,14 @@ pub struct ServerConfig {
     /// When WAL appends reach stable storage (only meaningful with
     /// `data_dir`).
     pub fsync: FsyncPolicy,
+    /// Serve the Prometheus text exposition (`GET /metrics`) on this
+    /// address (e.g. `127.0.0.1:9187`; port 0 for ephemeral). `None`
+    /// disables the endpoint.
+    pub metrics_addr: Option<String>,
+    /// Default solver wall-clock budget applied to every new session;
+    /// sessions can override (or disable with 0) via
+    /// `SET solver_timeout_ms`. `None` = no server-side budget.
+    pub solver_timeout_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +71,8 @@ impl Default for ServerConfig {
             slow_query_ms: None,
             data_dir: None,
             fsync: FsyncPolicy::Always,
+            metrics_addr: None,
+            solver_timeout_ms: None,
         }
     }
 }
@@ -74,6 +84,8 @@ pub struct Server {
     manager: Arc<SessionManager>,
     shutdown: Arc<AtomicBool>,
     config: ServerConfig,
+    /// Bound metrics listener when `config.metrics_addr` is set.
+    metrics: Option<(TcpListener, SocketAddr)>,
 }
 
 /// Cheap cloneable handle that can stop a running [`Server`] from any
@@ -120,13 +132,28 @@ impl Server {
         };
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let metrics = match &config.metrics_addr {
+            Some(maddr) => {
+                let l = TcpListener::bind(maddr.as_str())?;
+                let bound = l.local_addr()?;
+                Some((l, bound))
+            }
+            None => None,
+        };
         Ok(Server {
             listener,
             addr,
             manager: Arc::new(SessionManager::with_storage(SharedSolvers::new(), storage)),
             shutdown: Arc::new(AtomicBool::new(false)),
             config,
+            metrics,
         })
+    }
+
+    /// The bound metrics-exposition address, when configured (resolves
+    /// ephemeral ports).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics.as_ref().map(|(_, a)| *a)
     }
 
     /// The storage engine when running with `data_dir` (for recovery
@@ -154,6 +181,18 @@ impl Server {
     /// return all workers have exited and the port is released.
     pub fn run(self) -> io::Result<()> {
         let (tx, rx) = channel::bounded::<TcpStream>(self.config.backlog.max(1));
+        let metrics_thread = match self.metrics {
+            Some((listener, _)) => {
+                let manager = self.manager.clone();
+                let flag = self.shutdown.clone();
+                Some(
+                    std::thread::Builder::new()
+                        .name("solvedbd-metrics".into())
+                        .spawn(move || crate::metrics_http::serve(listener, manager, flag))?,
+                )
+            }
+            None => None,
+        };
         let mut workers = Vec::with_capacity(self.config.workers);
         for i in 0..self.config.workers {
             let rx = rx.clone();
@@ -196,14 +235,21 @@ impl Server {
                     for w in workers {
                         let _ = w.join();
                     }
+                    if let Some(m) = metrics_thread {
+                        let _ = m.join();
+                    }
                     return Err(e);
                 }
             }
         }
 
         drop(tx);
+        self.shutdown.store(true, Ordering::SeqCst);
         for w in workers {
             let _ = w.join();
+        }
+        if let Some(m) = metrics_thread {
+            let _ = m.join();
         }
         // `self.listener` drops here, releasing the port.
         Ok(())
@@ -224,12 +270,18 @@ fn serve_connection(
     }
     let stopped = || stop.load(Ordering::SeqCst);
 
-    // Handshake: the client speaks first.
-    match read_frame_interruptible(&mut stream, stopped) {
-        Ok(Some(Frame::Hello { version })) if version == PROTOCOL_VERSION => {
-            if write_frame(&mut stream, &Frame::Hello { version: PROTOCOL_VERSION }).is_err() {
+    // Handshake: the client speaks first. The server accepts any
+    // version in [MIN_PROTOCOL_VERSION, PROTOCOL_VERSION] and echoes
+    // the client's version back — the negotiated version then gates
+    // v4-only frames (PROGRESS) for the rest of the conversation.
+    let negotiated = match read_frame_interruptible(&mut stream, stopped) {
+        Ok(Some(Frame::Hello { version }))
+            if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) =>
+        {
+            if write_frame(&mut stream, &Frame::Hello { version }).is_err() {
                 return;
             }
+            version
         }
         Ok(Some(Frame::Hello { version })) => {
             let _ = write_frame(
@@ -237,7 +289,8 @@ fn serve_connection(
                 &Frame::Error {
                     kind: error_kind::PROTOCOL,
                     message: format!(
-                        "unsupported protocol version {version} (server speaks {PROTOCOL_VERSION})"
+                        "unsupported protocol version {version} (server speaks \
+                         {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})"
                     ),
                 },
             );
@@ -261,7 +314,7 @@ fn serve_connection(
             );
             return;
         }
-    }
+    };
 
     let mut session = match manager.open() {
         Ok(s) => s,
@@ -270,6 +323,23 @@ fn serve_connection(
             return;
         }
     };
+    if config.solver_timeout_ms.is_some() {
+        session.set_solver_timeout_ms(config.solver_timeout_ms);
+    }
+    // v4 peers get live PROGRESS frames streamed mid-solve. The sink
+    // writes through a cloned handle of the same socket; the solve runs
+    // synchronously on this worker thread, so progress frames never
+    // interleave with response frames.
+    if negotiated >= 4 {
+        if let Ok(peer) = stream.try_clone() {
+            let peer = std::sync::Mutex::new(peer);
+            session.set_progress_sink(Arc::new(move |ev: &obs::ProgressEvent| {
+                if let Ok(mut s) = peer.lock() {
+                    let _ = write_frame(&mut *s, &Frame::Progress(ev.clone()));
+                }
+            }));
+        }
+    }
     let counters = session.counters().clone();
     // Everything after the handshake flows through the metering wrapper
     // so the session's byte counters cover the whole conversation.
@@ -377,18 +447,22 @@ fn run_batch<W: io::Write>(
         // parse time lands in the trace's `parse` stage.
         let (outcome, elapsed) = obs::timed(|| session.execute(piece));
         if let Some(threshold) = config.slow_query_ms {
-            let ms = elapsed.as_millis() as u64;
-            if ms >= threshold {
-                let stages = match &outcome {
-                    Ok(r) => r.trace.as_ref().map(|t| t.render().join("; ")).unwrap_or_default(),
-                    Err(_) => String::new(),
-                };
-                eprintln!(
-                    "[solvedbd] slow query on session {}: {ms} ms >= {threshold} ms: {}{}",
-                    session.id(),
-                    piece.trim(),
-                    if stages.is_empty() { String::new() } else { format!(" [{stages}]") },
-                );
+            let shape = sqlengine::parser::parse_statement(piece)
+                .ok()
+                .map(|s| sqlengine::statement_shape(&s));
+            let line = obs::slow_query_line(
+                threshold,
+                elapsed,
+                &obs::SlowQuery {
+                    source: "solvedbd",
+                    session: Some(session.id()),
+                    sql: piece,
+                    shape: shape.as_deref(),
+                    trace: outcome.as_ref().ok().and_then(|r| r.trace.as_ref()),
+                },
+            );
+            if let Some(line) = line {
+                eprintln!("{line}");
             }
         }
         match outcome {

@@ -7,6 +7,7 @@ use server::protocol::{read_frame, write_frame, Frame, PROTOCOL_VERSION};
 use server::{Client, ClientError, Server, ServerConfig};
 use solvedbplus_core::Session;
 use sqlengine::{Outcome, Severity, Value};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::mpsc;
 use std::thread;
@@ -23,15 +24,16 @@ struct TestServer {
 
 impl TestServer {
     fn start(workers: usize) -> TestServer {
-        let srv = Server::bind_with(
-            "127.0.0.1:0",
-            ServerConfig { workers, backlog: 16, ..ServerConfig::default() },
-        )
-        .expect("bind ephemeral port");
+        TestServer::start_with(ServerConfig { workers, backlog: 16, ..ServerConfig::default() }).0
+    }
+
+    fn start_with(config: ServerConfig) -> (TestServer, Option<SocketAddr>) {
+        let srv = Server::bind_with("127.0.0.1:0", config).expect("bind ephemeral port");
         let addr = srv.local_addr();
+        let metrics_addr = srv.metrics_addr();
         let shutdown = srv.shutdown_handle();
         let join = thread::spawn(move || srv.run());
-        TestServer { addr, shutdown, join: Some(join) }
+        (TestServer { addr, shutdown, join: Some(join) }, metrics_addr)
     }
 
     fn stop(mut self) {
@@ -384,6 +386,158 @@ fn graceful_shutdown_releases_the_port() {
 
     // And new connections to the stopped server must fail.
     assert!(Client::connect(addr).is_err());
+}
+
+/// A solve that cannot finish on its own within test time: PSO with an
+/// absurd iteration budget, so only the watchdog (budget or CANCEL)
+/// ends it. Progress points fire every iteration.
+const LONG_SOLVE_SETUP: &str = "CREATE TABLE bb (x float8); INSERT INTO bb VALUES (NULL)";
+const LONG_SOLVE: &str = "SOLVESELECT q(x) AS (SELECT * FROM bb) \
+     MINIMIZE (SELECT (x - 3) * (x - 3) FROM q) \
+     SUBJECTTO (SELECT x >= -10, x <= 10 FROM q) \
+     USING swarmops.pso(iterations := 100000000)";
+
+#[test]
+fn v4_clients_stream_progress_and_timeouts_are_clean() {
+    let (ts, _) = TestServer::start_with(ServerConfig {
+        workers: 2,
+        solver_timeout_ms: Some(700),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(ts.addr).unwrap();
+    assert_eq!(client.protocol_version(), PROTOCOL_VERSION);
+    client.execute_script(LONG_SOLVE_SETUP).unwrap();
+    let mut events = Vec::new();
+    let results = client
+        .execute_with_progress(LONG_SOLVE, &mut |ev| events.push(ev.clone()))
+        .expect("transport survives the timeout");
+    // The server-side default budget kills the solve cleanly.
+    assert_eq!(results.len(), 1);
+    match &results[0] {
+        Err(sqlengine::Error::SolveTimeout(m)) => {
+            assert!(m.contains("budget"), "timeout message: {m}");
+            assert!(m.contains("incumbent"), "trajectory missing: {m}");
+        }
+        other => panic!("expected SolveTimeout, got {other:?}"),
+    }
+    // Live progress arrived mid-solve (first frame after the 100 ms
+    // emit throttle, well inside the 700 ms budget).
+    assert!(!events.is_empty(), "no PROGRESS frames for a 700 ms solve");
+    assert!(events.iter().all(|e| e.solver == "swarmops" && e.method == "pso"));
+    assert!(events.last().unwrap().evaluations > 0);
+    // The session survives: same connection keeps working, and the
+    // per-session override can lift the server default.
+    assert_eq!(client.query_scalar("SELECT 1 + 1").unwrap(), Value::Int(2));
+    client.execute("SET solver_timeout_ms = 0").unwrap();
+    client.close().unwrap();
+    ts.stop();
+}
+
+#[test]
+fn cancel_from_another_session_kills_a_running_solve() {
+    let ts = TestServer::start(2);
+    let addr = ts.addr;
+    let (started_tx, started_rx) = mpsc::channel::<u64>();
+    let victim = thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.execute_script(LONG_SOLVE_SETUP).unwrap();
+        let id = c.query_scalar("SELECT session_id FROM sdb_sessions").unwrap();
+        started_tx.send(id.as_i64().unwrap() as u64).unwrap();
+        let results = c.execute(LONG_SOLVE).expect("transport survives the cancel");
+        let _ = c.close();
+        results
+    });
+    let victim_id = started_rx.recv_timeout(TEST_TIMEOUT).expect("victim started");
+    // Give the victim a moment to be inside the solve; even if CANCEL
+    // lands first, the pending kill aborts the next solve anyway.
+    thread::sleep(Duration::from_millis(300));
+    let mut killer = Client::connect(addr).unwrap();
+    killer.execute(&format!("CANCEL {victim_id}")).expect("CANCEL executes");
+    let results = victim.join().expect("victim thread");
+    match results.last() {
+        Some(Err(sqlengine::Error::SolveTimeout(m))) => {
+            assert!(m.contains("cancelled"), "cancel message: {m}");
+        }
+        other => panic!("expected a cancelled SolveTimeout, got {other:?}"),
+    }
+    // Cancelling a dead session reports cleanly.
+    let miss = killer.execute("CANCEL 9999").unwrap();
+    assert!(matches!(miss.last(), Some(Err(_))), "CANCEL of unknown session should error");
+    killer.close().unwrap();
+    ts.stop();
+}
+
+#[test]
+fn v3_clients_still_connect_and_never_see_progress_frames() {
+    let ts = TestServer::start(1);
+    let mut raw = TcpStream::connect(ts.addr).unwrap();
+    raw.set_read_timeout(Some(TEST_TIMEOUT)).unwrap();
+    write_frame(&mut raw, &Frame::Hello { version: 3 }).unwrap();
+    match read_frame(&mut raw).unwrap() {
+        Some(Frame::Hello { version }) => assert_eq!(version, 3, "server echoes the old version"),
+        other => panic!("expected HELLO echo, got {other:?}"),
+    }
+    // Run a budgeted long solve on the v3 connection: the watchdog
+    // still applies, but no PROGRESS frame may reach a v3 peer.
+    write_frame(
+        &mut raw,
+        &Frame::Query(format!("{LONG_SOLVE_SETUP}; SET solver_timeout_ms = 400; {LONG_SOLVE}")),
+    )
+    .unwrap();
+    let mut saw_timeout = false;
+    loop {
+        match read_frame(&mut raw).unwrap() {
+            Some(Frame::Progress(ev)) => panic!("v3 peer received PROGRESS: {ev:?}"),
+            Some(Frame::Error { message, .. }) => {
+                assert!(message.contains("budget"), "expected the watchdog error: {message}");
+                saw_timeout = true;
+            }
+            Some(Frame::End) => break,
+            Some(_) => {}
+            None => panic!("server hung up mid-batch"),
+        }
+    }
+    assert!(saw_timeout, "the budget must fire on v3 connections too");
+    write_frame(&mut raw, &Frame::Bye).unwrap();
+    ts.stop();
+}
+
+#[test]
+fn metrics_endpoint_serves_prometheus_text() {
+    let (ts, metrics_addr) = TestServer::start_with(ServerConfig {
+        workers: 2,
+        metrics_addr: Some("127.0.0.1:0".into()),
+        ..ServerConfig::default()
+    });
+    let metrics_addr = metrics_addr.expect("metrics listener bound");
+
+    // Generate some traffic so histograms are non-empty.
+    let mut client = Client::connect(ts.addr).unwrap();
+    client.execute_script(LP_SETUP).unwrap();
+    client.query(LP_SOLVE).unwrap();
+
+    let scrape = |path: &str| -> String {
+        let mut s = TcpStream::connect(metrics_addr).unwrap();
+        s.set_read_timeout(Some(TEST_TIMEOUT)).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
+        let mut body = String::new();
+        s.read_to_string(&mut body).unwrap();
+        body
+    };
+    let response = scrape("/metrics");
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    assert!(response.contains("# TYPE sdb_statements_total counter"), "{response}");
+    assert!(response.contains("# TYPE sdb_statement_latency_seconds histogram"), "{response}");
+    assert!(response.contains("sdb_statement_latency_seconds_bucket"), "{response}");
+    assert!(response.contains("sdb_stage_latency_seconds_bucket{stage=\"solve\","), "{response}");
+    assert!(response.contains("sdb_solver_runs_total{solver=\"solverlp\""), "{response}");
+    assert!(response.contains("sdb_sessions_active 1"), "{response}");
+
+    let missing = scrape("/nope");
+    assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+    client.close().unwrap();
+    ts.stop();
 }
 
 #[test]

@@ -480,6 +480,19 @@ pub enum Statement {
     /// `CHECKPOINT` — force a durability snapshot and rotate the
     /// write-ahead log (errors without an attached data directory).
     Checkpoint,
+    /// `SET <name> = <value>` — set a session variable (currently
+    /// `solver_timeout_ms`; the value is kept as raw text and parsed
+    /// by the executor).
+    Set {
+        name: String,
+        value: String,
+    },
+    /// `CANCEL <session_id>` — request that the target session's
+    /// running solve stop at its next progress point (the solver
+    /// watchdog's kill switch).
+    Cancel {
+        session: u64,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -984,6 +997,8 @@ impl fmt::Display for Statement {
                 write!(f, "DROP VIEW {}{}", if *if_exists { "IF EXISTS " } else { "" }, ident(name))
             }
             Statement::Checkpoint => write!(f, "CHECKPOINT"),
+            Statement::Set { name, value } => write!(f, "SET {} = {value}", ident(name)),
+            Statement::Cancel { session } => write!(f, "CANCEL {session}"),
         }
     }
 }

@@ -285,6 +285,19 @@ pub struct Database {
     /// `sdb_stat_statements`.
     pub(crate) plan_cache:
         std::sync::Mutex<HashMap<crate::plan::cache::PlanCacheKey, Arc<crate::plan::PlannedQuery>>>,
+    /// Per-session solver wall-clock budget in milliseconds
+    /// (`SET solver_timeout_ms`); `None` = unlimited.
+    solver_timeout_ms: Option<u64>,
+    /// This session's own live counters when it is server-hosted — the
+    /// kill flag a `CANCEL` from another session sets is read from here
+    /// at solve progress points.
+    own_counters: Option<Arc<obs::SessionCounters>>,
+    /// All live server sessions; the execution target of
+    /// `CANCEL <session>`.
+    session_registry: Option<Arc<obs::SessionRegistry>>,
+    /// Sink for live solve-progress events (the server streams them as
+    /// PROGRESS frames; the CLI renders a status line).
+    progress_sink: Option<Arc<dyn Fn(&obs::ProgressEvent) + Send + Sync>>,
 }
 
 impl std::fmt::Debug for Database {
@@ -310,6 +323,48 @@ impl Database {
     /// Current catalog epoch (monotone across mutations).
     pub fn catalog_epoch(&self) -> u64 {
         self.catalog_epoch.load(Ordering::Relaxed)
+    }
+
+    // -- session control (solver watchdog, live progress) ------------------
+
+    /// Set the session's solver wall-clock budget (`None` = unlimited).
+    pub fn set_solver_timeout_ms(&mut self, ms: Option<u64>) {
+        self.solver_timeout_ms = ms;
+    }
+
+    pub fn solver_timeout_ms(&self) -> Option<u64> {
+        self.solver_timeout_ms
+    }
+
+    /// Attach this session's own live counters (server sessions only);
+    /// running solves poll the counters' kill flag.
+    pub fn set_own_counters(&mut self, counters: Option<Arc<obs::SessionCounters>>) {
+        self.own_counters = counters;
+    }
+
+    pub fn own_counters(&self) -> Option<&Arc<obs::SessionCounters>> {
+        self.own_counters.as_ref()
+    }
+
+    /// Attach the registry of live sessions (`CANCEL`'s lookup table).
+    pub fn set_session_registry(&mut self, registry: Option<Arc<obs::SessionRegistry>>) {
+        self.session_registry = registry;
+    }
+
+    pub fn session_registry(&self) -> Option<&Arc<obs::SessionRegistry>> {
+        self.session_registry.as_ref()
+    }
+
+    /// Install a sink for live solve-progress events.
+    pub fn set_progress_sink(
+        &mut self,
+        sink: Option<Arc<dyn Fn(&obs::ProgressEvent) + Send + Sync>>,
+    ) {
+        self.progress_sink = sink;
+    }
+
+    pub fn progress_sink(&self) -> Option<&Arc<dyn Fn(&obs::ProgressEvent) + Send + Sync>> {
+        self.progress_sink.as_ref()
     }
 
     /// Emit a committed mutation to the durability hook, if one is

@@ -19,6 +19,10 @@ pub enum Error {
     Eval(String),
     /// Error raised by a solver or the solver framework.
     Solver(String),
+    /// A solve exceeded its wall-clock budget or was cancelled
+    /// (`SET solver_timeout_ms` / `CANCEL <session>`). The message
+    /// carries the partial incumbent trajectory when one exists.
+    SolveTimeout(String),
     /// Feature recognised but not supported.
     Unsupported(String),
 }
@@ -42,6 +46,9 @@ impl Error {
     pub fn solver(msg: impl Into<String>) -> Self {
         Error::Solver(msg.into())
     }
+    pub fn solve_timeout(msg: impl Into<String>) -> Self {
+        Error::SolveTimeout(msg.into())
+    }
     pub fn unsupported(msg: impl Into<String>) -> Self {
         Error::Unsupported(msg.into())
     }
@@ -56,6 +63,7 @@ impl fmt::Display for Error {
             Error::Catalog(m) => write!(f, "catalog error: {m}"),
             Error::Eval(m) => write!(f, "evaluation error: {m}"),
             Error::Solver(m) => write!(f, "solver error: {m}"),
+            Error::SolveTimeout(m) => write!(f, "solve timeout: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
         }
     }

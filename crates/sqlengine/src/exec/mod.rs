@@ -398,6 +398,31 @@ fn execute_statement_inner(
             let t = db.checkpoint(Some(&trace))?;
             Ok(ExecResult::table(t).with_trace(trace.finish()))
         }
+        Statement::Set { name, value } => match name.as_str() {
+            "solver_timeout_ms" => {
+                let ms: u64 = value.parse().map_err(|_| {
+                    Error::eval(format!(
+                        "SET solver_timeout_ms: expected a non-negative integer, got '{value}'"
+                    ))
+                })?;
+                // 0 disables the budget.
+                db.set_solver_timeout_ms(if ms == 0 { None } else { Some(ms) });
+                Ok(ExecResult::done())
+            }
+            other => Err(Error::unsupported(format!("unknown session variable '{other}'"))),
+        },
+        Statement::Cancel { session } => {
+            let registry = db.session_registry().ok_or_else(|| {
+                Error::eval("CANCEL requires a server session (no session registry attached)")
+            })?;
+            match registry.get(*session) {
+                Some(counters) => {
+                    counters.request_kill();
+                    Ok(ExecResult::done())
+                }
+                None => Err(Error::eval(format!("no live session {session}"))),
+            }
+        }
     }
 }
 

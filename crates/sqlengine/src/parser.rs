@@ -478,6 +478,36 @@ impl Parser {
         if self.eat_kw("checkpoint") {
             return Ok(Statement::Checkpoint);
         }
+        if self.eat_kw("set") {
+            let name = self.ident()?;
+            // Accept `SET x = v` and PostgreSQL-style `SET x TO v`.
+            if !self.eat(&Token::Eq) {
+                self.expect_kw("to")?;
+            }
+            let value = match self.next() {
+                Token::Int(n) => n.to_string(),
+                Token::Float(x) => x.to_string(),
+                Token::Str(s) => s,
+                Token::Ident(s) | Token::QuotedIdent(s) => s,
+                other => {
+                    return Err(Error::parse(format!(
+                        "expected a value after SET, found '{other}'"
+                    )))
+                }
+            };
+            return Ok(Statement::Set { name, value });
+        }
+        if self.eat_kw("cancel") {
+            let session = match self.next() {
+                Token::Int(n) if n >= 0 => n as u64,
+                other => {
+                    return Err(Error::parse(format!(
+                        "CANCEL expects a session id, found '{other}'"
+                    )))
+                }
+            };
+            return Ok(Statement::Cancel { session });
+        }
         if self.eat_kw("drop") {
             let is_view = if self.eat_kw("view") {
                 true

@@ -81,6 +81,8 @@ pub fn statement_kind(stmt: &Statement) -> &'static str {
         Statement::DropTable { .. } => "DROP TABLE",
         Statement::DropView { .. } => "DROP VIEW",
         Statement::Checkpoint => "CHECKPOINT",
+        Statement::Set { .. } => "SET",
+        Statement::Cancel { .. } => "CANCEL",
     }
 }
 
@@ -145,6 +147,8 @@ pub fn statement_rwset(stmt: &Statement) -> RwSet {
             rw.drops.insert(name.clone());
         }
         Statement::Checkpoint => {}
+        // Session-control statements touch no relations.
+        Statement::Set { .. } | Statement::Cancel { .. } => {}
     }
     rw
 }

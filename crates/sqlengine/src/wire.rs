@@ -558,6 +558,63 @@ fn decode_stage(r: &mut Reader<'_>, depth: u32, budget: &mut u32) -> Result<obs:
     Ok(obs::Stage { name, nanos, rows, meta, children })
 }
 
+// ---------------------------------------------------------------------------
+// Progress events (the PROGRESS frame payload, protocol v4)
+// ---------------------------------------------------------------------------
+
+/// Encode a live [`obs::ProgressEvent`] (the PROGRESS frame payload):
+///
+/// ```text
+/// progress := solver:str method:str elapsed_nanos:u64
+///             nodes:u64 iterations:u64 evaluations:u64
+///             has_incumbent:u8 [incumbent:f64]
+///             has_bound:u8 [best_bound:f64]
+/// ```
+pub fn encode_progress(ev: &obs::ProgressEvent, out: &mut Vec<u8>) {
+    put_str(out, &ev.solver);
+    put_str(out, &ev.method);
+    for v in [ev.elapsed_nanos, ev.nodes, ev.iterations, ev.evaluations] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    for opt in [ev.incumbent, ev.best_bound] {
+        match opt {
+            Some(x) => {
+                out.push(1);
+                out.extend_from_slice(&x.to_bits().to_le_bytes());
+            }
+            None => out.push(0),
+        }
+    }
+}
+
+/// Decode a progress event from a reader positioned at its start.
+pub fn decode_progress(r: &mut Reader<'_>) -> Result<obs::ProgressEvent> {
+    let solver = r.string()?;
+    let method = r.string()?;
+    let elapsed_nanos = r.u64()?;
+    let nodes = r.u64()?;
+    let iterations = r.u64()?;
+    let evaluations = r.u64()?;
+    let incumbent = match r.u8()? {
+        0 => None,
+        _ => Some(r.f64()?),
+    };
+    let best_bound = match r.u8()? {
+        0 => None,
+        _ => Some(r.f64()?),
+    };
+    Ok(obs::ProgressEvent {
+        solver,
+        method,
+        elapsed_nanos,
+        nodes,
+        iterations,
+        evaluations,
+        incumbent,
+        best_bound,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -788,6 +845,64 @@ mod tests {
         let mut buf = Vec::new();
         encode_trace(&t, &mut buf);
         assert!(decode_trace(&mut Reader::new(&buf)).is_err());
+    }
+
+    fn sample_progress() -> obs::ProgressEvent {
+        obs::ProgressEvent {
+            solver: "solverlp".into(),
+            method: "mip".into(),
+            elapsed_nanos: 1_500_000_000,
+            nodes: 320,
+            iterations: 4_100,
+            evaluations: 0,
+            incumbent: Some(6.5),
+            best_bound: Some(9.25),
+        }
+    }
+
+    #[test]
+    fn progress_roundtrips() {
+        for ev in [
+            sample_progress(),
+            obs::ProgressEvent::default(),
+            obs::ProgressEvent {
+                solver: "swarmops".into(),
+                method: "pso".into(),
+                elapsed_nanos: 42,
+                nodes: 0,
+                iterations: 17,
+                evaluations: 680,
+                incumbent: None,
+                best_bound: None,
+            },
+        ] {
+            let mut buf = Vec::new();
+            encode_progress(&ev, &mut buf);
+            let mut r = Reader::new(&buf);
+            let got = decode_progress(&mut r).unwrap();
+            assert!(r.is_empty(), "decoder left {} byte(s)", r.remaining());
+            assert_eq!(got, ev);
+        }
+    }
+
+    #[test]
+    fn truncated_progress_is_rejected_at_every_prefix() {
+        let mut buf = Vec::new();
+        encode_progress(&sample_progress(), &mut buf);
+        for cut in 0..buf.len() {
+            let mut r = Reader::new(&buf[..cut]);
+            assert!(
+                decode_progress(&mut r).is_err() || !r.is_empty(),
+                "prefix of {cut} bytes decoded cleanly"
+            );
+        }
+    }
+
+    #[test]
+    fn progress_with_absurd_string_length_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_progress(&mut Reader::new(&buf)).is_err());
     }
 
     #[test]

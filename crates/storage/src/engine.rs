@@ -268,6 +268,9 @@ pub struct StorageEngine {
     /// Interval-policy deadline flusher: stop flag + condvar, joined
     /// on drop. `None` for `always`/`never` (nothing to flush late).
     flusher: Option<(Arc<(Mutex<bool>, Condvar)>, JoinHandle<()>)>,
+    /// Latency sink for `wal.append` / `wal.fsync` histograms, attached
+    /// once by the process that opened the engine.
+    metrics: std::sync::OnceLock<Arc<obs::MetricsRegistry>>,
 }
 
 fn lock(inner: &Mutex<EngineInner>) -> MutexGuard<'_, EngineInner> {
@@ -394,7 +397,15 @@ impl StorageEngine {
             recovery: stats,
             recovery_trace,
             flusher,
+            metrics: std::sync::OnceLock::new(),
         })
+    }
+
+    /// Attach the metrics registry that receives `wal.append` /
+    /// `wal.fsync` latency distributions. Later calls are ignored (the
+    /// engine is shared by every session of a process).
+    pub fn attach_metrics(&self, metrics: Arc<obs::MetricsRegistry>) {
+        let _ = self.metrics.set(metrics);
     }
 
     /// The data directory this engine owns.
@@ -481,8 +492,8 @@ impl StorageEngine {
             FsyncPolicy::Never => false,
             FsyncPolicy::Interval(window) => inner.last_fsync.elapsed() >= window,
         };
-        let bytes = match inner.wal.append(&lsn_batch, fsync) {
-            Ok(bytes) => bytes,
+        let (bytes, fsync_nanos) = match inner.wal.append(&lsn_batch, fsync) {
+            Ok(out) => out,
             Err(e) => {
                 // A partial append leaves the file offset torn; any
                 // further append could strand every record after it.
@@ -508,6 +519,12 @@ impl StorageEngine {
         inner.appended_records += n;
         inner.appended_bytes += bytes;
         inner.wal_append_nanos += nanos;
+        if let Some(m) = self.metrics.get() {
+            m.record_stage("wal.append", nanos);
+            if fsync {
+                m.record_stage("wal.fsync", fsync_nanos);
+            }
+        }
         Ok((n, nanos))
     }
 

@@ -88,25 +88,32 @@ impl Wal {
     }
 
     /// Append a batch of mutations as one contiguous write (group
-    /// commit), optionally fsyncing. LSNs must be ascending.
-    pub fn append(&mut self, batch: &[(u64, CatalogMutation)], fsync: bool) -> Result<u64> {
+    /// commit), optionally fsyncing. LSNs must be ascending. Returns
+    /// `(bytes written, nanos spent in fsync)` — the fsync time is 0
+    /// when no sync was requested, so callers can feed the `wal.fsync`
+    /// latency histogram.
+    pub fn append(&mut self, batch: &[(u64, CatalogMutation)], fsync: bool) -> Result<(u64, u64)> {
         if batch.is_empty() {
-            return Ok(0);
+            return Ok((0, 0));
         }
         let mut frames = Vec::new();
         for (lsn, m) in batch {
             encode_record(*lsn, m, &mut frames);
         }
         self.file.write_all(&frames).map_err(|e| io_err("append wal", e))?;
-        if fsync {
+        let fsync_nanos = if fsync {
+            let started = std::time::Instant::now();
             self.file.sync_data().map_err(|e| io_err("fsync wal", e))?;
-        }
+            started.elapsed().as_nanos() as u64
+        } else {
+            0
+        };
         self.bytes += frames.len() as u64;
         self.records += batch.len() as u64;
         if let Some((lsn, _)) = batch.last() {
             self.last_lsn = *lsn;
         }
-        Ok(frames.len() as u64)
+        Ok((frames.len() as u64, fsync_nanos))
     }
 
     /// Force an fsync (used by the `interval` policy's deadline).

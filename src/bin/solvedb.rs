@@ -21,11 +21,14 @@
 //! identically against a local session and over `--connect`, where the
 //! trace arrives in a protocol v3 STATS frame.
 
+use solvedbplus::obs;
 use solvedbplus::server::{Client, ClientError};
-use solvedbplus::sqlengine::parser::{script_complete, split_statements};
+use solvedbplus::sqlengine::parser::{parse_statement, script_complete, split_statements};
+use solvedbplus::sqlengine::statement_shape;
 use solvedbplus::storage::{FsyncPolicy, StorageEngine};
 use solvedbplus::{datagen, ExecResult, Outcome, Session};
 use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 const USAGE: &str = "\
@@ -41,6 +44,9 @@ options:
                        log every mutation into it (local mode only)
       --fsync POLICY   when WAL appends reach disk: always | interval[:ms]
                        | never (default always; needs --data-dir)
+      --slow-query-ms N log statements slower than N ms to stderr, with
+                       their shape and stage breakdown (local mode only;
+                       over --connect the server logs instead)
       --check          lint the given script(s) with the whole-script
                        analyzer (SD013..SD018) without executing anything;
                        exits non-zero on error-level findings
@@ -58,6 +64,7 @@ struct Options {
     data_dir: Option<String>,
     fsync: FsyncPolicy,
     fsync_given: bool,
+    slow_query_ms: Option<u64>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -70,6 +77,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         data_dir: None,
         fsync: FsyncPolicy::Always,
         fsync_given: false,
+        slow_query_ms: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -85,6 +93,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let p = take_value(arg)?;
                 opts.fsync = FsyncPolicy::parse(&p).map_err(|e| e.to_string())?;
                 opts.fsync_given = true;
+            }
+            "--slow-query-ms" => {
+                let n = take_value(arg)?;
+                opts.slow_query_ms = Some(
+                    n.parse::<u64>().map_err(|_| format!("invalid slow-query threshold: {n}"))?,
+                );
             }
             "--version" => {
                 println!("solvedb {}", env!("CARGO_PKG_VERSION"));
@@ -123,6 +137,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if opts.fsync_given && opts.data_dir.is_none() {
         return Err("--fsync requires --data-dir".into());
     }
+    if opts.slow_query_ms.is_some() && opts.connect.is_some() {
+        return Err("--slow-query-ms applies to local sessions only (not --connect); \
+                    start solvedbd with --slow-query-ms instead"
+            .into());
+    }
     Ok(opts)
 }
 
@@ -132,23 +151,76 @@ enum Backend {
     Remote(Client),
 }
 
+/// Tracks whether a live progress status line is currently drawn on
+/// stderr (so the next regular output can erase it first). Shared with
+/// the local session's progress sink, hence the `Arc`.
+type StatusLine = Arc<AtomicBool>;
+
+/// Only solves running longer than this get a status line.
+const STATUS_AFTER: std::time::Duration = std::time::Duration::from_secs(1);
+
+/// Draw (or refresh) the single `\r`-updating status line for a solve
+/// that has been running for over a second.
+fn draw_status(ev: &obs::ProgressEvent, status: &AtomicBool) {
+    if ev.elapsed_nanos < STATUS_AFTER.as_nanos() as u64 {
+        return;
+    }
+    eprint!("\r{}", ev.render());
+    std::io::stderr().flush().ok();
+    status.store(true, Ordering::Relaxed);
+}
+
+/// Erase the status line, if one is showing.
+fn clear_status(status: &AtomicBool) {
+    if status.swap(false, Ordering::Relaxed) {
+        eprint!("\r{:79}\r", "");
+        std::io::stderr().flush().ok();
+    }
+}
+
 impl Backend {
     /// Run a batch statement by statement, printing every statement's
     /// result as it completes. `elapsed` prints per-statement wall-clock
     /// lines; `timing` additionally prints each statement's execution
-    /// trace (stage tree + solver telemetry) when one is available.
+    /// trace (stage tree + solver telemetry) when one is available;
+    /// `slow_query_ms` logs statements over the threshold to stderr
+    /// (local sessions only — over `--connect` the server logs).
     /// Returns `false` if a statement failed (execution stops there,
     /// matching server batch semantics).
-    fn run_batch(&mut self, sql: &str, elapsed: bool, timing: bool) -> bool {
+    fn run_batch(
+        &mut self,
+        sql: &str,
+        elapsed: bool,
+        timing: bool,
+        slow_query_ms: Option<u64>,
+        status: &StatusLine,
+    ) -> bool {
         match self {
             Backend::Local(session) => {
                 for piece in split_statements(sql) {
-                    let start = std::time::Instant::now();
                     // `Session::execute` parses the piece itself so the
                     // measured parse time lands in the trace.
-                    let outcome = session.execute(&piece);
+                    let (outcome, dur) = obs::timed(|| session.execute(&piece));
+                    clear_status(status);
+                    if let Some(threshold) = slow_query_ms {
+                        let shape = parse_statement(&piece).ok().map(|s| statement_shape(&s));
+                        let line = obs::slow_query_line(
+                            threshold,
+                            dur,
+                            &obs::SlowQuery {
+                                source: "solvedb",
+                                session: None,
+                                sql: &piece,
+                                shape: shape.as_deref(),
+                                trace: outcome.as_ref().ok().and_then(|r| r.trace.as_ref()),
+                            },
+                        );
+                        if let Some(line) = line {
+                            eprintln!("{line}");
+                        }
+                    }
                     match outcome {
-                        Ok(r) => print_result(&r, elapsed.then(|| start.elapsed()), timing),
+                        Ok(r) => print_result(&r, elapsed.then_some(dur), timing),
                         Err(e) => {
                             report_error(&e.to_string());
                             return false;
@@ -159,7 +231,9 @@ impl Backend {
             }
             Backend::Remote(client) => {
                 let start = std::time::Instant::now();
-                match client.execute(sql) {
+                let outcome = client.execute_with_progress(sql, &mut |ev| draw_status(ev, status));
+                clear_status(status);
+                match outcome {
                     Ok(results) => {
                         let mut ok = true;
                         for r in results {
@@ -285,10 +359,20 @@ fn main() {
         }
     };
 
+    // Live solve status line (one `\r`-updating stderr line for solves
+    // running >1 s, local and remote alike).
+    let status: StatusLine = Arc::new(AtomicBool::new(false));
+
     let mut backend = match &opts.connect {
         Some(addr) => Backend::Remote(connect(addr)),
         None => {
             let mut session = Session::new();
+            {
+                let status = status.clone();
+                session.set_progress_sink(Arc::new(move |ev: &obs::ProgressEvent| {
+                    draw_status(ev, &status);
+                }));
+            }
             if let Some(dir) = &opts.data_dir {
                 let engine = match StorageEngine::open(std::path::Path::new(dir), opts.fsync) {
                     Ok(e) => Arc::new(e),
@@ -339,7 +423,7 @@ fn main() {
         (None, None) => None,
     };
     if let Some(sql) = batch {
-        let ok = backend.run_batch(&sql, opts.timing, opts.timing);
+        let ok = backend.run_batch(&sql, opts.timing, opts.timing, opts.slow_query_ms, &status);
         std::process::exit(if ok { 0 } else { 1 });
     }
 
@@ -379,7 +463,7 @@ fn main() {
             continue;
         }
         let sql = std::mem::take(&mut buffer);
-        backend.run_batch(&sql, true, timing);
+        backend.run_batch(&sql, true, timing, opts.slow_query_ms, &status);
     }
     if let Backend::Remote(client) = backend {
         let _ = client.close();

@@ -8,6 +8,8 @@
 //! solvedbd --slow-query-ms 500     # log statements slower than 500 ms
 //! solvedbd --data-dir ./data       # durable mode: recover + WAL-commit
 //! solvedbd --data-dir ./data --fsync interval:100
+//! solvedbd --metrics-addr 127.0.0.1:9187   # Prometheus GET /metrics
+//! solvedbd --solver-timeout-ms 60000       # default solver budget
 //! ```
 //!
 //! Each connection gets its own session (private table namespace) over
@@ -39,6 +41,12 @@ options:
                        in-memory, state dies with the process)
       --fsync POLICY   when WAL appends reach disk: always | interval[:ms]
                        | never (default always; needs --data-dir)
+      --metrics-addr A serve Prometheus text metrics at http://A/metrics
+                       (default: disabled)
+      --solver-timeout-ms N
+                       default wall-clock budget for every solve, in ms;
+                       sessions can override with SET solver_timeout_ms
+                       (default: unlimited)
       --version        print version and exit
   -h, --help           show this message";
 
@@ -73,6 +81,8 @@ fn main() {
     let mut data_dir: Option<std::path::PathBuf> = None;
     let mut fsync = FsyncPolicy::Always;
     let mut fsync_given = false;
+    let mut metrics_addr: Option<String> = None;
+    let mut solver_timeout_ms: Option<u64> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -114,6 +124,17 @@ fn main() {
                     }
                 }
             }
+            "--metrics-addr" => metrics_addr = Some(take_value(arg)),
+            "--solver-timeout-ms" => {
+                let n = take_value(arg);
+                match n.parse::<u64>() {
+                    Ok(ms) if ms >= 1 => solver_timeout_ms = Some(ms),
+                    _ => {
+                        eprintln!("solvedbd: invalid solver timeout: {n}\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "-D" | "--data-dir" => data_dir = Some(take_value(arg).into()),
             "--fsync" => {
                 let p = take_value(arg);
@@ -147,7 +168,15 @@ fn main() {
         eprintln!("solvedbd: --fsync requires --data-dir\n{USAGE}");
         std::process::exit(2);
     }
-    let config = ServerConfig { workers, slow_query_ms, data_dir, fsync, ..Default::default() };
+    let config = ServerConfig {
+        workers,
+        slow_query_ms,
+        data_dir,
+        fsync,
+        metrics_addr,
+        solver_timeout_ms,
+        ..Default::default()
+    };
     let server = match Server::bind_with(&addr, config) {
         Ok(s) => s,
         Err(e) => {
@@ -171,6 +200,12 @@ fn main() {
     let local = server.local_addr();
     let shutdown = server.shutdown_handle();
     println!("solvedbd listening on {local} ({workers} worker(s)); Ctrl-C or \\q to stop");
+    if let Some(maddr) = server.metrics_addr() {
+        println!("solvedbd: metrics at http://{maddr}/metrics");
+    }
+    if let Some(ms) = solver_timeout_ms {
+        println!("solvedbd: default solver budget {ms} ms (SET solver_timeout_ms overrides)");
+    }
 
     install_sigint_handler();
     {

@@ -42,6 +42,8 @@ pub use forecast;
 pub use globalopt;
 /// LP / MIP solvers.
 pub use lp;
+/// Observability: tracing, histograms, metrics registries, progress.
+pub use obs;
 /// The solvedbd network server, wire protocol and client library.
 pub use server;
 /// The SolveDB+ semantics layer.
