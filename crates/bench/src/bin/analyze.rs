@@ -27,8 +27,10 @@
 //! analyzes and executes just those files, in order, on one fresh
 //! session — the same contract, scoped to the given scripts.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use bench::setup::{feature_session, uc1_session, uc2_session};
-use bench::{figures, uc1, uc2};
+use bench::{figures, uc1, uc2, OrDie};
 use solvedbplus_core::Session;
 use sqlengine::ast::{ExplainMode, Query, SetExpr, SolveStmt, Statement, TableRef};
 use sqlengine::diag::Severity;
@@ -109,6 +111,7 @@ struct Sweep {
     selects: usize,
     planned: usize,
     script_findings: usize,
+    matrix_findings: usize,
     tolerated: Vec<String>,
     failures: Vec<String>,
 }
@@ -142,6 +145,9 @@ impl Sweep {
                 };
                 for row in &t.rows {
                     let (code, sev, msg) = (&row[0], &row[1], &row[2]);
+                    if code.as_str().is_ok_and(|c| ("SD020".."SD026").contains(&c)) {
+                        self.matrix_findings += 1;
+                    }
                     if sev.as_str() == Ok("error") {
                         self.failures.push(format!("{name}: {label}: {code} ({msg})"));
                     }
@@ -240,8 +246,8 @@ impl Persist {
         }
         let dir = std::env::temp_dir().join(format!("sdb-analyze-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let engine = StorageEngine::open(&dir, FsyncPolicy::Never).expect("analyze: open storage");
-        s.attach_storage(Arc::new(engine)).expect("analyze: attach storage");
+        let engine = StorageEngine::open(&dir, FsyncPolicy::Never).or_die("analyze: open storage");
+        s.attach_storage(Arc::new(engine)).or_die("analyze: attach storage");
         self.dirs.push(dir);
     }
 }
@@ -391,6 +397,21 @@ fn main() {
     );
     sweep.script(&mut s, "examples/sudoku.rs", &sudoku_setup);
 
+    // Crew rostering: the set-partitioning model (every coverage row is
+    // a `sum(pick) = 1` over binaries), so this is the script on which
+    // the matrix-classification diagnostics (SD020+) fire in the sweep.
+    let mut s = Session::new();
+    persist.attach(&mut s, "crew");
+    let crew = format!("{};\n{}", bench::CREW_SETUP, bench::CREW_SOLVE);
+    sweep.script(&mut s, "examples/crew_rostering.rs", &crew);
+
+    if sweep.matrix_findings == 0 {
+        sweep.failures.push(
+            "matrix classification pass silent: no SD020+ finding on any shipped script \
+             (the crew set-partitioning script alone should fire SD020)"
+                .into(),
+        );
+    }
     let code = verdict(&sweep, persistent);
     drop(persist);
     std::process::exit(code);
@@ -400,13 +421,15 @@ fn main() {
 fn verdict(sweep: &Sweep, persistent: bool) -> i32 {
     println!(
         "analyze: {} script(s), {} solve statement(s), {} EXPLAIN run(s), \
-         {} EXPLAIN SELECT run(s) ({} planned), {} scriptcheck finding(s){}",
+         {} EXPLAIN SELECT run(s) ({} planned), {} scriptcheck finding(s), \
+         {} matrix finding(s){}",
         sweep.scripts,
         sweep.solves,
         sweep.explains,
         sweep.selects,
         sweep.planned,
         sweep.script_findings,
+        sweep.matrix_findings,
         if persistent { " [persistent mode: sessions WAL-committed]" } else { "" }
     );
     for t in &sweep.tolerated {

@@ -2,13 +2,15 @@
 //!
 //! ```text
 //! reproduce [--quick] [--json[=DIR]]
-//!           [all|table1|fig3a|fig3b|fig4a|fig4b|fig5|fig6|fig7|fig8|fig9|fig10|fig11|presolve|executor|storage|obs|summary]...
+//!           [all|table1|fig3a|fig3b|fig4a|fig4b|fig5|fig6|fig7|fig8|fig9|fig10|fig11|presolve|matrix|executor|storage|obs|summary]...
 //! ```
 //!
 //! With no selector, everything runs. `--quick` shrinks workloads to
 //! CI-friendly sizes. `--json` additionally writes each artifact as a
 //! machine-readable `BENCH_<ID>.json` file (into DIR when given, the
 //! current directory otherwise).
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use bench::figures::{self, Config, Figure};
 use std::path::PathBuf;
@@ -28,7 +30,7 @@ fn main() {
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = vec![
             "table1", "fig3a", "fig3b", "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8", "fig9",
-            "fig10", "fig11", "presolve", "executor", "storage", "obs", "summary",
+            "fig10", "fig11", "presolve", "matrix", "executor", "storage", "obs", "summary",
         ]
         .into_iter()
         .map(String::from)
@@ -57,6 +59,7 @@ fn main() {
             "fig10" => figures::fig10(cfg),
             "fig11" => figures::fig11(cfg),
             "presolve" => figures::presolve(cfg),
+            "matrix" => figures::matrix(cfg),
             "executor" => figures::executor(cfg),
             "storage" => figures::storage_fig(cfg),
             "obs" => figures::obs_fig(cfg),

@@ -9,6 +9,7 @@ use crate::eloc::eloc;
 use crate::setup::{planning_table, uc1_session, uc2_session};
 use crate::uc1::{self, run_s3ss, run_sshared, run_ssolvers};
 use crate::uc2::run_uc2;
+use crate::OrDie;
 use baselines::neldermead::{nelder_mead, NmOptions};
 use baselines::uc1::{
     madlib_python, matlab_native, matlab_yalmip, p4_direct, p4_symbolic, p4_symbolic_mpt, Uc1Task,
@@ -164,7 +165,7 @@ pub fn table1(_cfg: Config) -> Figure {
     datagen::install_table1(s.db_mut());
     let out = s
         .query("SOLVESELECT t(pvsupply) AS (SELECT * FROM input) USING predictive_solver()")
-        .expect("prediction query");
+        .or_die("prediction query");
     let fmt = |v: &sqlengine::Value| -> String {
         match v.as_f64() {
             Ok(f) => format!("{f:.1}"),
@@ -279,11 +280,11 @@ pub fn fig3b(cfg: Config) -> Figure {
     let yalmip = matlab_yalmip(&task).times;
 
     let (mut s1, _) = uc1_session(history, horizon, 2026);
-    let s3ss = run_s3ss(&mut s1, Some(cfg.p3_iterations())).expect("s3ss");
+    let s3ss = run_s3ss(&mut s1, Some(cfg.p3_iterations())).or_die("s3ss");
     let (mut s2, _) = uc1_session(history, horizon, 2026);
-    let sshared = run_sshared(&mut s2, Some(cfg.p3_iterations())).expect("sshared");
+    let sshared = run_sshared(&mut s2, Some(cfg.p3_iterations())).or_die("sshared");
     let (mut s3, _) = uc1_session(history, horizon, 2026);
-    let ssolv = run_ssolvers(&mut s3, cfg.p3_iterations()).expect("ssolvers");
+    let ssolv = run_ssolvers(&mut s3, cfg.p3_iterations()).or_die("ssolvers");
 
     let mut rows = Vec::new();
     for (name, t) in [
@@ -342,8 +343,8 @@ pub fn fig4a(cfg: Config) -> Figure {
 
         // SolveDB+ explicit LP (S-3SS P2 script).
         let (mut s, _) = uc1_session(hist, hor, 7 + k as u64);
-        s.execute_script(uc1::S_3SS_P1).unwrap();
-        let (_, sdb_1) = timed(|| s.execute_script(uc1::S_3SS_P2).unwrap());
+        s.execute_script(uc1::S_3SS_P1).or_die("UC1 P1");
+        let (_, sdb_1) = timed(|| s.execute_script(uc1::S_3SS_P2).or_die("UC1 P2"));
 
         // Reference "fitlm": native least squares, N models (N = k) on
         // base-sized data.
@@ -354,9 +355,9 @@ pub fn fig4a(cfg: Config) -> Figure {
                 let f = vec![d[..base_hist].iter().map(|r| r.out_temp).collect::<Vec<f64>>()];
                 let mut lr = forecast::LinearRegression::new();
                 use forecast::Forecaster;
-                lr.fit(&y, &f).unwrap();
+                lr.fit(&y, &f).or_die("LR fit");
                 let futm = vec![d[base_hist..].iter().map(|r| r.out_temp).collect::<Vec<f64>>()];
-                let _ = lr.forecast(base_hor, &futm).unwrap();
+                let _ = lr.forecast(base_hor, &futm).or_die("LR forecast");
             }
         });
 
@@ -373,8 +374,8 @@ pub fn fig4a(cfg: Config) -> Figure {
         let (_, sdb_n) = timed(|| {
             for m in 0..k {
                 let (mut s, _) = uc1_session(base_hist, base_hor, 300 + m as u64);
-                s.execute_script(uc1::S_3SS_P1).unwrap();
-                s.execute_script(uc1::S_3SS_P2).unwrap();
+                s.execute_script(uc1::S_3SS_P1).or_die("UC1 P1");
+                s.execute_script(uc1::S_3SS_P2).or_die("UC1 P2");
             }
         });
 
@@ -428,10 +429,10 @@ pub fn fig4b(cfg: Config) -> Figure {
 
         // SolveDB+ (simulated annealing over the SQL-expressed fitness).
         let (mut s, _) = uc1_session(n, 4, 31);
-        s.execute_script(uc1::S_3SS_P1).unwrap();
+        s.execute_script(uc1::S_3SS_P1).or_die("UC1 P1");
         let iters = if cfg.quick { 20 } else { 50 };
         let sql = uc1::S_3SS_P3.replace("iterations := 400", &format!("iterations := {iters}"));
-        let (_, sdb) = timed(|| s.execute_script(&sql).unwrap());
+        let (_, sdb) = timed(|| s.execute_script(&sql).or_die("UC1 P2 variant"));
         let sdb_per_iter = sdb.as_secs_f64() / iters as f64;
 
         // Reference ssest: native annealing fit.
@@ -485,12 +486,12 @@ pub fn fig5(cfg: Config) -> Figure {
         let x0 = data[history - 1].in_temp;
 
         // YALMIP + MPT breakdowns (with CSV data I/O).
-        let dir = baselines::csvio::TempDir::new("fig5").unwrap();
+        let dir = baselines::csvio::TempDir::new("fig5").or_die("temp dir");
         let (_, io) = timed(|| {
             let tbl = datagen::energy_table(&data[history..]);
             let p = dir.file("hor.csv");
-            baselines::csvio::export_csv(&tbl, &p).unwrap();
-            let _ = baselines::csvio::import_csv_numeric(&p).unwrap();
+            baselines::csvio::export_csv(&tbl, &p).or_die("csv export");
+            let _ = baselines::csvio::import_csv_numeric(&p).or_die("csv import");
         });
         let (_, mut yal) = p4_symbolic(&task, hvac, &pv, x0);
         yal.data_io = io;
@@ -588,12 +589,13 @@ pub fn fig6(_cfg: Config) -> Figure {
 /// SolveDB+ side of the in-DBMS comparison: specialized lr_solver for
 /// P2, SQL-fitness annealing for P3, symbolic-LP SOLVESELECT for P4.
 pub fn run_sdb_indbms(s: &mut Session, p3_iters: usize) -> baselines::PhaseTimes {
-    s.execute_script(uc1::S_3SS_P1).unwrap();
-    let (_, p2) =
-        timed(|| s.execute_script(include_str!("../scripts/uc1/s_indbms_p2.sql")).unwrap());
+    s.execute_script(uc1::S_3SS_P1).or_die("UC1 P1");
+    let (_, p2) = timed(|| {
+        s.execute_script(include_str!("../scripts/uc1/s_indbms_p2.sql")).or_die("in-DBMS P2")
+    });
     let sql = uc1::S_3SS_P3.replace("iterations := 400", &format!("iterations := {p3_iters}"));
-    let (_, p3) = timed(|| s.execute_script(&sql).unwrap());
-    let (_, p4) = timed(|| s.execute_script(uc1::S_3SS_P4).unwrap());
+    let (_, p3) = timed(|| s.execute_script(&sql).or_die("UC1 P3"));
+    let (_, p4) = timed(|| s.execute_script(uc1::S_3SS_P4).or_die("UC1 P4"));
     baselines::PhaseTimes { p1: Duration::ZERO, p2, p3, p4 }
 }
 
@@ -700,7 +702,7 @@ pub fn fig9(cfg: Config) -> Figure {
     for &n in &scales {
         let (mut s, items) = uc2_session(n, months, 9);
         let ids: Vec<i64> = items.iter().map(|i| i.item_id).collect();
-        let (_, sdb) = timed(|| run_uc2(&mut s, &ids).unwrap());
+        let (_, sdb) = timed(|| run_uc2(&mut s, &ids).or_die("UC2 pipeline"));
         let (_, r) = timed(|| {
             let _ = r_cplex(&items);
         });
@@ -731,7 +733,7 @@ pub fn fig10(cfg: Config) -> Figure {
     let months = if cfg.quick { 30 } else { 80 };
     let (mut s, items) = uc2_session(n, months, 13);
     let ids: Vec<i64> = items.iter().map(|i| i.item_id).collect();
-    let sdb = run_uc2(&mut s, &ids).unwrap();
+    let sdb = run_uc2(&mut s, &ids).or_die("UC2 pipeline");
     let r = r_cplex(&items).times;
     let m = madlib_cplex(&items).times;
 
@@ -801,13 +803,13 @@ pub fn fig11(cfg: Config) -> Figure {
     s.db_mut().put_table("lrseries", {
         let mut t = planning_table(&data, n);
         // lr_solver fills the single `y` decision column: rename pvsupply.
-        let idx = t.schema.index_of("pvsupply").unwrap();
+        let idx = t.schema.index_of("pvsupply").or_die("pvsupply column");
         t.schema.columns[idx].name = "y".into();
         t
     });
 
     let mut time_script =
-        |sql: &str| -> Duration { timed(|| s.execute_script(sql).expect("feature script")).1 };
+        |sql: &str| -> Duration { timed(|| s.execute_script(sql).or_die("feature script")).1 };
     let t_nocdte = time_script(P2_NOCDTE);
     let t_cdte = time_script(P2_CDTE);
     let t_wrapped = time_script(P2_WRAPPED);
@@ -851,8 +853,8 @@ fn presolve_off(sql: &str) -> String {
 /// Execute one solve and pull its solver stats out of the trace.
 fn traced_solve(s: &mut Session, sql: &str) -> (Duration, obs::SolverStats) {
     let (r, t) = timed(|| s.execute(sql));
-    let r = r.expect("traced solve");
-    let st = r.trace.and_then(|tr| tr.solvers.first().cloned()).expect("solver stats in trace");
+    let r = r.or_die("traced solve");
+    let st = r.trace.and_then(|tr| tr.solvers.first().cloned()).or_die("solver stats in trace");
     (t, st)
 }
 
@@ -881,12 +883,12 @@ pub fn presolve(cfg: Config) -> Figure {
     // both runs).
     {
         let (mut s, _) = uc1_session(cfg.uc1_history(), cfg.uc1_horizon(), 41);
-        s.execute_script(uc1::S_3SS_P1).expect("UC1 P1");
-        s.execute_script(uc1::S_3SS_P2).expect("UC1 P2");
+        s.execute_script(uc1::S_3SS_P1).or_die("UC1 P1");
+        s.execute_script(uc1::S_3SS_P2).or_die("UC1 P2");
         s.execute_script(&uc1::S_3SS_P3.replace("iterations := 400", "iterations := 40"))
-            .expect("UC1 P3");
+            .or_die("UC1 P3");
         let p4 = uc1::S_3SS_P4;
-        let start = p4.find("SOLVESELECT").expect("UC1 P4 solve statement");
+        let start = p4.find("SOLVESELECT").or_die("UC1 P4 solve statement");
         let sql = p4[start..].trim().trim_end_matches(';').to_string();
         let on = traced_solve(&mut s, &sql);
         let off = traced_solve(&mut s, &presolve_off(&sql));
@@ -899,7 +901,7 @@ pub fn presolve(cfg: Config) -> Figure {
         let months = if cfg.quick { 30 } else { 80 };
         let (mut s, items) = uc2_session(n, months, 7);
         let ids: Vec<i64> = items.iter().map(|i| i.item_id).collect();
-        crate::uc2::prepare_uc2_profit(&mut s, &ids).expect("UC2 P2+P3");
+        crate::uc2::prepare_uc2_profit(&mut s, &ids).or_die("UC2 P2+P3");
         let sql = crate::uc2::p4_solve_sql();
         let on = traced_solve(&mut s, &sql);
         let off = traced_solve(&mut s, &presolve_off(&sql));
@@ -913,9 +915,9 @@ pub fn presolve(cfg: Config) -> Figure {
     {
         let n = if cfg.quick { 12 } else { 40 };
         let mut s = Session::new();
-        s.execute_script("CREATE TABLE mb (rid int, x int)").expect("mb table");
+        s.execute_script("CREATE TABLE mb (rid int, x int)").or_die("mb table");
         for i in 0..n {
-            s.execute_script(&format!("INSERT INTO mb VALUES ({i}, NULL)")).expect("mb row");
+            s.execute_script(&format!("INSERT INTO mb VALUES ({i}, NULL)")).or_die("mb row");
         }
         let sql = "SOLVESELECT q(x) AS (SELECT rid, x FROM mb) \
                    MAXIMIZE (SELECT sum(x) FROM q) \
@@ -942,6 +944,173 @@ pub fn presolve(cfg: Config) -> Figure {
         rows,
         notes: vec![
             "identical objectives within each pair is the correctness check; nodes and time are the payoff".into(),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Matrix classification payoff — integrality proofs on vs off
+// ---------------------------------------------------------------------------
+
+/// Turn matrix classification off in a `USING solverlp.cbc()` clause.
+fn matrixclass_off(sql: &str) -> String {
+    sql.replace("solverlp.cbc()", "solverlp.cbc(matrixclass := off)")
+}
+
+/// Matrix-classification on/off comparison across models with provable
+/// structure: an assignment MIP (network TU), a staffing MIP with a
+/// consecutive-ones coverage matrix (interval TU), a crew-rostering
+/// set-partitioning model (census/cut registration, no whole-matrix
+/// proof), and an aggregated knapsack whose linking variable is
+/// implied-integral (branch-and-bound stops branching on it). Within
+/// each pair the objective must be identical — the proofs are shortcuts,
+/// never approximations.
+pub fn matrix(cfg: Config) -> Figure {
+    let mut rows = Vec::new();
+    let mut push = |workload: &str, runs: [(&str, (Duration, obs::SolverStats)); 2]| {
+        for (mode, (t, st)) in runs {
+            rows.push(vec![
+                workload.to_string(),
+                mode.to_string(),
+                secs(t),
+                st.nodes_explored.to_string(),
+                if st.integrality_proof.is_empty() { "-".into() } else { st.integrality_proof },
+                if st.matrix_class.is_empty() { "-".into() } else { st.matrix_class },
+                st.objective.map(|o| format!("{o:.2}")).unwrap_or_else(|| "-".into()),
+            ]);
+        }
+    };
+
+    // Assignment n×n: every variable sits in exactly one worker row and
+    // one task row — a network matrix. With the proof, solverlp solves
+    // the LP relaxation once (0 nodes, certified); without it, it runs
+    // branch-and-bound and merely gets lucky at the root.
+    {
+        let n = if cfg.quick { 4 } else { 8 };
+        let mut s = Session::new();
+        s.execute_script("CREATE TABLE assign (w int, t int, cost float8, x int)")
+            .or_die("assign table");
+        for w in 0..n {
+            for t in 0..n {
+                let cost = 1.0 + ((w * 7 + t * 13) % 17) as f64;
+                s.execute_script(&format!("INSERT INTO assign VALUES ({w}, {t}, {cost}, NULL)"))
+                    .or_die("assign row");
+            }
+        }
+        let sql = "SOLVESELECT a(x) AS (SELECT * FROM assign) \
+                   MINIMIZE (SELECT sum(cost * x) FROM a) \
+                   SUBJECTTO (SELECT sum(x) = 1 FROM a GROUP BY w), \
+                             (SELECT sum(x) = 1 FROM a GROUP BY t), \
+                             (SELECT 0 <= x <= 1 FROM a) \
+                   USING solverlp.cbc()";
+        let on = traced_solve(&mut s, sql);
+        let off = traced_solve(&mut s, &matrixclass_off(sql));
+        push(&format!("assignment {n}x{n} (network TU)"), [("on", on), ("off", off)]);
+    }
+
+    // Shift staffing: each coverage window spans consecutive shifts, so
+    // the matrix has the consecutive-ones property (interval TU).
+    {
+        let mut s = Session::new();
+        s.execute_script("CREATE TABLE shifts (sid int, staff int)").or_die("shifts table");
+        for sid in 1..=6 {
+            s.execute_script(&format!("INSERT INTO shifts VALUES ({sid}, NULL)"))
+                .or_die("shift row");
+        }
+        let sql = "SOLVESELECT s(staff) AS (SELECT * FROM shifts) \
+                   MINIMIZE (SELECT sum(staff) FROM s) \
+                   SUBJECTTO (SELECT sum(staff) >= 3 FROM s WHERE sid BETWEEN 1 AND 2), \
+                             (SELECT sum(staff) >= 5 FROM s WHERE sid BETWEEN 2 AND 4), \
+                             (SELECT sum(staff) >= 4 FROM s WHERE sid BETWEEN 3 AND 5), \
+                             (SELECT sum(staff) >= 2 FROM s WHERE sid BETWEEN 4 AND 6), \
+                             (SELECT 0 <= staff <= 10 FROM s) \
+                   USING solverlp.cbc()";
+        let on = traced_solve(&mut s, sql);
+        let off = traced_solve(&mut s, &matrixclass_off(sql));
+        push("shift staffing (interval TU)", [("on", on), ("off", off)]);
+    }
+
+    // Crew rostering: pick pairings so every flight is covered exactly
+    // once — pure set-partitioning rows. No whole-matrix proof (some
+    // pairings span three flights), but the census registers the rows
+    // as cut-separation candidates.
+    {
+        let mut s = Session::new();
+        s.execute_script(crate::CREW_SETUP).or_die("crew tables");
+        let on = traced_solve(&mut s, crate::CREW_SOLVE);
+        let off = traced_solve(&mut s, &matrixclass_off(crate::CREW_SOLVE));
+        push("crew rostering (set partitioning)", [("on", on), ("off", off)]);
+    }
+
+    // Duty-hours aggregate: crew clusters whose LP root is fractional
+    // (each is the classic odd-cycle set-partitioning gap), plus one
+    // integer aggregate `total = sum(hours * pick)` inserted as the
+    // FIRST decision row so most-fractional branching reaches for it.
+    // Its integrality is implied by the linking equality, so with
+    // classification on, branch-and-bound relaxes it and branches on
+    // the picks directly; without the proof it wastes nodes splitting
+    // the aggregate. This is the genuine node-count collapse.
+    {
+        let k = if cfg.quick { 3 } else { 5 };
+        let mut s = Session::new();
+        s.execute_script(
+            "CREATE TABLE duties (did int, kind int, dcost float8, coef float8, pick int);
+             CREATE TABLE cover (did int, flight int)",
+        )
+        .or_die("duties tables");
+        // The aggregate first: cost 0, coefficient -1 in the link row.
+        s.execute_script("INSERT INTO duties VALUES (0, 1, 0, -1, NULL)").or_die("total row");
+        for t in 0..k {
+            // Per cluster: three two-flight pairings (cheap, forming the
+            // odd cycle) and three single-flight reserves (expensive).
+            let costs = [10.0, 10.0, 10.0, 8.0, 8.0, 8.0];
+            let hb = (t % 4) as f64;
+            let hours = [7.0 + hb, 9.0 + hb, 11.0 + hb, 5.0, 4.0, 6.0];
+            let covers: [&[usize]; 6] = [&[1, 2], &[2, 3], &[1, 3], &[1], &[2], &[3]];
+            for i in 0..6 {
+                let did = 1 + 6 * t + i;
+                s.execute_script(&format!(
+                    "INSERT INTO duties VALUES ({did}, 0, {}, {}, NULL)",
+                    costs[i], hours[i]
+                ))
+                .or_die("duty row");
+                for fl in covers[i] {
+                    s.execute_script(&format!("INSERT INTO cover VALUES ({did}, {})", 3 * t + fl))
+                        .or_die("cover row");
+                }
+            }
+        }
+        let sql = "SOLVESELECT d(pick) AS (SELECT * FROM duties) \
+                   MINIMIZE (SELECT sum(dcost * pick) FROM d) \
+                   SUBJECTTO (SELECT sum(pick) = 1 FROM d JOIN cover ON d.did = cover.did \
+                                GROUP BY cover.flight), \
+                             (SELECT sum(coef * pick) = 0 FROM d), \
+                             (SELECT 0 <= pick <= 1 FROM d WHERE kind = 0), \
+                             (SELECT 0 <= pick <= 10000 FROM d WHERE kind = 1) \
+                   USING solverlp.cbc()";
+        let on = traced_solve(&mut s, sql);
+        let off = traced_solve(&mut s, &matrixclass_off(sql));
+        push(&format!("duty-hours aggregate ({k} clusters)"), [("on", on), ("off", off)]);
+    }
+
+    Figure {
+        id: "Matrix".into(),
+        title: "Matrix classification payoff: proofs, row classes and search size, on vs off"
+            .into(),
+        headers: vec![
+            "workload".into(),
+            "matrixclass".into(),
+            "solve (s)".into(),
+            "B&B nodes".into(),
+            "proof".into(),
+            "row classes".into(),
+            "objective".into(),
+        ],
+        rows,
+        notes: vec![
+            "identical objectives within each pair is the correctness check; the proof column \
+             shows what was certified and nodes show the search the proof removed"
+                .into(),
         ],
     }
 }
@@ -1116,13 +1285,13 @@ pub fn storage_fig(cfg: Config) -> Figure {
 
         let mut s = Session::new();
         if let Some(p) = policy {
-            let engine = Arc::new(StorageEngine::open(&dir, p).expect("open storage"));
-            s.attach_storage(engine).expect("attach storage");
+            let engine = Arc::new(StorageEngine::open(&dir, p).or_die("open storage"));
+            s.attach_storage(engine).or_die("attach storage");
         }
-        s.execute_script("CREATE TABLE kv (k INT, v TEXT)").expect("create kv");
+        s.execute_script("CREATE TABLE kv (k INT, v TEXT)").or_die("create kv");
         let (_, ingest) = timed(|| {
             for i in 0..n {
-                s.execute(&format!("INSERT INTO kv VALUES ({i}, 'value-{i}')")).expect("insert");
+                s.execute(&format!("INSERT INTO kv VALUES ({i}, 'value-{i}')")).or_die("insert");
             }
         });
         let stmts_per_s = n as f64 / ingest.as_secs_f64().max(1e-9);
@@ -1131,25 +1300,25 @@ pub fn storage_fig(cfg: Config) -> Figure {
             None => ("-".into(), "-".into(), "-".into(), "-".into(), "-".into()),
             Some(p) => {
                 let fsyncs =
-                    s.query_scalar("SELECT fsyncs FROM sdb_storage").expect("fsyncs").to_string();
+                    s.query_scalar("SELECT fsyncs FROM sdb_storage").or_die("fsyncs").to_string();
                 let wal_bytes = s
                     .query_scalar("SELECT wal_bytes FROM sdb_storage")
-                    .expect("wal_bytes")
+                    .or_die("wal_bytes")
                     .to_string();
                 // Recovery from the raw WAL (n+1 records replay).
                 let (e2, wal_recover) =
-                    timed(|| StorageEngine::open(&dir, p).expect("reopen (wal)"));
+                    timed(|| StorageEngine::open(&dir, p).or_die("reopen (wal)"));
                 assert_eq!(e2.recovery_stats().replayed_records, n as u64 + 1, "{label}");
                 // Checkpoint, then recovery from the snapshot alone.
-                let (_, ckpt) = timed(|| s.execute("CHECKPOINT").expect("checkpoint"));
+                let (_, ckpt) = timed(|| s.execute("CHECKPOINT").or_die("checkpoint"));
                 let (e3, snap_recover) =
-                    timed(|| StorageEngine::open(&dir, p).expect("reopen (snapshot)"));
+                    timed(|| StorageEngine::open(&dir, p).or_die("reopen (snapshot)"));
                 assert_eq!(e3.recovery_stats().replayed_records, 0, "{label}");
                 let mut check = Session::new();
                 check
-                    .attach_storage(Arc::new(StorageEngine::open(&dir, p).expect("reopen (check)")))
-                    .expect("attach check");
-                let cnt = check.query_scalar("SELECT count(*) FROM kv").expect("count");
+                    .attach_storage(Arc::new(StorageEngine::open(&dir, p).or_die("reopen (check)")))
+                    .or_die("attach check");
+                let cnt = check.query_scalar("SELECT count(*) FROM kv").or_die("count");
                 assert_eq!(cnt, Value::Int(n as i64), "{label}: rows lost across recovery");
                 (fsyncs, wal_bytes, secs(wal_recover), secs(ckpt), secs(snap_recover))
             }
@@ -1315,14 +1484,14 @@ pub fn obs_fig(cfg: Config) -> Figure {
             }));
         }
         s.execute("CREATE TABLE items (id int, weight float8, value float8, pick float8)")
-            .expect("create");
+            .or_die("create");
         for i in 0..items {
             s.execute(&format!(
                 "INSERT INTO items VALUES ({i}, {}, {}, NULL)",
                 (i * 5) % 11 + 1,
                 (i * 7) % 13 + 1,
             ))
-            .expect("insert");
+            .or_die("insert");
         }
         let (out, d) = timed(|| {
             s.execute(
@@ -1333,7 +1502,7 @@ pub fn obs_fig(cfg: Config) -> Figure {
                  USING solverlp.cbc()",
             )
         });
-        out.expect("knapsack solves");
+        out.or_die("knapsack solves");
         let events = with_sink.map(|c| c.load(Ordering::Relaxed)).unwrap_or(0);
         (d, events)
     };

@@ -1,6 +1,7 @@
 //! Experiment setup: sessions with the datasets installed and the
 //! composite solvers of the "S-solvers" configuration (paper §5.3).
 
+use crate::OrDie;
 use baselines::uc1::{p4_direct, Uc1Task};
 use datagen::EnergyRow;
 use forecast::{Forecaster, LinearRegression};
@@ -148,7 +149,7 @@ impl Solver for HvacScheduler {
         task.comfort = comfort;
         task.power = (0.0, power_max);
         task.price = price;
-        let x0 = *measured.last().expect("non-empty history");
+        let x0 = *measured.last().or_die("non-empty history");
         let (hload, _) = p4_direct(&task, (fit.a1, fit.b1, fit.b2), &pv, x0);
 
         // Output: fill the horizon cells; simulate intemp for reporting.
@@ -195,7 +196,7 @@ pub fn feature_session() -> Result<Session> {
     s.db_mut().put_table("lrdata", Table::from_rows(&["rid", "outtemp", "hr", "pvsupply"], lrdata));
     let mut series = planning_table(&data[..52], 40);
     // lr_solver fills the single `y` decision column: rename pvsupply.
-    let idx = series.schema.index_of("pvsupply").expect("pvsupply column");
+    let idx = series.schema.index_of("pvsupply").or_die("pvsupply column");
     series.schema.columns[idx].name = "y".into();
     s.db_mut().put_table("lrseries", series);
     Ok(s)

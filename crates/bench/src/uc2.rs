@@ -1,6 +1,7 @@
 //! SolveDB+ implementation of UC2 (paper §5.4), driven by the
 //! checked-in SQL script with per-item parameter substitution.
 
+use crate::OrDie;
 use baselines::PhaseTimes;
 use obs::timed;
 use solvedbplus_core::Session;
@@ -14,8 +15,8 @@ pub const MADLIB_CPLEX_PY: &str = include_str!("../scripts/uc2/madlib_cplex.py")
 /// Split the UC2 script into its three parts (P2 template, P3, P4) at
 /// the `-- P3`/`-- P4` markers.
 fn split_script() -> (String, String, String) {
-    let p3_pos = UC2_SQL.find("-- P3:").expect("script has P3 marker");
-    let p4_pos = UC2_SQL.find("-- P4:").expect("script has P4 marker");
+    let p3_pos = UC2_SQL.find("-- P3:").or_die("script has P3 marker");
+    let p4_pos = UC2_SQL.find("-- P4:").or_die("script has P4 marker");
     (
         UC2_SQL[..p3_pos].to_string(),
         UC2_SQL[p3_pos..p4_pos].to_string(),
@@ -30,7 +31,7 @@ pub fn prepare_uc2_profit(s: &mut Session, item_ids: &[i64]) -> Result<(Duration
 
     // The script's header (down to the first SOLVESELECT INSERT) sets up
     // the forecast table; split it from the per-item INSERT.
-    let insert_pos = p2_tpl.find("INSERT INTO demand_forecast").expect("insert marker");
+    let insert_pos = p2_tpl.find("INSERT INTO demand_forecast").or_die("insert marker");
     let (setup_sql, insert_tpl) = p2_tpl.split_at(insert_pos);
 
     let (r, p2) = timed(|| {
@@ -52,7 +53,7 @@ pub fn prepare_uc2_profit(s: &mut Session, item_ids: &[i64]) -> Result<(Duration
 /// so benches can execute it directly (and keep the statement trace).
 pub fn p4_solve_sql() -> String {
     let (_, _, p4_sql) = split_script();
-    let start = p4_sql.find("SOLVESELECT").expect("P4 solve statement");
+    let start = p4_sql.find("SOLVESELECT").or_die("P4 solve statement");
     p4_sql[start..].trim().trim_end_matches(';').to_string()
 }
 

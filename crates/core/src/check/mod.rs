@@ -22,6 +22,12 @@
 //! | SD011 | note     | empty or singleton constraint row                  |
 //! | SD012 | warning  | pathological constraint coefficient range          |
 //! | SD019 | note     | decomposable model: K independent blocks           |
+//! | SD020 | note     | matrix classification: row-class census            |
+//! | SD021 | note     | interval-matrix total unimodularity                |
+//! | SD022 | note     | network-matrix total unimodularity                 |
+//! | SD023 | note     | implied integrality of declared-integer variables  |
+//! | SD024 | warning  | set-partitioning row over non-binary variables     |
+//! | SD025 | warning  | knapsack item heavier than the row's capacity      |
 //!
 //! (SD013–SD018 are the *cross-statement* diagnostics of the whole-script
 //! analyzer, `sqlengine::script` — see that module.)
@@ -35,6 +41,7 @@
 //! fails a statement itself; `Error`-level findings predict what the
 //! solver will reject.
 
+pub mod matrixclass;
 pub mod presolve;
 pub mod rules;
 pub mod structure;
@@ -216,6 +223,7 @@ pub fn check_problem(db: &Database, ctes: &Ctes, prob: &ProblemInstance) -> Vec<
     rules::sd003_unreferenced_columns(&model, &mut diags);
     presolve::diag::presolve_rules(&model, &mut diags);
     structure::sd019_decomposable(&model, &mut diags);
+    matrixclass::diag::matrix_rules(&model, &mut diags);
 
     diags.sort_by(|a, b| b.severity.cmp(&a.severity).then_with(|| a.code.cmp(&b.code)));
     diags

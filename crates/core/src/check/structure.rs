@@ -222,4 +222,47 @@ mod tests {
         assert_eq!(b.len(), 1);
         assert_eq!(b[0].rows, 1);
     }
+
+    #[test]
+    fn empty_atom_list_yields_no_blocks() {
+        assert!(blocks(&[]).is_empty());
+        // All-constant atoms are equivalent to no atoms at all.
+        assert!(blocks(&[atom(&[]), atom(&[])]).is_empty());
+    }
+
+    #[test]
+    fn single_variable_model_is_one_block() {
+        // One variable referenced by several rows: one block, every row
+        // attributed to it.
+        let atoms = vec![atom(&[(7, 1.0)]), atom(&[(7, -2.0)]), atom(&[(7, 0.5)])];
+        let b = blocks(&atoms);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].vars, vec![7]);
+        assert_eq!(b[0].rows, 3);
+    }
+
+    #[test]
+    fn fully_coupled_model_is_one_block() {
+        // A chain of pairwise couplings merges everything transitively,
+        // regardless of insertion order.
+        let atoms = vec![
+            atom(&[(3, 1.0), (0, 1.0)]),
+            atom(&[(1, 1.0), (2, 1.0)]),
+            atom(&[(0, 1.0), (1, 1.0)]),
+            atom(&[(2, 1.0), (4, 1.0)]),
+        ];
+        let b = blocks(&atoms);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].vars, vec![0, 1, 2, 3, 4]);
+        assert_eq!(b[0].rows, 4);
+    }
+
+    #[test]
+    fn blocks_are_ordered_by_smallest_variable() {
+        let atoms = vec![atom(&[(9, 1.0), (8, 1.0)]), atom(&[(1, 1.0), (5, 1.0)])];
+        let b = blocks(&atoms);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0].vars, vec![1, 5]);
+        assert_eq!(b[1].vars, vec![8, 9]);
+    }
 }

@@ -31,6 +31,10 @@ pub struct Explanation {
     pub linear: bool,
     /// The named solver and method.
     pub solver: Option<String>,
+    /// Matrix-classification summary (row-class census, TU verdict,
+    /// implied integrality), when the rules compile linear and the
+    /// matrix has at least one row.
+    pub matrix: Option<String>,
 }
 
 /// How many constraints [`Explanation::render`] prints before eliding
@@ -69,11 +73,39 @@ impl Explanation {
         if self.constraints.len() > MAX_RENDERED {
             let _ = writeln!(s, "  ... and {} more", self.constraints.len() - MAX_RENDERED);
         }
+        if let Some(mx) = &self.matrix {
+            let _ = writeln!(s, "matrix: {mx}");
+        }
         if let Some(sv) = &self.solver {
             let _ = writeln!(s, "solver: {sv}");
         }
         s
     }
+}
+
+/// One-line matrix summary for [`Explanation::matrix`]: census, TU
+/// verdict and implied-integrality tally, comma-joined.
+fn matrix_summary(p: &lp::Problem) -> Option<String> {
+    if p.constraints.is_empty() {
+        return None;
+    }
+    let a = lp::matrix::analyze(p);
+    let mut parts = Vec::new();
+    let census = a.census_label();
+    if !census.is_empty() {
+        parts.push(census);
+    }
+    if let Some(tu) = a.tu {
+        parts.push(format!("totally unimodular ({})", tu.label()));
+    }
+    let declared = p.integer.iter().filter(|&&b| b).count();
+    if declared > 0 && !a.relaxable.is_empty() {
+        parts.push(format!("implied integrality {}/{declared}", a.relaxable.len()));
+    }
+    if parts.is_empty() {
+        parts.push("no special structure".to_string());
+    }
+    Some(parts.join(", "))
 }
 
 pub(crate) fn var_name(prob: &ProblemInstance, v: u32) -> String {
@@ -132,7 +164,7 @@ pub fn explain_stmt(db: &Database, ctes: &Ctes, stmt: &SolveStmt) -> Result<Expl
 
     match compile_linear(db, ctes, &prob) {
         Ok(rules) => {
-            let (_, used) = to_lp(&prob, &rules);
+            let (lp_prob, used) = to_lp(&prob, &rules);
             let mut constraints = Vec::new();
             let mut count = 0usize;
             for c in &rules.constraints {
@@ -161,6 +193,7 @@ pub fn explain_stmt(db: &Database, ctes: &Ctes, stmt: &SolveStmt) -> Result<Expl
                 constraint_count: count,
                 linear: true,
                 solver,
+                matrix: matrix_summary(&lp_prob),
             })
         }
         Err(_) => Ok(Explanation {
@@ -173,6 +206,7 @@ pub fn explain_stmt(db: &Database, ctes: &Ctes, stmt: &SolveStmt) -> Result<Expl
             constraint_count: prob.subjectto.len(),
             linear: false,
             solver,
+            matrix: None,
         }),
     }
 }

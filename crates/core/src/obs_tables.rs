@@ -121,6 +121,9 @@ fn solver_stats(metrics: &MetricsRegistry) -> Table {
         Column::new("presolve_cols", DataType::Int),
         Column::new("presolve_rows", DataType::Int),
         Column::new("presolve_bounds", DataType::Int),
+        Column::new("blocks", DataType::Int),
+        Column::new("matrix_class", DataType::Text),
+        Column::new("integrality_proof", DataType::Text),
         Column::new("last_objective", DataType::Float),
         Column::new("incumbents", DataType::Text),
     ]);
@@ -141,6 +144,17 @@ fn solver_stats(metrics: &MetricsRegistry) -> Table {
                 int(a.presolve_cols),
                 int(a.presolve_rows),
                 int(a.presolve_bounds),
+                int(a.blocks),
+                if a.last_matrix_class.is_empty() {
+                    Value::Null
+                } else {
+                    Value::text(&a.last_matrix_class)
+                },
+                if a.last_integrality_proof.is_empty() {
+                    Value::Null
+                } else {
+                    Value::text(&a.last_integrality_proof)
+                },
                 a.last_objective.map(Value::Float).unwrap_or(Value::Null),
                 if a.last_incumbents.is_empty() {
                     Value::Null
@@ -265,6 +279,9 @@ mod tests {
                 presolve_cols: 2,
                 presolve_bounds: 4,
                 objective: Some(1.5),
+                matrix_class: "setpart:2".into(),
+                integrality_proof: "network-tu".into(),
+                blocks: 3,
                 ..obs::SolverStats::default()
             },
             2_000_000,
@@ -276,7 +293,10 @@ mod tests {
         assert_eq!(t.rows[0][4], Value::Int(7));
         assert_eq!(t.rows[0][9], Value::Int(2));
         assert_eq!(t.rows[0][11], Value::Int(4));
-        assert_eq!(t.rows[0][12], Value::Float(1.5));
+        assert_eq!(t.rows[0][12], Value::Int(3));
+        assert_eq!(t.rows[0][13], Value::text("setpart:2"));
+        assert_eq!(t.rows[0][14], Value::text("network-tu"));
+        assert_eq!(t.rows[0][15], Value::Float(1.5));
     }
 
     #[test]

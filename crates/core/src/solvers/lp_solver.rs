@@ -45,9 +45,27 @@ impl Solver for LpSolver {
             .param_text("presolve")
             .map(|v| !matches!(v.to_ascii_lowercase().as_str(), "off" | "false" | "0"))
             .unwrap_or(true);
-        let pre: Option<Presolved> =
+        let mut pre: Option<Presolved> =
             presolve_on.then(|| ctx.stage("presolve", || reduce(&lp_prob)));
         let counts = pre.as_ref().map(|p| p.counts()).unwrap_or_default();
+        // Matrix classification (on by default; `matrixclass := off`
+        // disables it): classify rows, look for an integrality proof,
+        // and register the row classes on the problem the solver sees
+        // (the registration point for future cut separators).
+        let matrixclass_on = prob
+            .param_text("matrixclass")
+            .map(|v| !matches!(v.to_ascii_lowercase().as_str(), "off" | "false" | "0"))
+            .unwrap_or(true);
+        let analysis: Option<lp::matrix::MatrixAnalysis> = if matrixclass_on {
+            let target = pre.as_mut().map(|p| &mut p.reduced).unwrap_or(&mut lp_prob);
+            Some(ctx.stage("matrixclass", || {
+                let a = lp::matrix::analyze(target);
+                target.row_classes = a.row_classes.clone();
+                a
+            }))
+        } else {
+            None
+        };
         let (sol, stats) = ctx.stage("solve-lp", || {
             if pre.as_ref().is_some_and(|p| p.infeasible()) {
                 return (lp::Solution::infeasible(), None);
@@ -68,34 +86,26 @@ impl Solver for LpSolver {
                 );
             }
             if target.has_integers() {
-                let opts = match node_limit {
-                    Some(limit) => lp::mip::MipOptions { node_limit: limit, ..Default::default() },
-                    None => lp::mip::MipOptions::default(),
-                };
-                // Progress points double as the watchdog's cooperative
-                // cancellation checks (every PROGRESS_NODE_INTERVAL
-                // nodes plus every new incumbent).
-                let (sol, st) = lp::mip::branch_and_bound_with(target, opts, &mut |p| {
-                    ctx.progress(obs::ProgressEvent {
-                        solver: "solverlp".into(),
-                        method: "mip".into(),
-                        nodes: p.nodes as u64,
-                        iterations: p.pivots as u64,
-                        incumbent: p.incumbent,
-                        best_bound: p.best_bound,
-                        ..obs::ProgressEvent::default()
-                    })
-                });
-                (sol, Some(st))
+                solve_mip(ctx, target, analysis.as_ref(), node_limit)
             } else {
                 (lp::simplex::solve_lp(target), None)
             }
         });
+        let (matrix_class, integrality_proof, blocks) = match &analysis {
+            Some(a) => {
+                let target = pre.as_ref().map(|p| &p.reduced).unwrap_or(&lp_prob);
+                (a.census_label(), a.proof_label(target), lp::matrix::block_count(target) as u64)
+            }
+            None => (String::new(), String::new(), 0),
+        };
         let sol = match &pre {
             Some(p) => p.uncrush_solution(sol),
             None => sol,
         };
-        let tele = telemetry(&sol, stats.as_ref(), counts);
+        let mut tele = telemetry(&sol, stats.as_ref(), counts);
+        tele.matrix_class = matrix_class;
+        tele.integrality_proof = integrality_proof;
+        tele.blocks = blocks;
         let incumbents = tele.incumbents.clone();
         ctx.report(tele);
         if sol.status == lp::Status::Interrupted {
@@ -105,6 +115,100 @@ impl Solver for LpSolver {
         }
         ctx.stage("post-process", || finish(prob, sol, &used))
     }
+}
+
+/// Integer-feasibility tolerance for accepting a shortcut solution;
+/// matches the branch-and-bound's own tolerance.
+const SHORTCUT_INT_TOL: f64 = 1e-6;
+
+/// Solve the integer problem, acting on the matrix-classification
+/// proofs when available:
+///
+/// - **Full certificate** (TU over integral data, or every declared
+///   integer provably implied): solve the LP relaxation only. The
+///   solution's integrality is *verified* before acceptance — the
+///   certificate decides when to try the shortcut, never whether to
+///   trust its result — so an unsound claim falls back to full
+///   branch-and-bound instead of producing a wrong answer.
+/// - **Partial implied integrality**: relax the provably-implied
+///   integer declarations so branch-and-bound never branches on them
+///   (shrinking the tree), verify, same fallback.
+fn solve_mip(
+    ctx: &SolveContext<'_>,
+    target: &lp::Problem,
+    analysis: Option<&lp::matrix::MatrixAnalysis>,
+    node_limit: Option<usize>,
+) -> (lp::Solution, Option<lp::mip::MipStats>) {
+    if let Some(a) = analysis {
+        let declared: Vec<usize> = (0..target.num_vars).filter(|&j| target.integer[j]).collect();
+        let full_proof = a.exactness_proof().is_some()
+            || (!declared.is_empty() && declared.iter().all(|&j| a.implied_integral[j]));
+        if full_proof {
+            let mut relaxed = target.clone();
+            relaxed.integer.iter_mut().for_each(|b| *b = false);
+            let mut sol = lp::simplex::solve_lp(&relaxed);
+            if accept_integral(target, &mut sol, &declared) {
+                let stats = lp::mip::MipStats {
+                    simplex_iterations: sol.iterations,
+                    incumbents: vec![(0, sol.objective)],
+                    ..lp::mip::MipStats::default()
+                };
+                return (sol, Some(stats));
+            }
+        } else if !a.relaxable.is_empty() {
+            let mut relaxed = target.clone();
+            for &j in &a.relaxable {
+                relaxed.integer[j] = false;
+            }
+            let (mut sol, stats) = branch_and_bound(ctx, &relaxed, node_limit);
+            if sol.status != lp::Status::Optimal || accept_integral(target, &mut sol, &declared) {
+                return (sol, Some(stats));
+            }
+        }
+    }
+    let (sol, stats) = branch_and_bound(ctx, target, node_limit);
+    (sol, Some(stats))
+}
+
+/// Verify that `sol` is integral on `declared` within tolerance; on
+/// success snap those entries to integers and recompute the objective.
+fn accept_integral(target: &lp::Problem, sol: &mut lp::Solution, declared: &[usize]) -> bool {
+    if sol.status != lp::Status::Optimal {
+        return false;
+    }
+    let ok = declared.iter().all(|&j| (sol.x[j] - sol.x[j].round()).abs() <= SHORTCUT_INT_TOL);
+    if ok {
+        for &j in declared {
+            sol.x[j] = sol.x[j].round();
+        }
+        sol.objective = target.objective_value(&sol.x);
+    }
+    ok
+}
+
+fn branch_and_bound(
+    ctx: &SolveContext<'_>,
+    target: &lp::Problem,
+    node_limit: Option<usize>,
+) -> (lp::Solution, lp::mip::MipStats) {
+    let opts = match node_limit {
+        Some(limit) => lp::mip::MipOptions { node_limit: limit, ..Default::default() },
+        None => lp::mip::MipOptions::default(),
+    };
+    // Progress points double as the watchdog's cooperative cancellation
+    // checks (every PROGRESS_NODE_INTERVAL nodes plus every new
+    // incumbent).
+    lp::mip::branch_and_bound_with(target, opts, &mut |p| {
+        ctx.progress(obs::ProgressEvent {
+            solver: "solverlp".into(),
+            method: "mip".into(),
+            nodes: p.nodes as u64,
+            iterations: p.pivots as u64,
+            incumbent: p.incumbent,
+            best_bound: p.best_bound,
+            ..obs::ProgressEvent::default()
+        })
+    })
 }
 
 /// Map an LP/MIP outcome onto the shared solver-telemetry shape.

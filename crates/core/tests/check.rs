@@ -486,7 +486,14 @@ fn quickstart_lp_and_knapsack_are_clean() {
              USING solverlp.cbc()",
         )
         .unwrap();
-    assert!(mip.is_empty(), "knapsack should be clean, got {:?}", codes(&mip));
+    // The only findings allowed on the knapsack are the informational
+    // matrix-classification notes (SD020+) — no SD001–SD019 smells.
+    assert!(
+        mip.iter().all(|d| d.severity == Severity::Note && d.code.as_str() >= "SD020"),
+        "knapsack should have no smells, got {:?}",
+        codes(&mip)
+    );
+    assert!(mip.iter().any(|d| d.code == "SD020"), "knapsack row should be classified");
 }
 
 #[test]
@@ -557,7 +564,15 @@ fn sudoku_example_is_clean() {
              USING solverlp.cbc()",
         )
         .unwrap();
-    assert!(diags.is_empty(), "sudoku should be clean, got {:?}", codes(&diags));
+    // Matrix classification legitimately reports the one-hot structure
+    // (SD020 census, SD023 implied integrality); anything else — any
+    // warning, any SD001–SD019 finding — is a false positive.
+    assert!(
+        diags.iter().all(|d| d.severity == Severity::Note && d.code.as_str() >= "SD020"),
+        "sudoku should have no smells, got {:?}",
+        codes(&diags)
+    );
+    assert!(diags.iter().any(|d| d.code == "SD020"), "sudoku rows should be classified");
 }
 
 #[test]

@@ -1,0 +1,157 @@
+//! End-to-end tests for the matrix classification pass acting inside
+//! the solver: TU-certified models skip branch-and-bound via the
+//! LP-only shortcut, implied-integral declarations are relaxed, and
+//! both paths produce the same objective as the full search — the
+//! proofs are shortcuts, never approximations.
+
+use obs::SolverStats;
+use solvedbplus_core::Session;
+
+/// Solve and return the first solver record of the execution trace.
+fn traced(s: &mut Session, sql: &str) -> SolverStats {
+    let res = s.execute(sql).expect("solve");
+    res.trace.and_then(|t| t.solvers.first().cloned()).expect("solver stats in trace")
+}
+
+fn off(sql: &str) -> String {
+    sql.replace("solverlp.cbc()", "solverlp.cbc(matrixclass := off)")
+}
+
+/// A 3×3 assignment MIP: network matrix, integral data. With the
+/// classification on, the solver proves total unimodularity, solves the
+/// LP relaxation once and reports zero branch-and-bound nodes; the
+/// objective matches the full search exactly.
+#[test]
+fn network_tu_model_skips_branch_and_bound() {
+    let mut s = Session::new();
+    s.execute_script("CREATE TABLE assign (w int, t int, cost float8, x int)").unwrap();
+    for w in 0..3 {
+        for t in 0..3 {
+            let cost = 1.0 + ((w * 7 + t * 13) % 5) as f64;
+            s.execute_script(&format!("INSERT INTO assign VALUES ({w}, {t}, {cost}, NULL)"))
+                .unwrap();
+        }
+    }
+    let sql = "SOLVESELECT a(x) AS (SELECT * FROM assign) \
+               MINIMIZE (SELECT sum(cost * x) FROM a) \
+               SUBJECTTO (SELECT sum(x) = 1 FROM a GROUP BY w), \
+                         (SELECT sum(x) = 1 FROM a GROUP BY t), \
+                         (SELECT 0 <= x <= 1 FROM a) \
+               USING solverlp.cbc()";
+    let on = traced(&mut s, sql);
+    let full = traced(&mut s, &off(sql));
+
+    assert_eq!(on.integrality_proof, "network-tu");
+    assert_eq!(on.nodes_explored, 0, "certified model must not branch");
+    assert!(on.matrix_class.contains("setpart:"), "census missing: {:?}", on.matrix_class);
+    assert!(on.blocks >= 1);
+
+    assert_eq!(full.integrality_proof, "", "matrixclass := off must not analyze");
+    assert_eq!(full.matrix_class, "");
+    let (a, b) = (on.objective.unwrap(), full.objective.unwrap());
+    assert!((a - b).abs() < 1e-9, "objectives diverged: {a} vs {b}");
+}
+
+/// Interval-TU staffing model: consecutive-ones coverage windows over
+/// integer staffing levels. The proof survives presolve's Ge→Le row
+/// negation and the shortcut fires.
+#[test]
+fn interval_tu_model_skips_branch_and_bound() {
+    let mut s = Session::new();
+    s.execute_script(
+        "CREATE TABLE shifts (sid int, staff int);
+         INSERT INTO shifts VALUES (1, NULL), (2, NULL), (3, NULL), (4, NULL)",
+    )
+    .unwrap();
+    let sql = "SOLVESELECT s(staff) AS (SELECT * FROM shifts) \
+               MINIMIZE (SELECT sum(staff) FROM s) \
+               SUBJECTTO (SELECT sum(staff) >= 3 FROM s WHERE sid BETWEEN 1 AND 2), \
+                         (SELECT sum(staff) >= 5 FROM s WHERE sid BETWEEN 2 AND 3), \
+                         (SELECT sum(staff) >= 2 FROM s WHERE sid BETWEEN 3 AND 4), \
+                         (SELECT 0 <= staff <= 10 FROM s) \
+               USING solverlp.cbc()";
+    let on = traced(&mut s, sql);
+    let full = traced(&mut s, &off(sql));
+
+    assert_eq!(on.integrality_proof, "interval-tu");
+    assert_eq!(on.nodes_explored, 0);
+    let (a, b) = (on.objective.unwrap(), full.objective.unwrap());
+    assert!((a - b).abs() < 1e-9, "objectives diverged: {a} vs {b}");
+}
+
+/// An integer aggregate tied to binary picks by an equality is implied
+/// integral: the solver relaxes it, and the solution (same objective,
+/// integral aggregate) is accepted after verification.
+#[test]
+fn implied_integral_aggregate_is_relaxed_soundly() {
+    let mut s = Session::new();
+    s.execute_script(
+        "CREATE TABLE goods (gid int, kind int, val float8, wt float8, coef float8, x int)",
+    )
+    .unwrap();
+    // Aggregate row first, then the items.
+    s.execute_script("INSERT INTO goods VALUES (0, 1, 0, 0, -1, NULL)").unwrap();
+    for i in 1..=8i64 {
+        let wt = 2 + (i * 3) % 5;
+        let val = 1 + (i * 7) % 9;
+        s.execute_script(&format!("INSERT INTO goods VALUES ({i}, 0, {val}, {wt}, {wt}, NULL)"))
+            .unwrap();
+    }
+    let sql = "SOLVESELECT g(x) AS (SELECT * FROM goods) \
+               MAXIMIZE (SELECT sum(val * x) FROM g) \
+               SUBJECTTO (SELECT sum(coef * x) = 0 FROM g), \
+                         (SELECT sum(wt * x) <= 11 FROM g WHERE kind = 0), \
+                         (SELECT 0 <= x <= 1 FROM g WHERE kind = 0), \
+                         (SELECT 0 <= x <= 1000 FROM g WHERE kind = 1) \
+               USING solverlp.cbc()";
+    let on = traced(&mut s, sql);
+    let full = traced(&mut s, &off(sql));
+
+    assert_eq!(on.integrality_proof, "implied");
+    assert!(on.matrix_class.contains("knapsack:1"), "census: {:?}", on.matrix_class);
+    let (a, b) = (on.objective.unwrap(), full.objective.unwrap());
+    assert!((a - b).abs() < 1e-9, "objectives diverged: {a} vs {b}");
+
+    // The aggregate itself must come back integral even though its
+    // declaration was relaxed.
+    let t = s
+        .query(
+            "SOLVESELECT g(x) AS (SELECT * FROM goods) \
+                MAXIMIZE (SELECT sum(val * x) FROM g) \
+                SUBJECTTO (SELECT sum(coef * x) = 0 FROM g), \
+                          (SELECT sum(wt * x) <= 11 FROM g WHERE kind = 0), \
+                          (SELECT 0 <= x <= 1 FROM g WHERE kind = 0), \
+                          (SELECT 0 <= x <= 1000 FROM g WHERE kind = 1) \
+                USING solverlp.cbc()",
+        )
+        .unwrap();
+    for row in &t.rows {
+        let x = row[5].as_f64().unwrap();
+        assert!((x - x.round()).abs() < 1e-6, "non-integral decision {x}");
+    }
+}
+
+/// The `matrixclass := off` escape hatch leaves the row-class census,
+/// proof and blocks fields empty on the stats record, and `EXPLAIN`
+/// still renders a matrix summary line for the on case.
+#[test]
+fn explain_includes_matrix_summary() {
+    let mut s = Session::new();
+    s.execute_script(
+        "CREATE TABLE cargo (item text, value float8, weight float8, take int);
+         INSERT INTO cargo VALUES ('a', 60, 10, NULL), ('b', 100, 20, NULL), ('c', 120, 30, NULL)",
+    )
+    .unwrap();
+    let res = s
+        .execute(
+            "EXPLAIN SOLVESELECT c(take) AS (SELECT * FROM cargo) \
+             MAXIMIZE (SELECT sum(value * take) FROM c) \
+             SUBJECTTO (SELECT sum(weight * take) <= 50 FROM c), \
+                       (SELECT 0 <= take <= 1 FROM c) \
+             USING solverlp.cbc()",
+        )
+        .unwrap();
+    let rendered = format!("{:?}", res.outcome);
+    assert!(rendered.contains("matrix:"), "EXPLAIN output missing matrix summary: {rendered}");
+    assert!(rendered.contains("knapsack"), "summary should name the knapsack row: {rendered}");
+}

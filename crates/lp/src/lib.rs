@@ -11,6 +11,7 @@
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod matrix;
 pub mod mip;
 pub mod simplex;
 
@@ -67,6 +68,11 @@ pub struct Problem {
     pub upper: Vec<f64>,
     /// Per-variable integrality flags.
     pub integer: Vec<bool>,
+    /// Row classes recorded by [`matrix::analyze`] (parallel to
+    /// `constraints` once populated, empty until a classification pass
+    /// runs). This is the registration point future cut separators
+    /// (knapsack covers, clique cuts over packing rows) read from.
+    pub row_classes: Vec<matrix::RowClass>,
 }
 
 impl Problem {
@@ -81,6 +87,7 @@ impl Problem {
             lower: vec![f64::NEG_INFINITY; n],
             upper: vec![f64::INFINITY; n],
             integer: vec![false; n],
+            row_classes: vec![],
         }
     }
 

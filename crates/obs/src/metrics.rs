@@ -63,6 +63,13 @@ pub struct SolverAgg {
     /// Incumbent trajectory `(node index, objective)` of the most
     /// recent run that produced one (MIP solves). Empty otherwise.
     pub last_incumbents: Vec<(u64, f64)>,
+    /// Independent matrix blocks of the most recent run (SD019's count
+    /// at the solver level). Zero when unknown.
+    pub blocks: u64,
+    /// Row-class census of the most recent run that reported one.
+    pub last_matrix_class: String,
+    /// Integrality proof of the most recent run that reported one.
+    pub last_integrality_proof: String,
 }
 
 #[derive(Debug, Default)]
@@ -188,6 +195,15 @@ impl MetricsRegistry {
         }
         if !stats.incumbents.is_empty() {
             agg.last_incumbents = stats.incumbents.clone();
+        }
+        if stats.blocks > 0 {
+            agg.blocks = stats.blocks;
+        }
+        if !stats.matrix_class.is_empty() {
+            agg.last_matrix_class = stats.matrix_class.clone();
+        }
+        if !stats.integrality_proof.is_empty() {
+            agg.last_integrality_proof = stats.integrality_proof.clone();
         }
     }
 

@@ -80,6 +80,17 @@ pub struct SolverStats {
     pub objective: Option<f64>,
     /// Incumbent trajectory: (nodes explored when found, objective).
     pub incumbents: Vec<(u64, f64)>,
+    /// Row-class census from the matrix classification pass, e.g.
+    /// `"setpart:8 varbound:4"`. Empty when the pass is off or finds
+    /// no special structure.
+    pub matrix_class: String,
+    /// Strongest integrality proof acted on: `"interval-tu"` /
+    /// `"network-tu"` (branch-and-bound skipped), `"implied"` (some
+    /// integer declarations relaxed), or empty.
+    pub integrality_proof: String,
+    /// Independent variable blocks of the constraint matrix (SD019's
+    /// count at the solver level). Zero when unknown/no coupling.
+    pub blocks: u64,
 }
 
 /// A frozen, plain-data trace of one executed statement.
@@ -157,6 +168,15 @@ fn render_solver(st: &SolverStats) -> String {
             " presolve(cols={} rows={} bounds={})",
             st.presolve_cols, st.presolve_rows, st.presolve_bounds
         );
+    }
+    if !st.matrix_class.is_empty() {
+        let _ = write!(line, " matrix[{}]", st.matrix_class);
+    }
+    if !st.integrality_proof.is_empty() {
+        let _ = write!(line, " proof={}", st.integrality_proof);
+    }
+    if st.blocks > 1 {
+        let _ = write!(line, " blocks={}", st.blocks);
     }
     if let Some(obj) = st.objective {
         let _ = write!(line, " objective={obj}");

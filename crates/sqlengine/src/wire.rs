@@ -404,6 +404,7 @@ const MAX_INCUMBENTS: u32 = 4096;
 ///            presolve_cols:u64 presolve_rows:u64 presolve_bounds:u64
 ///            has_objective:u8 [objective:f64]
 ///            nincumbents:u32 (at:u64 objective:f64)*
+///            matrix_class:str integrality_proof:str blocks:u64
 /// str     := len:u32 utf8[len]
 /// ```
 pub fn encode_trace(t: &obs::QueryTrace, out: &mut Vec<u8>) {
@@ -443,6 +444,9 @@ pub fn encode_trace(t: &obs::QueryTrace, out: &mut Vec<u8>) {
             out.extend_from_slice(&at.to_le_bytes());
             out.extend_from_slice(&obj.to_bits().to_le_bytes());
         }
+        put_str(out, &st.matrix_class);
+        put_str(out, &st.integrality_proof);
+        out.extend_from_slice(&st.blocks.to_le_bytes());
     }
 }
 
@@ -508,6 +512,9 @@ pub fn decode_trace(r: &mut Reader<'_>) -> Result<obs::QueryTrace> {
             let obj = r.f64()?;
             incumbents.push((at, obj));
         }
+        let matrix_class = r.string()?;
+        let integrality_proof = r.string()?;
+        let blocks = r.u64()?;
         solvers.push(obs::SolverStats {
             solver,
             method,
@@ -521,6 +528,9 @@ pub fn decode_trace(r: &mut Reader<'_>) -> Result<obs::QueryTrace> {
             presolve_bounds,
             objective,
             incumbents,
+            matrix_class,
+            integrality_proof,
+            blocks,
         });
     }
     Ok(obs::QueryTrace { label, total_nanos, stages, solvers })
@@ -786,6 +796,9 @@ mod tests {
                 presolve_bounds: 3,
                 objective: Some(6.5),
                 incumbents: vec![(1, 4.0), (5, 6.5)],
+                matrix_class: "setpart:3 knapsack:1".into(),
+                integrality_proof: "implied".into(),
+                blocks: 2,
             }],
         }
     }
